@@ -1,0 +1,515 @@
+//! External sort + merge join — the paper's `sort(1)`-then-Awk baseline.
+//!
+//! §2.2: "it takes 247 seconds if we sort the data (using the Unix sort
+//! tool) and then implement a merge join in Awk (a 100 lines script)".
+//! This module is that pipeline: an external multi-way merge sort of a CSV
+//! by an integer key column (bounded memory, spill runs to disk), followed
+//! by a streaming merge join over the two sorted files.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use nodb_exec::{Accumulator, AggSpec, Expr};
+use nodb_rawcsv::tokenizer::{field_end, parse_field, CsvOptions};
+use nodb_types::{DataType, Error, Result, Schema, Value, WorkCounters};
+
+/// Extract the integer key from a CSV line.
+fn line_key(line: &[u8], key_col: usize, csv: &CsvOptions) -> Result<i64> {
+    let mut pos = 0usize;
+    for col in 0.. {
+        let fe = field_end(line, pos, csv.delimiter, csv.quote);
+        if col == key_col {
+            return match parse_field(&line[pos..fe], DataType::Int64, csv.quote)? {
+                Value::Int(k) => Ok(k),
+                other => Err(Error::parse(format!(
+                    "sort key must be a non-null integer, found {other}"
+                ))),
+            };
+        }
+        if line.get(fe) == Some(&csv.delimiter) {
+            pos = fe + 1;
+        } else {
+            break;
+        }
+    }
+    Err(Error::parse(format!(
+        "row has no column {key_col} for sort key"
+    )))
+}
+
+/// Externally sort a CSV file by an integer key column, producing a new CSV.
+/// At most `mem_rows` lines are held in memory at a time; overflow spills
+/// sorted runs to `run_dir` and a k-way heap merge produces the output.
+/// Returns the number of runs used (1 = fit in memory).
+pub fn external_sort(
+    input: &Path,
+    output: &Path,
+    key_col: usize,
+    mem_rows: usize,
+    run_dir: &Path,
+    csv: &CsvOptions,
+    counters: &WorkCounters,
+) -> Result<usize> {
+    if mem_rows == 0 {
+        return Err(Error::exec("mem_rows must be positive"));
+    }
+    std::fs::create_dir_all(run_dir)?;
+    counters.add_file_trip();
+    let mut reader = BufReader::with_capacity(1 << 16, File::open(input)?);
+    let mut buf: Vec<(i64, Vec<u8>)> = Vec::with_capacity(mem_rows.min(1 << 20));
+    let mut runs: Vec<PathBuf> = Vec::new();
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        line.clear();
+        let n = reader.read_until(b'\n', &mut line)?;
+        if n == 0 {
+            break;
+        }
+        counters.add_bytes_read(n as u64);
+        let mut content: &[u8] = &line;
+        if content.last() == Some(&b'\n') {
+            content = &content[..content.len() - 1];
+        }
+        if content.last() == Some(&b'\r') {
+            content = &content[..content.len() - 1];
+        }
+        if content.is_empty() {
+            continue;
+        }
+        let key = line_key(content, key_col, csv)?;
+        counters.add_values_parsed(1);
+        buf.push((key, content.to_vec()));
+        if buf.len() >= mem_rows {
+            runs.push(spill_run(&mut buf, run_dir, runs.len(), counters)?);
+        }
+    }
+
+    if runs.is_empty() {
+        // Everything fits: sort and write directly.
+        buf.sort_by_key(|(k, _)| *k);
+        let mut w = BufWriter::with_capacity(1 << 16, File::create(output)?);
+        let mut written = 0u64;
+        for (_, l) in &buf {
+            w.write_all(l)?;
+            w.write_all(b"\n")?;
+            written += l.len() as u64 + 1;
+        }
+        w.flush()?;
+        counters.add_bytes_written(written);
+        return Ok(1);
+    }
+    if !buf.is_empty() {
+        runs.push(spill_run(&mut buf, run_dir, runs.len(), counters)?);
+    }
+
+    // K-way merge of the sorted runs.
+    let mut readers: Vec<BufReader<File>> = runs
+        .iter()
+        .map(|p| Ok(BufReader::with_capacity(1 << 16, File::open(p)?)))
+        .collect::<Result<_>>()?;
+    for _ in &runs {
+        counters.add_file_trip();
+    }
+    let mut heap: BinaryHeap<Reverse<(i64, usize, Vec<u8>)>> = BinaryHeap::new();
+    for (i, r) in readers.iter_mut().enumerate() {
+        if let Some((k, l)) = next_line(r, key_col, csv, counters)? {
+            heap.push(Reverse((k, i, l)));
+        }
+    }
+    let mut w = BufWriter::with_capacity(1 << 16, File::create(output)?);
+    let mut written = 0u64;
+    while let Some(Reverse((_, i, l))) = heap.pop() {
+        w.write_all(&l)?;
+        w.write_all(b"\n")?;
+        written += l.len() as u64 + 1;
+        if let Some((k, l)) = next_line(&mut readers[i], key_col, csv, counters)? {
+            heap.push(Reverse((k, i, l)));
+        }
+    }
+    w.flush()?;
+    counters.add_bytes_written(written);
+    let n_runs = runs.len();
+    for p in runs {
+        let _ = std::fs::remove_file(p);
+    }
+    Ok(n_runs)
+}
+
+fn spill_run(
+    buf: &mut Vec<(i64, Vec<u8>)>,
+    run_dir: &Path,
+    idx: usize,
+    counters: &WorkCounters,
+) -> Result<PathBuf> {
+    buf.sort_by_key(|(k, _)| *k);
+    let p = run_dir.join(format!("run{idx}.csv"));
+    let mut w = BufWriter::with_capacity(1 << 16, File::create(&p)?);
+    let mut written = 0u64;
+    for (_, l) in buf.iter() {
+        w.write_all(l)?;
+        w.write_all(b"\n")?;
+        written += l.len() as u64 + 1;
+    }
+    w.flush()?;
+    counters.add_bytes_written(written);
+    buf.clear();
+    Ok(p)
+}
+
+fn next_line(
+    r: &mut BufReader<File>,
+    key_col: usize,
+    csv: &CsvOptions,
+    counters: &WorkCounters,
+) -> Result<Option<(i64, Vec<u8>)>> {
+    let mut line = Vec::new();
+    loop {
+        line.clear();
+        let n = r.read_until(b'\n', &mut line)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        counters.add_bytes_read(n as u64);
+        if line.last() == Some(&b'\n') {
+            line.pop();
+        }
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let k = line_key(&line, key_col, csv)?;
+        return Ok(Some((k, std::mem::take(&mut line))));
+    }
+}
+
+/// Streaming merge join over two key-sorted CSV files, feeding combined
+/// rows (left columns then right columns) into aggregates. Handles
+/// duplicate keys by buffering equal-key groups (cross product).
+#[allow(clippy::too_many_arguments)]
+pub fn merge_join_aggregate(
+    left: &Path,
+    left_schema: &Schema,
+    left_key: usize,
+    right: &Path,
+    right_schema: &Schema,
+    right_key: usize,
+    specs: &[AggSpec],
+    csv: &CsvOptions,
+    counters: &WorkCounters,
+) -> Result<Vec<Value>> {
+    counters.add_file_trip();
+    counters.add_file_trip();
+    let mut lr = RowStream::new(left, left_schema.clone(), left_key, csv.clone())?;
+    let mut rr = RowStream::new(right, right_schema.clone(), right_key, csv.clone())?;
+    let mut accs: Vec<Accumulator> = specs.iter().map(|s| Accumulator::new(s.func)).collect();
+    let lw = left_schema.len();
+    let mut combined: Vec<Value> = vec![Value::Null; lw + right_schema.len()];
+
+    let mut lgroup = lr.next_group(counters)?;
+    let mut rgroup = rr.next_group(counters)?;
+    while let (Some((lk, lrows)), Some((rk, rrows))) = (&lgroup, &rgroup) {
+        match lk.cmp(rk) {
+            std::cmp::Ordering::Less => lgroup = lr.next_group(counters)?,
+            std::cmp::Ordering::Greater => rgroup = rr.next_group(counters)?,
+            std::cmp::Ordering::Equal => {
+                for lrow in lrows {
+                    combined[..lw].clone_from_slice(lrow);
+                    for rrow in rrows {
+                        combined[lw..].clone_from_slice(rrow);
+                        for (acc, spec) in accs.iter_mut().zip(specs) {
+                            match &spec.expr {
+                                None => acc.update(&Value::Null)?,
+                                Some(Expr::Col(c)) => acc.update(&combined[*c])?,
+                                Some(e) => acc.update(&e.eval_row(&combined)?)?,
+                            }
+                        }
+                    }
+                }
+                lgroup = lr.next_group(counters)?;
+                rgroup = rr.next_group(counters)?;
+            }
+        }
+    }
+    accs.iter().map(|a| a.finish()).collect()
+}
+
+/// Reads a key-sorted CSV as groups of fully parsed rows sharing a key.
+struct RowStream {
+    reader: BufReader<File>,
+    schema: Schema,
+    key_col: usize,
+    csv: CsvOptions,
+    pending: Option<(i64, Vec<Value>)>,
+    last_key: Option<i64>,
+}
+
+impl RowStream {
+    fn new(path: &Path, schema: Schema, key_col: usize, csv: CsvOptions) -> Result<RowStream> {
+        Ok(RowStream {
+            reader: BufReader::with_capacity(1 << 16, File::open(path)?),
+            schema,
+            key_col,
+            csv,
+            pending: None,
+            last_key: None,
+        })
+    }
+
+    fn next_row(&mut self, counters: &WorkCounters) -> Result<Option<(i64, Vec<Value>)>> {
+        let mut line = Vec::new();
+        loop {
+            line.clear();
+            let n = self.reader.read_until(b'\n', &mut line)?;
+            if n == 0 {
+                return Ok(None);
+            }
+            counters.add_bytes_read(n as u64);
+            if line.last() == Some(&b'\n') {
+                line.pop();
+            }
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            if line.is_empty() {
+                continue;
+            }
+            counters.add_rows_tokenized(1);
+            let mut row = vec![Value::Null; self.schema.len()];
+            let mut pos = 0usize;
+            for (col, slot) in row.iter_mut().enumerate() {
+                let fe = field_end(&line, pos, self.csv.delimiter, self.csv.quote);
+                counters.add_fields_tokenized(1);
+                let ty = self.schema.field(col).expect("in range").data_type;
+                *slot = parse_field(&line[pos..fe], ty, self.csv.quote)?;
+                counters.add_values_parsed(1);
+                if line.get(fe) == Some(&self.csv.delimiter) {
+                    pos = fe + 1;
+                } else {
+                    break;
+                }
+            }
+            let key = match &row[self.key_col] {
+                Value::Int(k) => *k,
+                other => {
+                    return Err(Error::parse(format!(
+                        "merge join key must be integer, found {other}"
+                    )))
+                }
+            };
+            if let Some(last) = self.last_key {
+                if key < last {
+                    return Err(Error::exec(format!(
+                        "input not sorted: key {key} after {last}"
+                    )));
+                }
+            }
+            self.last_key = Some(key);
+            return Ok(Some((key, row)));
+        }
+    }
+
+    /// The next group of rows sharing one key.
+    fn next_group(&mut self, counters: &WorkCounters) -> Result<Option<(i64, Vec<Vec<Value>>)>> {
+        let (key, first) = match self.pending.take() {
+            Some(kr) => kr,
+            None => match self.next_row(counters)? {
+                Some(kr) => kr,
+                None => return Ok(None),
+            },
+        };
+        let mut rows = vec![first];
+        loop {
+            match self.next_row(counters)? {
+                None => break,
+                Some((k, r)) if k == key => rows.push(r),
+                Some(other) => {
+                    self.pending = Some(other);
+                    break;
+                }
+            }
+        }
+        Ok(Some((key, rows)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodb_exec::AggFunc;
+    use std::path::PathBuf;
+
+    fn dir() -> PathBuf {
+        let d = std::env::temp_dir().join("nodb_extsort_test");
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn write(name: &str, content: &str) -> PathBuf {
+        let p = dir().join(name);
+        std::fs::write(&p, content).unwrap();
+        p
+    }
+
+    fn read_keys(p: &Path) -> Vec<i64> {
+        std::fs::read_to_string(p)
+            .unwrap()
+            .lines()
+            .map(|l| l.split(',').next().unwrap().parse().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn in_memory_sort() {
+        let input = write("mem.csv", "3,c\n1,a\n2,b\n");
+        let out = dir().join("mem_sorted.csv");
+        let c = WorkCounters::new();
+        let runs = external_sort(
+            &input,
+            &out,
+            0,
+            100,
+            &dir().join("runs_mem"),
+            &CsvOptions::default(),
+            &c,
+        )
+        .unwrap();
+        assert_eq!(runs, 1);
+        assert_eq!(read_keys(&out), vec![1, 2, 3]);
+        // Payload travels with the key.
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert_eq!(text, "1,a\n2,b\n3,c\n");
+    }
+
+    #[test]
+    fn spilling_multiway_merge() {
+        let mut content = String::new();
+        let n = 1000;
+        for i in 0..n {
+            // Reverse order to force real sorting work.
+            content.push_str(&format!("{},p{}\n", n - 1 - i, n - 1 - i));
+        }
+        let input = write("spill.csv", &content);
+        let out = dir().join("spill_sorted.csv");
+        let c = WorkCounters::new();
+        let runs = external_sort(
+            &input,
+            &out,
+            0,
+            64, // force ~16 runs
+            &dir().join("runs_spill"),
+            &CsvOptions::default(),
+            &c,
+        )
+        .unwrap();
+        assert!(runs > 10, "expected many runs, got {runs}");
+        let keys = read_keys(&out);
+        assert_eq!(keys.len(), n as usize);
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        assert!(c.snapshot().bytes_written > 0);
+        // Run files cleaned up.
+        assert!(std::fs::read_dir(dir().join("runs_spill"))
+            .unwrap()
+            .next()
+            .is_none());
+    }
+
+    #[test]
+    fn duplicate_keys_preserved() {
+        let input = write("dups.csv", "2,x\n1,y\n2,z\n1,w\n");
+        let out = dir().join("dups_sorted.csv");
+        let c = WorkCounters::new();
+        external_sort(&input, &out, 0, 2, &dir().join("runs_dups"), &CsvOptions::default(), &c)
+            .unwrap();
+        assert_eq!(read_keys(&out), vec![1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn merge_join_after_sort_matches_hash_join() {
+        use crate::scripting::ScriptEngine;
+        let schema = Schema::ints(2);
+        // Unsorted inputs.
+        let l = write("mj_l.csv", "3,30\n1,10\n2,20\n5,50\n");
+        let r = write("mj_r.csv", "2,200\n5,500\n3,300\n9,900\n");
+        let ls = dir().join("mj_l_sorted.csv");
+        let rs = dir().join("mj_r_sorted.csv");
+        let c = WorkCounters::new();
+        let csv = CsvOptions::default();
+        external_sort(&l, &ls, 0, 2, &dir().join("runs_l"), &csv, &c).unwrap();
+        external_sort(&r, &rs, 0, 2, &dir().join("runs_r"), &csv, &c).unwrap();
+        let specs = [
+            AggSpec::count_star(),
+            AggSpec::on_col(AggFunc::Sum, 1),
+            AggSpec::on_col(AggFunc::Sum, 3),
+        ];
+        let merged = merge_join_aggregate(&ls, &schema, 0, &rs, &schema, 0, &specs, &csv, &c)
+            .unwrap();
+        let hashed = ScriptEngine::awk()
+            .hash_join_aggregate(&l, &schema, 0, &r, &schema, 0, &specs, &c)
+            .unwrap();
+        assert_eq!(merged, hashed);
+        assert_eq!(merged[0], Value::Int(3)); // keys 2, 3, 5
+    }
+
+    #[test]
+    fn merge_join_duplicate_keys_cross_product() {
+        let schema = Schema::ints(2);
+        let l = write("dup_l.csv", "1,10\n1,11\n2,20\n");
+        let r = write("dup_r.csv", "1,100\n1,101\n3,300\n");
+        let c = WorkCounters::new();
+        let out = merge_join_aggregate(
+            &l,
+            &schema,
+            0,
+            &r,
+            &schema,
+            0,
+            &[AggSpec::count_star()],
+            &CsvOptions::default(),
+            &c,
+        )
+        .unwrap();
+        assert_eq!(out[0], Value::Int(4), "2 left × 2 right matches on key 1");
+    }
+
+    #[test]
+    fn unsorted_input_to_merge_join_detected() {
+        let schema = Schema::ints(2);
+        let l = write("unsorted_l.csv", "2,20\n1,10\n");
+        let r = write("unsorted_r.csv", "1,100\n2,200\n");
+        let c = WorkCounters::new();
+        let err = merge_join_aggregate(
+            &l,
+            &schema,
+            0,
+            &r,
+            &schema,
+            0,
+            &[AggSpec::count_star()],
+            &CsvOptions::default(),
+            &c,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn bad_key_column_errors() {
+        let input = write("badkey.csv", "x,1\n");
+        let out = dir().join("badkey_sorted.csv");
+        let c = WorkCounters::new();
+        assert!(external_sort(
+            &input,
+            &out,
+            0,
+            10,
+            &dir().join("runs_bad"),
+            &CsvOptions::default(),
+            &c
+        )
+        .is_err());
+    }
+}

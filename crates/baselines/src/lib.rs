@@ -1,0 +1,17 @@
+//! # nodb-baselines — the paper's comparison systems
+//!
+//! Reimplementations of the non-DBMS tools the paper measures against, as
+//! libraries, so the benchmark harnesses compare algorithmic shape rather
+//! than binaries:
+//!
+//! * [`scripting`] — the Awk baseline (streaming single-pass queries with
+//!   pushed-down selections and early row abandonment), its Perl-style
+//!   materialising variant, and a streaming hash join;
+//! * [`extsort`] — the `sort(1)` + merge-join pipeline: external multi-way
+//!   merge sort by an integer key, then a streaming merge join.
+
+pub mod extsort;
+pub mod scripting;
+
+pub use extsort::{external_sort, merge_join_aggregate};
+pub use scripting::{ScriptEngine, ScriptMode};

@@ -1,0 +1,215 @@
+//! Criterion micro-benchmarks for the core primitives.
+//!
+//! * tokenizer throughput (full parse vs projected vs pushdown);
+//! * database cracking vs full scan per range query;
+//! * the three kernel strategies (A4 of DESIGN.md): columnar,
+//!   volcano and fused-hybrid execution of the paper's Q1 shape;
+//! * hash vs merge join position generation.
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use nodb_exec::{
+    aggregate, filter_positions, fused_filter_aggregate, hash_join_positions,
+    merge_join_positions, AggFunc, AggSpec, AggregateOp, ColumnsScan, FilterOp,
+};
+use nodb_rawcsv::gen::Permutation;
+use nodb_rawcsv::tokenizer::{scan_bytes, CsvOptions, ScanSpec};
+use nodb_store::CrackedColumn;
+use nodb_types::{CmpOp, ColPred, ColumnData, Conjunction, Schema, WorkCounters};
+
+fn csv_bytes(rows: usize, cols: usize) -> Vec<u8> {
+    let perms: Vec<Permutation> = (0..cols)
+        .map(|c| Permutation::new(rows as u64, 9 + c as u64))
+        .collect();
+    let mut out = String::with_capacity(rows * cols * 8);
+    for i in 0..rows {
+        for (c, p) in perms.iter().enumerate() {
+            if c > 0 {
+                out.push(',');
+            }
+            out.push_str(&p.apply(i as u64).to_string());
+        }
+        out.push('\n');
+    }
+    out.into_bytes()
+}
+
+fn bench_tokenizer(c: &mut Criterion) {
+    let rows = 100_000;
+    let data = csv_bytes(rows, 8);
+    let schema = Schema::ints(8);
+    let opts = CsvOptions {
+        threads: 1,
+        ..CsvOptions::default()
+    };
+    let mut g = c.benchmark_group("tokenizer");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("parse_all_8_cols", |b| {
+        b.iter(|| {
+            let counters = WorkCounters::new();
+            scan_bytes(
+                &data,
+                &opts,
+                &ScanSpec {
+                    schema: &schema,
+                    needed: (0..8).collect(),
+                    pushdown: None,
+                },
+                None,
+                &counters,
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("parse_first_2_cols", |b| {
+        b.iter(|| {
+            let counters = WorkCounters::new();
+            scan_bytes(
+                &data,
+                &opts,
+                &ScanSpec {
+                    schema: &schema,
+                    needed: vec![0, 1],
+                    pushdown: None,
+                },
+                None,
+                &counters,
+            )
+            .unwrap()
+        })
+    });
+    let filter = Conjunction::new(vec![
+        ColPred::new(0, CmpOp::Gt, 0i64),
+        ColPred::new(0, CmpOp::Lt, (rows / 10) as i64),
+    ]);
+    g.bench_function("pushdown_10pct", |b| {
+        b.iter(|| {
+            let counters = WorkCounters::new();
+            scan_bytes(
+                &data,
+                &opts,
+                &ScanSpec {
+                    schema: &schema,
+                    needed: vec![1],
+                    pushdown: Some(&filter),
+                },
+                None,
+                &counters,
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_cracking(c: &mut Criterion) {
+    let n = 1_000_000usize;
+    let perm = Permutation::new(n as u64, 5);
+    let vals: Vec<i64> = (0..n as u64).map(|i| perm.apply(i) as i64).collect();
+    let mut g = c.benchmark_group("cracking");
+    g.sample_size(10);
+    let iv = Conjunction::new(vec![
+        ColPred::new(0, CmpOp::Gt, (n / 3) as i64),
+        ColPred::new(0, CmpOp::Lt, (n / 3 + n / 10) as i64),
+    ])
+    .to_box()
+    .unwrap()
+    .by_col[&0]
+        .clone();
+    g.bench_function("full_scan_range", |b| {
+        b.iter(|| {
+            vals.iter()
+                .filter(|&&v| {
+                    v > (n / 3) as i64 && v < (n / 3 + n / 10) as i64
+                })
+                .sum::<i64>()
+        })
+    });
+    g.bench_function("cracked_after_convergence", |b| {
+        // Pre-crack with the query bounds; steady-state selection is a
+        // contiguous slice sum.
+        let mut cracked = CrackedColumn::new(vals.clone());
+        cracked.select(&iv).unwrap();
+        b.iter(|| {
+            let (vs, _) = cracked.select(&iv).unwrap();
+            vs.iter().sum::<i64>()
+        })
+    });
+    g.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let n = 1_000_000usize;
+    let mut cols: BTreeMap<usize, ColumnData> = BTreeMap::new();
+    for k in 0..4 {
+        let perm = Permutation::new(n as u64, 40 + k as u64);
+        cols.insert(
+            k,
+            ColumnData::from_i64((0..n as u64).map(|i| perm.apply(i) as i64).collect()),
+        );
+    }
+    let conj = Conjunction::new(vec![
+        ColPred::new(0, CmpOp::Gt, 0i64),
+        ColPred::new(0, CmpOp::Lt, (n / 10) as i64),
+        ColPred::new(1, CmpOp::Gt, -1i64),
+    ]);
+    let specs = vec![
+        AggSpec::on_col(AggFunc::Sum, 0),
+        AggSpec::on_col(AggFunc::Min, 3),
+        AggSpec::on_col(AggFunc::Max, 2),
+        AggSpec::on_col(AggFunc::Avg, 1),
+    ];
+    let mut g = c.benchmark_group("kernels_q1");
+    g.sample_size(10);
+    g.bench_function("columnar", |b| {
+        b.iter(|| {
+            let pos = filter_positions(&cols, n, &conj).unwrap();
+            aggregate(&cols, n, Some(&pos), &specs).unwrap()
+        })
+    });
+    g.bench_function("hybrid_fused", |b| {
+        b.iter(|| fused_filter_aggregate(&cols, n, &conj, &specs).unwrap())
+    });
+    g.bench_function("volcano", |b| {
+        b.iter(|| {
+            let scan = ColumnsScan::new(&cols, 4, n);
+            let filter = FilterOp::new(scan, conj.clone());
+            let mut agg = AggregateOp::new(filter, specs.clone());
+            nodb_exec::collect(&mut agg).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_joins(c: &mut Criterion) {
+    let n = 300_000usize;
+    let pl = Permutation::new(n as u64, 61);
+    let pr = Permutation::new(n as u64, 62);
+    let left = ColumnData::from_i64((0..n as u64).map(|i| pl.apply(i) as i64).collect());
+    let right = ColumnData::from_i64((0..n as u64).map(|i| pr.apply(i) as i64).collect());
+    let mut g = c.benchmark_group("joins");
+    g.sample_size(10);
+    type JoinFn = fn(&ColumnData, &ColumnData) -> nodb_types::Result<Vec<(usize, usize)>>;
+    let variants: [(&str, JoinFn); 2] = [
+        ("hash", hash_join_positions),
+        ("merge", merge_join_positions),
+    ];
+    for (name, f) in variants {
+        g.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+            b.iter(|| f(&left, &right).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tokenizer,
+    bench_cracking,
+    bench_kernels,
+    bench_joins
+);
+criterion_main!(benches);

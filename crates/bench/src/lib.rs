@@ -1,0 +1,239 @@
+//! Shared infrastructure for the paper-reproduction benchmark harnesses.
+//!
+//! Each `[[bench]]` target (harness = false) regenerates one table or figure
+//! of the paper; this crate holds what they share: cached dataset
+//! generation, query generators for the paper's Q1/Q2 templates, engine
+//! construction per loading strategy, and fixed-width table printing.
+//!
+//! Scale is controlled by `NODB_BENCH_SCALE` = `smoke` | `small` (default) |
+//! `full`. Paper sizes (10⁸–10⁹ rows) are scaled down so every figure
+//! regenerates on a laptop in minutes; the *shape* of each curve is the
+//! reproduction target, not absolute seconds (see EXPERIMENTS.md).
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use nodb_core::{Engine, EngineConfig, LoadingStrategy};
+use nodb_rawcsv::gen::{selective_range, write_unique_int_table};
+use nodb_types::{Conjunction, CountersSnapshot};
+
+/// Benchmark scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-long sanity run (CI).
+    Smoke,
+    /// Default: minutes-long, laptop-sized.
+    Small,
+    /// As big as patience allows.
+    Full,
+}
+
+impl Scale {
+    /// Read the scale from `NODB_BENCH_SCALE`.
+    pub fn from_env() -> Scale {
+        match std::env::var("NODB_BENCH_SCALE").as_deref() {
+            Ok("smoke") => Scale::Smoke,
+            Ok("full") => Scale::Full,
+            _ => Scale::Small,
+        }
+    }
+
+    /// Scale a row count: `small` keeps it, `smoke` divides by 20,
+    /// `full` multiplies by 5.
+    pub fn rows(self, small: usize) -> usize {
+        match self {
+            Scale::Smoke => (small / 20).max(1000),
+            Scale::Small => small,
+            Scale::Full => small * 5,
+        }
+    }
+}
+
+/// Directory for generated benchmark datasets (cached across runs).
+pub fn data_dir() -> PathBuf {
+    let d = std::env::temp_dir().join("nodb-bench-data");
+    std::fs::create_dir_all(&d).expect("create bench data dir");
+    d
+}
+
+/// A fresh scratch directory (engine store dirs, persisted columns).
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    let d = data_dir().join(format!("scratch-{tag}"));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("create scratch dir");
+    d
+}
+
+/// Path to a cached unique-integer table, generating it if absent.
+pub fn dataset(rows: usize, cols: usize, seed: u64) -> PathBuf {
+    let path = data_dir().join(format!("uints_r{rows}_c{cols}_s{seed}.csv"));
+    if !path.exists() {
+        eprintln!("# generating {rows} x {cols} dataset at {path:?} ...");
+        write_unique_int_table(&path, rows, cols, seed).expect("generate dataset");
+    }
+    path
+}
+
+/// Deterministic RNG for query generation.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// The paper's Q1 as SQL:
+/// `select sum(a1),min(a4),max(a3),avg(a2) from R where a1 range and a2 range`.
+pub fn q1_sql(table: &str, rows: usize, selectivity: f64, rng: &mut StdRng) -> String {
+    let c1 = selective_range(0, rows, selectivity, rng);
+    let c2 = selective_range(1, rows, 1.0, rng); // a2 predicate kept non-selective
+    format!(
+        "select sum(a1),min(a4),max(a3),avg(a2) from {table} where {}",
+        to_where(&[c1, c2])
+    )
+}
+
+/// The paper's Q2 on an attribute pair (`x` = first, `y` = second):
+/// `select sum(ax),avg(ay) from R where ax range and ay range`.
+pub fn q2_sql(
+    table: &str,
+    col_x: usize,
+    col_y: usize,
+    rows: usize,
+    selectivity: f64,
+    rng: &mut StdRng,
+) -> String {
+    let cx = selective_range(col_x, rows, selectivity, rng);
+    let cy = selective_range(col_y, rows, 1.0, rng);
+    format!(
+        "select sum(a{}),avg(a{}) from {table} where {}",
+        col_x + 1,
+        col_y + 1,
+        to_where(&[cx, cy])
+    )
+}
+
+/// Render conjunctions as SQL (columns named `a1..aN`).
+pub fn to_where(conjs: &[Conjunction]) -> String {
+    let mut parts = Vec::new();
+    for c in conjs {
+        for p in &c.preds {
+            parts.push(format!("a{} {} {}", p.col + 1, p.op.symbol(), p.value));
+        }
+    }
+    parts.join(" and ")
+}
+
+/// Build an engine with the given strategy and a fresh store dir.
+pub fn engine(strategy: LoadingStrategy, tag: &str) -> Engine {
+    let mut cfg = EngineConfig::with_strategy(strategy);
+    cfg.store_dir = Some(scratch_dir(&format!("{tag}-{}", strategy.label())));
+    Engine::new(cfg)
+}
+
+/// Time a closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t = Instant::now();
+    let v = f();
+    (v, t.elapsed())
+}
+
+/// Milliseconds with two decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Print a fixed-width table row.
+pub fn row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("{}", line.join("  "));
+}
+
+/// Print a header + underline.
+pub fn header(cells: &[&str], widths: &[usize]) {
+    row(
+        &cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        widths,
+    );
+    let line: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("{}", line.join("  "));
+}
+
+/// Human-readable work summary for one query.
+pub fn work(w: &CountersSnapshot) -> String {
+    format!(
+        "{:>6.1}MB {:>2}trips",
+        w.bytes_read as f64 / 1e6,
+        w.file_trips
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_rows_math() {
+        assert_eq!(Scale::Small.rows(1000), 1000);
+        assert_eq!(Scale::Smoke.rows(100_000), 5000);
+        assert_eq!(Scale::Full.rows(1000), 5000);
+        assert_eq!(Scale::Smoke.rows(100), 1000, "smoke floor");
+    }
+
+    #[test]
+    fn q1_sql_is_parsable() {
+        let mut r = rng(7);
+        let sql = q1_sql("r", 1000, 0.1, &mut r);
+        let ast = nodb_sql::parse(&sql).unwrap();
+        assert_eq!(ast.table, "r");
+        assert_eq!(ast.items.len(), 4);
+        assert_eq!(ast.predicates.len(), 4);
+    }
+
+    #[test]
+    fn q2_sql_references_requested_pair() {
+        let mut r = rng(7);
+        let sql = q2_sql("t", 2, 3, 1000, 0.1, &mut r);
+        assert!(sql.contains("sum(a3)"));
+        assert!(sql.contains("avg(a4)"));
+        let ast = nodb_sql::parse(&sql).unwrap();
+        assert_eq!(ast.predicates.len(), 4);
+    }
+
+    #[test]
+    fn dataset_is_cached() {
+        let p1 = dataset(1000, 2, 42);
+        let modified = std::fs::metadata(&p1).unwrap().modified().unwrap();
+        let p2 = dataset(1000, 2, 42);
+        assert_eq!(p1, p2);
+        assert_eq!(
+            std::fs::metadata(&p2).unwrap().modified().unwrap(),
+            modified
+        );
+    }
+
+    #[test]
+    fn engine_runs_generated_q1_with_expected_selectivity() {
+        let rows = 2000;
+        let path = dataset(rows, 4, 11);
+        let e = engine(LoadingStrategy::ColumnLoads, "libtest");
+        e.register_table("r", &path).unwrap();
+        let mut r = rng(3);
+        let out = e.sql(&q1_sql("r", rows, 0.1, &mut r)).unwrap();
+        assert_eq!(out.rows.len(), 1);
+        let out2 = e
+            .sql(&format!(
+                "select count(*) from r where {}",
+                to_where(&[selective_range(0, rows, 0.1, &mut r)])
+            ))
+            .unwrap();
+        assert_eq!(
+            out2.scalar(),
+            Some(&nodb_types::Value::Int((rows / 10) as i64))
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Engine configuration.
+
+use std::path::PathBuf;
+
+use nodb_rawcsv::CsvOptions;
+
+/// Which adaptive loading policy the engine runs (paper §3–§4). Each policy
+/// is one curve in Figures 1, 3 and 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadingStrategy {
+    /// Load every column of the table on first touch — classic DBMS
+    /// behaviour, the "MonetDB" curve.
+    FullLoad,
+    /// Never load: re-tokenize the whole file for every query — the
+    /// "MySQL CSV engine" curve (reads and parses every column of every
+    /// row, keeps no state).
+    ExternalScan,
+    /// Load only the referenced columns, fully, on first miss — the
+    /// "Column Loads" curve.
+    ColumnLoads,
+    /// Push selections into loading, return qualifying tuples only, and
+    /// *discard* them after the query — "Partial Loads V1" (Figure 3).
+    PartialLoadsV1,
+    /// Push selections into loading and *cache* qualifying tuples as
+    /// fragments in the adaptive store, with box-coverage reuse and 1-D
+    /// fetch-missing-only refinement — "Partial Loads V2" (Figure 4).
+    PartialLoadsV2,
+    /// Column loads over dynamically split per-column files ("file
+    /// cracking") — the "Split Files" curve (Figure 4).
+    SplitFiles,
+}
+
+impl LoadingStrategy {
+    /// Human-readable label used in benchmark tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            LoadingStrategy::FullLoad => "full-load",
+            LoadingStrategy::ExternalScan => "external-scan",
+            LoadingStrategy::ColumnLoads => "column-loads",
+            LoadingStrategy::PartialLoadsV1 => "partial-v1",
+            LoadingStrategy::PartialLoadsV2 => "partial-v2",
+            LoadingStrategy::SplitFiles => "split-files",
+        }
+    }
+}
+
+/// Which execution kernel evaluates the post-load part of the query
+/// (paper §5.2 — the adaptive kernel's strategies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelStrategy {
+    /// Pick per query: fused hybrid operators for filtered aggregations,
+    /// columnar otherwise.
+    Auto,
+    /// Column-at-a-time with materialised selection vectors.
+    Columnar,
+    /// Tuple-at-a-time volcano iterators.
+    Volcano,
+    /// Fused filter+aggregate single-pass operators.
+    Hybrid,
+}
+
+/// Engine-wide configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// The adaptive loading policy.
+    pub strategy: LoadingStrategy,
+    /// Execution kernel selection.
+    pub kernel: KernelStrategy,
+    /// CSV dialect and tokenizer options.
+    pub csv: CsvOptions,
+    /// Per-table memory budget for the adaptive store, in bytes. `None`
+    /// disables eviction (§5.1.3 "purely memory resident" without limits).
+    pub memory_budget: Option<usize>,
+    /// Directory for engine-generated files (split segments, persisted
+    /// columns). Defaults to `<file dir>/.nodb` per table when `None`.
+    pub store_dir: Option<PathBuf>,
+    /// Maintain and exploit the adaptive positional map (ablation A2
+    /// disables it to measure its contribution).
+    pub use_positional_map: bool,
+    /// Load one column per file trip instead of batching all missing
+    /// columns into a single trip (the paper found this "much more
+    /// expensive" — ablation A1 measures it).
+    pub one_column_per_trip: bool,
+    /// Build and use database-cracking indexes (the paper's reference 12,
+    /// Figure 1's "Index DB") for range selections over fully loaded
+    /// integer columns. Cracked copies live in the adaptive store and are
+    /// refined as a side effect of every selection.
+    pub use_cracking: bool,
+    /// Enable the workload monitor / robustness advisor (§5.5): escalates
+    /// partial loading to full column loads when fragment reuse keeps
+    /// missing.
+    pub monitor: bool,
+    /// Consecutive fragment misses on the same column set before the
+    /// advisor escalates.
+    pub escalate_after_misses: u32,
+    /// Rows sampled for schema inference.
+    pub infer_sample_rows: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            strategy: LoadingStrategy::ColumnLoads,
+            kernel: KernelStrategy::Auto,
+            csv: CsvOptions::default(),
+            memory_budget: None,
+            store_dir: None,
+            use_positional_map: true,
+            one_column_per_trip: false,
+            use_cracking: false,
+            monitor: true,
+            escalate_after_misses: 3,
+            infer_sample_rows: 64,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Config with a given loading strategy, defaults elsewhere.
+    pub fn with_strategy(strategy: LoadingStrategy) -> Self {
+        EngineConfig {
+            strategy,
+            ..EngineConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_adaptive() {
+        let c = EngineConfig::default();
+        assert_eq!(c.strategy, LoadingStrategy::ColumnLoads);
+        assert!(c.use_positional_map);
+        assert!(!c.one_column_per_trip);
+        assert!(c.memory_budget.is_none());
+    }
+
+    #[test]
+    fn labels_unique() {
+        let all = [
+            LoadingStrategy::FullLoad,
+            LoadingStrategy::ExternalScan,
+            LoadingStrategy::ColumnLoads,
+            LoadingStrategy::PartialLoadsV1,
+            LoadingStrategy::PartialLoadsV2,
+            LoadingStrategy::SplitFiles,
+        ];
+        let labels: std::collections::HashSet<&str> =
+            all.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), all.len());
+    }
+}

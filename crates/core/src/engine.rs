@@ -1,0 +1,910 @@
+//! The NoDB engine.
+//!
+//! "All you need to do to use it, is point to your data and you can start
+//! querying immediately with SQL queries." [`Engine::register_table`] links
+//! a raw CSV file under a name; [`Engine::sql`] parses, plans and runs a
+//! query, letting the configured [`LoadingStrategy`]
+//! fetch whatever the query needs from the raw files on the fly.
+//!
+//! [`LoadingStrategy`]: crate::LoadingStrategy
+
+use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
+
+use nodb_exec::{
+    aggregate, filter_positions, fused_filter_aggregate, group_aggregate, hash_join_positions,
+    project_rows, sort_positions, AggSpec, ColumnsScan, Expr,
+};
+use nodb_sql::{OutputExpr, Plan};
+use nodb_store::persist;
+use nodb_types::{
+    ColumnData, Conjunction, CountersSnapshot, Error, Result, Schema, Value, WorkCounters,
+};
+
+use crate::catalog::Catalog;
+use crate::config::{EngineConfig, KernelStrategy, LoadingStrategy};
+use crate::policy::{materialize, Materialized};
+
+/// Result of one SQL query.
+#[derive(Debug)]
+pub struct QueryOutput {
+    /// Output column labels.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+    /// Execution statistics.
+    pub stats: QueryStats,
+}
+
+impl QueryOutput {
+    /// Convenience: the single value of a single-row single-column result
+    /// (common for aggregates).
+    pub fn scalar(&self) -> Option<&Value> {
+        match (self.rows.len(), self.rows.first()) {
+            (1, Some(r)) if r.len() == 1 => r.first(),
+            _ => None,
+        }
+    }
+
+    /// Write the result as CSV (header row + data rows). Fields containing
+    /// the delimiter, quotes or newlines are quoted RFC-4180 style, so the
+    /// output is itself registrable as a nodb table — results can feed the
+    /// next exploration step as new raw files.
+    pub fn write_csv(&self, w: &mut impl std::io::Write) -> Result<()> {
+        fn field(s: &str) -> std::borrow::Cow<'_, str> {
+            if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+                std::borrow::Cow::Owned(format!("\"{}\"", s.replace('"', "\"\"")))
+            } else {
+                std::borrow::Cow::Borrowed(s)
+            }
+        }
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .map(|c| field(c).into_owned())
+            .collect();
+        writeln!(w, "{}", header.join(","))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|v| match v {
+                    Value::Null => String::new(),
+                    Value::Str(s) => field(s).into_owned(),
+                    other => other.to_string(),
+                })
+                .collect();
+            writeln!(w, "{}", cells.join(","))?;
+        }
+        Ok(())
+    }
+
+    /// [`QueryOutput::write_csv`] to a file path.
+    pub fn save_csv(&self, path: &Path) -> Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        self.write_csv(&mut f)?;
+        use std::io::Write as _;
+        f.flush()?;
+        Ok(())
+    }
+}
+
+/// Per-query statistics.
+#[derive(Debug, Clone)]
+pub struct QueryStats {
+    /// Wall-clock time of the whole query (planning + loading + execution).
+    pub elapsed: Duration,
+    /// Work-counter deltas attributable to this query.
+    pub work: CountersSnapshot,
+    /// The loading strategy that served it.
+    pub strategy: LoadingStrategy,
+}
+
+/// Diagnostics about a table's derived state.
+#[derive(Debug, Clone)]
+pub struct TableInfo {
+    /// Inferred schema (None before first touch).
+    pub schema: Option<Schema>,
+    /// Fully loaded column ordinals.
+    pub loaded_columns: Vec<usize>,
+    /// Number of cached fragments.
+    pub fragments: usize,
+    /// Adaptive-store bytes in memory.
+    pub store_bytes: usize,
+    /// Positional-map bytes in memory.
+    pub posmap_bytes: usize,
+    /// Number of file segments (1 = unsplit original).
+    pub segments: usize,
+    /// Store hit rate reported by the workload monitor.
+    pub hit_rate: f64,
+}
+
+/// The engine: a catalog of linked raw files plus a loading policy.
+pub struct Engine {
+    catalog: RwLock<Catalog>,
+    cfg: EngineConfig,
+    counters: Arc<WorkCounters>,
+    seq: AtomicU64,
+}
+
+impl Engine {
+    /// Engine with the given configuration.
+    pub fn new(cfg: EngineConfig) -> Engine {
+        Engine {
+            catalog: RwLock::new(Catalog::new()),
+            cfg,
+            counters: Arc::new(WorkCounters::new()),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Engine with default configuration (adaptive column loads).
+    pub fn with_defaults() -> Engine {
+        Engine::new(EngineConfig::default())
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Shared work counters (benchmarks snapshot these around queries).
+    pub fn counters(&self) -> &WorkCounters {
+        &self.counters
+    }
+
+    /// Link a raw CSV file as a queryable table. Nothing is read yet.
+    pub fn register_table(&self, name: &str, path: impl Into<PathBuf>) -> Result<()> {
+        self.catalog
+            .write()
+            .register(name, path, self.cfg.store_dir.as_deref())
+    }
+
+    /// Remove a table link and its derived state.
+    pub fn unregister_table(&self, name: &str) -> bool {
+        self.catalog.write().unregister(name)
+    }
+
+    /// Registered table names.
+    pub fn table_names(&self) -> Vec<String> {
+        self.catalog.read().table_names()
+    }
+
+    /// Diagnostics for one table.
+    pub fn table_info(&self, name: &str) -> Result<TableInfo> {
+        let entry = self.catalog.read().get(name)?;
+        let e = entry.read();
+        Ok(TableInfo {
+            schema: e.schema_info.as_ref().map(|s| s.schema.clone()),
+            loaded_columns: e.store.full_columns(),
+            fragments: e.store.fragment_ids().len(),
+            store_bytes: e.store.bytes_used(),
+            posmap_bytes: e.posmap.approx_bytes(),
+            segments: e.segments.as_ref().map(|s| s.segments().len()).unwrap_or(1),
+            hit_rate: e.monitor.hit_rate(),
+        })
+    }
+
+    /// Persist every fully loaded column of `name` as binary files in
+    /// `dir` (used by restarts and the paper's cold-run experiments).
+    pub fn persist_table(&self, name: &str, dir: &Path) -> Result<usize> {
+        let entry = self.catalog.read().get(name)?;
+        let e = entry.read();
+        std::fs::create_dir_all(dir)?;
+        let mut written = 0;
+        for c in e.store.full_columns() {
+            let col = e.store.peek_full(c).expect("listed");
+            persist::write_column(&dir.join(format!("col{c}.bin")), col, &self.counters)?;
+            written += 1;
+        }
+        Ok(written)
+    }
+
+    /// Restore previously persisted columns of `name` from `dir` into the
+    /// adaptive store (the "cold start" path: binary deserialisation
+    /// instead of CSV re-parsing).
+    pub fn restore_table(&self, name: &str, dir: &Path) -> Result<usize> {
+        let entry = self.catalog.read().get(name)?;
+        let mut e = entry.write();
+        e.ensure_current(&self.cfg.csv, self.cfg.infer_sample_rows, &self.counters)?;
+        let ncols = e.schema()?.len();
+        let now = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut restored = 0;
+        for c in 0..ncols {
+            let p = dir.join(format!("col{c}.bin"));
+            if p.exists() {
+                let col = persist::read_column(&p, &self.counters)?;
+                e.store.insert_full(c, col, now);
+                restored += 1;
+            }
+        }
+        Ok(restored)
+    }
+
+    /// EXPLAIN: parse and plan the query, then describe the plan plus what
+    /// the adaptive loader would have to fetch for it right now — without
+    /// executing anything or touching the raw files beyond schema
+    /// inference.
+    pub fn explain(&self, text: &str) -> Result<String> {
+        let ast = nodb_sql::parse(text)?;
+        let mut schemas: HashMap<String, Schema> = HashMap::new();
+        let mut table_names = vec![ast.table.clone()];
+        if let Some(j) = &ast.join {
+            table_names.push(j.table.clone());
+        }
+        for t in &table_names {
+            let entry = self.catalog.read().get(t)?;
+            let mut e = entry.write();
+            e.ensure_current(&self.cfg.csv, self.cfg.infer_sample_rows, &self.counters)?;
+            schemas.insert(t.to_ascii_lowercase(), e.schema()?.clone());
+        }
+        let plan = nodb_sql::plan(&ast, &schemas)?;
+        let mut out = format!("-- strategy: {}\n{plan}", self.cfg.strategy.label());
+        let (needed_l, needed_r) = plan.referenced_per_table();
+        for (t, needed) in [
+            (&plan.table, needed_l),
+            (
+                &plan.join.as_ref().map(|j| j.table.clone()).unwrap_or_default(),
+                needed_r,
+            ),
+        ] {
+            if t.is_empty() {
+                continue;
+            }
+            let entry = self.catalog.read().get(t)?;
+            let e = entry.read();
+            let missing = e.store.missing_full(&needed);
+            out.push_str(&format!(
+                "-- {}: {} of {} referenced columns loaded; {} fragments cached{}\n",
+                t,
+                needed.len() - missing.len(),
+                needed.len(),
+                e.store.fragment_ids().len(),
+                if missing.is_empty() {
+                    "; no file trip needed for full-column strategies".to_owned()
+                } else {
+                    format!("; missing columns {missing:?} would load from file")
+                }
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Parse, plan and execute a SQL query.
+    pub fn sql(&self, text: &str) -> Result<QueryOutput> {
+        let started = Instant::now();
+        let before = self.counters.snapshot();
+        let now = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+
+        // Parse first: we need the table names to ensure schemas exist
+        // before planning ("schema detection happens on first query").
+        let ast = nodb_sql::parse(text)?;
+        let mut schemas: HashMap<String, Schema> = HashMap::new();
+        let mut table_names = vec![ast.table.clone()];
+        if let Some(j) = &ast.join {
+            table_names.push(j.table.clone());
+        }
+        for t in &table_names {
+            let entry = self.catalog.read().get(t)?;
+            let mut e = entry.write();
+            e.ensure_current(&self.cfg.csv, self.cfg.infer_sample_rows, &self.counters)?;
+            schemas.insert(t.to_ascii_lowercase(), e.schema()?.clone());
+        }
+        let plan = nodb_sql::plan(&ast, &schemas)?;
+
+        // Materialise per table under the active loading policy.
+        let (needed_l, needed_r) = plan.referenced_per_table();
+        let (filter_l, filter_r) = plan.filter_per_table();
+        let mat_l = self.materialize_table(&plan.table, &needed_l, &filter_l, now)?;
+
+        let rows = match &plan.join {
+            None => self.execute_single(&plan, mat_l)?,
+            Some(join) => {
+                let mat_r =
+                    self.materialize_table(&join.table, &needed_r, &filter_r, now)?;
+                self.execute_join(&plan, mat_l, mat_r, &filter_l, &filter_r)?
+            }
+        };
+
+        // Life-time management (§5.1.3): enforce the per-table budget.
+        if let Some(budget) = self.cfg.memory_budget {
+            for t in &table_names {
+                let entry = self.catalog.read().get(t)?;
+                entry.write().store.evict_to_budget(budget, &self.counters);
+            }
+        }
+
+        Ok(QueryOutput {
+            columns: plan.output_names.clone(),
+            rows,
+            stats: QueryStats {
+                elapsed: started.elapsed(),
+                work: self.counters.snapshot().since(&before),
+                strategy: self.cfg.strategy,
+            },
+        })
+    }
+
+    fn materialize_table(
+        &self,
+        table: &str,
+        needed: &[usize],
+        filter: &Conjunction,
+        now: u64,
+    ) -> Result<Materialized> {
+        let entry = self.catalog.read().get(table)?;
+        let mut e = entry.write();
+        materialize(&mut e, needed, filter, &self.cfg, &self.counters, now)
+    }
+
+    fn execute_single(&self, plan: &Plan, mat: Materialized) -> Result<Vec<Vec<Value>>> {
+        let residual = if mat.prefiltered {
+            Conjunction::always()
+        } else {
+            plan.filter.clone()
+        };
+        self.execute_relational(plan, &mat.cols, mat.n_rows, &residual)
+    }
+
+    fn execute_join(
+        &self,
+        plan: &Plan,
+        mat_l: Materialized,
+        mat_r: Materialized,
+        filter_l: &Conjunction,
+        filter_r: &Conjunction,
+    ) -> Result<Vec<Vec<Value>>> {
+        let join = plan.join.as_ref().expect("join plan");
+        // Reduce each side to qualifying positions first.
+        let pos_l = if mat_l.prefiltered || filter_l.is_always_true() {
+            None
+        } else {
+            Some(filter_positions(&mat_l.cols, mat_l.n_rows, filter_l)?)
+        };
+        let pos_r = if mat_r.prefiltered || filter_r.is_always_true() {
+            None
+        } else {
+            Some(filter_positions(&mat_r.cols, mat_r.n_rows, filter_r)?)
+        };
+
+        let gather = |col: Option<&Arc<ColumnData>>, pos: &Option<Vec<usize>>| -> Result<ColumnData> {
+            let col = col.ok_or_else(|| Error::exec("join key not materialised"))?;
+            Ok(match pos {
+                None => col.as_ref().clone(),
+                Some(p) => col.take(p),
+            })
+        };
+        let key_l = gather(mat_l.cols.get(&join.left_key), &pos_l)?;
+        let key_r = gather(mat_r.cols.get(&join.right_key), &pos_r)?;
+        let pairs = hash_join_positions(&key_l, &key_r)?;
+
+        // Map join positions back through the filters and gather payload
+        // columns into a combined, dense column map.
+        let resolve = |p: usize, pos: &Option<Vec<usize>>| match pos {
+            None => p,
+            Some(v) => v[p],
+        };
+        let li: Vec<usize> = pairs.iter().map(|&(a, _)| resolve(a, &pos_l)).collect();
+        let ri: Vec<usize> = pairs.iter().map(|&(_, b)| resolve(b, &pos_r)).collect();
+        let mut combined: BTreeMap<usize, ColumnData> = BTreeMap::new();
+        for (&c, col) in &mat_l.cols {
+            combined.insert(c, col.take(&li));
+        }
+        for (&c, col) in &mat_r.cols {
+            combined.insert(plan.left_width + c, col.take(&ri));
+        }
+        let n = pairs.len();
+        self.execute_relational(plan, &combined, n, &Conjunction::always())
+    }
+
+    /// The post-load relational pipeline: filter → group/aggregate →
+    /// order → limit → project, with the kernel strategy applied.
+    fn execute_relational<C: nodb_exec::Cols + ?Sized>(
+        &self,
+        plan: &Plan,
+        cols: &C,
+        n_rows: usize,
+        residual: &Conjunction,
+    ) -> Result<Vec<Vec<Value>>> {
+        let agg_specs: Vec<AggSpec> = plan
+            .output
+            .iter()
+            .filter_map(|o| match o {
+                OutputExpr::Agg(a) => Some(a.clone()),
+                OutputExpr::Scalar(_) => None,
+            })
+            .collect();
+
+        if plan.is_aggregate() && plan.group_by.is_empty() {
+            // Plain aggregation: the kernel choice matters most here.
+            let kernel = self.cfg.kernel;
+            let vals = match kernel {
+                KernelStrategy::Hybrid | KernelStrategy::Auto => {
+                    fused_filter_aggregate(cols, n_rows, residual, &agg_specs)?
+                }
+                KernelStrategy::Columnar => {
+                    let pos = if residual.is_always_true() {
+                        None
+                    } else {
+                        Some(filter_positions(cols, n_rows, residual)?)
+                    };
+                    aggregate(cols, n_rows, pos.as_deref(), &agg_specs)?
+                }
+                KernelStrategy::Volcano => {
+                    let width = plan.combined_schema.len();
+                    let scan = ColumnsScan::new(cols, width, n_rows);
+                    let filter = nodb_exec::FilterOp::new(scan, residual.clone());
+                    let mut agg = nodb_exec::AggregateOp::new(filter, agg_specs.clone());
+                    let mut out = nodb_exec::collect(&mut agg)?;
+                    return Ok(vec![out.remove(0)]);
+                }
+            };
+            return Ok(vec![vals]);
+        }
+
+        if !plan.group_by.is_empty() {
+            let pos = if residual.is_always_true() {
+                None
+            } else {
+                Some(filter_positions(cols, n_rows, residual)?)
+            };
+            let grouped =
+                group_aggregate(cols, n_rows, pos.as_deref(), &plan.group_by, &agg_specs)?;
+            // group_aggregate lays out [keys..., aggs...]; re-order to the
+            // declared output order.
+            let mut rows: Vec<Vec<Value>> = Vec::with_capacity(grouped.len());
+            for g in &grouped {
+                let mut row = Vec::with_capacity(plan.output.len());
+                let mut agg_i = 0;
+                for o in &plan.output {
+                    match o {
+                        OutputExpr::Scalar(Expr::Col(c)) => {
+                            let k = plan
+                                .group_by
+                                .iter()
+                                .position(|g| g == c)
+                                .expect("validated by planner");
+                            row.push(g[k].clone());
+                        }
+                        OutputExpr::Scalar(_) => {
+                            return Err(Error::Plan(
+                                "grouped outputs must be columns or aggregates".into(),
+                            ))
+                        }
+                        OutputExpr::Agg(_) => {
+                            row.push(g[plan.group_by.len() + agg_i].clone());
+                            agg_i += 1;
+                        }
+                    }
+                }
+                rows.push(row);
+            }
+            // ORDER BY on group keys (validated by the planner).
+            if !plan.order_by.is_empty() {
+                let key_positions: Vec<(usize, bool)> = plan
+                    .order_by
+                    .iter()
+                    .map(|(c, asc)| {
+                        let k = plan.group_by.iter().position(|g| g == c).expect("validated");
+                        // Position of that key within the grouped row.
+                        (k, *asc)
+                    })
+                    .collect();
+                let mut tagged: Vec<(Vec<Value>, Vec<Value>)> =
+                    grouped.into_iter().zip(rows).collect();
+                tagged.sort_by(|(ga, _), (gb, _)| {
+                    for &(k, asc) in &key_positions {
+                        let ord = ga[k].total_cmp(&gb[k]);
+                        if !ord.is_eq() {
+                            return if asc { ord } else { ord.reverse() };
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                rows = tagged.into_iter().map(|(_, r)| r).collect();
+            }
+            if let Some(limit) = plan.limit {
+                rows.truncate(limit);
+            }
+            return Ok(rows);
+        }
+
+        // Scalar (non-aggregate) query.
+        let mut positions = if residual.is_always_true() {
+            (0..n_rows).collect()
+        } else {
+            filter_positions(cols, n_rows, residual)?
+        };
+        if !plan.order_by.is_empty() {
+            positions = sort_positions(cols, positions, &plan.order_by)?;
+        }
+        if let Some(limit) = plan.limit {
+            positions.truncate(limit);
+        }
+        let exprs: Vec<Expr> = plan
+            .output
+            .iter()
+            .map(|o| match o {
+                OutputExpr::Scalar(e) => e.clone(),
+                OutputExpr::Agg(_) => unreachable!("aggregate handled above"),
+            })
+            .collect();
+        project_rows(cols, &positions, &exprs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(name: &str, content: &str) -> (PathBuf, Engine) {
+        let dir = std::env::temp_dir().join(format!("nodb_engine_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.csv");
+        std::fs::write(&path, content).unwrap();
+        let mut cfg = EngineConfig::default();
+        cfg.csv.threads = 1;
+        cfg.store_dir = Some(dir.join("store"));
+        let engine = Engine::new(cfg);
+        engine.register_table("r", &path).unwrap();
+        (dir, engine)
+    }
+
+    const DATA: &str = "0,10,100,7\n1,11,101,7\n2,12,102,8\n3,13,103,8\n4,14,104,9\n";
+
+    #[test]
+    fn paper_q1_end_to_end() {
+        let (_d, e) = setup("q1", DATA);
+        let out = e
+            .sql("select sum(a1),min(a4),max(a3),avg(a2) from r where a1>0 and a1<4 and a2>10 and a2<14")
+            .unwrap();
+        assert_eq!(out.columns, vec!["sum(a1)", "min(a4)", "max(a3)", "avg(a2)"]);
+        assert_eq!(out.rows.len(), 1);
+        // Qualifying rows: a1 in {1,2,3} ∧ a2 in {11,12,13} → rows 1..=3.
+        assert_eq!(out.rows[0][0], Value::Int(6));
+        assert_eq!(out.rows[0][1], Value::Int(7));
+        assert_eq!(out.rows[0][2], Value::Int(103));
+        assert_eq!(out.rows[0][3], Value::Float(12.0));
+    }
+
+    #[test]
+    fn select_star_and_limit() {
+        let (_d, e) = setup("star", DATA);
+        let out = e.sql("select * from r limit 2").unwrap();
+        assert_eq!(out.columns, vec!["a1", "a2", "a3", "a4"]);
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.rows[0][0], Value::Int(0));
+    }
+
+    #[test]
+    fn order_by_desc() {
+        let (_d, e) = setup("order", DATA);
+        let out = e
+            .sql("select a1 from r where a4 = 8 order by a1 desc")
+            .unwrap();
+        assert_eq!(
+            out.rows,
+            vec![vec![Value::Int(3)], vec![Value::Int(2)]]
+        );
+    }
+
+    #[test]
+    fn group_by_with_ordering() {
+        let (_d, e) = setup("group", DATA);
+        let out = e
+            .sql("select a4, count(*), sum(a1) from r group by a4 order by a4")
+            .unwrap();
+        assert_eq!(
+            out.rows,
+            vec![
+                vec![Value::Int(7), Value::Int(2), Value::Int(1)],
+                vec![Value::Int(8), Value::Int(2), Value::Int(5)],
+                vec![Value::Int(9), Value::Int(1), Value::Int(4)],
+            ]
+        );
+    }
+
+    #[test]
+    fn count_star_without_touching_columns() {
+        let (_d, e) = setup("count", DATA);
+        let out = e.sql("select count(*) from r").unwrap();
+        assert_eq!(out.scalar(), Some(&Value::Int(5)));
+        assert_eq!(out.stats.work.values_parsed, 0);
+    }
+
+    #[test]
+    fn join_end_to_end() {
+        let (d, e) = setup("join", "1,10\n2,20\n3,30\n");
+        let s_path = d.join("s.csv");
+        std::fs::write(&s_path, "3,300\n1,100\n9,900\n").unwrap();
+        e.register_table("s", &s_path).unwrap();
+        let out = e
+            .sql("select r.a1, r.a2, s.a2 from r join s on r.a1 = s.a1 order by r.a1")
+            .unwrap();
+        assert_eq!(
+            out.rows,
+            vec![
+                vec![Value::Int(1), Value::Int(10), Value::Int(100)],
+                vec![Value::Int(3), Value::Int(30), Value::Int(300)],
+            ]
+        );
+    }
+
+    #[test]
+    fn join_with_aggregates_and_filters() {
+        let (d, e) = setup("joinagg", "1,10\n2,20\n3,30\n4,40\n");
+        let s_path = d.join("s.csv");
+        std::fs::write(&s_path, "1,5\n2,6\n3,7\n4,8\n").unwrap();
+        e.register_table("s", &s_path).unwrap();
+        let out = e
+            .sql("select sum(r.a2), sum(s.a2) from r join s on r.a1 = s.a1 where r.a1 > 1 and s.a2 < 8")
+            .unwrap();
+        // Matching keys after filters: 2 and 3.
+        assert_eq!(out.rows[0], vec![Value::Int(50), Value::Int(13)]);
+    }
+
+    #[test]
+    fn all_strategies_same_results() {
+        let sql = "select sum(a1),avg(a2) from r where a1>0 and a1<4";
+        let mut reference: Option<Vec<Value>> = None;
+        for strategy in [
+            LoadingStrategy::FullLoad,
+            LoadingStrategy::ExternalScan,
+            LoadingStrategy::ColumnLoads,
+            LoadingStrategy::PartialLoadsV1,
+            LoadingStrategy::PartialLoadsV2,
+            LoadingStrategy::SplitFiles,
+        ] {
+            let dir = std::env::temp_dir().join(format!("nodb_engine_allstrat_{}", strategy.label()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("r.csv");
+            std::fs::write(&path, DATA).unwrap();
+            let mut cfg = EngineConfig::with_strategy(strategy);
+            cfg.csv.threads = 1;
+            cfg.store_dir = Some(dir.join("store"));
+            let e = Engine::new(cfg);
+            e.register_table("r", &path).unwrap();
+            // Run twice: cold then warm must agree too.
+            for _ in 0..2 {
+                let out = e.sql(sql).unwrap();
+                match &reference {
+                    None => reference = Some(out.rows[0].clone()),
+                    Some(r) => assert_eq!(&out.rows[0], r, "{}", strategy.label()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_kernels_same_results() {
+        for kernel in [
+            KernelStrategy::Auto,
+            KernelStrategy::Columnar,
+            KernelStrategy::Volcano,
+            KernelStrategy::Hybrid,
+        ] {
+            let dir = std::env::temp_dir().join(format!("nodb_engine_kernel_{kernel:?}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("r.csv");
+            std::fs::write(&path, DATA).unwrap();
+            let mut cfg = EngineConfig {
+                kernel,
+                ..EngineConfig::default()
+            };
+            cfg.csv.threads = 1;
+            let e = Engine::new(cfg);
+            e.register_table("r", &path).unwrap();
+            let out = e
+                .sql("select sum(a1), max(a3), count(*) from r where a2 > 10 and a2 < 14")
+                .unwrap();
+            assert_eq!(
+                out.rows[0],
+                vec![Value::Int(6), Value::Int(103), Value::Int(3)],
+                "{kernel:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn file_edit_reflected_in_next_query() {
+        let (d, e) = setup("edit", "1,2\n3,4\n");
+        let out = e.sql("select sum(a1) from r").unwrap();
+        assert_eq!(out.scalar(), Some(&Value::Int(4)));
+        // Edit the raw file ("the user can edit or change a file at any time").
+        std::fs::write(d.join("r.csv"), "10,2\n30,4\n50,6\n").unwrap();
+        let out = e.sql("select sum(a1) from r").unwrap();
+        assert_eq!(out.scalar(), Some(&Value::Int(90)));
+    }
+
+    #[test]
+    fn unknown_table_mentions_registered() {
+        let (_d, e) = setup("unknown", DATA);
+        let err = e.sql("select a1 from nope").unwrap_err().to_string();
+        assert!(err.contains("registered"), "{err}");
+    }
+
+    #[test]
+    fn stats_report_work_and_strategy() {
+        let (_d, e) = setup("stats", DATA);
+        let out = e.sql("select sum(a1) from r").unwrap();
+        assert_eq!(out.stats.strategy, LoadingStrategy::ColumnLoads);
+        assert_eq!(out.stats.work.file_trips, 1);
+        assert!(out.stats.work.values_parsed >= 5);
+        // Second query over the same column: no file work.
+        let out = e.sql("select sum(a1) from r").unwrap();
+        assert_eq!(out.stats.work.file_trips, 0);
+        assert_eq!(out.stats.work.values_parsed, 0);
+    }
+
+    #[test]
+    fn table_info_reflects_loading() {
+        let (_d, e) = setup("info", DATA);
+        let before = e.table_info("r").unwrap();
+        assert!(before.schema.is_none());
+        assert!(before.loaded_columns.is_empty());
+        e.sql("select sum(a2) from r").unwrap();
+        let after = e.table_info("r").unwrap();
+        assert_eq!(after.schema.unwrap().len(), 4);
+        assert_eq!(after.loaded_columns, vec![1]);
+        assert!(after.store_bytes > 0);
+    }
+
+    #[test]
+    fn persist_and_restore_round_trip() {
+        let (d, e) = setup("persist", DATA);
+        e.sql("select sum(a1), sum(a2) from r").unwrap();
+        let cold_dir = d.join("cold");
+        assert_eq!(e.persist_table("r", &cold_dir).unwrap(), 2);
+
+        // Fresh engine: restore instead of re-parsing CSV.
+        let mut cfg = EngineConfig::default();
+        cfg.csv.threads = 1;
+        let e2 = Engine::new(cfg);
+        e2.register_table("r", d.join("r.csv")).unwrap();
+        assert_eq!(e2.restore_table("r", &cold_dir).unwrap(), 2);
+        let before = e2.counters().snapshot();
+        let out = e2.sql("select sum(a1) from r").unwrap();
+        assert_eq!(out.scalar(), Some(&Value::Int(10)));
+        // No CSV parsing happened for this query.
+        assert_eq!(e2.counters().snapshot().since(&before).values_parsed, 0);
+    }
+
+    #[test]
+    fn memory_budget_evicts_after_queries() {
+        let dir = std::env::temp_dir().join("nodb_engine_budget");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.csv");
+        let mut data = String::new();
+        for i in 0..1000 {
+            data.push_str(&format!("{i},{},{}\n", i * 2, i * 3));
+        }
+        std::fs::write(&path, &data).unwrap();
+        let mut cfg = EngineConfig::default();
+        cfg.csv.threads = 1;
+        cfg.memory_budget = Some(10_000); // fits one 8 KB column, not three
+        let e = Engine::new(cfg);
+        e.register_table("r", &path).unwrap();
+        e.sql("select sum(a1) from r").unwrap();
+        e.sql("select sum(a2) from r").unwrap();
+        e.sql("select sum(a3) from r").unwrap();
+        let info = e.table_info("r").unwrap();
+        assert!(
+            info.store_bytes <= 10_000,
+            "store stayed within budget: {}",
+            info.store_bytes
+        );
+        assert!(e.counters().snapshot().tuples_evicted > 0);
+        // Queries still answer correctly after eviction.
+        let out = e.sql("select sum(a1) from r").unwrap();
+        assert_eq!(out.scalar(), Some(&Value::Int(499_500)));
+    }
+
+    #[test]
+    fn csv_export_round_trips_through_the_engine() {
+        let (d, e) = setup("export", DATA);
+        let out = e
+            .sql("select a1, a2 + a3 as total from r where a4 = 8 order by a1")
+            .unwrap();
+        let export = d.join("result.csv");
+        out.save_csv(&export).unwrap();
+        // The exported result is itself a queryable raw file.
+        e.register_table("result", &export).unwrap();
+        let back = e.sql("select total from result order by a1").unwrap();
+        assert_eq!(
+            back.rows,
+            vec![vec![Value::Int(114)], vec![Value::Int(116)]]
+        );
+    }
+
+    #[test]
+    fn csv_export_quotes_tricky_fields() {
+        let dir = std::env::temp_dir().join("nodb_engine_exportq");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.csv");
+        std::fs::write(&path, "1,plain\n2,\"has,comma\"\n3,\"has \"\"quote\"\"\"\n").unwrap();
+        let mut cfg = EngineConfig::default();
+        cfg.csv.threads = 1;
+        cfg.csv.quote = Some(b'"');
+        let e = Engine::new(cfg);
+        e.register_table("r", &path).unwrap();
+        let out = e.sql("select a1, a2 from r order by a1").unwrap();
+        let mut buf = Vec::new();
+        out.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"has,comma\""), "{text}");
+        assert!(text.contains("\"has \"\"quote\"\"\""), "{text}");
+        // And it parses back identically.
+        let back = dir.join("back.csv");
+        out.save_csv(&back).unwrap();
+        e.register_table("back", &back).unwrap();
+        let again = e.sql("select a2 from back where a1 = 2").unwrap();
+        assert_eq!(again.rows[0][0], Value::Str("has,comma".into()));
+    }
+
+    #[test]
+    fn explain_describes_plan_and_loader_state() {
+        let (_d, e) = setup("explain", DATA);
+        let text = e
+            .explain("select sum(a1), avg(a2) from r where a1 > 1 and a1 < 4 order by a1 limit 5")
+            .unwrap_err();
+        // ORDER BY on an aggregate query without GROUP BY is a plan error.
+        assert!(text.to_string().contains("GROUP BY"));
+        let text = e
+            .explain("select sum(a1), avg(a2) from r where a1 > 1 and a1 < 4")
+            .unwrap();
+        assert!(text.contains("AdaptiveLoad table=r columns=[a1, a2]"), "{text}");
+        assert!(text.contains("pushdown"), "{text}");
+        assert!(text.contains("missing columns [0, 1]"), "{text}");
+        // After running it, explain reports the columns as loaded.
+        e.sql("select sum(a1), avg(a2) from r where a1 > 1 and a1 < 4")
+            .unwrap();
+        let text = e
+            .explain("select sum(a1), avg(a2) from r where a1 > 1 and a1 < 4")
+            .unwrap();
+        assert!(text.contains("2 of 2 referenced columns loaded"), "{text}");
+    }
+
+    #[test]
+    fn explain_join_plan() {
+        let (d, e) = setup("explainjoin", "1,10\n2,20\n");
+        let s_path = d.join("s.csv");
+        std::fs::write(&s_path, "1,5\n2,6\n").unwrap();
+        e.register_table("s", &s_path).unwrap();
+        let text = e
+            .explain("select count(*) from r join s on r.a1 = s.a1 where s.a2 < 6")
+            .unwrap();
+        assert!(text.contains("HashJoin"), "{text}");
+        assert!(text.contains("AdaptiveLoad table=s"), "{text}");
+        assert!(text.contains("Aggregate [count(*)]"), "{text}");
+    }
+
+    #[test]
+    fn concurrent_queries_are_safe() {
+        let (_d, e) = setup("concurrent", DATA);
+        let e = Arc::new(e);
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let e = Arc::clone(&e);
+            handles.push(std::thread::spawn(move || {
+                let col = ["a1", "a2", "a3", "a4"][t % 4];
+                let out = e.sql(&format!("select sum({col}) from r")).unwrap();
+                out.rows[0][0].clone()
+            }));
+        }
+        let results: Vec<Value> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // a1: 10, a2: 60, a3: 510, a4: 39 — verify one of each.
+        assert!(results.contains(&Value::Int(10)));
+        assert!(results.contains(&Value::Int(60)));
+        assert!(results.contains(&Value::Int(510)));
+        assert!(results.contains(&Value::Int(39)));
+    }
+}

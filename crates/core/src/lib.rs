@@ -1,0 +1,36 @@
+//! # nodb-core — the adaptive raw-file query engine
+//!
+//! The paper's architecture (Figure 2): flat files at the bottom, an
+//! *adaptive loading component* that brings in just enough data per query,
+//! an *adaptive store* holding it in whatever shape fits, and an *adaptive
+//! kernel* executing over it. This crate is the glue:
+//!
+//! * [`Engine`] — register raw CSV files, fire SQL, get results;
+//! * [`config`] — loading strategies (one per curve in the paper's figures)
+//!   and kernel strategies;
+//! * [`policy`] — the adaptive loading operators (§3, §4);
+//! * [`catalog`] — linked files, schema inference on first touch,
+//!   fingerprint-based invalidation on file edits (§5.4);
+//! * [`monitor`] — the robustness advisor (§5.5).
+//!
+//! ```no_run
+//! use nodb_core::{Engine, EngineConfig, LoadingStrategy};
+//!
+//! let engine = Engine::new(EngineConfig::with_strategy(LoadingStrategy::ColumnLoads));
+//! engine.register_table("r", "/data/readings.csv")?;
+//! let out = engine.sql("select sum(a1), avg(a2) from r where a1 > 10 and a1 < 20")?;
+//! println!("{:?}", out.rows);
+//! # Ok::<(), nodb_types::Error>(())
+//! ```
+
+pub mod catalog;
+pub mod config;
+pub mod engine;
+pub mod monitor;
+pub mod policy;
+
+pub use catalog::{Catalog, Fingerprint, TableEntry};
+pub use config::{EngineConfig, KernelStrategy, LoadingStrategy};
+pub use engine::{Engine, QueryOutput, QueryStats, TableInfo};
+pub use monitor::TableMonitor;
+pub use policy::{materialize, Materialized};

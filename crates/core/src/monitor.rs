@@ -1,0 +1,140 @@
+//! Workload monitor and robustness advisor (paper §5.5).
+//!
+//! "The challenge for providing a robust performance relates to a continuous
+//! process to monitor the system performance and the workload trends such as
+//! we can continuously adjust critical decisions." The failure mode the
+//! paper calls out for partial loading is a workload that keeps *missing*
+//! the cached fragments (each query fetches a sliver the store doesn't
+//! cover), paying a file trip every time — there, a full column load would
+//! have been cheaper. The [`TableMonitor`] tracks per-column-set fragment
+//! hit/miss streaks and advises escalation to full column loads once a miss
+//! streak crosses a threshold.
+
+use std::collections::HashMap;
+
+/// Per-table workload statistics and advice state.
+#[derive(Debug, Default)]
+pub struct TableMonitor {
+    /// Total queries touching this table.
+    pub queries: u64,
+    /// Queries answered entirely from the adaptive store.
+    pub store_hits: u64,
+    /// Queries that had to go back to the raw file.
+    pub file_misses: u64,
+    /// Current consecutive-miss streak per referenced column set.
+    miss_streaks: HashMap<Vec<usize>, u32>,
+    /// Column sets already escalated to full loading.
+    escalated: HashMap<Vec<usize>, bool>,
+}
+
+impl TableMonitor {
+    /// Record that a query over `cols` was served from the store.
+    pub fn record_hit(&mut self, cols: &[usize]) {
+        self.queries += 1;
+        self.store_hits += 1;
+        self.miss_streaks.insert(normalize(cols), 0);
+    }
+
+    /// Record that a query over `cols` had to touch the raw file.
+    pub fn record_miss(&mut self, cols: &[usize]) {
+        self.queries += 1;
+        self.file_misses += 1;
+        *self.miss_streaks.entry(normalize(cols)).or_insert(0) += 1;
+    }
+
+    /// Should loading for `cols` escalate from partial fragments to full
+    /// column loads? True once the consecutive miss streak reaches
+    /// `threshold` (and sticky from then on).
+    pub fn should_escalate(&mut self, cols: &[usize], threshold: u32) -> bool {
+        let key = normalize(cols);
+        if self.escalated.get(&key).copied().unwrap_or(false) {
+            return true;
+        }
+        let streak = self.miss_streaks.get(&key).copied().unwrap_or(0);
+        if threshold > 0 && streak >= threshold {
+            self.escalated.insert(key, true);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Fraction of queries answered from the store.
+    pub fn hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.store_hits as f64 / self.queries as f64
+        }
+    }
+}
+
+fn normalize(cols: &[usize]) -> Vec<usize> {
+    let mut v = cols.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escalates_after_threshold_misses() {
+        let mut m = TableMonitor::default();
+        m.record_miss(&[0, 1]);
+        assert!(!m.should_escalate(&[0, 1], 3));
+        m.record_miss(&[1, 0]); // column-set order does not matter
+        assert!(!m.should_escalate(&[0, 1], 3));
+        m.record_miss(&[0, 1]);
+        assert!(m.should_escalate(&[0, 1], 3));
+    }
+
+    #[test]
+    fn hit_resets_streak() {
+        let mut m = TableMonitor::default();
+        m.record_miss(&[0]);
+        m.record_miss(&[0]);
+        m.record_hit(&[0]);
+        m.record_miss(&[0]);
+        assert!(!m.should_escalate(&[0], 3));
+    }
+
+    #[test]
+    fn escalation_is_sticky() {
+        let mut m = TableMonitor::default();
+        for _ in 0..3 {
+            m.record_miss(&[2]);
+        }
+        assert!(m.should_escalate(&[2], 3));
+        m.record_hit(&[2]);
+        assert!(m.should_escalate(&[2], 3), "stays escalated");
+    }
+
+    #[test]
+    fn distinct_column_sets_tracked_separately() {
+        let mut m = TableMonitor::default();
+        for _ in 0..5 {
+            m.record_miss(&[0]);
+        }
+        assert!(m.should_escalate(&[0], 3));
+        assert!(!m.should_escalate(&[1], 3));
+    }
+
+    #[test]
+    fn zero_threshold_never_escalates() {
+        let mut m = TableMonitor::default();
+        m.record_miss(&[0]);
+        assert!(!m.should_escalate(&[0], 0));
+    }
+
+    #[test]
+    fn hit_rate_reported() {
+        let mut m = TableMonitor::default();
+        assert_eq!(m.hit_rate(), 0.0);
+        m.record_hit(&[0]);
+        m.record_miss(&[0]);
+        assert!((m.hit_rate() - 0.5).abs() < 1e-9);
+    }
+}

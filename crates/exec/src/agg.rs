@@ -1,0 +1,337 @@
+//! Aggregate functions and accumulators.
+//!
+//! SQL semantics: nulls are skipped by every aggregate except `COUNT(*)`;
+//! an all-null (or empty) input yields NULL for SUM/MIN/MAX/AVG and 0 for
+//! the COUNTs. Integer SUM accumulates in `i128` and reports overflow
+//! instead of wrapping.
+
+use std::fmt;
+
+use nodb_types::{Error, Result, Value};
+
+/// The supported aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `SUM(expr)`
+    Sum,
+    /// `MIN(expr)`
+    Min,
+    /// `MAX(expr)`
+    Max,
+    /// `AVG(expr)` (always a float)
+    Avg,
+    /// `COUNT(expr)` — non-null count
+    Count,
+    /// `COUNT(*)` — row count
+    CountStar,
+}
+
+impl AggFunc {
+    /// SQL spelling (lowercase).
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Avg => "avg",
+            AggFunc::Count => "count",
+            AggFunc::CountStar => "count(*)",
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Running state for one aggregate.
+#[derive(Debug, Clone)]
+pub enum Accumulator {
+    /// SUM over ints (exact, overflow-checked at finish).
+    SumInt(i128, bool),
+    /// SUM over floats (also the landing state for mixed input).
+    SumFloat(f64, bool),
+    /// MIN with the current best.
+    Min(Option<Value>),
+    /// MAX with the current best.
+    Max(Option<Value>),
+    /// AVG as (sum, non-null count).
+    Avg(f64, u64),
+    /// COUNT of non-null inputs.
+    Count(u64),
+    /// COUNT(*) of rows.
+    CountStar(u64),
+}
+
+impl Accumulator {
+    /// Fresh accumulator for a function.
+    pub fn new(func: AggFunc) -> Accumulator {
+        match func {
+            AggFunc::Sum => Accumulator::SumInt(0, false),
+            AggFunc::Min => Accumulator::Min(None),
+            AggFunc::Max => Accumulator::Max(None),
+            AggFunc::Avg => Accumulator::Avg(0.0, 0),
+            AggFunc::Count => Accumulator::Count(0),
+            AggFunc::CountStar => Accumulator::CountStar(0),
+        }
+    }
+
+    /// Fold one value in. For `CountStar` the value is ignored.
+    pub fn update(&mut self, v: &Value) -> Result<()> {
+        match self {
+            Accumulator::CountStar(n) => {
+                *n += 1;
+                return Ok(());
+            }
+            _ if v.is_null() => return Ok(()),
+            Accumulator::SumInt(acc, seen) => match v {
+                Value::Int(x) => {
+                    *acc += *x as i128;
+                    *seen = true;
+                }
+                Value::Float(x) => {
+                    // Promote to float accumulation.
+                    let so_far = *acc as f64;
+                    *self = Accumulator::SumFloat(so_far + x, true);
+                }
+                other => {
+                    return Err(Error::exec(format!("sum over non-numeric value {other}")));
+                }
+            },
+            Accumulator::SumFloat(acc, seen) => {
+                let x = v
+                    .as_f64()
+                    .ok_or_else(|| Error::exec(format!("sum over non-numeric value {v}")))?;
+                *acc += x;
+                *seen = true;
+            }
+            Accumulator::Min(best) => {
+                let replace = match best {
+                    None => true,
+                    Some(b) => v.sql_cmp(b).is_some_and(|o| o.is_lt()),
+                };
+                if replace {
+                    *best = Some(v.clone());
+                }
+            }
+            Accumulator::Max(best) => {
+                let replace = match best {
+                    None => true,
+                    Some(b) => v.sql_cmp(b).is_some_and(|o| o.is_gt()),
+                };
+                if replace {
+                    *best = Some(v.clone());
+                }
+            }
+            Accumulator::Avg(sum, n) => {
+                let x = v
+                    .as_f64()
+                    .ok_or_else(|| Error::exec(format!("avg over non-numeric value {v}")))?;
+                *sum += x;
+                *n += 1;
+            }
+            Accumulator::Count(n) => *n += 1,
+        }
+        Ok(())
+    }
+
+    /// Bulk fast path for int slices without nulls.
+    pub fn update_i64_slice(&mut self, xs: &[i64]) -> Result<()> {
+        match self {
+            Accumulator::SumInt(acc, seen) => {
+                let mut s: i128 = 0;
+                for &x in xs {
+                    s += x as i128;
+                }
+                *acc += s;
+                *seen |= !xs.is_empty();
+            }
+            Accumulator::Min(best) => {
+                if let Some(&m) = xs.iter().min() {
+                    let replace = match best {
+                        None => true,
+                        Some(Value::Int(b)) => m < *b,
+                        Some(b) => Value::Int(m).sql_cmp(b).is_some_and(|o| o.is_lt()),
+                    };
+                    if replace {
+                        *best = Some(Value::Int(m));
+                    }
+                }
+            }
+            Accumulator::Max(best) => {
+                if let Some(&m) = xs.iter().max() {
+                    let replace = match best {
+                        None => true,
+                        Some(Value::Int(b)) => m > *b,
+                        Some(b) => Value::Int(m).sql_cmp(b).is_some_and(|o| o.is_gt()),
+                    };
+                    if replace {
+                        *best = Some(Value::Int(m));
+                    }
+                }
+            }
+            Accumulator::Avg(sum, n) => {
+                for &x in xs {
+                    *sum += x as f64;
+                }
+                *n += xs.len() as u64;
+            }
+            Accumulator::Count(n) => *n += xs.len() as u64,
+            Accumulator::CountStar(n) => *n += xs.len() as u64,
+            Accumulator::SumFloat(acc, seen) => {
+                for &x in xs {
+                    *acc += x as f64;
+                }
+                *seen |= !xs.is_empty();
+            }
+        }
+        Ok(())
+    }
+
+    /// Produce the final value.
+    pub fn finish(&self) -> Result<Value> {
+        Ok(match self {
+            Accumulator::SumInt(_, false) | Accumulator::SumFloat(_, false) => Value::Null,
+            Accumulator::SumInt(acc, true) => {
+                let v = i64::try_from(*acc)
+                    .map_err(|_| Error::exec("integer overflow in sum"))?;
+                Value::Int(v)
+            }
+            Accumulator::SumFloat(acc, true) => Value::Float(*acc),
+            Accumulator::Min(best) | Accumulator::Max(best) => {
+                best.clone().unwrap_or(Value::Null)
+            }
+            Accumulator::Avg(_, 0) => Value::Null,
+            Accumulator::Avg(sum, n) => Value::Float(sum / *n as f64),
+            Accumulator::Count(n) | Accumulator::CountStar(n) => Value::Int(*n as i64),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(func: AggFunc, vals: &[Value]) -> Value {
+        let mut a = Accumulator::new(func);
+        for v in vals {
+            a.update(v).unwrap();
+        }
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn sum_min_max_avg_count_ints() {
+        let vals: Vec<Value> = [3i64, 1, 4, 1, 5].iter().map(|&v| Value::Int(v)).collect();
+        assert_eq!(run(AggFunc::Sum, &vals), Value::Int(14));
+        assert_eq!(run(AggFunc::Min, &vals), Value::Int(1));
+        assert_eq!(run(AggFunc::Max, &vals), Value::Int(5));
+        assert_eq!(run(AggFunc::Avg, &vals), Value::Float(2.8));
+        assert_eq!(run(AggFunc::Count, &vals), Value::Int(5));
+        assert_eq!(run(AggFunc::CountStar, &vals), Value::Int(5));
+    }
+
+    #[test]
+    fn nulls_skipped_except_count_star() {
+        let vals = vec![Value::Int(10), Value::Null, Value::Int(20)];
+        assert_eq!(run(AggFunc::Sum, &vals), Value::Int(30));
+        assert_eq!(run(AggFunc::Count, &vals), Value::Int(2));
+        assert_eq!(run(AggFunc::CountStar, &vals), Value::Int(3));
+        assert_eq!(run(AggFunc::Avg, &vals), Value::Float(15.0));
+    }
+
+    #[test]
+    fn empty_and_all_null_inputs() {
+        assert_eq!(run(AggFunc::Sum, &[]), Value::Null);
+        assert_eq!(run(AggFunc::Min, &[]), Value::Null);
+        assert_eq!(run(AggFunc::Avg, &[]), Value::Null);
+        assert_eq!(run(AggFunc::Count, &[]), Value::Int(0));
+        let nulls = vec![Value::Null, Value::Null];
+        assert_eq!(run(AggFunc::Sum, &nulls), Value::Null);
+        assert_eq!(run(AggFunc::Max, &nulls), Value::Null);
+        assert_eq!(run(AggFunc::Count, &nulls), Value::Int(0));
+        assert_eq!(run(AggFunc::CountStar, &nulls), Value::Int(2));
+    }
+
+    #[test]
+    fn sum_promotes_to_float_on_mixed_input() {
+        let vals = vec![Value::Int(1), Value::Float(0.5), Value::Int(2)];
+        assert_eq!(run(AggFunc::Sum, &vals), Value::Float(3.5));
+    }
+
+    #[test]
+    fn sum_overflow_detected() {
+        let mut a = Accumulator::new(AggFunc::Sum);
+        a.update(&Value::Int(i64::MAX)).unwrap();
+        a.update(&Value::Int(i64::MAX)).unwrap();
+        assert!(a.finish().is_err());
+    }
+
+    #[test]
+    fn min_max_on_strings() {
+        let vals: Vec<Value> = ["pear", "apple", "fig"]
+            .iter()
+            .map(|s| Value::Str(s.to_string()))
+            .collect();
+        assert_eq!(run(AggFunc::Min, &vals), Value::Str("apple".into()));
+        assert_eq!(run(AggFunc::Max, &vals), Value::Str("pear".into()));
+    }
+
+    #[test]
+    fn sum_over_strings_errors() {
+        let mut a = Accumulator::new(AggFunc::Sum);
+        assert!(a.update(&Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn slice_fast_path_matches_scalar_path() {
+        let xs: Vec<i64> = vec![5, -3, 12, 0, 7];
+        for func in [
+            AggFunc::Sum,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Avg,
+            AggFunc::Count,
+            AggFunc::CountStar,
+        ] {
+            let mut fast = Accumulator::new(func);
+            fast.update_i64_slice(&xs).unwrap();
+            let vals: Vec<Value> = xs.iter().map(|&v| Value::Int(v)).collect();
+            let slow = run(func, &vals);
+            assert_eq!(fast.finish().unwrap(), slow, "{func}");
+        }
+    }
+
+    #[test]
+    fn slice_fast_path_empty_slice_keeps_null() {
+        let mut a = Accumulator::new(AggFunc::Sum);
+        a.update_i64_slice(&[]).unwrap();
+        assert_eq!(a.finish().unwrap(), Value::Null);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Chunked slice updates equal one-by-one updates.
+            #[test]
+            fn chunked_equals_scalar(xs in proptest::collection::vec(-1000i64..1000, 0..100),
+                                     split in 0usize..100) {
+                let split = split.min(xs.len());
+                for func in [AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg] {
+                    let mut chunked = Accumulator::new(func);
+                    chunked.update_i64_slice(&xs[..split]).unwrap();
+                    chunked.update_i64_slice(&xs[split..]).unwrap();
+                    let mut scalar = Accumulator::new(func);
+                    for &x in &xs {
+                        scalar.update(&Value::Int(x)).unwrap();
+                    }
+                    prop_assert_eq!(chunked.finish().unwrap(), scalar.finish().unwrap());
+                }
+            }
+        }
+    }
+}

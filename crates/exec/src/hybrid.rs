@@ -1,0 +1,254 @@
+//! Hybrid operators (paper §5.2.2).
+//!
+//! "When we need to compute an aggregation over three attributes, a new
+//! operator that in one go computes the total aggregation would provide the
+//! best result, i.e., operating in a column-store like fashion but with a
+//! row-store like input." [`fused_filter_aggregate`] is that operator: one
+//! pass over the referenced columns, predicates short-circuiting per row,
+//! all accumulators fed in the same loop iteration — no selection-vector or
+//! tuple materialisation at all.
+
+use nodb_types::{ColumnData, Conjunction, Error, Result};
+
+use crate::agg::Accumulator;
+use crate::cols::Cols;
+use crate::columnar::AggSpec;
+use crate::expr::Expr;
+
+/// Filter + multi-aggregate in a single fused pass.
+pub fn fused_filter_aggregate<C: Cols + ?Sized>(
+    cols: &C,
+    n_rows: usize,
+    conj: &Conjunction,
+    specs: &[AggSpec],
+) -> Result<Vec<nodb_types::Value>> {
+    // Validate referenced columns up front so the hot loop can index freely.
+    for p in &conj.preds {
+        if cols.get_col(p.col).is_none() {
+            return Err(Error::exec(format!("column {} not materialised", p.col)));
+        }
+    }
+    for s in specs {
+        for c in s.columns() {
+            if cols.get_col(c).is_none() {
+                return Err(Error::exec(format!("column {c} not materialised")));
+            }
+        }
+    }
+
+    let mut accs: Vec<Accumulator> = specs.iter().map(|s| Accumulator::new(s.func)).collect();
+
+    // Fast path: all predicates on null-free int columns with int literals,
+    // all aggregates plain column refs on null-free int columns.
+    let fast = all_int_preds(cols, conj) && all_int_col_aggs(cols, specs);
+    if fast {
+        let preds: Vec<(&[i64], nodb_types::CmpOp, i64)> = conj
+            .preds
+            .iter()
+            .map(|p| {
+                (
+                    cols.get_col(p.col)
+                        .and_then(ColumnData::as_i64_slice)
+                        .expect("checked"),
+                    p.op,
+                    p.value.as_i64().expect("checked"),
+                )
+            })
+            .collect();
+        let agg_cols: Vec<&[i64]> = specs
+            .iter()
+            .map(|s| match &s.expr {
+                Some(Expr::Col(c)) => cols
+                    .get_col(*c)
+                    .and_then(ColumnData::as_i64_slice)
+                    .expect("checked"),
+                _ => &[][..], // COUNT(*)
+            })
+            .collect();
+        'rows: for i in 0..n_rows {
+            for &(xs, op, lit) in &preds {
+                let x = xs[i];
+                let ok = match op {
+                    nodb_types::CmpOp::Eq => x == lit,
+                    nodb_types::CmpOp::Ne => x != lit,
+                    nodb_types::CmpOp::Lt => x < lit,
+                    nodb_types::CmpOp::Le => x <= lit,
+                    nodb_types::CmpOp::Gt => x > lit,
+                    nodb_types::CmpOp::Ge => x >= lit,
+                };
+                if !ok {
+                    continue 'rows;
+                }
+            }
+            for (k, acc) in accs.iter_mut().enumerate() {
+                if agg_cols[k].is_empty() && specs[k].expr.is_none() {
+                    acc.update(&nodb_types::Value::Null)?; // COUNT(*)
+                } else {
+                    acc.update_i64_slice(&agg_cols[k][i..i + 1])?;
+                }
+            }
+        }
+    } else {
+        'rows_slow: for i in 0..n_rows {
+            for p in &conj.preds {
+                if !p.matches(&cols.get_col(p.col).expect("validated").get(i)) {
+                    continue 'rows_slow;
+                }
+            }
+            for (acc, spec) in accs.iter_mut().zip(specs) {
+                match &spec.expr {
+                    None => acc.update(&nodb_types::Value::Null)?,
+                    Some(e) => acc.update(&e.eval(cols, i)?)?,
+                }
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(accs.len());
+    for a in &accs {
+        out.push(a.finish()?);
+    }
+    Ok(out)
+}
+
+fn all_int_preds<C: Cols + ?Sized>(cols: &C, conj: &Conjunction) -> bool {
+    conj.preds.iter().all(|p| {
+        matches!(
+            cols.get_col(p.col),
+            Some(ColumnData::Int64 { nulls: None, .. })
+        ) && p.value.as_i64().is_some()
+    })
+}
+
+fn all_int_col_aggs<C: Cols + ?Sized>(cols: &C, specs: &[AggSpec]) -> bool {
+    specs.iter().all(|s| match &s.expr {
+        None => true,
+        Some(Expr::Col(c)) => {
+            matches!(
+                cols.get_col(*c),
+                Some(ColumnData::Int64 { nulls: None, .. })
+            )
+        }
+        Some(_) => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggFunc;
+    use crate::columnar::{aggregate, filter_positions};
+    use nodb_types::{CmpOp, ColPred, Value};
+    use std::collections::BTreeMap;
+
+    fn table() -> (BTreeMap<usize, ColumnData>, usize) {
+        let mut m = BTreeMap::new();
+        m.insert(0, ColumnData::from_i64(vec![5, 1, 9, 3, 7, 2, 8]));
+        m.insert(1, ColumnData::from_i64(vec![10, 20, 30, 40, 50, 60, 70]));
+        (m, 7)
+    }
+
+    #[test]
+    fn fused_matches_columnar_fast_path() {
+        let (cols, n) = table();
+        let conj = Conjunction::new(vec![
+            ColPred::new(0, CmpOp::Gt, 2i64),
+            ColPred::new(1, CmpOp::Lt, 60i64),
+        ]);
+        let specs = vec![
+            AggSpec::on_col(AggFunc::Sum, 0),
+            AggSpec::on_col(AggFunc::Min, 1),
+            AggSpec::on_col(AggFunc::Max, 0),
+            AggSpec::on_col(AggFunc::Avg, 1),
+            AggSpec::count_star(),
+        ];
+        let fused = fused_filter_aggregate(&cols, n, &conj, &specs).unwrap();
+        let pos = filter_positions(&cols, n, &conj).unwrap();
+        let columnar = aggregate(&cols, n, Some(&pos), &specs).unwrap();
+        assert_eq!(fused, columnar);
+    }
+
+    #[test]
+    fn fused_matches_columnar_slow_path() {
+        // Float column forces the generic path.
+        let mut cols = BTreeMap::new();
+        cols.insert(0, ColumnData::from_f64(vec![0.5, 1.5, 2.5, 3.5]));
+        cols.insert(1, ColumnData::from_i64(vec![1, 2, 3, 4]));
+        let conj = Conjunction::new(vec![ColPred::new(0, CmpOp::Gt, 1.0f64)]);
+        let specs = vec![
+            AggSpec::on_col(AggFunc::Sum, 1),
+            AggSpec::on_col(AggFunc::Avg, 0),
+        ];
+        let fused = fused_filter_aggregate(&cols, 4, &conj, &specs).unwrap();
+        let pos = filter_positions(&cols, 4, &conj).unwrap();
+        let columnar = aggregate(&cols, 4, Some(&pos), &specs).unwrap();
+        assert_eq!(fused, columnar);
+    }
+
+    #[test]
+    fn fused_no_predicates() {
+        let (cols, n) = table();
+        let out = fused_filter_aggregate(
+            &cols,
+            n,
+            &Conjunction::always(),
+            &[AggSpec::on_col(AggFunc::Sum, 0)],
+        )
+        .unwrap();
+        assert_eq!(out[0], Value::Int(35));
+    }
+
+    #[test]
+    fn fused_empty_selection_yields_nulls_and_zero_counts() {
+        let (cols, n) = table();
+        let conj = Conjunction::new(vec![ColPred::new(0, CmpOp::Gt, 100i64)]);
+        let out = fused_filter_aggregate(
+            &cols,
+            n,
+            &conj,
+            &[AggSpec::on_col(AggFunc::Sum, 1), AggSpec::count_star()],
+        )
+        .unwrap();
+        assert_eq!(out[0], Value::Null);
+        assert_eq!(out[1], Value::Int(0));
+    }
+
+    #[test]
+    fn fused_missing_column_errors() {
+        let (cols, n) = table();
+        let conj = Conjunction::new(vec![ColPred::new(9, CmpOp::Gt, 0i64)]);
+        assert!(
+            fused_filter_aggregate(&cols, n, &conj, &[AggSpec::count_star()]).is_err()
+        );
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The fused operator always agrees with filter-then-aggregate.
+            #[test]
+            fn fused_equals_two_phase(
+                rows in proptest::collection::vec((-50i64..50, -50i64..50), 0..120),
+                lo in -60i64..60, hi in -60i64..60) {
+                let mut cols = BTreeMap::new();
+                cols.insert(0, ColumnData::from_i64(rows.iter().map(|r| r.0).collect()));
+                cols.insert(1, ColumnData::from_i64(rows.iter().map(|r| r.1).collect()));
+                let n = rows.len();
+                let conj = Conjunction::new(vec![
+                    ColPred::new(0, CmpOp::Gt, lo),
+                    ColPred::new(1, CmpOp::Lt, hi),
+                ]);
+                let specs = vec![
+                    AggSpec::on_col(AggFunc::Sum, 0),
+                    AggSpec::on_col(AggFunc::Avg, 1),
+                    AggSpec::count_star(),
+                ];
+                let fused = fused_filter_aggregate(&cols, n, &conj, &specs).unwrap();
+                let pos = filter_positions(&cols, n, &conj).unwrap();
+                let two_phase = aggregate(&cols, n, Some(&pos), &specs).unwrap();
+                prop_assert_eq!(fused, two_phase);
+            }
+        }
+    }
+}

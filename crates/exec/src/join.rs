@@ -1,0 +1,204 @@
+//! Columnar join algorithms.
+//!
+//! The §2.2 experiment compares a hash join and a sort+merge join in Awk
+//! against the same joins inside the DBMS. These are the DBMS-side
+//! implementations, operating directly on loaded key columns and producing
+//! position pairs for later payload gathering (late materialisation).
+
+use std::collections::HashMap;
+
+use nodb_types::{ColumnData, Result};
+
+use crate::columnar::GroupKey;
+
+/// Inner equi-join by hashing the (smaller) left key column. Returns
+/// matching `(left position, right position)` pairs in right-scan order.
+/// NULL keys never match.
+pub fn hash_join_positions(left: &ColumnData, right: &ColumnData) -> Result<Vec<(usize, usize)>> {
+    // Int fast path: both sides null-free int columns.
+    if let (Some(ls), Some(rs)) = (left.as_i64_slice(), right.as_i64_slice()) {
+        let left_has_nulls = matches!(left, ColumnData::Int64 { nulls: Some(_), .. });
+        let right_has_nulls = matches!(right, ColumnData::Int64 { nulls: Some(_), .. });
+        if !left_has_nulls && !right_has_nulls {
+            let mut table: HashMap<i64, Vec<usize>> = HashMap::with_capacity(ls.len());
+            for (i, &k) in ls.iter().enumerate() {
+                table.entry(k).or_default().push(i);
+            }
+            let mut out = Vec::new();
+            for (j, &k) in rs.iter().enumerate() {
+                if let Some(matches) = table.get(&k) {
+                    for &i in matches {
+                        out.push((i, j));
+                    }
+                }
+            }
+            return Ok(out);
+        }
+    }
+    let mut table: HashMap<GroupKey, Vec<usize>> = HashMap::with_capacity(left.len());
+    for i in 0..left.len() {
+        let v = left.get(i);
+        if v.is_null() {
+            continue;
+        }
+        table.entry(GroupKey(vec![v])).or_default().push(i);
+    }
+    let mut out = Vec::new();
+    for j in 0..right.len() {
+        let v = right.get(j);
+        if v.is_null() {
+            continue;
+        }
+        if let Some(matches) = table.get(&GroupKey(vec![v])) {
+            for &i in matches {
+                out.push((i, j));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Inner equi-join by sorting both key columns and merging. Produces the
+/// same pair multiset as [`hash_join_positions`] (order differs).
+pub fn merge_join_positions(left: &ColumnData, right: &ColumnData) -> Result<Vec<(usize, usize)>> {
+    let mut li: Vec<usize> = (0..left.len()).filter(|&i| !left.is_null(i)).collect();
+    let mut ri: Vec<usize> = (0..right.len()).filter(|&j| !right.is_null(j)).collect();
+    li.sort_by(|&a, &b| left.get(a).total_cmp(&left.get(b)));
+    ri.sort_by(|&a, &b| right.get(a).total_cmp(&right.get(b)));
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < li.len() && j < ri.len() {
+        let lv = left.get(li[i]);
+        let rv = right.get(ri[j]);
+        match lv.total_cmp(&rv) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // Emit the cross product of the equal runs.
+                let mut i_end = i;
+                while i_end < li.len() && left.get(li[i_end]).total_cmp(&lv).is_eq() {
+                    i_end += 1;
+                }
+                let mut j_end = j;
+                while j_end < ri.len() && right.get(ri[j_end]).total_cmp(&rv).is_eq() {
+                    j_end += 1;
+                }
+                for &a in &li[i..i_end] {
+                    for &b in &ri[j..j_end] {
+                        out.push((a, b));
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Gather payload columns through join position pairs: returns
+/// `(left gather indices, right gather indices)` ready for
+/// [`ColumnData::take`].
+pub fn split_pairs(pairs: &[(usize, usize)]) -> (Vec<usize>, Vec<usize>) {
+    (
+        pairs.iter().map(|p| p.0).collect(),
+        pairs.iter().map(|p| p.1).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodb_types::Value;
+
+    #[test]
+    fn hash_join_one_to_one() {
+        let l = ColumnData::from_i64(vec![1, 2, 3, 4]);
+        let r = ColumnData::from_i64(vec![3, 1, 5]);
+        let mut pairs = hash_join_positions(&l, &r).unwrap();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn hash_join_duplicates_cross_product() {
+        let l = ColumnData::from_i64(vec![7, 7]);
+        let r = ColumnData::from_i64(vec![7, 7, 7]);
+        let pairs = hash_join_positions(&l, &r).unwrap();
+        assert_eq!(pairs.len(), 6);
+    }
+
+    #[test]
+    fn hash_join_nulls_never_match() {
+        let mut l = ColumnData::empty(nodb_types::DataType::Int64);
+        for v in [Value::Null, Value::Int(1)] {
+            l.push(v).unwrap();
+        }
+        let mut r = ColumnData::empty(nodb_types::DataType::Int64);
+        for v in [Value::Null, Value::Int(1)] {
+            r.push(v).unwrap();
+        }
+        let pairs = hash_join_positions(&l, &r).unwrap();
+        assert_eq!(pairs, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn string_keys_join() {
+        let l = ColumnData::from_strings(vec!["a".into(), "b".into()]);
+        let r = ColumnData::from_strings(vec!["b".into(), "c".into()]);
+        let pairs = hash_join_positions(&l, &r).unwrap();
+        assert_eq!(pairs, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn merge_join_matches_hash_join() {
+        let l = ColumnData::from_i64(vec![5, 3, 3, 9, 1]);
+        let r = ColumnData::from_i64(vec![3, 9, 3, 2]);
+        let mut h = hash_join_positions(&l, &r).unwrap();
+        let mut m = merge_join_positions(&l, &r).unwrap();
+        h.sort_unstable();
+        m.sort_unstable();
+        assert_eq!(h, m);
+    }
+
+    #[test]
+    fn split_pairs_gathers() {
+        let pairs = vec![(0, 2), (1, 0)];
+        let (li, ri) = split_pairs(&pairs);
+        assert_eq!(li, vec![0, 1]);
+        assert_eq!(ri, vec![2, 0]);
+        let payload = ColumnData::from_i64(vec![100, 200, 300]);
+        assert_eq!(payload.take(&ri).as_i64_slice().unwrap(), &[300, 100]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Hash and merge joins agree with the nested-loop definition.
+            #[test]
+            fn joins_agree_with_nested_loop(
+                ls in proptest::collection::vec(0i64..15, 0..30),
+                rs in proptest::collection::vec(0i64..15, 0..30)) {
+                let l = ColumnData::from_i64(ls.clone());
+                let r = ColumnData::from_i64(rs.clone());
+                let mut expected = Vec::new();
+                for (i, &a) in ls.iter().enumerate() {
+                    for (j, &b) in rs.iter().enumerate() {
+                        if a == b {
+                            expected.push((i, j));
+                        }
+                    }
+                }
+                expected.sort_unstable();
+                let mut h = hash_join_positions(&l, &r).unwrap();
+                h.sort_unstable();
+                prop_assert_eq!(&h, &expected);
+                let mut m = merge_join_positions(&l, &r).unwrap();
+                m.sort_unstable();
+                prop_assert_eq!(&m, &expected);
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # nodb-exec — the adaptive kernel
+//!
+//! "We argue towards an adaptive kernel where at any given time multiple
+//! different execution strategies are possible to better fit the workload"
+//! (§5.2.1). This crate ships three interchangeable strategies plus the
+//! shared building blocks:
+//!
+//! * [`columnar`] — column-at-a-time operators with materialised selection
+//!   vectors (MonetDB style);
+//! * [`volcano`] — tuple-at-a-time pull operators (row-store style);
+//! * [`hybrid`] — fused filter+multi-aggregate single-pass operators
+//!   (§5.2.2 hybrid operators);
+//! * [`expr`] / [`agg`] — scalar expressions and aggregate accumulators;
+//! * [`join`] — hash and sort-merge equi-joins over columns.
+//!
+//! The engine (`nodb-core`) picks a strategy per query; the `kernels`
+//! criterion bench measures the trade-offs the paper describes.
+
+pub mod agg;
+pub mod cols;
+pub mod columnar;
+pub mod expr;
+pub mod hybrid;
+pub mod join;
+pub mod volcano;
+
+pub use agg::{Accumulator, AggFunc};
+pub use cols::Cols;
+pub use columnar::{
+    aggregate, filter_positions, group_aggregate, project_rows, sort_positions, AggSpec, GroupKey,
+};
+pub use expr::{arith, ArithOp, Expr};
+pub use hybrid::fused_filter_aggregate;
+pub use join::{hash_join_positions, merge_join_positions, split_pairs};
+pub use volcano::{
+    collect, AggregateOp, ColumnsScan, FilterOp, HashJoinOp, LimitOp, ProjectOp, RowOp,
+};

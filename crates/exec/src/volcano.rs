@@ -1,0 +1,397 @@
+//! Volcano (tuple-at-a-time) execution — the row-store strategy of §5.2.
+//!
+//! "Row-store operators operate in a volcano style passing one tuple at a
+//! time from one operator to the next. No materialization is needed but
+//! numerous function calls are required." This engine exists so the adaptive
+//! kernel can pick a strategy per query — and so the kernel ablation bench
+//! can measure the trade-off the paper describes.
+
+use std::collections::HashMap;
+
+use nodb_types::{Conjunction, Result, Value};
+
+use crate::agg::Accumulator;
+use crate::cols::Cols;
+use crate::columnar::{AggSpec, GroupKey};
+use crate::expr::Expr;
+
+/// A pull-based row operator.
+pub trait RowOp {
+    /// Produce the next tuple, or `None` when exhausted.
+    fn next(&mut self) -> Result<Option<Vec<Value>>>;
+}
+
+/// Scan materialised columns as full-width rows. Columns absent from the
+/// source yield NULL (they were not needed by the plan).
+pub struct ColumnsScan<'a, C: Cols + ?Sized> {
+    cols: &'a C,
+    ids: Vec<usize>,
+    width: usize,
+    n_rows: usize,
+    i: usize,
+}
+
+impl<'a, C: Cols + ?Sized> ColumnsScan<'a, C> {
+    /// Scan `n_rows` rows of width `width`.
+    pub fn new(cols: &'a C, width: usize, n_rows: usize) -> Self {
+        ColumnsScan {
+            ids: cols.col_ids(),
+            cols,
+            width,
+            n_rows,
+            i: 0,
+        }
+    }
+}
+
+impl<C: Cols + ?Sized> RowOp for ColumnsScan<'_, C> {
+    fn next(&mut self) -> Result<Option<Vec<Value>>> {
+        if self.i >= self.n_rows {
+            return Ok(None);
+        }
+        let i = self.i;
+        self.i += 1;
+        let mut row = vec![Value::Null; self.width];
+        for &c in &self.ids {
+            if c < self.width {
+                row[c] = self.cols.get_col(c).expect("listed").get(i);
+            }
+        }
+        Ok(Some(row))
+    }
+}
+
+/// Tuple-at-a-time filter.
+pub struct FilterOp<I: RowOp> {
+    input: I,
+    conj: Conjunction,
+}
+
+impl<I: RowOp> FilterOp<I> {
+    /// Filter `input` by `conj`.
+    pub fn new(input: I, conj: Conjunction) -> Self {
+        FilterOp { input, conj }
+    }
+}
+
+impl<I: RowOp> RowOp for FilterOp<I> {
+    fn next(&mut self) -> Result<Option<Vec<Value>>> {
+        while let Some(row) = self.input.next()? {
+            if self.conj.matches_row(&row) {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Tuple-at-a-time projection.
+pub struct ProjectOp<I: RowOp> {
+    input: I,
+    exprs: Vec<Expr>,
+}
+
+impl<I: RowOp> ProjectOp<I> {
+    /// Project each tuple through `exprs`.
+    pub fn new(input: I, exprs: Vec<Expr>) -> Self {
+        ProjectOp { input, exprs }
+    }
+}
+
+impl<I: RowOp> RowOp for ProjectOp<I> {
+    fn next(&mut self) -> Result<Option<Vec<Value>>> {
+        match self.input.next()? {
+            None => Ok(None),
+            Some(row) => {
+                let mut out = Vec::with_capacity(self.exprs.len());
+                for e in &self.exprs {
+                    out.push(e.eval_row(&row)?);
+                }
+                Ok(Some(out))
+            }
+        }
+    }
+}
+
+/// LIMIT.
+pub struct LimitOp<I: RowOp> {
+    input: I,
+    remaining: usize,
+}
+
+impl<I: RowOp> LimitOp<I> {
+    /// Pass through at most `n` tuples.
+    pub fn new(input: I, n: usize) -> Self {
+        LimitOp {
+            input,
+            remaining: n,
+        }
+    }
+}
+
+impl<I: RowOp> RowOp for LimitOp<I> {
+    fn next(&mut self) -> Result<Option<Vec<Value>>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        match self.input.next()? {
+            None => Ok(None),
+            Some(row) => {
+                self.remaining -= 1;
+                Ok(Some(row))
+            }
+        }
+    }
+}
+
+/// Blocking aggregate: drains its input, emits a single tuple of results.
+pub struct AggregateOp<I: RowOp> {
+    input: I,
+    specs: Vec<AggSpec>,
+    done: bool,
+}
+
+impl<I: RowOp> AggregateOp<I> {
+    /// Aggregate the whole input.
+    pub fn new(input: I, specs: Vec<AggSpec>) -> Self {
+        AggregateOp {
+            input,
+            specs,
+            done: false,
+        }
+    }
+}
+
+impl<I: RowOp> RowOp for AggregateOp<I> {
+    fn next(&mut self) -> Result<Option<Vec<Value>>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        let mut accs: Vec<Accumulator> = self
+            .specs
+            .iter()
+            .map(|s| Accumulator::new(s.func))
+            .collect();
+        while let Some(row) = self.input.next()? {
+            for (acc, spec) in accs.iter_mut().zip(&self.specs) {
+                match &spec.expr {
+                    None => acc.update(&Value::Null)?,
+                    Some(e) => acc.update(&e.eval_row(&row)?)?,
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(accs.len());
+        for a in &accs {
+            out.push(a.finish()?);
+        }
+        Ok(Some(out))
+    }
+}
+
+/// Hash join (inner, equi). Builds a table from the left input on first
+/// `next`, then streams the right input, emitting `left ++ right` tuples.
+/// NULL keys never match.
+pub struct HashJoinOp<L: RowOp, R: RowOp> {
+    left: L,
+    right: R,
+    left_key: usize,
+    right_key: usize,
+    table: Option<HashMap<GroupKey, Vec<Vec<Value>>>>,
+    pending: Vec<Vec<Value>>,
+}
+
+impl<L: RowOp, R: RowOp> HashJoinOp<L, R> {
+    /// Join `left.left_key == right.right_key`.
+    pub fn new(left: L, right: R, left_key: usize, right_key: usize) -> Self {
+        HashJoinOp {
+            left,
+            right,
+            left_key,
+            right_key,
+            table: None,
+            pending: Vec::new(),
+        }
+    }
+}
+
+impl<L: RowOp, R: RowOp> RowOp for HashJoinOp<L, R> {
+    fn next(&mut self) -> Result<Option<Vec<Value>>> {
+        if self.table.is_none() {
+            let mut t: HashMap<GroupKey, Vec<Vec<Value>>> = HashMap::new();
+            while let Some(row) = self.left.next()? {
+                let k = &row[self.left_key];
+                if k.is_null() {
+                    continue;
+                }
+                t.entry(GroupKey(vec![k.clone()])).or_default().push(row);
+            }
+            self.table = Some(t);
+        }
+        loop {
+            if let Some(row) = self.pending.pop() {
+                return Ok(Some(row));
+            }
+            match self.right.next()? {
+                None => return Ok(None),
+                Some(rrow) => {
+                    let k = &rrow[self.right_key];
+                    if k.is_null() {
+                        continue;
+                    }
+                    if let Some(matches) =
+                        self.table.as_ref().expect("built").get(&GroupKey(vec![k.clone()]))
+                    {
+                        for lrow in matches {
+                            let mut joined = lrow.clone();
+                            joined.extend(rrow.iter().cloned());
+                            self.pending.push(joined);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Drain an operator into a vector of rows.
+pub fn collect(op: &mut dyn RowOp) -> Result<Vec<Vec<Value>>> {
+    let mut out = Vec::new();
+    while let Some(row) = op.next()? {
+        out.push(row);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggFunc;
+    use nodb_types::{CmpOp, ColPred, ColumnData};
+    use std::collections::BTreeMap;
+
+    fn cols() -> BTreeMap<usize, ColumnData> {
+        let mut m = BTreeMap::new();
+        m.insert(0, ColumnData::from_i64(vec![5, 1, 9, 3, 7]));
+        m.insert(1, ColumnData::from_i64(vec![10, 20, 30, 40, 50]));
+        m
+    }
+
+    #[test]
+    fn scan_produces_full_width_rows() {
+        let c = cols();
+        let mut scan = ColumnsScan::new(&c, 3, 5);
+        let first = scan.next().unwrap().unwrap();
+        assert_eq!(first, vec![Value::Int(5), Value::Int(10), Value::Null]);
+        let rest = collect(&mut scan).unwrap();
+        assert_eq!(rest.len(), 4);
+    }
+
+    #[test]
+    fn filter_project_pipeline() {
+        let c = cols();
+        let scan = ColumnsScan::new(&c, 2, 5);
+        let filter = FilterOp::new(
+            scan,
+            Conjunction::new(vec![ColPred::new(0, CmpOp::Gt, 3i64)]),
+        );
+        let mut project = ProjectOp::new(filter, vec![Expr::Col(1)]);
+        let rows = collect(&mut project).unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Int(10)],
+                vec![Value::Int(30)],
+                vec![Value::Int(50)]
+            ]
+        );
+    }
+
+    #[test]
+    fn aggregate_pipeline_matches_columnar() {
+        let c = cols();
+        let specs = vec![
+            AggSpec::on_col(AggFunc::Sum, 0),
+            AggSpec::on_col(AggFunc::Avg, 1),
+            AggSpec::count_star(),
+        ];
+        let scan = ColumnsScan::new(&c, 2, 5);
+        let filter = FilterOp::new(
+            scan,
+            Conjunction::new(vec![ColPred::new(0, CmpOp::Gt, 3i64)]),
+        );
+        let mut agg = AggregateOp::new(filter, specs.clone());
+        let volcano_row = collect(&mut agg).unwrap().remove(0);
+        let pos = crate::columnar::filter_positions(
+            &c,
+            5,
+            &Conjunction::new(vec![ColPred::new(0, CmpOp::Gt, 3i64)]),
+        )
+        .unwrap();
+        let columnar = crate::columnar::aggregate(&c, 5, Some(&pos), &specs).unwrap();
+        assert_eq!(volcano_row, columnar);
+    }
+
+    #[test]
+    fn aggregate_emits_exactly_once() {
+        let c = cols();
+        let scan = ColumnsScan::new(&c, 2, 5);
+        let mut agg = AggregateOp::new(scan, vec![AggSpec::count_star()]);
+        assert!(agg.next().unwrap().is_some());
+        assert!(agg.next().unwrap().is_none());
+        assert!(agg.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn limit_stops_early() {
+        let c = cols();
+        let scan = ColumnsScan::new(&c, 2, 5);
+        let mut limit = LimitOp::new(scan, 2);
+        assert_eq!(collect(&mut limit).unwrap().len(), 2);
+        let scan = ColumnsScan::new(&c, 2, 5);
+        let mut limit = LimitOp::new(scan, 0);
+        assert!(collect(&mut limit).unwrap().is_empty());
+    }
+
+    #[test]
+    fn hash_join_one_to_one() {
+        let mut left = BTreeMap::new();
+        left.insert(0, ColumnData::from_i64(vec![1, 2, 3]));
+        left.insert(1, ColumnData::from_i64(vec![10, 20, 30]));
+        let mut right = BTreeMap::new();
+        right.insert(0, ColumnData::from_i64(vec![3, 1, 2]));
+        right.insert(1, ColumnData::from_i64(vec![300, 100, 200]));
+        let l = ColumnsScan::new(&left, 2, 3);
+        let r = ColumnsScan::new(&right, 2, 3);
+        let mut join = HashJoinOp::new(l, r, 0, 0);
+        let mut rows = collect(&mut join).unwrap();
+        rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        assert_eq!(rows.len(), 3);
+        assert_eq!(
+            rows[0],
+            vec![Value::Int(1), Value::Int(10), Value::Int(1), Value::Int(100)]
+        );
+    }
+
+    #[test]
+    fn hash_join_multi_match_and_null_keys() {
+        let mut left = BTreeMap::new();
+        let mut key = ColumnData::empty(nodb_types::DataType::Int64);
+        for v in [Value::Int(1), Value::Int(1), Value::Null] {
+            key.push(v).unwrap();
+        }
+        left.insert(0, key);
+        let mut right = BTreeMap::new();
+        let mut rkey = ColumnData::empty(nodb_types::DataType::Int64);
+        for v in [Value::Int(1), Value::Null] {
+            rkey.push(v).unwrap();
+        }
+        right.insert(0, rkey);
+        let l = ColumnsScan::new(&left, 1, 3);
+        let r = ColumnsScan::new(&right, 1, 2);
+        let mut join = HashJoinOp::new(l, r, 0, 0);
+        let rows = collect(&mut join).unwrap();
+        // Two left 1s match the single right 1; nulls match nothing.
+        assert_eq!(rows.len(), 2);
+    }
+}

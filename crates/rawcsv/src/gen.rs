@@ -1,0 +1,292 @@
+//! Workload generators for the paper's experiments.
+//!
+//! Every evaluation table in the paper is "k attributes of unique integers
+//! randomly distributed in the columns". We generate those *without*
+//! materialising a permutation per column: a 4-round Feistel network over a
+//! power-of-two domain with cycle-walking gives a seeded bijection on
+//! `[0, n)` in O(1) memory, so multi-gigabyte tables stream straight to disk.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use nodb_types::{CmpOp, ColPred, Conjunction, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded bijection on `[0, n)`.
+///
+/// Implementation: balanced Feistel over `2b` bits where `2^(2b) >= n`,
+/// cycle-walking out-of-range outputs back through the network. The domain
+/// is less than `4n`, so the expected number of walks per call is < 4.
+#[derive(Debug, Clone)]
+pub struct Permutation {
+    n: u64,
+    half_bits: u32,
+    keys: [u64; 4],
+}
+
+impl Permutation {
+    /// Bijection on `[0, n)` determined by `seed`. `n` must be ≥ 1.
+    pub fn new(n: u64, seed: u64) -> Permutation {
+        assert!(n >= 1, "permutation domain must be non-empty");
+        // Smallest even bit-width covering n.
+        let bits = (64 - (n - 1).leading_zeros()).max(2);
+        let half_bits = bits.div_ceil(2);
+        let mut keys = [0u64; 4];
+        let mut s = seed;
+        for k in &mut keys {
+            s = splitmix64(s);
+            *k = s;
+        }
+        Permutation { n, half_bits, keys }
+    }
+
+    /// The image of `i` (panics if `i >= n`).
+    pub fn apply(&self, i: u64) -> u64 {
+        assert!(i < self.n, "index {i} out of domain [0, {})", self.n);
+        let mut x = i;
+        loop {
+            x = self.feistel(x);
+            if x < self.n {
+                return x;
+            }
+        }
+    }
+
+    fn feistel(&self, x: u64) -> u64 {
+        let mask = (1u64 << self.half_bits) - 1;
+        let mut l = x >> self.half_bits;
+        let mut r = x & mask;
+        for &k in &self.keys {
+            let f = splitmix64(r ^ k) & mask;
+            let nl = r;
+            let nr = l ^ f;
+            l = nl;
+            r = nr;
+        }
+        (l << self.half_bits) | r
+    }
+}
+
+/// SplitMix64 — the standard 64-bit finalizer-style mixer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Write a `rows × cols` CSV of unique integers: column `c` holds a seeded
+/// random permutation of `0..rows`. Returns the number of bytes written.
+pub fn write_unique_int_table(path: &Path, rows: usize, cols: usize, seed: u64) -> Result<u64> {
+    let perms: Vec<Permutation> = (0..cols)
+        .map(|c| Permutation::new(rows.max(1) as u64, seed.wrapping_add(c as u64 * 0x9E37)))
+        .collect();
+    let mut w = BufWriter::with_capacity(1 << 20, File::create(path)?);
+    let mut line = String::with_capacity(cols * 12);
+    let mut total: u64 = 0;
+    let mut itoa_buf = [0u8; 20];
+    for i in 0..rows {
+        line.clear();
+        for (c, p) in perms.iter().enumerate() {
+            if c > 0 {
+                line.push(',');
+            }
+            line.push_str(format_u64(p.apply(i as u64), &mut itoa_buf));
+        }
+        line.push('\n');
+        w.write_all(line.as_bytes())?;
+        total += line.len() as u64;
+    }
+    w.flush()?;
+    Ok(total)
+}
+
+/// Write a pair of tables for the §2.2 join experiment: both have `rows`
+/// rows; column 0 is the join key (each key appears exactly once per table,
+/// in different orders — a 1:1 join), remaining columns are unique-integer
+/// payloads.
+pub fn write_join_pair(
+    path_r: &Path,
+    path_s: &Path,
+    rows: usize,
+    payload_cols: usize,
+    seed: u64,
+) -> Result<()> {
+    write_unique_int_table(path_r, rows, 1 + payload_cols, seed)?;
+    write_unique_int_table(path_s, rows, 1 + payload_cols, seed ^ 0xABCD_EF01)?;
+    Ok(())
+}
+
+/// Write a mixed-type table (int, float, string columns) for schema
+/// inference and string-path tests, optionally with a header row.
+pub fn write_mixed_table(path: &Path, rows: usize, seed: u64, header: bool) -> Result<()> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w = BufWriter::with_capacity(1 << 16, File::create(path)?);
+    if header {
+        writeln!(w, "id,score,label,note")?;
+    }
+    const LABELS: [&str; 5] = ["alpha", "beta", "gamma", "delta", "epsilon"];
+    for i in 0..rows {
+        let score: f64 = rng.gen_range(-100.0..100.0);
+        let label = LABELS[rng.gen_range(0..LABELS.len())];
+        // ~5% nulls in the note column.
+        if rng.gen_bool(0.05) {
+            writeln!(w, "{i},{score:.3},{label},")?;
+        } else {
+            writeln!(w, "{i},{score:.3},{label},note-{}", rng.gen_range(0..1000))?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Build the paper's `a > v1 AND a < v2` range predicate on column `col`
+/// with the given selectivity over a unique-integer column of `0..rows`.
+/// Exactly `⌊rows × selectivity⌋` values qualify.
+pub fn selective_range(
+    col: usize,
+    rows: usize,
+    selectivity: f64,
+    rng: &mut impl Rng,
+) -> Conjunction {
+    let n = rows as i64;
+    let width = ((rows as f64) * selectivity).floor() as i64;
+    let width = width.clamp(0, n);
+    // Values strictly between v1 and v2 qualify: need v2 - v1 - 1 = width.
+    let v1 = if n - width > 0 {
+        rng.gen_range(0..=(n - width)) - 1
+    } else {
+        -1
+    };
+    let v2 = v1 + width + 1;
+    Conjunction::new(vec![
+        ColPred::new(col, CmpOp::Gt, v1),
+        ColPred::new(col, CmpOp::Lt, v2),
+    ])
+}
+
+/// Format an unsigned integer into a stack buffer (hot-loop `itoa`).
+fn format_u64(mut v: u64, buf: &mut [u8; 20]) -> &str {
+    if v == 0 {
+        return "0";
+    }
+    let mut i = buf.len();
+    while v > 0 {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+    }
+    std::str::from_utf8(&buf[i..]).expect("ascii digits")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn permutation_is_bijective_small() {
+        for n in [1u64, 2, 7, 64, 1000] {
+            let p = Permutation::new(n, 42);
+            let image: HashSet<u64> = (0..n).map(|i| p.apply(i)).collect();
+            assert_eq!(image.len(), n as usize, "n={n}");
+            assert!(image.iter().all(|&v| v < n));
+        }
+    }
+
+    #[test]
+    fn permutation_seeds_differ() {
+        let n = 1000;
+        let a: Vec<u64> = (0..n).map(|i| Permutation::new(n, 1).apply(i)).collect();
+        let b: Vec<u64> = (0..n).map(|i| Permutation::new(n, 2).apply(i)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn permutation_is_deterministic() {
+        let p1 = Permutation::new(500, 7);
+        let p2 = Permutation::new(500, 7);
+        assert!((0..500).all(|i| p1.apply(i) == p2.apply(i)));
+    }
+
+    #[test]
+    fn format_u64_matches_std() {
+        let mut buf = [0u8; 20];
+        for v in [0u64, 1, 9, 10, 12345, u64::MAX] {
+            assert_eq!(format_u64(v, &mut buf), v.to_string());
+        }
+    }
+
+    #[test]
+    fn unique_int_table_has_unique_columns() {
+        let dir = std::env::temp_dir().join("nodb_gen_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        write_unique_int_table(&path, 100, 3, 99).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let rows: Vec<Vec<i64>> = text
+            .lines()
+            .map(|l| l.split(',').map(|f| f.parse().unwrap()).collect())
+            .collect();
+        assert_eq!(rows.len(), 100);
+        for c in 0..3 {
+            let col: HashSet<i64> = rows.iter().map(|r| r[c]).collect();
+            assert_eq!(col.len(), 100, "column {c} not unique");
+            assert!(col.iter().all(|&v| (0..100).contains(&v)));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn selective_range_hits_target_selectivity() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let rows = 10_000;
+        for _ in 0..10 {
+            let conj = selective_range(0, rows, 0.10, &mut rng);
+            // Count qualifying values of a permutation of 0..rows — which is
+            // just the count of integers in the open range.
+            let qualifying = (0..rows as i64)
+                .filter(|&v| conj.matches_row(&[nodb_types::Value::Int(v)]))
+                .count();
+            assert_eq!(qualifying, 1000);
+        }
+    }
+
+    #[test]
+    fn selective_range_full_and_empty() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let all = selective_range(0, 100, 1.0, &mut rng);
+        let qualifying = (0..100i64)
+            .filter(|&v| all.matches_row(&[nodb_types::Value::Int(v)]))
+            .count();
+        assert_eq!(qualifying, 100);
+        let none = selective_range(0, 100, 0.0, &mut rng);
+        let qualifying = (0..100i64)
+            .filter(|&v| none.matches_row(&[nodb_types::Value::Int(v)]))
+            .count();
+        assert_eq!(qualifying, 0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn permutation_bijective(n in 1u64..5000, seed in proptest::num::u64::ANY) {
+                let p = Permutation::new(n, seed);
+                let mut seen = vec![false; n as usize];
+                for i in 0..n {
+                    let v = p.apply(i);
+                    prop_assert!(v < n);
+                    prop_assert!(!seen[v as usize], "collision at {i} -> {v}");
+                    seen[v as usize] = true;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,1324 @@
+//! Two-phase, predicate-pushing, positional-map-aware CSV tokenizer.
+//!
+//! This is the paper's adaptive loading operator (§3.2) as a library:
+//!
+//! * **Phase 1** locates row boundaries (parallel chunk scan for newlines;
+//!   serial state machine when quoting is enabled, since a chunk boundary
+//!   may fall inside a quoted field). The result is cached in the
+//!   [`PositionalMap`] so newline scanning happens at most once per file.
+//! * **Phase 2** walks each row only as far as the *maximum referenced
+//!   column* ("once all required columns are found the tokenization for this
+//!   row can stop"), starts from the best positional-map hint instead of
+//!   column 0 when one exists, evaluates pushed-down predicates the moment
+//!   their column is parsed, and abandons the row on the first failing
+//!   predicate ("we abandon the tokenization of a row as soon as a predicate
+//!   fails").
+//!
+//! Everything the scan learns about row/field positions is recorded back
+//! into the positional map as a side effect — the paper's "file cracking"
+//! learning loop (§4.1.5).
+
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+
+use nodb_types::{ColumnData, Conjunction, DataType, Error, Result, Schema, Value, WorkCounters};
+
+use crate::posmap::{PositionalMap, UNKNOWN};
+
+/// CSV dialect and scan-execution options.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field delimiter (default `,`).
+    pub delimiter: u8,
+    /// Quote character enabling RFC-4180-style quoting, or `None` for the
+    /// fast unquoted path (the paper's numeric workloads).
+    pub quote: Option<u8>,
+    /// Worker threads for tokenization (1 = serial). Quoted phase 1 is
+    /// always serial; phase 2 parallelises in both modes.
+    pub threads: usize,
+    /// When true, rows with fewer fields than referenced columns yield
+    /// NULLs; when false they are a parse error.
+    pub lenient: bool,
+    /// Skip blank lines entirely (default). Single-column split files set
+    /// this to `false` so an empty line reads back as a NULL row, keeping
+    /// rowids aligned with the original file.
+    pub skip_blank_rows: bool,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            delimiter: b',',
+            quote: None,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(1),
+            lenient: false,
+            skip_blank_rows: true,
+        }
+    }
+}
+
+/// What a scan should produce.
+#[derive(Debug, Clone)]
+pub struct ScanSpec<'a> {
+    /// Table schema (typing for parsed columns).
+    pub schema: &'a Schema,
+    /// Column ordinals to parse and return.
+    pub needed: Vec<usize>,
+    /// Predicates pushed down into tokenization. Their columns are
+    /// tokenized/parsed even if not in `needed`.
+    pub pushdown: Option<&'a Conjunction>,
+}
+
+/// Result of a scan: per-column data for qualifying rows, plus their rowids.
+#[derive(Debug)]
+pub struct ScanOutput {
+    /// Parsed columns, keyed by ordinal, rows aligned with `rowids`.
+    pub columns: BTreeMap<usize, ColumnData>,
+    /// Qualifying row ids (all rows when no pushdown), ascending.
+    pub rowids: Vec<u64>,
+    /// Total data rows in the file.
+    pub rows_scanned: u64,
+}
+
+impl ScanOutput {
+    /// Number of qualifying rows.
+    pub fn num_rows(&self) -> usize {
+        self.rowids.len()
+    }
+}
+
+/// Read a whole file, counting the bytes and the trip.
+pub fn read_file(path: &Path, counters: &WorkCounters) -> Result<Vec<u8>> {
+    let mut f = File::open(path)?;
+    let mut buf = Vec::with_capacity(f.metadata().map(|m| m.len() as usize).unwrap_or(0));
+    f.read_to_end(&mut buf)?;
+    counters.add_bytes_read(buf.len() as u64);
+    counters.add_file_trip();
+    Ok(buf)
+}
+
+/// Scan a file on disk. See [`scan_bytes`].
+pub fn scan_file(
+    path: &Path,
+    opts: &CsvOptions,
+    spec: &ScanSpec<'_>,
+    posmap: Option<&mut PositionalMap>,
+    counters: &WorkCounters,
+) -> Result<ScanOutput> {
+    let bytes = read_file(path, counters)?;
+    scan_bytes(&bytes, opts, spec, posmap, counters)
+}
+
+/// Scan in-memory CSV bytes, producing qualifying rows for the requested
+/// columns and recording structural knowledge into `posmap` (if given).
+pub fn scan_bytes(
+    bytes: &[u8],
+    opts: &CsvOptions,
+    spec: &ScanSpec<'_>,
+    mut posmap: Option<&mut PositionalMap>,
+    counters: &WorkCounters,
+) -> Result<ScanOutput> {
+    // Validate referenced columns against the schema.
+    let ncols = spec.schema.len();
+    for &c in &spec.needed {
+        if c >= ncols {
+            return Err(Error::schema(format!(
+                "scan references column ordinal {c} but schema has {ncols} columns"
+            )));
+        }
+    }
+    if let Some(p) = spec.pushdown {
+        for c in p.columns() {
+            if c >= ncols {
+                return Err(Error::schema(format!(
+                    "pushdown references column ordinal {c} but schema has {ncols} columns"
+                )));
+            }
+        }
+    }
+
+    // Phase 1: row boundaries (reused from the positional map when valid).
+    let row_starts = match posmap.as_ref().and_then(|m| {
+        (m.file_len() == bytes.len() as u64)
+            .then(|| m.row_starts())
+            .flatten()
+    }) {
+        Some(cached) => cached,
+        None => {
+            let starts = find_row_starts(bytes, opts, counters);
+            if let Some(m) = posmap.as_deref_mut() {
+                m.set_row_starts(starts.clone(), bytes.len() as u64);
+                m.row_starts().expect("just set")
+            } else {
+                std::sync::Arc::new(starts)
+            }
+        }
+    };
+    let nrows = row_starts.len();
+
+    // Touch plan: every column the scan must locate.
+    let mut touch: Vec<usize> = spec.needed.clone();
+    if let Some(p) = spec.pushdown {
+        touch.extend(p.columns());
+    }
+    touch.sort_unstable();
+    touch.dedup();
+
+    if touch.is_empty() {
+        // Pure row-count scan: every row qualifies, nothing to parse.
+        return Ok(ScanOutput {
+            columns: BTreeMap::new(),
+            rowids: (0..nrows as u64).collect(),
+            rows_scanned: nrows as u64,
+        });
+    }
+    let max_touch = *touch.last().expect("nonempty");
+
+    // Pre-group pushdown predicates by column, in file order.
+    let preds_by_col: BTreeMap<usize, Vec<&nodb_types::ColPred>> = match spec.pushdown {
+        Some(p) if !p.preds.is_empty() => {
+            let mut m: BTreeMap<usize, Vec<&nodb_types::ColPred>> = BTreeMap::new();
+            for pred in &p.preds {
+                m.entry(pred.col).or_default().push(pred);
+            }
+            m
+        }
+        _ => BTreeMap::new(),
+    };
+
+    // Which columns should have offsets recorded into the posmap: every
+    // column we may walk past that is not already fully covered.
+    let record_cols: Vec<usize> = match posmap.as_deref() {
+        Some(m) => (0..=max_touch)
+            .filter(|&c| m.coverage(c) < 1.0)
+            .collect(),
+        None => Vec::new(),
+    };
+
+    let ctx = ScanCtx {
+        bytes,
+        row_starts: &row_starts,
+        file_len: bytes.len(),
+        opts,
+        schema: spec.schema,
+        needed: &spec.needed,
+        touch: &touch,
+        max_touch,
+        preds_by_col: &preds_by_col,
+        record_cols: &record_cols,
+        posmap: posmap.as_deref(),
+    };
+
+    let threads = opts.threads.max(1).min(nrows.max(1));
+    let mut chunks: Vec<ChunkOut> = if threads <= 1 || nrows < 4096 {
+        vec![scan_row_range(&ctx, 0, nrows)?]
+    } else {
+        let per = nrows.div_ceil(threads);
+        let ranges: Vec<(usize, usize)> = (0..threads)
+            .map(|t| (t * per, ((t + 1) * per).min(nrows)))
+            .filter(|(lo, hi)| lo < hi)
+            .collect();
+        let mut outs: Vec<Option<Result<ChunkOut>>> = Vec::new();
+        outs.resize_with(ranges.len(), || None);
+        crossbeam::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for (i, &(lo, hi)) in ranges.iter().enumerate() {
+                let ctx = &ctx;
+                handles.push((i, s.spawn(move |_| scan_row_range(ctx, lo, hi))));
+            }
+            for (i, h) in handles {
+                outs[i] = Some(h.join().expect("tokenizer worker panicked"));
+            }
+        })
+        .expect("tokenizer scope");
+        outs.into_iter()
+            .map(|o| o.expect("all chunks scanned"))
+            .collect::<Result<Vec<_>>>()?
+    };
+
+    // Merge chunk outputs (chunks own contiguous row ranges in order).
+    let mut rowids: Vec<u64> = Vec::new();
+    let mut columns: BTreeMap<usize, ColumnData> = spec
+        .needed
+        .iter()
+        .map(|&c| {
+            (
+                c,
+                ColumnData::empty(spec.schema.field(c).expect("validated").data_type),
+            )
+        })
+        .collect();
+    let mut local_totals = LocalCounters::default();
+    for chunk in &mut chunks {
+        rowids.append(&mut chunk.rowids);
+        for (ni, &c) in spec.needed.iter().enumerate() {
+            let src = std::mem::replace(
+                &mut chunk.builders[ni],
+                ColumnData::empty(DataType::Int64),
+            );
+            let dst = columns.get_mut(&c).expect("initialised above");
+            dst.append(src).expect("same type");
+        }
+        local_totals.absorb(&chunk.counters);
+    }
+    local_totals.flush(counters);
+
+    // Record learned positions. (`as_deref_mut` reborrows rather than
+    // moving — the clippy suggestion to drop it is wrong here.)
+    #[allow(clippy::needless_option_as_deref)]
+    if let Some(m) = posmap.as_deref_mut() {
+        for chunk in &chunks {
+            for (col, offs) in &chunk.recordings {
+                m.record_range(*col, chunk.first_row, offs);
+            }
+        }
+    }
+
+    Ok(ScanOutput {
+        columns,
+        rowids,
+        rows_scanned: nrows as u64,
+    })
+}
+
+/// Shared read-only context for phase-2 workers.
+struct ScanCtx<'a> {
+    bytes: &'a [u8],
+    row_starts: &'a [u64],
+    file_len: usize,
+    opts: &'a CsvOptions,
+    schema: &'a Schema,
+    needed: &'a [usize],
+    touch: &'a [usize],
+    max_touch: usize,
+    preds_by_col: &'a BTreeMap<usize, Vec<&'a nodb_types::ColPred>>,
+    record_cols: &'a [usize],
+    posmap: Option<&'a PositionalMap>,
+}
+
+/// Per-chunk output buffers.
+struct ChunkOut {
+    first_row: usize,
+    builders: Vec<ColumnData>, // parallel to ctx.needed
+    rowids: Vec<u64>,
+    recordings: Vec<(usize, Vec<u32>)>,
+    counters: LocalCounters,
+}
+
+/// Unsynchronised counters, flushed to the shared atomics once per chunk.
+#[derive(Default)]
+struct LocalCounters {
+    rows_tokenized: u64,
+    fields_tokenized: u64,
+    values_parsed: u64,
+    rows_abandoned: u64,
+}
+
+impl LocalCounters {
+    fn absorb(&mut self, o: &LocalCounters) {
+        self.rows_tokenized += o.rows_tokenized;
+        self.fields_tokenized += o.fields_tokenized;
+        self.values_parsed += o.values_parsed;
+        self.rows_abandoned += o.rows_abandoned;
+    }
+
+    fn flush(&self, c: &WorkCounters) {
+        c.add_rows_tokenized(self.rows_tokenized);
+        c.add_fields_tokenized(self.fields_tokenized);
+        c.add_values_parsed(self.values_parsed);
+        c.add_rows_abandoned(self.rows_abandoned);
+    }
+}
+
+/// Phase-2 kernel: walk rows `[lo, hi)`.
+fn scan_row_range(ctx: &ScanCtx<'_>, lo: usize, hi: usize) -> Result<ChunkOut> {
+    let n = hi - lo;
+    // Without pushdown every row qualifies — size builders exactly.
+    let cap = if ctx.preds_by_col.is_empty() { n } else { n / 4 };
+    let mut out = ChunkOut {
+        first_row: lo,
+        builders: ctx
+            .needed
+            .iter()
+            .map(|&c| {
+                ColumnData::with_capacity(
+                    ctx.schema.field(c).expect("validated").data_type,
+                    cap,
+                )
+            })
+            .collect(),
+        rowids: Vec::new(),
+        recordings: ctx
+            .record_cols
+            .iter()
+            .map(|&c| (c, vec![UNKNOWN; n]))
+            .collect(),
+        counters: LocalCounters::default(),
+    };
+    // Map column ordinal -> slot in recordings, for O(1) recording.
+    let mut record_slot = vec![usize::MAX; ctx.max_touch + 1];
+    for (slot, &(c, _)) in out.recordings.iter().enumerate() {
+        record_slot[c] = slot;
+    }
+    // Map column ordinal -> slot in needed.
+    let mut needed_slot = vec![usize::MAX; ctx.max_touch + 1];
+    for (slot, &c) in ctx.needed.iter().enumerate() {
+        needed_slot[c] = slot;
+    }
+    let touch_mask = {
+        let mut m = vec![false; ctx.max_touch + 1];
+        for &c in ctx.touch {
+            m[c] = true;
+        }
+        m
+    };
+    let first_touch = *ctx.touch.first().expect("nonempty");
+    // Resolve positional-map candidates once per chunk instead of running a
+    // BTreeMap range query per row: columns ≤ first_touch with recorded
+    // offsets, best (largest) first.
+    let hint_candidates: Vec<(usize, &[u32])> = match ctx.posmap {
+        Some(m) => m
+            .known_columns()
+            .into_iter()
+            .filter(|&c| c <= first_touch)
+            .rev()
+            .filter_map(|c| m.col_offsets(c).map(|offs| (c, offs)))
+            .collect(),
+        None => Vec::new(),
+    };
+
+    let mut stash: Vec<Value> = vec![Value::Null; ctx.needed.len()];
+
+    'rows: for row in lo..hi {
+        let start = ctx.row_starts[row] as usize;
+        // The row's bytes run to the next row start (or EOF); the field
+        // walker treats '\n'/'\r' as terminators, so embedded trailing
+        // newlines (and any skipped empty lines) never need trimming here.
+        let next = if row + 1 < ctx.row_starts.len() {
+            ctx.row_starts[row + 1] as usize
+        } else {
+            ctx.file_len
+        };
+        let rowb = &ctx.bytes[start..next];
+        out.counters.rows_tokenized += 1;
+
+        // Start from the best positional-map hint.
+        let (mut col, mut pos) = hint_candidates
+            .iter()
+            .find_map(|&(c, offs)| match offs.get(row) {
+                Some(&o) if o != UNKNOWN => Some((c, (o as usize).min(rowb.len()))),
+                _ => None,
+            })
+            .unwrap_or((0, 0));
+        for v in stash.iter_mut() {
+            *v = Value::Null;
+        }
+        let mut qualified = true;
+        let mut short_row = false;
+
+        loop {
+            if col <= ctx.max_touch {
+                let slot = record_slot.get(col).copied().unwrap_or(usize::MAX);
+                if slot != usize::MAX {
+                    out.recordings[slot].1[row - lo] = pos as u32;
+                }
+            }
+            let fe = field_end(rowb, pos, ctx.opts.delimiter, ctx.opts.quote);
+            out.counters.fields_tokenized += 1;
+
+            if touch_mask.get(col).copied().unwrap_or(false) {
+                let raw = &rowb[pos..fe];
+                let ty = ctx.schema.field(col).expect("validated").data_type;
+                let needs_value = needed_slot[col] != usize::MAX;
+                let preds = ctx.preds_by_col.get(&col);
+                if needs_value || preds.is_some() {
+                    let v = parse_field(raw, ty, ctx.opts.quote)
+                        .map_err(|e| Error::parse(format!("row {row}, column {col}: {e}")))?;
+                    out.counters.values_parsed += 1;
+                    if let Some(preds) = preds {
+                        if !preds.iter().all(|p| p.matches(&v)) {
+                            out.counters.rows_abandoned += 1;
+                            qualified = false;
+                            break;
+                        }
+                    }
+                    if needs_value {
+                        stash[needed_slot[col]] = v;
+                    }
+                }
+            }
+
+            if col >= ctx.max_touch {
+                break;
+            }
+            if rowb.get(fe) != Some(&ctx.opts.delimiter) {
+                // Row ended (newline/EOF) before we reached max_touch.
+                short_row = true;
+                break;
+            }
+            pos = fe + 1;
+            col += 1;
+        }
+
+        if short_row && !ctx.opts.lenient {
+            return Err(Error::parse(format!(
+                "row {row} has only {} fields but column {} was referenced \
+                 (enable lenient mode to read short rows as NULLs)",
+                col + 1,
+                ctx.max_touch
+            )));
+        }
+        if short_row {
+            // NULLs cannot satisfy predicates on the missing columns.
+            if let Some(p) = ctx.preds_by_col.keys().find(|&&c| c > col) {
+                let _ = p;
+                out.counters.rows_abandoned += 1;
+                continue 'rows;
+            }
+        }
+        if qualified {
+            for (slot, v) in stash.iter_mut().enumerate() {
+                let v = std::mem::replace(v, Value::Null);
+                out.builders[slot].push(v).expect("typed parse");
+            }
+            out.rowids.push(row as u64);
+        }
+    }
+    Ok(out)
+}
+
+/// Find the end (exclusive) of the field starting at `pos` within a row
+/// buffer. A field ends at the delimiter, `\n`, `\r` or end of buffer;
+/// callers inspect `row.get(end)` to distinguish a delimiter from a row
+/// terminator. Quote-aware when `quote` is set (`""` escapes handled,
+/// newlines inside quotes do not terminate the field).
+#[inline]
+pub fn field_end(row: &[u8], pos: usize, delim: u8, quote: Option<u8>) -> usize {
+    if let Some(q) = quote {
+        if row.get(pos) == Some(&q) {
+            let mut i = pos + 1;
+            while i < row.len() {
+                if row[i] == q {
+                    if row.get(i + 1) == Some(&q) {
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+            while i < row.len() && row[i] != delim && row[i] != b'\n' && row[i] != b'\r' {
+                i += 1;
+            }
+            return i;
+        }
+    }
+    match row[pos..]
+        .iter()
+        .position(|&b| b == delim || b == b'\n' || b == b'\r')
+    {
+        Some(off) => pos + off,
+        None => row.len(),
+    }
+}
+
+/// Parse one raw field into a typed value. Empty unquoted fields are NULL;
+/// a quoted empty string is the empty string for `Str` columns.
+pub fn parse_field(raw: &[u8], ty: DataType, quote: Option<u8>) -> Result<Value> {
+    if raw.is_empty() {
+        return Ok(Value::Null);
+    }
+    let decoded = decode_field(raw, quote)?;
+    match ty {
+        DataType::Int64 => {
+            let s = decoded.trim();
+            if s.is_empty() {
+                return Ok(Value::Null);
+            }
+            parse_i64_str(s)
+                .map(Value::Int)
+                .ok_or_else(|| Error::parse(format!("invalid int64 {s:?}")))
+        }
+        DataType::Float64 => {
+            let s = decoded.trim();
+            if s.is_empty() {
+                return Ok(Value::Null);
+            }
+            s.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| Error::parse(format!("invalid float64 {s:?}: {e}")))
+        }
+        DataType::Str => Ok(Value::Str(decoded.into_owned())),
+    }
+}
+
+/// Strip quotes and unescape `""` pairs; validates UTF-8.
+fn decode_field(raw: &[u8], quote: Option<u8>) -> Result<Cow<'_, str>> {
+    let unquoted: Cow<'_, [u8]> = match quote {
+        Some(q) if raw.first() == Some(&q) => {
+            let inner_end = if raw.last() == Some(&q) && raw.len() >= 2 {
+                raw.len() - 1
+            } else {
+                raw.len()
+            };
+            let inner = &raw[1..inner_end];
+            if inner.windows(2).any(|w| w[0] == q && w[1] == q) {
+                let mut out = Vec::with_capacity(inner.len());
+                let mut i = 0;
+                while i < inner.len() {
+                    out.push(inner[i]);
+                    if inner[i] == q && inner.get(i + 1) == Some(&q) {
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                Cow::Owned(out)
+            } else {
+                Cow::Borrowed(inner)
+            }
+        }
+        _ => Cow::Borrowed(raw),
+    };
+    match unquoted {
+        Cow::Borrowed(b) => std::str::from_utf8(b)
+            .map(Cow::Borrowed)
+            .map_err(|e| Error::parse(format!("invalid utf-8: {e}"))),
+        Cow::Owned(b) => String::from_utf8(b)
+            .map(Cow::Owned)
+            .map_err(|e| Error::parse(format!("invalid utf-8: {e}"))),
+    }
+}
+
+/// Fast integer parse without UTF-8 validation overhead for the hot path.
+fn parse_i64_str(s: &str) -> Option<i64> {
+    let b = s.as_bytes();
+    if b.is_empty() {
+        return None;
+    }
+    let (neg, digits) = match b[0] {
+        b'-' => (true, &b[1..]),
+        b'+' => (false, &b[1..]),
+        _ => (false, b),
+    };
+    if digits.is_empty() {
+        return None;
+    }
+    let mut acc: i64 = 0;
+    for &d in digits {
+        if !d.is_ascii_digit() {
+            return None;
+        }
+        acc = acc.checked_mul(10)?.checked_add((d - b'0') as i64)?;
+    }
+    Some(if neg { -acc } else { acc })
+}
+
+/// Phase 1: locate the start offset of every non-empty row.
+pub fn find_row_starts(bytes: &[u8], opts: &CsvOptions, _counters: &WorkCounters) -> Vec<u64> {
+    let mut starts: Vec<u64> = Vec::new();
+    if bytes.is_empty() {
+        return starts;
+    }
+    match opts.quote {
+        None if opts.threads > 1 && bytes.len() > 1 << 20 => {
+            let t = opts.threads;
+            let chunk = bytes.len().div_ceil(t);
+            let mut parts: Vec<Vec<u64>> = Vec::new();
+            parts.resize_with(t, Vec::new);
+            crossbeam::thread::scope(|s| {
+                let mut handles = Vec::new();
+                for (i, part) in parts.iter_mut().enumerate() {
+                    let lo = i * chunk;
+                    let hi = ((i + 1) * chunk).min(bytes.len());
+                    if lo >= hi {
+                        continue;
+                    }
+                    handles.push(s.spawn(move |_| {
+                        let mut v = Vec::new();
+                        for (off, &b) in bytes[lo..hi].iter().enumerate() {
+                            if b == b'\n' {
+                                v.push((lo + off + 1) as u64);
+                            }
+                        }
+                        *part = v;
+                    }));
+                }
+                for h in handles {
+                    h.join().expect("phase-1 worker panicked");
+                }
+            })
+            .expect("phase-1 scope");
+            starts.push(0);
+            for p in parts {
+                starts.extend(p);
+            }
+        }
+        None => {
+            starts.push(0);
+            for (off, &b) in bytes.iter().enumerate() {
+                if b == b'\n' {
+                    starts.push((off + 1) as u64);
+                }
+            }
+        }
+        Some(q) => {
+            // Serial state machine: newlines inside quotes don't break rows.
+            starts.push(0);
+            let mut in_quotes = false;
+            for (off, &b) in bytes.iter().enumerate() {
+                if b == q {
+                    in_quotes = !in_quotes;
+                } else if b == b'\n' && !in_quotes {
+                    starts.push((off + 1) as u64);
+                }
+            }
+        }
+    }
+    // Drop the phantom start after a trailing newline and empty rows.
+    let len = bytes.len() as u64;
+    let mut filtered = Vec::with_capacity(starts.len());
+    for (i, &s) in starts.iter().enumerate() {
+        if s >= len {
+            continue;
+        }
+        let end = starts.get(i + 1).copied().unwrap_or(len);
+        // Content length excluding the newline (and a possible \r).
+        let mut content = &bytes[s as usize..end as usize];
+        if content.last() == Some(&b'\n') {
+            content = &content[..content.len() - 1];
+        }
+        if content.last() == Some(&b'\r') {
+            content = &content[..content.len() - 1];
+        }
+        if !content.is_empty() || !opts.skip_blank_rows {
+            filtered.push(s);
+        }
+    }
+    filtered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodb_types::{CmpOp, ColPred};
+
+    fn opts() -> CsvOptions {
+        CsvOptions {
+            threads: 1,
+            ..CsvOptions::default()
+        }
+    }
+
+    fn counters() -> WorkCounters {
+        WorkCounters::new()
+    }
+
+    fn scan_simple(
+        data: &str,
+        schema: &Schema,
+        needed: Vec<usize>,
+        pushdown: Option<&Conjunction>,
+    ) -> ScanOutput {
+        let c = counters();
+        scan_bytes(
+            data.as_bytes(),
+            &opts(),
+            &ScanSpec {
+                schema,
+                needed,
+                pushdown,
+            },
+            None,
+            &c,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_full_scan() {
+        let schema = Schema::ints(3);
+        let out = scan_simple("1,2,3\n4,5,6\n7,8,9\n", &schema, vec![0, 2], None);
+        assert_eq!(out.rows_scanned, 3);
+        assert_eq!(out.rowids, vec![0, 1, 2]);
+        assert_eq!(out.columns[&0].as_i64_slice().unwrap(), &[1, 4, 7]);
+        assert_eq!(out.columns[&2].as_i64_slice().unwrap(), &[3, 6, 9]);
+    }
+
+    #[test]
+    fn last_line_without_newline() {
+        let schema = Schema::ints(2);
+        let out = scan_simple("1,2\n3,4", &schema, vec![1], None);
+        assert_eq!(out.columns[&1].as_i64_slice().unwrap(), &[2, 4]);
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let schema = Schema::ints(2);
+        let out = scan_simple("1,2\r\n3,4\r\n", &schema, vec![0, 1], None);
+        assert_eq!(out.columns[&1].as_i64_slice().unwrap(), &[2, 4]);
+    }
+
+    #[test]
+    fn empty_lines_skipped() {
+        let schema = Schema::ints(2);
+        let out = scan_simple("1,2\n\n3,4\n\r\n5,6\n", &schema, vec![0], None);
+        assert_eq!(out.rows_scanned, 3);
+        assert_eq!(out.columns[&0].as_i64_slice().unwrap(), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn empty_file_and_newline_only() {
+        let schema = Schema::ints(1);
+        assert_eq!(scan_simple("", &schema, vec![0], None).rows_scanned, 0);
+        assert_eq!(scan_simple("\n\n", &schema, vec![0], None).rows_scanned, 0);
+    }
+
+    #[test]
+    fn pushdown_filters_and_counts_abandoned() {
+        let schema = Schema::ints(2);
+        let conj = Conjunction::new(vec![ColPred::new(0, CmpOp::Gt, 2i64)]);
+        let c = counters();
+        let out = scan_bytes(
+            b"1,10\n2,20\n3,30\n4,40\n",
+            &opts(),
+            &ScanSpec {
+                schema: &schema,
+                needed: vec![1],
+                pushdown: Some(&conj),
+            },
+            None,
+            &c,
+        )
+        .unwrap();
+        assert_eq!(out.rowids, vec![2, 3]);
+        assert_eq!(out.columns[&1].as_i64_slice().unwrap(), &[30, 40]);
+        let snap = c.snapshot();
+        assert_eq!(snap.rows_abandoned, 2);
+        // Abandoned rows never parse column 1: 4 parses of col0 + 2 of col1.
+        assert_eq!(snap.values_parsed, 6);
+    }
+
+    #[test]
+    fn early_stop_at_max_touch_column() {
+        // Only columns 0 and 1 are referenced out of 4 — fields 2/3 of each
+        // row must not be tokenized.
+        let schema = Schema::ints(4);
+        let c = counters();
+        let out = scan_bytes(
+            b"1,2,3,4\n5,6,7,8\n",
+            &opts(),
+            &ScanSpec {
+                schema: &schema,
+                needed: vec![0, 1],
+                pushdown: None,
+            },
+            None,
+            &c,
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(c.snapshot().fields_tokenized, 4); // 2 rows × 2 fields
+    }
+
+    #[test]
+    fn predicate_on_later_column_tokenizes_intermediates() {
+        let schema = Schema::ints(4);
+        let conj = Conjunction::new(vec![ColPred::new(3, CmpOp::Eq, 8i64)]);
+        let c = counters();
+        let out = scan_bytes(
+            b"1,2,3,4\n5,6,7,8\n",
+            &opts(),
+            &ScanSpec {
+                schema: &schema,
+                needed: vec![0],
+                pushdown: Some(&conj),
+            },
+            None,
+            &c,
+        )
+        .unwrap();
+        assert_eq!(out.rowids, vec![1]);
+        assert_eq!(out.columns[&0].as_i64_slice().unwrap(), &[5]);
+        // All 4 fields tokenized per row (target col is last).
+        assert_eq!(c.snapshot().fields_tokenized, 8);
+        // But only cols 0 and 3 parsed.
+        assert_eq!(c.snapshot().values_parsed, 4);
+    }
+
+    #[test]
+    fn strict_mode_rejects_short_rows() {
+        let schema = Schema::ints(3);
+        let c = counters();
+        let err = scan_bytes(
+            b"1,2,3\n4,5\n",
+            &opts(),
+            &ScanSpec {
+                schema: &schema,
+                needed: vec![2],
+                pushdown: None,
+            },
+            None,
+            &c,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn lenient_mode_pads_short_rows_with_nulls() {
+        let schema = Schema::ints(3);
+        let mut o = opts();
+        o.lenient = true;
+        let c = counters();
+        let out = scan_bytes(
+            b"1,2,3\n4,5\n",
+            &o,
+            &ScanSpec {
+                schema: &schema,
+                needed: vec![2],
+                pushdown: None,
+            },
+            None,
+            &c,
+        )
+        .unwrap();
+        assert_eq!(out.columns[&2].get(0), Value::Int(3));
+        assert_eq!(out.columns[&2].get(1), Value::Null);
+    }
+
+    #[test]
+    fn lenient_short_row_fails_predicates_on_missing_cols() {
+        let schema = Schema::ints(3);
+        let mut o = opts();
+        o.lenient = true;
+        let conj = Conjunction::new(vec![ColPred::new(2, CmpOp::Gt, 0i64)]);
+        let c = counters();
+        let out = scan_bytes(
+            b"1,2,3\n4,5\n",
+            &o,
+            &ScanSpec {
+                schema: &schema,
+                needed: vec![0],
+                pushdown: Some(&conj),
+            },
+            None,
+            &c,
+        )
+        .unwrap();
+        assert_eq!(out.rowids, vec![0]);
+    }
+
+    #[test]
+    fn empty_fields_are_null() {
+        let schema = Schema::ints(3);
+        let out = scan_simple("1,,3\n", &schema, vec![0, 1, 2], None);
+        assert_eq!(out.columns[&1].get(0), Value::Null);
+        assert_eq!(out.columns[&2].get(0), Value::Int(3));
+    }
+
+    #[test]
+    fn trailing_delimiter_is_trailing_empty_field() {
+        let schema = Schema::new(vec![
+            nodb_types::Field::new("a", DataType::Int64),
+            nodb_types::Field::new("b", DataType::Str),
+        ])
+        .unwrap();
+        let out = scan_simple("1,\n2,x\n", &schema, vec![1], None);
+        assert_eq!(out.columns[&1].get(0), Value::Null);
+        assert_eq!(out.columns[&1].get(1), Value::Str("x".into()));
+    }
+
+    #[test]
+    fn float_and_str_columns() {
+        let schema = Schema::new(vec![
+            nodb_types::Field::new("x", DataType::Float64),
+            nodb_types::Field::new("s", DataType::Str),
+        ])
+        .unwrap();
+        let out = scan_simple("1.5,hello\n-2.25,world\n", &schema, vec![0, 1], None);
+        assert_eq!(out.columns[&0].as_f64_slice().unwrap(), &[1.5, -2.25]);
+        assert_eq!(
+            out.columns[&1].as_str_slice().unwrap(),
+            &["hello".to_string(), "world".to_string()]
+        );
+    }
+
+    #[test]
+    fn parse_error_mentions_row_and_column() {
+        let schema = Schema::ints(2);
+        let c = counters();
+        let err = scan_bytes(
+            b"1,2\nx,4\n",
+            &opts(),
+            &ScanSpec {
+                schema: &schema,
+                needed: vec![0],
+                pushdown: None,
+            },
+            None,
+            &c,
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("row 1") && msg.contains("column 0"), "{msg}");
+    }
+
+    #[test]
+    fn quoted_fields_with_embedded_delimiters_and_newlines() {
+        let schema = Schema::new(vec![
+            nodb_types::Field::new("a", DataType::Str),
+            nodb_types::Field::new("b", DataType::Int64),
+        ])
+        .unwrap();
+        let mut o = opts();
+        o.quote = Some(b'"');
+        let c = counters();
+        let out = scan_bytes(
+            b"\"x,y\",1\n\"line1\nline2\",2\n\"he said \"\"hi\"\"\",3\n",
+            &o,
+            &ScanSpec {
+                schema: &schema,
+                needed: vec![0, 1],
+                pushdown: None,
+            },
+            None,
+            &c,
+        )
+        .unwrap();
+        assert_eq!(out.rows_scanned, 3);
+        assert_eq!(
+            out.columns[&0].as_str_slice().unwrap(),
+            &[
+                "x,y".to_string(),
+                "line1\nline2".to_string(),
+                "he said \"hi\"".to_string()
+            ]
+        );
+        assert_eq!(out.columns[&1].as_i64_slice().unwrap(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn quoted_empty_string_is_not_null() {
+        let schema = Schema::new(vec![nodb_types::Field::new("s", DataType::Str)]).unwrap();
+        let mut o = opts();
+        o.quote = Some(b'"');
+        let c = counters();
+        let out = scan_bytes(
+            b"\"\"\n",
+            &o,
+            &ScanSpec {
+                schema: &schema,
+                needed: vec![0],
+                pushdown: None,
+            },
+            None,
+            &c,
+        )
+        .unwrap();
+        assert_eq!(out.columns[&0].get(0), Value::Str(String::new()));
+    }
+
+    #[test]
+    fn posmap_learns_and_accelerates() {
+        let schema = Schema::ints(4);
+        let mut pm = PositionalMap::new();
+        let data = b"10,20,30,40\n11,21,31,41\n";
+        let c = counters();
+        // First scan touches columns 0..=1.
+        scan_bytes(
+            data,
+            &opts(),
+            &ScanSpec {
+                schema: &schema,
+                needed: vec![1],
+                pushdown: None,
+            },
+            Some(&mut pm),
+            &c,
+        )
+        .unwrap();
+        assert_eq!(pm.row_count(), Some(2));
+        assert_eq!(pm.coverage(0), 1.0);
+        assert_eq!(pm.coverage(1), 1.0);
+        assert_eq!(pm.coverage(3), 0.0);
+        // Second scan needs col 3; it should start from col 1's offsets,
+        // so col 0 fields are never re-tokenized.
+        let c2 = counters();
+        let out = scan_bytes(
+            data,
+            &opts(),
+            &ScanSpec {
+                schema: &schema,
+                needed: vec![3],
+                pushdown: None,
+            },
+            Some(&mut pm),
+            &c2,
+        )
+        .unwrap();
+        assert_eq!(out.columns[&3].as_i64_slice().unwrap(), &[40, 41]);
+        // Fields walked per row: cols 1,2,3 = 3 fields (not 4).
+        assert_eq!(c2.snapshot().fields_tokenized, 6);
+        assert_eq!(pm.coverage(3), 1.0);
+        // Third scan of col 3 jumps straight there: 1 field per row.
+        let c3 = counters();
+        scan_bytes(
+            data,
+            &opts(),
+            &ScanSpec {
+                schema: &schema,
+                needed: vec![3],
+                pushdown: None,
+            },
+            Some(&mut pm),
+            &c3,
+        )
+        .unwrap();
+        assert_eq!(c3.snapshot().fields_tokenized, 2);
+    }
+
+    #[test]
+    fn empty_touch_set_returns_all_rowids() {
+        let schema = Schema::ints(2);
+        let out = scan_simple("1,2\n3,4\n", &schema, vec![], None);
+        assert_eq!(out.rowids, vec![0, 1]);
+        assert!(out.columns.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_column_rejected() {
+        let schema = Schema::ints(2);
+        let c = counters();
+        let err = scan_bytes(
+            b"1,2\n",
+            &opts(),
+            &ScanSpec {
+                schema: &schema,
+                needed: vec![5],
+                pushdown: None,
+            },
+            None,
+            &c,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn parallel_scan_matches_serial() {
+        let schema = Schema::ints(3);
+        let mut data = String::new();
+        for i in 0..10_000i64 {
+            data.push_str(&format!("{},{},{}\n", i, i * 2, i % 7));
+        }
+        let conj = Conjunction::new(vec![ColPred::new(2, CmpOp::Eq, 3i64)]);
+        let serial = scan_simple(&data, &schema, vec![0, 1], Some(&conj));
+        let mut par_opts = CsvOptions {
+            threads: 4,
+            ..CsvOptions::default()
+        };
+        par_opts.lenient = false;
+        let c = counters();
+        let par = scan_bytes(
+            data.as_bytes(),
+            &par_opts,
+            &ScanSpec {
+                schema: &schema,
+                needed: vec![0, 1],
+                pushdown: Some(&conj),
+            },
+            None,
+            &c,
+        )
+        .unwrap();
+        assert_eq!(serial.rowids, par.rowids);
+        assert_eq!(
+            serial.columns[&0].as_i64_slice().unwrap(),
+            par.columns[&0].as_i64_slice().unwrap()
+        );
+        assert_eq!(
+            serial.columns[&1].as_i64_slice().unwrap(),
+            par.columns[&1].as_i64_slice().unwrap()
+        );
+    }
+
+    #[test]
+    fn parse_i64_str_edge_cases() {
+        assert_eq!(parse_i64_str("0"), Some(0));
+        assert_eq!(parse_i64_str("-42"), Some(-42));
+        assert_eq!(parse_i64_str("+7"), Some(7));
+        assert_eq!(parse_i64_str(""), None);
+        assert_eq!(parse_i64_str("-"), None);
+        assert_eq!(parse_i64_str("12x"), None);
+        assert_eq!(parse_i64_str("9223372036854775807"), Some(i64::MAX));
+        assert_eq!(parse_i64_str("9223372036854775808"), None); // overflow
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Reference implementation: plain split on the delimiter.
+        fn naive_rows(data: &str) -> Vec<Vec<Option<i64>>> {
+            data.lines()
+                .filter(|l| !l.trim_end_matches('\r').is_empty())
+                .map(|l| {
+                    l.trim_end_matches('\r')
+                        .split(',')
+                        .map(|f| f.parse::<i64>().ok())
+                        .collect()
+                })
+                .collect()
+        }
+
+        proptest! {
+            /// The tokenizer agrees with a naive line/field splitter on
+            /// arbitrary integer tables.
+            #[test]
+            fn agrees_with_naive_split(
+                rows in proptest::collection::vec(
+                    proptest::collection::vec(-1000i64..1000, 3), 0..60),
+                trailing_newline in proptest::bool::ANY) {
+                let mut data = String::new();
+                for r in &rows {
+                    data.push_str(&format!("{},{},{}", r[0], r[1], r[2]));
+                    data.push('\n');
+                }
+                if !trailing_newline {
+                    data.pop();
+                }
+                let schema = Schema::ints(3);
+                let c = WorkCounters::new();
+                let out = scan_bytes(
+                    data.as_bytes(),
+                    &CsvOptions { threads: 1, ..CsvOptions::default() },
+                    &ScanSpec { schema: &schema, needed: vec![0, 1, 2], pushdown: None },
+                    None,
+                    &c,
+                ).unwrap();
+                let naive = naive_rows(&data);
+                prop_assert_eq!(out.rows_scanned as usize, naive.len());
+                for (i, r) in naive.iter().enumerate() {
+                    for (col, want) in r.iter().enumerate() {
+                        let got = out.columns[&col].get(i);
+                        let want = want.map(Value::Int).unwrap_or(Value::Null);
+                        prop_assert_eq!(got, want);
+                    }
+                }
+            }
+
+            /// Pushdown produces exactly the rows a post-filter would.
+            #[test]
+            fn pushdown_equals_post_filter(
+                rows in proptest::collection::vec(
+                    proptest::collection::vec(-50i64..50, 2), 0..80),
+                lo in -60i64..60, width in 0i64..60) {
+                let mut data = String::new();
+                for r in &rows {
+                    data.push_str(&format!("{},{}\n", r[0], r[1]));
+                }
+                let schema = Schema::ints(2);
+                let conj = Conjunction::new(vec![
+                    ColPred::new(0, CmpOp::Gt, lo),
+                    ColPred::new(0, CmpOp::Lt, lo + width),
+                ]);
+                let c = WorkCounters::new();
+                let out = scan_bytes(
+                    data.as_bytes(),
+                    &CsvOptions { threads: 1, ..CsvOptions::default() },
+                    &ScanSpec { schema: &schema, needed: vec![1], pushdown: Some(&conj) },
+                    None,
+                    &c,
+                ).unwrap();
+                let expect: Vec<(u64, i64)> = rows.iter().enumerate()
+                    .filter(|(_, r)| r[0] > lo && r[0] < lo + width)
+                    .map(|(i, r)| (i as u64, r[1]))
+                    .collect();
+                let got: Vec<(u64, i64)> = out.rowids.iter().copied()
+                    .zip(out.columns[&1].as_i64_slice().unwrap().iter().copied())
+                    .collect();
+                prop_assert_eq!(got, expect);
+            }
+
+            /// Quoted CSV round-trip: arbitrary strings (commas, quotes,
+            /// newlines, unicode) written with RFC-4180 quoting parse back
+            /// exactly.
+            #[test]
+            fn quoted_round_trip(
+                rows in proptest::collection::vec(
+                    (any::<String>(), -100i64..100), 1..30)) {
+                // Encode.
+                let mut data = Vec::new();
+                for (s, n) in &rows {
+                    let quoted = format!("\"{}\"", s.replace('"', "\"\""));
+                    data.extend_from_slice(quoted.as_bytes());
+                    data.push(b',');
+                    data.extend_from_slice(n.to_string().as_bytes());
+                    data.push(b'\n');
+                }
+                let schema = Schema::new(vec![
+                    nodb_types::Field::new("s", DataType::Str),
+                    nodb_types::Field::new("n", DataType::Int64),
+                ]).unwrap();
+                let opts = CsvOptions {
+                    threads: 1,
+                    quote: Some(b'"'),
+                    ..CsvOptions::default()
+                };
+                let c = WorkCounters::new();
+                let out = scan_bytes(
+                    &data,
+                    &opts,
+                    &ScanSpec { schema: &schema, needed: vec![0, 1], pushdown: None },
+                    None,
+                    &c,
+                ).unwrap();
+                prop_assert_eq!(out.rows_scanned as usize, rows.len());
+                for (i, (s, n)) in rows.iter().enumerate() {
+                    prop_assert_eq!(out.columns[&0].get(i), Value::Str(s.clone()));
+                    prop_assert_eq!(out.columns[&1].get(i), Value::Int(*n));
+                }
+            }
+
+            /// Scanning with a positional map never changes results, no
+            /// matter which scan order built the map.
+            #[test]
+            fn posmap_is_transparent(
+                rows in proptest::collection::vec(
+                    proptest::collection::vec(0i64..100, 5), 1..40),
+                order in proptest::collection::vec(0usize..5, 1..6)) {
+                let mut data = String::new();
+                for r in &rows {
+                    let strs: Vec<String> = r.iter().map(|v| v.to_string()).collect();
+                    data.push_str(&strs.join(","));
+                    data.push('\n');
+                }
+                let schema = Schema::ints(5);
+                let c = WorkCounters::new();
+                let o = CsvOptions { threads: 1, ..CsvOptions::default() };
+                let mut pm = PositionalMap::new();
+                for &col in &order {
+                    let with_map = scan_bytes(
+                        data.as_bytes(), &o,
+                        &ScanSpec { schema: &schema, needed: vec![col], pushdown: None },
+                        Some(&mut pm), &c,
+                    ).unwrap();
+                    let without = scan_bytes(
+                        data.as_bytes(), &o,
+                        &ScanSpec { schema: &schema, needed: vec![col], pushdown: None },
+                        None, &c,
+                    ).unwrap();
+                    prop_assert_eq!(
+                        with_map.columns[&col].as_i64_slice().unwrap(),
+                        without.columns[&col].as_i64_slice().unwrap()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,612 @@
+//! SQL parser producing a name-based AST.
+//!
+//! Supported grammar (everything the paper's experiments need, plus joins,
+//! grouping, ordering and limits):
+//!
+//! ```text
+//! query   := SELECT items FROM table [JOIN table ON qident = qident]
+//!            [WHERE pred (AND pred)*]
+//!            [GROUP BY qident (',' qident)*]
+//!            [ORDER BY qident [ASC|DESC] (',' ...)*]
+//!            [LIMIT int]
+//! items   := '*' | item (',' item)*
+//! item    := expr [AS ident]
+//! expr    := term (('+'|'-') term)*
+//! term    := factor (('*'|'/') factor)*
+//! factor  := agg '(' expr ')' | COUNT '(' '*' ')' | qident | literal
+//!            | '(' expr ')' | '-' factor
+//! pred    := expr cmp expr          -- one side must reduce to a column,
+//!                                    -- the other to a literal
+//! ```
+//!
+//! `OR`, subqueries and non-equi join conditions are rejected with
+//! `Unsupported` errors naming the construct.
+
+use nodb_types::{CmpOp, Error, Result, Value};
+
+use crate::lexer::{lex, Spanned, Token};
+
+/// A possibly table-qualified identifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QIdent {
+    /// Optional table qualifier (`r` in `r.a1`).
+    pub table: Option<String>,
+    /// Column (or other) name.
+    pub name: String,
+}
+
+impl QIdent {
+    /// Unqualified name.
+    pub fn bare(name: impl Into<String>) -> QIdent {
+        QIdent {
+            table: None,
+            name: name.into(),
+        }
+    }
+}
+
+/// Aggregate function names the parser recognises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstAgg {
+    /// `sum`
+    Sum,
+    /// `min`
+    Min,
+    /// `max`
+    Max,
+    /// `avg`
+    Avg,
+    /// `count`
+    Count,
+}
+
+/// Arithmetic operators in the AST.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstArith {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// An unresolved expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// Column reference.
+    Col(QIdent),
+    /// Literal value.
+    Lit(Value),
+    /// Binary arithmetic.
+    Binary {
+        /// Operator.
+        op: AstArith,
+        /// Left operand.
+        left: Box<AstExpr>,
+        /// Right operand.
+        right: Box<AstExpr>,
+    },
+    /// Aggregate call; `None` argument means `COUNT(*)`.
+    Agg(AstAgg, Option<Box<AstExpr>>),
+}
+
+/// One SELECT-list item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstSelectItem {
+    /// The expression.
+    pub expr: AstExpr,
+    /// Optional `AS` alias.
+    pub alias: Option<String>,
+}
+
+/// One WHERE conjunct: `column op literal` (either side order in the text).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstPred {
+    /// The column side.
+    pub col: QIdent,
+    /// Comparison with the column on the left.
+    pub op: CmpOp,
+    /// The literal side.
+    pub lit: Value,
+}
+
+/// An INNER JOIN clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstJoin {
+    /// Right table name.
+    pub table: String,
+    /// Left side of the ON equality.
+    pub left: QIdent,
+    /// Right side of the ON equality.
+    pub right: QIdent,
+}
+
+/// A parsed SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstQuery {
+    /// SELECT list; empty means `*`.
+    pub items: Vec<AstSelectItem>,
+    /// `true` when the list was `*`.
+    pub star: bool,
+    /// FROM table.
+    pub table: String,
+    /// Optional join.
+    pub join: Option<AstJoin>,
+    /// WHERE conjuncts.
+    pub predicates: Vec<AstPred>,
+    /// GROUP BY columns.
+    pub group_by: Vec<QIdent>,
+    /// ORDER BY columns with ascending flags.
+    pub order_by: Vec<(QIdent, bool)>,
+    /// LIMIT row count.
+    pub limit: Option<usize>,
+}
+
+/// Parse one SELECT statement.
+pub fn parse(src: &str) -> Result<AstQuery> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos].tok
+    }
+
+    fn at(&self) -> usize {
+        self.toks[self.pos].at
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(Error::Sql(format!(
+                "expected {} at byte {}, found {:?}",
+                kw.to_uppercase(),
+                self.at(),
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect(&mut self, tok: Token) -> Result<()> {
+        if *self.peek() == tok {
+            self.bump();
+            Ok(())
+        } else {
+            Err(Error::Sql(format!(
+                "expected {:?} at byte {}, found {:?}",
+                tok,
+                self.at(),
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        match self.peek() {
+            Token::Eof => Ok(()),
+            t => Err(Error::Sql(format!(
+                "unexpected trailing input at byte {}: {:?}",
+                self.at(),
+                t
+            ))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.bump() {
+            Token::Ident(s) => Ok(s),
+            t => Err(Error::Sql(format!("expected identifier, found {t:?}"))),
+        }
+    }
+
+    fn qident_from(&mut self, first: String) -> Result<QIdent> {
+        if *self.peek() == Token::Dot {
+            self.bump();
+            let name = self.ident()?;
+            Ok(QIdent {
+                table: Some(first),
+                name,
+            })
+        } else {
+            Ok(QIdent::bare(first))
+        }
+    }
+
+    fn qident(&mut self) -> Result<QIdent> {
+        let first = self.ident()?;
+        self.qident_from(first)
+    }
+
+    fn query(&mut self) -> Result<AstQuery> {
+        self.expect_kw("select")?;
+        let (items, star) = self.select_list()?;
+        self.expect_kw("from")?;
+        let table = self.ident()?;
+        let join = if self.eat_kw("join") || (self.is_kw("inner") && {
+            self.bump();
+            self.expect_kw("join")?;
+            true
+        }) {
+            let jt = self.ident()?;
+            self.expect_kw("on")?;
+            let left = self.qident()?;
+            self.expect(Token::Eq)?;
+            let right = self.qident()?;
+            Some(AstJoin {
+                table: jt,
+                left,
+                right,
+            })
+        } else {
+            None
+        };
+        let mut predicates = Vec::new();
+        if self.eat_kw("where") {
+            loop {
+                predicates.push(self.predicate()?);
+                if self.is_kw("or") {
+                    return Err(Error::Unsupported(
+                        "OR in WHERE clauses is not supported; conjunctions only".into(),
+                    ));
+                }
+                if !self.eat_kw("and") {
+                    break;
+                }
+            }
+        }
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.qident()?);
+                if !matches!(self.peek(), Token::Comma) {
+                    break;
+                }
+                self.bump();
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let col = self.qident()?;
+                let asc = if self.eat_kw("desc") {
+                    false
+                } else {
+                    self.eat_kw("asc");
+                    true
+                };
+                order_by.push((col, asc));
+                if !matches!(self.peek(), Token::Comma) {
+                    break;
+                }
+                self.bump();
+            }
+        }
+        let limit = if self.eat_kw("limit") {
+            match self.bump() {
+                Token::Int(n) if n >= 0 => Some(n as usize),
+                t => return Err(Error::Sql(format!("LIMIT expects a non-negative integer, found {t:?}"))),
+            }
+        } else {
+            None
+        };
+        Ok(AstQuery {
+            items,
+            star,
+            table,
+            join,
+            predicates,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_list(&mut self) -> Result<(Vec<AstSelectItem>, bool)> {
+        if matches!(self.peek(), Token::Star) {
+            self.bump();
+            return Ok((Vec::new(), true));
+        }
+        let mut items = Vec::new();
+        loop {
+            let expr = self.expr()?;
+            let alias = if self.eat_kw("as") {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            items.push(AstSelectItem { expr, alias });
+            if !matches!(self.peek(), Token::Comma) {
+                break;
+            }
+            self.bump();
+        }
+        Ok((items, false))
+    }
+
+    fn predicate(&mut self) -> Result<AstPred> {
+        let left = self.expr()?;
+        let op = match self.bump() {
+            Token::Eq => CmpOp::Eq,
+            Token::Ne => CmpOp::Ne,
+            Token::Lt => CmpOp::Lt,
+            Token::Le => CmpOp::Le,
+            Token::Gt => CmpOp::Gt,
+            Token::Ge => CmpOp::Ge,
+            t => return Err(Error::Sql(format!("expected comparison operator, found {t:?}"))),
+        };
+        let right = self.expr()?;
+        // Normalise to column-op-literal.
+        match (left, right) {
+            (AstExpr::Col(c), AstExpr::Lit(v)) => Ok(AstPred { col: c, op, lit: v }),
+            (AstExpr::Lit(v), AstExpr::Col(c)) => {
+                let flipped = match op {
+                    CmpOp::Lt => CmpOp::Gt,
+                    CmpOp::Le => CmpOp::Ge,
+                    CmpOp::Gt => CmpOp::Lt,
+                    CmpOp::Ge => CmpOp::Le,
+                    other => other,
+                };
+                Ok(AstPred {
+                    col: c,
+                    op: flipped,
+                    lit: v,
+                })
+            }
+            _ => Err(Error::Unsupported(
+                "WHERE predicates must compare a column with a literal".into(),
+            )),
+        }
+    }
+
+    fn expr(&mut self) -> Result<AstExpr> {
+        let mut left = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => AstArith::Add,
+                Token::Minus => AstArith::Sub,
+                _ => break,
+            };
+            self.bump();
+            let right = self.term()?;
+            left = AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn term(&mut self) -> Result<AstExpr> {
+        let mut left = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => AstArith::Mul,
+                Token::Slash => AstArith::Div,
+                _ => break,
+            };
+            self.bump();
+            let right = self.factor()?;
+            left = AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn factor(&mut self) -> Result<AstExpr> {
+        match self.bump() {
+            Token::Int(n) => Ok(AstExpr::Lit(Value::Int(n))),
+            Token::Float(f) => Ok(AstExpr::Lit(Value::Float(f))),
+            Token::Str(s) => Ok(AstExpr::Lit(Value::Str(s))),
+            Token::Minus => {
+                let inner = self.factor()?;
+                match inner {
+                    AstExpr::Lit(Value::Int(n)) => Ok(AstExpr::Lit(Value::Int(-n))),
+                    AstExpr::Lit(Value::Float(f)) => Ok(AstExpr::Lit(Value::Float(-f))),
+                    e => Ok(AstExpr::Binary {
+                        op: AstArith::Sub,
+                        left: Box::new(AstExpr::Lit(Value::Int(0))),
+                        right: Box::new(e),
+                    }),
+                }
+            }
+            Token::LParen => {
+                let e = self.expr()?;
+                self.expect(Token::RParen)?;
+                Ok(e)
+            }
+            Token::Ident(name) => {
+                let agg = match name.to_ascii_lowercase().as_str() {
+                    "sum" => Some(AstAgg::Sum),
+                    "min" => Some(AstAgg::Min),
+                    "max" => Some(AstAgg::Max),
+                    "avg" => Some(AstAgg::Avg),
+                    "count" => Some(AstAgg::Count),
+                    _ => None,
+                };
+                if let (Some(a), Token::LParen) = (agg, self.peek().clone()) {
+                    self.bump();
+                    if a == AstAgg::Count && matches!(self.peek(), Token::Star) {
+                        self.bump();
+                        self.expect(Token::RParen)?;
+                        return Ok(AstExpr::Agg(AstAgg::Count, None));
+                    }
+                    let arg = self.expr()?;
+                    self.expect(Token::RParen)?;
+                    return Ok(AstExpr::Agg(a, Some(Box::new(arg))));
+                }
+                Ok(AstExpr::Col(self.qident_from(name)?))
+            }
+            t => Err(Error::Sql(format!("unexpected token in expression: {t:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_q1_parses() {
+        let q = parse(
+            "select sum(a1),min(a4),max(a3),avg(a2) from R \
+             where a1>5 and a1<10 and a2>3 and a2<8",
+        )
+        .unwrap();
+        assert_eq!(q.table, "R");
+        assert_eq!(q.items.len(), 4);
+        assert_eq!(q.predicates.len(), 4);
+        assert!(matches!(&q.items[0].expr, AstExpr::Agg(AstAgg::Sum, Some(_))));
+        assert_eq!(q.predicates[0].op, CmpOp::Gt);
+        assert_eq!(q.predicates[0].lit, Value::Int(5));
+    }
+
+    #[test]
+    fn star_and_limit() {
+        let q = parse("select * from t limit 10").unwrap();
+        assert!(q.star);
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn join_on_clause() {
+        let q = parse("select r.a1, s.a2 from r join s on r.a1 = s.a1").unwrap();
+        let j = q.join.unwrap();
+        assert_eq!(j.table, "s");
+        assert_eq!(j.left.table.as_deref(), Some("r"));
+        assert_eq!(j.right.name, "a1");
+        assert_eq!(q.items.len(), 2);
+    }
+
+    #[test]
+    fn inner_join_keyword() {
+        let q = parse("select a1 from r inner join s on r.k = s.k").unwrap();
+        assert!(q.join.is_some());
+    }
+
+    #[test]
+    fn group_order_alias() {
+        let q = parse(
+            "select a1 as key, count(*) as n from t \
+             group by a1 order by a1 desc, a2 limit 5",
+        )
+        .unwrap();
+        assert_eq!(q.items[0].alias.as_deref(), Some("key"));
+        assert_eq!(q.group_by, vec![QIdent::bare("a1")]);
+        assert_eq!(q.order_by.len(), 2);
+        assert!(!q.order_by[0].1); // desc
+        assert!(q.order_by[1].1); // implicit asc
+    }
+
+    #[test]
+    fn reversed_predicate_normalised() {
+        let q = parse("select a1 from t where 5 < a1").unwrap();
+        assert_eq!(q.predicates[0].op, CmpOp::Gt);
+        assert_eq!(q.predicates[0].col, QIdent::bare("a1"));
+    }
+
+    #[test]
+    fn negative_literals() {
+        let q = parse("select a1 from t where a1 > -42").unwrap();
+        assert_eq!(q.predicates[0].lit, Value::Int(-42));
+    }
+
+    #[test]
+    fn string_predicate() {
+        let q = parse("select a1 from t where name = 'bob'").unwrap();
+        assert_eq!(q.predicates[0].lit, Value::Str("bob".into()));
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let q = parse("select a1 + a2 * 2 from t").unwrap();
+        match &q.items[0].expr {
+            AstExpr::Binary { op: AstArith::Add, right, .. } => {
+                assert!(matches!(**right, AstExpr::Binary { op: AstArith::Mul, .. }));
+            }
+            other => panic!("wrong tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        let q = parse("select (a1 + a2) * 2 from t").unwrap();
+        assert!(matches!(
+            &q.items[0].expr,
+            AstExpr::Binary { op: AstArith::Mul, .. }
+        ));
+    }
+
+    #[test]
+    fn count_star_parses() {
+        let q = parse("select count(*) from t").unwrap();
+        assert_eq!(q.items[0].expr, AstExpr::Agg(AstAgg::Count, None));
+    }
+
+    #[test]
+    fn or_rejected_with_clear_message() {
+        let e = parse("select a1 from t where a1 > 1 or a1 < 0").unwrap_err();
+        assert!(matches!(e, Error::Unsupported(_)));
+    }
+
+    #[test]
+    fn column_vs_column_predicate_rejected() {
+        assert!(parse("select a1 from t where a1 > a2").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("select a1 from t banana").is_err());
+    }
+
+    #[test]
+    fn missing_from_rejected() {
+        let e = parse("select a1").unwrap_err().to_string();
+        assert!(e.contains("FROM"), "{e}");
+    }
+
+    #[test]
+    fn negative_limit_rejected() {
+        assert!(parse("select a1 from t limit -1").is_err());
+    }
+}

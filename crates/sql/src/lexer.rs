@@ -1,0 +1,341 @@
+//! SQL lexer.
+//!
+//! Hand-rolled, single pass, with byte positions kept for error messages.
+//! Keywords are case-insensitive; identifiers keep their original case but
+//! compare case-insensitively during planning.
+
+use nodb_types::{Error, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (classified by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes removed, `''` unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+/// A token plus its byte offset in the source (for diagnostics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Token,
+    /// Byte offset where it starts.
+    pub at: usize,
+}
+
+/// Tokenize SQL text.
+pub fn lex(src: &str) -> Result<Vec<Spanned>> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'-' if b.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                out.push(Spanned { tok: Token::LParen, at: i });
+                i += 1;
+            }
+            b')' => {
+                out.push(Spanned { tok: Token::RParen, at: i });
+                i += 1;
+            }
+            b',' => {
+                out.push(Spanned { tok: Token::Comma, at: i });
+                i += 1;
+            }
+            b'.' if !b.get(i + 1).is_some_and(u8::is_ascii_digit) => {
+                out.push(Spanned { tok: Token::Dot, at: i });
+                i += 1;
+            }
+            b'*' => {
+                out.push(Spanned { tok: Token::Star, at: i });
+                i += 1;
+            }
+            b'+' => {
+                out.push(Spanned { tok: Token::Plus, at: i });
+                i += 1;
+            }
+            b'-' => {
+                out.push(Spanned { tok: Token::Minus, at: i });
+                i += 1;
+            }
+            b'/' => {
+                out.push(Spanned { tok: Token::Slash, at: i });
+                i += 1;
+            }
+            b'=' => {
+                out.push(Spanned { tok: Token::Eq, at: i });
+                i += 1;
+            }
+            b'!' if b.get(i + 1) == Some(&b'=') => {
+                out.push(Spanned { tok: Token::Ne, at: i });
+                i += 2;
+            }
+            b'<' => match b.get(i + 1) {
+                Some(b'=') => {
+                    out.push(Spanned { tok: Token::Le, at: i });
+                    i += 2;
+                }
+                Some(b'>') => {
+                    out.push(Spanned { tok: Token::Ne, at: i });
+                    i += 2;
+                }
+                _ => {
+                    out.push(Spanned { tok: Token::Lt, at: i });
+                    i += 1;
+                }
+            },
+            b'>' => match b.get(i + 1) {
+                Some(b'=') => {
+                    out.push(Spanned { tok: Token::Ge, at: i });
+                    i += 2;
+                }
+                _ => {
+                    out.push(Spanned { tok: Token::Gt, at: i });
+                    i += 1;
+                }
+            },
+            b'\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match b.get(i) {
+                        None => {
+                            return Err(Error::Sql(format!(
+                                "unterminated string literal starting at byte {start}"
+                            )))
+                        }
+                        Some(b'\'') if b.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            // Respect UTF-8 boundaries via str indexing.
+                            let rest = &src[i..];
+                            let ch = rest.chars().next().expect("non-empty");
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                out.push(Spanned {
+                    tok: Token::Str(s),
+                    at: start,
+                });
+            }
+            b'0'..=b'9' | b'.' => {
+                let start = i;
+                let mut saw_dot = false;
+                let mut saw_exp = false;
+                while i < b.len() {
+                    match b[i] {
+                        b'0'..=b'9' => i += 1,
+                        b'.' if !saw_dot && !saw_exp => {
+                            saw_dot = true;
+                            i += 1;
+                        }
+                        b'e' | b'E' if !saw_exp && i > start => {
+                            saw_exp = true;
+                            i += 1;
+                            if matches!(b.get(i), Some(b'+') | Some(b'-')) {
+                                i += 1;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &src[start..i];
+                let tok = if saw_dot || saw_exp {
+                    Token::Float(text.parse::<f64>().map_err(|e| {
+                        Error::Sql(format!("bad float literal {text:?}: {e}"))
+                    })?)
+                } else {
+                    Token::Int(text.parse::<i64>().map_err(|e| {
+                        Error::Sql(format!("bad int literal {text:?}: {e}"))
+                    })?)
+                };
+                out.push(Spanned { tok, at: start });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Spanned {
+                    tok: Token::Ident(src[start..i].to_owned()),
+                    at: start,
+                });
+            }
+            other => {
+                return Err(Error::Sql(format!(
+                    "unexpected character {:?} at byte {i}",
+                    other as char
+                )))
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Token::Eof,
+        at: src.len(),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_symbols() {
+        assert_eq!(
+            toks("select sum(a1) from r"),
+            vec![
+                Token::Ident("select".into()),
+                Token::Ident("sum".into()),
+                Token::LParen,
+                Token::Ident("a1".into()),
+                Token::RParen,
+                Token::Ident("from".into()),
+                Token::Ident("r".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("< <= > >= = <> !="),
+            vec![
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Eq,
+                Token::Ne,
+                Token::Ne,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numeric_literals() {
+        assert_eq!(
+            toks("42 -7 2.5 1e3 2.5e-2"),
+            vec![
+                Token::Int(42),
+                Token::Minus,
+                Token::Int(7),
+                Token::Float(2.5),
+                Token::Float(1000.0),
+                Token::Float(0.025),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        assert_eq!(
+            toks("'hello' 'it''s'"),
+            vec![
+                Token::Str("hello".into()),
+                Token::Str("it's".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn qualified_names_lex_as_ident_dot_ident() {
+        assert_eq!(
+            toks("r.a1"),
+            vec![
+                Token::Ident("r".into()),
+                Token::Dot,
+                Token::Ident("a1".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("select -- comment here\n 1"),
+            vec![Token::Ident("select".into()), Token::Int(1), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        let e = lex("select ;").unwrap_err().to_string();
+        assert!(e.contains("';'"), "{e}");
+    }
+
+    #[test]
+    fn spans_recorded() {
+        let spanned = lex("a  b").unwrap();
+        assert_eq!(spanned[0].at, 0);
+        assert_eq!(spanned[1].at, 3);
+    }
+}

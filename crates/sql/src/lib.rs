@@ -1,0 +1,16 @@
+//! # nodb-sql — declarative interface
+//!
+//! "Expressing queries in the declarative SQL language is a major benefit of
+//! a DBMS" (§2.2). A hand-rolled lexer ([`lexer`]), recursive-descent parser
+//! ([`ast`]) and name resolver ([`plan`](mod@plan)) covering the paper's query shapes:
+//! aggregates, conjunctive range predicates, equi-joins, grouping, ordering
+//! and limits. The planner's [`plan::Plan`] exposes per-table referenced
+//! columns and predicate splits — the inputs the adaptive loading policies
+//! consume.
+
+pub mod ast;
+pub mod lexer;
+pub mod plan;
+
+pub use ast::{parse, AstQuery};
+pub use plan::{plan, plan_sql, OutputExpr, Plan, ResolvedJoin, SchemaProvider};

@@ -1,0 +1,332 @@
+//! Database cracking — the adaptive index behind Figure 1's "Index DB"
+//! curve (Idreos, Kersten, Manegold, CIDR 2007; the paper's reference 12).
+//!
+//! A cracked column physically reorganises its value array as a side effect
+//! of range queries: each selection partitions the piece(s) overlapping its
+//! bounds, so the column converges towards sorted order exactly where the
+//! workload looks. Tuple reconstruction is supported by carrying a rowid
+//! permutation alongside the values.
+//!
+//! Only `i64` columns crack (the paper's workloads are unique integers);
+//! other types fall back to scans in the execution layer.
+
+use std::collections::BTreeMap;
+
+use nodb_types::{Bound, Interval, Value};
+
+/// An adaptively indexed integer column.
+#[derive(Debug, Clone)]
+pub struct CrackedColumn {
+    vals: Vec<i64>,
+    rowids: Vec<u64>,
+    /// Piece boundaries: an entry `(v, p)` guarantees `vals[..p] < v` and
+    /// `vals[p..] >= v`.
+    index: BTreeMap<i64, usize>,
+    cracks: u64,
+}
+
+impl CrackedColumn {
+    /// Build from a dense column (rowid `i` = position `i`).
+    pub fn new(vals: Vec<i64>) -> CrackedColumn {
+        let n = vals.len();
+        CrackedColumn {
+            vals,
+            rowids: (0..n as u64).collect(),
+            index: BTreeMap::new(),
+            cracks: 0,
+        }
+    }
+
+    /// Build from values paired with explicit rowids.
+    pub fn with_rowids(vals: Vec<i64>, rowids: Vec<u64>) -> CrackedColumn {
+        assert_eq!(vals.len(), rowids.len());
+        CrackedColumn {
+            vals,
+            rowids,
+            index: BTreeMap::new(),
+            cracks: 0,
+        }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// True when the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Number of physical reorganisation (partition) steps performed.
+    pub fn crack_count(&self) -> u64 {
+        self.cracks
+    }
+
+    /// Number of pieces the column is currently divided into.
+    pub fn piece_count(&self) -> usize {
+        self.index.len() + 1
+    }
+
+    /// Approximate memory footprint.
+    pub fn approx_bytes(&self) -> usize {
+        self.vals.len() * 8 + self.rowids.len() * 8 + self.index.len() * 24
+    }
+
+    /// Answer a range selection: returns the contiguous `(values, rowids)`
+    /// region holding exactly the values inside `iv`, cracking the column
+    /// as a side effect. `None` when the interval is not integer-expressible.
+    pub fn select(&mut self, iv: &Interval) -> Option<(&[i64], &[u64])> {
+        let lo = match iv.lo() {
+            Bound::Unbounded => None,
+            Bound::Inclusive(Value::Int(v)) => Some(*v),
+            Bound::Exclusive(Value::Int(v)) => Some(v.checked_add(1)?),
+            _ => return None,
+        };
+        let hi = match iv.hi() {
+            Bound::Unbounded => None,
+            Bound::Inclusive(Value::Int(v)) => Some(v.checked_add(1)?), // first excluded
+            Bound::Exclusive(Value::Int(v)) => Some(*v),
+            _ => return None,
+        };
+        let a = match lo {
+            Some(v) => self.crack_at(v),
+            None => 0,
+        };
+        let b = match hi {
+            Some(v) => self.crack_at(v),
+            None => self.vals.len(),
+        };
+        let (a, b) = (a.min(b), b.max(a));
+        Some((&self.vals[a..b], &self.rowids[a..b]))
+    }
+
+    /// Ensure a piece boundary exists at `v` (`vals[..p] < v <= vals[p..]`)
+    /// and return its position.
+    fn crack_at(&mut self, v: i64) -> usize {
+        if let Some(&p) = self.index.get(&v) {
+            return p;
+        }
+        let lo = self
+            .index
+            .range(..v)
+            .next_back()
+            .map(|(_, &p)| p)
+            .unwrap_or(0);
+        let hi = self
+            .index
+            .range(v..)
+            .next()
+            .map(|(_, &p)| p)
+            .unwrap_or(self.vals.len());
+        let p = lo + partition(&mut self.vals[lo..hi], &mut self.rowids[lo..hi], v);
+        self.index.insert(v, p);
+        self.cracks += 1;
+        p
+    }
+
+    /// The raw (reorganised) values — for tests and diagnostics.
+    pub fn values(&self) -> &[i64] {
+        &self.vals
+    }
+
+    /// The rowid permutation aligned with [`CrackedColumn::values`].
+    pub fn rowids(&self) -> &[u64] {
+        &self.rowids
+    }
+
+    /// Check the internal piece invariant (used by tests; O(n log n)).
+    pub fn check_invariants(&self) -> bool {
+        for (&v, &p) in &self.index {
+            if p > self.vals.len() {
+                return false;
+            }
+            if self.vals[..p].iter().any(|&x| x >= v) {
+                return false;
+            }
+            if self.vals[p..].iter().any(|&x| x < v) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Two-sided in-place partition: after the call, elements `< pivot` precede
+/// the returned split point and elements `>= pivot` follow it. Rowids move
+/// with their values.
+fn partition(vals: &mut [i64], rowids: &mut [u64], pivot: i64) -> usize {
+    let mut i = 0;
+    let mut j = vals.len();
+    loop {
+        while i < j && vals[i] < pivot {
+            i += 1;
+        }
+        while i < j && vals[j - 1] >= pivot {
+            j -= 1;
+        }
+        if i >= j {
+            return i;
+        }
+        vals.swap(i, j - 1);
+        rowids.swap(i, j - 1);
+        i += 1;
+        j -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodb_types::{CmpOp, ColPred};
+
+    fn interval(lo: i64, hi: i64) -> Interval {
+        // Paper-style strict range: lo < x < hi.
+        let c = nodb_types::Conjunction::new(vec![
+            ColPred::new(0, CmpOp::Gt, lo),
+            ColPred::new(0, CmpOp::Lt, hi),
+        ]);
+        c.to_box().unwrap().by_col.get(&0).unwrap().clone()
+    }
+
+    #[test]
+    fn select_returns_exactly_range_values() {
+        let mut c = CrackedColumn::new(vec![5, 1, 9, 3, 7, 0, 8, 2, 6, 4]);
+        let (vals, rowids) = c.select(&interval(2, 7)).unwrap();
+        let mut got: Vec<i64> = vals.to_vec();
+        got.sort_unstable();
+        assert_eq!(got, vec![3, 4, 5, 6]);
+        assert_eq!(vals.len(), rowids.len());
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn rowids_track_values() {
+        let orig = vec![5i64, 1, 9, 3, 7];
+        let mut c = CrackedColumn::new(orig.clone());
+        let (vals, rowids) = c.select(&interval(0, 10)).unwrap();
+        for (v, r) in vals.iter().zip(rowids) {
+            assert_eq!(orig[*r as usize], *v);
+        }
+    }
+
+    #[test]
+    fn repeated_queries_reuse_pieces() {
+        let mut c = CrackedColumn::new((0..1000).rev().collect());
+        c.select(&interval(100, 200)).unwrap();
+        let cracks_after_first = c.crack_count();
+        assert_eq!(cracks_after_first, 2);
+        // Same query again: no new cracks.
+        c.select(&interval(100, 200)).unwrap();
+        assert_eq!(c.crack_count(), cracks_after_first);
+        // Overlapping query adds at most 2 more.
+        c.select(&interval(150, 250)).unwrap();
+        assert!(c.crack_count() <= cracks_after_first + 2);
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn unbounded_sides() {
+        let mut c = CrackedColumn::new(vec![3, 1, 2]);
+        let all = Interval::all();
+        let (vals, _) = c.select(&all).unwrap();
+        assert_eq!(vals.len(), 3);
+        let half = nodb_types::Conjunction::new(vec![ColPred::new(0, CmpOp::Ge, 2i64)])
+            .to_box()
+            .unwrap()
+            .by_col[&0]
+            .clone();
+        let (vals, _) = c.select(&half).unwrap();
+        let mut got = vals.to_vec();
+        got.sort_unstable();
+        assert_eq!(got, vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_result_ranges() {
+        let mut c = CrackedColumn::new(vec![10, 20, 30]);
+        let (vals, _) = c.select(&interval(21, 29)).unwrap();
+        assert!(vals.is_empty());
+        let (vals, _) = c.select(&interval(100, 200)).unwrap();
+        assert!(vals.is_empty());
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn empty_column() {
+        let mut c = CrackedColumn::new(vec![]);
+        let (vals, rowids) = c.select(&interval(0, 10)).unwrap();
+        assert!(vals.is_empty() && rowids.is_empty());
+    }
+
+    #[test]
+    fn duplicates_handled() {
+        let mut c = CrackedColumn::new(vec![5, 5, 5, 1, 1, 9]);
+        let (vals, _) = c.select(&interval(4, 6)).unwrap();
+        assert_eq!(vals, &[5, 5, 5]);
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn float_interval_unsupported() {
+        let mut c = CrackedColumn::new(vec![1, 2, 3]);
+        let iv = Interval::new(
+            Bound::Inclusive(Value::Float(1.5)),
+            Bound::Unbounded,
+        )
+        .unwrap();
+        assert!(c.select(&iv).is_none());
+    }
+
+    #[test]
+    fn piece_count_grows_with_distinct_bounds() {
+        let mut c = CrackedColumn::new((0..100).collect());
+        assert_eq!(c.piece_count(), 1);
+        c.select(&interval(10, 20)).unwrap();
+        assert_eq!(c.piece_count(), 3);
+        c.select(&interval(50, 60)).unwrap();
+        assert_eq!(c.piece_count(), 5);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Cracking preserves the multiset of (value, rowid) pairs and
+            /// every select returns exactly the in-range values.
+            #[test]
+            fn crack_preserves_and_selects(
+                vals in proptest::collection::vec(-100i64..100, 0..200),
+                queries in proptest::collection::vec((-110i64..110, 2i64..50), 1..12)) {
+                let mut expected_pairs: Vec<(i64, u64)> = vals
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| (v, i as u64))
+                    .collect();
+                expected_pairs.sort_unstable();
+                let mut c = CrackedColumn::new(vals.clone());
+                for (lo, w) in queries {
+                    let hi = lo + w;
+                    let (got_vals, got_ids) = c.select(&interval(lo, hi)).unwrap();
+                    let mut got: Vec<i64> = got_vals.to_vec();
+                    got.sort_unstable();
+                    let mut want: Vec<i64> = vals.iter().copied()
+                        .filter(|&v| v > lo && v < hi).collect();
+                    want.sort_unstable();
+                    prop_assert_eq!(&got, &want);
+                    // Rowids still point at the right original values.
+                    for (v, r) in got_vals.iter().zip(got_ids) {
+                        prop_assert_eq!(vals[*r as usize], *v);
+                    }
+                    prop_assert!(c.check_invariants());
+                }
+                // Multiset preserved.
+                let mut pairs: Vec<(i64, u64)> = c.values().iter().copied()
+                    .zip(c.rowids().iter().copied()).collect();
+                pairs.sort_unstable();
+                prop_assert_eq!(pairs, expected_pairs);
+            }
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # nodb-store — the adaptive store
+//!
+//! In the NoDB architecture the storage layer has two parts: "(a) the flat
+//! data files and (b) the data that the engine creates to fit the workload,
+//! the Adaptive Store" (§5.1). This crate is part (b):
+//!
+//! * [`adaptive`] — per-table storage holding full columns, selection-box
+//!   fragments (partial loads) and cracked copies side by side, with LRU
+//!   eviction under a byte budget (§5.1.3 life-time management);
+//! * [`cracking`] — database cracking, the adaptive index behind Figure 1's
+//!   "Index DB" curve;
+//! * [`formats`] — NSM row batches and PAX pages with lossless conversions
+//!   (multi-format storage, §5.1.1);
+//! * [`persist`] — typed binary column files so restarts ("cold DB" runs)
+//!   skip re-parsing CSV.
+
+pub mod adaptive;
+pub mod cracking;
+pub mod formats;
+pub mod persist;
+
+pub use adaptive::{Fragment, FullColumn, TableData};
+pub use cracking::CrackedColumn;
+pub use formats::{
+    columns_to_pax, columns_to_rows, pax_to_columns, rows_to_columns, PaxPage, PaxTable, RowBatch,
+};
+pub use persist::{read_column, write_column};

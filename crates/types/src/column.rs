@@ -1,0 +1,420 @@
+//! Typed column containers.
+//!
+//! `ColumnData` is the array-shaped currency of the engine: the tokenizer
+//! produces it, the adaptive store caches it, the kernel scans it. Values are
+//! stored unboxed per type (a `Vec<i64>` for int columns), with an optional
+//! null mask allocated only when a null actually appears — the fast path for
+//! the paper's all-integer workloads never touches the mask.
+
+use crate::error::{Error, Result};
+use crate::value::{DataType, Value};
+
+/// A typed, contiguous column of values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// 64-bit integers. `nulls[i] == true` means row `i` is NULL (the entry
+    /// in `values` is then 0 and meaningless).
+    Int64 {
+        /// Unboxed values.
+        values: Vec<i64>,
+        /// Null mask; `None` means "no nulls anywhere".
+        nulls: Option<Vec<bool>>,
+    },
+    /// 64-bit floats.
+    Float64 {
+        /// Unboxed values.
+        values: Vec<f64>,
+        /// Null mask; `None` means "no nulls anywhere".
+        nulls: Option<Vec<bool>>,
+    },
+    /// UTF-8 strings.
+    Str {
+        /// Owned strings (empty for nulls).
+        values: Vec<String>,
+        /// Null mask; `None` means "no nulls anywhere".
+        nulls: Option<Vec<bool>>,
+    },
+}
+
+impl ColumnData {
+    /// An empty column of the given type.
+    pub fn empty(ty: DataType) -> ColumnData {
+        match ty {
+            DataType::Int64 => ColumnData::Int64 {
+                values: Vec::new(),
+                nulls: None,
+            },
+            DataType::Float64 => ColumnData::Float64 {
+                values: Vec::new(),
+                nulls: None,
+            },
+            DataType::Str => ColumnData::Str {
+                values: Vec::new(),
+                nulls: None,
+            },
+        }
+    }
+
+    /// An empty column with reserved capacity.
+    pub fn with_capacity(ty: DataType, cap: usize) -> ColumnData {
+        match ty {
+            DataType::Int64 => ColumnData::Int64 {
+                values: Vec::with_capacity(cap),
+                nulls: None,
+            },
+            DataType::Float64 => ColumnData::Float64 {
+                values: Vec::with_capacity(cap),
+                nulls: None,
+            },
+            DataType::Str => ColumnData::Str {
+                values: Vec::with_capacity(cap),
+                nulls: None,
+            },
+        }
+    }
+
+    /// Build an int column from values (no nulls).
+    pub fn from_i64(values: Vec<i64>) -> ColumnData {
+        ColumnData::Int64 {
+            values,
+            nulls: None,
+        }
+    }
+
+    /// Build a float column from values (no nulls).
+    pub fn from_f64(values: Vec<f64>) -> ColumnData {
+        ColumnData::Float64 {
+            values,
+            nulls: None,
+        }
+    }
+
+    /// Build a string column from values (no nulls).
+    pub fn from_strings(values: Vec<String>) -> ColumnData {
+        ColumnData::Str {
+            values,
+            nulls: None,
+        }
+    }
+
+    /// The column's data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ColumnData::Int64 { .. } => DataType::Int64,
+            ColumnData::Float64 { .. } => DataType::Float64,
+            ColumnData::Str { .. } => DataType::Str,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int64 { values, .. } => values.len(),
+            ColumnData::Float64 { values, .. } => values.len(),
+            ColumnData::Str { values, .. } => values.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Is row `i` null?
+    pub fn is_null(&self, i: usize) -> bool {
+        match self {
+            ColumnData::Int64 { nulls, .. }
+            | ColumnData::Float64 { nulls, .. }
+            | ColumnData::Str { nulls, .. } => {
+                nulls.as_ref().map(|m| m[i]).unwrap_or(false)
+            }
+        }
+    }
+
+    /// Boxed value at row `i` (panics on out-of-range, like slice indexing).
+    pub fn get(&self, i: usize) -> Value {
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match self {
+            ColumnData::Int64 { values, .. } => Value::Int(values[i]),
+            ColumnData::Float64 { values, .. } => Value::Float(values[i]),
+            ColumnData::Str { values, .. } => Value::Str(values[i].clone()),
+        }
+    }
+
+    /// Append a (possibly null) value; the value must match the column type.
+    pub fn push(&mut self, v: Value) -> Result<()> {
+        let n = self.len();
+        match (self, v) {
+            (ColumnData::Int64 { values, nulls }, Value::Int(x)) => {
+                values.push(x);
+                if let Some(m) = nulls {
+                    m.push(false);
+                }
+            }
+            (ColumnData::Float64 { values, nulls }, Value::Float(x)) => {
+                values.push(x);
+                if let Some(m) = nulls {
+                    m.push(false);
+                }
+            }
+            (ColumnData::Str { values, nulls }, Value::Str(x)) => {
+                values.push(x);
+                if let Some(m) = nulls {
+                    m.push(false);
+                }
+            }
+            (col, Value::Null) => {
+                match col {
+                    ColumnData::Int64 { values, nulls } => {
+                        values.push(0);
+                        nulls.get_or_insert_with(|| vec![false; n]).push(true);
+                    }
+                    ColumnData::Float64 { values, nulls } => {
+                        values.push(0.0);
+                        nulls.get_or_insert_with(|| vec![false; n]).push(true);
+                    }
+                    ColumnData::Str { values, nulls } => {
+                        values.push(String::new());
+                        nulls.get_or_insert_with(|| vec![false; n]).push(true);
+                    }
+                }
+            }
+            (col, v) => {
+                return Err(Error::schema(format!(
+                    "type mismatch: pushing {:?} into {} column",
+                    v,
+                    col.data_type()
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Build a column of type `ty` from boxed values.
+    pub fn from_values(ty: DataType, vals: impl IntoIterator<Item = Value>) -> Result<ColumnData> {
+        let iter = vals.into_iter();
+        let mut col = ColumnData::with_capacity(ty, iter.size_hint().0);
+        for v in iter {
+            col.push(v)?;
+        }
+        Ok(col)
+    }
+
+    /// Move all rows of `other` onto the end of `self` (bulk, typed; no
+    /// per-value boxing). The columns must have the same type.
+    pub fn append(&mut self, other: ColumnData) -> Result<()> {
+        if self.data_type() != other.data_type() {
+            return Err(Error::schema(format!(
+                "cannot append {} column to {} column",
+                other.data_type(),
+                self.data_type()
+            )));
+        }
+        fn merge_masks(
+            dst: &mut Option<Vec<bool>>,
+            dst_len: usize,
+            src: Option<Vec<bool>>,
+            src_len: usize,
+        ) {
+            match (dst.as_mut(), src) {
+                (None, None) => {}
+                (Some(d), None) => d.extend(std::iter::repeat_n(false, src_len)),
+                (None, Some(s)) => {
+                    let mut m = vec![false; dst_len];
+                    m.extend(s);
+                    *dst = Some(m);
+                }
+                (Some(d), Some(s)) => d.extend(s),
+            }
+        }
+        let dst_len = self.len();
+        let src_len = other.len();
+        match (self, other) {
+            (
+                ColumnData::Int64 { values, nulls },
+                ColumnData::Int64 {
+                    values: mut v2,
+                    nulls: n2,
+                },
+            ) => {
+                values.append(&mut v2);
+                merge_masks(nulls, dst_len, n2, src_len);
+            }
+            (
+                ColumnData::Float64 { values, nulls },
+                ColumnData::Float64 {
+                    values: mut v2,
+                    nulls: n2,
+                },
+            ) => {
+                values.append(&mut v2);
+                merge_masks(nulls, dst_len, n2, src_len);
+            }
+            (
+                ColumnData::Str { values, nulls },
+                ColumnData::Str {
+                    values: mut v2,
+                    nulls: n2,
+                },
+            ) => {
+                values.append(&mut v2);
+                merge_masks(nulls, dst_len, n2, src_len);
+            }
+            _ => unreachable!("type equality checked above"),
+        }
+        Ok(())
+    }
+
+    /// Gather rows by index into a new column (panics on out-of-range).
+    pub fn take(&self, indices: &[usize]) -> ColumnData {
+        // Typed fast paths: no per-value boxing.
+        match self {
+            ColumnData::Int64 { values, nulls } => ColumnData::Int64 {
+                values: indices.iter().map(|&i| values[i]).collect(),
+                nulls: nulls
+                    .as_ref()
+                    .map(|m| indices.iter().map(|&i| m[i]).collect()),
+            },
+            ColumnData::Float64 { values, nulls } => ColumnData::Float64 {
+                values: indices.iter().map(|&i| values[i]).collect(),
+                nulls: nulls
+                    .as_ref()
+                    .map(|m| indices.iter().map(|&i| m[i]).collect()),
+            },
+            ColumnData::Str { values, nulls } => ColumnData::Str {
+                values: indices.iter().map(|&i| values[i].clone()).collect(),
+                nulls: nulls
+                    .as_ref()
+                    .map(|m| indices.iter().map(|&i| m[i]).collect()),
+            },
+        }
+    }
+
+    /// Iterate boxed values (convenience for tests and row-at-a-time paths).
+    pub fn iter_values(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Direct access to int values. `None` if not an int column.
+    pub fn as_i64_slice(&self) -> Option<&[i64]> {
+        match self {
+            ColumnData::Int64 { values, .. } => Some(values),
+            _ => None,
+        }
+    }
+
+    /// Direct access to float values. `None` if not a float column.
+    pub fn as_f64_slice(&self) -> Option<&[f64]> {
+        match self {
+            ColumnData::Float64 { values, .. } => Some(values),
+            _ => None,
+        }
+    }
+
+    /// Direct access to string values. `None` if not a string column.
+    pub fn as_str_slice(&self) -> Option<&[String]> {
+        match self {
+            ColumnData::Str { values, .. } => Some(values),
+            _ => None,
+        }
+    }
+
+    /// Approximate memory footprint in bytes (for store accounting).
+    pub fn approx_bytes(&self) -> usize {
+        let mask = |m: &Option<Vec<bool>>| m.as_ref().map(|v| v.len()).unwrap_or(0);
+        match self {
+            ColumnData::Int64 { values, nulls } => values.len() * 8 + mask(nulls),
+            ColumnData::Float64 { values, nulls } => values.len() * 8 + mask(nulls),
+            ColumnData::Str { values, nulls } => {
+                values
+                    .iter()
+                    .map(|s| s.len() + std::mem::size_of::<String>())
+                    .sum::<usize>()
+                    + mask(nulls)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_round_trip() {
+        let mut c = ColumnData::empty(DataType::Int64);
+        c.push(Value::Int(1)).unwrap();
+        c.push(Value::Null).unwrap();
+        c.push(Value::Int(3)).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(0), Value::Int(1));
+        assert_eq!(c.get(1), Value::Null);
+        assert_eq!(c.get(2), Value::Int(3));
+        assert!(c.is_null(1));
+        assert!(!c.is_null(2));
+    }
+
+    #[test]
+    fn null_mask_lazily_allocated() {
+        let mut c = ColumnData::empty(DataType::Float64);
+        c.push(Value::Float(1.0)).unwrap();
+        assert!(matches!(&c, ColumnData::Float64 { nulls: None, .. }));
+        c.push(Value::Null).unwrap();
+        assert!(matches!(&c, ColumnData::Float64 { nulls: Some(_), .. }));
+        // Mask must be retroactively correct for earlier rows.
+        assert!(!c.is_null(0));
+        assert!(c.is_null(1));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut c = ColumnData::empty(DataType::Int64);
+        assert!(c.push(Value::Str("x".into())).is_err());
+        assert!(c.push(Value::Float(1.0)).is_err());
+    }
+
+    #[test]
+    fn take_gathers_in_order() {
+        let c = ColumnData::from_i64(vec![10, 20, 30, 40]);
+        let t = c.take(&[3, 0, 0]);
+        assert_eq!(t.as_i64_slice().unwrap(), &[40, 10, 10]);
+    }
+
+    #[test]
+    fn take_preserves_nulls() {
+        let mut c = ColumnData::empty(DataType::Str);
+        c.push(Value::Str("a".into())).unwrap();
+        c.push(Value::Null).unwrap();
+        let t = c.take(&[1, 0]);
+        assert_eq!(t.get(0), Value::Null);
+        assert_eq!(t.get(1), Value::Str("a".into()));
+    }
+
+    #[test]
+    fn from_values_checks_types() {
+        let ok = ColumnData::from_values(
+            DataType::Int64,
+            vec![Value::Int(1), Value::Null, Value::Int(2)],
+        )
+        .unwrap();
+        assert_eq!(ok.len(), 3);
+        let err = ColumnData::from_values(DataType::Int64, vec![Value::Float(1.0)]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn approx_bytes_scales_with_rows() {
+        let a = ColumnData::from_i64(vec![1; 10]).approx_bytes();
+        let b = ColumnData::from_i64(vec![1; 20]).approx_bytes();
+        assert_eq!(b, 2 * a);
+    }
+
+    #[test]
+    fn iter_values_matches_get() {
+        let c = ColumnData::from_f64(vec![1.5, 2.5]);
+        let vals: Vec<Value> = c.iter_values().collect();
+        assert_eq!(vals, vec![Value::Float(1.5), Value::Float(2.5)]);
+    }
+}

@@ -1,0 +1,235 @@
+//! Work counters.
+//!
+//! Wall-clock comparisons between loading strategies are noisy on shared
+//! machines, and the paper's claims are really about *work avoided*: bytes
+//! not read, fields not tokenized, values not parsed, trips to the raw file
+//! not taken. Every substrate increments these counters so the benchmark
+//! harnesses can print them next to elapsed time.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe work counters. Cheap to share via `Arc`; increments use
+/// relaxed ordering (they are statistics, not synchronization).
+#[derive(Debug, Default)]
+pub struct WorkCounters {
+    /// Bytes read from raw files (CSV and split segments).
+    pub bytes_read: AtomicU64,
+    /// Bytes written to disk (split files, persisted columns).
+    pub bytes_written: AtomicU64,
+    /// Rows whose boundaries were located (tokenization phase 1).
+    pub rows_tokenized: AtomicU64,
+    /// Individual fields located within rows (tokenization phase 2).
+    pub fields_tokenized: AtomicU64,
+    /// Fields converted from text to a typed value.
+    pub values_parsed: AtomicU64,
+    /// Distinct trips to a raw file triggered by queries.
+    pub file_trips: AtomicU64,
+    /// Rows abandoned early because a pushed-down predicate failed.
+    pub rows_abandoned: AtomicU64,
+    /// Tuples evicted from the adaptive store under memory pressure.
+    pub tuples_evicted: AtomicU64,
+}
+
+impl WorkCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to `bytes_read`.
+    pub fn add_bytes_read(&self, n: u64) {
+        self.bytes_read.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add `n` to `bytes_written`.
+    pub fn add_bytes_written(&self, n: u64) {
+        self.bytes_written.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add `n` to `rows_tokenized`.
+    pub fn add_rows_tokenized(&self, n: u64) {
+        self.rows_tokenized.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add `n` to `fields_tokenized`.
+    pub fn add_fields_tokenized(&self, n: u64) {
+        self.fields_tokenized.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add `n` to `values_parsed`.
+    pub fn add_values_parsed(&self, n: u64) {
+        self.values_parsed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one trip to a raw file.
+    pub fn add_file_trip(&self) {
+        self.file_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n` to `rows_abandoned`.
+    pub fn add_rows_abandoned(&self, n: u64) {
+        self.rows_abandoned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add `n` to `tuples_evicted`.
+    pub fn add_tuples_evicted(&self, n: u64) {
+        self.tuples_evicted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Capture the current values.
+    pub fn snapshot(&self) -> CountersSnapshot {
+        CountersSnapshot {
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            rows_tokenized: self.rows_tokenized.load(Ordering::Relaxed),
+            fields_tokenized: self.fields_tokenized.load(Ordering::Relaxed),
+            values_parsed: self.values_parsed.load(Ordering::Relaxed),
+            file_trips: self.file_trips.load(Ordering::Relaxed),
+            rows_abandoned: self.rows_abandoned.load(Ordering::Relaxed),
+            tuples_evicted: self.tuples_evicted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset everything to zero (used between benchmark phases).
+    pub fn reset(&self) {
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.rows_tokenized.store(0, Ordering::Relaxed);
+        self.fields_tokenized.store(0, Ordering::Relaxed);
+        self.values_parsed.store(0, Ordering::Relaxed);
+        self.file_trips.store(0, Ordering::Relaxed);
+        self.rows_abandoned.store(0, Ordering::Relaxed);
+        self.tuples_evicted.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An immutable copy of [`WorkCounters`] at one point in time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountersSnapshot {
+    /// See [`WorkCounters::bytes_read`].
+    pub bytes_read: u64,
+    /// See [`WorkCounters::bytes_written`].
+    pub bytes_written: u64,
+    /// See [`WorkCounters::rows_tokenized`].
+    pub rows_tokenized: u64,
+    /// See [`WorkCounters::fields_tokenized`].
+    pub fields_tokenized: u64,
+    /// See [`WorkCounters::values_parsed`].
+    pub values_parsed: u64,
+    /// See [`WorkCounters::file_trips`].
+    pub file_trips: u64,
+    /// See [`WorkCounters::rows_abandoned`].
+    pub rows_abandoned: u64,
+    /// See [`WorkCounters::tuples_evicted`].
+    pub tuples_evicted: u64,
+}
+
+impl CountersSnapshot {
+    /// Component-wise difference `self - earlier`, saturating at zero so a
+    /// mid-interval `reset` never produces nonsense.
+    pub fn since(&self, earlier: &CountersSnapshot) -> CountersSnapshot {
+        CountersSnapshot {
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            rows_tokenized: self.rows_tokenized.saturating_sub(earlier.rows_tokenized),
+            fields_tokenized: self
+                .fields_tokenized
+                .saturating_sub(earlier.fields_tokenized),
+            values_parsed: self.values_parsed.saturating_sub(earlier.values_parsed),
+            file_trips: self.file_trips.saturating_sub(earlier.file_trips),
+            rows_abandoned: self.rows_abandoned.saturating_sub(earlier.rows_abandoned),
+            tuples_evicted: self.tuples_evicted.saturating_sub(earlier.tuples_evicted),
+        }
+    }
+}
+
+impl fmt::Display for CountersSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "read={}B written={}B rows_tok={} fields_tok={} parsed={} trips={} abandoned={} evicted={}",
+            self.bytes_read,
+            self.bytes_written,
+            self.rows_tokenized,
+            self.fields_tokenized,
+            self.values_parsed,
+            self.file_trips,
+            self.rows_abandoned,
+            self.tuples_evicted,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn increments_show_up_in_snapshot() {
+        let c = WorkCounters::new();
+        c.add_bytes_read(10);
+        c.add_bytes_read(5);
+        c.add_file_trip();
+        c.add_values_parsed(3);
+        let s = c.snapshot();
+        assert_eq!(s.bytes_read, 15);
+        assert_eq!(s.file_trips, 1);
+        assert_eq!(s.values_parsed, 3);
+        assert_eq!(s.bytes_written, 0);
+    }
+
+    #[test]
+    fn since_subtracts_componentwise() {
+        let c = WorkCounters::new();
+        c.add_rows_tokenized(100);
+        let before = c.snapshot();
+        c.add_rows_tokenized(42);
+        c.add_file_trip();
+        let delta = c.snapshot().since(&before);
+        assert_eq!(delta.rows_tokenized, 42);
+        assert_eq!(delta.file_trips, 1);
+    }
+
+    #[test]
+    fn since_saturates_after_reset() {
+        let c = WorkCounters::new();
+        c.add_bytes_read(100);
+        let before = c.snapshot();
+        c.reset();
+        c.add_bytes_read(1);
+        let delta = c.snapshot().since(&before);
+        assert_eq!(delta.bytes_read, 0);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let c = Arc::new(WorkCounters::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.add_fields_tokenized(1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.snapshot().fields_tokenized, 8000);
+    }
+
+    #[test]
+    fn display_mentions_every_counter() {
+        let s = CountersSnapshot {
+            bytes_read: 1,
+            file_trips: 2,
+            ..Default::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("read=1B"));
+        assert!(text.contains("trips=2"));
+    }
+}

@@ -1,0 +1,112 @@
+//! The engine-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across all `nodb` crates.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Errors produced anywhere in the engine.
+///
+/// Variants are deliberately coarse: callers almost always either surface the
+/// message to the user or abort the query; no crate dispatches on fine-grained
+/// error kinds across a crate boundary.
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// A raw file could not be tokenized/parsed (malformed CSV, bad UTF-8,
+    /// unparsable literal). Carries a human-readable description including
+    /// row/byte positions where available.
+    Parse(String),
+    /// Schema-level problem: unknown table/column, arity mismatch,
+    /// incompatible types.
+    Schema(String),
+    /// SQL text could not be lexed/parsed/planned.
+    Sql(String),
+    /// Query planning/optimization failed.
+    Plan(String),
+    /// Runtime execution failure (overflow, division by zero, ...).
+    Exec(String),
+    /// A feature the engine intentionally does not support.
+    Unsupported(String),
+    /// The memory budget of the adaptive store cannot accommodate a request
+    /// even after evicting everything evictable.
+    OutOfBudget(String),
+    /// A linked raw file changed underneath us mid-query (fingerprint
+    /// mismatch detected at an unrecoverable point).
+    FileChanged(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Schema(m) => write!(f, "schema error: {m}"),
+            Error::Sql(m) => write!(f, "sql error: {m}"),
+            Error::Plan(m) => write!(f, "plan error: {m}"),
+            Error::Exec(m) => write!(f, "execution error: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::OutOfBudget(m) => write!(f, "out of memory budget: {m}"),
+            Error::FileChanged(m) => write!(f, "raw file changed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl Error {
+    /// Shorthand constructor for parse errors.
+    pub fn parse(msg: impl Into<String>) -> Self {
+        Error::Parse(msg.into())
+    }
+
+    /// Shorthand constructor for schema errors.
+    pub fn schema(msg: impl Into<String>) -> Self {
+        Error::Schema(msg.into())
+    }
+
+    /// Shorthand constructor for execution errors.
+    pub fn exec(msg: impl Into<String>) -> Self {
+        Error::Exec(msg.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = Error::parse("row 7: expected integer");
+        assert_eq!(e.to_string(), "parse error: row 7: expected integer");
+        let e = Error::schema("no such column: a9");
+        assert!(e.to_string().starts_with("schema error:"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn non_io_errors_have_no_source() {
+        assert!(std::error::Error::source(&Error::exec("boom")).is_none());
+    }
+}

@@ -1,0 +1,32 @@
+//! Core types shared by every crate of the `nodb` engine.
+//!
+//! This crate is the dependency root of the workspace. It defines:
+//!
+//! * [`Value`] / [`DataType`] — the scalar value model (64-bit ints, 64-bit
+//!   floats, UTF-8 strings, SQL-style nulls),
+//! * [`Schema`] / [`Field`] — table schemas,
+//! * [`Error`] / [`Result`] — the error type used across the engine,
+//! * [`predicate`] — column predicates and conjunctions, the currency in
+//!   which queries communicate their needs to the adaptive loader,
+//! * [`interval`] — interval algebra used by the adaptive store's
+//!   table-of-contents to describe which value ranges of a column have been
+//!   loaded (paper §3.1.3, "a tree structure that organizes the data parts of
+//!   each column based on values"),
+//! * [`counters`] — work counters (bytes read, fields tokenized, ...) that
+//!   make the benchmark "shape" claims auditable.
+
+pub mod column;
+pub mod counters;
+pub mod error;
+pub mod interval;
+pub mod predicate;
+pub mod schema;
+pub mod value;
+
+pub use column::ColumnData;
+pub use counters::{CountersSnapshot, WorkCounters};
+pub use error::{Error, Result};
+pub use interval::{Bound, Interval, IntervalSet};
+pub use predicate::{CmpOp, ColPred, Conjunction, SelectionBox};
+pub use schema::{Field, Schema};
+pub use value::{DataType, Value};

@@ -1,0 +1,450 @@
+//! Column predicates and conjunctions.
+//!
+//! Predicates are the engine's lingua franca: the SQL layer produces them,
+//! the execution kernel evaluates them, and — the point of the paper — the
+//! adaptive loader *pushes them down into tokenization* so that a row can be
+//! abandoned as soon as one predicate fails (§3.2), and records what was
+//! loaded as a [`SelectionBox`] in the store's table of contents.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::interval::{Bound, Interval};
+use crate::value::Value;
+
+/// Comparison operators supported in WHERE clauses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate `left OP right` with SQL null semantics (`None` = unknown).
+    pub fn eval(self, left: &Value, right: &Value) -> Option<bool> {
+        let ord = left.sql_cmp(right)?;
+        Some(match self {
+            CmpOp::Eq => ord.is_eq(),
+            CmpOp::Ne => ord.is_ne(),
+            CmpOp::Lt => ord.is_lt(),
+            CmpOp::Le => ord.is_le(),
+            CmpOp::Gt => ord.is_gt(),
+            CmpOp::Ge => ord.is_ge(),
+        })
+    }
+
+    /// SQL spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// A single `column OP literal` predicate. `col` is a column ordinal in the
+/// table's schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColPred {
+    /// Column ordinal within the table schema.
+    pub col: usize,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literal right-hand side.
+    pub value: Value,
+}
+
+impl ColPred {
+    /// Construct a predicate.
+    pub fn new(col: usize, op: CmpOp, value: impl Into<Value>) -> Self {
+        ColPred {
+            col,
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// Evaluate against a single column value. SQL semantics: unknown
+    /// (null-involved) comparisons are *not* satisfied.
+    pub fn matches(&self, v: &Value) -> bool {
+        self.op.eval(v, &self.value).unwrap_or(false)
+    }
+
+    /// The interval of values satisfying this predicate, if it is
+    /// range-expressible (`Ne` is not).
+    pub fn to_interval(&self) -> Option<Interval> {
+        match self.op {
+            CmpOp::Eq => Some(Interval::point(self.value.clone())),
+            CmpOp::Lt => Interval::new(Bound::Unbounded, Bound::Exclusive(self.value.clone())),
+            CmpOp::Le => Interval::new(Bound::Unbounded, Bound::Inclusive(self.value.clone())),
+            CmpOp::Gt => Interval::new(Bound::Exclusive(self.value.clone()), Bound::Unbounded),
+            CmpOp::Ge => Interval::new(Bound::Inclusive(self.value.clone()), Bound::Unbounded),
+            CmpOp::Ne => None,
+        }
+    }
+}
+
+impl fmt::Display for ColPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{} {} {}", self.col, self.op.symbol(), self.value)
+    }
+}
+
+/// A conjunction (`AND`) of column predicates — the WHERE-clause shape used
+/// throughout the paper (`a1>v1 and a1<v2 and a2>v3 and a2<v4`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Conjunction {
+    /// The conjuncts. Empty means "always true".
+    pub preds: Vec<ColPred>,
+}
+
+impl Conjunction {
+    /// The always-true conjunction.
+    pub fn always() -> Self {
+        Conjunction::default()
+    }
+
+    /// Build from a list of predicates.
+    pub fn new(preds: Vec<ColPred>) -> Self {
+        Conjunction { preds }
+    }
+
+    /// True when there are no conjuncts.
+    pub fn is_always_true(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Column ordinals referenced, deduplicated, ascending.
+    pub fn columns(&self) -> Vec<usize> {
+        let mut cols: Vec<usize> = self.preds.iter().map(|p| p.col).collect();
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
+    /// Evaluate against a full row (indexed by column ordinal).
+    pub fn matches_row(&self, row: &[Value]) -> bool {
+        self.preds
+            .iter()
+            .all(|p| row.get(p.col).is_some_and(|v| p.matches(v)))
+    }
+
+    /// The conjuncts restricted to one column.
+    pub fn preds_on(&self, col: usize) -> impl Iterator<Item = &ColPred> {
+        self.preds.iter().filter(move |p| p.col == col)
+    }
+
+    /// Reorder conjuncts so the most selective (estimated) come first —
+    /// the paper's "perform the most selective filtering first" trick used
+    /// by both the Awk scripts and the loading operators. Estimation is
+    /// syntactic: equality < bounded ranges < half-open ranges.
+    pub fn ordered_by_selectivity(&self) -> Conjunction {
+        let mut preds = self.preds.clone();
+        preds.sort_by_key(|p| match p.op {
+            CmpOp::Eq => 0,
+            CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => 1,
+            CmpOp::Ne => 2,
+        });
+        Conjunction { preds }
+    }
+
+    /// The selection box: per-column intersected intervals. `None` when the
+    /// conjunction is not box-expressible (contains `Ne`) or is provably
+    /// empty on some column.
+    pub fn to_box(&self) -> Option<SelectionBox> {
+        let mut by_col: BTreeMap<usize, Interval> = BTreeMap::new();
+        for p in &self.preds {
+            let iv = p.to_interval()?;
+            match by_col.remove(&p.col) {
+                None => {
+                    by_col.insert(p.col, iv);
+                }
+                Some(existing) => {
+                    by_col.insert(p.col, existing.intersect(&iv)?);
+                }
+            }
+        }
+        Some(SelectionBox { by_col })
+    }
+}
+
+impl fmt::Display for Conjunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.preds.is_empty() {
+            return f.write_str("TRUE");
+        }
+        for (i, p) in self.preds.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" AND ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A hyper-rectangle of per-column value intervals — the unit in which the
+/// adaptive store remembers which *regions* of a table have been loaded by
+/// partial (selection-pushdown) loads.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SelectionBox {
+    /// Constrained columns; unmentioned columns are unconstrained.
+    pub by_col: BTreeMap<usize, Interval>,
+}
+
+impl SelectionBox {
+    /// The unconstrained box (whole table).
+    pub fn all() -> Self {
+        SelectionBox::default()
+    }
+
+    /// Is `self` (as a region of tuple space) contained in `other`?
+    ///
+    /// Every tuple satisfying `self` must satisfy `other`: for each column
+    /// `other` constrains, `self` must constrain it to a subset.
+    pub fn is_subset_of(&self, other: &SelectionBox) -> bool {
+        other.by_col.iter().all(|(col, other_iv)| {
+            other_iv.is_all()
+                || self
+                    .by_col
+                    .get(col)
+                    .is_some_and(|mine| mine.is_subset_of(other_iv))
+        })
+    }
+
+    /// Does a row (full-width, indexed by ordinal) fall inside the box?
+    pub fn contains_row(&self, row: &[Value]) -> bool {
+        self.by_col
+            .iter()
+            .all(|(col, iv)| row.get(*col).is_some_and(|v| iv.contains(v)))
+    }
+
+    /// Columns constrained by this box.
+    pub fn columns(&self) -> Vec<usize> {
+        self.by_col.keys().copied().collect()
+    }
+}
+
+impl fmt::Display for SelectionBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.by_col.is_empty() {
+            return f.write_str("⊤");
+        }
+        for (i, (col, iv)) in self.by_col.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" × ")?;
+            }
+            write!(f, "#{col}∈{iv}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_op_eval_nulls_are_unknown() {
+        assert_eq!(CmpOp::Eq.eval(&Value::Null, &Value::Int(1)), None);
+        assert_eq!(CmpOp::Lt.eval(&Value::Int(1), &Value::Null), None);
+    }
+
+    #[test]
+    fn cmp_op_eval_all_ops() {
+        let a = Value::Int(3);
+        let b = Value::Int(5);
+        assert_eq!(CmpOp::Lt.eval(&a, &b), Some(true));
+        assert_eq!(CmpOp::Le.eval(&a, &a), Some(true));
+        assert_eq!(CmpOp::Gt.eval(&a, &b), Some(false));
+        assert_eq!(CmpOp::Ge.eval(&b, &a), Some(true));
+        assert_eq!(CmpOp::Eq.eval(&a, &a), Some(true));
+        assert_eq!(CmpOp::Ne.eval(&a, &b), Some(true));
+    }
+
+    #[test]
+    fn pred_matches_treats_unknown_as_false() {
+        let p = ColPred::new(0, CmpOp::Gt, 10i64);
+        assert!(!p.matches(&Value::Null));
+        assert!(p.matches(&Value::Int(11)));
+        assert!(!p.matches(&Value::Int(10)));
+    }
+
+    #[test]
+    fn paper_q1_conjunction_matches() {
+        // where a1>v1 and a1<v2 and a2>v3 and a2<v4
+        let c = Conjunction::new(vec![
+            ColPred::new(0, CmpOp::Gt, 10i64),
+            ColPred::new(0, CmpOp::Lt, 20i64),
+            ColPred::new(1, CmpOp::Gt, 100i64),
+            ColPred::new(1, CmpOp::Lt, 200i64),
+        ]);
+        let row = |a1: i64, a2: i64| vec![Value::Int(a1), Value::Int(a2)];
+        assert!(c.matches_row(&row(15, 150)));
+        assert!(!c.matches_row(&row(10, 150))); // a1 boundary excluded
+        assert!(!c.matches_row(&row(15, 200))); // a2 boundary excluded
+        assert_eq!(c.columns(), vec![0, 1]);
+    }
+
+    #[test]
+    fn conjunction_to_box_intersects_per_column() {
+        let c = Conjunction::new(vec![
+            ColPred::new(0, CmpOp::Gt, 10i64),
+            ColPred::new(0, CmpOp::Lt, 20i64),
+        ]);
+        let b = c.to_box().unwrap();
+        let iv = b.by_col.get(&0).unwrap();
+        assert!(iv.contains(&Value::Int(11)));
+        assert!(!iv.contains(&Value::Int(10)));
+        assert!(!iv.contains(&Value::Int(20)));
+    }
+
+    #[test]
+    fn conjunction_with_ne_has_no_box() {
+        let c = Conjunction::new(vec![ColPred::new(0, CmpOp::Ne, 5i64)]);
+        assert!(c.to_box().is_none());
+    }
+
+    #[test]
+    fn contradictory_conjunction_has_no_box() {
+        let c = Conjunction::new(vec![
+            ColPred::new(0, CmpOp::Gt, 20i64),
+            ColPred::new(0, CmpOp::Lt, 10i64),
+        ]);
+        assert!(c.to_box().is_none());
+    }
+
+    #[test]
+    fn box_subset_semantics() {
+        let narrow = Conjunction::new(vec![
+            ColPred::new(0, CmpOp::Ge, 5i64),
+            ColPred::new(0, CmpOp::Le, 8i64),
+            ColPred::new(1, CmpOp::Ge, 0i64),
+            ColPred::new(1, CmpOp::Le, 1i64),
+        ])
+        .to_box()
+        .unwrap();
+        let wide = Conjunction::new(vec![
+            ColPred::new(0, CmpOp::Ge, 0i64),
+            ColPred::new(0, CmpOp::Le, 10i64),
+        ])
+        .to_box()
+        .unwrap();
+        // narrow constrains col 1 too; wide doesn't — narrow ⊆ wide holds.
+        assert!(narrow.is_subset_of(&wide));
+        // wide ⊄ narrow (wide has points with a1=9).
+        assert!(!wide.is_subset_of(&narrow));
+        // Everything is a subset of the unconstrained box.
+        assert!(wide.is_subset_of(&SelectionBox::all()));
+        assert!(!SelectionBox::all().is_subset_of(&wide));
+    }
+
+    #[test]
+    fn box_contains_row() {
+        let b = Conjunction::new(vec![
+            ColPred::new(1, CmpOp::Gt, 10i64),
+            ColPred::new(1, CmpOp::Lt, 20i64),
+        ])
+        .to_box()
+        .unwrap();
+        assert!(b.contains_row(&[Value::Int(999), Value::Int(15)]));
+        assert!(!b.contains_row(&[Value::Int(999), Value::Int(25)]));
+        assert!(!b.contains_row(&[Value::Int(999), Value::Null]));
+    }
+
+    #[test]
+    fn selectivity_ordering_puts_eq_first() {
+        let c = Conjunction::new(vec![
+            ColPred::new(0, CmpOp::Gt, 1i64),
+            ColPred::new(1, CmpOp::Eq, 2i64),
+            ColPred::new(2, CmpOp::Ne, 3i64),
+        ]);
+        let ordered = c.ordered_by_selectivity();
+        assert_eq!(ordered.preds[0].op, CmpOp::Eq);
+        assert_eq!(ordered.preds[2].op, CmpOp::Ne);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_op() -> impl Strategy<Value = CmpOp> {
+            prop_oneof![
+                Just(CmpOp::Eq),
+                Just(CmpOp::Lt),
+                Just(CmpOp::Le),
+                Just(CmpOp::Gt),
+                Just(CmpOp::Ge),
+            ]
+        }
+
+        proptest! {
+            /// A range-expressible predicate matches v iff its interval
+            /// contains v.
+            #[test]
+            fn interval_agrees_with_matches(op in arb_op(),
+                                            rhs in -20i64..20,
+                                            v in -25i64..25) {
+                let p = ColPred::new(0, op, rhs);
+                let via_pred = p.matches(&Value::Int(v));
+                let via_iv = p
+                    .to_interval()
+                    .map(|iv| iv.contains(&Value::Int(v)))
+                    .unwrap_or(false);
+                prop_assert_eq!(via_pred, via_iv);
+            }
+
+            /// A conjunction's box contains a row iff the conjunction
+            /// matches it (for box-expressible conjunctions).
+            #[test]
+            fn box_agrees_with_conjunction(
+                preds in proptest::collection::vec(
+                    (0usize..3, arb_op(), -10i64..10), 0..5),
+                row in proptest::collection::vec(-12i64..12, 3)) {
+                let c = Conjunction::new(
+                    preds.into_iter().map(|(c, o, v)| ColPred::new(c, o, v)).collect());
+                let row: Vec<Value> = row.into_iter().map(Value::Int).collect();
+                if let Some(b) = c.to_box() {
+                    prop_assert_eq!(b.contains_row(&row), c.matches_row(&row));
+                } else if !c.preds.iter().any(|p| p.op == CmpOp::Ne) {
+                    // Box construction failed due to contradiction; the
+                    // conjunction must indeed match nothing.
+                    prop_assert!(!c.matches_row(&row));
+                }
+            }
+
+            /// Box subset is sound: if q ⊆ s then every row in q is in s.
+            #[test]
+            fn box_subset_sound(
+                p1 in proptest::collection::vec((0usize..2, arb_op(), -8i64..8), 1..4),
+                p2 in proptest::collection::vec((0usize..2, arb_op(), -8i64..8), 1..4),
+                row in proptest::collection::vec(-10i64..10, 2)) {
+                let c1 = Conjunction::new(
+                    p1.into_iter().map(|(c, o, v)| ColPred::new(c, o, v)).collect());
+                let c2 = Conjunction::new(
+                    p2.into_iter().map(|(c, o, v)| ColPred::new(c, o, v)).collect());
+                let (Some(b1), Some(b2)) = (c1.to_box(), c2.to_box()) else {
+                    return Ok(());
+                };
+                let row: Vec<Value> = row.into_iter().map(Value::Int).collect();
+                if b1.is_subset_of(&b2) && b1.contains_row(&row) {
+                    prop_assert!(b2.contains_row(&row));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Table schemas.
+
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::value::DataType;
+
+/// One column of a table: a name plus a physical type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name. Inferred schemas use `a1`, `a2`, ... when the file has
+    /// no header row (matching the paper's attribute naming).
+    pub name: String,
+    /// Physical type of the column.
+    pub data_type: DataType,
+}
+
+impl Field {
+    /// Create a field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+        }
+    }
+}
+
+/// An ordered collection of fields describing one table.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema from fields. Duplicate names are rejected.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(Error::schema(format!("duplicate column name {:?}", f.name)));
+            }
+        }
+        Ok(Schema { fields })
+    }
+
+    /// Schema of `n` int64 columns named `a1..an` — the table shape used by
+    /// every experiment in the paper.
+    pub fn ints(n: usize) -> Self {
+        Schema {
+            fields: (1..=n)
+                .map(|i| Field::new(format!("a{i}"), DataType::Int64))
+                .collect(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// All fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Field at ordinal `idx`.
+    pub fn field(&self, idx: usize) -> Option<&Field> {
+        self.fields.get(idx)
+    }
+
+    /// Ordinal of the column with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Like [`Schema::index_of`] but returns a schema error mentioning the
+    /// available columns.
+    pub fn require(&self, name: &str) -> Result<usize> {
+        self.index_of(name).ok_or_else(|| {
+            let names: Vec<&str> = self.fields.iter().map(|f| f.name.as_str()).collect();
+            Error::schema(format!("unknown column {name:?}; have {names:?}"))
+        })
+    }
+
+    /// Project a subset of columns into a new schema (ordinals refer to
+    /// `self`). Out-of-range ordinals are rejected.
+    pub fn project(&self, ordinals: &[usize]) -> Result<Schema> {
+        let mut fields = Vec::with_capacity(ordinals.len());
+        for &o in ordinals {
+            let f = self
+                .field(o)
+                .ok_or_else(|| Error::schema(format!("column ordinal {o} out of range")))?;
+            fields.push(f.clone());
+        }
+        Ok(Schema { fields })
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", field.name, field.data_type)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ints_names_follow_paper_convention() {
+        let s = Schema::ints(4);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.field(0).unwrap().name, "a1");
+        assert_eq!(s.field(3).unwrap().name, "a4");
+        assert!(s.fields().iter().all(|f| f.data_type == DataType::Int64));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::new(vec![
+            Field::new("x", DataType::Int64),
+            Field::new("x", DataType::Str),
+        ]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn index_and_require() {
+        let s = Schema::ints(3);
+        assert_eq!(s.index_of("a2"), Some(1));
+        assert_eq!(s.index_of("zz"), None);
+        assert!(s.require("a3").is_ok());
+        let e = s.require("zz").unwrap_err().to_string();
+        assert!(e.contains("zz") && e.contains("a1"), "{e}");
+    }
+
+    #[test]
+    fn project_reorders_and_checks_bounds() {
+        let s = Schema::ints(4);
+        let p = s.project(&[3, 0]).unwrap();
+        assert_eq!(p.field(0).unwrap().name, "a4");
+        assert_eq!(p.field(1).unwrap().name, "a1");
+        assert!(s.project(&[9]).is_err());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = Schema::ints(2);
+        assert_eq!(s.to_string(), "(a1 int64, a2 int64)");
+    }
+}

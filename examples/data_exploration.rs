@@ -1,0 +1,83 @@
+//! The scientist's exploratory session (paper §1.2 / §2.2).
+//!
+//! "Analysis of scientific data is far from a one query task. It typically
+//! involves a lengthy sequence of queries which dynamically adapts ...
+//! continuously zooming in and out of data areas." This example runs such a
+//! session over a wide unique-integer table with the PartialLoadsV2 policy
+//! and prints, per query, what the adaptive store did: file trip or
+//! fragment hit, bytes touched, fragments held.
+//!
+//! Watch the costs fall as the engine learns the hot region.
+//!
+//! ```sh
+//! cargo run --release --example data_exploration
+//! ```
+
+use nodb::core::{Engine, EngineConfig, LoadingStrategy};
+use nodb::rawcsv::gen::write_unique_int_table;
+use nodb::types::Result;
+
+fn main() -> Result<()> {
+    let dir = std::env::temp_dir().join("nodb-exploration");
+    std::fs::create_dir_all(&dir)?;
+    let file = dir.join("survey.csv");
+    let rows = 200_000;
+    if !file.exists() {
+        println!("generating {rows} x 8 survey table ...");
+        write_unique_int_table(&file, rows, 8, 2024)?;
+    }
+
+    let mut cfg = EngineConfig::with_strategy(LoadingStrategy::PartialLoadsV2);
+    cfg.store_dir = Some(dir.join("store"));
+    let engine = Engine::new(cfg);
+    engine.register_table("survey", &file)?;
+
+    // The session: sweep wide, then zoom into a region, pan within it,
+    // zoom further, jump out, and come back.
+    let n = rows as i64;
+    let session: Vec<(String, &str)> = vec![
+        (q(0, 0, n / 2), "broad sweep of the lower half"),
+        (q(0, n / 10, 2 * n / 10), "zoom: second decile"),
+        (q(0, n / 10, 15 * n / 100), "zoom deeper: first half of it"),
+        (q(0, 12 * n / 100, 14 * n / 100), "pan within the region"),
+        (q(0, n / 10, 2 * n / 10), "back out one level (seen before)"),
+        (q(0, 8 * n / 10, 9 * n / 10), "jump to a fresh region"),
+        (q(0, 8 * n / 10, 9 * n / 10), "look again (now cached)"),
+        (q(0, 0, n / 2), "the original broad sweep, revisited"),
+    ];
+
+    println!("{:<44} {:>9} {:>10} {:>7} {:>10}", "query", "ms", "MB read", "trips", "fragments");
+    println!("{}", "-".repeat(85));
+    for (sql, label) in &session {
+        let out = engine.sql(sql)?;
+        let info = engine.table_info("survey")?;
+        println!(
+            "{:<44} {:>9.2} {:>10.2} {:>7} {:>10}",
+            label,
+            out.stats.elapsed.as_secs_f64() * 1e3,
+            out.stats.work.bytes_read as f64 / 1e6,
+            out.stats.work.file_trips,
+            info.fragments,
+        );
+    }
+
+    let info = engine.table_info("survey")?;
+    println!("\nsession ends: {} fragments, {:.1} MB in the adaptive store, hit rate {:.0}%",
+        info.fragments,
+        info.store_bytes as f64 / 1e6,
+        info.hit_rate * 100.0);
+    println!("the raw file was never loaded in full — only what the session looked at.");
+    Ok(())
+}
+
+/// `sum/avg` over a value region of column a1 (plus a payload column),
+/// the paper's Q2 template.
+fn q(col: usize, lo: i64, hi: i64) -> String {
+    format!(
+        "select sum(a{}), avg(a{}) from survey where a{} > {lo} and a{} < {hi}",
+        col + 1,
+        col + 2,
+        col + 1,
+        col + 1,
+    )
+}

@@ -1,0 +1,68 @@
+//! Quickstart: "Here are my data files. Here are my queries."
+//!
+//! The NoDB promise — point the engine at a raw CSV file and fire SQL
+//! immediately; no schema definition, no load step, no tuning.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use nodb::core::{Engine, EngineConfig, LoadingStrategy};
+use nodb::types::Result;
+
+fn main() -> Result<()> {
+    // --- Here are my data files. ----------------------------------------
+    // A plain CSV, as a scientist's instrument might dump it. No header,
+    // no schema, nothing registered anywhere.
+    let dir = std::env::temp_dir().join("nodb-quickstart");
+    std::fs::create_dir_all(&dir)?;
+    let file = dir.join("readings.csv");
+    std::fs::write(
+        &file,
+        "1,18.6,402,ok\n\
+         2,21.9,377,ok\n\
+         3,19.4,413,saturated\n\
+         4,24.1,399,ok\n\
+         5,16.2,420,ok\n\
+         6,23.3,381,noisy\n\
+         7,20.8,405,ok\n\
+         8,17.5,392,ok\n",
+    )?;
+
+    // --- Point the engine at them. ---------------------------------------
+    let engine = Engine::new(EngineConfig::with_strategy(LoadingStrategy::ColumnLoads));
+    engine.register_table("readings", &file)?;
+    println!("registered {:?} — nothing read yet\n", file);
+
+    // --- Here are my queries. --------------------------------------------
+    // The first query triggers schema inference and loads only the columns
+    // it references.
+    for sql in [
+        "select count(*) from readings",
+        "select avg(a2), min(a2), max(a2) from readings where a4 = 'ok'",
+        "select a4, count(*), avg(a3) from readings group by a4 order by a4",
+        "select a1, a2 from readings where a2 > 20 order by a2 desc limit 3",
+    ] {
+        let out = engine.sql(sql)?;
+        println!("> {sql}");
+        println!("  columns: {:?}", out.columns);
+        for row in &out.rows {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            println!("  {}", cells.join(" | "));
+        }
+        println!(
+            "  ({:.2} ms; {} bytes read, {} file trips)\n",
+            out.stats.elapsed.as_secs_f64() * 1e3,
+            out.stats.work.bytes_read,
+            out.stats.work.file_trips,
+        );
+    }
+
+    // --- Where are my results? Right there — and the engine learned. -----
+    let info = engine.table_info("readings")?;
+    println!("inferred schema:   {}", info.schema.expect("inferred"));
+    println!("loaded columns:    {:?}", info.loaded_columns);
+    println!("adaptive store:    {} bytes", info.store_bytes);
+    println!("store hit rate:    {:.0}%", info.hit_rate * 100.0);
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! # nodb — a NoDB-style adaptive raw-file query engine
+//!
+//! Facade crate re-exporting the public API of the workspace. See the README
+//! for a tour; the individual crates are:
+//!
+//! * [`types`] — values, schemas, predicates, intervals, counters.
+//! * [`rawcsv`] — the raw-file substrate: generators, tokenizer, positional
+//!   map, schema inference, file splitting.
+//! * [`store`] — the adaptive store: columns, row/PAX formats, cracking,
+//!   eviction.
+//! * [`exec`] — the adaptive kernel: columnar/volcano/hybrid operators.
+//! * [`sql`] — SQL parsing and logical planning.
+//! * [`core`] — the engine tying it together: catalog, loading policies,
+//!   optimizer, workload monitor.
+//! * [`baselines`] — the paper's comparison systems (awk-like scripting,
+//!   external sort + merge join).
+
+pub use nodb_baselines as baselines;
+pub use nodb_core as core;
+pub use nodb_exec as exec;
+pub use nodb_rawcsv as rawcsv;
+pub use nodb_sql as sql;
+pub use nodb_store as store;
+pub use nodb_types as types;
+
+pub use nodb_core::{Engine, EngineConfig, LoadingStrategy, QueryOutput};
+pub use nodb_types::{Error, Result};

@@ -1,0 +1,177 @@
+//! Every loading strategy must produce identical query results — the
+//! policies differ in *when and how much* they load, never in semantics.
+
+mod common;
+
+use common::{engine_in, test_dir, write_int_table, ALL_STRATEGIES};
+use nodb::core::Engine;
+use nodb::rawcsv::gen::write_unique_int_table;
+use nodb::types::Value;
+
+/// Run one SQL text against all strategies and assert identical outputs.
+fn assert_all_agree(name: &str, setup: impl Fn(&Engine), queries: &[String]) {
+    let dir = test_dir(name);
+    let mut reference: Vec<Option<Vec<Vec<Value>>>> = vec![None; queries.len()];
+    for strategy in ALL_STRATEGIES {
+        let e = engine_in(&dir, strategy);
+        setup(&e);
+        for (qi, sql) in queries.iter().enumerate() {
+            let out = e
+                .sql(sql)
+                .unwrap_or_else(|err| panic!("{} failed on {sql:?}: {err}", strategy.label()));
+            match &reference[qi] {
+                None => reference[qi] = Some(out.rows),
+                Some(r) => assert_eq!(
+                    &out.rows,
+                    r,
+                    "strategy {} disagrees on query {qi}: {sql}",
+                    strategy.label()
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn aggregates_over_random_ranges() {
+    let dir = test_dir("agg_ranges_data");
+    let path = dir.join("t.csv");
+    write_unique_int_table(&path, 5000, 4, 99).unwrap();
+    let mut queries = Vec::new();
+    // A deterministic pseudo-random walk of range queries, including
+    // repeats (cache hits), nested ranges, and disjoint jumps.
+    let mut state = 12345u64;
+    for _ in 0..15 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let lo = (state >> 33) % 4500;
+        let hi = lo + 500;
+        let col = 1 + (state % 4) as usize;
+        queries.push(format!(
+            "select sum(a{col}), min(a{col}), count(*) from t where a{col} > {lo} and a{col} < {hi}"
+        ));
+    }
+    // Exact repeats of earlier queries.
+    queries.push(queries[0].clone());
+    queries.push(queries[7].clone());
+    assert_all_agree(
+        "agg_ranges",
+        |e| e.register_table("t", dir.join("t.csv")).unwrap(),
+        &queries,
+    );
+}
+
+#[test]
+fn scalar_order_limit_and_projection() {
+    let dir = test_dir("scalar_data");
+    let path = dir.join("t.csv");
+    write_int_table(&path, 300, 3);
+    let queries = vec![
+        "select a1, a3 from t where a2 > 500 order by a1 desc, a3 limit 17".to_string(),
+        "select a2 + a3 from t where a1 = 7 order by a2".to_string(),
+        "select * from t where a1 > 990 order by a1, a2, a3".to_string(),
+        "select a1 from t limit 0".to_string(),
+    ];
+    assert_all_agree(
+        "scalar",
+        |e| e.register_table("t", dir.join("t.csv")).unwrap(),
+        &queries,
+    );
+}
+
+#[test]
+fn group_by_results_match() {
+    let dir = test_dir("group_data");
+    let path = dir.join("t.csv");
+    write_int_table(&path, 500, 3);
+    let queries = vec![
+        "select a1, count(*), sum(a2), avg(a3) from t group by a1 order by a1".to_string(),
+        "select a2, max(a1) from t where a3 < 800 group by a2 order by a2 limit 25".to_string(),
+    ];
+    assert_all_agree(
+        "group",
+        |e| e.register_table("t", dir.join("t.csv")).unwrap(),
+        &queries,
+    );
+}
+
+#[test]
+fn joins_match_across_strategies() {
+    let dir = test_dir("join_data");
+    write_unique_int_table(&dir.join("r.csv"), 800, 2, 5).unwrap();
+    write_unique_int_table(&dir.join("s.csv"), 800, 2, 6).unwrap();
+    let queries = vec![
+        "select count(*), sum(r.a2), sum(s.a2) from r join s on r.a1 = s.a1".to_string(),
+        "select count(*) from r join s on r.a1 = s.a1 where r.a2 > 100 and s.a2 < 700"
+            .to_string(),
+        "select r.a1, s.a2 from r join s on r.a1 = s.a1 where r.a1 < 10 order by r.a1"
+            .to_string(),
+    ];
+    let d2 = dir.clone();
+    assert_all_agree(
+        "join",
+        move |e| {
+            e.register_table("r", d2.join("r.csv")).unwrap();
+            e.register_table("s", d2.join("s.csv")).unwrap();
+        },
+        &queries,
+    );
+}
+
+#[test]
+fn point_and_empty_queries() {
+    let dir = test_dir("point_data");
+    let path = dir.join("t.csv");
+    write_unique_int_table(&path, 1000, 3, 77).unwrap();
+    let queries = vec![
+        "select a2 from t where a1 = 400".to_string(),
+        "select a2 from t where a1 = 401".to_string(),
+        "select sum(a2) from t where a1 > 5000".to_string(), // empty range
+        "select count(*) from t where a1 > 100 and a1 < 50".to_string(), // contradiction
+        "select a2 from t where a1 = 400".to_string(), // repeat
+    ];
+    assert_all_agree(
+        "point",
+        |e| e.register_table("t", dir.join("t.csv")).unwrap(),
+        &queries,
+    );
+}
+
+#[test]
+fn interleaved_column_sets() {
+    // The Figure 4 pattern: different column pairs in sequence, checking
+    // that partial state from one pair never corrupts another.
+    let dir = test_dir("interleave_data");
+    let path = dir.join("t.csv");
+    write_unique_int_table(&path, 2000, 8, 13).unwrap();
+    let mut queries = Vec::new();
+    for pair in (0..4).rev() {
+        let (x, y) = (2 * pair + 1, 2 * pair + 2);
+        let q = format!(
+            "select sum(a{x}), avg(a{y}) from t where a{x} > 200 and a{x} < 900"
+        );
+        queries.push(q.clone());
+        queries.push(q);
+    }
+    assert_all_agree(
+        "interleave",
+        |e| e.register_table("t", dir.join("t.csv")).unwrap(),
+        &queries,
+    );
+}
+
+#[test]
+fn nulls_flow_identically() {
+    let dir = test_dir("nulls_data");
+    let path = dir.join("t.csv");
+    std::fs::write(&path, "1,,10\n2,5,\n,6,30\n4,,40\n5,8,50\n").unwrap();
+    let queries = vec![
+        "select count(*), count(a1), count(a2), count(a3) from t".to_string(),
+        "select sum(a2), avg(a3) from t where a1 > 1".to_string(),
+        "select a1 from t where a2 > 4 order by a1".to_string(),
+    ];
+    assert_all_agree(
+        "nulls",
+        |e| e.register_table("t", dir.join("t.csv")).unwrap(),
+        &queries,
+    );
+}

@@ -1,0 +1,126 @@
+//! Property test at the engine level: for *any* generated table and *any*
+//! sequence of range-aggregate queries, all six loading strategies return
+//! identical results, and each strategy is self-consistent across repeats.
+//!
+//! This is the load-bearing correctness property of the whole system: the
+//! adaptive machinery (fragments, splits, positional maps, eviction,
+//! escalation) must be semantically invisible.
+
+mod common;
+
+use common::{engine_in, test_dir, ALL_STRATEGIES};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct GenQuery {
+    col: usize,
+    lo: i64,
+    width: i64,
+    agg_col: usize,
+}
+
+impl GenQuery {
+    fn sql(&self) -> String {
+        format!(
+            "select sum(a{}), count(*), min(a{}) from t where a{} > {} and a{} < {}",
+            self.agg_col + 1,
+            self.agg_col + 1,
+            self.col + 1,
+            self.lo,
+            self.col + 1,
+            self.lo + self.width,
+        )
+    }
+}
+
+fn arb_query(cols: usize, max_val: i64) -> impl Strategy<Value = GenQuery> {
+    (
+        0..cols,
+        -5i64..max_val,
+        0i64..(max_val / 2 + 2),
+        0..cols,
+    )
+        .prop_map(|(col, lo, width, agg_col)| GenQuery {
+            col,
+            lo,
+            width,
+            agg_col,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6, // each case runs 6 engines × N queries; keep it bounded
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn strategies_agree_on_random_workloads(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(0i64..200, 3), 1..120),
+        queries in proptest::collection::vec(arb_query(3, 200), 1..8),
+        budget in proptest::option::of(2_000usize..20_000),
+    ) {
+        let dir = test_dir(&format!(
+            "prop_{}_{}",
+            rows.len(),
+            queries.len(),
+        ));
+        let path = dir.join("t.csv");
+        let mut csv = String::new();
+        for r in &rows {
+            csv.push_str(&format!("{},{},{}\n", r[0], r[1], r[2]));
+        }
+        std::fs::write(&path, csv).unwrap();
+
+        let mut reference: Vec<Option<Vec<Vec<nodb::types::Value>>>> =
+            vec![None; queries.len() * 2];
+        for strategy in ALL_STRATEGIES {
+            let e = engine_in(&dir, strategy);
+            // Exercise eviction too when a budget was generated.
+            if let Some(b) = budget {
+                let mut cfg = nodb::core::EngineConfig::with_strategy(strategy);
+                cfg.csv.threads = 1;
+                cfg.memory_budget = Some(b);
+                cfg.store_dir = Some(dir.join(format!("store-b-{}", strategy.label())));
+                let e = nodb::core::Engine::new(cfg);
+                e.register_table("t", &path).unwrap();
+                run_and_check(&e, strategy, &queries, &mut reference)?;
+                continue;
+            }
+            e.register_table("t", &path).unwrap();
+            run_and_check(&e, strategy, &queries, &mut reference)?;
+        }
+    }
+}
+
+fn run_and_check(
+    e: &nodb::core::Engine,
+    strategy: nodb::core::LoadingStrategy,
+    queries: &[GenQuery],
+    reference: &mut [Option<Vec<Vec<nodb::types::Value>>>],
+) -> Result<(), TestCaseError> {
+    // Each query runs twice (cold-ish then cached) — both must agree with
+    // the global reference.
+    for (qi, q) in queries.iter().enumerate() {
+        for pass in 0..2 {
+            let slot = qi * 2 + pass;
+            let out = e
+                .sql(&q.sql())
+                .map_err(|err| TestCaseError::fail(format!("{}: {err}", strategy.label())))?;
+            match &reference[slot] {
+                None => reference[slot] = Some(out.rows),
+                Some(r) => prop_assert_eq!(
+                    &out.rows,
+                    r,
+                    "{} disagrees on query {} pass {}: {}",
+                    strategy.label(),
+                    qi,
+                    pass,
+                    q.sql()
+                ),
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,185 @@
+//! End-to-end SQL surface coverage through the engine: features, typing,
+//! dialect handling, and error quality.
+
+mod common;
+
+use common::{engine_in, test_dir};
+use nodb::core::{Engine, EngineConfig, LoadingStrategy};
+use nodb::types::Value;
+
+fn setup_mixed(name: &str) -> Engine {
+    let dir = test_dir(name);
+    let path = dir.join("people.csv");
+    std::fs::write(
+        &path,
+        "id,name,score,team\n\
+         1,ann,9.5,red\n\
+         2,bob,7.25,blue\n\
+         3,cat,8.5,red\n\
+         4,dan,,blue\n\
+         5,eve,6.0,green\n",
+    )
+    .unwrap();
+    let e = engine_in(&dir, LoadingStrategy::ColumnLoads);
+    e.register_table("people", &path).unwrap();
+    e
+}
+
+#[test]
+fn header_names_usable_in_sql() {
+    let e = setup_mixed("header");
+    let out = e
+        .sql("select name, score from people where team = 'red' order by score desc")
+        .unwrap();
+    assert_eq!(out.columns, vec!["name", "score"]);
+    assert_eq!(out.rows[0][0], Value::Str("ann".into()));
+    assert_eq!(out.rows[1][0], Value::Str("cat".into()));
+}
+
+#[test]
+fn aliases_flow_to_output() {
+    let e = setup_mixed("alias");
+    let out = e
+        .sql("select count(*) as n, avg(score) as mean from people")
+        .unwrap();
+    assert_eq!(out.columns, vec!["n", "mean"]);
+    assert_eq!(out.rows[0][0], Value::Int(5));
+    // NULL score skipped: (9.5 + 7.25 + 8.5 + 6.0) / 4.
+    assert_eq!(out.rows[0][1], Value::Float(7.8125));
+}
+
+#[test]
+fn arithmetic_in_select_and_where() {
+    let e = setup_mixed("arith");
+    let out = e
+        .sql("select id * 10 + 1 from people where score >= 8.5 order by id")
+        .unwrap();
+    assert_eq!(
+        out.rows,
+        vec![vec![Value::Int(11)], vec![Value::Int(31)]]
+    );
+    let out = e.sql("select sum(score * 2) from people").unwrap();
+    assert_eq!(out.rows[0][0], Value::Float(62.5));
+}
+
+#[test]
+fn group_by_strings() {
+    let e = setup_mixed("groupstr");
+    let out = e
+        .sql("select team, count(*) from people group by team order by team")
+        .unwrap();
+    assert_eq!(
+        out.rows,
+        vec![
+            vec![Value::Str("blue".into()), Value::Int(2)],
+            vec![Value::Str("green".into()), Value::Int(1)],
+            vec![Value::Str("red".into()), Value::Int(2)],
+        ]
+    );
+}
+
+#[test]
+fn case_insensitive_keywords_and_idents() {
+    let e = setup_mixed("case");
+    let out = e
+        .sql("SELECT COUNT(*) FROM People WHERE Team = 'red'")
+        .unwrap();
+    assert_eq!(out.scalar(), Some(&Value::Int(2)));
+}
+
+#[test]
+fn error_messages_name_the_problem() {
+    let e = setup_mixed("errors");
+    let err = e.sql("select nope from people").unwrap_err().to_string();
+    assert!(err.contains("nope"), "{err}");
+    let err = e
+        .sql("select id from people where id > 1 or id < 0")
+        .unwrap_err()
+        .to_string();
+    assert!(err.to_lowercase().contains("or"), "{err}");
+    let err = e
+        .sql("select id from people where name > 5")
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("name"), "{err}");
+    let err = e.sql("select sum(score), id from people").unwrap_err().to_string();
+    assert!(err.contains("GROUP BY") || err.contains("aggregate"), "{err}");
+}
+
+#[test]
+fn count_star_versus_count_column() {
+    let e = setup_mixed("counts");
+    let out = e
+        .sql("select count(*), count(score) from people")
+        .unwrap();
+    assert_eq!(out.rows[0], vec![Value::Int(5), Value::Int(4)]);
+}
+
+#[test]
+fn self_join_via_two_registrations() {
+    let dir = test_dir("selfjoin");
+    let path = dir.join("edge.csv");
+    std::fs::write(&path, "1,2\n2,3\n3,1\n").unwrap();
+    let e = engine_in(&dir, LoadingStrategy::ColumnLoads);
+    e.register_table("e1", &path).unwrap();
+    e.register_table("e2", &path).unwrap();
+    // Two-hop paths: e1.dst = e2.src.
+    let out = e
+        .sql("select count(*) from e1 join e2 on e1.a2 = e2.a1")
+        .unwrap();
+    assert_eq!(out.scalar(), Some(&Value::Int(3)));
+}
+
+#[test]
+fn quoted_csv_dialect() {
+    let dir = test_dir("quoted");
+    let path = dir.join("q.csv");
+    std::fs::write(
+        &path,
+        "\"a,b\",1\n\"say \"\"hi\"\"\",2\n\"multi\nline\",3\n",
+    )
+    .unwrap();
+    let mut cfg = EngineConfig::default();
+    cfg.csv.threads = 1;
+    cfg.csv.quote = Some(b'"');
+    let e = Engine::new(cfg);
+    e.register_table("q", &path).unwrap();
+    let out = e.sql("select a1 from q where a2 = 2").unwrap();
+    assert_eq!(out.rows[0][0], Value::Str("say \"hi\"".into()));
+    let out = e.sql("select count(*) from q").unwrap();
+    assert_eq!(out.scalar(), Some(&Value::Int(3)));
+}
+
+#[test]
+fn lenient_mode_reads_ragged_files() {
+    let dir = test_dir("lenient");
+    let path = dir.join("ragged.csv");
+    std::fs::write(&path, "1,2,3\n4,5\n6\n").unwrap();
+    let mut cfg = EngineConfig::default();
+    cfg.csv.threads = 1;
+    cfg.csv.lenient = true;
+    let e = Engine::new(cfg);
+    e.register_table("r", &path).unwrap();
+    let out = e.sql("select count(a3), sum(a1) from r").unwrap();
+    assert_eq!(out.rows[0], vec![Value::Int(1), Value::Int(11)]);
+    // Strict mode errors instead.
+    let mut cfg = EngineConfig::default();
+    cfg.csv.threads = 1;
+    cfg.csv.lenient = false;
+    let e = Engine::new(cfg);
+    e.register_table("r", &path).unwrap();
+    assert!(e.sql("select sum(a3) from r").is_err());
+}
+
+#[test]
+fn floats_and_negative_literals() {
+    let dir = test_dir("floats");
+    let path = dir.join("f.csv");
+    std::fs::write(&path, "-1.5,10\n2.25,-20\n0.75,30\n").unwrap();
+    let e = engine_in(&dir, LoadingStrategy::ColumnLoads);
+    e.register_table("f", &path).unwrap();
+    let out = e
+        .sql("select sum(a1) from f where a1 > -2 and a2 < 40")
+        .unwrap();
+    assert_eq!(out.rows[0][0], Value::Float(1.5));
+}

@@ -1,0 +1,130 @@
+//! Updates (§5.4: "the user can edit or change a file at any time") and
+//! concurrent query processing against the same tables.
+
+mod common;
+
+use std::sync::Arc;
+
+use common::{engine_in, test_dir, ALL_STRATEGIES};
+use nodb::rawcsv::gen::write_unique_int_table;
+use nodb::types::Value;
+
+#[test]
+fn file_edits_visible_to_every_strategy() {
+    for strategy in ALL_STRATEGIES {
+        let dir = test_dir(&format!("edit_{}", strategy.label()));
+        let path = dir.join("t.csv");
+        std::fs::write(&path, "1,10\n2,20\n3,30\n").unwrap();
+        let e = engine_in(&dir, strategy);
+        e.register_table("t", &path).unwrap();
+        let out = e.sql("select sum(a1) from t").unwrap();
+        assert_eq!(out.scalar(), Some(&Value::Int(6)), "{}", strategy.label());
+
+        // Grow the file.
+        std::fs::write(&path, "1,10\n2,20\n3,30\n4,40\n").unwrap();
+        let out = e.sql("select sum(a1) from t").unwrap();
+        assert_eq!(out.scalar(), Some(&Value::Int(10)), "{}", strategy.label());
+
+        // Change the schema shape entirely (now 3 columns, one float).
+        std::fs::write(&path, "1,1.5,x\n2,2.5,y\n").unwrap();
+        let out = e.sql("select sum(a2) from t").unwrap();
+        assert_eq!(out.scalar(), Some(&Value::Float(4.0)), "{}", strategy.label());
+        let out = e.sql("select a3 from t where a1 = 2").unwrap();
+        assert_eq!(out.rows[0][0], Value::Str("y".into()));
+    }
+}
+
+#[test]
+fn shrinking_file_invalidates_rowid_state() {
+    // Regression shape: stale rowids from a larger file must never index
+    // out of bounds after the file shrinks.
+    let dir = test_dir("shrink");
+    let path = dir.join("t.csv");
+    write_unique_int_table(&path, 1000, 2, 3).unwrap();
+    let e = engine_in(&dir, nodb::core::LoadingStrategy::PartialLoadsV2);
+    e.register_table("t", &path).unwrap();
+    e.sql("select sum(a2) from t where a1 > 100 and a1 < 900").unwrap();
+    write_unique_int_table(&path, 10, 2, 4).unwrap();
+    let out = e.sql("select count(*) from t where a1 >= 0").unwrap();
+    assert_eq!(out.scalar(), Some(&Value::Int(10)));
+}
+
+#[test]
+fn concurrent_storm_every_strategy() {
+    for strategy in ALL_STRATEGIES {
+        let dir = test_dir(&format!("storm_{}", strategy.label()));
+        let path = dir.join("t.csv");
+        write_unique_int_table(&path, 2000, 4, 8).unwrap();
+        let e = Arc::new(engine_in(&dir, strategy));
+        e.register_table("t", &path).unwrap();
+        // Expected sums: each column is a permutation of 0..2000.
+        let want = (0..2000i64).sum::<i64>();
+        let mut handles = Vec::new();
+        for t in 0..6 {
+            let e = Arc::clone(&e);
+            handles.push(std::thread::spawn(move || {
+                let col = t % 4 + 1;
+                let out = e.sql(&format!("select sum(a{col}) from t")).unwrap();
+                out.rows[0][0].clone()
+            }));
+        }
+        for h in handles {
+            assert_eq!(
+                h.join().expect("no panics"),
+                Value::Int(want),
+                "{}",
+                strategy.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_overlapping_ranges_partial_v2() {
+    // Multiple threads asking for overlapping ranges of the same column —
+    // the paper's concurrency scenario where "multiple queries might be
+    // asking for the same column at the same time".
+    let dir = test_dir("storm_overlap");
+    let path = dir.join("t.csv");
+    write_unique_int_table(&path, 3000, 2, 9).unwrap();
+    let e = Arc::new(engine_in(&dir, nodb::core::LoadingStrategy::PartialLoadsV2));
+    e.register_table("t", &path).unwrap();
+    let mut handles = Vec::new();
+    for t in 0..8i64 {
+        let e = Arc::clone(&e);
+        handles.push(std::thread::spawn(move || {
+            let lo = t * 200;
+            let hi = lo + 1000;
+            let out = e
+                .sql(&format!(
+                    "select count(*) from t where a1 > {lo} and a1 < {hi}"
+                ))
+                .unwrap();
+            (lo, hi, out.rows[0][0].clone())
+        }));
+    }
+    for h in handles {
+        let (lo, hi, got) = h.join().expect("no panics");
+        // Unique integers 0..3000: count of lo < v < hi clipped to range.
+        let expect = (lo + 1..hi).filter(|v| (0..3000).contains(v)).count() as i64;
+        assert_eq!(got, Value::Int(expect), "range ({lo},{hi})");
+    }
+}
+
+#[test]
+fn unregister_frees_table() {
+    let dir = test_dir("unregister");
+    let path = dir.join("t.csv");
+    std::fs::write(&path, "1\n").unwrap();
+    let e = engine_in(&dir, nodb::core::LoadingStrategy::ColumnLoads);
+    e.register_table("t", &path).unwrap();
+    e.sql("select count(*) from t").unwrap();
+    assert!(e.unregister_table("t"));
+    assert!(e.sql("select count(*) from t").is_err());
+    // Re-register works.
+    e.register_table("t", &path).unwrap();
+    assert_eq!(
+        e.sql("select count(*) from t").unwrap().scalar(),
+        Some(&Value::Int(1))
+    );
+}
