@@ -423,8 +423,16 @@ mod tests {
         let input = write("dups.csv", "2,x\n1,y\n2,z\n1,w\n");
         let out = dir().join("dups_sorted.csv");
         let c = WorkCounters::new();
-        external_sort(&input, &out, 0, 2, &dir().join("runs_dups"), &CsvOptions::default(), &c)
-            .unwrap();
+        external_sort(
+            &input,
+            &out,
+            0,
+            2,
+            &dir().join("runs_dups"),
+            &CsvOptions::default(),
+            &c,
+        )
+        .unwrap();
         assert_eq!(read_keys(&out), vec![1, 1, 2, 2]);
     }
 
@@ -446,8 +454,8 @@ mod tests {
             AggSpec::on_col(AggFunc::Sum, 1),
             AggSpec::on_col(AggFunc::Sum, 3),
         ];
-        let merged = merge_join_aggregate(&ls, &schema, 0, &rs, &schema, 0, &specs, &csv, &c)
-            .unwrap();
+        let merged =
+            merge_join_aggregate(&ls, &schema, 0, &rs, &schema, 0, &specs, &csv, &c).unwrap();
         let hashed = ScriptEngine::awk()
             .hash_join_aggregate(&l, &schema, 0, &r, &schema, 0, &specs, &c)
             .unwrap();

@@ -73,16 +73,24 @@ impl ScriptEngine {
         counters: &WorkCounters,
     ) -> Result<Vec<Value>> {
         let mut accs: Vec<Accumulator> = specs.iter().map(|s| Accumulator::new(s.func)).collect();
-        self.stream(path, schema, filter, specs, counters, |vals, accs_row| {
-            for (acc, spec) in accs_row.iter_mut().zip(specs) {
-                match &spec.expr {
-                    None => acc.update(&Value::Null)?,
-                    Some(Expr::Col(c)) => acc.update(&vals[*c])?,
-                    Some(e) => acc.update(&e.eval_row(vals)?)?,
+        self.stream(
+            path,
+            schema,
+            filter,
+            specs,
+            counters,
+            |vals, accs_row| {
+                for (acc, spec) in accs_row.iter_mut().zip(specs) {
+                    match &spec.expr {
+                        None => acc.update(&Value::Null)?,
+                        Some(Expr::Col(c)) => acc.update(&vals[*c])?,
+                        Some(e) => acc.update(&e.eval_row(vals)?)?,
+                    }
                 }
-            }
-            Ok(())
-        }, &mut accs)?;
+                Ok(())
+            },
+            &mut accs,
+        )?;
         accs.iter().map(|a| a.finish()).collect()
     }
 
@@ -94,13 +102,7 @@ impl ScriptEngine {
         filter: &Conjunction,
         counters: &WorkCounters,
     ) -> Result<u64> {
-        let out = self.aggregate_query(
-            path,
-            schema,
-            &[AggSpec::count_star()],
-            filter,
-            counters,
-        )?;
+        let out = self.aggregate_query(path, schema, &[AggSpec::count_star()], filter, counters)?;
         Ok(out[0].as_i64().unwrap_or(0) as u64)
     }
 
@@ -415,9 +417,11 @@ mod tests {
         let schema = Schema::ints(2);
         let eng = ScriptEngine::awk();
         let c1 = WorkCounters::new();
-        eng.count_query(&p, &schema, &Conjunction::always(), &c1).unwrap();
+        eng.count_query(&p, &schema, &Conjunction::always(), &c1)
+            .unwrap();
         let c2 = WorkCounters::new();
-        eng.count_query(&p, &schema, &Conjunction::always(), &c2).unwrap();
+        eng.count_query(&p, &schema, &Conjunction::always(), &c2)
+            .unwrap();
         // No learning: identical work both times.
         assert_eq!(c1.snapshot(), c2.snapshot());
     }
@@ -429,7 +433,13 @@ mod tests {
         let c = WorkCounters::new();
         let filter = Conjunction::new(vec![ColPred::new(0, CmpOp::Eq, 2i64)]);
         ScriptEngine::awk()
-            .aggregate_query(&p, &schema, &[AggSpec::on_col(AggFunc::Sum, 1)], &filter, &c)
+            .aggregate_query(
+                &p,
+                &schema,
+                &[AggSpec::on_col(AggFunc::Sum, 1)],
+                &filter,
+                &c,
+            )
             .unwrap();
         let s = c.snapshot();
         assert_eq!(s.rows_abandoned, 2);
@@ -444,7 +454,13 @@ mod tests {
         let c = WorkCounters::new();
         let filter = Conjunction::new(vec![ColPred::new(0, CmpOp::Eq, 1i64)]);
         let out = ScriptEngine::perl()
-            .aggregate_query(&p, &schema, &[AggSpec::on_col(AggFunc::Sum, 1)], &filter, &c)
+            .aggregate_query(
+                &p,
+                &schema,
+                &[AggSpec::on_col(AggFunc::Sum, 1)],
+                &filter,
+                &c,
+            )
             .unwrap();
         assert_eq!(out[0], Value::Int(10));
         // Every field of every row parsed: 2 rows × 3 cols.
@@ -462,9 +478,13 @@ mod tests {
         let filter = range(0, 10, 20);
         let specs = [AggSpec::on_col(AggFunc::Sum, 0)];
         let ca = WorkCounters::new();
-        ScriptEngine::awk().aggregate_query(&p, &schema, &specs, &filter, &ca).unwrap();
+        ScriptEngine::awk()
+            .aggregate_query(&p, &schema, &specs, &filter, &ca)
+            .unwrap();
         let cp = WorkCounters::new();
-        ScriptEngine::perl().aggregate_query(&p, &schema, &specs, &filter, &cp).unwrap();
+        ScriptEngine::perl()
+            .aggregate_query(&p, &schema, &specs, &filter, &cp)
+            .unwrap();
         assert!(
             cp.snapshot().values_parsed > 4 * ca.snapshot().values_parsed,
             "perl {} vs awk {}",
@@ -489,8 +509,8 @@ mod tests {
                 0,
                 &[
                     AggSpec::count_star(),
-                    AggSpec::on_col(AggFunc::Sum, 1),  // left payload
-                    AggSpec::on_col(AggFunc::Sum, 3),  // right payload
+                    AggSpec::on_col(AggFunc::Sum, 1), // left payload
+                    AggSpec::on_col(AggFunc::Sum, 3), // right payload
                 ],
                 &c,
             )

@@ -83,7 +83,12 @@ fn a1_one_column_per_trip(scale: Scale) {
         let (out, t) = time(|| e.sql(sql).unwrap());
         nodb_bench::row(
             &[
-                if per_col { "one-column-per-trip" } else { "batched (paper)" }.into(),
+                if per_col {
+                    "one-column-per-trip"
+                } else {
+                    "batched (paper)"
+                }
+                .into(),
                 ms(t),
                 out.stats.work.file_trips.to_string(),
                 format!("{:.1}", out.stats.work.bytes_read as f64 / 1e6),
@@ -125,7 +130,11 @@ fn a2_positional_map(scale: Scale) {
         nodb_bench::row(&[format!("a{}", c + 1), ms(t_on), ms(t_off)], &w);
     }
     nodb_bench::row(
-        &["total".into(), format!("{tot_on:.2}"), format!("{tot_off:.2}")],
+        &[
+            "total".into(),
+            format!("{tot_on:.2}"),
+            format!("{tot_off:.2}"),
+        ],
         &w,
     );
     let info = e_on.table_info("r").unwrap();
@@ -182,7 +191,10 @@ fn a4_partial_worst_case(scale: Scale) {
     let path = dataset(rows, 4, 24);
     let w = [16, 12, 10];
     nodb_bench::header(&["strategy", "total-time", "trips"], &w);
-    for strategy in [LoadingStrategy::PartialLoadsV2, LoadingStrategy::ColumnLoads] {
+    for strategy in [
+        LoadingStrategy::PartialLoadsV2,
+        LoadingStrategy::ColumnLoads,
+    ] {
         let mut cfg = EngineConfig::with_strategy(strategy);
         cfg.monitor = false; // measure the raw worst case, no advisor rescue
         cfg.store_dir = Some(scratch_dir(&format!("a4-{}", strategy.label())));
@@ -199,11 +211,7 @@ fn a4_partial_worst_case(scale: Scale) {
         });
         let work = e.counters().snapshot().since(&before);
         nodb_bench::row(
-            &[
-                strategy.label().into(),
-                ms(t),
-                work.file_trips.to_string(),
-            ],
+            &[strategy.label().into(), ms(t), work.file_trips.to_string()],
             &w,
         );
     }

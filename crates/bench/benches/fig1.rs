@@ -60,7 +60,10 @@ fn main() {
 
     println!("\n### (b) Query processing cost");
     let w = [12, 12, 12, 12, 12, 12];
-    nodb_bench::header(&["rows", "awk", "perl", "cold-db", "hot-db", "index-db"], &w);
+    nodb_bench::header(
+        &["rows", "awk", "perl", "cold-db", "hot-db", "index-db"],
+        &w,
+    );
     for &rows in &sizes {
         let path = dataset(rows, 4, 1);
         let schema = Schema::ints(4);
@@ -79,12 +82,13 @@ fn main() {
         let mut r2 = rng(rows as u64);
         let f1 = selective_range(0, rows, 0.10, &mut r2);
         let f2 = selective_range(1, rows, 1.0, &mut r2);
-        let filter = nodb_types::Conjunction::new(
-            f1.preds.iter().chain(&f2.preds).cloned().collect(),
-        );
+        let filter =
+            nodb_types::Conjunction::new(f1.preds.iter().chain(&f2.preds).cloned().collect());
         let c = WorkCounters::new();
-        let (awk_out, awk_t) =
-            time(|| awk.aggregate_query(&path, &schema, &specs, &filter, &c).unwrap());
+        let (awk_out, awk_t) = time(|| {
+            awk.aggregate_query(&path, &schema, &specs, &filter, &c)
+                .unwrap()
+        });
 
         // Perl: materialises every field of every row (§2.2: "two times
         // slower than the Awk scripts").

@@ -59,7 +59,14 @@ fn main() {
 
     let w = [6, 12, 12, 12, 12, 24];
     nodb_bench::header(
-        &["query", "monetdb", "mysql-csv", "col-loads", "partial-v1", "col-loads work"],
+        &[
+            "query",
+            "monetdb",
+            "mysql-csv",
+            "col-loads",
+            "partial-v1",
+            "col-loads work",
+        ],
         &w,
     );
     let mut totals = vec![0f64; strategies.len()];

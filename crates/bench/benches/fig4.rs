@@ -61,7 +61,14 @@ fn main() {
 
     let w = [6, 8, 12, 12, 12, 12];
     nodb_bench::header(
-        &["query", "pair", "monetdb", "col-loads", "partial-v2", "split-files"],
+        &[
+            "query",
+            "pair",
+            "monetdb",
+            "col-loads",
+            "partial-v2",
+            "split-files",
+        ],
         &w,
     );
     let mut totals = vec![0f64; strategies.len()];

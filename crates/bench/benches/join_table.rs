@@ -50,10 +50,7 @@ fn main() {
             .hash_join_aggregate(&r_path, &schema, 0, &s_path, &schema, 0, &specs, &c)
             .unwrap()
     });
-    nodb_bench::row(
-        &["awk-hash-join".into(), ms(t), format!("{}", out[0])],
-        &w,
-    );
+    nodb_bench::row(&["awk-hash-join".into(), ms(t), format!("{}", out[0])], &w);
     results.push(out);
 
     // 2. Perl hash join (materialises every field).
@@ -63,10 +60,7 @@ fn main() {
             .hash_join_aggregate(&r_path, &schema, 0, &s_path, &schema, 0, &specs, &c)
             .unwrap()
     });
-    nodb_bench::row(
-        &["perl-hash-join".into(), ms(t), format!("{}", out[0])],
-        &w,
-    );
+    nodb_bench::row(&["perl-hash-join".into(), ms(t), format!("{}", out[0])], &w);
     results.push(out);
 
     // 3. Unix-sort + merge join (sort time included, as the paper did).
@@ -74,10 +68,30 @@ fn main() {
     let sorted_r = dir.join("r.sorted.csv");
     let sorted_s = dir.join("s.sorted.csv");
     let (out, t) = time(|| {
-        external_sort(&r_path, &sorted_r, 0, rows / 8 + 1, &dir.join("runs_r"), &csv, &c).unwrap();
-        external_sort(&s_path, &sorted_s, 0, rows / 8 + 1, &dir.join("runs_s"), &csv, &c).unwrap();
-        merge_join_aggregate(&sorted_r, &schema, 0, &sorted_s, &schema, 0, &specs, &csv, &c)
-            .unwrap()
+        external_sort(
+            &r_path,
+            &sorted_r,
+            0,
+            rows / 8 + 1,
+            &dir.join("runs_r"),
+            &csv,
+            &c,
+        )
+        .unwrap();
+        external_sort(
+            &s_path,
+            &sorted_s,
+            0,
+            rows / 8 + 1,
+            &dir.join("runs_s"),
+            &csv,
+            &c,
+        )
+        .unwrap();
+        merge_join_aggregate(
+            &sorted_r, &schema, 0, &sorted_s, &schema, 0, &specs, &csv, &c,
+        )
+        .unwrap()
     });
     nodb_bench::row(
         &["sort+merge-join".into(), ms(t), format!("{}", out[0])],

@@ -11,8 +11,8 @@ use std::collections::BTreeMap;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use nodb_exec::{
-    aggregate, filter_positions, fused_filter_aggregate, hash_join_positions,
-    merge_join_positions, AggFunc, AggSpec, AggregateOp, ColumnsScan, FilterOp,
+    aggregate, filter_positions, fused_filter_aggregate, hash_join_positions, merge_join_positions,
+    AggFunc, AggSpec, AggregateOp, ColumnsScan, FilterOp,
 };
 use nodb_rawcsv::gen::Permutation;
 use nodb_rawcsv::tokenizer::{scan_bytes, CsvOptions, ScanSpec};
@@ -122,9 +122,7 @@ fn bench_cracking(c: &mut Criterion) {
     g.bench_function("full_scan_range", |b| {
         b.iter(|| {
             vals.iter()
-                .filter(|&&v| {
-                    v > (n / 3) as i64 && v < (n / 3 + n / 10) as i64
-                })
+                .filter(|&&v| v > (n / 3) as i64 && v < (n / 3 + n / 10) as i64)
                 .sum::<i64>()
         })
     });
@@ -205,11 +203,102 @@ fn bench_joins(c: &mut Criterion) {
     g.finish();
 }
 
+/// Prepared-vs-raw repeat queries: the parse/plan amortization win of the
+/// session API. Three variants run the same warm Q1-shaped aggregate:
+///
+/// * `raw_nocache` — `Engine::sql` with the plan cache disabled: every
+///   execution pays lex + parse + name resolution + planning;
+/// * `cached_sql`  — `Engine::sql` with the default plan cache: repeat
+///   text skips the front end after the first miss;
+/// * `prepared`    — `Prepared::bind` + execute: zero front-end work and
+///   no cache lookup, only parameter substitution.
+fn bench_prepared_vs_raw(c: &mut Criterion) {
+    use nodb_core::{Engine, EngineConfig, LoadingStrategy, Session};
+    use nodb_types::Value;
+    use std::sync::Arc;
+
+    // Small warm table: execution is cheap, so the front-end share (what
+    // preparation amortises away) dominates the per-query cost.
+    let rows = 5_000;
+    let dir = std::env::temp_dir().join("nodb-micro-prepared");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("r.csv");
+    std::fs::write(&path, csv_bytes(rows, 4)).unwrap();
+
+    let engine_with = |cache: usize| {
+        let mut cfg = EngineConfig::with_strategy(LoadingStrategy::ColumnLoads);
+        cfg.store_dir = Some(dir.join(format!("store-{cache}")));
+        cfg.plan_cache_capacity = cache;
+        let e = Arc::new(Engine::new(cfg));
+        e.register_table("r", &path).unwrap();
+        // Warm the adaptive store so only the front end differs.
+        e.sql("select sum(a1),min(a4),max(a3),avg(a2) from r where a1 > 10 and a1 < 5000")
+            .unwrap();
+        e
+    };
+    let sql = "select sum(a1),min(a4),max(a3),avg(a2) from r where a1 > 10 and a1 < 5000";
+
+    let mut g = c.benchmark_group("prepared_vs_raw");
+    g.sample_size(20);
+
+    let raw = engine_with(0);
+    g.bench_function("q1/raw_nocache", |b| b.iter(|| raw.sql(sql).unwrap()));
+
+    let cached = engine_with(128);
+    g.bench_function("q1/cached_sql", |b| b.iter(|| cached.sql(sql).unwrap()));
+
+    let session = Session::new(engine_with(128));
+    let stmt = session
+        .prepare("select sum(a1),min(a4),max(a3),avg(a2) from r where a1 > ? and a1 < ?")
+        .unwrap();
+    let params = [Value::Int(10), Value::Int(5000)];
+    g.bench_function("q1/prepared", |b| {
+        b.iter(|| stmt.bind(&params).unwrap().execute().unwrap())
+    });
+
+    // Front-end-bound shape: `count(*)` executes in nanoseconds (the row
+    // count is already known), so the three variants isolate exactly the
+    // lex/parse/plan cost that preparation and the plan cache amortise.
+    let count = "select count(*) from r";
+    g.bench_function("count_star/raw_nocache", |b| {
+        b.iter(|| raw.sql(count).unwrap())
+    });
+    g.bench_function("count_star/cached_sql", |b| {
+        b.iter(|| cached.sql(count).unwrap())
+    });
+    let count_stmt = session.prepare(count).unwrap();
+    g.bench_function("count_star/prepared", |b| {
+        b.iter(|| count_stmt.bind(&[]).unwrap().execute().unwrap())
+    });
+
+    // The front end in isolation: per repeat execution, raw SQL pays
+    // lex + parse + resolve + plan; a prepared statement pays bind()
+    // (a plan clone plus parameter substitution).
+    let mut schemas: BTreeMap<String, nodb_types::Schema> = BTreeMap::new();
+    schemas.insert("r".to_owned(), nodb_types::Schema::ints(4));
+    let schemas: std::collections::HashMap<String, nodb_types::Schema> =
+        schemas.into_iter().collect();
+    g.bench_function("front_end/parse_plan", |b| {
+        b.iter(|| nodb_sql::plan_sql(sql, &schemas).unwrap())
+    });
+    let param_plan = nodb_sql::plan_sql(
+        "select sum(a1),min(a4),max(a3),avg(a2) from r where a1 > ? and a1 < ?",
+        &schemas,
+    )
+    .unwrap();
+    g.bench_function("front_end/bind", |b| {
+        b.iter(|| param_plan.bind(&params).unwrap())
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_tokenizer,
     bench_cracking,
     bench_kernels,
-    bench_joins
+    bench_joins,
+    bench_prepared_vs_raw
 );
 criterion_main!(benches);

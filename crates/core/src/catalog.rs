@@ -16,9 +16,49 @@ use parking_lot::RwLock;
 
 use nodb_rawcsv::{infer_from_bytes, CsvOptions, PositionalMap, SegmentCatalog};
 use nodb_store::TableData;
-use nodb_types::{Error, Result, Schema, WorkCounters};
+use nodb_types::{ColumnData, Error, Result, Schema, WorkCounters};
 
 use crate::monitor::TableMonitor;
+
+/// Process-wide schema-epoch source. Epochs must be unique across every
+/// table that ever existed, not merely monotonic per entry: the plan
+/// cache and prepared statements compare epochs to detect that a name was
+/// re-bound (unregister + register, or a re-created result table), and a
+/// per-entry counter restarting at 1 would collide with the old entry's.
+fn next_epoch() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Filesystem-safe directory component for a table key. The Rust API
+/// accepts arbitrary registration names, so a name containing path
+/// separators or `..` must not steer derived files (or unregister-time
+/// deletion) outside the store directory: alphanumerics, `_` and `-`
+/// pass through, everything else becomes `_`, and a rewritten name gets
+/// a hash suffix so distinct keys cannot collide.
+fn dir_component(key: &str) -> String {
+    let safe: String = key
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if safe == key {
+        safe
+    } else {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        format!("{safe}-{h:016x}")
+    }
+}
 
 /// Fingerprint of a raw file for change detection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +104,13 @@ pub struct TableEntry {
     pub store: TableData,
     /// Workload monitor state (§5.5).
     pub monitor: TableMonitor,
+    /// Memory-resident result table: no backing raw file; the adaptive
+    /// store holds every column (results-as-data, `CREATE TABLE AS` /
+    /// `register_result`).
+    pub resident: bool,
+    /// Bumped whenever the schema is (re-)inferred — cached plans resolved
+    /// against an older epoch are stale.
+    pub schema_epoch: u64,
 }
 
 /// Inferred schema plus layout facts about the raw file.
@@ -90,7 +137,28 @@ impl TableEntry {
             segment_posmaps: std::collections::HashMap::new(),
             store: TableData::new(),
             monitor: TableMonitor::default(),
+            resident: false,
+            schema_epoch: 0,
         }
+    }
+
+    /// A memory-resident result table: schema known up front, every column
+    /// fully loaded into the adaptive store, no raw file behind it.
+    pub fn resident(name: String, schema: Schema, columns: Vec<ColumnData>) -> TableEntry {
+        let n_rows = columns.first().map(|c| c.len()).unwrap_or(0) as u64;
+        let mut entry = TableEntry::new(name, PathBuf::new(), PathBuf::new());
+        entry.resident = true;
+        entry.schema_epoch = next_epoch();
+        entry.schema_info = Some(SchemaInfo {
+            schema,
+            has_header: false,
+            data_start: 0,
+        });
+        entry.store.set_nrows(n_rows);
+        for (c, col) in columns.into_iter().enumerate() {
+            entry.store.insert_full(c, col, 0);
+        }
+        entry
     }
 
     /// Ensure schema and fingerprint are current, (re)inferring after file
@@ -101,6 +169,9 @@ impl TableEntry {
         sample_rows: usize,
         counters: &WorkCounters,
     ) -> Result<bool> {
+        if self.resident {
+            return Ok(false);
+        }
         let fp = Fingerprint::of(&self.path)?;
         let changed = self.fingerprint != Some(fp);
         if changed {
@@ -113,6 +184,7 @@ impl TableEntry {
                 data_start: info.data_start,
             });
             self.fingerprint = Some(fp);
+            self.schema_epoch = next_epoch();
         }
         Ok(changed)
     }
@@ -125,6 +197,9 @@ impl TableEntry {
         csv: &CsvOptions,
         sample_rows: usize,
     ) -> Result<bool> {
+        if self.resident {
+            return Ok(false);
+        }
         let fp = Fingerprint::of(&self.path)?;
         let changed = self.fingerprint != Some(fp);
         if changed {
@@ -136,6 +211,7 @@ impl TableEntry {
                 data_start: info.data_start,
             });
             self.fingerprint = Some(fp);
+            self.schema_epoch = next_epoch();
         }
         Ok(changed)
     }
@@ -170,6 +246,48 @@ impl TableEntry {
     /// Byte offset of the first data row (0 without a header).
     pub fn data_start(&self) -> u64 {
         self.schema_info.as_ref().map(|s| s.data_start).unwrap_or(0)
+    }
+
+    /// Delete every engine-generated file derived from this table: split
+    /// segments recorded in the segment catalog, plus any stale
+    /// `<stem>.g<gen>.col<c>.csv` splits from earlier registrations still
+    /// sitting in this table's store directory (which is private to the
+    /// table — see [`Catalog::register`]). The original raw file is never
+    /// touched. Returns the number of files removed.
+    pub fn drop_derived_files(&self) -> usize {
+        let mut removed = 0;
+        if let Some(segs) = &self.segments {
+            for seg in segs.segments() {
+                if !seg.is_original && std::fs::remove_file(&seg.path).is_ok() {
+                    removed += 1;
+                }
+            }
+        }
+        // Stale splits from previous registrations of the same file use
+        // the `<stem>.g<generation>.` prefix in the store dir.
+        let stem = self
+            .path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if !stem.is_empty() {
+            let prefix = format!("{stem}.g");
+            if let Ok(entries) = std::fs::read_dir(&self.store_dir) {
+                for entry in entries.flatten() {
+                    let name = entry.file_name();
+                    let name = name.to_string_lossy();
+                    if name.starts_with(&prefix)
+                        && name.ends_with(".csv")
+                        && std::fs::remove_file(entry.path()).is_ok()
+                    {
+                        removed += 1;
+                    }
+                }
+            }
+        }
+        // The per-table directory itself, when now empty.
+        let _ = std::fs::remove_dir(&self.store_dir);
+        removed
     }
 
     /// The segment catalog, creating the initial single-segment cover.
@@ -207,12 +325,19 @@ impl Catalog {
             return Err(Error::schema(format!("table {name:?} already registered")));
         }
         let path = path.into();
+        // Each table gets its own subdirectory for derived files: split
+        // segments are named after the raw file's stem, so two tables
+        // registered from same-stem files (`/a/data.csv`, `/b/data.csv`)
+        // sharing one store dir would otherwise overwrite each other's
+        // splits — and unregister-time cleanup could not tell them apart.
+        let subdir = dir_component(&key);
         let dir = match store_dir {
-            Some(d) => d.to_path_buf(),
+            Some(d) => d.join(&subdir),
             None => path
                 .parent()
                 .unwrap_or_else(|| Path::new("."))
-                .join(".nodb"),
+                .join(".nodb")
+                .join(&subdir),
         };
         self.tables.insert(
             key,
@@ -223,7 +348,41 @@ impl Catalog {
 
     /// Remove a table link (derived state is dropped with it).
     pub fn unregister(&mut self, name: &str) -> bool {
-        self.tables.remove(&name.to_ascii_lowercase()).is_some()
+        self.remove(name).is_some()
+    }
+
+    /// Remove a table link, handing back its entry (so callers can clean
+    /// up on-disk derived state outside the catalog lock).
+    pub fn remove(&mut self, name: &str) -> Option<Arc<RwLock<TableEntry>>> {
+        self.tables.remove(&name.to_ascii_lowercase())
+    }
+
+    /// Register a memory-resident result table. Replaces a previous
+    /// *result* table of the same name (exploration loops re-create
+    /// them); refuses to shadow a file-backed table.
+    pub fn register_result(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        columns: Vec<ColumnData>,
+    ) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        if let Some(existing) = self.tables.get(&key) {
+            if !existing.read().resident {
+                return Err(Error::schema(format!(
+                    "table {name:?} is registered to a raw file; unregister it first"
+                )));
+            }
+        }
+        self.tables.insert(
+            key,
+            Arc::new(RwLock::new(TableEntry::resident(
+                name.to_owned(),
+                schema,
+                columns,
+            ))),
+        );
+        Ok(())
     }
 
     /// Look up a table entry.
@@ -232,8 +391,7 @@ impl Catalog {
             .get(&name.to_ascii_lowercase())
             .cloned()
             .ok_or_else(|| {
-                let mut known: Vec<&str> =
-                    self.tables.keys().map(|s| s.as_str()).collect();
+                let mut known: Vec<&str> = self.tables.keys().map(|s| s.as_str()).collect();
                 known.sort_unstable();
                 Error::schema(format!("unknown table {name:?}; registered: {known:?}"))
             })
@@ -285,15 +443,11 @@ mod tests {
         let mut e = entry.write();
         assert!(e.schema_info.is_none());
         let c = WorkCounters::new();
-        let changed = e
-            .ensure_current(&CsvOptions::default(), 16, &c)
-            .unwrap();
+        let changed = e.ensure_current(&CsvOptions::default(), 16, &c).unwrap();
         assert!(changed);
         assert_eq!(e.schema().unwrap().len(), 3);
         // Second ensure: no change.
-        let changed = e
-            .ensure_current(&CsvOptions::default(), 16, &c)
-            .unwrap();
+        let changed = e.ensure_current(&CsvOptions::default(), 16, &c).unwrap();
         assert!(!changed);
     }
 

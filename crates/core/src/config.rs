@@ -95,6 +95,16 @@ pub struct EngineConfig {
     pub escalate_after_misses: u32,
     /// Rows sampled for schema inference.
     pub infer_sample_rows: usize,
+    /// Rows per [`RowBatch`] emitted by streaming query execution
+    /// (`Session::query`, `Prepared` streams).
+    ///
+    /// [`RowBatch`]: nodb_store::RowBatch
+    pub batch_size: usize,
+    /// Capacity (entries) of the engine plan cache keyed by normalized
+    /// SQL text. `0` disables caching: every query re-parses and
+    /// re-plans, which is what the prepared-statement benchmarks compare
+    /// against.
+    pub plan_cache_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -111,6 +121,8 @@ impl Default for EngineConfig {
             monitor: true,
             escalate_after_misses: 3,
             infer_sample_rows: 64,
+            batch_size: 1024,
+            plan_cache_capacity: 128,
         }
     }
 }
@@ -148,8 +160,7 @@ mod tests {
             LoadingStrategy::PartialLoadsV2,
             LoadingStrategy::SplitFiles,
         ];
-        let labels: std::collections::HashSet<&str> =
-            all.iter().map(|s| s.label()).collect();
+        let labels: std::collections::HashSet<&str> = all.iter().map(|s| s.label()).collect();
         assert_eq!(labels.len(), all.len());
     }
 }

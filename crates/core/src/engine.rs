@@ -18,17 +18,20 @@ use parking_lot::RwLock;
 
 use nodb_exec::{
     aggregate, filter_positions, fused_filter_aggregate, group_aggregate, hash_join_positions,
-    project_rows, sort_positions, AggSpec, ColumnsScan, Expr,
+    sort_positions, AggSpec, ColumnsScan, Expr, ProjectionCursor,
 };
-use nodb_sql::{OutputExpr, Plan};
+use nodb_sql::{OutputExpr, Plan, Statement};
 use nodb_store::persist;
 use nodb_types::{
-    ColumnData, Conjunction, CountersSnapshot, Error, Result, Schema, Value, WorkCounters,
+    ColumnData, Conjunction, CountersSnapshot, DataType, Error, Field, Result, Schema, Value,
+    WorkCounters,
 };
 
 use crate::catalog::Catalog;
 use crate::config::{EngineConfig, KernelStrategy, LoadingStrategy};
+use crate::plan_cache::{normalize_sql, PlanCache, PlanDeps};
 use crate::policy::{materialize, Materialized};
+use crate::session::{output_schema, unique_identifiers, QueryStream, Session, StreamBody};
 
 /// Result of one SQL query.
 #[derive(Debug)]
@@ -63,11 +66,7 @@ impl QueryOutput {
                 std::borrow::Cow::Borrowed(s)
             }
         }
-        let header: Vec<String> = self
-            .columns
-            .iter()
-            .map(|c| field(c).into_owned())
-            .collect();
+        let header: Vec<String> = self.columns.iter().map(|c| field(c).into_owned()).collect();
         writeln!(w, "{}", header.join(","))?;
         for row in &self.rows {
             let cells: Vec<String> = row
@@ -129,17 +128,26 @@ pub struct Engine {
     cfg: EngineConfig,
     counters: Arc<WorkCounters>,
     seq: AtomicU64,
+    plan_cache: PlanCache,
 }
 
 impl Engine {
     /// Engine with the given configuration.
     pub fn new(cfg: EngineConfig) -> Engine {
+        let plan_cache = PlanCache::new(cfg.plan_cache_capacity);
         Engine {
             catalog: RwLock::new(Catalog::new()),
             cfg,
             counters: Arc::new(WorkCounters::new()),
             seq: AtomicU64::new(0),
+            plan_cache,
         }
+    }
+
+    /// A [`Session`] over this engine (sessions are cheap; make one per
+    /// connection or exploration thread).
+    pub fn session(self: &Arc<Self>) -> Session {
+        Session::new(Arc::clone(self))
     }
 
     /// Engine with default configuration (adaptive column loads).
@@ -164,9 +172,19 @@ impl Engine {
             .register(name, path, self.cfg.store_dir.as_deref())
     }
 
-    /// Remove a table link and its derived state.
+    /// Remove a table link and its derived state — including any split
+    /// segments persisted under the store directory, so re-registering a
+    /// changed file under the same name can never resurrect stale
+    /// columns.
     pub fn unregister_table(&self, name: &str) -> bool {
-        self.catalog.write().unregister(name)
+        let removed = self.catalog.write().remove(name);
+        match removed {
+            Some(entry) => {
+                entry.read().drop_derived_files();
+                true
+            }
+            None => false,
+        }
     }
 
     /// Registered table names.
@@ -248,7 +266,11 @@ impl Engine {
         for (t, needed) in [
             (&plan.table, needed_l),
             (
-                &plan.join.as_ref().map(|j| j.table.clone()).unwrap_or_default(),
+                &plan
+                    .join
+                    .as_ref()
+                    .map(|j| j.table.clone())
+                    .unwrap_or_default(),
                 needed_r,
             ),
         ] {
@@ -274,59 +296,207 @@ impl Engine {
         Ok(out)
     }
 
-    /// Parse, plan and execute a SQL query.
+    /// Parse, plan and execute one SQL statement — a SELECT, or
+    /// `CREATE TABLE <t> AS SELECT ...` (which materialises the result as
+    /// an in-memory table and also returns it).
+    ///
+    /// Repeat SELECTs are served from the engine plan cache (keyed on
+    /// normalized text), skipping the lexer/parser/planner entirely; see
+    /// the `plan_cache_hits`/`plan_cache_misses` work counters. For
+    /// parameterised repetition and streaming results, use
+    /// [`Session::prepare`](crate::Session::prepare).
     pub fn sql(&self, text: &str) -> Result<QueryOutput> {
         let started = Instant::now();
         let before = self.counters.snapshot();
-        let now = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        if leading_keyword(text).eq_ignore_ascii_case("create") {
+            let stmt = nodb_sql::parse_statement(text)?;
+            return match stmt {
+                Statement::CreateTableAs { name, query } => {
+                    self.create_table_as(&name, &query, started, before)
+                }
+                Statement::Select(_) => unreachable!("leading keyword was CREATE"),
+            };
+        }
+        let plan = self.plan_select(text)?;
+        self.stream_plan(&plan, usize::MAX, started, before)?
+            .collect_output()
+    }
 
+    /// `CREATE TABLE <name> AS SELECT ...`: run the defining query and
+    /// register its result columns directly in the catalog (no CSV
+    /// round-trip). Returns the materialised result. The defining SELECT
+    /// is planned from its AST (DDL is rare; it does not go through the
+    /// plan cache).
+    fn create_table_as(
+        &self,
+        name: &str,
+        query: &nodb_sql::AstQuery,
+        started: Instant,
+        before: CountersSnapshot,
+    ) -> Result<QueryOutput> {
+        let (plan, _deps) = self.plan_query(query)?;
+        let out = self
+            .stream_plan(&plan, usize::MAX, started, before)?
+            .collect_output()?;
+        self.register_result(name, &out)?;
+        Ok(out)
+    }
+
+    /// Register a query result as an in-memory table: its columns go
+    /// straight into the catalog's adaptive store, fully loaded, with no
+    /// raw file behind them. Column labels are sanitised into SQL
+    /// identifiers (`sum(a1)` → `sum_a1`, `count(*)` → `count`) and
+    /// deduplicated with `_2`, `_3`, ... suffixes. Re-registering over an
+    /// existing *result* table replaces it; shadowing a file-backed table
+    /// is an error.
+    pub fn register_result(&self, name: &str, output: &QueryOutput) -> Result<()> {
+        let ncols = output.columns.len();
+        // Column types from the values themselves: any string makes the
+        // column textual, else any float makes it f64, else i64.
+        let mut types = vec![DataType::Int64; ncols];
+        for row in &output.rows {
+            for (c, v) in row.iter().enumerate().take(ncols) {
+                types[c] = match v {
+                    Value::Null => types[c],
+                    Value::Int(_) => types[c],
+                    Value::Float(_) => types[c].unify(DataType::Float64),
+                    Value::Str(_) => DataType::Str,
+                };
+            }
+        }
+        let fields: Vec<Field> = unique_identifiers(&output.columns)
+            .into_iter()
+            .zip(&types)
+            .map(|(n, &t)| Field::new(n, t))
+            .collect();
+        let schema = Schema::new(fields)?;
+        let mut columns = Vec::with_capacity(ncols);
+        for (c, &ty) in types.iter().enumerate() {
+            let mut col = ColumnData::with_capacity(ty, output.rows.len());
+            for row in &output.rows {
+                let v = row.get(c).cloned().unwrap_or(Value::Null);
+                col.push(coerce(v, ty))?;
+            }
+            columns.push(col);
+        }
+        self.catalog.write().register_result(name, schema, columns)
+    }
+
+    /// Resolve a SELECT to a plan, via the plan cache. A hit re-uses the
+    /// cached plan with zero parse/plan work (after confirming, per
+    /// table, that the schema epoch is unchanged — which also performs
+    /// the usual file-edit fingerprint check).
+    pub(crate) fn plan_select(&self, text: &str) -> Result<Arc<Plan>> {
+        Ok(self.plan_select_with_deps(text)?.0)
+    }
+
+    /// [`Engine::plan_select`] plus the `(table, schema epoch)` set the
+    /// plan depends on — what [`Prepared`](crate::Prepared) revalidates.
+    /// On a hit the deps are the cache entry's own (just confirmed
+    /// current); on a miss they are captured at the same instant as the
+    /// schemas the plan resolves against, so a concurrent file edit can
+    /// never tag a stale plan with a fresh epoch.
+    pub(crate) fn plan_select_with_deps(&self, text: &str) -> Result<(Arc<Plan>, PlanDeps)> {
+        let key = normalize_sql(text);
+        if let Some(hit) = self.plan_cache.get(&key, |t| self.ensured_epoch(t).ok()) {
+            self.counters.add_plan_cache_hit();
+            return Ok(hit);
+        }
+        self.counters.add_plan_cache_miss();
         // Parse first: we need the table names to ensure schemas exist
         // before planning ("schema detection happens on first query").
         let ast = nodb_sql::parse(text)?;
+        let (plan, deps) = self.plan_query(&ast)?;
+        self.plan_cache.insert(key, Arc::clone(&plan), deps.clone());
+        Ok((plan, deps))
+    }
+
+    /// Plan a parsed query: ensure every referenced table's schema is
+    /// current, then resolve names against that snapshot. The returned
+    /// deps carry the epochs read in the same critical section as each
+    /// schema.
+    fn plan_query(&self, ast: &nodb_sql::AstQuery) -> Result<(Arc<Plan>, PlanDeps)> {
         let mut schemas: HashMap<String, Schema> = HashMap::new();
-        let mut table_names = vec![ast.table.clone()];
-        if let Some(j) = &ast.join {
-            table_names.push(j.table.clone());
-        }
-        for t in &table_names {
-            let entry = self.catalog.read().get(t)?;
+        let mut deps = Vec::new();
+        for t in tables_of(ast) {
+            let entry = self.catalog.read().get(&t)?;
             let mut e = entry.write();
             e.ensure_current(&self.cfg.csv, self.cfg.infer_sample_rows, &self.counters)?;
+            deps.push((t.to_ascii_lowercase(), e.schema_epoch));
             schemas.insert(t.to_ascii_lowercase(), e.schema()?.clone());
         }
-        let plan = nodb_sql::plan(&ast, &schemas)?;
+        let plan = Arc::new(nodb_sql::plan(ast, &schemas)?);
+        Ok((plan, deps))
+    }
+
+    /// Current schema epoch of a table, after running the fingerprint
+    /// check (so an on-disk edit bumps the epoch before we report it).
+    pub(crate) fn ensured_epoch(&self, table: &str) -> Result<u64> {
+        let entry = self.catalog.read().get(table)?;
+        let mut e = entry.write();
+        e.ensure_current(&self.cfg.csv, self.cfg.infer_sample_rows, &self.counters)?;
+        Ok(e.schema_epoch)
+    }
+
+    /// Execute a (fully bound) plan, returning the result as a stream of
+    /// row batches.
+    pub(crate) fn stream_plan(
+        &self,
+        plan: &Plan,
+        batch_size: usize,
+        started: Instant,
+        before: CountersSnapshot,
+    ) -> Result<QueryStream> {
+        if plan.is_parameterized() {
+            return Err(Error::Plan(format!(
+                "statement has {} unbound parameter(s); prepare and bind it",
+                plan.n_params
+            )));
+        }
+        let now = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
 
         // Materialise per table under the active loading policy.
         let (needed_l, needed_r) = plan.referenced_per_table();
         let (filter_l, filter_r) = plan.filter_per_table();
         let mat_l = self.materialize_table(&plan.table, &needed_l, &filter_l, now)?;
 
-        let rows = match &plan.join {
-            None => self.execute_single(&plan, mat_l)?,
+        let body = match &plan.join {
+            None => self.execute_single(plan, mat_l)?,
             Some(join) => {
-                let mat_r =
-                    self.materialize_table(&join.table, &needed_r, &filter_r, now)?;
-                self.execute_join(&plan, mat_l, mat_r, &filter_l, &filter_r)?
+                let mat_r = self.materialize_table(&join.table, &needed_r, &filter_r, now)?;
+                self.execute_join(plan, mat_l, mat_r, &filter_l, &filter_r)?
             }
         };
 
         // Life-time management (§5.1.3): enforce the per-table budget.
+        // The stream holds its own references to the materialised
+        // columns, so eviction here never invalidates in-flight batches.
         if let Some(budget) = self.cfg.memory_budget {
-            for t in &table_names {
+            let mut tables = vec![plan.table.clone()];
+            if let Some(j) = &plan.join {
+                tables.push(j.table.clone());
+            }
+            for t in &tables {
                 let entry = self.catalog.read().get(t)?;
-                entry.write().store.evict_to_budget(budget, &self.counters);
+                let mut e = entry.write();
+                // Resident result tables have no backing file to reload
+                // from — evicting their columns would destroy the data.
+                if !e.resident {
+                    e.store.evict_to_budget(budget, &self.counters);
+                }
             }
         }
 
-        Ok(QueryOutput {
-            columns: plan.output_names.clone(),
-            rows,
-            stats: QueryStats {
-                elapsed: started.elapsed(),
-                work: self.counters.snapshot().since(&before),
-                strategy: self.cfg.strategy,
-            },
-        })
+        Ok(QueryStream::new(
+            plan.output_names.clone(),
+            output_schema(plan),
+            batch_size,
+            body,
+            started,
+            before,
+            Arc::clone(&self.counters),
+            self.cfg.strategy,
+        ))
     }
 
     fn materialize_table(
@@ -341,13 +511,13 @@ impl Engine {
         materialize(&mut e, needed, filter, &self.cfg, &self.counters, now)
     }
 
-    fn execute_single(&self, plan: &Plan, mat: Materialized) -> Result<Vec<Vec<Value>>> {
+    fn execute_single(&self, plan: &Plan, mat: Materialized) -> Result<StreamBody> {
         let residual = if mat.prefiltered {
             Conjunction::always()
         } else {
             plan.filter.clone()
         };
-        self.execute_relational(plan, &mat.cols, mat.n_rows, &residual)
+        self.execute_relational(plan, mat.cols, mat.n_rows, &residual)
     }
 
     fn execute_join(
@@ -357,7 +527,7 @@ impl Engine {
         mat_r: Materialized,
         filter_l: &Conjunction,
         filter_r: &Conjunction,
-    ) -> Result<Vec<Vec<Value>>> {
+    ) -> Result<StreamBody> {
         let join = plan.join.as_ref().expect("join plan");
         // Reduce each side to qualifying positions first.
         let pos_l = if mat_l.prefiltered || filter_l.is_always_true() {
@@ -371,13 +541,14 @@ impl Engine {
             Some(filter_positions(&mat_r.cols, mat_r.n_rows, filter_r)?)
         };
 
-        let gather = |col: Option<&Arc<ColumnData>>, pos: &Option<Vec<usize>>| -> Result<ColumnData> {
-            let col = col.ok_or_else(|| Error::exec("join key not materialised"))?;
-            Ok(match pos {
-                None => col.as_ref().clone(),
-                Some(p) => col.take(p),
-            })
-        };
+        let gather =
+            |col: Option<&Arc<ColumnData>>, pos: &Option<Vec<usize>>| -> Result<ColumnData> {
+                let col = col.ok_or_else(|| Error::exec("join key not materialised"))?;
+                Ok(match pos {
+                    None => col.as_ref().clone(),
+                    Some(p) => col.take(p),
+                })
+            };
         let key_l = gather(mat_l.cols.get(&join.left_key), &pos_l)?;
         let key_r = gather(mat_r.cols.get(&join.right_key), &pos_r)?;
         let pairs = hash_join_positions(&key_l, &key_r)?;
@@ -390,26 +561,29 @@ impl Engine {
         };
         let li: Vec<usize> = pairs.iter().map(|&(a, _)| resolve(a, &pos_l)).collect();
         let ri: Vec<usize> = pairs.iter().map(|&(_, b)| resolve(b, &pos_r)).collect();
-        let mut combined: BTreeMap<usize, ColumnData> = BTreeMap::new();
+        let mut combined: BTreeMap<usize, Arc<ColumnData>> = BTreeMap::new();
         for (&c, col) in &mat_l.cols {
-            combined.insert(c, col.take(&li));
+            combined.insert(c, Arc::new(col.take(&li)));
         }
         for (&c, col) in &mat_r.cols {
-            combined.insert(plan.left_width + c, col.take(&ri));
+            combined.insert(plan.left_width + c, Arc::new(col.take(&ri)));
         }
         let n = pairs.len();
-        self.execute_relational(plan, &combined, n, &Conjunction::always())
+        self.execute_relational(plan, combined, n, &Conjunction::always())
     }
 
     /// The post-load relational pipeline: filter → group/aggregate →
-    /// order → limit → project, with the kernel strategy applied.
-    fn execute_relational<C: nodb_exec::Cols + ?Sized>(
+    /// order → offset/limit → project, with the kernel strategy applied.
+    /// Aggregate and grouped results come back fully computed (they are
+    /// small); plain scalar results come back as a lazy projection cursor
+    /// so the driver can stream them batch by batch.
+    fn execute_relational(
         &self,
         plan: &Plan,
-        cols: &C,
+        cols: BTreeMap<usize, Arc<ColumnData>>,
         n_rows: usize,
         residual: &Conjunction,
-    ) -> Result<Vec<Vec<Value>>> {
+    ) -> Result<StreamBody> {
         let agg_specs: Vec<AggSpec> = plan
             .output
             .iter()
@@ -424,36 +598,40 @@ impl Engine {
             let kernel = self.cfg.kernel;
             let vals = match kernel {
                 KernelStrategy::Hybrid | KernelStrategy::Auto => {
-                    fused_filter_aggregate(cols, n_rows, residual, &agg_specs)?
+                    fused_filter_aggregate(&cols, n_rows, residual, &agg_specs)?
                 }
                 KernelStrategy::Columnar => {
                     let pos = if residual.is_always_true() {
                         None
                     } else {
-                        Some(filter_positions(cols, n_rows, residual)?)
+                        Some(filter_positions(&cols, n_rows, residual)?)
                     };
-                    aggregate(cols, n_rows, pos.as_deref(), &agg_specs)?
+                    aggregate(&cols, n_rows, pos.as_deref(), &agg_specs)?
                 }
                 KernelStrategy::Volcano => {
                     let width = plan.combined_schema.len();
-                    let scan = ColumnsScan::new(cols, width, n_rows);
+                    let scan = ColumnsScan::new(&cols, width, n_rows);
                     let filter = nodb_exec::FilterOp::new(scan, residual.clone());
                     let mut agg = nodb_exec::AggregateOp::new(filter, agg_specs.clone());
                     let mut out = nodb_exec::collect(&mut agg)?;
-                    return Ok(vec![out.remove(0)]);
+                    let mut rows = vec![out.remove(0)];
+                    window(&mut rows, plan.offset, plan.limit);
+                    return Ok(StreamBody::Rows { rows, cursor: 0 });
                 }
             };
-            return Ok(vec![vals]);
+            let mut rows = vec![vals];
+            window(&mut rows, plan.offset, plan.limit);
+            return Ok(StreamBody::Rows { rows, cursor: 0 });
         }
 
         if !plan.group_by.is_empty() {
             let pos = if residual.is_always_true() {
                 None
             } else {
-                Some(filter_positions(cols, n_rows, residual)?)
+                Some(filter_positions(&cols, n_rows, residual)?)
             };
             let grouped =
-                group_aggregate(cols, n_rows, pos.as_deref(), &plan.group_by, &agg_specs)?;
+                group_aggregate(&cols, n_rows, pos.as_deref(), &plan.group_by, &agg_specs)?;
             // group_aggregate lays out [keys..., aggs...]; re-order to the
             // declared output order.
             let mut rows: Vec<Vec<Value>> = Vec::with_capacity(grouped.len());
@@ -489,7 +667,11 @@ impl Engine {
                     .order_by
                     .iter()
                     .map(|(c, asc)| {
-                        let k = plan.group_by.iter().position(|g| g == c).expect("validated");
+                        let k = plan
+                            .group_by
+                            .iter()
+                            .position(|g| g == c)
+                            .expect("validated");
                         // Position of that key within the grouped row.
                         (k, *asc)
                     })
@@ -507,24 +689,21 @@ impl Engine {
                 });
                 rows = tagged.into_iter().map(|(_, r)| r).collect();
             }
-            if let Some(limit) = plan.limit {
-                rows.truncate(limit);
-            }
-            return Ok(rows);
+            window(&mut rows, plan.offset, plan.limit);
+            return Ok(StreamBody::Rows { rows, cursor: 0 });
         }
 
-        // Scalar (non-aggregate) query.
+        // Scalar (non-aggregate) query: resolve the qualifying positions
+        // eagerly, project lazily (batch by batch).
         let mut positions = if residual.is_always_true() {
             (0..n_rows).collect()
         } else {
-            filter_positions(cols, n_rows, residual)?
+            filter_positions(&cols, n_rows, residual)?
         };
         if !plan.order_by.is_empty() {
-            positions = sort_positions(cols, positions, &plan.order_by)?;
+            positions = sort_positions(&cols, positions, &plan.order_by)?;
         }
-        if let Some(limit) = plan.limit {
-            positions.truncate(limit);
-        }
+        window(&mut positions, plan.offset, plan.limit);
         let exprs: Vec<Expr> = plan
             .output
             .iter()
@@ -533,7 +712,57 @@ impl Engine {
                 OutputExpr::Agg(_) => unreachable!("aggregate handled above"),
             })
             .collect();
-        project_rows(cols, &positions, &exprs)
+        Ok(StreamBody::Cursor(ProjectionCursor::new(
+            cols, positions, exprs,
+        )))
+    }
+}
+
+/// First SQL keyword of `text`, skipping leading whitespace and `--`
+/// line comments (statement dispatch must agree with the lexer about
+/// what a statement "starts with").
+fn leading_keyword(text: &str) -> &str {
+    let mut rest = text.trim_start();
+    while let Some(stripped) = rest.strip_prefix("--") {
+        rest = match stripped.find('\n') {
+            Some(i) => stripped[i + 1..].trim_start(),
+            None => "",
+        };
+    }
+    let end = rest.find(|c: char| c.is_whitespace()).unwrap_or(rest.len());
+    &rest[..end]
+}
+
+/// Tables a query references (FROM plus the optional JOIN).
+fn tables_of(ast: &nodb_sql::AstQuery) -> Vec<String> {
+    let mut tables = vec![ast.table.clone()];
+    if let Some(j) = &ast.join {
+        tables.push(j.table.clone());
+    }
+    tables
+}
+
+/// Apply `OFFSET m` then `LIMIT n` to an ordered result vector.
+fn window<T>(v: &mut Vec<T>, offset: Option<usize>, limit: Option<usize>) {
+    if let Some(off) = offset {
+        if off > 0 {
+            v.drain(..off.min(v.len()));
+        }
+    }
+    if let Some(n) = limit {
+        v.truncate(n);
+    }
+}
+
+/// Coerce a value into a column type chosen by [`Engine::register_result`]
+/// (ints widen to float in float columns; anything renders to text in
+/// string columns).
+fn coerce(v: Value, ty: DataType) -> Value {
+    match (v, ty) {
+        (Value::Int(i), DataType::Float64) => Value::Float(i as f64),
+        (v @ Value::Str(_), DataType::Str) | (v @ Value::Null, _) => v,
+        (v, DataType::Str) => Value::Str(v.to_string()),
+        (v, _) => v,
     }
 }
 
@@ -563,7 +792,10 @@ mod tests {
         let out = e
             .sql("select sum(a1),min(a4),max(a3),avg(a2) from r where a1>0 and a1<4 and a2>10 and a2<14")
             .unwrap();
-        assert_eq!(out.columns, vec!["sum(a1)", "min(a4)", "max(a3)", "avg(a2)"]);
+        assert_eq!(
+            out.columns,
+            vec!["sum(a1)", "min(a4)", "max(a3)", "avg(a2)"]
+        );
         assert_eq!(out.rows.len(), 1);
         // Qualifying rows: a1 in {1,2,3} ∧ a2 in {11,12,13} → rows 1..=3.
         assert_eq!(out.rows[0][0], Value::Int(6));
@@ -587,10 +819,7 @@ mod tests {
         let out = e
             .sql("select a1 from r where a4 = 8 order by a1 desc")
             .unwrap();
-        assert_eq!(
-            out.rows,
-            vec![vec![Value::Int(3)], vec![Value::Int(2)]]
-        );
+        assert_eq!(out.rows, vec![vec![Value::Int(3)], vec![Value::Int(2)]]);
     }
 
     #[test]
@@ -660,7 +889,8 @@ mod tests {
             LoadingStrategy::PartialLoadsV2,
             LoadingStrategy::SplitFiles,
         ] {
-            let dir = std::env::temp_dir().join(format!("nodb_engine_allstrat_{}", strategy.label()));
+            let dir =
+                std::env::temp_dir().join(format!("nodb_engine_allstrat_{}", strategy.label()));
             let _ = std::fs::remove_dir_all(&dir);
             std::fs::create_dir_all(&dir).unwrap();
             let path = dir.join("r.csv");
@@ -861,7 +1091,10 @@ mod tests {
         let text = e
             .explain("select sum(a1), avg(a2) from r where a1 > 1 and a1 < 4")
             .unwrap();
-        assert!(text.contains("AdaptiveLoad table=r columns=[a1, a2]"), "{text}");
+        assert!(
+            text.contains("AdaptiveLoad table=r columns=[a1, a2]"),
+            "{text}"
+        );
         assert!(text.contains("pushdown"), "{text}");
         assert!(text.contains("missing columns [0, 1]"), "{text}");
         // After running it, explain reports the columns as loaded.

@@ -27,10 +27,14 @@ pub mod catalog;
 pub mod config;
 pub mod engine;
 pub mod monitor;
+pub mod plan_cache;
 pub mod policy;
+pub mod session;
 
 pub use catalog::{Catalog, Fingerprint, TableEntry};
 pub use config::{EngineConfig, KernelStrategy, LoadingStrategy};
 pub use engine::{Engine, QueryOutput, QueryStats, TableInfo};
 pub use monitor::TableMonitor;
+pub use plan_cache::PlanCache;
 pub use policy::{materialize, Materialized};
+pub use session::{BoundStatement, Prepared, QueryStream, Session};

@@ -1,0 +1,258 @@
+//! The engine plan cache.
+//!
+//! Exploration workloads (Figures 1/3/4) re-fire the same query shapes
+//! over and over; parsing and planning them every time is pure overhead
+//! once the data is warm. The cache maps *normalized* SQL text to a
+//! resolved [`Plan`] plus the schema epochs it was resolved against, so
+//! even un-prepared repeat queries skip the whole SQL front end. A cached
+//! plan is only served while every referenced table still has the same
+//! schema epoch — editing a raw file bumps the epoch (schema re-inference)
+//! and invalidates exactly the plans that depended on it.
+//!
+//! Hits and misses are counted in
+//! [`WorkCounters::plan_cache_hits`]/[`plan_cache_misses`], next to the
+//! paper's work-avoided counters.
+//!
+//! [`WorkCounters::plan_cache_hits`]: nodb_types::WorkCounters::plan_cache_hits
+//! [`plan_cache_misses`]: nodb_types::WorkCounters::plan_cache_misses
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use nodb_sql::Plan;
+
+/// `(lowercased table name, schema epoch)` dependencies of a cached plan.
+pub type PlanDeps = Vec<(String, u64)>;
+
+/// Normalize SQL text into a cache key: outside single-quoted literals,
+/// letters fold to lower case and whitespace runs (and `--` comments)
+/// collapse to one space, so `SELECT  A1  FROM r` and `select a1 from r`
+/// share a plan while `'Bob'` and `'BOB'` stay distinct.
+pub fn normalize_sql(sql: &str) -> String {
+    let mut out = String::with_capacity(sql.len());
+    let mut chars = sql.chars().peekable();
+    let mut in_str = false;
+    let mut pending_space = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            out.push(c);
+            if c == '\'' {
+                // `''` is an escaped quote; consume its pair verbatim.
+                if chars.peek() == Some(&'\'') {
+                    out.push(chars.next().expect("peeked"));
+                } else {
+                    in_str = false;
+                }
+            }
+            continue;
+        }
+        match c {
+            '\'' => {
+                if pending_space && !out.is_empty() {
+                    out.push(' ');
+                }
+                pending_space = false;
+                in_str = true;
+                out.push(c);
+            }
+            '-' if chars.peek() == Some(&'-') => {
+                // Line comment: skip to end of line, acts as whitespace.
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        break;
+                    }
+                }
+                pending_space = true;
+            }
+            c if c.is_whitespace() => pending_space = true,
+            c => {
+                if pending_space && !out.is_empty() {
+                    out.push(' ');
+                }
+                pending_space = false;
+                out.push(c.to_ascii_lowercase());
+            }
+        }
+    }
+    out
+}
+
+/// One cached plan plus the schema epochs it depends on.
+#[derive(Clone)]
+struct CachedPlan {
+    plan: Arc<Plan>,
+    /// `(lowercased table name, schema_epoch at plan time)`.
+    deps: Vec<(String, u64)>,
+    /// Last-touch tick for LRU eviction.
+    last_used: u64,
+}
+
+/// Bounded LRU map from normalized SQL to resolved plans.
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+struct Inner {
+    map: HashMap<String, CachedPlan>,
+    tick: u64,
+}
+
+impl PlanCache {
+    /// Cache holding at most `capacity` plans (0 disables caching).
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Look up `key`; the cached plan is returned only when
+    /// `current_epoch` confirms every dependency's schema epoch is
+    /// unchanged (stale entries are dropped). The epoch callback runs
+    /// file-fingerprint checks, so it is invoked *outside* the cache
+    /// mutex — concurrent sessions must not serialize on each other's
+    /// file stats.
+    pub fn get(
+        &self,
+        key: &str,
+        mut current_epoch: impl FnMut(&str) -> Option<u64>,
+    ) -> Option<(Arc<Plan>, PlanDeps)> {
+        let (plan, deps) = {
+            let mut inner = self.inner.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            let entry = inner.map.get_mut(key)?;
+            entry.last_used = tick;
+            (Arc::clone(&entry.plan), entry.deps.clone())
+        };
+        let fresh = deps
+            .iter()
+            .all(|(table, epoch)| current_epoch(table) == Some(*epoch));
+        if fresh {
+            Some((plan, deps))
+        } else {
+            self.inner.lock().map.remove(key);
+            None
+        }
+    }
+
+    /// Insert a plan with its schema-epoch dependencies, evicting the
+    /// least-recently-used entry when full.
+    pub fn insert(&self, key: String, plan: Arc<Plan>, deps: Vec<(String, u64)>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+            if let Some(lru) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, v)| v.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&lru);
+            }
+        }
+        inner.map.insert(
+            key,
+            CachedPlan {
+                plan,
+                deps,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached plan.
+    pub fn clear(&self) {
+        self.inner.lock().map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodb_sql::plan_sql;
+    use nodb_types::Schema;
+    use std::collections::HashMap as Map;
+
+    fn a_plan() -> Arc<Plan> {
+        let mut schemas: Map<String, Schema> = Map::new();
+        schemas.insert("t".into(), Schema::ints(2));
+        Arc::new(plan_sql("select a1 from t", &schemas).unwrap())
+    }
+
+    #[test]
+    fn normalization_folds_case_and_whitespace_outside_strings() {
+        assert_eq!(
+            normalize_sql("SELECT  A1\n FROM r -- trailing\n WHERE x='Bob''s'"),
+            "select a1 from r where x='Bob''s'"
+        );
+        assert_eq!(normalize_sql("  select 1  "), "select 1");
+        assert_eq!(
+            normalize_sql("select a from t"),
+            normalize_sql("SELECT\ta\nFROM\tt")
+        );
+        assert_ne!(
+            normalize_sql("select * from t where s = 'A'"),
+            normalize_sql("select * from t where s = 'a'")
+        );
+    }
+
+    #[test]
+    fn hit_only_while_epochs_match() {
+        let cache = PlanCache::new(4);
+        cache.insert("k".into(), a_plan(), vec![("t".into(), 1)]);
+        assert!(cache.get("k", |_| Some(1)).is_some());
+        // Epoch moved on: entry is stale and gets dropped.
+        assert!(cache.get("k", |_| Some(2)).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn missing_dependency_counts_as_stale() {
+        let cache = PlanCache::new(4);
+        cache.insert("k".into(), a_plan(), vec![("t".into(), 1)]);
+        assert!(cache.get("k", |_| None).is_none(), "table dropped");
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let cache = PlanCache::new(2);
+        cache.insert("a".into(), a_plan(), vec![("t".into(), 1)]);
+        cache.insert("b".into(), a_plan(), vec![("t".into(), 1)]);
+        // Touch `a` so `b` is the LRU.
+        assert!(cache.get("a", |_| Some(1)).is_some());
+        cache.insert("c".into(), a_plan(), vec![("t".into(), 1)]);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("b", |_| Some(1)).is_none(), "b evicted");
+        assert!(cache.get("a", |_| Some(1)).is_some());
+        assert!(cache.get("c", |_| Some(1)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache = PlanCache::new(0);
+        cache.insert("a".into(), a_plan(), vec![]);
+        assert!(cache.is_empty());
+        assert!(cache.get("a", |_| Some(1)).is_none());
+    }
+}

@@ -64,6 +64,18 @@ pub fn materialize(
     counters: &WorkCounters,
     now: u64,
 ) -> Result<Materialized> {
+    if entry.resident {
+        // Result tables live wholly in the adaptive store: every policy
+        // degenerates to a store read (there is no file to scan).
+        let n = entry
+            .store
+            .nrows()
+            .ok_or_else(|| Error::exec("resident table has no row count"))?;
+        if needed.is_empty() {
+            return Ok(Materialized::dense(BTreeMap::new(), n as usize));
+        }
+        return dense_from_store(entry, needed, now);
+    }
     match cfg.strategy {
         LoadingStrategy::FullLoad => full_load(entry, needed, filter, cfg, counters, now),
         LoadingStrategy::ExternalScan => external_scan(entry, needed, cfg, counters),
@@ -104,11 +116,7 @@ fn scan_raw(
 }
 
 /// Dense materialisation of `needed` straight from fully loaded columns.
-fn dense_from_store(
-    entry: &mut TableEntry,
-    needed: &[usize],
-    now: u64,
-) -> Result<Materialized> {
+fn dense_from_store(entry: &mut TableEntry, needed: &[usize], now: u64) -> Result<Materialized> {
     let n = entry
         .store
         .nrows()
@@ -604,7 +612,14 @@ mod tests {
     fn full_load_loads_everything_once() {
         let (_p, cat) = setup("full", DATA);
         let c = WorkCounters::new();
-        let m = mat(&cat, LoadingStrategy::FullLoad, &[0], &Conjunction::always(), &c, 1);
+        let m = mat(
+            &cat,
+            LoadingStrategy::FullLoad,
+            &[0],
+            &Conjunction::always(),
+            &c,
+            1,
+        );
         assert_eq!(m.n_rows, 5);
         assert!(!m.prefiltered);
         // All three columns parsed even though one was needed.
@@ -612,8 +627,18 @@ mod tests {
         assert_eq!(c.snapshot().file_trips, 1);
         // Second query: no new trips.
         let before = c.snapshot();
-        let m2 = mat(&cat, LoadingStrategy::FullLoad, &[2], &Conjunction::always(), &c, 2);
-        assert_eq!(m2.cols[&2].as_i64_slice().unwrap(), &[100, 101, 102, 103, 104]);
+        let m2 = mat(
+            &cat,
+            LoadingStrategy::FullLoad,
+            &[2],
+            &Conjunction::always(),
+            &c,
+            2,
+        );
+        assert_eq!(
+            m2.cols[&2].as_i64_slice().unwrap(),
+            &[100, 101, 102, 103, 104]
+        );
         assert_eq!(c.snapshot().since(&before).file_trips, 0);
     }
 
@@ -621,17 +646,38 @@ mod tests {
     fn column_loads_fetches_only_missing() {
         let (_p, cat) = setup("col", DATA);
         let c = WorkCounters::new();
-        let m = mat(&cat, LoadingStrategy::ColumnLoads, &[0, 1], &Conjunction::always(), &c, 1);
+        let m = mat(
+            &cat,
+            LoadingStrategy::ColumnLoads,
+            &[0, 1],
+            &Conjunction::always(),
+            &c,
+            1,
+        );
         assert_eq!(m.n_rows, 5);
         // Only 2 of 3 columns parsed.
         assert_eq!(c.snapshot().values_parsed, 10);
         // Next query needing col 1 only: zero trips.
         let before = c.snapshot();
-        mat(&cat, LoadingStrategy::ColumnLoads, &[1], &Conjunction::always(), &c, 2);
+        mat(
+            &cat,
+            LoadingStrategy::ColumnLoads,
+            &[1],
+            &Conjunction::always(),
+            &c,
+            2,
+        );
         assert_eq!(c.snapshot().since(&before).file_trips, 0);
         // Query needing col 2: one more trip, parses only col 2.
         let before = c.snapshot();
-        mat(&cat, LoadingStrategy::ColumnLoads, &[2], &Conjunction::always(), &c, 3);
+        mat(
+            &cat,
+            LoadingStrategy::ColumnLoads,
+            &[2],
+            &Conjunction::always(),
+            &c,
+            3,
+        );
         let d = c.snapshot().since(&before);
         assert_eq!(d.file_trips, 1);
         assert_eq!(d.values_parsed, 5);
@@ -655,7 +701,14 @@ mod tests {
         let (_p, cat) = setup("ext", DATA);
         let c = WorkCounters::new();
         for q in 1..=3u64 {
-            let m = mat(&cat, LoadingStrategy::ExternalScan, &[0], &range(0, 0, 4), &c, q);
+            let m = mat(
+                &cat,
+                LoadingStrategy::ExternalScan,
+                &[0],
+                &range(0, 0, 4),
+                &c,
+                q,
+            );
             assert!(!m.prefiltered);
             assert_eq!(m.n_rows, 5);
         }
@@ -668,14 +721,28 @@ mod tests {
     fn partial_v1_pushes_down_and_discards() {
         let (_p, cat) = setup("v1", DATA);
         let c = WorkCounters::new();
-        let m = mat(&cat, LoadingStrategy::PartialLoadsV1, &[1], &range(0, 0, 4), &c, 1);
+        let m = mat(
+            &cat,
+            LoadingStrategy::PartialLoadsV1,
+            &[1],
+            &range(0, 0, 4),
+            &c,
+            1,
+        );
         assert!(m.prefiltered);
         assert_eq!(m.n_rows, 3);
         assert_eq!(m.cols[&1].as_i64_slice().unwrap(), &[11, 12, 13]);
         assert_eq!(m.rowids.as_deref(), Some(&[1, 2, 3][..]));
         // Nothing cached: same query pays another trip.
         let before = c.snapshot();
-        mat(&cat, LoadingStrategy::PartialLoadsV1, &[1], &range(0, 0, 4), &c, 2);
+        mat(
+            &cat,
+            LoadingStrategy::PartialLoadsV1,
+            &[1],
+            &range(0, 0, 4),
+            &c,
+            2,
+        );
         assert_eq!(c.snapshot().since(&before).file_trips, 1);
         let entry = cat.get("t").unwrap();
         assert!(entry.read().store.fragment_ids().is_empty());
@@ -685,17 +752,38 @@ mod tests {
     fn partial_v2_caches_and_reuses_fragments() {
         let (_p, cat) = setup("v2", DATA);
         let c = WorkCounters::new();
-        let m = mat(&cat, LoadingStrategy::PartialLoadsV2, &[0, 1], &range(0, 0, 4), &c, 1);
+        let m = mat(
+            &cat,
+            LoadingStrategy::PartialLoadsV2,
+            &[0, 1],
+            &range(0, 0, 4),
+            &c,
+            1,
+        );
         assert_eq!(m.n_rows, 3);
         // Exact rerun: zero file trips (Figure 4's rerun pattern).
         let before = c.snapshot();
-        let m2 = mat(&cat, LoadingStrategy::PartialLoadsV2, &[0, 1], &range(0, 0, 4), &c, 2);
+        let m2 = mat(
+            &cat,
+            LoadingStrategy::PartialLoadsV2,
+            &[0, 1],
+            &range(0, 0, 4),
+            &c,
+            2,
+        );
         assert_eq!(c.snapshot().since(&before).file_trips, 0);
         assert_eq!(m2.n_rows, 3);
         assert_eq!(m2.cols[&1].as_i64_slice().unwrap(), &[11, 12, 13]);
         // Narrower query: still covered.
         let before = c.snapshot();
-        let m3 = mat(&cat, LoadingStrategy::PartialLoadsV2, &[0, 1], &range(0, 1, 3), &c, 3);
+        let m3 = mat(
+            &cat,
+            LoadingStrategy::PartialLoadsV2,
+            &[0, 1],
+            &range(0, 1, 3),
+            &c,
+            3,
+        );
         assert_eq!(c.snapshot().since(&before).file_trips, 0);
         assert_eq!(m3.n_rows, 1);
         assert_eq!(m3.cols[&0].as_i64_slice().unwrap(), &[2]);
@@ -706,18 +794,39 @@ mod tests {
         let (_p, cat) = setup("v2gap", DATA);
         let c = WorkCounters::new();
         // Load rows with a1 in (0,2) = {1}.
-        mat(&cat, LoadingStrategy::PartialLoadsV2, &[0], &range(0, 0, 2), &c, 1);
+        mat(
+            &cat,
+            LoadingStrategy::PartialLoadsV2,
+            &[0],
+            &range(0, 0, 2),
+            &c,
+            1,
+        );
         // Now ask for (0,4): only the gap (2,4) = [2,3] must come from the
         // file — 2 rows qualify in the gap.
         let before = c.snapshot();
-        let m = mat(&cat, LoadingStrategy::PartialLoadsV2, &[0], &range(0, 0, 4), &c, 2);
+        let m = mat(
+            &cat,
+            LoadingStrategy::PartialLoadsV2,
+            &[0],
+            &range(0, 0, 4),
+            &c,
+            2,
+        );
         let d = c.snapshot().since(&before);
         assert_eq!(d.file_trips, 1);
         assert_eq!(m.n_rows, 3);
         assert_eq!(m.cols[&0].as_i64_slice().unwrap(), &[1, 2, 3]);
         // The union now covers (0,4): rerun needs no trip.
         let before = c.snapshot();
-        mat(&cat, LoadingStrategy::PartialLoadsV2, &[0], &range(0, 0, 4), &c, 3);
+        mat(
+            &cat,
+            LoadingStrategy::PartialLoadsV2,
+            &[0],
+            &range(0, 0, 4),
+            &c,
+            3,
+        );
         assert_eq!(c.snapshot().since(&before).file_trips, 0);
     }
 
@@ -726,7 +835,14 @@ mod tests {
         let (_p, cat) = setup("v2empty", DATA);
         let c = WorkCounters::new();
         // Prime the schema (the setup call inside `mat` does inference).
-        mat(&cat, LoadingStrategy::PartialLoadsV2, &[0], &range(0, 0, 4), &c, 1);
+        mat(
+            &cat,
+            LoadingStrategy::PartialLoadsV2,
+            &[0],
+            &range(0, 0, 4),
+            &c,
+            1,
+        );
         let before = c.snapshot();
         let contradiction = Conjunction::new(vec![
             ColPred::new(0, CmpOp::Gt, 10i64),
@@ -755,9 +871,18 @@ mod tests {
         let mut e = entry.write();
         e.ensure_current(&conf.csv, 16, &c).unwrap();
         let boxes = [
-            Conjunction::new(vec![ColPred::new(0, CmpOp::Gt, 0i64), ColPred::new(1, CmpOp::Lt, 12i64)]),
-            Conjunction::new(vec![ColPred::new(0, CmpOp::Gt, 1i64), ColPred::new(1, CmpOp::Lt, 13i64)]),
-            Conjunction::new(vec![ColPred::new(0, CmpOp::Gt, 2i64), ColPred::new(1, CmpOp::Lt, 14i64)]),
+            Conjunction::new(vec![
+                ColPred::new(0, CmpOp::Gt, 0i64),
+                ColPred::new(1, CmpOp::Lt, 12i64),
+            ]),
+            Conjunction::new(vec![
+                ColPred::new(0, CmpOp::Gt, 1i64),
+                ColPred::new(1, CmpOp::Lt, 13i64),
+            ]),
+            Conjunction::new(vec![
+                ColPred::new(0, CmpOp::Gt, 2i64),
+                ColPred::new(1, CmpOp::Lt, 14i64),
+            ]),
         ];
         for (i, b) in boxes.iter().enumerate() {
             materialize(&mut e, &[0, 1], b, &conf, &c, i as u64 + 1).unwrap();
@@ -777,8 +902,18 @@ mod tests {
         let (_p, cat) = setup("split", DATA);
         let c = WorkCounters::new();
         // First query needs the LAST column: splits the whole file.
-        let m = mat(&cat, LoadingStrategy::SplitFiles, &[2], &Conjunction::always(), &c, 1);
-        assert_eq!(m.cols[&2].as_i64_slice().unwrap(), &[100, 101, 102, 103, 104]);
+        let m = mat(
+            &cat,
+            LoadingStrategy::SplitFiles,
+            &[2],
+            &Conjunction::always(),
+            &c,
+            1,
+        );
+        assert_eq!(
+            m.cols[&2].as_i64_slice().unwrap(),
+            &[100, 101, 102, 103, 104]
+        );
         assert!(c.snapshot().bytes_written > 0, "split files written");
         let entry = cat.get("t").unwrap();
         {
@@ -789,12 +924,23 @@ mod tests {
         }
         // Loading another column now reads only its small file.
         let before = c.snapshot();
-        let m2 = mat(&cat, LoadingStrategy::SplitFiles, &[0], &Conjunction::always(), &c, 2);
+        let m2 = mat(
+            &cat,
+            LoadingStrategy::SplitFiles,
+            &[0],
+            &Conjunction::always(),
+            &c,
+            2,
+        );
         assert_eq!(m2.cols[&0].as_i64_slice().unwrap(), &[0, 1, 2, 3, 4]);
         let d = c.snapshot().since(&before);
         assert_eq!(d.file_trips, 1);
         // The per-column file is ~10 bytes vs the 40+-byte original.
-        assert!(d.bytes_read < 15, "read only the small split file, got {}", d.bytes_read);
+        assert!(
+            d.bytes_read < 15,
+            "read only the small split file, got {}",
+            d.bytes_read
+        );
     }
 
     #[test]
@@ -802,11 +948,25 @@ mod tests {
         let (_p, cat) = setup("split2", "1,2,3,4\n5,6,7,8\n");
         let c = WorkCounters::new();
         // Query col 0: splits into col0 + rest(1,2,3).
-        mat(&cat, LoadingStrategy::SplitFiles, &[0], &Conjunction::always(), &c, 1);
+        mat(
+            &cat,
+            LoadingStrategy::SplitFiles,
+            &[0],
+            &Conjunction::always(),
+            &c,
+            1,
+        );
         let entry = cat.get("t").unwrap();
         assert_eq!(entry.read().segments.as_ref().unwrap().segments().len(), 2);
         // Query col 2: splits the rest file.
-        let m = mat(&cat, LoadingStrategy::SplitFiles, &[2], &Conjunction::always(), &c, 2);
+        let m = mat(
+            &cat,
+            LoadingStrategy::SplitFiles,
+            &[2],
+            &Conjunction::always(),
+            &c,
+            2,
+        );
         assert_eq!(m.cols[&2].as_i64_slice().unwrap(), &[3, 7]);
         let e = entry.read();
         let segs = e.segments.as_ref().unwrap();
@@ -834,8 +994,7 @@ mod tests {
             let vals: Vec<i64> = if m.prefiltered {
                 m.cols[&1].as_i64_slice().unwrap().to_vec()
             } else {
-                let pos =
-                    nodb_exec::filter_positions(&m.cols, m.n_rows, &filter).unwrap();
+                let pos = nodb_exec::filter_positions(&m.cols, m.n_rows, &filter).unwrap();
                 pos.iter()
                     .map(|&i| m.cols[&1].as_i64_slice().unwrap()[i])
                     .collect()
@@ -851,7 +1010,14 @@ mod tests {
     fn header_skipped_in_loads() {
         let (_p, cat) = setup("hdr", "id,score\n1,10\n2,20\n");
         let c = WorkCounters::new();
-        let m = mat(&cat, LoadingStrategy::ColumnLoads, &[0, 1], &Conjunction::always(), &c, 1);
+        let m = mat(
+            &cat,
+            LoadingStrategy::ColumnLoads,
+            &[0, 1],
+            &Conjunction::always(),
+            &c,
+            1,
+        );
         assert_eq!(m.n_rows, 2);
         assert_eq!(m.cols[&0].as_i64_slice().unwrap(), &[1, 2]);
     }
@@ -860,7 +1026,14 @@ mod tests {
     fn count_star_needs_no_columns() {
         let (_p, cat) = setup("count", DATA);
         let c = WorkCounters::new();
-        let m = mat(&cat, LoadingStrategy::ColumnLoads, &[], &Conjunction::always(), &c, 1);
+        let m = mat(
+            &cat,
+            LoadingStrategy::ColumnLoads,
+            &[],
+            &Conjunction::always(),
+            &c,
+            1,
+        );
         assert_eq!(m.n_rows, 5);
         assert!(m.cols.is_empty());
         assert_eq!(c.snapshot().values_parsed, 0, "row count needs no parsing");

@@ -1,0 +1,488 @@
+//! Session-centric query API: prepared statements, parameter binding and
+//! streaming results.
+//!
+//! The paper frames NoDB as an exploration *loop* — "point to your data
+//! and start querying immediately" — and exploration means the same query
+//! shapes fired over and over with shifting constants. A [`Session`] is a
+//! lightweight handle over a shared [`Engine`] built for that loop:
+//!
+//! * [`Session::prepare`] parses and plans once; [`Prepared::bind`]
+//!   substitutes `?` parameters per execution with zero further parse or
+//!   plan work;
+//! * [`Session::query`] / [`BoundStatement::stream`] return a
+//!   [`QueryStream`] of [`RowBatch`]es instead of one monolithic row
+//!   vector, so large results can be paged or abandoned early;
+//! * [`Session::sql`] is the one-shot path (it also accepts
+//!   `CREATE TABLE .. AS SELECT ..`), served through the engine plan
+//!   cache so even un-prepared repeats skip the SQL front end;
+//! * [`Session::register_result`] turns any [`QueryOutput`] into a
+//!   queryable in-memory table — the answer to "where are my results?":
+//!   in the catalog, next to the raw files they came from.
+//!
+//! Sessions are cheap (an `Arc` and a batch size) and thread-safe to
+//! create per connection; all heavy state lives in the shared engine.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use nodb_exec::ProjectionCursor;
+use nodb_sql::Plan;
+use nodb_store::RowBatch;
+use nodb_types::{ColumnData, CountersSnapshot, Result, Schema, Value, WorkCounters};
+
+use crate::config::LoadingStrategy;
+use crate::engine::{Engine, QueryOutput, QueryStats};
+
+/// A query session over a shared engine.
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use nodb_core::{Engine, EngineConfig, Session};
+/// use nodb_types::Value;
+///
+/// let engine = Arc::new(Engine::new(EngineConfig::default()));
+/// engine.register_table("r", "/data/readings.csv")?;
+/// let session = Session::new(Arc::clone(&engine));
+///
+/// // Prepare once, bind per exploration step.
+/// let stmt = session.prepare("select sum(a1) from r where a1 > ? and a1 < ?")?;
+/// for (lo, hi) in [(0, 10), (10, 20)] {
+///     let out = stmt.bind(&[Value::Int(lo), Value::Int(hi)])?.execute()?;
+///     println!("{:?}", out.scalar());
+/// }
+///
+/// // Results are data: keep one and query it again.
+/// let top = session.sql("select a1, a2 from r order by a2 desc limit 100")?;
+/// session.register_result("top100", &top)?;
+/// let n = session.sql("select count(*) from top100")?;
+/// # Ok::<(), nodb_types::Error>(())
+/// ```
+#[derive(Clone)]
+pub struct Session {
+    engine: Arc<Engine>,
+    batch_size: usize,
+}
+
+impl Session {
+    /// A session over `engine`, with the engine's configured batch size.
+    pub fn new(engine: Arc<Engine>) -> Session {
+        let batch_size = engine.config().batch_size.max(1);
+        Session { engine, batch_size }
+    }
+
+    /// Override the rows-per-batch of streams this session produces.
+    pub fn with_batch_size(mut self, rows: usize) -> Session {
+        self.batch_size = rows.max(1);
+        self
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Parse and plan `sql` once, for repeated parameterised execution.
+    pub fn prepare(&self, sql: &str) -> Result<Prepared> {
+        let (plan, deps) = self.engine.plan_select_with_deps(sql)?;
+        Ok(Prepared {
+            engine: Arc::clone(&self.engine),
+            sql: sql.to_owned(),
+            state: Mutex::new(PreparedState { plan, deps }),
+            batch_size: self.batch_size,
+        })
+    }
+
+    /// Execute one statement (SELECT or `CREATE TABLE .. AS SELECT ..`)
+    /// and materialise the full result. Repeat SELECTs hit the engine
+    /// plan cache.
+    pub fn sql(&self, text: &str) -> Result<QueryOutput> {
+        self.engine.sql(text)
+    }
+
+    /// Execute a SELECT and stream the result batch by batch.
+    pub fn query(&self, text: &str) -> Result<QueryStream> {
+        let started = Instant::now();
+        let before = self.engine.counters().snapshot();
+        let plan = self.engine.plan_select(text)?;
+        self.engine
+            .stream_plan(&plan, self.batch_size, started, before)
+    }
+
+    /// Register a query result as an in-memory table. Column labels are
+    /// sanitised into SQL identifiers (`sum(a1)` → `sum_a1`) and
+    /// deduplicated; see [`Engine::register_result`].
+    pub fn register_result(&self, name: &str, output: &QueryOutput) -> Result<()> {
+        self.engine.register_result(name, output)
+    }
+}
+
+struct PreparedState {
+    plan: Arc<Plan>,
+    /// `(table, schema epoch)` the plan was resolved against.
+    deps: Vec<(String, u64)>,
+}
+
+/// A statement parsed and planned once.
+///
+/// Binding substitutes `?` parameters into the cached plan — no lexing,
+/// parsing or name resolution happens again. If a referenced raw file
+/// changes on disk (schema re-inference), the statement transparently
+/// re-plans itself on next use.
+pub struct Prepared {
+    engine: Arc<Engine>,
+    sql: String,
+    state: Mutex<PreparedState>,
+    batch_size: usize,
+}
+
+impl Prepared {
+    /// Number of `?` parameters the statement declares.
+    pub fn n_params(&self) -> usize {
+        self.state.lock().plan.n_params
+    }
+
+    /// The statement text.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// The cached plan, re-planned only if a dependency's schema changed.
+    fn current_plan(&self) -> Result<Arc<Plan>> {
+        let mut state = self.state.lock();
+        let mut fresh = true;
+        for (table, epoch) in &state.deps {
+            if self.engine.ensured_epoch(table)? != *epoch {
+                fresh = false;
+                break;
+            }
+        }
+        if !fresh {
+            let (plan, deps) = self.engine.plan_select_with_deps(&self.sql)?;
+            *state = PreparedState { plan, deps };
+        }
+        Ok(Arc::clone(&state.plan))
+    }
+
+    /// Bind parameter values, producing an executable statement. `params`
+    /// must match [`Prepared::n_params`] in count and each value must be
+    /// type-compatible with its slot.
+    pub fn bind(&self, params: &[Value]) -> Result<BoundStatement> {
+        let plan = self.current_plan()?;
+        let plan = if plan.n_params == 0 && params.is_empty() {
+            plan
+        } else {
+            Arc::new(plan.bind(params)?)
+        };
+        Ok(BoundStatement {
+            engine: Arc::clone(&self.engine),
+            plan,
+            batch_size: self.batch_size,
+        })
+    }
+
+    /// Bind and materialise in one call.
+    pub fn execute(&self, params: &[Value]) -> Result<QueryOutput> {
+        self.bind(params)?.execute()
+    }
+
+    /// Bind and stream in one call.
+    pub fn stream(&self, params: &[Value]) -> Result<QueryStream> {
+        self.bind(params)?.stream()
+    }
+}
+
+impl std::fmt::Debug for Prepared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Prepared")
+            .field("sql", &self.sql)
+            .field("n_params", &self.n_params())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A plan with every parameter bound: ready to execute, repeatedly.
+pub struct BoundStatement {
+    engine: Arc<Engine>,
+    plan: Arc<Plan>,
+    batch_size: usize,
+}
+
+impl std::fmt::Debug for BoundStatement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundStatement")
+            .field("columns", &self.plan.output_names)
+            .finish_non_exhaustive()
+    }
+}
+
+impl BoundStatement {
+    /// Execute and materialise the full result.
+    pub fn execute(&self) -> Result<QueryOutput> {
+        self.stream()?.collect_output()
+    }
+
+    /// Execute, streaming the result batch by batch.
+    pub fn stream(&self) -> Result<QueryStream> {
+        let started = Instant::now();
+        let before = self.engine.counters().snapshot();
+        self.engine
+            .stream_plan(&self.plan, self.batch_size, started, before)
+    }
+
+    /// Output column labels.
+    pub fn columns(&self) -> &[String] {
+        &self.plan.output_names
+    }
+}
+
+/// What a query execution yields before projection finishes.
+pub(crate) enum StreamBody {
+    /// Fully computed rows (aggregates, grouped results): batching just
+    /// slices them.
+    Rows {
+        /// The rows, consumed front to back.
+        rows: Vec<Vec<Value>>,
+        /// Next row to emit.
+        cursor: usize,
+    },
+    /// A lazy projection: rows are produced batch by batch from the
+    /// materialised columns.
+    Cursor(ProjectionCursor<BTreeMap<usize, Arc<ColumnData>>>),
+}
+
+/// An executing query, consumed as a sequence of [`RowBatch`]es.
+///
+/// Obtained from [`Session::query`], [`Prepared::stream`] or
+/// [`BoundStatement::stream`]. Dropping the stream abandons the rest of
+/// the result with no further work.
+pub struct QueryStream {
+    columns: Vec<String>,
+    schema: Schema,
+    batch_size: usize,
+    body: StreamBody,
+    started: Instant,
+    before: CountersSnapshot,
+    counters: Arc<WorkCounters>,
+    strategy: LoadingStrategy,
+}
+
+impl std::fmt::Debug for QueryStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryStream")
+            .field("columns", &self.columns)
+            .field("rows_remaining", &self.rows_remaining())
+            .finish_non_exhaustive()
+    }
+}
+
+impl QueryStream {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        columns: Vec<String>,
+        schema: Schema,
+        batch_size: usize,
+        body: StreamBody,
+        started: Instant,
+        before: CountersSnapshot,
+        counters: Arc<WorkCounters>,
+        strategy: LoadingStrategy,
+    ) -> QueryStream {
+        QueryStream {
+            columns,
+            schema,
+            batch_size: batch_size.max(1),
+            body,
+            started,
+            before,
+            counters,
+            strategy,
+        }
+    }
+
+    /// Output column labels (as written in the query).
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Schema of emitted batches (labels sanitised into identifiers).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Rows still to be emitted.
+    pub fn rows_remaining(&self) -> usize {
+        match &self.body {
+            StreamBody::Rows { rows, cursor } => rows.len() - cursor,
+            StreamBody::Cursor(c) => c.remaining(),
+        }
+    }
+
+    /// Produce the next batch, or `None` when the result is exhausted.
+    pub fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+        let batch = self.batch_size;
+        match &mut self.body {
+            StreamBody::Rows { rows, cursor } => {
+                if *cursor >= rows.len() {
+                    return Ok(None);
+                }
+                let hi = (*cursor + batch).min(rows.len());
+                let out: Vec<Vec<Value>> =
+                    rows[*cursor..hi].iter_mut().map(std::mem::take).collect();
+                *cursor = hi;
+                Ok(Some(RowBatch {
+                    schema: self.schema.clone(),
+                    rows: out,
+                }))
+            }
+            StreamBody::Cursor(c) => Ok(c.next_rows(batch)?.map(|rows| RowBatch {
+                schema: self.schema.clone(),
+                rows,
+            })),
+        }
+    }
+
+    /// Statistics accumulated so far (work deltas since the stream began).
+    pub fn stats(&self) -> QueryStats {
+        QueryStats {
+            elapsed: self.started.elapsed(),
+            work: self.counters.snapshot().since(&self.before),
+            strategy: self.strategy,
+        }
+    }
+
+    /// Drain every remaining batch into a [`QueryOutput`] (rows already
+    /// taken via [`QueryStream::next_batch`] are not replayed).
+    pub fn collect_output(mut self) -> Result<QueryOutput> {
+        let mut rows = Vec::with_capacity(self.rows_remaining());
+        match &mut self.body {
+            StreamBody::Rows { rows: all, cursor } => {
+                rows.extend(all[*cursor..].iter_mut().map(std::mem::take));
+                *cursor = all.len();
+            }
+            StreamBody::Cursor(c) => rows = c.drain_all()?,
+        }
+        Ok(QueryOutput {
+            columns: self.columns.clone(),
+            rows,
+            stats: self.stats(),
+        })
+    }
+}
+
+impl Iterator for QueryStream {
+    type Item = Result<RowBatch>;
+
+    fn next(&mut self) -> Option<Result<RowBatch>> {
+        self.next_batch().transpose()
+    }
+}
+
+/// Best-effort output schema for stream batches: column types derived
+/// from the plan, labels sanitised into unique identifiers.
+pub(crate) fn output_schema(plan: &Plan) -> Schema {
+    let names = unique_identifiers(&plan.output_names);
+    let fields = plan
+        .output
+        .iter()
+        .zip(names)
+        .map(|(o, name)| {
+            let dt = match o {
+                nodb_sql::OutputExpr::Scalar(e) => expr_type(e, &plan.combined_schema),
+                nodb_sql::OutputExpr::Agg(a) => agg_type(a, &plan.combined_schema),
+            };
+            nodb_types::Field::new(name, dt)
+        })
+        .collect();
+    Schema::new(fields).expect("names uniquified above")
+}
+
+fn expr_type(e: &nodb_exec::Expr, schema: &Schema) -> nodb_types::DataType {
+    use nodb_types::DataType;
+    match e {
+        nodb_exec::Expr::Col(c) => schema
+            .field(*c)
+            .map(|f| f.data_type)
+            .unwrap_or(DataType::Str),
+        nodb_exec::Expr::Lit(v) => v.data_type().unwrap_or(DataType::Int64),
+        nodb_exec::Expr::Binary { left, right, .. } => {
+            expr_type(left, schema).unify(expr_type(right, schema))
+        }
+    }
+}
+
+fn agg_type(a: &nodb_exec::AggSpec, schema: &Schema) -> nodb_types::DataType {
+    use nodb_exec::AggFunc;
+    use nodb_types::DataType;
+    match a.func {
+        AggFunc::Count | AggFunc::CountStar => DataType::Int64,
+        AggFunc::Avg => DataType::Float64,
+        AggFunc::Sum | AggFunc::Min | AggFunc::Max => a
+            .expr
+            .as_ref()
+            .map(|e| expr_type(e, schema))
+            .unwrap_or(DataType::Int64),
+    }
+}
+
+/// Sanitise a list of output labels into unique identifiers: each label
+/// goes through [`sanitize_identifier`], collisions get `_2`, `_3`, ...
+/// suffixes. Shared by stream schemas and result-table registration so
+/// the two can never disagree on a column's name.
+pub(crate) fn unique_identifiers(labels: &[String]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::with_capacity(labels.len());
+    for (i, raw) in labels.iter().enumerate() {
+        let base = sanitize_identifier(raw, i);
+        let mut name = base.clone();
+        let mut suffix = 2;
+        while names.iter().any(|n| n == &name) {
+            name = format!("{base}_{suffix}");
+            suffix += 1;
+        }
+        names.push(name);
+    }
+    names
+}
+
+/// Squash an arbitrary output label into a SQL identifier: alphanumerics
+/// keep (lowercased), runs of anything else become one `_`, and a name
+/// that ends up empty or digit-led gets a positional fallback.
+pub(crate) fn sanitize_identifier(raw: &str, ordinal: usize) -> String {
+    let mut s = String::with_capacity(raw.len());
+    let mut prev_underscore = false;
+    for c in raw.chars() {
+        if c.is_ascii_alphanumeric() {
+            s.push(c.to_ascii_lowercase());
+            prev_underscore = false;
+        } else if !prev_underscore {
+            s.push('_');
+            prev_underscore = true;
+        }
+    }
+    let trimmed = s.trim_matches('_');
+    if trimmed.is_empty() {
+        format!("c{}", ordinal + 1)
+    } else if trimmed.starts_with(|c: char| c.is_ascii_digit()) {
+        format!("c{}_{}", ordinal + 1, trimmed)
+    } else {
+        trimmed.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_labels_to_identifiers() {
+        assert_eq!(sanitize_identifier("sum(a1)", 0), "sum_a1");
+        assert_eq!(sanitize_identifier("count(*)", 1), "count");
+        assert_eq!(sanitize_identifier("a2 + a3", 2), "a2_a3");
+        assert_eq!(sanitize_identifier("r.a1", 0), "r_a1");
+        assert_eq!(sanitize_identifier("??", 4), "c5");
+        assert_eq!(sanitize_identifier("2x", 0), "c1_2x");
+        assert_eq!(sanitize_identifier("Total", 0), "total");
+    }
+}

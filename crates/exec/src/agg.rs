@@ -195,14 +195,11 @@ impl Accumulator {
         Ok(match self {
             Accumulator::SumInt(_, false) | Accumulator::SumFloat(_, false) => Value::Null,
             Accumulator::SumInt(acc, true) => {
-                let v = i64::try_from(*acc)
-                    .map_err(|_| Error::exec("integer overflow in sum"))?;
+                let v = i64::try_from(*acc).map_err(|_| Error::exec("integer overflow in sum"))?;
                 Value::Int(v)
             }
             Accumulator::SumFloat(acc, true) => Value::Float(*acc),
-            Accumulator::Min(best) | Accumulator::Max(best) => {
-                best.clone().unwrap_or(Value::Null)
-            }
+            Accumulator::Min(best) | Accumulator::Max(best) => best.clone().unwrap_or(Value::Null),
             Accumulator::Avg(_, 0) => Value::Null,
             Accumulator::Avg(sum, n) => Value::Float(sum / *n as f64),
             Accumulator::Count(n) | Accumulator::CountStar(n) => Value::Int(*n as i64),

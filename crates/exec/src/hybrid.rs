@@ -216,9 +216,7 @@ mod tests {
     fn fused_missing_column_errors() {
         let (cols, n) = table();
         let conj = Conjunction::new(vec![ColPred::new(9, CmpOp::Gt, 0i64)]);
-        assert!(
-            fused_filter_aggregate(&cols, n, &conj, &[AggSpec::count_star()]).is_err()
-        );
+        assert!(fused_filter_aggregate(&cols, n, &conj, &[AggSpec::count_star()]).is_err());
     }
 
     mod properties {

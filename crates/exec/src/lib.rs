@@ -22,6 +22,7 @@ pub mod columnar;
 pub mod expr;
 pub mod hybrid;
 pub mod join;
+pub mod stream;
 pub mod volcano;
 
 pub use agg::{Accumulator, AggFunc};
@@ -32,6 +33,7 @@ pub use columnar::{
 pub use expr::{arith, ArithOp, Expr};
 pub use hybrid::fused_filter_aggregate;
 pub use join::{hash_join_positions, merge_join_positions, split_pairs};
+pub use stream::ProjectionCursor;
 pub use volcano::{
     collect, AggregateOp, ColumnsScan, FilterOp, HashJoinOp, LimitOp, ProjectOp, RowOp,
 };

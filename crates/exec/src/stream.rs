@@ -1,0 +1,116 @@
+//! Incremental (batched) projection.
+//!
+//! The scalar tail of a query plan — filter → order → offset/limit →
+//! project — does not need to materialise every output row at once: once
+//! the qualifying positions are known, projection is embarrassingly
+//! streamable. [`ProjectionCursor`] owns the materialised columns and the
+//! position vector and emits row batches on demand, so a driver can page
+//! through a large result (or abandon it early) without ever holding the
+//! full `Vec<Vec<Value>>`.
+
+use nodb_types::{Result, Value};
+
+use crate::cols::Cols;
+use crate::columnar::project_rows;
+use crate::expr::Expr;
+
+/// A resumable projection over materialised columns: yields rows for
+/// `positions[cursor..]` in caller-sized chunks.
+pub struct ProjectionCursor<C> {
+    cols: C,
+    positions: Vec<usize>,
+    exprs: Vec<Expr>,
+    cursor: usize,
+}
+
+impl<C: Cols> ProjectionCursor<C> {
+    /// Cursor over `positions` of `cols`, projecting `exprs` per row.
+    pub fn new(cols: C, positions: Vec<usize>, exprs: Vec<Expr>) -> ProjectionCursor<C> {
+        ProjectionCursor {
+            cols,
+            positions,
+            exprs,
+            cursor: 0,
+        }
+    }
+
+    /// Rows not yet emitted.
+    pub fn remaining(&self) -> usize {
+        self.positions.len() - self.cursor
+    }
+
+    /// Project and return up to `batch` further rows; `None` when done.
+    pub fn next_rows(&mut self, batch: usize) -> Result<Option<Vec<Vec<Value>>>> {
+        if self.cursor >= self.positions.len() {
+            return Ok(None);
+        }
+        let hi = (self.cursor + batch.max(1)).min(self.positions.len());
+        let rows = project_rows(&self.cols, &self.positions[self.cursor..hi], &self.exprs)?;
+        self.cursor = hi;
+        Ok(Some(rows))
+    }
+
+    /// Drain everything left into one row vector.
+    pub fn drain_all(&mut self) -> Result<Vec<Vec<Value>>> {
+        let rest = &self.positions[self.cursor..];
+        let rows = project_rows(&self.cols, rest, &self.exprs)?;
+        self.cursor = self.positions.len();
+        Ok(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodb_types::ColumnData;
+    use std::collections::BTreeMap;
+
+    fn cols() -> BTreeMap<usize, ColumnData> {
+        let mut m = BTreeMap::new();
+        m.insert(0, ColumnData::from_i64((0..10).collect()));
+        m.insert(1, ColumnData::from_i64((0..10).map(|v| v * 10).collect()));
+        m
+    }
+
+    #[test]
+    fn batches_cover_all_positions_in_order() {
+        let mut c =
+            ProjectionCursor::new(cols(), (0..10).collect(), vec![Expr::Col(0), Expr::Col(1)]);
+        assert_eq!(c.remaining(), 10);
+        let mut all = Vec::new();
+        let mut sizes = Vec::new();
+        while let Some(batch) = c.next_rows(4).unwrap() {
+            sizes.push(batch.len());
+            all.extend(batch);
+        }
+        assert_eq!(sizes, vec![4, 4, 2]);
+        assert_eq!(all.len(), 10);
+        assert_eq!(all[7], vec![Value::Int(7), Value::Int(70)]);
+        assert_eq!(c.remaining(), 0);
+        assert!(c.next_rows(4).unwrap().is_none());
+    }
+
+    #[test]
+    fn drain_after_partial_batch() {
+        let mut c = ProjectionCursor::new(cols(), vec![1, 3, 5, 7], vec![Expr::Col(1)]);
+        let first = c.next_rows(1).unwrap().unwrap();
+        assert_eq!(first, vec![vec![Value::Int(10)]]);
+        let rest = c.drain_all().unwrap();
+        assert_eq!(
+            rest,
+            vec![
+                vec![Value::Int(30)],
+                vec![Value::Int(50)],
+                vec![Value::Int(70)]
+            ]
+        );
+        assert!(c.next_rows(8).unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_positions_yield_nothing() {
+        let mut c = ProjectionCursor::new(cols(), vec![], vec![Expr::Col(0)]);
+        assert!(c.next_rows(16).unwrap().is_none());
+        assert_eq!(c.drain_all().unwrap().len(), 0);
+    }
+}

@@ -239,8 +239,11 @@ impl<L: RowOp, R: RowOp> RowOp for HashJoinOp<L, R> {
                     if k.is_null() {
                         continue;
                     }
-                    if let Some(matches) =
-                        self.table.as_ref().expect("built").get(&GroupKey(vec![k.clone()]))
+                    if let Some(matches) = self
+                        .table
+                        .as_ref()
+                        .expect("built")
+                        .get(&GroupKey(vec![k.clone()]))
                     {
                         for lrow in matches {
                             let mut joined = lrow.clone();
@@ -369,7 +372,12 @@ mod tests {
         assert_eq!(rows.len(), 3);
         assert_eq!(
             rows[0],
-            vec![Value::Int(1), Value::Int(10), Value::Int(1), Value::Int(100)]
+            vec![
+                Value::Int(1),
+                Value::Int(10),
+                Value::Int(1),
+                Value::Int(100)
+            ]
         );
     }
 

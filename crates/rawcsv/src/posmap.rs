@@ -85,10 +85,7 @@ impl PositionalMap {
         let Some(n) = self.row_count() else {
             return; // no row structure yet; offsets would be unanchored
         };
-        let dense = self
-            .cols
-            .entry(col)
-            .or_insert_with(|| vec![UNKNOWN; n]);
+        let dense = self.cols.entry(col).or_insert_with(|| vec![UNKNOWN; n]);
         for (i, &o) in offs.iter().enumerate() {
             if o != UNKNOWN {
                 dense[first_row + i] = o;
@@ -120,11 +117,7 @@ impl PositionalMap {
 
     /// Approximate memory footprint in bytes.
     pub fn approx_bytes(&self) -> usize {
-        let rows = self
-            .row_starts
-            .as_ref()
-            .map(|s| s.len() * 8)
-            .unwrap_or(0);
+        let rows = self.row_starts.as_ref().map(|s| s.len() * 8).unwrap_or(0);
         rows + self.cols.values().map(|v| v.len() * 4).sum::<usize>()
     }
 

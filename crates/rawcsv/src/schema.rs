@@ -42,7 +42,10 @@ pub fn infer_from_bytes(
     let rows: Vec<Vec<&[u8]>> = (0..sample_end)
         .map(|r| {
             let start = starts[r] as usize;
-            let next = starts.get(r + 1).map(|&s| s as usize).unwrap_or(bytes.len());
+            let next = starts
+                .get(r + 1)
+                .map(|&s| s as usize)
+                .unwrap_or(bytes.len());
             split_row(&bytes[start..next], opts)
         })
         .collect();
@@ -59,9 +62,7 @@ pub fn infer_from_bytes(
     // ... and over data rows only (header excluded).
     let data_types: Vec<DataType> = if rows.len() > 1 {
         (0..arity)
-            .map(|c| {
-                infer_column_type(rows.iter().skip(1).filter_map(|r| r.get(c).copied()), opts)
-            })
+            .map(|c| infer_column_type(rows.iter().skip(1).filter_map(|r| r.get(c).copied()), opts))
             .collect()
     } else {
         all_types.clone()
@@ -176,7 +177,10 @@ fn split_row<'a>(rowb: &'a [u8], opts: &CsvOptions) -> Vec<&'a [u8]> {
 }
 
 /// Narrowest type that parses every sampled field (nulls/empties ignored).
-fn infer_column_type<'a>(fields: impl Iterator<Item = &'a [u8]> + Clone, opts: &CsvOptions) -> DataType {
+fn infer_column_type<'a>(
+    fields: impl Iterator<Item = &'a [u8]> + Clone,
+    opts: &CsvOptions,
+) -> DataType {
     let mut ty = DataType::Int64;
     for f in fields.clone() {
         if f.is_empty() {
@@ -205,7 +209,13 @@ fn sanitize_name(raw: &str) -> String {
     let cleaned: String = raw
         .trim()
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     cleaned.trim_matches('_').to_ascii_lowercase()
 }

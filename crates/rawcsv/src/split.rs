@@ -177,7 +177,10 @@ impl SegmentCatalog {
             let mut fields: u64 = 0;
             for r in lo..hi {
                 let start = starts[r] as usize;
-                let next = starts.get(r + 1).map(|&s| s as usize).unwrap_or(bytes.len());
+                let next = starts
+                    .get(r + 1)
+                    .map(|&s| s as usize)
+                    .unwrap_or(bytes.len());
                 let rowb = &bytes[start..next];
                 let mut pos = 0usize;
                 for (li, buf) in bufs.iter_mut().enumerate() {

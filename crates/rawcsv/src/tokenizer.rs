@@ -194,9 +194,7 @@ pub fn scan_bytes(
     // Which columns should have offsets recorded into the posmap: every
     // column we may walk past that is not already fully covered.
     let record_cols: Vec<usize> = match posmap.as_deref() {
-        Some(m) => (0..=max_touch)
-            .filter(|&c| m.coverage(c) < 1.0)
-            .collect(),
+        Some(m) => (0..=max_touch).filter(|&c| m.coverage(c) < 1.0).collect(),
         None => Vec::new(),
     };
 
@@ -257,10 +255,8 @@ pub fn scan_bytes(
     for chunk in &mut chunks {
         rowids.append(&mut chunk.rowids);
         for (ni, &c) in spec.needed.iter().enumerate() {
-            let src = std::mem::replace(
-                &mut chunk.builders[ni],
-                ColumnData::empty(DataType::Int64),
-            );
+            let src =
+                std::mem::replace(&mut chunk.builders[ni], ColumnData::empty(DataType::Int64));
             let dst = columns.get_mut(&c).expect("initialised above");
             dst.append(src).expect("same type");
         }
@@ -339,17 +335,18 @@ impl LocalCounters {
 fn scan_row_range(ctx: &ScanCtx<'_>, lo: usize, hi: usize) -> Result<ChunkOut> {
     let n = hi - lo;
     // Without pushdown every row qualifies — size builders exactly.
-    let cap = if ctx.preds_by_col.is_empty() { n } else { n / 4 };
+    let cap = if ctx.preds_by_col.is_empty() {
+        n
+    } else {
+        n / 4
+    };
     let mut out = ChunkOut {
         first_row: lo,
         builders: ctx
             .needed
             .iter()
             .map(|&c| {
-                ColumnData::with_capacity(
-                    ctx.schema.field(c).expect("validated").data_type,
-                    cap,
-                )
+                ColumnData::with_capacity(ctx.schema.field(c).expect("validated").data_type, cap)
             })
             .collect(),
         rowids: Vec::new(),

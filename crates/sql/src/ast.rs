@@ -4,23 +4,27 @@
 //! grouping, ordering and limits):
 //!
 //! ```text
+//! stmt    := query | CREATE TABLE ident AS query
 //! query   := SELECT items FROM table [JOIN table ON qident = qident]
 //!            [WHERE pred (AND pred)*]
 //!            [GROUP BY qident (',' qident)*]
 //!            [ORDER BY qident [ASC|DESC] (',' ...)*]
-//!            [LIMIT int]
+//!            [LIMIT (int|'?') [OFFSET (int|'?')]]
 //! items   := '*' | item (',' item)*
 //! item    := expr [AS ident]
 //! expr    := term (('+'|'-') term)*
 //! term    := factor (('*'|'/') factor)*
 //! factor  := agg '(' expr ')' | COUNT '(' '*' ')' | qident | literal
-//!            | '(' expr ')' | '-' factor
+//!            | '(' expr ')' | '-' factor | '?'
 //! pred    := expr cmp expr          -- one side must reduce to a column,
-//!                                    -- the other to a literal
+//!                                    -- the other to a literal or '?'
 //! ```
 //!
-//! `OR`, subqueries and non-equi join conditions are rejected with
-//! `Unsupported` errors naming the construct.
+//! `?` placeholders are positional statement parameters, numbered left to
+//! right; they are accepted wherever a WHERE literal may appear and after
+//! `LIMIT` / `OFFSET`, and are bound per execution through the prepared-
+//! statement API. `OR`, subqueries and non-equi join conditions are
+//! rejected with `Unsupported` errors naming the construct.
 
 use nodb_types::{CmpOp, Error, Result, Value};
 
@@ -91,6 +95,8 @@ pub enum AstExpr {
     },
     /// Aggregate call; `None` argument means `COUNT(*)`.
     Agg(AstAgg, Option<Box<AstExpr>>),
+    /// Positional statement parameter (`?`), 0-based.
+    Param(usize),
 }
 
 /// One SELECT-list item.
@@ -109,8 +115,10 @@ pub struct AstPred {
     pub col: QIdent,
     /// Comparison with the column on the left.
     pub op: CmpOp,
-    /// The literal side.
+    /// The literal side (`Value::Null` placeholder when `param` is set).
     pub lit: Value,
+    /// When the literal side was a `?`, its 0-based parameter ordinal.
+    pub param: Option<usize>,
 }
 
 /// An INNER JOIN clause.
@@ -143,20 +151,76 @@ pub struct AstQuery {
     pub order_by: Vec<(QIdent, bool)>,
     /// LIMIT row count.
     pub limit: Option<usize>,
+    /// When LIMIT was a `?`, its parameter ordinal.
+    pub limit_param: Option<usize>,
+    /// OFFSET row count (rows skipped before LIMIT applies).
+    pub offset: Option<usize>,
+    /// When OFFSET was a `?`, its parameter ordinal.
+    pub offset_param: Option<usize>,
+    /// Total number of `?` parameters in the statement.
+    pub n_params: usize,
+}
+
+/// One parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A plain SELECT.
+    Select(AstQuery),
+    /// `CREATE TABLE <name> AS <select>` — materialise a query result as a
+    /// catalog table (the paper-title loop: results become data).
+    CreateTableAs {
+        /// Name of the table to create.
+        name: String,
+        /// The defining query.
+        query: AstQuery,
+    },
 }
 
 /// Parse one SELECT statement.
 pub fn parse(src: &str) -> Result<AstQuery> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        params: 0,
+    };
     let q = p.query()?;
     p.expect_eof()?;
     Ok(q)
 }
 
+/// Parse one statement: a SELECT or `CREATE TABLE .. AS SELECT ..`.
+pub fn parse_statement(src: &str) -> Result<Statement> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        params: 0,
+    };
+    let stmt = if p.is_kw("create") {
+        p.bump();
+        p.expect_kw("table")?;
+        let name = p.ident()?;
+        p.expect_kw("as")?;
+        let query = p.query()?;
+        if query.n_params > 0 {
+            return Err(Error::Unsupported(
+                "parameters are not supported in CREATE TABLE AS".into(),
+            ));
+        }
+        Statement::CreateTableAs { name, query }
+    } else {
+        Statement::Select(p.query()?)
+    };
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
 struct Parser {
     toks: Vec<Spanned>,
     pos: usize,
+    /// Count of `?` parameters seen so far (assigns positional ordinals).
+    params: usize,
 }
 
 impl Parser {
@@ -257,11 +321,12 @@ impl Parser {
         let (items, star) = self.select_list()?;
         self.expect_kw("from")?;
         let table = self.ident()?;
-        let join = if self.eat_kw("join") || (self.is_kw("inner") && {
-            self.bump();
-            self.expect_kw("join")?;
-            true
-        }) {
+        let join = if self.eat_kw("join")
+            || (self.is_kw("inner") && {
+                self.bump();
+                self.expect_kw("join")?;
+                true
+            }) {
             let jt = self.ident()?;
             self.expect_kw("on")?;
             let left = self.qident()?;
@@ -318,14 +383,30 @@ impl Parser {
                 self.bump();
             }
         }
-        let limit = if self.eat_kw("limit") {
+        let (mut limit, mut limit_param) = (None, None);
+        let (mut offset, mut offset_param) = (None, None);
+        if self.eat_kw("limit") {
             match self.bump() {
-                Token::Int(n) if n >= 0 => Some(n as usize),
-                t => return Err(Error::Sql(format!("LIMIT expects a non-negative integer, found {t:?}"))),
+                Token::Int(n) if n >= 0 => limit = Some(n as usize),
+                Token::Question => limit_param = Some(self.next_param()),
+                t => {
+                    return Err(Error::Sql(format!(
+                        "LIMIT expects a non-negative integer or ?, found {t:?}"
+                    )))
+                }
             }
-        } else {
-            None
-        };
+            if self.eat_kw("offset") {
+                match self.bump() {
+                    Token::Int(n) if n >= 0 => offset = Some(n as usize),
+                    Token::Question => offset_param = Some(self.next_param()),
+                    t => {
+                        return Err(Error::Sql(format!(
+                            "OFFSET expects a non-negative integer or ?, found {t:?}"
+                        )))
+                    }
+                }
+            }
+        }
         Ok(AstQuery {
             items,
             star,
@@ -335,7 +416,16 @@ impl Parser {
             group_by,
             order_by,
             limit,
+            limit_param,
+            offset,
+            offset_param,
+            n_params: self.params,
         })
+    }
+
+    fn next_param(&mut self) -> usize {
+        self.params += 1;
+        self.params - 1
     }
 
     fn select_list(&mut self) -> Result<(Vec<AstSelectItem>, bool)> {
@@ -369,26 +459,49 @@ impl Parser {
             Token::Le => CmpOp::Le,
             Token::Gt => CmpOp::Gt,
             Token::Ge => CmpOp::Ge,
-            t => return Err(Error::Sql(format!("expected comparison operator, found {t:?}"))),
+            t => {
+                return Err(Error::Sql(format!(
+                    "expected comparison operator, found {t:?}"
+                )))
+            }
         };
         let right = self.expr()?;
-        // Normalise to column-op-literal.
-        match (left, right) {
-            (AstExpr::Col(c), AstExpr::Lit(v)) => Ok(AstPred { col: c, op, lit: v }),
-            (AstExpr::Lit(v), AstExpr::Col(c)) => {
-                let flipped = match op {
-                    CmpOp::Lt => CmpOp::Gt,
-                    CmpOp::Le => CmpOp::Ge,
-                    CmpOp::Gt => CmpOp::Lt,
-                    CmpOp::Ge => CmpOp::Le,
-                    other => other,
-                };
-                Ok(AstPred {
-                    col: c,
-                    op: flipped,
-                    lit: v,
-                })
+        // Normalise to column-op-literal (a `?` counts as a literal whose
+        // value arrives at bind time).
+        fn flip(op: CmpOp) -> CmpOp {
+            match op {
+                CmpOp::Lt => CmpOp::Gt,
+                CmpOp::Le => CmpOp::Ge,
+                CmpOp::Gt => CmpOp::Lt,
+                CmpOp::Ge => CmpOp::Le,
+                other => other,
             }
+        }
+        match (left, right) {
+            (AstExpr::Col(c), AstExpr::Lit(v)) => Ok(AstPred {
+                col: c,
+                op,
+                lit: v,
+                param: None,
+            }),
+            (AstExpr::Lit(v), AstExpr::Col(c)) => Ok(AstPred {
+                col: c,
+                op: flip(op),
+                lit: v,
+                param: None,
+            }),
+            (AstExpr::Col(c), AstExpr::Param(i)) => Ok(AstPred {
+                col: c,
+                op,
+                lit: Value::Null,
+                param: Some(i),
+            }),
+            (AstExpr::Param(i), AstExpr::Col(c)) => Ok(AstPred {
+                col: c,
+                op: flip(op),
+                lit: Value::Null,
+                param: Some(i),
+            }),
             _ => Err(Error::Unsupported(
                 "WHERE predicates must compare a column with a literal".into(),
             )),
@@ -435,6 +548,7 @@ impl Parser {
 
     fn factor(&mut self) -> Result<AstExpr> {
         match self.bump() {
+            Token::Question => Ok(AstExpr::Param(self.next_param())),
             Token::Int(n) => Ok(AstExpr::Lit(Value::Int(n))),
             Token::Float(f) => Ok(AstExpr::Lit(Value::Float(f))),
             Token::Str(s) => Ok(AstExpr::Lit(Value::Str(s))),
@@ -496,7 +610,10 @@ mod tests {
         assert_eq!(q.table, "R");
         assert_eq!(q.items.len(), 4);
         assert_eq!(q.predicates.len(), 4);
-        assert!(matches!(&q.items[0].expr, AstExpr::Agg(AstAgg::Sum, Some(_))));
+        assert!(matches!(
+            &q.items[0].expr,
+            AstExpr::Agg(AstAgg::Sum, Some(_))
+        ));
         assert_eq!(q.predicates[0].op, CmpOp::Gt);
         assert_eq!(q.predicates[0].lit, Value::Int(5));
     }
@@ -561,8 +678,18 @@ mod tests {
     fn arithmetic_precedence() {
         let q = parse("select a1 + a2 * 2 from t").unwrap();
         match &q.items[0].expr {
-            AstExpr::Binary { op: AstArith::Add, right, .. } => {
-                assert!(matches!(**right, AstExpr::Binary { op: AstArith::Mul, .. }));
+            AstExpr::Binary {
+                op: AstArith::Add,
+                right,
+                ..
+            } => {
+                assert!(matches!(
+                    **right,
+                    AstExpr::Binary {
+                        op: AstArith::Mul,
+                        ..
+                    }
+                ));
             }
             other => panic!("wrong tree: {other:?}"),
         }
@@ -573,7 +700,10 @@ mod tests {
         let q = parse("select (a1 + a2) * 2 from t").unwrap();
         assert!(matches!(
             &q.items[0].expr,
-            AstExpr::Binary { op: AstArith::Mul, .. }
+            AstExpr::Binary {
+                op: AstArith::Mul,
+                ..
+            }
         ));
     }
 
@@ -608,5 +738,53 @@ mod tests {
     #[test]
     fn negative_limit_rejected() {
         assert!(parse("select a1 from t limit -1").is_err());
+    }
+
+    #[test]
+    fn limit_offset_parses() {
+        let q = parse("select a1 from t order by a1 limit 10 offset 20").unwrap();
+        assert_eq!(q.limit, Some(10));
+        assert_eq!(q.offset, Some(20));
+        assert!(parse("select a1 from t limit 5 offset -2").is_err());
+        // OFFSET without LIMIT is trailing garbage.
+        assert!(parse("select a1 from t offset 5").is_err());
+    }
+
+    #[test]
+    fn placeholders_numbered_left_to_right() {
+        let q = parse("select a1 from t where a1 > ? and a2 < ? limit ? offset ?").unwrap();
+        assert_eq!(q.n_params, 4);
+        assert_eq!(q.predicates[0].param, Some(0));
+        assert_eq!(q.predicates[1].param, Some(1));
+        assert_eq!(q.limit_param, Some(2));
+        assert_eq!(q.offset_param, Some(3));
+        assert_eq!(q.limit, None);
+        assert_eq!(q.offset, None);
+    }
+
+    #[test]
+    fn placeholder_on_either_predicate_side() {
+        let q = parse("select a1 from t where ? < a1").unwrap();
+        assert_eq!(q.predicates[0].op, CmpOp::Gt);
+        assert_eq!(q.predicates[0].param, Some(0));
+    }
+
+    #[test]
+    fn create_table_as_parses() {
+        let s = parse_statement("create table hot as select a1 from t where a1 > 5").unwrap();
+        match s {
+            Statement::CreateTableAs { name, query } => {
+                assert_eq!(name, "hot");
+                assert_eq!(query.table, "t");
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+        // Plain selects also come through parse_statement.
+        assert!(matches!(
+            parse_statement("select 1 from t").unwrap(),
+            Statement::Select(_)
+        ));
+        // Params inside CTAS are rejected.
+        assert!(parse_statement("create table x as select a1 from t where a1 > ?").is_err());
     }
 }

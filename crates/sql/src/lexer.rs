@@ -45,6 +45,8 @@ pub enum Token {
     Gt,
     /// `>=`
     Ge,
+    /// `?` — a positional statement parameter.
+    Question,
     /// End of input.
     Eof,
 }
@@ -76,69 +78,121 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
                 }
             }
             b'(' => {
-                out.push(Spanned { tok: Token::LParen, at: i });
+                out.push(Spanned {
+                    tok: Token::LParen,
+                    at: i,
+                });
                 i += 1;
             }
             b')' => {
-                out.push(Spanned { tok: Token::RParen, at: i });
+                out.push(Spanned {
+                    tok: Token::RParen,
+                    at: i,
+                });
                 i += 1;
             }
             b',' => {
-                out.push(Spanned { tok: Token::Comma, at: i });
+                out.push(Spanned {
+                    tok: Token::Comma,
+                    at: i,
+                });
                 i += 1;
             }
             b'.' if !b.get(i + 1).is_some_and(u8::is_ascii_digit) => {
-                out.push(Spanned { tok: Token::Dot, at: i });
+                out.push(Spanned {
+                    tok: Token::Dot,
+                    at: i,
+                });
                 i += 1;
             }
             b'*' => {
-                out.push(Spanned { tok: Token::Star, at: i });
+                out.push(Spanned {
+                    tok: Token::Star,
+                    at: i,
+                });
                 i += 1;
             }
             b'+' => {
-                out.push(Spanned { tok: Token::Plus, at: i });
+                out.push(Spanned {
+                    tok: Token::Plus,
+                    at: i,
+                });
                 i += 1;
             }
             b'-' => {
-                out.push(Spanned { tok: Token::Minus, at: i });
+                out.push(Spanned {
+                    tok: Token::Minus,
+                    at: i,
+                });
                 i += 1;
             }
             b'/' => {
-                out.push(Spanned { tok: Token::Slash, at: i });
+                out.push(Spanned {
+                    tok: Token::Slash,
+                    at: i,
+                });
                 i += 1;
             }
             b'=' => {
-                out.push(Spanned { tok: Token::Eq, at: i });
+                out.push(Spanned {
+                    tok: Token::Eq,
+                    at: i,
+                });
                 i += 1;
             }
             b'!' if b.get(i + 1) == Some(&b'=') => {
-                out.push(Spanned { tok: Token::Ne, at: i });
+                out.push(Spanned {
+                    tok: Token::Ne,
+                    at: i,
+                });
                 i += 2;
             }
             b'<' => match b.get(i + 1) {
                 Some(b'=') => {
-                    out.push(Spanned { tok: Token::Le, at: i });
+                    out.push(Spanned {
+                        tok: Token::Le,
+                        at: i,
+                    });
                     i += 2;
                 }
                 Some(b'>') => {
-                    out.push(Spanned { tok: Token::Ne, at: i });
+                    out.push(Spanned {
+                        tok: Token::Ne,
+                        at: i,
+                    });
                     i += 2;
                 }
                 _ => {
-                    out.push(Spanned { tok: Token::Lt, at: i });
+                    out.push(Spanned {
+                        tok: Token::Lt,
+                        at: i,
+                    });
                     i += 1;
                 }
             },
             b'>' => match b.get(i + 1) {
                 Some(b'=') => {
-                    out.push(Spanned { tok: Token::Ge, at: i });
+                    out.push(Spanned {
+                        tok: Token::Ge,
+                        at: i,
+                    });
                     i += 2;
                 }
                 _ => {
-                    out.push(Spanned { tok: Token::Gt, at: i });
+                    out.push(Spanned {
+                        tok: Token::Gt,
+                        at: i,
+                    });
                     i += 1;
                 }
             },
+            b'?' => {
+                out.push(Spanned {
+                    tok: Token::Question,
+                    at: i,
+                });
+                i += 1;
+            }
             b'\'' => {
                 let start = i;
                 i += 1;
@@ -195,13 +249,15 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
                 }
                 let text = &src[start..i];
                 let tok = if saw_dot || saw_exp {
-                    Token::Float(text.parse::<f64>().map_err(|e| {
-                        Error::Sql(format!("bad float literal {text:?}: {e}"))
-                    })?)
+                    Token::Float(
+                        text.parse::<f64>()
+                            .map_err(|e| Error::Sql(format!("bad float literal {text:?}: {e}")))?,
+                    )
                 } else {
-                    Token::Int(text.parse::<i64>().map_err(|e| {
-                        Error::Sql(format!("bad int literal {text:?}: {e}"))
-                    })?)
+                    Token::Int(
+                        text.parse::<i64>()
+                            .map_err(|e| Error::Sql(format!("bad int literal {text:?}: {e}")))?,
+                    )
                 };
                 out.push(Spanned { tok, at: start });
             }
@@ -323,6 +379,23 @@ mod tests {
         assert_eq!(
             toks("select -- comment here\n 1"),
             vec![Token::Ident("select".into()), Token::Int(1), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn question_mark_lexes_as_parameter() {
+        assert_eq!(
+            toks("a1 > ? and a2 < ?"),
+            vec![
+                Token::Ident("a1".into()),
+                Token::Gt,
+                Token::Question,
+                Token::Ident("and".into()),
+                Token::Ident("a2".into()),
+                Token::Lt,
+                Token::Question,
+                Token::Eof
+            ]
         );
     }
 

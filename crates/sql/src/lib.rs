@@ -12,5 +12,5 @@ pub mod ast;
 pub mod lexer;
 pub mod plan;
 
-pub use ast::{parse, AstQuery};
-pub use plan::{plan, plan_sql, OutputExpr, Plan, ResolvedJoin, SchemaProvider};
+pub use ast::{parse, parse_statement, AstQuery, Statement};
+pub use plan::{plan, plan_sql, OutputExpr, ParamSite, Plan, ResolvedJoin, SchemaProvider};

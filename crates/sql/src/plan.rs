@@ -47,6 +47,28 @@ pub enum OutputExpr {
     Agg(AggSpec),
 }
 
+/// A slot in a [`Plan`] that a statement parameter fills at bind time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamSite {
+    /// `filter.preds[pred].value` comes from the parameter.
+    FilterPred {
+        /// Index into `filter.preds`.
+        pred: usize,
+        /// 0-based parameter ordinal.
+        param: usize,
+    },
+    /// LIMIT comes from the parameter.
+    Limit {
+        /// 0-based parameter ordinal.
+        param: usize,
+    },
+    /// OFFSET comes from the parameter.
+    Offset {
+        /// 0-based parameter ordinal.
+        param: usize,
+    },
+}
+
 /// A fully resolved logical plan.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Plan {
@@ -66,16 +88,63 @@ pub struct Plan {
     pub order_by: Vec<(usize, bool)>,
     /// LIMIT.
     pub limit: Option<usize>,
+    /// OFFSET (rows skipped, after ordering, before LIMIT applies).
+    pub offset: Option<usize>,
     /// Number of columns in the left table (combined-ordinal split point).
     pub left_width: usize,
     /// The combined schema (left ++ right).
     pub combined_schema: Schema,
+    /// Number of `?` parameters the statement declared.
+    pub n_params: usize,
+    /// Where each parameter lands ([`Plan::bind`] fills them).
+    pub param_sites: Vec<ParamSite>,
 }
 
 impl Plan {
     /// Does the query aggregate?
     pub fn is_aggregate(&self) -> bool {
         self.output.iter().any(|o| matches!(o, OutputExpr::Agg(_)))
+    }
+
+    /// Does the plan still have unbound `?` parameters?
+    pub fn is_parameterized(&self) -> bool {
+        self.n_params > 0
+    }
+
+    /// Substitute parameter values into a parameterized plan, producing an
+    /// executable (param-free) plan. Values are type-checked against their
+    /// columns exactly like inline literals; LIMIT/OFFSET parameters must
+    /// be non-negative integers. Binding re-does **no** parsing, name
+    /// resolution or validation beyond the substituted slots — this is the
+    /// cheap per-execution step of a prepared statement.
+    pub fn bind(&self, params: &[Value]) -> Result<Plan> {
+        if params.len() != self.n_params {
+            return Err(Error::Plan(format!(
+                "statement takes {} parameter(s), got {}",
+                self.n_params,
+                params.len()
+            )));
+        }
+        let mut bound = self.clone();
+        for site in &self.param_sites {
+            match *site {
+                ParamSite::FilterPred { pred, param } => {
+                    let v = params[param].clone();
+                    let col = bound.filter.preds[pred].col;
+                    check_literal_type(&bound.combined_schema, col, &v)?;
+                    bound.filter.preds[pred].value = v;
+                }
+                ParamSite::Limit { param } => {
+                    bound.limit = Some(expect_count(&params[param], "LIMIT")?);
+                }
+                ParamSite::Offset { param } => {
+                    bound.offset = Some(expect_count(&params[param], "OFFSET")?);
+                }
+            }
+        }
+        bound.n_params = 0;
+        bound.param_sites.clear();
+        Ok(bound)
     }
 
     /// All combined ordinals the query touches (select, filter, group,
@@ -218,8 +287,11 @@ impl std::fmt::Display for Plan {
                 .collect();
             writeln!(f, "OrderBy [{}]", keys.join(", "))?;
         }
-        if let Some(n) = self.limit {
-            writeln!(f, "Limit {n}")?;
+        match (self.limit, self.offset) {
+            (Some(n), Some(m)) => writeln!(f, "Limit {n} offset {m}")?,
+            (Some(n), None) => writeln!(f, "Limit {n}")?,
+            (None, Some(m)) => writeln!(f, "Offset {m}")?,
+            (None, None) => {}
         }
         writeln!(f, "Project [{}]", self.output_names.join(", "))
     }
@@ -318,11 +390,19 @@ pub fn plan(ast: &AstQuery, provider: &dyn SchemaProvider) -> Result<Plan> {
         }
     }
 
-    // WHERE.
+    // WHERE. Parameterized predicates keep a NULL placeholder; their
+    // values are type-checked when [`Plan::bind`] substitutes them.
     let mut preds = Vec::new();
+    let mut param_sites = Vec::new();
     for p in &ast.predicates {
         let col = ctx.resolve(&p.col)?;
-        check_literal_type(&combined_schema, col, &p.lit)?;
+        match p.param {
+            Some(param) => param_sites.push(ParamSite::FilterPred {
+                pred: preds.len(),
+                param,
+            }),
+            None => check_literal_type(&combined_schema, col, &p.lit)?,
+        }
         preds.push(ColPred {
             col,
             op: p.op,
@@ -330,6 +410,12 @@ pub fn plan(ast: &AstQuery, provider: &dyn SchemaProvider) -> Result<Plan> {
         });
     }
     let filter = Conjunction::new(preds);
+    if let Some(param) = ast.limit_param {
+        param_sites.push(ParamSite::Limit { param });
+    }
+    if let Some(param) = ast.offset_param {
+        param_sites.push(ParamSite::Offset { param });
+    }
 
     // GROUP BY.
     let mut group_by = Vec::new();
@@ -375,9 +461,22 @@ pub fn plan(ast: &AstQuery, provider: &dyn SchemaProvider) -> Result<Plan> {
         group_by,
         order_by,
         limit: ast.limit,
+        offset: ast.offset,
         left_width,
         combined_schema,
+        n_params: ast.n_params,
+        param_sites,
     })
+}
+
+/// A LIMIT/OFFSET parameter must bind to a non-negative integer.
+fn expect_count(v: &Value, what: &str) -> Result<usize> {
+    match v {
+        Value::Int(n) if *n >= 0 => Ok(*n as usize),
+        other => Err(Error::Plan(format!(
+            "{what} parameter must be a non-negative integer, got {other}"
+        ))),
+    }
 }
 
 /// Parse and plan in one call.
@@ -401,7 +500,11 @@ impl NameCtx<'_> {
             Some(t) if t.eq_ignore_ascii_case(self.left_table) => self
                 .find(self.left, &q.name)
                 .ok_or_else(|| Error::schema(format!("table {t:?} has no column {:?}", q.name))),
-            Some(t) if self.right_table.is_some_and(|rt| t.eq_ignore_ascii_case(rt)) => {
+            Some(t)
+                if self
+                    .right_table
+                    .is_some_and(|rt| t.eq_ignore_ascii_case(rt)) =>
+            {
                 let rs = self.right.expect("right schema present for join");
                 self.find(rs, &q.name)
                     .map(|i| lw + i)
@@ -418,9 +521,7 @@ impl NameCtx<'_> {
                         "column {:?} is ambiguous; qualify it with a table name",
                         q.name
                     ))),
-                    (None, None) => {
-                        Err(Error::schema(format!("unknown column {:?}", q.name)))
-                    }
+                    (None, None) => Err(Error::schema(format!("unknown column {:?}", q.name))),
                 }
             }
         }
@@ -487,6 +588,9 @@ fn resolve_scalar(e: &AstExpr, ctx: &NameCtx<'_>) -> Result<Expr> {
         AstExpr::Agg(..) => Err(Error::Unsupported(
             "aggregates may only appear at the top level of a SELECT item".into(),
         )),
+        AstExpr::Param(_) => Err(Error::Unsupported(
+            "? parameters are only supported as WHERE literals and in LIMIT/OFFSET".into(),
+        )),
     }
 }
 
@@ -506,6 +610,7 @@ fn describe(e: &AstExpr) -> String {
             };
             format!("{}{}{}", describe(left), sym, describe(right))
         }
+        AstExpr::Param(i) => format!("?{}", i + 1),
         AstExpr::Agg(f, arg) => {
             let fname = match f {
                 AstAgg::Sum => "sum",
@@ -630,9 +735,12 @@ mod tests {
 
     #[test]
     fn ambiguous_column_in_join_rejected() {
-        let e = plan(&parse("select a1 from r join s on r.a1 = s.a1").unwrap(), &provider())
-            .unwrap_err()
-            .to_string();
+        let e = plan(
+            &parse("select a1 from r join s on r.a1 = s.a1").unwrap(),
+            &provider(),
+        )
+        .unwrap_err()
+        .to_string();
         assert!(e.contains("ambiguous"), "{e}");
     }
 
@@ -696,11 +804,7 @@ mod tests {
 
     #[test]
     fn nested_aggregate_rejected() {
-        assert!(plan(
-            &parse("select sum(a1) + 1 from r").unwrap(),
-            &provider()
-        )
-        .is_err());
+        assert!(plan(&parse("select sum(a1) + 1 from r").unwrap(), &provider()).is_err());
     }
 
     #[test]
@@ -716,5 +820,55 @@ mod tests {
         let p = plan_sql("select count(*) from r", &provider()).unwrap();
         assert!(p.is_aggregate());
         assert_eq!(p.referenced_columns(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn offset_reaches_plan() {
+        let p = plan_of("select a1 from r order by a1 limit 3 offset 2");
+        assert_eq!(p.limit, Some(3));
+        assert_eq!(p.offset, Some(2));
+        assert!(format!("{p}").contains("Limit 3 offset 2"));
+    }
+
+    #[test]
+    fn bind_substitutes_and_type_checks() {
+        let p = plan_of("select a1 from r where a1 > ? and a2 < ? limit ?");
+        assert!(p.is_parameterized());
+        assert_eq!(p.n_params, 3);
+        let b = p
+            .bind(&[Value::Int(1), Value::Int(9), Value::Int(5)])
+            .unwrap();
+        assert!(!b.is_parameterized());
+        assert_eq!(b.filter.preds[0].value, Value::Int(1));
+        assert_eq!(b.filter.preds[1].value, Value::Int(9));
+        assert_eq!(b.limit, Some(5));
+        // Re-binding the original with different values is independent.
+        let b2 = p
+            .bind(&[Value::Int(2), Value::Int(8), Value::Int(1)])
+            .unwrap();
+        assert_eq!(b2.filter.preds[0].value, Value::Int(2));
+        assert_eq!(p.filter.preds[0].value, Value::Null, "original untouched");
+    }
+
+    #[test]
+    fn bind_arity_and_type_errors() {
+        let p = plan_of("select a1 from r where a1 > ?");
+        assert!(p.bind(&[]).is_err(), "too few");
+        assert!(p.bind(&[Value::Int(1), Value::Int(2)]).is_err(), "too many");
+        assert!(
+            p.bind(&[Value::Str("x".into())]).is_err(),
+            "string into int column"
+        );
+        let p = plan_of("select a1 from r limit ?");
+        assert!(p.bind(&[Value::Int(-1)]).is_err(), "negative limit");
+        assert!(p.bind(&[Value::Str("x".into())]).is_err(), "non-int limit");
+    }
+
+    #[test]
+    fn params_rejected_outside_where_and_limit() {
+        assert!(matches!(
+            plan(&parse("select a1 + ? from r").unwrap(), &provider()),
+            Err(Error::Unsupported(_))
+        ));
     }
 }

@@ -371,9 +371,9 @@ impl TableData {
             for i in 0..f.len() {
                 let v = f.cols[&col].get(i);
                 if iv.contains(&v) {
-                    tuples.entry(f.rowids[i]).or_insert_with(|| {
-                        needed.iter().map(|c| f.cols[c].get(i)).collect()
-                    });
+                    tuples
+                        .entry(f.rowids[i])
+                        .or_insert_with(|| needed.iter().map(|c| f.cols[c].get(i)).collect());
                 }
             }
         }
@@ -403,7 +403,13 @@ impl TableData {
     /// Install a cracked copy of `col`.
     pub fn insert_cracked(&mut self, col: usize, index: CrackedColumn, now: u64) {
         let bytes = index.approx_bytes();
-        if let Some(old) = self.cracked.insert(col, CrackedEntry { index, last_used: now }) {
+        if let Some(old) = self.cracked.insert(
+            col,
+            CrackedEntry {
+                index,
+                last_used: now,
+            },
+        ) {
             self.bytes -= old.index.approx_bytes();
         }
         self.bytes += bytes;
@@ -421,7 +427,11 @@ impl TableData {
     /// Re-measure a cracked column after mutation.
     pub fn refresh_cracked_bytes(&mut self) {
         let total: usize = self.cracked.values().map(|e| e.index.approx_bytes()).sum();
-        let others = self.full.values().map(|f| f.data.approx_bytes()).sum::<usize>()
+        let others = self
+            .full
+            .values()
+            .map(|f| f.data.approx_bytes())
+            .sum::<usize>()
             + self
                 .fragments
                 .values()
@@ -609,7 +619,10 @@ mod tests {
         t.insert_fragment(frag(0, 60, 100, vec![5, 6], vec![70, 90]));
         // A 2-D fragment must not pollute the 1-D ToC.
         let mut two_d = frag(0, 0, 200, vec![9], vec![100]);
-        two_d.bbox.by_col.insert(1, box_on(1, 0, 10).by_col[&1].clone());
+        two_d
+            .bbox
+            .by_col
+            .insert(1, box_on(1, 0, 10).by_col[&1].clone());
         t.insert_fragment(two_d);
 
         let toc = t.loaded_intervals(0, &[0]);
@@ -635,7 +648,13 @@ mod tests {
         t.insert_full(1, ColumnData::from_i64(vec![0; 1000]), 5);
         t.insert_fragment(Fragment {
             last_used: 3,
-            ..frag(2, 0, 10, vec![0; 500].iter().map(|_| 0u64).collect(), vec![0; 500])
+            ..frag(
+                2,
+                0,
+                10,
+                vec![0; 500].iter().map(|_| 0u64).collect(),
+                vec![0; 500],
+            )
         });
         let before = t.bytes_used();
         assert!(before > 16000);

@@ -270,11 +270,7 @@ mod tests {
     #[test]
     fn float_interval_unsupported() {
         let mut c = CrackedColumn::new(vec![1, 2, 3]);
-        let iv = Interval::new(
-            Bound::Inclusive(Value::Float(1.5)),
-            Bound::Unbounded,
-        )
-        .unwrap();
+        let iv = Interval::new(Bound::Inclusive(Value::Float(1.5)), Bound::Unbounded).unwrap();
         assert!(c.select(&iv).is_none());
     }
 

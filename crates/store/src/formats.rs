@@ -93,7 +93,12 @@ impl PaxTable {
     pub fn approx_bytes(&self) -> usize {
         self.pages
             .iter()
-            .map(|p| p.minipages.iter().map(ColumnData::approx_bytes).sum::<usize>())
+            .map(|p| {
+                p.minipages
+                    .iter()
+                    .map(ColumnData::approx_bytes)
+                    .sum::<usize>()
+            })
             .sum()
     }
 }
@@ -219,7 +224,10 @@ mod tests {
         let cols = vec![
             ColumnData::from_i64(vec![1, 2, 3, 4, 5]),
             ColumnData::from_strings(
-                ["v", "w", "x", "y", "z"].iter().map(|s| s.to_string()).collect(),
+                ["v", "w", "x", "y", "z"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
             ),
         ];
         (schema, cols)

@@ -218,11 +218,7 @@ mod tests {
     #[test]
     fn string_round_trip() {
         let p = tmp("str.col");
-        let col = ColumnData::from_strings(vec![
-            "hello".into(),
-            "".into(),
-            "naïve—utf8 ✓".into(),
-        ]);
+        let col = ColumnData::from_strings(vec!["hello".into(), "".into(), "naïve—utf8 ✓".into()]);
         let c = WorkCounters::new();
         write_column(&p, &col, &c).unwrap();
         assert_eq!(read_column(&p, &c).unwrap(), col);

@@ -125,9 +125,7 @@ impl ColumnData {
         match self {
             ColumnData::Int64 { nulls, .. }
             | ColumnData::Float64 { nulls, .. }
-            | ColumnData::Str { nulls, .. } => {
-                nulls.as_ref().map(|m| m[i]).unwrap_or(false)
-            }
+            | ColumnData::Str { nulls, .. } => nulls.as_ref().map(|m| m[i]).unwrap_or(false),
         }
     }
 
@@ -165,22 +163,20 @@ impl ColumnData {
                     m.push(false);
                 }
             }
-            (col, Value::Null) => {
-                match col {
-                    ColumnData::Int64 { values, nulls } => {
-                        values.push(0);
-                        nulls.get_or_insert_with(|| vec![false; n]).push(true);
-                    }
-                    ColumnData::Float64 { values, nulls } => {
-                        values.push(0.0);
-                        nulls.get_or_insert_with(|| vec![false; n]).push(true);
-                    }
-                    ColumnData::Str { values, nulls } => {
-                        values.push(String::new());
-                        nulls.get_or_insert_with(|| vec![false; n]).push(true);
-                    }
+            (col, Value::Null) => match col {
+                ColumnData::Int64 { values, nulls } => {
+                    values.push(0);
+                    nulls.get_or_insert_with(|| vec![false; n]).push(true);
                 }
-            }
+                ColumnData::Float64 { values, nulls } => {
+                    values.push(0.0);
+                    nulls.get_or_insert_with(|| vec![false; n]).push(true);
+                }
+                ColumnData::Str { values, nulls } => {
+                    values.push(String::new());
+                    nulls.get_or_insert_with(|| vec![false; n]).push(true);
+                }
+            },
             (col, v) => {
                 return Err(Error::schema(format!(
                     "type mismatch: pushing {:?} into {} column",

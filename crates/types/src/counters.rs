@@ -29,6 +29,10 @@ pub struct WorkCounters {
     pub rows_abandoned: AtomicU64,
     /// Tuples evicted from the adaptive store under memory pressure.
     pub tuples_evicted: AtomicU64,
+    /// Queries whose plan came from the engine plan cache (no parse/plan).
+    pub plan_cache_hits: AtomicU64,
+    /// Queries that had to be parsed and planned from scratch.
+    pub plan_cache_misses: AtomicU64,
 }
 
 impl WorkCounters {
@@ -77,6 +81,16 @@ impl WorkCounters {
         self.tuples_evicted.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record one plan-cache hit.
+    pub fn add_plan_cache_hit(&self) {
+        self.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one plan-cache miss.
+    pub fn add_plan_cache_miss(&self) {
+        self.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Capture the current values.
     pub fn snapshot(&self) -> CountersSnapshot {
         CountersSnapshot {
@@ -88,6 +102,8 @@ impl WorkCounters {
             file_trips: self.file_trips.load(Ordering::Relaxed),
             rows_abandoned: self.rows_abandoned.load(Ordering::Relaxed),
             tuples_evicted: self.tuples_evicted.load(Ordering::Relaxed),
+            plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
+            plan_cache_misses: self.plan_cache_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -101,6 +117,8 @@ impl WorkCounters {
         self.file_trips.store(0, Ordering::Relaxed);
         self.rows_abandoned.store(0, Ordering::Relaxed);
         self.tuples_evicted.store(0, Ordering::Relaxed);
+        self.plan_cache_hits.store(0, Ordering::Relaxed);
+        self.plan_cache_misses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -123,6 +141,10 @@ pub struct CountersSnapshot {
     pub rows_abandoned: u64,
     /// See [`WorkCounters::tuples_evicted`].
     pub tuples_evicted: u64,
+    /// See [`WorkCounters::plan_cache_hits`].
+    pub plan_cache_hits: u64,
+    /// See [`WorkCounters::plan_cache_misses`].
+    pub plan_cache_misses: u64,
 }
 
 impl CountersSnapshot {
@@ -140,6 +162,10 @@ impl CountersSnapshot {
             file_trips: self.file_trips.saturating_sub(earlier.file_trips),
             rows_abandoned: self.rows_abandoned.saturating_sub(earlier.rows_abandoned),
             tuples_evicted: self.tuples_evicted.saturating_sub(earlier.tuples_evicted),
+            plan_cache_hits: self.plan_cache_hits.saturating_sub(earlier.plan_cache_hits),
+            plan_cache_misses: self
+                .plan_cache_misses
+                .saturating_sub(earlier.plan_cache_misses),
         }
     }
 }
@@ -148,7 +174,7 @@ impl fmt::Display for CountersSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "read={}B written={}B rows_tok={} fields_tok={} parsed={} trips={} abandoned={} evicted={}",
+            "read={}B written={}B rows_tok={} fields_tok={} parsed={} trips={} abandoned={} evicted={} plan_hits={} plan_misses={}",
             self.bytes_read,
             self.bytes_written,
             self.rows_tokenized,
@@ -157,6 +183,8 @@ impl fmt::Display for CountersSnapshot {
             self.file_trips,
             self.rows_abandoned,
             self.tuples_evicted,
+            self.plan_cache_hits,
+            self.plan_cache_misses,
         )
     }
 }

@@ -530,8 +530,7 @@ mod tests {
         use proptest::prelude::*;
 
         fn arb_interval() -> impl Strategy<Value = Interval> {
-            (-50i64..50, 0i64..40)
-                .prop_map(|(lo, w)| ii(lo, lo + w))
+            (-50i64..50, 0i64..40).prop_map(|(lo, w)| ii(lo, lo + w))
         }
 
         proptest! {

@@ -46,7 +46,10 @@ fn main() -> Result<()> {
         (q(0, 0, n / 2), "the original broad sweep, revisited"),
     ];
 
-    println!("{:<44} {:>9} {:>10} {:>7} {:>10}", "query", "ms", "MB read", "trips", "fragments");
+    println!(
+        "{:<44} {:>9} {:>10} {:>7} {:>10}",
+        "query", "ms", "MB read", "trips", "fragments"
+    );
     println!("{}", "-".repeat(85));
     for (sql, label) in &session {
         let out = engine.sql(sql)?;
@@ -62,10 +65,12 @@ fn main() -> Result<()> {
     }
 
     let info = engine.table_info("survey")?;
-    println!("\nsession ends: {} fragments, {:.1} MB in the adaptive store, hit rate {:.0}%",
+    println!(
+        "\nsession ends: {} fragments, {:.1} MB in the adaptive store, hit rate {:.0}%",
         info.fragments,
         info.store_bytes as f64 / 1e6,
-        info.hit_rate * 100.0);
+        info.hit_rate * 100.0
+    );
     println!("the raw file was never loaded in full — only what the session looked at.");
     Ok(())
 }

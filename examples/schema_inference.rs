@@ -38,9 +38,8 @@ fn main() -> Result<()> {
     println!("inferred schema: {}", info.schema.expect("inferred"));
     println!("(header detected and skipped; names sanitised; empty temp = NULL)\n");
 
-    let out = engine.sql(
-        "select label, count(*), avg(temp) from stations group by label order by label",
-    )?;
+    let out = engine
+        .sql("select label, count(*), avg(temp) from stations group by label order by label")?;
     println!("> per-label averages (NULL temp skipped by avg):");
     for row in &out.rows {
         println!("  {} | {} | {}", row[0], row[1], row[2]);
@@ -61,9 +60,8 @@ fn main() -> Result<()> {
 
     // Next query sees the new content — derived state was invalidated by
     // the fingerprint check, schema re-inferred, data re-loaded on demand.
-    let out = engine.sql(
-        "select label, count(*), avg(temp) from stations group by label order by label",
-    )?;
+    let out = engine
+        .sql("select label, count(*), avg(temp) from stations group by label order by label")?;
     println!("> same query after the edit:");
     for row in &out.rows {
         println!("  {} | {} | {}", row[0], row[1], row[2]);

@@ -1,0 +1,88 @@
+//! The exploration loop through the session API.
+//!
+//! "Here are my data files. Here are my queries. Where are my results?"
+//! This example walks the full loop: prepare a parameterised query once,
+//! sweep its constants (zero parse/plan work per step), stream a large
+//! result in batches, then keep an interesting result as a *table* and
+//! query it again — no CSV export, no re-import.
+//!
+//! ```sh
+//! cargo run --release --example session_exploration
+//! ```
+
+use std::sync::Arc;
+
+use nodb::core::{Engine, EngineConfig, LoadingStrategy};
+use nodb::types::{Result, Value};
+
+fn main() -> Result<()> {
+    let dir = std::env::temp_dir().join("nodb-session-exploration");
+    std::fs::create_dir_all(&dir)?;
+    let file = dir.join("events.csv");
+    let mut csv = String::new();
+    for i in 0..10_000i64 {
+        // id, sensor, reading, flag
+        csv.push_str(&format!("{i},{},{},{}\n", i % 7, (i * 37) % 1000, i % 2));
+    }
+    std::fs::write(&file, csv)?;
+
+    let engine = Arc::new(Engine::new(EngineConfig::with_strategy(
+        LoadingStrategy::ColumnLoads,
+    )));
+    engine.register_table("events", &file)?;
+    let session = engine.session().with_batch_size(2048);
+
+    // --- Prepare once, bind per exploration step. ------------------------
+    let stmt = session.prepare("select count(*), avg(a3) from events where a3 > ? and a3 < ?")?;
+    println!("sweeping reading ranges with one prepared statement:");
+    for lo in [0i64, 250, 500, 750] {
+        let out = stmt
+            .bind(&[Value::Int(lo), Value::Int(lo + 250)])?
+            .execute()?;
+        println!(
+            "  ({lo:>3}, {:>4}): count={} avg={}",
+            lo + 250,
+            out.rows[0][0],
+            out.rows[0][1]
+        );
+    }
+    let work = engine.counters().snapshot();
+    println!(
+        "plan cache: {} misses, {} hits; prepared sweep re-planned nothing\n",
+        work.plan_cache_misses, work.plan_cache_hits
+    );
+
+    // --- Stream a large result batch by batch. ---------------------------
+    let mut stream = session.query("select a1, a3 from events where a4 = 1 order by a3 desc")?;
+    let mut batches = 0;
+    let mut rows = 0;
+    while let Some(batch) = stream.next_batch()? {
+        batches += 1;
+        rows += batch.len();
+        if batches == 1 {
+            println!(
+                "first batch of {} rows, hottest reading: {:?}",
+                batch.len(),
+                batch.rows[0]
+            );
+        }
+    }
+    println!("streamed {rows} rows in {batches} batches\n");
+
+    // --- Results are data: keep one and query it again. ------------------
+    session.sql(
+        "create table hot as select a1 as id, a3 as reading from events \
+         where a3 > 900",
+    )?;
+    let before = engine.counters().snapshot();
+    let n = session.sql("select count(*) from hot")?;
+    let again = session.sql("select max(reading) from hot")?;
+    let delta = engine.counters().snapshot().since(&before);
+    println!(
+        "hot results table: {} rows, max reading {} — file trips for both \
+         follow-ups: {}",
+        n.rows[0][0], again.rows[0][0], delta.file_trips
+    );
+    println!("tables now: {:?}", engine.table_names());
+    Ok(())
+}

@@ -34,10 +34,19 @@ fn main() -> Result<()> {
     // column, so the file splits once and the tail stays in a rest file
     // that cracks further when later queries reach into it.
     let queries = [
-        ("select sum(a5), avg(a6) from wide", "first touch: splits a1..a6 + rest(a7..a10)"),
-        ("select sum(a5), avg(a6) from wide", "same columns again (store hit)"),
+        (
+            "select sum(a5), avg(a6) from wide",
+            "first touch: splits a1..a6 + rest(a7..a10)",
+        ),
+        (
+            "select sum(a5), avg(a6) from wide",
+            "same columns again (store hit)",
+        ),
         ("select sum(a1) from wide", "a1 already has its own file"),
-        ("select sum(a9), avg(a10) from wide", "reaches into the rest file: cracks it"),
+        (
+            "select sum(a9), avg(a10) from wide",
+            "reaches into the rest file: cracks it",
+        ),
         ("select sum(a8) from wide", "a8 now has its own file too"),
     ];
 
@@ -65,7 +74,11 @@ fn main() -> Result<()> {
         files.sort_by_key(|e| e.file_name());
         for f in files {
             let len = f.metadata().map(|m| m.len()).unwrap_or(0);
-            println!("  {:<40} {:>8.2} MB", f.file_name().to_string_lossy(), len as f64 / 1e6);
+            println!(
+                "  {:<40} {:>8.2} MB",
+                f.file_name().to_string_lossy(),
+                len as f64 / 1e6
+            );
         }
     }
     Ok(())

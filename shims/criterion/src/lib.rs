@@ -1,0 +1,248 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal, dependency-free benchmark harness exposing the criterion API
+//! slice this workspace uses: `Criterion::benchmark_group`, group
+//! `sample_size` / `throughput` / `bench_function` / `bench_with_input` /
+//! `finish`, `Bencher::iter`, `BenchmarkId`, `Throughput` and the
+//! `criterion_group!` / `criterion_main!` macros. It measures wall-clock
+//! means over a fixed-duration measurement window and prints one line per
+//! benchmark — no statistics, plots or saved baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier.
+pub use std::hint::black_box;
+
+/// Benchmark identifier: a function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    measured: Duration,
+    iters: u64,
+    measure_for: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly inside the measurement window, recording the
+    /// mean iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: a few unmeasured runs.
+        for _ in 0..2 {
+            black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= self.measure_for {
+                break;
+            }
+        }
+        self.measured = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    measure_for: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample count hint (accepted for API compatibility; this harness
+    /// sizes the measurement window by time, not samples).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measurement window per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measure_for = d;
+        self
+    }
+
+    /// Annotate throughput; reported as MB/s or Melem/s per benchmark.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            measured: Duration::ZERO,
+            iters: 0,
+            measure_for: self.measure_for,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            measured: Duration::ZERO,
+            iters: 0,
+            measure_for: self.measure_for,
+        };
+        f(&mut b, input);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// End the group (reports are printed as benchmarks run).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        if b.iters == 0 {
+            println!("{}/{id}: no iterations measured", self.name);
+            return;
+        }
+        let per_iter = b.measured.as_secs_f64() / b.iters as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!("  ({:.1} MB/s)", n as f64 / per_iter / 1e6)
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.2} Melem/s)", n as f64 / per_iter / 1e6)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{id}: {:.3} ms/iter over {} iters{rate}",
+            self.name,
+            per_iter * 1e3,
+            b.iters
+        );
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // NODB_BENCH_MS overrides the per-benchmark window (CI smoke runs).
+        let ms = std::env::var("NODB_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        Criterion {
+            measure_for: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let measure_for = self.measure_for;
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            measure_for,
+            _criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Define a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` from one or more group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_reports() {
+        std::env::set_var("NODB_BENCH_MS", "5");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(10)
+            .throughput(Throughput::Bytes(1000))
+            .bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("param", 3), &3, |b, &n| b.iter(|| n * 2));
+        g.finish();
+    }
+}

@@ -1,0 +1,69 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` / `Scope::spawn` / handle `join` are
+//! used in this workspace; they map directly onto `std::thread::scope`
+//! (stable since 1.63). One deliberate simplification: the closure passed
+//! to [`thread::Scope::spawn`] receives `()` instead of a nested `&Scope`
+//! — every call site here ignores the argument (`|_| ...`), and nested
+//! spawning is not used.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Scope handle passed to the closure of [`scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle of a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread and return its result (Err on panic).
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives `()` (the real
+        /// crossbeam passes a nested `&Scope`; unused in this workspace).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle(self.inner.spawn(move || f(())))
+        }
+    }
+
+    /// Run `f` with a scope allowing borrowing spawns; joins all threads
+    /// before returning. The outer `Result` mirrors crossbeam's signature
+    /// and is always `Ok` (panics in threads surface at `join`, or abort
+    /// the scope as with `std::thread::scope`).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut outs = vec![0u64; 2];
+        super::thread::scope(|s| {
+            let (a, b) = outs.split_at_mut(1);
+            let d = &data;
+            let h1 = s.spawn(move |_| a[0] = d[..2].iter().sum());
+            let h2 = s.spawn(move |_| b[0] = d[2..].iter().sum());
+            h1.join().unwrap();
+            h2.join().unwrap();
+        })
+        .unwrap();
+        assert_eq!(outs, vec![3, 7]);
+    }
+}

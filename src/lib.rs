@@ -23,5 +23,9 @@ pub use nodb_sql as sql;
 pub use nodb_store as store;
 pub use nodb_types as types;
 
-pub use nodb_core::{Engine, EngineConfig, LoadingStrategy, QueryOutput};
-pub use nodb_types::{Error, Result};
+pub use nodb_core::{
+    BoundStatement, Engine, EngineConfig, LoadingStrategy, Prepared, QueryOutput, QueryStream,
+    Session,
+};
+pub use nodb_store::RowBatch;
+pub use nodb_types::{Error, Result, Value};

@@ -72,7 +72,8 @@ fn partial_v2_reuses_fragments_and_fills_gaps() {
     let e = engine_in(&dir, LoadingStrategy::PartialLoadsV2);
     e.register_table("t", &path).unwrap();
     // Load (1000, 2000).
-    e.sql("select sum(a2) from t where a1 > 1000 and a1 < 2000").unwrap();
+    e.sql("select sum(a2) from t where a1 > 1000 and a1 < 2000")
+        .unwrap();
     // Covered rerun and sub-range: no trips.
     for sql in [
         "select sum(a2) from t where a1 > 1000 and a1 < 2000",
@@ -85,12 +86,19 @@ fn partial_v2_reuses_fragments_and_fills_gaps() {
     // values are 500 of 4000 rows; full-file row count is still tokenized
     // but only the gap's tuples are stored.
     let before = e.counters().snapshot();
-    let out = e.sql("select sum(a2) from t where a1 > 1000 and a1 < 2500").unwrap();
+    let out = e
+        .sql("select sum(a2) from t where a1 > 1000 and a1 < 2500")
+        .unwrap();
     assert_eq!(out.stats.work.file_trips, 1);
     let delta = e.counters().snapshot().since(&before);
-    assert!(delta.rows_abandoned >= 3400, "gap scan abandons non-matching rows");
+    assert!(
+        delta.rows_abandoned >= 3400,
+        "gap scan abandons non-matching rows"
+    );
     // Union now covers the wider range.
-    let out = e.sql("select sum(a2) from t where a1 > 1100 and a1 < 2400").unwrap();
+    let out = e
+        .sql("select sum(a2) from t where a1 > 1100 and a1 < 2400")
+        .unwrap();
     assert_eq!(out.stats.work.file_trips, 0);
 }
 
@@ -243,20 +251,26 @@ fn cracking_converges_to_cheaper_selections() {
     let e = Engine::new(cfg);
     e.register_table("t", &path).unwrap();
     // Warm: load + first crack.
-    e.sql("select sum(a2) from t where a1 > 10000 and a1 < 15000").unwrap();
+    e.sql("select sum(a2) from t where a1 > 10000 and a1 < 15000")
+        .unwrap();
     // Converged repeats should not be slower than a fresh filter scan by
     // the uncracked engine on resident data (sanity, not a microbench):
     let t0 = std::time::Instant::now();
     for _ in 0..5 {
-        e.sql("select sum(a2) from t where a1 > 10000 and a1 < 15000").unwrap();
+        e.sql("select sum(a2) from t where a1 > 10000 and a1 < 15000")
+            .unwrap();
     }
     let cracked_time = t0.elapsed();
     let plain = engine_in(&dir, LoadingStrategy::ColumnLoads);
     plain.register_table("t", &path).unwrap();
-    plain.sql("select sum(a2) from t where a1 > 10000 and a1 < 15000").unwrap();
+    plain
+        .sql("select sum(a2) from t where a1 > 10000 and a1 < 15000")
+        .unwrap();
     let t0 = std::time::Instant::now();
     for _ in 0..5 {
-        plain.sql("select sum(a2) from t where a1 > 10000 and a1 < 15000").unwrap();
+        plain
+            .sql("select sum(a2) from t where a1 > 10000 and a1 < 15000")
+            .unwrap();
     }
     let scan_time = t0.elapsed();
     // Generous bound — we only assert cracking is not pathological.

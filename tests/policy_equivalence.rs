@@ -42,7 +42,9 @@ fn aggregates_over_random_ranges() {
     // repeats (cache hits), nested ranges, and disjoint jumps.
     let mut state = 12345u64;
     for _ in 0..15 {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let lo = (state >> 33) % 4500;
         let hi = lo + 500;
         let col = 1 + (state % 4) as usize;
@@ -101,10 +103,8 @@ fn joins_match_across_strategies() {
     write_unique_int_table(&dir.join("s.csv"), 800, 2, 6).unwrap();
     let queries = vec![
         "select count(*), sum(r.a2), sum(s.a2) from r join s on r.a1 = s.a1".to_string(),
-        "select count(*) from r join s on r.a1 = s.a1 where r.a2 > 100 and s.a2 < 700"
-            .to_string(),
-        "select r.a1, s.a2 from r join s on r.a1 = s.a1 where r.a1 < 10 order by r.a1"
-            .to_string(),
+        "select count(*) from r join s on r.a1 = s.a1 where r.a2 > 100 and s.a2 < 700".to_string(),
+        "select r.a1, s.a2 from r join s on r.a1 = s.a1 where r.a1 < 10 order by r.a1".to_string(),
     ];
     let d2 = dir.clone();
     assert_all_agree(
@@ -127,7 +127,7 @@ fn point_and_empty_queries() {
         "select a2 from t where a1 = 401".to_string(),
         "select sum(a2) from t where a1 > 5000".to_string(), // empty range
         "select count(*) from t where a1 > 100 and a1 < 50".to_string(), // contradiction
-        "select a2 from t where a1 = 400".to_string(), // repeat
+        "select a2 from t where a1 = 400".to_string(),       // repeat
     ];
     assert_all_agree(
         "point",
@@ -146,9 +146,7 @@ fn interleaved_column_sets() {
     let mut queries = Vec::new();
     for pair in (0..4).rev() {
         let (x, y) = (2 * pair + 1, 2 * pair + 2);
-        let q = format!(
-            "select sum(a{x}), avg(a{y}) from t where a{x} > 200 and a{x} < 900"
-        );
+        let q = format!("select sum(a{x}), avg(a{y}) from t where a{x} > 200 and a{x} < 900");
         queries.push(q.clone());
         queries.push(q);
     }

@@ -34,18 +34,14 @@ impl GenQuery {
 }
 
 fn arb_query(cols: usize, max_val: i64) -> impl Strategy<Value = GenQuery> {
-    (
-        0..cols,
-        -5i64..max_val,
-        0i64..(max_val / 2 + 2),
-        0..cols,
-    )
-        .prop_map(|(col, lo, width, agg_col)| GenQuery {
+    (0..cols, -5i64..max_val, 0i64..(max_val / 2 + 2), 0..cols).prop_map(
+        |(col, lo, width, agg_col)| GenQuery {
             col,
             lo,
             width,
             agg_col,
-        })
+        },
+    )
 }
 
 proptest! {

@@ -1,0 +1,479 @@
+//! The session-centric query API end to end: prepared statements with `?`
+//! parameters, the engine plan cache, streaming batches, LIMIT/OFFSET,
+//! CREATE TABLE AS SELECT and results-as-tables.
+
+mod common;
+
+use std::sync::Arc;
+
+use common::{engine_in, test_dir, write_int_table};
+use nodb::core::{Engine, EngineConfig, LoadingStrategy, Session};
+use nodb::types::Value;
+
+fn session_over(name: &str, rows: usize) -> (std::path::PathBuf, Session) {
+    let dir = test_dir(name);
+    let path = dir.join("t.csv");
+    write_int_table(&path, rows, 4);
+    let e = Arc::new(engine_in(&dir, LoadingStrategy::ColumnLoads));
+    e.register_table("t", &path).unwrap();
+    (dir, e.session())
+}
+
+#[test]
+fn prepared_bind_matches_engine_sql() {
+    let (_d, s) = session_over("prep_match", 100);
+    let stmt = s
+        .prepare("select sum(a1), count(*) from t where a1 > ? and a1 < ?")
+        .unwrap();
+    assert_eq!(stmt.n_params(), 2);
+    for (lo, hi) in [(0i64, 100), (100, 400), (-5, 1200)] {
+        let bound = stmt.bind(&[Value::Int(lo), Value::Int(hi)]).unwrap();
+        let got = bound.execute().unwrap();
+        let want = s
+            .engine()
+            .sql(&format!(
+                "select sum(a1), count(*) from t where a1 > {lo} and a1 < {hi}"
+            ))
+            .unwrap();
+        assert_eq!(got.rows, want.rows, "({lo}, {hi})");
+    }
+}
+
+#[test]
+fn prepared_reexecution_does_no_front_end_work() {
+    let (_d, s) = session_over("prep_amortize", 50);
+    let stmt = s
+        .prepare("select sum(a2) from t where a1 > ? and a1 < ?")
+        .unwrap();
+    // Warm both the adaptive store and the statement.
+    stmt.execute(&[Value::Int(0), Value::Int(500)]).unwrap();
+
+    let counters = s.engine().counters();
+    let before = counters.snapshot();
+    for hi in [100i64, 200, 300, 400] {
+        stmt.execute(&[Value::Int(0), Value::Int(hi)]).unwrap();
+    }
+    let delta = counters.snapshot().since(&before);
+    // Zero parse/plan work: re-execution neither hits nor misses the
+    // plan cache (the plan is already in hand) and touches no file.
+    assert_eq!(delta.plan_cache_hits, 0, "no cache lookups at all");
+    assert_eq!(delta.plan_cache_misses, 0, "no replanning");
+    assert_eq!(delta.file_trips, 0);
+    assert_eq!(delta.values_parsed, 0);
+}
+
+#[test]
+fn plan_cache_serves_unprepared_repeats() {
+    let (_d, s) = session_over("plan_cache", 50);
+    let counters = s.engine().counters();
+    let q = "select sum(a1) from t where a1 > 5 and a1 < 900";
+
+    let before = counters.snapshot();
+    let first = s.sql(q).unwrap();
+    let d1 = counters.snapshot().since(&before);
+    assert_eq!(d1.plan_cache_misses, 1);
+    assert_eq!(d1.plan_cache_hits, 0);
+
+    let before = counters.snapshot();
+    // Case and whitespace changes still hit: the key is normalized text.
+    let second = s
+        .sql("SELECT  sum(A1)\nFROM t WHERE a1 > 5 AND a1 < 900")
+        .unwrap();
+    let d2 = counters.snapshot().since(&before);
+    assert_eq!(d2.plan_cache_hits, 1, "normalized repeat is a hit");
+    assert_eq!(d2.plan_cache_misses, 0);
+    assert_eq!(first.rows, second.rows);
+}
+
+#[test]
+fn plan_cache_invalidated_by_file_edit() {
+    let dir = test_dir("plan_cache_edit");
+    let path = dir.join("t.csv");
+    std::fs::write(&path, "1,2\n3,4\n").unwrap();
+    let e = Arc::new(engine_in(&dir, LoadingStrategy::ColumnLoads));
+    e.register_table("t", &path).unwrap();
+    let q = "select sum(a1) from t";
+    assert_eq!(e.sql(q).unwrap().scalar(), Some(&Value::Int(4)));
+    assert_eq!(e.sql(q).unwrap().scalar(), Some(&Value::Int(4)));
+    let warm = e.counters().snapshot();
+    assert_eq!(warm.plan_cache_hits, 1);
+
+    // Edit the raw file: schema is re-inferred, the cached plan is stale.
+    std::fs::write(&path, "10,2,7\n30,4,7\n50,6,7\n").unwrap();
+    let out = e.sql(q).unwrap();
+    assert_eq!(out.scalar(), Some(&Value::Int(90)));
+    let after = e.counters().snapshot().since(&warm);
+    assert_eq!(after.plan_cache_misses, 1, "edit forced a replan");
+    assert_eq!(after.plan_cache_hits, 0);
+}
+
+#[test]
+fn prepared_survives_file_edit_by_replanning() {
+    let dir = test_dir("prep_edit");
+    let path = dir.join("t.csv");
+    std::fs::write(&path, "1,10\n2,20\n3,30\n").unwrap();
+    let e = Arc::new(engine_in(&dir, LoadingStrategy::ColumnLoads));
+    e.register_table("t", &path).unwrap();
+    let s = e.session();
+    let stmt = s.prepare("select sum(a2) from t where a1 > ?").unwrap();
+    assert_eq!(
+        stmt.execute(&[Value::Int(1)]).unwrap().scalar(),
+        Some(&Value::Int(50))
+    );
+    std::fs::write(&path, "1,100\n2,200\n3,300\n4,400\n").unwrap();
+    assert_eq!(
+        stmt.execute(&[Value::Int(1)]).unwrap().scalar(),
+        Some(&Value::Int(900)),
+        "edited data visible through the prepared statement"
+    );
+}
+
+#[test]
+fn bind_validates_arity_and_types() {
+    let (_d, s) = session_over("bind_errors", 10);
+    let stmt = s.prepare("select a1 from t where a1 > ?").unwrap();
+    assert!(stmt.bind(&[]).is_err());
+    assert!(stmt.bind(&[Value::Int(1), Value::Int(2)]).is_err());
+    assert!(stmt.bind(&[Value::Str("x".into())]).is_err());
+    assert!(stmt.bind(&[Value::Int(1)]).is_ok());
+    // Unbound execution through the raw engine path errors too.
+    let err = s
+        .engine()
+        .sql("select a1 from t where a1 > ?")
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("unbound"), "{err}");
+}
+
+#[test]
+fn streaming_batches_cover_result_in_order() {
+    let (_d, s) = session_over("stream", 100);
+    let s = s.with_batch_size(32);
+    let mut stream = s.query("select a1, a2 from t order by a1").unwrap();
+    assert_eq!(stream.columns(), &["a1", "a2"]);
+    let mut sizes = Vec::new();
+    let mut rows = Vec::new();
+    while let Some(batch) = stream.next_batch().unwrap() {
+        assert_eq!(batch.schema.len(), 2);
+        sizes.push(batch.len());
+        rows.extend(batch.rows);
+    }
+    assert_eq!(sizes, vec![32, 32, 32, 4]);
+    let want = s.sql("select a1, a2 from t order by a1").unwrap();
+    assert_eq!(rows, want.rows);
+}
+
+#[test]
+fn stream_can_be_abandoned_early() {
+    let (_d, s) = session_over("stream_abandon", 1000);
+    let s = s.with_batch_size(10);
+    let mut stream = s.query("select a1 from t").unwrap();
+    let first = stream.next_batch().unwrap().unwrap();
+    assert_eq!(first.len(), 10);
+    assert_eq!(stream.rows_remaining(), 990);
+    drop(stream); // no panic, no further work
+}
+
+#[test]
+fn prepared_stream_with_limit_param() {
+    let (_d, s) = session_over("stream_param", 100);
+    let stmt = s
+        .prepare("select a1 from t where a1 > ? order by a1 limit ?")
+        .unwrap();
+    let mut stream = stmt.stream(&[Value::Int(10), Value::Int(7)]).unwrap();
+    let mut n = 0;
+    while let Some(batch) = stream.next_batch().unwrap() {
+        n += batch.len();
+    }
+    assert_eq!(n, 7);
+}
+
+#[test]
+fn limit_offset_paginates() {
+    let dir = test_dir("limit_offset");
+    let path = dir.join("t.csv");
+    std::fs::write(&path, "5\n3\n1\n4\n2\n").unwrap();
+    let e = engine_in(&dir, LoadingStrategy::ColumnLoads);
+    e.register_table("t", &path).unwrap();
+    let page1 = e.sql("select a1 from t order by a1 limit 2").unwrap();
+    let page2 = e
+        .sql("select a1 from t order by a1 limit 2 offset 2")
+        .unwrap();
+    let page3 = e
+        .sql("select a1 from t order by a1 limit 2 offset 4")
+        .unwrap();
+    assert_eq!(page1.rows, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+    assert_eq!(page2.rows, vec![vec![Value::Int(3)], vec![Value::Int(4)]]);
+    assert_eq!(page3.rows, vec![vec![Value::Int(5)]]);
+    // Offset past the end is empty, not an error.
+    let empty = e
+        .sql("select a1 from t order by a1 limit 5 offset 9")
+        .unwrap();
+    assert!(empty.rows.is_empty());
+    // Grouped results paginate too.
+    let grouped = e
+        .sql("select a1, count(*) from t group by a1 order by a1 limit 2 offset 1")
+        .unwrap();
+    assert_eq!(
+        grouped.rows,
+        vec![
+            vec![Value::Int(2), Value::Int(1)],
+            vec![Value::Int(3), Value::Int(1)],
+        ]
+    );
+}
+
+#[test]
+fn create_table_as_select_is_immediately_queryable() {
+    let (_d, s) = session_over("ctas", 50);
+    s.sql("create table hot as select a1, a2 + a3 as heat from t where a1 > 500")
+        .unwrap();
+    let counters = s.engine().counters();
+    let before = counters.snapshot();
+    let out = s.sql("select count(*), min(heat) from hot").unwrap();
+    let want = s
+        .sql("select count(*), min(a2 + a3) from t where a1 > 500")
+        .unwrap();
+    assert_eq!(out.rows, want.rows);
+    // The result table is served from memory: no raw-file work at all.
+    let delta = counters.snapshot().since(&before);
+    assert_eq!(delta.file_trips, 0, "no file trip for the result table");
+    assert_eq!(delta.values_parsed, 0);
+    assert!(s.engine().table_names().contains(&"hot".to_owned()));
+}
+
+#[test]
+fn register_result_sanitises_labels() {
+    let (_d, s) = session_over("reg_result", 20);
+    let out = s
+        .sql("select a1, sum(a2), count(*) from t group by a1 order by a1 limit 5")
+        .unwrap();
+    s.register_result("summary", &out).unwrap();
+    // `sum(a2)` became `sum_a2`, `count(*)` became `count`.
+    let back = s
+        .sql("select a1, sum_a2, count from summary order by a1")
+        .unwrap();
+    assert_eq!(back.rows.len(), 5);
+    assert_eq!(back.rows[0][1], out.rows[0][1]);
+    // Re-registering a result table replaces it.
+    s.register_result("summary", &out).unwrap();
+    // Shadowing a file-backed table is refused.
+    let err = s.register_result("t", &out).unwrap_err().to_string();
+    assert!(err.contains("raw file"), "{err}");
+}
+
+#[test]
+fn recreated_result_table_invalidates_cached_plans() {
+    let (_d, s) = session_over("recreate_result", 20);
+    s.sql("create table v as select a1 as x, a2 as y from t where a1 < 500")
+        .unwrap();
+    let first = s.sql("select sum(y) from v").unwrap();
+    let want_y = s.sql("select sum(a2) from t where a1 < 500").unwrap();
+    assert_eq!(first.scalar(), want_y.scalar());
+    // Re-create `v` with the column order swapped: `y` is now ordinal 0.
+    // A stale cached plan would read the old ordinal (now `x`).
+    s.sql("create table v as select a2 as y, a1 as x from t where a1 < 500")
+        .unwrap();
+    let second = s.sql("select sum(y) from v").unwrap();
+    assert_eq!(second.scalar(), want_y.scalar(), "plan was re-resolved");
+}
+
+#[test]
+fn memory_budget_never_evicts_result_tables() {
+    let dir = test_dir("budget_resident");
+    let path = dir.join("t.csv");
+    write_int_table(&path, 1000, 3);
+    let mut cfg = EngineConfig::default();
+    cfg.csv.threads = 1;
+    cfg.memory_budget = Some(4_000); // far below one 8 KB column
+    cfg.store_dir = Some(dir.join("store"));
+    let e = Arc::new(Engine::new(cfg));
+    e.register_table("t", &path).unwrap();
+    let s = e.session();
+    // The result table itself (1000 × 8 B) exceeds the budget: eviction
+    // exempting resident tables is the only reason its *data* survives
+    // (count(*) would survive regardless — it reads no columns).
+    s.sql("create table keep as select a1 from t").unwrap();
+    let want = s.sql("select sum(a1) from keep").unwrap();
+    // Hammer the raw table so eviction runs repeatedly...
+    for _ in 0..3 {
+        s.sql("select sum(a2) from t").unwrap();
+        s.sql("select sum(a3) from t").unwrap();
+    }
+    assert!(e.counters().snapshot().tuples_evicted > 0, "budget active");
+    // ...the resident result table still answers from memory.
+    let again = s.sql("select sum(a1) from keep").unwrap();
+    assert_eq!(again.scalar(), want.scalar());
+}
+
+#[test]
+fn ctas_with_leading_comment_and_newline() {
+    let (_d, s) = session_over("ctas_comment", 10);
+    s.sql("-- keep the hot rows\ncreate\n  table hot as select a1 from t where a1 < 500")
+        .unwrap();
+    assert!(s.engine().table_names().contains(&"hot".to_owned()));
+    let n = s.sql("-- count them\nselect count(*) from hot").unwrap();
+    assert!(n.scalar().is_some());
+}
+
+#[test]
+fn rebound_table_name_does_not_reuse_stale_plans() {
+    let dir = test_dir("rebind");
+    let two = dir.join("two.csv");
+    let three = dir.join("three.csv");
+    std::fs::write(&two, "1,2\n3,4\n").unwrap();
+    std::fs::write(&three, "10,20,30\n40,50,60\n").unwrap();
+    let e = engine_in(&dir, LoadingStrategy::ColumnLoads);
+    e.register_table("d", &two).unwrap();
+    assert_eq!(
+        e.sql("select sum(a1) from d").unwrap().scalar(),
+        Some(&Value::Int(4))
+    );
+    // Re-bind the same name to a different file: the cached plan must
+    // not survive the swap (global epochs make the collision impossible).
+    assert!(e.unregister_table("d"));
+    e.register_table("d", &three).unwrap();
+    assert_eq!(
+        e.sql("select sum(a1) from d").unwrap().scalar(),
+        Some(&Value::Int(50))
+    );
+    assert_eq!(
+        e.sql("select sum(a3) from d").unwrap().scalar(),
+        Some(&Value::Int(90)),
+        "new schema's third column resolves"
+    );
+}
+
+#[test]
+fn same_stem_tables_keep_separate_derived_state() {
+    let dir = test_dir("same_stem");
+    std::fs::create_dir_all(dir.join("a")).unwrap();
+    std::fs::create_dir_all(dir.join("b")).unwrap();
+    std::fs::write(dir.join("a/data.csv"), "1,2\n3,4\n").unwrap();
+    std::fs::write(dir.join("b/data.csv"), "10,20,30\n40,50,60\n").unwrap();
+    let mut cfg = EngineConfig::with_strategy(LoadingStrategy::SplitFiles);
+    cfg.csv.threads = 1;
+    cfg.store_dir = Some(dir.join("store"));
+    let e = Engine::new(cfg);
+    e.register_table("t1", dir.join("a/data.csv")).unwrap();
+    e.register_table("t2", dir.join("b/data.csv")).unwrap();
+    assert_eq!(
+        e.sql("select sum(a2) from t1").unwrap().scalar(),
+        Some(&Value::Int(6))
+    );
+    assert_eq!(
+        e.sql("select sum(a3) from t2").unwrap().scalar(),
+        Some(&Value::Int(90))
+    );
+    // Unregistering t1 must not delete t2's same-stem split files.
+    assert!(e.unregister_table("t1"));
+    assert_eq!(
+        e.sql("select sum(a1) from t2").unwrap().scalar(),
+        Some(&Value::Int(50))
+    );
+}
+
+#[test]
+fn result_tables_join_against_raw_tables() {
+    let (_d, s) = session_over("result_join", 30);
+    s.sql("create table picks as select a1 as k from t where a1 < 300")
+        .unwrap();
+    let joined = s
+        .sql("select count(*) from t join picks on t.a1 = picks.k")
+        .unwrap();
+    let direct = s.sql("select count(*) from t where a1 < 300").unwrap();
+    assert_eq!(joined.scalar(), direct.scalar());
+}
+
+#[test]
+fn explain_reports_strategy_and_loader_state() {
+    let dir = test_dir("explain_api");
+    let path = dir.join("t.csv");
+    std::fs::write(&path, "1,2,3\n4,5,6\n").unwrap();
+    let mut cfg = EngineConfig::with_strategy(LoadingStrategy::PartialLoadsV2);
+    cfg.csv.threads = 1;
+    cfg.store_dir = Some(dir.join("store"));
+    let e = Engine::new(cfg);
+    e.register_table("t", &path).unwrap();
+
+    let cold = e.explain("select sum(a1) from t where a2 > 2").unwrap();
+    assert!(cold.contains("-- strategy: partial-v2"), "{cold}");
+    assert!(cold.contains("0 of 2 referenced columns loaded"), "{cold}");
+    assert!(cold.contains("missing columns [0, 1]"), "{cold}");
+
+    // Warm the store with full column loads, then explain again.
+    let mut cfg = EngineConfig::with_strategy(LoadingStrategy::ColumnLoads);
+    cfg.csv.threads = 1;
+    cfg.store_dir = Some(dir.join("store2"));
+    let e = Engine::new(cfg);
+    e.register_table("t", &path).unwrap();
+    e.sql("select sum(a1) from t where a2 > 2").unwrap();
+    let warm = e.explain("select sum(a1) from t where a2 > 2").unwrap();
+    assert!(warm.contains("-- strategy: column-loads"), "{warm}");
+    assert!(warm.contains("2 of 2 referenced columns loaded"), "{warm}");
+    assert!(warm.contains("no file trip needed"), "{warm}");
+    // Explain shows the new offset/limit plan steps.
+    let paged = e
+        .explain("select a1 from t order by a1 limit 3 offset 1")
+        .unwrap();
+    assert!(paged.contains("Limit 3 offset 1"), "{paged}");
+}
+
+#[test]
+fn unregister_drops_split_files_on_disk() {
+    let dir = test_dir("unregister_cleanup");
+    let path = dir.join("t.csv");
+    write_int_table(&path, 50, 3);
+    let store = dir.join("store");
+    let mut cfg = EngineConfig::with_strategy(LoadingStrategy::SplitFiles);
+    cfg.csv.threads = 1;
+    cfg.store_dir = Some(store.clone());
+    let e = Engine::new(cfg);
+    e.register_table("t", &path).unwrap();
+    e.sql("select sum(a3) from t").unwrap();
+    // Derived files live in a per-table subdirectory of the store dir.
+    let store = store.join("t");
+    let split_files = |dir: &std::path::Path| -> Vec<String> {
+        std::fs::read_dir(dir)
+            .map(|entries| {
+                entries
+                    .flatten()
+                    .map(|en| en.file_name().to_string_lossy().into_owned())
+                    .filter(|n| n.contains(".g") && n.ends_with(".csv"))
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    assert!(!split_files(&store).is_empty(), "splitting wrote files");
+    assert!(e.unregister_table("t"));
+    assert!(
+        split_files(&store).is_empty(),
+        "unregister removed derived files: {:?}",
+        split_files(&store)
+    );
+    assert!(path.exists(), "original raw file untouched");
+}
+
+#[test]
+fn sessions_share_the_engine_across_threads() {
+    let (_d, s) = session_over("threads", 200);
+    let engine = Arc::clone(s.engine());
+    let stmt = Arc::new(
+        s.prepare("select count(*) from t where a1 > ? and a1 < ?")
+            .unwrap(),
+    );
+    let mut handles = Vec::new();
+    for i in 0..8i64 {
+        let stmt = Arc::clone(&stmt);
+        handles.push(std::thread::spawn(move || {
+            let out = stmt
+                .execute(&[Value::Int(i * 10), Value::Int(i * 10 + 500)])
+                .unwrap();
+            out.scalar().cloned()
+        }));
+    }
+    for h in handles {
+        assert!(h.join().unwrap().is_some());
+    }
+    drop(engine);
+}

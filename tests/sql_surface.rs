@@ -54,10 +54,7 @@ fn arithmetic_in_select_and_where() {
     let out = e
         .sql("select id * 10 + 1 from people where score >= 8.5 order by id")
         .unwrap();
-    assert_eq!(
-        out.rows,
-        vec![vec![Value::Int(11)], vec![Value::Int(31)]]
-    );
+    assert_eq!(out.rows, vec![vec![Value::Int(11)], vec![Value::Int(31)]]);
     let out = e.sql("select sum(score * 2) from people").unwrap();
     assert_eq!(out.rows[0][0], Value::Float(62.5));
 }
@@ -102,16 +99,20 @@ fn error_messages_name_the_problem() {
         .unwrap_err()
         .to_string();
     assert!(err.contains("name"), "{err}");
-    let err = e.sql("select sum(score), id from people").unwrap_err().to_string();
-    assert!(err.contains("GROUP BY") || err.contains("aggregate"), "{err}");
+    let err = e
+        .sql("select sum(score), id from people")
+        .unwrap_err()
+        .to_string();
+    assert!(
+        err.contains("GROUP BY") || err.contains("aggregate"),
+        "{err}"
+    );
 }
 
 #[test]
 fn count_star_versus_count_column() {
     let e = setup_mixed("counts");
-    let out = e
-        .sql("select count(*), count(score) from people")
-        .unwrap();
+    let out = e.sql("select count(*), count(score) from people").unwrap();
     assert_eq!(out.rows[0], vec![Value::Int(5), Value::Int(4)]);
 }
 

@@ -28,7 +28,12 @@ fn file_edits_visible_to_every_strategy() {
         // Change the schema shape entirely (now 3 columns, one float).
         std::fs::write(&path, "1,1.5,x\n2,2.5,y\n").unwrap();
         let out = e.sql("select sum(a2) from t").unwrap();
-        assert_eq!(out.scalar(), Some(&Value::Float(4.0)), "{}", strategy.label());
+        assert_eq!(
+            out.scalar(),
+            Some(&Value::Float(4.0)),
+            "{}",
+            strategy.label()
+        );
         let out = e.sql("select a3 from t where a1 = 2").unwrap();
         assert_eq!(out.rows[0][0], Value::Str("y".into()));
     }
@@ -43,7 +48,8 @@ fn shrinking_file_invalidates_rowid_state() {
     write_unique_int_table(&path, 1000, 2, 3).unwrap();
     let e = engine_in(&dir, nodb::core::LoadingStrategy::PartialLoadsV2);
     e.register_table("t", &path).unwrap();
-    e.sql("select sum(a2) from t where a1 > 100 and a1 < 900").unwrap();
+    e.sql("select sum(a2) from t where a1 > 100 and a1 < 900")
+        .unwrap();
     write_unique_int_table(&path, 10, 2, 4).unwrap();
     let out = e.sql("select count(*) from t where a1 >= 0").unwrap();
     assert_eq!(out.scalar(), Some(&Value::Int(10)));
