@@ -12,10 +12,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 
 use nodb_exec::{
     aggregate, filter_positions, fused_filter_aggregate, hash_join_positions, merge_join_positions,
-    AggFunc, AggSpec, AggregateOp, ColumnsScan, FilterOp,
+    parallel_filter_aggregate, parallel_hash_join_positions, AggFunc, AggSpec, AggregateOp,
+    ColumnsScan, FilterOp,
 };
 use nodb_rawcsv::gen::Permutation;
-use nodb_rawcsv::tokenizer::{scan_bytes, CsvOptions, ScanSpec};
+use nodb_rawcsv::tokenizer::{scan_bytes, scan_morsels, CsvOptions, ScanSpec};
 use nodb_store::CrackedColumn;
 use nodb_types::{CmpOp, ColPred, ColumnData, Conjunction, Schema, WorkCounters};
 
@@ -182,6 +183,144 @@ fn bench_kernels(c: &mut Criterion) {
     g.finish();
 }
 
+/// Serial vs morsel-parallel pairs for the perf trajectory: the
+/// `<name>/serial` ÷ `<name>/parallel` ratios land in the `speedups`
+/// section of `NODB_BENCH_JSON` output (`BENCH_micro.json` in CI). On a
+/// single-core machine the ratios sit near 1.0; they scale with cores.
+fn bench_parallel(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let morsel_rows = 16_384;
+
+    // Fig1-style cold scan: tokenize + parse every referenced column of a
+    // raw CSV byte buffer, no cached state.
+    let rows = 200_000;
+    let data = csv_bytes(rows, 4);
+    let schema = Schema::ints(4);
+    let filter = Conjunction::new(vec![
+        ColPred::new(0, CmpOp::Gt, 0i64),
+        ColPred::new(0, CmpOp::Lt, (rows / 2) as i64),
+    ]);
+    let specs = vec![
+        AggSpec::on_col(AggFunc::Sum, 0),
+        AggSpec::on_col(AggFunc::Min, 3),
+        AggSpec::on_col(AggFunc::Max, 2),
+        AggSpec::on_col(AggFunc::Avg, 1),
+    ];
+    let mut g = c.benchmark_group("parallel");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    let spec = ScanSpec {
+        schema: &schema,
+        needed: (0..4).collect(),
+        pushdown: None,
+    };
+    g.bench_function("cold_scan/serial", |b| {
+        let opts = CsvOptions {
+            threads: 1,
+            ..CsvOptions::default()
+        };
+        b.iter(|| {
+            // The serial cold path: merge one ScanOutput, then filter and
+            // aggregate it single-threaded.
+            let counters = WorkCounters::new();
+            let out = scan_bytes(&data, &opts, &spec, None, &counters).unwrap();
+            let pos = filter_positions(&out.columns, rows, &filter).unwrap();
+            aggregate(&out.columns, rows, Some(&pos), &specs).unwrap()
+        })
+    });
+    g.bench_function("cold_scan/parallel", |b| {
+        let opts = CsvOptions {
+            threads,
+            ..CsvOptions::default()
+        };
+        b.iter(|| {
+            let counters = WorkCounters::new();
+            // Morsel pipeline: per-worker filter + partial aggregation
+            // overlapping with tokenization (what the engine's cold
+            // aggregate path runs).
+            let partials: std::sync::Mutex<Vec<(usize, Vec<nodb_exec::Accumulator>)>> =
+                std::sync::Mutex::new(Vec::new());
+            scan_morsels(
+                &data,
+                &opts,
+                &spec,
+                None,
+                &counters,
+                morsel_rows,
+                &|_w, morsel| {
+                    let cols = nodb_exec::OrdinalCols::new(&spec.needed, &morsel.columns);
+                    let n = morsel.rowids.len();
+                    let pos = filter_positions(&cols, n, &filter)?;
+                    let mut accs: Vec<nodb_exec::Accumulator> = specs
+                        .iter()
+                        .map(|s| nodb_exec::Accumulator::new(s.func))
+                        .collect();
+                    nodb_exec::accumulate_into(&cols, n, Some(&pos), &specs, &mut accs)?;
+                    partials.lock().unwrap().push((morsel.index, accs));
+                    Ok(())
+                },
+            )
+            .unwrap();
+            let mut parts = partials.into_inner().unwrap();
+            parts.sort_by_key(|(i, _)| *i);
+            let mut merged: Vec<nodb_exec::Accumulator> = specs
+                .iter()
+                .map(|s| nodb_exec::Accumulator::new(s.func))
+                .collect();
+            for (_, accs) in parts {
+                for (m, a) in merged.iter_mut().zip(accs) {
+                    m.merge(a).unwrap();
+                }
+            }
+            merged
+                .iter()
+                .map(|a| a.finish().unwrap())
+                .collect::<Vec<_>>()
+        })
+    });
+
+    // Warm filtered aggregate over loaded columns (the post-load kernel).
+    let n = 1_000_000usize;
+    let mut cols: BTreeMap<usize, ColumnData> = BTreeMap::new();
+    for k in 0..4 {
+        let perm = Permutation::new(n as u64, 70 + k as u64);
+        cols.insert(
+            k,
+            ColumnData::from_i64((0..n as u64).map(|i| perm.apply(i) as i64).collect()),
+        );
+    }
+    let warm_filter = Conjunction::new(vec![
+        ColPred::new(0, CmpOp::Gt, 0i64),
+        ColPred::new(0, CmpOp::Lt, (n / 2) as i64),
+    ]);
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("filtered_agg/serial", |b| {
+        b.iter(|| fused_filter_aggregate(&cols, n, &warm_filter, &specs).unwrap())
+    });
+    g.bench_function("filtered_agg/parallel", |b| {
+        b.iter(|| {
+            parallel_filter_aggregate(&cols, n, &warm_filter, &specs, threads, morsel_rows).unwrap()
+        })
+    });
+
+    // Partitioned hash join build + probe.
+    let jn = 500_000usize;
+    let pl = Permutation::new(jn as u64, 81);
+    let pr = Permutation::new(jn as u64, 82);
+    let left = ColumnData::from_i64((0..jn as u64).map(|i| pl.apply(i) as i64).collect());
+    let right = ColumnData::from_i64((0..jn as u64).map(|i| pr.apply(i) as i64).collect());
+    g.throughput(Throughput::Elements(jn as u64));
+    g.bench_function("join/serial", |b| {
+        b.iter(|| hash_join_positions(&left, &right).unwrap())
+    });
+    g.bench_function("join/parallel", |b| {
+        b.iter(|| parallel_hash_join_positions(&left, &right, threads, morsel_rows).unwrap())
+    });
+    g.finish();
+}
+
 fn bench_joins(c: &mut Criterion) {
     let n = 300_000usize;
     let pl = Permutation::new(n as u64, 61);
@@ -298,6 +437,7 @@ criterion_group!(
     bench_tokenizer,
     bench_cracking,
     bench_kernels,
+    bench_parallel,
     bench_joins,
     bench_prepared_vs_raw
 );

@@ -2,6 +2,7 @@
 
 use std::path::PathBuf;
 
+use nodb_exec::DEFAULT_MORSEL_ROWS;
 use nodb_rawcsv::CsvOptions;
 
 /// Which adaptive loading policy the engine runs (paper §3–§4). Each policy
@@ -66,6 +67,16 @@ pub struct EngineConfig {
     pub strategy: LoadingStrategy,
     /// Execution kernel selection.
     pub kernel: KernelStrategy,
+    /// Worker threads for every parallel stage — tokenization, the
+    /// morsel-driven scan→filter→aggregate pipeline, parallel selection
+    /// vectors and partitioned join builds. `1` forces fully serial
+    /// execution. [`Engine::new`](crate::Engine::new) propagates this into
+    /// `csv.threads` so there is exactly one knob to turn.
+    pub threads: usize,
+    /// Rows per morsel in the parallel pipeline. Smaller morsels balance
+    /// skew better; larger ones amortise dispatch. The default (32 Ki rows)
+    /// keeps a morsel's working set cache-resident.
+    pub morsel_rows: usize,
     /// CSV dialect and tokenizer options.
     pub csv: CsvOptions,
     /// Per-table memory budget for the adaptive store, in bytes. `None`
@@ -112,6 +123,10 @@ impl Default for EngineConfig {
         EngineConfig {
             strategy: LoadingStrategy::ColumnLoads,
             kernel: KernelStrategy::Auto,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            morsel_rows: DEFAULT_MORSEL_ROWS,
             csv: CsvOptions::default(),
             memory_budget: None,
             store_dir: None,
@@ -135,6 +150,14 @@ impl EngineConfig {
             ..EngineConfig::default()
         }
     }
+
+    /// Set the worker-thread count for every parallel stage (tokenizer and
+    /// execution pipeline alike).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self.csv.threads = self.threads;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +171,17 @@ mod tests {
         assert!(c.use_positional_map);
         assert!(!c.one_column_per_trip);
         assert!(c.memory_budget.is_none());
+        assert!(c.threads >= 1);
+        assert!(c.morsel_rows >= 1);
+    }
+
+    #[test]
+    fn with_threads_syncs_csv_options() {
+        let c = EngineConfig::default().with_threads(3);
+        assert_eq!(c.threads, 3);
+        assert_eq!(c.csv.threads, 3);
+        let c = EngineConfig::default().with_threads(0);
+        assert_eq!(c.threads, 1, "clamped to at least one worker");
     }
 
     #[test]

@@ -17,8 +17,10 @@ use std::time::{Duration, Instant};
 use parking_lot::RwLock;
 
 use nodb_exec::{
-    aggregate, filter_positions, fused_filter_aggregate, group_aggregate, hash_join_positions,
-    sort_positions, AggSpec, ColumnsScan, Expr, ProjectionCursor,
+    accumulate_into, aggregate, filter_positions, fused_filter_aggregate, group_aggregate,
+    hash_join_positions, parallel_filter_aggregate, parallel_filter_positions,
+    parallel_hash_join_positions, sort_positions, Accumulator, AggSpec, ColumnsScan, Expr,
+    OrdinalCols, ProjectionCursor,
 };
 use nodb_sql::{OutputExpr, Plan, Statement};
 use nodb_store::persist;
@@ -132,8 +134,14 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Engine with the given configuration.
-    pub fn new(cfg: EngineConfig) -> Engine {
+    /// Engine with the given configuration. The single `threads` knob is
+    /// propagated into the tokenizer options here, so `cfg.threads`
+    /// governs every parallel stage (phase-1 scanning, morsel pipelines,
+    /// parallel kernels) without touching `cfg.csv`.
+    pub fn new(mut cfg: EngineConfig) -> Engine {
+        cfg.threads = cfg.threads.max(1);
+        cfg.csv.threads = cfg.threads;
+        cfg.morsel_rows = cfg.morsel_rows.max(1);
         let plan_cache = PlanCache::new(cfg.plan_cache_capacity);
         Engine {
             catalog: RwLock::new(Catalog::new()),
@@ -455,16 +463,22 @@ impl Engine {
         }
         let now = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
 
-        // Materialise per table under the active loading policy.
+        // Materialise per table under the active loading policy — unless
+        // the morsel-driven cold pipeline can fuse loading with execution.
         let (needed_l, needed_r) = plan.referenced_per_table();
         let (filter_l, filter_r) = plan.filter_per_table();
-        let mat_l = self.materialize_table(&plan.table, &needed_l, &filter_l, now)?;
-
-        let body = match &plan.join {
-            None => self.execute_single(plan, mat_l)?,
-            Some(join) => {
-                let mat_r = self.materialize_table(&join.table, &needed_r, &filter_r, now)?;
-                self.execute_join(plan, mat_l, mat_r, &filter_l, &filter_r)?
+        let body = match self.try_morsel_cold_aggregate(plan, &needed_l, now)? {
+            Some(body) => body,
+            None => {
+                let mat_l = self.materialize_table(&plan.table, &needed_l, &filter_l, now)?;
+                match &plan.join {
+                    None => self.execute_single(plan, mat_l)?,
+                    Some(join) => {
+                        let mat_r =
+                            self.materialize_table(&join.table, &needed_r, &filter_r, now)?;
+                        self.execute_join(plan, mat_l, mat_r, &filter_l, &filter_r)?
+                    }
+                }
             }
         };
 
@@ -511,6 +525,167 @@ impl Engine {
         materialize(&mut e, needed, filter, &self.cfg, &self.counters, now)
     }
 
+    /// The morsel-driven cold pipeline: for a plain (non-grouped,
+    /// single-table) aggregate whose columns are not loaded yet, tokenizer
+    /// phase-2 morsels flow straight into per-worker filter + partial
+    /// aggregation — filtering and aggregating overlap with parsing
+    /// instead of waiting for one merged `ScanOutput`. The adaptive store
+    /// still receives exactly what the serial path would have given it:
+    /// the scanned columns, fully loaded (assembled from the morsels in
+    /// row order), the row count, and every positional-map recording.
+    ///
+    /// Returns `None` when the shape or state does not qualify (the serial
+    /// policy path then runs as before): joins, GROUP BY, scalar queries,
+    /// resident tables, partially loaded columns, non-column-loading
+    /// strategies, or a single-threaded config.
+    fn try_morsel_cold_aggregate(
+        &self,
+        plan: &Plan,
+        needed: &[usize],
+        now: u64,
+    ) -> Result<Option<StreamBody>> {
+        if self.cfg.threads <= 1
+            || plan.join.is_some()
+            || !plan.is_aggregate()
+            || !plan.group_by.is_empty()
+            || needed.is_empty()
+        {
+            return Ok(None);
+        }
+        if !matches!(
+            self.cfg.strategy,
+            LoadingStrategy::ColumnLoads | LoadingStrategy::FullLoad
+        ) {
+            return Ok(None);
+        }
+        // The A1 ablation deliberately loads one column per file trip; the
+        // fused pipeline batches all columns into one trip and would
+        // silently nullify that measurement. Likewise the cracking
+        // ablation must keep taking the maybe_crack access path from the
+        // very first query.
+        if self.cfg.one_column_per_trip || self.cfg.use_cracking {
+            return Ok(None);
+        }
+        // The fused pipeline is the hybrid kernel; an explicit Columnar or
+        // Volcano selection (kernel ablations) must keep measuring the
+        // kernel it asked for, cold queries included.
+        if !matches!(
+            self.cfg.kernel,
+            KernelStrategy::Auto | KernelStrategy::Hybrid
+        ) {
+            return Ok(None);
+        }
+        let entry = self.catalog.read().get(&plan.table)?;
+        let mut e = entry.write();
+        if e.resident {
+            return Ok(None);
+        }
+        e.ensure_current(&self.cfg.csv, self.cfg.infer_sample_rows, &self.counters)?;
+        // Scan what the policy would load: the referenced columns, or every
+        // column under FullLoad.
+        let scan_cols: Vec<usize> = match self.cfg.strategy {
+            LoadingStrategy::FullLoad => (0..e.schema()?.len()).collect(),
+            _ => needed.to_vec(),
+        };
+        // Only fully cold tables take the fused path; once anything is
+        // loaded, the store-aware policy path is at least as good.
+        if e.store.missing_full(&scan_cols).len() != scan_cols.len() {
+            return Ok(None);
+        }
+
+        let agg_specs: Vec<AggSpec> = plan
+            .output
+            .iter()
+            .filter_map(|o| match o {
+                OutputExpr::Agg(a) => Some(a.clone()),
+                OutputExpr::Scalar(_) => None,
+            })
+            .collect();
+        let residual = &plan.filter;
+
+        let bytes = crate::policy::read_data_bytes(&e, &self.counters)?;
+        let schema = e.schema()?.clone();
+        let spec = nodb_rawcsv::ScanSpec {
+            schema: &schema,
+            needed: scan_cols.clone(),
+            pushdown: None, // the store needs full columns, as in serial loads
+        };
+
+        struct Piece {
+            index: usize,
+            columns: Vec<ColumnData>,
+            accs: Vec<Accumulator>,
+        }
+        let pieces: std::sync::Mutex<Vec<Piece>> = std::sync::Mutex::new(Vec::new());
+        let consume = |_worker: usize, morsel: nodb_rawcsv::Morsel| -> Result<()> {
+            let mcols = OrdinalCols::new(&scan_cols, &morsel.columns);
+            let n = morsel.rowids.len();
+            // A morsel's columns hold exactly its own rows, so an
+            // always-true residual needs no selection vector at all.
+            let positions = if residual.is_always_true() {
+                None
+            } else {
+                Some(filter_positions(&mcols, n, residual)?)
+            };
+            let mut accs: Vec<Accumulator> =
+                agg_specs.iter().map(|s| Accumulator::new(s.func)).collect();
+            accumulate_into(&mcols, n, positions.as_deref(), &agg_specs, &mut accs)?;
+            pieces.lock().expect("pieces mutex").push(Piece {
+                index: morsel.index,
+                columns: morsel.columns,
+                accs,
+            });
+            Ok(())
+        };
+        let posmap = self.cfg.use_positional_map.then_some(&mut e.posmap);
+        let rows_scanned = nodb_rawcsv::scan_morsels(
+            &bytes,
+            &self.cfg.csv,
+            &spec,
+            posmap,
+            &self.counters,
+            self.cfg.morsel_rows,
+            &consume,
+        )?;
+        // Count as a parallel execution only when more than one morsel
+        // existed — with a single morsel, scan_morsels clamps to one
+        // worker and the run was effectively serial.
+        if rows_scanned as usize > self.cfg.morsel_rows {
+            self.counters.add_parallel_pipeline();
+        }
+
+        // Reassemble the full columns in row order for the adaptive store
+        // and merge the partial aggregates in the same deterministic order.
+        let mut pieces = pieces.into_inner().expect("pieces mutex");
+        pieces.sort_by_key(|p| p.index);
+        let mut full: Vec<ColumnData> = scan_cols
+            .iter()
+            .map(|&c| ColumnData::empty(schema.field(c).expect("validated").data_type))
+            .collect();
+        let mut merged: Vec<Accumulator> =
+            agg_specs.iter().map(|s| Accumulator::new(s.func)).collect();
+        for piece in pieces {
+            for (dst, src) in full.iter_mut().zip(piece.columns) {
+                dst.append(src)?;
+            }
+            for (m, p) in merged.iter_mut().zip(piece.accs) {
+                m.merge(p)?;
+            }
+        }
+        for (&c, col) in scan_cols.iter().zip(full) {
+            e.store.insert_full(c, col, now);
+        }
+        e.store.set_nrows(rows_scanned);
+
+        let vals: Vec<Value> = merged
+            .iter()
+            .map(|a| a.finish())
+            .collect::<Result<Vec<_>>>()?;
+        let mut rows = vec![vals];
+        window(&mut rows, plan.offset, plan.limit);
+        Ok(Some(StreamBody::Rows { rows, cursor: 0 }))
+    }
+
     fn execute_single(&self, plan: &Plan, mat: Materialized) -> Result<StreamBody> {
         let residual = if mat.prefiltered {
             Conjunction::always()
@@ -551,7 +726,12 @@ impl Engine {
             };
         let key_l = gather(mat_l.cols.get(&join.left_key), &pos_l)?;
         let key_r = gather(mat_r.cols.get(&join.right_key), &pos_r)?;
-        let pairs = hash_join_positions(&key_l, &key_r)?;
+        let pairs = if self.parallel_worthwhile(key_l.len().max(key_r.len())) {
+            self.counters.add_parallel_pipeline();
+            parallel_hash_join_positions(&key_l, &key_r, self.cfg.threads, self.cfg.morsel_rows)?
+        } else {
+            hash_join_positions(&key_l, &key_r)?
+        };
 
         // Map join positions back through the filters and gather payload
         // columns into a combined, dense column map.
@@ -570,6 +750,13 @@ impl Engine {
         }
         let n = pairs.len();
         self.execute_relational(plan, combined, n, &Conjunction::always())
+    }
+
+    /// Whether a parallel kernel pays for its thread dispatch on `n_rows`
+    /// of input: more than one worker configured and at least one full
+    /// morsel of work.
+    fn parallel_worthwhile(&self, n_rows: usize) -> bool {
+        self.cfg.threads > 1 && n_rows >= self.cfg.morsel_rows
     }
 
     /// The post-load relational pipeline: filter → group/aggregate →
@@ -598,7 +785,19 @@ impl Engine {
             let kernel = self.cfg.kernel;
             let vals = match kernel {
                 KernelStrategy::Hybrid | KernelStrategy::Auto => {
-                    fused_filter_aggregate(&cols, n_rows, residual, &agg_specs)?
+                    if self.parallel_worthwhile(n_rows) {
+                        self.counters.add_parallel_pipeline();
+                        parallel_filter_aggregate(
+                            &cols,
+                            n_rows,
+                            residual,
+                            &agg_specs,
+                            self.cfg.threads,
+                            self.cfg.morsel_rows,
+                        )?
+                    } else {
+                        fused_filter_aggregate(&cols, n_rows, residual, &agg_specs)?
+                    }
                 }
                 KernelStrategy::Columnar => {
                     let pos = if residual.is_always_true() {
@@ -694,9 +893,20 @@ impl Engine {
         }
 
         // Scalar (non-aggregate) query: resolve the qualifying positions
-        // eagerly, project lazily (batch by batch).
+        // eagerly (in parallel when the input is big enough), project
+        // lazily (batch by batch) — the stream is fed straight from the
+        // parallel pipeline's selection vector.
         let mut positions = if residual.is_always_true() {
             (0..n_rows).collect()
+        } else if self.parallel_worthwhile(n_rows) {
+            self.counters.add_parallel_pipeline();
+            parallel_filter_positions(
+                &cols,
+                n_rows,
+                residual,
+                self.cfg.threads,
+                self.cfg.morsel_rows,
+            )?
         } else {
             filter_positions(&cols, n_rows, residual)?
         };
@@ -776,8 +986,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("r.csv");
         std::fs::write(&path, content).unwrap();
-        let mut cfg = EngineConfig::default();
-        cfg.csv.threads = 1;
+        let mut cfg = EngineConfig::default().with_threads(1);
         cfg.store_dir = Some(dir.join("store"));
         let engine = Engine::new(cfg);
         engine.register_table("r", &path).unwrap();
@@ -896,7 +1105,7 @@ mod tests {
             let path = dir.join("r.csv");
             std::fs::write(&path, DATA).unwrap();
             let mut cfg = EngineConfig::with_strategy(strategy);
-            cfg.csv.threads = 1;
+            cfg.threads = 1;
             cfg.store_dir = Some(dir.join("store"));
             let e = Engine::new(cfg);
             e.register_table("r", &path).unwrap();
@@ -928,7 +1137,7 @@ mod tests {
                 kernel,
                 ..EngineConfig::default()
             };
-            cfg.csv.threads = 1;
+            cfg.threads = 1;
             let e = Engine::new(cfg);
             e.register_table("r", &path).unwrap();
             let out = e
@@ -994,8 +1203,7 @@ mod tests {
         assert_eq!(e.persist_table("r", &cold_dir).unwrap(), 2);
 
         // Fresh engine: restore instead of re-parsing CSV.
-        let mut cfg = EngineConfig::default();
-        cfg.csv.threads = 1;
+        let cfg = EngineConfig::default().with_threads(1);
         let e2 = Engine::new(cfg);
         e2.register_table("r", d.join("r.csv")).unwrap();
         assert_eq!(e2.restore_table("r", &cold_dir).unwrap(), 2);
@@ -1017,8 +1225,7 @@ mod tests {
             data.push_str(&format!("{i},{},{}\n", i * 2, i * 3));
         }
         std::fs::write(&path, &data).unwrap();
-        let mut cfg = EngineConfig::default();
-        cfg.csv.threads = 1;
+        let mut cfg = EngineConfig::default().with_threads(1);
         cfg.memory_budget = Some(10_000); // fits one 8 KB column, not three
         let e = Engine::new(cfg);
         e.register_table("r", &path).unwrap();
@@ -1061,8 +1268,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("r.csv");
         std::fs::write(&path, "1,plain\n2,\"has,comma\"\n3,\"has \"\"quote\"\"\"\n").unwrap();
-        let mut cfg = EngineConfig::default();
-        cfg.csv.threads = 1;
+        let mut cfg = EngineConfig::default().with_threads(1);
         cfg.csv.quote = Some(b'"');
         let e = Engine::new(cfg);
         e.register_table("r", &path).unwrap();
@@ -1118,6 +1324,67 @@ mod tests {
         assert!(text.contains("HashJoin"), "{text}");
         assert!(text.contains("AdaptiveLoad table=s"), "{text}");
         assert!(text.contains("Aggregate [count(*)]"), "{text}");
+    }
+
+    #[test]
+    fn parallel_pipeline_matches_serial_and_still_loads_store() {
+        let dir = std::env::temp_dir().join("nodb_engine_parallel");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.csv");
+        let mut data = String::new();
+        for i in 0..20_000i64 {
+            data.push_str(&format!("{},{},{},{}\n", i, i * 2, i % 97, i % 7));
+        }
+        std::fs::write(&path, &data).unwrap();
+        let sqls = [
+            "select sum(a1),min(a4),max(a3),avg(a2) from r where a1 > 100 and a1 < 15000",
+            "select count(*) from r where a3 = 13",
+            "select a1, a2 from r where a1 > 19990 order by a1",
+        ];
+
+        // Serial reference.
+        let serial = Engine::new(EngineConfig::default().with_threads(1));
+        serial.register_table("r", &path).unwrap();
+        let reference: Vec<Vec<Vec<Value>>> =
+            sqls.iter().map(|s| serial.sql(s).unwrap().rows).collect();
+
+        // Parallel engine with small morsels to force many of them.
+        let mut cfg = EngineConfig::default().with_threads(4);
+        cfg.morsel_rows = 1000;
+        let par = Engine::new(cfg);
+        par.register_table("r", &path).unwrap();
+        for (sql, expect) in sqls.iter().zip(&reference) {
+            let out = par.sql(sql).unwrap();
+            assert_eq!(&out.rows, expect, "{sql}");
+        }
+        let snap = par.counters().snapshot();
+        assert!(snap.parallel_pipelines >= 1, "{snap}");
+        assert!(snap.morsels_dispatched >= 20, "{snap}");
+
+        // The cold parallel pipeline fed the adaptive store like a serial
+        // column load would: referenced columns fully loaded, so a rerun
+        // does no file work.
+        let info = par.table_info("r").unwrap();
+        assert!(!info.loaded_columns.is_empty());
+        let before = par.counters().snapshot();
+        let again = par.sql(sqls[0]).unwrap();
+        assert_eq!(again.rows, reference[0]);
+        assert_eq!(par.counters().snapshot().since(&before).file_trips, 0);
+
+        // Join path: parallel partitioned join agrees with serial.
+        let s_path = dir.join("s.csv");
+        let mut sdata = String::new();
+        for i in 0..20_000i64 {
+            sdata.push_str(&format!("{},{}\n", (i * 13) % 20_000, i));
+        }
+        std::fs::write(&s_path, &sdata).unwrap();
+        serial.register_table("s", &s_path).unwrap();
+        par.register_table("s", &s_path).unwrap();
+        let join_sql = "select count(*), sum(s.a2) from r join s on r.a1 = s.a1 where r.a4 = 3";
+        let sj = serial.sql(join_sql).unwrap();
+        let pj = par.sql(join_sql).unwrap();
+        assert_eq!(pj.rows, sj.rows);
     }
 
     #[test]

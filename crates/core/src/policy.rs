@@ -87,7 +87,7 @@ pub fn materialize(
 }
 
 /// Read the raw file and return its bytes with the header row sliced off.
-fn read_data_bytes(entry: &TableEntry, counters: &WorkCounters) -> Result<Vec<u8>> {
+pub(crate) fn read_data_bytes(entry: &TableEntry, counters: &WorkCounters) -> Result<Vec<u8>> {
     let mut bytes = read_file(&entry.path, counters)?;
     let start = entry.data_start() as usize;
     if start > 0 {

@@ -257,7 +257,11 @@ pub(crate) enum StreamBody {
 ///
 /// Obtained from [`Session::query`], [`Prepared::stream`] or
 /// [`BoundStatement::stream`]. Dropping the stream abandons the rest of
-/// the result with no further work.
+/// the result with no further work. The stream is fed by the engine's
+/// morsel-driven parallel pipeline: aggregate bodies arrive pre-merged
+/// from per-worker partials, and scalar bodies project lazily from a
+/// selection vector built in parallel — batching never re-serialises the
+/// work that produced the rows.
 pub struct QueryStream {
     columns: Vec<String>,
     schema: Schema,

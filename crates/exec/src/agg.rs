@@ -190,6 +190,64 @@ impl Accumulator {
         Ok(())
     }
 
+    /// Fold another accumulator of the same function into this one — the
+    /// merge step of morsel-driven partial aggregation. Partials are merged
+    /// in morsel order, so results are deterministic for any worker count
+    /// (and bit-identical to serial execution for integer inputs).
+    pub fn merge(&mut self, other: Accumulator) -> Result<()> {
+        match (&mut *self, other) {
+            (Accumulator::SumInt(a, seen), Accumulator::SumInt(b, s2)) => {
+                *a += b;
+                *seen |= s2;
+            }
+            (Accumulator::SumInt(a, seen), Accumulator::SumFloat(b, s2)) => {
+                // Either side having promoted to float promotes the merge,
+                // mirroring the serial promotion on first float input.
+                *self = Accumulator::SumFloat(*a as f64 + b, *seen | s2);
+            }
+            (Accumulator::SumFloat(a, seen), Accumulator::SumInt(b, s2)) => {
+                *a += b as f64;
+                *seen |= s2;
+            }
+            (Accumulator::SumFloat(a, seen), Accumulator::SumFloat(b, s2)) => {
+                *a += b;
+                *seen |= s2;
+            }
+            (Accumulator::Min(best), Accumulator::Min(Some(v))) => {
+                let replace = match best {
+                    None => true,
+                    Some(b) => v.sql_cmp(b).is_some_and(|o| o.is_lt()),
+                };
+                if replace {
+                    *best = Some(v);
+                }
+            }
+            (Accumulator::Max(best), Accumulator::Max(Some(v))) => {
+                let replace = match best {
+                    None => true,
+                    Some(b) => v.sql_cmp(b).is_some_and(|o| o.is_gt()),
+                };
+                if replace {
+                    *best = Some(v);
+                }
+            }
+            (Accumulator::Min(_), Accumulator::Min(None))
+            | (Accumulator::Max(_), Accumulator::Max(None)) => {}
+            (Accumulator::Avg(sum, n), Accumulator::Avg(s2, n2)) => {
+                *sum += s2;
+                *n += n2;
+            }
+            (Accumulator::Count(n), Accumulator::Count(n2)) => *n += n2,
+            (Accumulator::CountStar(n), Accumulator::CountStar(n2)) => *n += n2,
+            (a, b) => {
+                return Err(Error::exec(format!(
+                    "cannot merge mismatched accumulators {a:?} and {b:?}"
+                )))
+            }
+        }
+        Ok(())
+    }
+
     /// Produce the final value.
     pub fn finish(&self) -> Result<Value> {
         Ok(match self {
@@ -306,6 +364,48 @@ mod tests {
         let mut a = Accumulator::new(AggFunc::Sum);
         a.update_i64_slice(&[]).unwrap();
         assert_eq!(a.finish().unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn merge_matches_serial_fold() {
+        let xs: Vec<i64> = vec![9, -2, 4, 4, 11, 0];
+        for func in [
+            AggFunc::Sum,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Avg,
+            AggFunc::Count,
+            AggFunc::CountStar,
+        ] {
+            let mut left = Accumulator::new(func);
+            left.update_i64_slice(&xs[..3]).unwrap();
+            let mut right = Accumulator::new(func);
+            right.update_i64_slice(&xs[3..]).unwrap();
+            left.merge(right).unwrap();
+            let mut serial = Accumulator::new(func);
+            serial.update_i64_slice(&xs).unwrap();
+            assert_eq!(left.finish().unwrap(), serial.finish().unwrap(), "{func}");
+        }
+    }
+
+    #[test]
+    fn merge_promotes_sum_to_float() {
+        let mut a = Accumulator::new(AggFunc::Sum);
+        a.update(&Value::Int(1)).unwrap();
+        let mut b = Accumulator::new(AggFunc::Sum);
+        b.update(&Value::Float(0.5)).unwrap();
+        a.merge(b).unwrap();
+        assert_eq!(a.finish().unwrap(), Value::Float(1.5));
+        // Empty partials keep NULL semantics.
+        let mut e = Accumulator::new(AggFunc::Sum);
+        e.merge(Accumulator::new(AggFunc::Sum)).unwrap();
+        assert_eq!(e.finish().unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn merge_mismatched_functions_errors() {
+        let mut a = Accumulator::new(AggFunc::Min);
+        assert!(a.merge(Accumulator::new(AggFunc::Max)).is_err());
     }
 
     mod properties {

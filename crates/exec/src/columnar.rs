@@ -56,8 +56,22 @@ pub fn filter_positions<C: Cols + ?Sized>(
     n_rows: usize,
     conj: &Conjunction,
 ) -> Result<Vec<usize>> {
+    filter_positions_range(cols, 0, n_rows, conj)
+}
+
+/// [`filter_positions`] restricted to the row range `[lo, hi)` — the shape
+/// morsel workers use so each evaluates only its own slice of the columns.
+/// Returned positions are absolute (into the full columns), ascending, so
+/// concatenating morsel results in morsel order reproduces the serial
+/// position list exactly.
+pub fn filter_positions_range<C: Cols + ?Sized>(
+    cols: &C,
+    lo: usize,
+    hi: usize,
+    conj: &Conjunction,
+) -> Result<Vec<usize>> {
     if conj.is_always_true() {
-        return Ok((0..n_rows).collect());
+        return Ok((lo..hi).collect());
     }
     let ordered = conj.ordered_by_selectivity();
     let mut positions: Option<Vec<usize>> = None;
@@ -76,11 +90,13 @@ pub fn filter_positions<C: Cols + ?Sized>(
                     matches!(col, ColumnData::Int64 { nulls: Some(_), .. }),
                 ) {
                     let lit = *lit;
+                    let hi = hi.min(xs.len());
+                    let xs = &xs[lo.min(hi)..hi];
                     macro_rules! scan {
                         ($cmp:expr) => {
                             for (i, &x) in xs.iter().enumerate() {
                                 if $cmp(x, lit) {
-                                    out.push(i);
+                                    out.push(lo + i);
                                 }
                             }
                         };
@@ -94,7 +110,7 @@ pub fn filter_positions<C: Cols + ?Sized>(
                         CmpOp::Ge => scan!(|x, l| x >= l),
                     }
                 } else {
-                    for i in 0..col.len() {
+                    for i in lo..hi.min(col.len()) {
                         if pred.matches(&col.get(i)) {
                             out.push(i);
                         }
@@ -113,7 +129,7 @@ pub fn filter_positions<C: Cols + ?Sized>(
             }
         }
     }
-    Ok(positions.unwrap_or_else(|| (0..n_rows).collect()))
+    Ok(positions.unwrap_or_else(|| (lo..hi).collect()))
 }
 
 /// Compute aggregates over the given positions (or all rows when `None`),
@@ -124,19 +140,39 @@ pub fn aggregate<C: Cols + ?Sized>(
     positions: Option<&[usize]>,
     specs: &[AggSpec],
 ) -> Result<Vec<Value>> {
-    let mut out = Vec::with_capacity(specs.len());
-    for spec in specs {
-        let mut acc = Accumulator::new(spec.func);
+    let mut accs: Vec<Accumulator> = specs.iter().map(|s| Accumulator::new(s.func)).collect();
+    accumulate_into(cols, n_rows, positions, specs, &mut accs)?;
+    let mut out = Vec::with_capacity(accs.len());
+    for a in &accs {
+        out.push(a.finish()?);
+    }
+    Ok(out)
+}
+
+/// Fold rows into existing accumulators instead of fresh ones — the update
+/// step of morsel-driven partial aggregation: each worker accumulates its
+/// morsels here and the partials are merged (in morsel order) at the end.
+/// `accs` must be parallel to `specs` and created from the same functions.
+pub fn accumulate_into<C: Cols + ?Sized>(
+    cols: &C,
+    n_rows: usize,
+    positions: Option<&[usize]>,
+    specs: &[AggSpec],
+    accs: &mut [Accumulator],
+) -> Result<()> {
+    debug_assert_eq!(specs.len(), accs.len());
+    for (spec, acc) in specs.iter().zip(accs.iter_mut()) {
         match (&spec.expr, positions) {
-            (None, Some(pos)) => {
-                // COUNT(*) over a selection vector.
-                for _ in pos {
-                    acc.update(&Value::Null)?;
-                }
-            }
-            (None, None) => {
-                for _ in 0..n_rows {
-                    acc.update(&Value::Null)?;
+            (None, pos) => {
+                // COUNT(*): every row counts — O(1) for the common
+                // CountStar accumulator.
+                let n = pos.map(<[usize]>::len).unwrap_or(n_rows);
+                if let Accumulator::CountStar(c) = acc {
+                    *c += n as u64;
+                } else {
+                    for _ in 0..n {
+                        acc.update(&Value::Null)?;
+                    }
                 }
             }
             (Some(Expr::Col(c)), pos) => {
@@ -185,9 +221,8 @@ pub fn aggregate<C: Cols + ?Sized>(
                 }
             }
         }
-        out.push(acc.finish()?);
     }
-    Ok(out)
+    Ok(())
 }
 
 /// A grouping key usable in hash maps. Numeric values hash/compare widened

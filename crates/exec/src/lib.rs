@@ -22,17 +22,23 @@ pub mod columnar;
 pub mod expr;
 pub mod hybrid;
 pub mod join;
+pub mod morsel;
 pub mod stream;
 pub mod volcano;
 
 pub use agg::{Accumulator, AggFunc};
 pub use cols::Cols;
 pub use columnar::{
-    aggregate, filter_positions, group_aggregate, project_rows, sort_positions, AggSpec, GroupKey,
+    accumulate_into, aggregate, filter_positions, filter_positions_range, group_aggregate,
+    project_rows, sort_positions, AggSpec, GroupKey,
 };
 pub use expr::{arith, ArithOp, Expr};
 pub use hybrid::fused_filter_aggregate;
 pub use join::{hash_join_positions, merge_join_positions, split_pairs};
+pub use morsel::{
+    parallel_filter_aggregate, parallel_filter_positions, parallel_hash_join_positions,
+    OrdinalCols, DEFAULT_MORSEL_ROWS,
+};
 pub use stream::ProjectionCursor;
 pub use volcano::{
     collect, AggregateOp, ColumnsScan, FilterOp, HashJoinOp, LimitOp, ProjectOp, RowOp,

@@ -1,0 +1,440 @@
+//! Morsel-driven parallel operators.
+//!
+//! Morsel-driven parallelism (Leis et al., SIGMOD 2014) splits an input
+//! into fixed-size row ranges ("morsels") that worker threads *steal* from
+//! a shared counter, so load balances automatically and every operator in
+//! the chain runs inside the worker — no tuple queues, no merged
+//! intermediate materialisation. This module provides the post-load half
+//! of that pipeline over materialised columns:
+//!
+//! * [`parallel_filter_aggregate`] — predicate evaluation + partial
+//!   aggregation per morsel, partials merged in morsel order;
+//! * [`parallel_filter_positions`] — parallel selection-vector
+//!   construction whose concatenation is byte-identical to the serial
+//!   [`filter_positions`](crate::columnar::filter_positions) result;
+//! * [`parallel_hash_join_positions`] — partitioned hash-join build and
+//!   probe over morsels of the key columns, reproducing the serial pair
+//!   order exactly.
+//!
+//! The raw-file half (tokenizer morsels) lives in `nodb-rawcsv`'s
+//! `scan_morsels`; `nodb-core` connects the two.
+//!
+//! Determinism: every parallel function here merges per-morsel results in
+//! morsel index order, so output does not depend on worker scheduling or
+//! thread count. Integer aggregates are bit-identical to serial execution;
+//! float sums are deterministic but associate per-morsel.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use nodb_types::{ColumnData, Conjunction, Error, Result, Value};
+
+use crate::agg::Accumulator;
+use crate::cols::Cols;
+use crate::columnar::{accumulate_into, filter_positions_range, AggSpec};
+use crate::expr::Expr;
+use crate::join::hash_join_positions;
+
+/// Default rows per morsel: big enough to amortise dispatch, small enough
+/// to balance skew and stay cache-resident.
+pub const DEFAULT_MORSEL_ROWS: usize = 32_768;
+
+/// Run `f(index, lo, hi)` for every morsel of `n` items, `morsel_rows` per
+/// morsel, on up to `threads` stealing workers. Results come back in morsel
+/// index order regardless of scheduling. The first error wins and stops
+/// remaining workers at their next steal.
+fn run_morsels<T, F>(n: usize, morsel_rows: usize, threads: usize, f: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize, usize, usize) -> Result<T> + Sync,
+{
+    let morsel_rows = morsel_rows.max(1);
+    let n_morsels = n.div_ceil(morsel_rows);
+    let workers = threads.max(1).min(n_morsels.max(1));
+    if workers <= 1 {
+        let mut out = Vec::with_capacity(n_morsels);
+        for index in 0..n_morsels {
+            let lo = index * morsel_rows;
+            let hi = ((index + 1) * morsel_rows).min(n);
+            out.push(f(index, lo, hi)?);
+        }
+        return Ok(out);
+    }
+    let mut slots: Vec<Mutex<Option<T>>> = Vec::with_capacity(n_morsels);
+    slots.resize_with(n_morsels, || Mutex::new(None));
+    let next = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let failure: Mutex<Option<Error>> = Mutex::new(None);
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 0..workers {
+            let (slots, next, failed, failure, f) = (&slots, &next, &failed, &failure, &f);
+            handles.push(s.spawn(move |_| loop {
+                if failed.load(Ordering::Relaxed) {
+                    break;
+                }
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= n_morsels {
+                    break;
+                }
+                let lo = index * morsel_rows;
+                let hi = ((index + 1) * morsel_rows).min(n);
+                match f(index, lo, hi) {
+                    Ok(v) => *slots[index].lock().expect("slot mutex") = Some(v),
+                    Err(e) => {
+                        *failure.lock().expect("failure mutex") = Some(e);
+                        failed.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("morsel worker panicked");
+        }
+    })
+    .expect("morsel scope");
+    if let Some(e) = failure.into_inner().expect("failure mutex") {
+        return Err(e);
+    }
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot mutex")
+                .ok_or_else(|| Error::exec("morsel result missing"))
+        })
+        .collect()
+}
+
+/// Morsel-parallel fused filter + aggregate over materialised columns.
+/// Equivalent to [`fused_filter_aggregate`](crate::hybrid::fused_filter_aggregate)
+/// but each worker filters and partially aggregates its own morsels;
+/// partials merge in morsel order.
+pub fn parallel_filter_aggregate<C: Cols + ?Sized + Sync>(
+    cols: &C,
+    n_rows: usize,
+    conj: &Conjunction,
+    specs: &[AggSpec],
+    threads: usize,
+    morsel_rows: usize,
+) -> Result<Vec<Value>> {
+    let partials = run_morsels(n_rows, morsel_rows, threads, |_index, lo, hi| {
+        let mut accs: Vec<Accumulator> = specs.iter().map(|s| Accumulator::new(s.func)).collect();
+        if conj.is_always_true() {
+            // No selection vector: fold the raw range, slice-at-a-time.
+            accumulate_range(cols, lo, hi, specs, &mut accs)?;
+        } else {
+            let pos = filter_positions_range(cols, lo, hi, conj)?;
+            accumulate_into(cols, hi - lo, Some(&pos), specs, &mut accs)?;
+        }
+        Ok(accs)
+    })?;
+    let mut merged: Vec<Accumulator> = specs.iter().map(|s| Accumulator::new(s.func)).collect();
+    for partial in partials {
+        for (m, p) in merged.iter_mut().zip(partial) {
+            m.merge(p)?;
+        }
+    }
+    merged.iter().map(|a| a.finish()).collect()
+}
+
+/// Fold the contiguous row range `[lo, hi)` into `accs` without building
+/// a selection vector — the unfiltered-aggregate fast path. Null-free int
+/// columns fold directly from their slice; everything else matches the
+/// per-value semantics of [`accumulate_into`].
+fn accumulate_range<C: Cols + ?Sized>(
+    cols: &C,
+    lo: usize,
+    hi: usize,
+    specs: &[AggSpec],
+    accs: &mut [Accumulator],
+) -> Result<()> {
+    for (spec, acc) in specs.iter().zip(accs.iter_mut()) {
+        match &spec.expr {
+            None => {
+                // COUNT(*) over the range: O(1), every row counts.
+                if let Accumulator::CountStar(n) = acc {
+                    *n += (hi.saturating_sub(lo)) as u64;
+                } else {
+                    for _ in lo..hi {
+                        acc.update(&Value::Null)?;
+                    }
+                }
+            }
+            Some(Expr::Col(c)) => {
+                let col = cols
+                    .get_col(*c)
+                    .ok_or_else(|| Error::exec(format!("column {c} not materialised")))?;
+                let nullable = matches!(col, ColumnData::Int64 { nulls: Some(_), .. });
+                if let (Some(xs), false) = (col.as_i64_slice(), nullable) {
+                    acc.update_i64_slice(&xs[lo.min(xs.len())..hi.min(xs.len())])?;
+                } else {
+                    for i in lo..hi.min(col.len()) {
+                        acc.update(&col.get(i))?;
+                    }
+                }
+            }
+            Some(expr) => {
+                for i in lo..hi {
+                    acc.update(&expr.eval(cols, i)?)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Morsel-parallel selection-vector construction. The concatenation of
+/// per-morsel position lists (each ascending, absolute) in morsel order is
+/// exactly the serial [`filter_positions`](crate::columnar::filter_positions)
+/// output.
+pub fn parallel_filter_positions<C: Cols + ?Sized + Sync>(
+    cols: &C,
+    n_rows: usize,
+    conj: &Conjunction,
+    threads: usize,
+    morsel_rows: usize,
+) -> Result<Vec<usize>> {
+    if conj.is_always_true() {
+        return Ok((0..n_rows).collect());
+    }
+    let parts = run_morsels(n_rows, morsel_rows, threads, |_index, lo, hi| {
+        filter_positions_range(cols, lo, hi, conj)
+    })?;
+    let total = parts.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for mut p in parts {
+        out.append(&mut p);
+    }
+    Ok(out)
+}
+
+/// A [`Cols`] view over a morsel's column list: slot `k` of `cols` holds
+/// the data for ordinal `ids[k]`. This is the shape tokenizer morsels
+/// arrive in (columns parallel to the scan's `needed` list), so per-worker
+/// operators can run on them without re-keying into a map per morsel.
+pub struct OrdinalCols<'a> {
+    ids: &'a [usize],
+    cols: &'a [ColumnData],
+}
+
+impl<'a> OrdinalCols<'a> {
+    /// View `cols[k]` as ordinal `ids[k]`. Both slices must be equal
+    /// length; `ids` need not be sorted.
+    pub fn new(ids: &'a [usize], cols: &'a [ColumnData]) -> Self {
+        debug_assert_eq!(ids.len(), cols.len());
+        OrdinalCols { ids, cols }
+    }
+}
+
+impl Cols for OrdinalCols<'_> {
+    fn get_col(&self, id: usize) -> Option<&ColumnData> {
+        self.ids
+            .iter()
+            .position(|&c| c == id)
+            .map(|k| &self.cols[k])
+    }
+
+    fn col_ids(&self) -> Vec<usize> {
+        let mut ids = self.ids.to_vec();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// Fibonacci-multiplicative partition of a key into one of `p` (power of
+/// two) partitions, mixing high bits so sequential keys spread.
+#[inline]
+fn partition_of(key: i64, p: usize) -> usize {
+    let h = (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (h >> (64 - p.trailing_zeros())) as usize & (p - 1)
+}
+
+/// Morsel-parallel partitioned hash join over null-free int key columns:
+/// build-side morsels are hash-partitioned in parallel, each partition's
+/// table is built independently, and probe-side morsels look up their own
+/// partitions — no shared-table contention anywhere. Produces exactly the
+/// pair order of the serial [`hash_join_positions`] (right-scan order,
+/// ascending left position per match). Non-int or nullable keys fall back
+/// to the serial join.
+pub fn parallel_hash_join_positions(
+    left: &ColumnData,
+    right: &ColumnData,
+    threads: usize,
+    morsel_rows: usize,
+) -> Result<Vec<(usize, usize)>> {
+    let (Some(ls), Some(rs)) = (left.as_i64_slice(), right.as_i64_slice()) else {
+        return hash_join_positions(left, right);
+    };
+    let nullable = matches!(left, ColumnData::Int64 { nulls: Some(_), .. })
+        || matches!(right, ColumnData::Int64 { nulls: Some(_), .. });
+    if nullable || threads <= 1 {
+        return hash_join_positions(left, right);
+    }
+    let p = (threads * 4).next_power_of_two().max(2);
+
+    // Build phase 1: partition left morsels (parallel, order-preserving).
+    let partitioned = run_morsels(ls.len(), morsel_rows, threads, |_index, lo, hi| {
+        let mut parts: Vec<Vec<(i64, usize)>> = vec![Vec::new(); p];
+        for (i, &k) in ls[lo..hi].iter().enumerate() {
+            parts[partition_of(k, p)].push((k, lo + i));
+        }
+        Ok(parts)
+    })?;
+    // Build phase 2: one hash table per partition (parallel over
+    // partitions). Appending morsels in index order keeps each bucket's
+    // left positions ascending — the serial insertion order.
+    let mut part_entries: Vec<Vec<(i64, usize)>> = vec![Vec::new(); p];
+    for morsel_parts in partitioned {
+        for (pid, mut entries) in morsel_parts.into_iter().enumerate() {
+            part_entries[pid].append(&mut entries);
+        }
+    }
+    let part_entries = &part_entries;
+    let tables: Vec<HashMap<i64, Vec<usize>>> = run_morsels(p, 1, threads, |_index, lo, _hi| {
+        let entries = &part_entries[lo];
+        let mut t: HashMap<i64, Vec<usize>> = HashMap::with_capacity(entries.len());
+        for &(k, i) in entries {
+            t.entry(k).or_default().push(i);
+        }
+        Ok(t)
+    })?;
+
+    // Probe phase: each right morsel probes its keys' partitions; morsel
+    // concatenation reproduces right-scan order.
+    let tables = &tables;
+    let chunks = run_morsels(rs.len(), morsel_rows, threads, |_index, lo, hi| {
+        let mut out: Vec<(usize, usize)> = Vec::new();
+        for (j, &k) in rs[lo..hi].iter().enumerate() {
+            if let Some(matches) = tables[partition_of(k, p)].get(&k) {
+                for &i in matches {
+                    out.push((i, lo + j));
+                }
+            }
+        }
+        Ok(out)
+    })?;
+    let total = chunks.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for mut c in chunks {
+        out.append(&mut c);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggFunc;
+    use crate::columnar::{aggregate, filter_positions};
+    use crate::hybrid::fused_filter_aggregate;
+    use nodb_types::{CmpOp, ColPred};
+    use std::collections::BTreeMap;
+
+    fn table(n: usize) -> (BTreeMap<usize, ColumnData>, usize) {
+        let mut cols = BTreeMap::new();
+        cols.insert(
+            0,
+            ColumnData::from_i64((0..n as i64).map(|i| (i * 37) % 1009).collect()),
+        );
+        cols.insert(
+            1,
+            ColumnData::from_i64((0..n as i64).map(|i| i * 2).collect()),
+        );
+        cols.insert(
+            2,
+            ColumnData::from_f64((0..n).map(|i| i as f64 / 3.0).collect()),
+        );
+        (cols, n)
+    }
+
+    #[test]
+    fn parallel_aggregate_matches_fused_serial() {
+        let (cols, n) = table(10_000);
+        let conj = Conjunction::new(vec![
+            ColPred::new(0, CmpOp::Gt, 100i64),
+            ColPred::new(0, CmpOp::Lt, 900i64),
+        ]);
+        let specs = vec![
+            AggSpec::on_col(AggFunc::Sum, 1),
+            AggSpec::on_col(AggFunc::Min, 0),
+            AggSpec::on_col(AggFunc::Max, 1),
+            AggSpec::count_star(),
+        ];
+        let serial = fused_filter_aggregate(&cols, n, &conj, &specs).unwrap();
+        for threads in [1, 2, 7] {
+            for morsel_rows in [64, 1000, 100_000] {
+                let par = parallel_filter_aggregate(&cols, n, &conj, &specs, threads, morsel_rows)
+                    .unwrap();
+                assert_eq!(par, serial, "threads={threads} morsel_rows={morsel_rows}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_aggregate_no_filter_and_empty_input() {
+        let (cols, n) = table(1000);
+        let specs = vec![AggSpec::on_col(AggFunc::Avg, 1), AggSpec::count_star()];
+        let serial = aggregate(&cols, n, None, &specs).unwrap();
+        let par =
+            parallel_filter_aggregate(&cols, n, &Conjunction::always(), &specs, 3, 128).unwrap();
+        assert_eq!(par, serial);
+        // Zero rows: NULL avg, zero count — same as serial.
+        let (empty, _) = table(0);
+        let par =
+            parallel_filter_aggregate(&empty, 0, &Conjunction::always(), &specs, 3, 128).unwrap();
+        assert_eq!(par, aggregate(&empty, 0, None, &specs).unwrap());
+    }
+
+    #[test]
+    fn parallel_positions_identical_to_serial() {
+        let (cols, n) = table(5000);
+        let conj = Conjunction::new(vec![
+            ColPred::new(0, CmpOp::Ge, 200i64),
+            ColPred::new(2, CmpOp::Lt, 1500.0f64),
+        ]);
+        let serial = filter_positions(&cols, n, &conj).unwrap();
+        for threads in [1, 2, 5] {
+            let par = parallel_filter_positions(&cols, n, &conj, threads, 333).unwrap();
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_join_identical_to_serial() {
+        let n = 4000;
+        let left = ColumnData::from_i64((0..n as i64).map(|i| (i * 13) % 257).collect());
+        let right = ColumnData::from_i64((0..n as i64).map(|i| (i * 7) % 300).collect());
+        let serial = hash_join_positions(&left, &right).unwrap();
+        for threads in [2, 4] {
+            let par = parallel_hash_join_positions(&left, &right, threads, 500).unwrap();
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_join_falls_back_on_nullable_keys() {
+        let mut left = ColumnData::empty(nodb_types::DataType::Int64);
+        for v in [Value::Int(1), Value::Null, Value::Int(2)] {
+            left.push(v).unwrap();
+        }
+        let right = ColumnData::from_i64(vec![2, 1, 1]);
+        let serial = hash_join_positions(&left, &right).unwrap();
+        let par = parallel_hash_join_positions(&left, &right, 4, 2).unwrap();
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn run_morsels_propagates_errors() {
+        let r: Result<Vec<()>> = run_morsels(100, 10, 4, |index, _lo, _hi| {
+            if index == 7 {
+                Err(Error::exec("boom"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(r.is_err());
+    }
+}

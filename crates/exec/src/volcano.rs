@@ -5,6 +5,10 @@
 //! numerous function calls are required." This engine exists so the adaptive
 //! kernel can pick a strategy per query — and so the kernel ablation bench
 //! can measure the trade-off the paper describes.
+//!
+//! Tuples move through a *caller-provided* row buffer ([`RowOp::next_into`])
+//! that each operator refills in place, so a pipeline allocates O(depth)
+//! buffers total instead of one fresh `Vec<Value>` per tuple per operator.
 
 use std::collections::HashMap;
 
@@ -17,8 +21,17 @@ use crate::expr::Expr;
 
 /// A pull-based row operator.
 pub trait RowOp {
-    /// Produce the next tuple, or `None` when exhausted.
-    fn next(&mut self) -> Result<Option<Vec<Value>>>;
+    /// Fill `row` with the next tuple, returning `false` when exhausted.
+    /// The buffer is reused across calls; operators must overwrite it
+    /// completely (its previous contents are unspecified).
+    fn next_into(&mut self, row: &mut Vec<Value>) -> Result<bool>;
+
+    /// Produce the next tuple as an owned vector (allocating), or `None`
+    /// when exhausted. Convenience for tests and materialising sinks.
+    fn next(&mut self) -> Result<Option<Vec<Value>>> {
+        let mut row = Vec::new();
+        Ok(self.next_into(&mut row)?.then_some(row))
+    }
 }
 
 /// Scan materialised columns as full-width rows. Columns absent from the
@@ -45,19 +58,20 @@ impl<'a, C: Cols + ?Sized> ColumnsScan<'a, C> {
 }
 
 impl<C: Cols + ?Sized> RowOp for ColumnsScan<'_, C> {
-    fn next(&mut self) -> Result<Option<Vec<Value>>> {
+    fn next_into(&mut self, row: &mut Vec<Value>) -> Result<bool> {
         if self.i >= self.n_rows {
-            return Ok(None);
+            return Ok(false);
         }
         let i = self.i;
         self.i += 1;
-        let mut row = vec![Value::Null; self.width];
+        row.clear();
+        row.resize(self.width, Value::Null);
         for &c in &self.ids {
             if c < self.width {
                 row[c] = self.cols.get_col(c).expect("listed").get(i);
             }
         }
-        Ok(Some(row))
+        Ok(true)
     }
 }
 
@@ -75,13 +89,13 @@ impl<I: RowOp> FilterOp<I> {
 }
 
 impl<I: RowOp> RowOp for FilterOp<I> {
-    fn next(&mut self) -> Result<Option<Vec<Value>>> {
-        while let Some(row) = self.input.next()? {
-            if self.conj.matches_row(&row) {
-                return Ok(Some(row));
+    fn next_into(&mut self, row: &mut Vec<Value>) -> Result<bool> {
+        while self.input.next_into(row)? {
+            if self.conj.matches_row(row) {
+                return Ok(true);
             }
         }
-        Ok(None)
+        Ok(false)
     }
 }
 
@@ -89,27 +103,31 @@ impl<I: RowOp> RowOp for FilterOp<I> {
 pub struct ProjectOp<I: RowOp> {
     input: I,
     exprs: Vec<Expr>,
+    scratch: Vec<Value>,
 }
 
 impl<I: RowOp> ProjectOp<I> {
     /// Project each tuple through `exprs`.
     pub fn new(input: I, exprs: Vec<Expr>) -> Self {
-        ProjectOp { input, exprs }
+        ProjectOp {
+            input,
+            exprs,
+            scratch: Vec::new(),
+        }
     }
 }
 
 impl<I: RowOp> RowOp for ProjectOp<I> {
-    fn next(&mut self) -> Result<Option<Vec<Value>>> {
-        match self.input.next()? {
-            None => Ok(None),
-            Some(row) => {
-                let mut out = Vec::with_capacity(self.exprs.len());
-                for e in &self.exprs {
-                    out.push(e.eval_row(&row)?);
-                }
-                Ok(Some(out))
-            }
+    fn next_into(&mut self, row: &mut Vec<Value>) -> Result<bool> {
+        if !self.input.next_into(&mut self.scratch)? {
+            return Ok(false);
         }
+        row.clear();
+        row.reserve(self.exprs.len());
+        for e in &self.exprs {
+            row.push(e.eval_row(&self.scratch)?);
+        }
+        Ok(true)
     }
 }
 
@@ -130,16 +148,15 @@ impl<I: RowOp> LimitOp<I> {
 }
 
 impl<I: RowOp> RowOp for LimitOp<I> {
-    fn next(&mut self) -> Result<Option<Vec<Value>>> {
+    fn next_into(&mut self, row: &mut Vec<Value>) -> Result<bool> {
         if self.remaining == 0 {
-            return Ok(None);
+            return Ok(false);
         }
-        match self.input.next()? {
-            None => Ok(None),
-            Some(row) => {
-                self.remaining -= 1;
-                Ok(Some(row))
-            }
+        if self.input.next_into(row)? {
+            self.remaining -= 1;
+            Ok(true)
+        } else {
+            Ok(false)
         }
     }
 }
@@ -149,6 +166,7 @@ pub struct AggregateOp<I: RowOp> {
     input: I,
     specs: Vec<AggSpec>,
     done: bool,
+    scratch: Vec<Value>,
 }
 
 impl<I: RowOp> AggregateOp<I> {
@@ -158,14 +176,15 @@ impl<I: RowOp> AggregateOp<I> {
             input,
             specs,
             done: false,
+            scratch: Vec::new(),
         }
     }
 }
 
 impl<I: RowOp> RowOp for AggregateOp<I> {
-    fn next(&mut self) -> Result<Option<Vec<Value>>> {
+    fn next_into(&mut self, row: &mut Vec<Value>) -> Result<bool> {
         if self.done {
-            return Ok(None);
+            return Ok(false);
         }
         self.done = true;
         let mut accs: Vec<Accumulator> = self
@@ -173,25 +192,26 @@ impl<I: RowOp> RowOp for AggregateOp<I> {
             .iter()
             .map(|s| Accumulator::new(s.func))
             .collect();
-        while let Some(row) = self.input.next()? {
+        while self.input.next_into(&mut self.scratch)? {
             for (acc, spec) in accs.iter_mut().zip(&self.specs) {
                 match &spec.expr {
                     None => acc.update(&Value::Null)?,
-                    Some(e) => acc.update(&e.eval_row(&row)?)?,
+                    Some(e) => acc.update(&e.eval_row(&self.scratch)?)?,
                 }
             }
         }
-        let mut out = Vec::with_capacity(accs.len());
+        row.clear();
+        row.reserve(accs.len());
         for a in &accs {
-            out.push(a.finish()?);
+            row.push(a.finish()?);
         }
-        Ok(Some(out))
+        Ok(true)
     }
 }
 
 /// Hash join (inner, equi). Builds a table from the left input on first
-/// `next`, then streams the right input, emitting `left ++ right` tuples.
-/// NULL keys never match.
+/// `next_into`, then streams the right input, emitting `left ++ right`
+/// tuples. NULL keys never match.
 pub struct HashJoinOp<L: RowOp, R: RowOp> {
     left: L,
     right: R,
@@ -199,6 +219,7 @@ pub struct HashJoinOp<L: RowOp, R: RowOp> {
     right_key: usize,
     table: Option<HashMap<GroupKey, Vec<Vec<Value>>>>,
     pending: Vec<Vec<Value>>,
+    scratch: Vec<Value>,
 }
 
 impl<L: RowOp, R: RowOp> HashJoinOp<L, R> {
@@ -211,46 +232,49 @@ impl<L: RowOp, R: RowOp> HashJoinOp<L, R> {
             right_key,
             table: None,
             pending: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 }
 
 impl<L: RowOp, R: RowOp> RowOp for HashJoinOp<L, R> {
-    fn next(&mut self) -> Result<Option<Vec<Value>>> {
+    fn next_into(&mut self, row: &mut Vec<Value>) -> Result<bool> {
         if self.table.is_none() {
             let mut t: HashMap<GroupKey, Vec<Vec<Value>>> = HashMap::new();
-            while let Some(row) = self.left.next()? {
-                let k = &row[self.left_key];
+            while self.left.next_into(&mut self.scratch)? {
+                let k = &self.scratch[self.left_key];
                 if k.is_null() {
                     continue;
                 }
-                t.entry(GroupKey(vec![k.clone()])).or_default().push(row);
+                // Build rows must outlive the scratch buffer: clone once.
+                t.entry(GroupKey(vec![k.clone()]))
+                    .or_default()
+                    .push(self.scratch.clone());
             }
             self.table = Some(t);
         }
         loop {
-            if let Some(row) = self.pending.pop() {
-                return Ok(Some(row));
+            if let Some(joined) = self.pending.pop() {
+                *row = joined;
+                return Ok(true);
             }
-            match self.right.next()? {
-                None => return Ok(None),
-                Some(rrow) => {
-                    let k = &rrow[self.right_key];
-                    if k.is_null() {
-                        continue;
-                    }
-                    if let Some(matches) = self
-                        .table
-                        .as_ref()
-                        .expect("built")
-                        .get(&GroupKey(vec![k.clone()]))
-                    {
-                        for lrow in matches {
-                            let mut joined = lrow.clone();
-                            joined.extend(rrow.iter().cloned());
-                            self.pending.push(joined);
-                        }
-                    }
+            if !self.right.next_into(&mut self.scratch)? {
+                return Ok(false);
+            }
+            let k = &self.scratch[self.right_key];
+            if k.is_null() {
+                continue;
+            }
+            if let Some(matches) = self
+                .table
+                .as_ref()
+                .expect("built")
+                .get(&GroupKey(vec![k.clone()]))
+            {
+                for lrow in matches {
+                    let mut joined = lrow.clone();
+                    joined.extend(self.scratch.iter().cloned());
+                    self.pending.push(joined);
                 }
             }
         }
@@ -260,8 +284,9 @@ impl<L: RowOp, R: RowOp> RowOp for HashJoinOp<L, R> {
 /// Drain an operator into a vector of rows.
 pub fn collect(op: &mut dyn RowOp) -> Result<Vec<Vec<Value>>> {
     let mut out = Vec::new();
-    while let Some(row) = op.next()? {
-        out.push(row);
+    let mut row = Vec::new();
+    while op.next_into(&mut row)? {
+        out.push(std::mem::take(&mut row));
     }
     Ok(out)
 }
@@ -288,6 +313,21 @@ mod tests {
         assert_eq!(first, vec![Value::Int(5), Value::Int(10), Value::Null]);
         let rest = collect(&mut scan).unwrap();
         assert_eq!(rest.len(), 4);
+    }
+
+    #[test]
+    fn next_into_reuses_one_buffer() {
+        let c = cols();
+        let mut scan = ColumnsScan::new(&c, 2, 5);
+        let mut row = Vec::new();
+        let mut seen = 0;
+        while scan.next_into(&mut row).unwrap() {
+            assert_eq!(row.len(), 2);
+            seen += 1;
+        }
+        assert_eq!(seen, 5);
+        // Exhausted: buffer contents untouched, returns false.
+        assert!(!scan.next_into(&mut row).unwrap());
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! Byte-level scanning and parsing primitives for the tokenizer hot paths.
+//!
+//! Phase 1 spends its life looking for newlines and phase 2 for delimiters;
+//! both were byte-at-a-time loops. The searchers here process 8 bytes per
+//! step with SWAR (SIMD within a register) masks — the same trick memchr
+//! uses — without any external dependency. The numeric parsers go straight
+//! from `&[u8]` to `i64`/`f64`, skipping UTF-8 validation and `String`
+//! allocation entirely; exotic inputs (unicode whitespace, non-ASCII digits)
+//! fall back to the caller's slow path so semantics never change.
+
+const LO: u64 = 0x0101_0101_0101_0101;
+const HI: u64 = 0x8080_8080_8080_8080;
+
+/// Per-byte mask whose high bit is set for every zero byte of `x`.
+#[inline(always)]
+fn zero_bytes(x: u64) -> u64 {
+    x.wrapping_sub(LO) & !x & HI
+}
+
+#[inline(always)]
+fn splat(b: u8) -> u64 {
+    u64::from(b) * LO
+}
+
+/// Index of the first occurrence of `a` in `hay` (memchr-style SWAR).
+#[inline]
+pub fn find_byte(hay: &[u8], a: u8) -> Option<usize> {
+    let sa = splat(a);
+    let mut i = 0;
+    while i + 8 <= hay.len() {
+        let w = u64::from_le_bytes(hay[i..i + 8].try_into().expect("8 bytes"));
+        let m = zero_bytes(w ^ sa);
+        if m != 0 {
+            return Some(i + (m.trailing_zeros() / 8) as usize);
+        }
+        i += 8;
+    }
+    hay[i..].iter().position(|&b| b == a).map(|p| i + p)
+}
+
+/// Index of the first occurrence of `a` or `b` in `hay`.
+#[inline]
+pub fn find_byte2(hay: &[u8], a: u8, b: u8) -> Option<usize> {
+    let (sa, sb) = (splat(a), splat(b));
+    let mut i = 0;
+    while i + 8 <= hay.len() {
+        let w = u64::from_le_bytes(hay[i..i + 8].try_into().expect("8 bytes"));
+        let m = zero_bytes(w ^ sa) | zero_bytes(w ^ sb);
+        if m != 0 {
+            return Some(i + (m.trailing_zeros() / 8) as usize);
+        }
+        i += 8;
+    }
+    hay[i..]
+        .iter()
+        .position(|&x| x == a || x == b)
+        .map(|p| i + p)
+}
+
+/// Index of the first occurrence of `a`, `b` or `c` in `hay`.
+#[inline]
+pub fn find_byte3(hay: &[u8], a: u8, b: u8, c: u8) -> Option<usize> {
+    let (sa, sb, sc) = (splat(a), splat(b), splat(c));
+    let mut i = 0;
+    while i + 8 <= hay.len() {
+        let w = u64::from_le_bytes(hay[i..i + 8].try_into().expect("8 bytes"));
+        let m = zero_bytes(w ^ sa) | zero_bytes(w ^ sb) | zero_bytes(w ^ sc);
+        if m != 0 {
+            return Some(i + (m.trailing_zeros() / 8) as usize);
+        }
+        i += 8;
+    }
+    hay[i..]
+        .iter()
+        .position(|&x| x == a || x == b || x == c)
+        .map(|p| i + p)
+}
+
+/// Parse an ASCII decimal integer (optional `+`/`-` sign) from raw bytes.
+/// `None` on empty input, stray characters or overflow — callers decide
+/// whether that is NULL, an error, or cause for a slow-path retry.
+#[inline]
+pub fn parse_i64_bytes(raw: &[u8]) -> Option<i64> {
+    let (neg, digits) = match raw.split_first()? {
+        (b'-', rest) => (true, rest),
+        (b'+', rest) => (false, rest),
+        _ => (false, raw),
+    };
+    if digits.is_empty() {
+        return None;
+    }
+    // Accumulate negatively: |i64::MIN| > i64::MAX, so the negative side
+    // covers the full domain (positive accumulation would reject MIN).
+    let mut acc: i64 = 0;
+    for &d in digits {
+        if !d.is_ascii_digit() {
+            return None;
+        }
+        acc = acc.checked_mul(10)?.checked_sub((d - b'0') as i64)?;
+    }
+    if neg {
+        Some(acc)
+    } else {
+        acc.checked_neg()
+    }
+}
+
+/// Parse a float from raw bytes without allocating. The bytes must be pure
+/// ASCII (guaranteeing valid UTF-8, so the std parser can run on them
+/// directly); returns `None` otherwise so the caller can fall back.
+#[inline]
+pub fn parse_f64_bytes(raw: &[u8]) -> Option<f64> {
+    if !raw.is_ascii() {
+        return None;
+    }
+    // SAFETY-free: ASCII is valid UTF-8, so from_utf8 cannot fail; unwrap
+    // via ok() keeps this panic-free on the impossible branch.
+    let s = std::str::from_utf8(raw).ok()?;
+    s.parse::<f64>().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_byte_agrees_with_position() {
+        let data: Vec<u8> = (0..64u8).map(|i| i.wrapping_mul(37)).collect();
+        for target in [0u8, 1, 37, 74, 255] {
+            assert_eq!(
+                find_byte(&data, target),
+                data.iter().position(|&b| b == target),
+                "target {target}"
+            );
+        }
+        // All offsets within and beyond the 8-byte word boundary.
+        for n in 0..20 {
+            let mut v = vec![b'x'; n];
+            v.push(b'\n');
+            assert_eq!(find_byte(&v, b'\n'), Some(n));
+            assert_eq!(find_byte(&v[..n], b'\n'), None);
+        }
+    }
+
+    #[test]
+    fn find_byte2_and_3_pick_earliest() {
+        let hay = b"aaaaaaaaaaaaYbZ";
+        assert_eq!(find_byte2(hay, b'Z', b'Y'), Some(12));
+        assert_eq!(find_byte3(hay, b'Z', b'b', b'Y'), Some(12));
+        assert_eq!(find_byte3(b"", b'a', b'b', b'c'), None);
+        assert_eq!(find_byte3(b"q", b'a', b'b', b'q'), Some(0));
+    }
+
+    #[test]
+    fn parse_i64_bytes_edges() {
+        assert_eq!(parse_i64_bytes(b"0"), Some(0));
+        assert_eq!(parse_i64_bytes(b"-42"), Some(-42));
+        assert_eq!(parse_i64_bytes(b"+7"), Some(7));
+        assert_eq!(parse_i64_bytes(b""), None);
+        assert_eq!(parse_i64_bytes(b"-"), None);
+        assert_eq!(parse_i64_bytes(b"12x"), None);
+        assert_eq!(parse_i64_bytes(b"9223372036854775807"), Some(i64::MAX));
+        assert_eq!(parse_i64_bytes(b"9223372036854775808"), None);
+        assert_eq!(parse_i64_bytes(b"-9223372036854775808"), Some(i64::MIN));
+        assert_eq!(parse_i64_bytes(b"-9223372036854775809"), None);
+    }
+
+    #[test]
+    fn parse_f64_bytes_matches_std() {
+        for s in ["1.5", "-2.25", "1e10", "-0.0", "inf", "NaN", "3"] {
+            assert_eq!(
+                parse_f64_bytes(s.as_bytes()).is_some(),
+                s.parse::<f64>().is_ok(),
+                "{s}"
+            );
+            if let Some(v) = parse_f64_bytes(s.as_bytes()) {
+                let std = s.parse::<f64>().unwrap();
+                assert!(v == std || (v.is_nan() && std.is_nan()));
+            }
+        }
+        assert_eq!(parse_f64_bytes("１.5".as_bytes()), None); // non-ASCII digit
+        assert_eq!(parse_f64_bytes(b"x"), None);
+    }
+}

@@ -13,6 +13,7 @@
 //! * [`gen`] — workload generators reproducing the paper's unique-integer
 //!   tables without materialising permutations in memory.
 
+pub mod bytes;
 pub mod gen;
 pub mod posmap;
 pub mod schema;
@@ -22,4 +23,6 @@ pub mod tokenizer;
 pub use posmap::PositionalMap;
 pub use schema::{infer_file, infer_from_bytes, InferredSchema};
 pub use split::{Segment, SegmentCatalog};
-pub use tokenizer::{read_file, scan_bytes, scan_file, CsvOptions, ScanOutput, ScanSpec};
+pub use tokenizer::{
+    read_file, scan_bytes, scan_file, scan_morsels, CsvOptions, Morsel, ScanOutput, ScanSpec,
+};

@@ -26,6 +26,7 @@ use std::path::Path;
 
 use nodb_types::{ColumnData, Conjunction, DataType, Error, Result, Schema, Value, WorkCounters};
 
+use crate::bytes::{find_byte, find_byte2, find_byte3, parse_f64_bytes, parse_i64_bytes};
 use crate::posmap::{PositionalMap, UNKNOWN};
 
 /// CSV dialect and scan-execution options.
@@ -37,7 +38,9 @@ pub struct CsvOptions {
     /// fast unquoted path (the paper's numeric workloads).
     pub quote: Option<u8>,
     /// Worker threads for tokenization (1 = serial). Quoted phase 1 is
-    /// always serial; phase 2 parallelises in both modes.
+    /// always serial; phase 2 parallelises in both modes. When these
+    /// options live inside an `EngineConfig`, `Engine::new` overwrites
+    /// this field with the engine-wide `threads` knob — set that instead.
     pub threads: usize,
     /// When true, rows with fewer fields than referenced columns yield
     /// NULLs; when false they are a parse error.
@@ -54,7 +57,7 @@ impl Default for CsvOptions {
             delimiter: b',',
             quote: None,
             threads: std::thread::available_parallelism()
-                .map(|n| n.get().min(8))
+                .map(|n| n.get())
                 .unwrap_or(1),
             lenient: false,
             skip_blank_rows: true,
@@ -123,52 +126,13 @@ pub fn scan_bytes(
     mut posmap: Option<&mut PositionalMap>,
     counters: &WorkCounters,
 ) -> Result<ScanOutput> {
-    // Validate referenced columns against the schema.
-    let ncols = spec.schema.len();
-    for &c in &spec.needed {
-        if c >= ncols {
-            return Err(Error::schema(format!(
-                "scan references column ordinal {c} but schema has {ncols} columns"
-            )));
-        }
-    }
-    if let Some(p) = spec.pushdown {
-        for c in p.columns() {
-            if c >= ncols {
-                return Err(Error::schema(format!(
-                    "pushdown references column ordinal {c} but schema has {ncols} columns"
-                )));
-            }
-        }
-    }
+    validate_spec(spec)?;
 
     // Phase 1: row boundaries (reused from the positional map when valid).
-    let row_starts = match posmap.as_ref().and_then(|m| {
-        (m.file_len() == bytes.len() as u64)
-            .then(|| m.row_starts())
-            .flatten()
-    }) {
-        Some(cached) => cached,
-        None => {
-            let starts = find_row_starts(bytes, opts, counters);
-            if let Some(m) = posmap.as_deref_mut() {
-                m.set_row_starts(starts.clone(), bytes.len() as u64);
-                m.row_starts().expect("just set")
-            } else {
-                std::sync::Arc::new(starts)
-            }
-        }
-    };
+    let row_starts = phase1_row_starts(bytes, opts, &mut posmap, counters);
     let nrows = row_starts.len();
 
-    // Touch plan: every column the scan must locate.
-    let mut touch: Vec<usize> = spec.needed.clone();
-    if let Some(p) = spec.pushdown {
-        touch.extend(p.columns());
-    }
-    touch.sort_unstable();
-    touch.dedup();
-
+    let touch = touch_plan(spec);
     if touch.is_empty() {
         // Pure row-count scan: every row qualifies, nothing to parse.
         return Ok(ScanOutput {
@@ -178,25 +142,8 @@ pub fn scan_bytes(
         });
     }
     let max_touch = *touch.last().expect("nonempty");
-
-    // Pre-group pushdown predicates by column, in file order.
-    let preds_by_col: BTreeMap<usize, Vec<&nodb_types::ColPred>> = match spec.pushdown {
-        Some(p) if !p.preds.is_empty() => {
-            let mut m: BTreeMap<usize, Vec<&nodb_types::ColPred>> = BTreeMap::new();
-            for pred in &p.preds {
-                m.entry(pred.col).or_default().push(pred);
-            }
-            m
-        }
-        _ => BTreeMap::new(),
-    };
-
-    // Which columns should have offsets recorded into the posmap: every
-    // column we may walk past that is not already fully covered.
-    let record_cols: Vec<usize> = match posmap.as_deref() {
-        Some(m) => (0..=max_touch).filter(|&c| m.coverage(c) < 1.0).collect(),
-        None => Vec::new(),
-    };
+    let preds_by_col = group_pushdown(spec);
+    let record_cols = record_columns(posmap.as_deref(), max_touch);
 
     let ctx = ScanCtx {
         bytes,
@@ -280,6 +227,88 @@ pub fn scan_bytes(
         rowids,
         rows_scanned: nrows as u64,
     })
+}
+
+/// Validate every referenced column ordinal against the schema.
+fn validate_spec(spec: &ScanSpec<'_>) -> Result<()> {
+    let ncols = spec.schema.len();
+    for &c in &spec.needed {
+        if c >= ncols {
+            return Err(Error::schema(format!(
+                "scan references column ordinal {c} but schema has {ncols} columns"
+            )));
+        }
+    }
+    if let Some(p) = spec.pushdown {
+        for c in p.columns() {
+            if c >= ncols {
+                return Err(Error::schema(format!(
+                    "pushdown references column ordinal {c} but schema has {ncols} columns"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Phase-1 row boundaries, served from the positional map when still valid
+/// for these bytes and recorded back into it otherwise.
+fn phase1_row_starts(
+    bytes: &[u8],
+    opts: &CsvOptions,
+    posmap: &mut Option<&mut PositionalMap>,
+    counters: &WorkCounters,
+) -> std::sync::Arc<Vec<u64>> {
+    match posmap.as_ref().and_then(|m| {
+        (m.file_len() == bytes.len() as u64)
+            .then(|| m.row_starts())
+            .flatten()
+    }) {
+        Some(cached) => cached,
+        None => {
+            let starts = find_row_starts(bytes, opts, counters);
+            if let Some(m) = posmap.as_deref_mut() {
+                m.set_row_starts(starts.clone(), bytes.len() as u64);
+                m.row_starts().expect("just set")
+            } else {
+                std::sync::Arc::new(starts)
+            }
+        }
+    }
+}
+
+/// Touch plan: every column the scan must locate, ascending, deduplicated.
+fn touch_plan(spec: &ScanSpec<'_>) -> Vec<usize> {
+    let mut touch: Vec<usize> = spec.needed.clone();
+    if let Some(p) = spec.pushdown {
+        touch.extend(p.columns());
+    }
+    touch.sort_unstable();
+    touch.dedup();
+    touch
+}
+
+/// Pre-group pushdown predicates by column, in file order.
+fn group_pushdown<'a>(spec: &ScanSpec<'a>) -> BTreeMap<usize, Vec<&'a nodb_types::ColPred>> {
+    match spec.pushdown {
+        Some(p) if !p.preds.is_empty() => {
+            let mut m: BTreeMap<usize, Vec<&nodb_types::ColPred>> = BTreeMap::new();
+            for pred in &p.preds {
+                m.entry(pred.col).or_default().push(pred);
+            }
+            m
+        }
+        _ => BTreeMap::new(),
+    }
+}
+
+/// Which columns should have offsets recorded into the posmap: every
+/// column the scan may walk past that is not already fully covered.
+fn record_columns(posmap: Option<&PositionalMap>, max_touch: usize) -> Vec<usize> {
+    match posmap {
+        Some(m) => (0..=max_touch).filter(|&c| m.coverage(c) < 1.0).collect(),
+        None => Vec::new(),
+    }
 }
 
 /// Shared read-only context for phase-2 workers.
@@ -434,18 +463,71 @@ fn scan_row_range(ctx: &ScanCtx<'_>, lo: usize, hi: usize) -> Result<ChunkOut> {
                 let needs_value = needed_slot[col] != usize::MAX;
                 let preds = ctx.preds_by_col.get(&col);
                 if needs_value || preds.is_some() {
-                    let v = parse_field(raw, ty, ctx.opts.quote)
-                        .map_err(|e| Error::parse(format!("row {row}, column {col}: {e}")))?;
                     out.counters.values_parsed += 1;
-                    if let Some(preds) = preds {
-                        if !preds.iter().all(|p| p.matches(&v)) {
-                            out.counters.rows_abandoned += 1;
-                            qualified = false;
-                            break;
+                    // Typed fast paths: numeric fields go straight from
+                    // bytes to i64/f64 and predicates are checked on the
+                    // scalar — no UTF-8 validation, no `String`, and no
+                    // `Value` boxing for pushdown-only columns.
+                    let q = ctx.opts.quote;
+                    let row_col_err =
+                        |e: Error| Error::parse(format!("row {row}, column {col}: {e}"));
+                    match ty {
+                        DataType::Int64 => match parse_i64_field(raw, q).map_err(row_col_err)? {
+                            Some(x) => {
+                                if let Some(preds) = preds {
+                                    if !preds.iter().all(|p| p.matches_i64(x)) {
+                                        out.counters.rows_abandoned += 1;
+                                        qualified = false;
+                                        break;
+                                    }
+                                }
+                                if needs_value {
+                                    stash[needed_slot[col]] = Value::Int(x);
+                                }
+                            }
+                            None => {
+                                // NULL never satisfies a predicate.
+                                if preds.is_some() {
+                                    out.counters.rows_abandoned += 1;
+                                    qualified = false;
+                                    break;
+                                }
+                            }
+                        },
+                        DataType::Float64 => match parse_f64_field(raw, q).map_err(row_col_err)? {
+                            Some(x) => {
+                                if let Some(preds) = preds {
+                                    if !preds.iter().all(|p| p.matches_f64(x)) {
+                                        out.counters.rows_abandoned += 1;
+                                        qualified = false;
+                                        break;
+                                    }
+                                }
+                                if needs_value {
+                                    stash[needed_slot[col]] = Value::Float(x);
+                                }
+                            }
+                            None => {
+                                if preds.is_some() {
+                                    out.counters.rows_abandoned += 1;
+                                    qualified = false;
+                                    break;
+                                }
+                            }
+                        },
+                        DataType::Str => {
+                            let v = parse_field(raw, ty, q).map_err(row_col_err)?;
+                            if let Some(preds) = preds {
+                                if !preds.iter().all(|p| p.matches(&v)) {
+                                    out.counters.rows_abandoned += 1;
+                                    qualified = false;
+                                    break;
+                                }
+                            }
+                            if needs_value {
+                                stash[needed_slot[col]] = v;
+                            }
                         }
-                    }
-                    if needs_value {
-                        stash[needed_slot[col]] = v;
                     }
                 }
             }
@@ -489,6 +571,175 @@ fn scan_row_range(ctx: &ScanCtx<'_>, lo: usize, hi: usize) -> Result<ChunkOut> {
     Ok(out)
 }
 
+/// One unit of work in the morsel-driven pipeline: the phase-2 output of a
+/// contiguous run of rows, handed to a per-worker operator chain *instead*
+/// of being merged into one giant [`ScanOutput`] first.
+#[derive(Debug)]
+pub struct Morsel {
+    /// Morsel ordinal (0-based, ascending by row range) — gives consumers a
+    /// deterministic merge order regardless of worker scheduling.
+    pub index: usize,
+    /// First row id covered by this morsel.
+    pub first_row: usize,
+    /// Rows scanned (before pushdown filtering).
+    pub n_rows: usize,
+    /// Qualifying row ids, ascending.
+    pub rowids: Vec<u64>,
+    /// Parsed columns, parallel to the spec's `needed` list, rows aligned
+    /// with `rowids`.
+    pub columns: Vec<ColumnData>,
+}
+
+/// Morsel-driven parallel scan: tokenize `bytes` in row morsels of
+/// `morsel_rows` and feed each finished morsel straight into `consume`
+/// (called concurrently from worker threads as `consume(worker, morsel)`),
+/// so downstream operators — predicate evaluation, partial aggregation,
+/// join builds — overlap with tokenization instead of waiting for a merged
+/// [`ScanOutput`]. Workers *steal* morsels from a shared counter, so skew
+/// (selective pushdown regions, short rows) balances automatically.
+///
+/// Structural knowledge still flows into `posmap` exactly as in
+/// [`scan_bytes`]: recordings are collected per morsel and written back
+/// once the workers have joined (the map is not shared mutably across
+/// threads). Returns the total rows scanned.
+pub fn scan_morsels<F>(
+    bytes: &[u8],
+    opts: &CsvOptions,
+    spec: &ScanSpec<'_>,
+    mut posmap: Option<&mut PositionalMap>,
+    counters: &WorkCounters,
+    morsel_rows: usize,
+    consume: &F,
+) -> Result<u64>
+where
+    F: Fn(usize, Morsel) -> Result<()> + Sync,
+{
+    validate_spec(spec)?;
+    let row_starts = phase1_row_starts(bytes, opts, &mut posmap, counters);
+    let nrows = row_starts.len();
+    let morsel_rows = morsel_rows.max(1);
+    let n_morsels = nrows.div_ceil(morsel_rows);
+
+    let touch = touch_plan(spec);
+    if touch.is_empty() {
+        // Pure row-count morsels: every row qualifies, nothing to parse.
+        for index in 0..n_morsels {
+            let lo = index * morsel_rows;
+            let hi = ((index + 1) * morsel_rows).min(nrows);
+            counters.add_morsels_dispatched(1);
+            consume(
+                0,
+                Morsel {
+                    index,
+                    first_row: lo,
+                    n_rows: hi - lo,
+                    rowids: (lo as u64..hi as u64).collect(),
+                    columns: Vec::new(),
+                },
+            )?;
+        }
+        return Ok(nrows as u64);
+    }
+    let max_touch = *touch.last().expect("nonempty");
+    let preds_by_col = group_pushdown(spec);
+    let record_cols = record_columns(posmap.as_deref(), max_touch);
+
+    let ctx = ScanCtx {
+        bytes,
+        row_starts: &row_starts,
+        file_len: bytes.len(),
+        opts,
+        schema: spec.schema,
+        needed: &spec.needed,
+        touch: &touch,
+        max_touch,
+        preds_by_col: &preds_by_col,
+        record_cols: &record_cols,
+        posmap: posmap.as_deref(),
+    };
+
+    /// Posmap recordings of one morsel: `(first_row, per-column offsets)`.
+    type MorselRecordings = (usize, Vec<(usize, Vec<u32>)>);
+
+    let workers = opts.threads.max(1).min(n_morsels.max(1));
+    // Recordings are tiny relative to morsel payloads; a mutex-guarded
+    // collection keeps the write-back single-threaded and race-free.
+    let recordings: std::sync::Mutex<Vec<MorselRecordings>> = std::sync::Mutex::new(Vec::new());
+    let failure: std::sync::Mutex<Option<Error>> = std::sync::Mutex::new(None);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let failed = std::sync::atomic::AtomicBool::new(false);
+
+    let run_worker = |worker: usize| {
+        let mut local = LocalCounters::default();
+        loop {
+            if failed.load(std::sync::atomic::Ordering::Relaxed) {
+                break;
+            }
+            let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if index >= n_morsels {
+                break;
+            }
+            let lo = index * morsel_rows;
+            let hi = ((index + 1) * morsel_rows).min(nrows);
+            let step = scan_row_range(&ctx, lo, hi).and_then(|mut chunk| {
+                local.absorb(&chunk.counters);
+                if !chunk.recordings.is_empty() {
+                    recordings
+                        .lock()
+                        .expect("recordings mutex")
+                        .push((chunk.first_row, std::mem::take(&mut chunk.recordings)));
+                }
+                counters.add_morsels_dispatched(1);
+                consume(
+                    worker,
+                    Morsel {
+                        index,
+                        first_row: chunk.first_row,
+                        n_rows: hi - lo,
+                        rowids: chunk.rowids,
+                        columns: chunk.builders,
+                    },
+                )
+            });
+            if let Err(e) = step {
+                *failure.lock().expect("failure mutex") = Some(e);
+                failed.store(true, std::sync::atomic::Ordering::Relaxed);
+                break;
+            }
+        }
+        local.flush(counters);
+    };
+
+    if workers <= 1 {
+        run_worker(0);
+    } else {
+        crossbeam::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for w in 0..workers {
+                let run_worker = &run_worker;
+                handles.push(s.spawn(move |_| run_worker(w)));
+            }
+            for h in handles {
+                h.join().expect("morsel worker panicked");
+            }
+        })
+        .expect("morsel scope");
+    }
+
+    if let Some(e) = failure.into_inner().expect("failure mutex") {
+        return Err(e);
+    }
+    #[allow(clippy::needless_option_as_deref)]
+    if let Some(m) = posmap.as_deref_mut() {
+        for (first_row, recs) in recordings.into_inner().expect("recordings mutex") {
+            for (col, offs) in recs {
+                m.record_range(col, first_row, &offs);
+            }
+        }
+    }
+    Ok(nrows as u64)
+}
+
 /// Find the end (exclusive) of the field starting at `pos` within a row
 /// buffer. A field ends at the delimiter, `\n`, `\r` or end of buffer;
 /// callers inspect `row.get(end)` to distinguish a delimiter from a row
@@ -499,27 +750,27 @@ pub fn field_end(row: &[u8], pos: usize, delim: u8, quote: Option<u8>) -> usize 
     if let Some(q) = quote {
         if row.get(pos) == Some(&q) {
             let mut i = pos + 1;
-            while i < row.len() {
-                if row[i] == q {
-                    if row.get(i + 1) == Some(&q) {
-                        i += 2;
-                        continue;
-                    }
-                    i += 1;
+            let mut closed = false;
+            while let Some(off) = find_byte(&row[i..], q) {
+                i += off;
+                if row.get(i + 1) == Some(&q) {
+                    i += 2; // escaped "" pair, keep scanning
+                } else {
+                    i += 1; // closing quote
+                    closed = true;
                     break;
                 }
-                i += 1;
             }
-            while i < row.len() && row[i] != delim && row[i] != b'\n' && row[i] != b'\r' {
-                i += 1;
+            if !closed {
+                return row.len(); // unterminated quote runs to end of row
             }
-            return i;
+            match find_byte3(&row[i..], delim, b'\n', b'\r') {
+                Some(off) => return i + off,
+                None => return row.len(),
+            }
         }
     }
-    match row[pos..]
-        .iter()
-        .position(|&b| b == delim || b == b'\n' || b == b'\r')
-    {
+    match find_byte3(&row[pos..], delim, b'\n', b'\r') {
         Some(off) => pos + off,
         None => row.len(),
     }
@@ -528,30 +779,101 @@ pub fn field_end(row: &[u8], pos: usize, delim: u8, quote: Option<u8>) -> usize 
 /// Parse one raw field into a typed value. Empty unquoted fields are NULL;
 /// a quoted empty string is the empty string for `Str` columns.
 pub fn parse_field(raw: &[u8], ty: DataType, quote: Option<u8>) -> Result<Value> {
-    if raw.is_empty() {
-        return Ok(Value::Null);
-    }
-    let decoded = decode_field(raw, quote)?;
     match ty {
-        DataType::Int64 => {
-            let s = decoded.trim();
-            if s.is_empty() {
+        DataType::Int64 => Ok(parse_i64_field(raw, quote)?
+            .map(Value::Int)
+            .unwrap_or(Value::Null)),
+        DataType::Float64 => Ok(parse_f64_field(raw, quote)?
+            .map(Value::Float)
+            .unwrap_or(Value::Null)),
+        DataType::Str => {
+            if raw.is_empty() {
                 return Ok(Value::Null);
             }
-            parse_i64_str(s)
-                .map(Value::Int)
-                .ok_or_else(|| Error::parse(format!("invalid int64 {s:?}")))
+            Ok(Value::Str(decode_field(raw, quote)?.into_owned()))
         }
-        DataType::Float64 => {
-            let s = decoded.trim();
-            if s.is_empty() {
-                return Ok(Value::Null);
-            }
-            s.parse::<f64>()
-                .map(Value::Float)
-                .map_err(|e| Error::parse(format!("invalid float64 {s:?}: {e}")))
+    }
+}
+
+/// Typed `Int64` field parse straight from raw bytes: no UTF-8 validation,
+/// no `String`, no `Value` until the caller wants one. `Ok(None)` is NULL
+/// (empty or all-whitespace field). Quoted or non-ASCII-whitespace-padded
+/// fields take the decoding slow path so semantics match [`parse_field`]'s
+/// historical behaviour exactly.
+#[inline]
+pub fn parse_i64_field(raw: &[u8], quote: Option<u8>) -> Result<Option<i64>> {
+    let slow = |raw| {
+        parse_numeric_slow(raw, DataType::Int64, quote).map(|v| match v {
+            Some(Value::Int(x)) => Some(x),
+            _ => None,
+        })
+    };
+    if raw.is_empty() {
+        return Ok(None);
+    }
+    if quote.is_some_and(|q| raw.first() == Some(&q)) {
+        return slow(raw);
+    }
+    let t = raw.trim_ascii();
+    if t.is_empty() {
+        // All-ASCII-whitespace is NULL; exotic unicode whitespace decides
+        // on the slow path.
+        if raw.is_ascii() {
+            return Ok(None);
         }
-        DataType::Str => Ok(Value::Str(decoded.into_owned())),
+        return slow(raw);
+    }
+    match parse_i64_bytes(t) {
+        Some(x) => Ok(Some(x)),
+        None => slow(raw),
+    }
+}
+
+/// Typed `Float64` field parse from raw bytes; see [`parse_i64_field`].
+#[inline]
+pub fn parse_f64_field(raw: &[u8], quote: Option<u8>) -> Result<Option<f64>> {
+    let slow = |raw| {
+        parse_numeric_slow(raw, DataType::Float64, quote).map(|v| match v {
+            Some(Value::Float(x)) => Some(x),
+            _ => None,
+        })
+    };
+    if raw.is_empty() {
+        return Ok(None);
+    }
+    if quote.is_some_and(|q| raw.first() == Some(&q)) {
+        return slow(raw);
+    }
+    let t = raw.trim_ascii();
+    if t.is_empty() {
+        if raw.is_ascii() {
+            return Ok(None);
+        }
+        return slow(raw);
+    }
+    match parse_f64_bytes(t) {
+        Some(x) => Ok(Some(x)),
+        None => slow(raw),
+    }
+}
+
+/// Slow path shared by the typed parsers: full quote stripping, UTF-8
+/// validation and unicode-aware trimming — the pre-fast-path semantics.
+fn parse_numeric_slow(raw: &[u8], ty: DataType, quote: Option<u8>) -> Result<Option<Value>> {
+    let decoded = decode_field(raw, quote)?;
+    let s = decoded.trim();
+    if s.is_empty() {
+        return Ok(None);
+    }
+    match ty {
+        DataType::Int64 => parse_i64_bytes(s.as_bytes())
+            .map(|x| Some(Value::Int(x)))
+            .ok_or_else(|| Error::parse(format!("invalid int64 {s:?}"))),
+        DataType::Float64 => s
+            .parse::<f64>()
+            .map(|x| Some(Value::Float(x)))
+            .map_err(|e| Error::parse(format!("invalid float64 {s:?}: {e}"))),
+        DataType::Str => unreachable!("numeric slow path"),
     }
 }
 
@@ -593,28 +915,14 @@ fn decode_field(raw: &[u8], quote: Option<u8>) -> Result<Cow<'_, str>> {
     }
 }
 
-/// Fast integer parse without UTF-8 validation overhead for the hot path.
-fn parse_i64_str(s: &str) -> Option<i64> {
-    let b = s.as_bytes();
-    if b.is_empty() {
-        return None;
+/// Push the offsets just past every `\n` in `bytes[lo..hi)` (absolute).
+#[inline]
+fn newline_starts_into(bytes: &[u8], lo: usize, hi: usize, out: &mut Vec<u64>) {
+    let mut from = lo;
+    while let Some(off) = find_byte(&bytes[from..hi], b'\n') {
+        from += off + 1;
+        out.push(from as u64);
     }
-    let (neg, digits) = match b[0] {
-        b'-' => (true, &b[1..]),
-        b'+' => (false, &b[1..]),
-        _ => (false, b),
-    };
-    if digits.is_empty() {
-        return None;
-    }
-    let mut acc: i64 = 0;
-    for &d in digits {
-        if !d.is_ascii_digit() {
-            return None;
-        }
-        acc = acc.checked_mul(10)?.checked_add((d - b'0') as i64)?;
-    }
-    Some(if neg { -acc } else { acc })
 }
 
 /// Phase 1: locate the start offset of every non-empty row.
@@ -639,11 +947,7 @@ pub fn find_row_starts(bytes: &[u8], opts: &CsvOptions, _counters: &WorkCounters
                     }
                     handles.push(s.spawn(move |_| {
                         let mut v = Vec::new();
-                        for (off, &b) in bytes[lo..hi].iter().enumerate() {
-                            if b == b'\n' {
-                                v.push((lo + off + 1) as u64);
-                            }
-                        }
+                        newline_starts_into(bytes, lo, hi, &mut v);
                         *part = v;
                     }));
                 }
@@ -659,22 +963,23 @@ pub fn find_row_starts(bytes: &[u8], opts: &CsvOptions, _counters: &WorkCounters
         }
         None => {
             starts.push(0);
-            for (off, &b) in bytes.iter().enumerate() {
-                if b == b'\n' {
-                    starts.push((off + 1) as u64);
-                }
-            }
+            newline_starts_into(bytes, 0, bytes.len(), &mut starts);
         }
         Some(q) => {
-            // Serial state machine: newlines inside quotes don't break rows.
+            // Serial state machine (newlines inside quotes don't break
+            // rows), jumping between interesting bytes SWAR-style instead
+            // of inspecting every byte.
             starts.push(0);
             let mut in_quotes = false;
-            for (off, &b) in bytes.iter().enumerate() {
-                if b == q {
+            let mut i = 0;
+            while let Some(off) = find_byte2(&bytes[i..], q, b'\n') {
+                i += off;
+                if bytes[i] == q {
                     in_quotes = !in_quotes;
-                } else if b == b'\n' && !in_quotes {
-                    starts.push((off + 1) as u64);
+                } else if !in_quotes {
+                    starts.push((i + 1) as u64);
                 }
+                i += 1;
             }
         }
     }
@@ -1145,15 +1450,113 @@ mod tests {
     }
 
     #[test]
-    fn parse_i64_str_edge_cases() {
-        assert_eq!(parse_i64_str("0"), Some(0));
-        assert_eq!(parse_i64_str("-42"), Some(-42));
-        assert_eq!(parse_i64_str("+7"), Some(7));
-        assert_eq!(parse_i64_str(""), None);
-        assert_eq!(parse_i64_str("-"), None);
-        assert_eq!(parse_i64_str("12x"), None);
-        assert_eq!(parse_i64_str("9223372036854775807"), Some(i64::MAX));
-        assert_eq!(parse_i64_str("9223372036854775808"), None); // overflow
+    fn morsel_scan_matches_merged_scan_and_learns_positions() {
+        let schema = Schema::ints(3);
+        let mut data = String::new();
+        for i in 0..1000i64 {
+            data.push_str(&format!("{},{},{}\n", i, i * 2, i % 5));
+        }
+        let conj = Conjunction::new(vec![ColPred::new(2, CmpOp::Eq, 3i64)]);
+        let spec = ScanSpec {
+            schema: &schema,
+            needed: vec![0, 1],
+            pushdown: Some(&conj),
+        };
+        let serial = {
+            let c = counters();
+            scan_bytes(data.as_bytes(), &opts(), &spec, None, &c).unwrap()
+        };
+        for threads in [1, 4] {
+            let o = CsvOptions {
+                threads,
+                ..CsvOptions::default()
+            };
+            let c = counters();
+            let mut pm = PositionalMap::new();
+            let collected: std::sync::Mutex<Vec<Morsel>> = std::sync::Mutex::new(Vec::new());
+            let rows = scan_morsels(
+                data.as_bytes(),
+                &o,
+                &spec,
+                Some(&mut pm),
+                &c,
+                37,
+                &|_w, m| {
+                    collected.lock().unwrap().push(m);
+                    Ok(())
+                },
+            )
+            .unwrap();
+            assert_eq!(rows, 1000);
+            let mut morsels = collected.into_inner().unwrap();
+            morsels.sort_by_key(|m| m.index);
+            // Morsels tile the row space: 1000 rows / 37 per morsel.
+            assert_eq!(morsels.len(), 1000usize.div_ceil(37));
+            assert_eq!(c.snapshot().morsels_dispatched, morsels.len() as u64);
+            let mut rowids = Vec::new();
+            let mut col0 = ColumnData::empty(DataType::Int64);
+            let mut col1 = ColumnData::empty(DataType::Int64);
+            for mut m in morsels {
+                rowids.append(&mut m.rowids);
+                let mut it = m.columns.into_iter();
+                col0.append(it.next().unwrap()).unwrap();
+                col1.append(it.next().unwrap()).unwrap();
+            }
+            assert_eq!(rowids, serial.rowids, "threads={threads}");
+            assert_eq!(
+                col0.as_i64_slice().unwrap(),
+                serial.columns[&0].as_i64_slice().unwrap()
+            );
+            assert_eq!(
+                col1.as_i64_slice().unwrap(),
+                serial.columns[&1].as_i64_slice().unwrap()
+            );
+            // Positional-map learning still happened under the morsel scan.
+            assert_eq!(pm.row_count(), Some(1000));
+            assert_eq!(pm.coverage(0), 1.0);
+            assert_eq!(pm.coverage(1), 1.0);
+        }
+    }
+
+    #[test]
+    fn morsel_scan_propagates_worker_errors() {
+        let schema = Schema::ints(2);
+        let data = "1,2\nx,4\n".repeat(100);
+        let spec = ScanSpec {
+            schema: &schema,
+            needed: vec![0],
+            pushdown: None,
+        };
+        let o = CsvOptions {
+            threads: 2,
+            ..CsvOptions::default()
+        };
+        let c = counters();
+        let err = scan_morsels(data.as_bytes(), &o, &spec, None, &c, 16, &|_w, _m| Ok(()));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn typed_field_parsers_edge_cases() {
+        assert_eq!(parse_i64_field(b"0", None).unwrap(), Some(0));
+        assert_eq!(parse_i64_field(b" -42\t", None).unwrap(), Some(-42));
+        assert_eq!(parse_i64_field(b"+7", None).unwrap(), Some(7));
+        assert_eq!(parse_i64_field(b"", None).unwrap(), None);
+        assert_eq!(parse_i64_field(b"  ", None).unwrap(), None);
+        assert!(parse_i64_field(b"-", None).is_err());
+        assert!(parse_i64_field(b"12x", None).is_err());
+        assert_eq!(
+            parse_i64_field(b"9223372036854775807", None).unwrap(),
+            Some(i64::MAX)
+        );
+        assert!(parse_i64_field(b"9223372036854775808", None).is_err()); // overflow
+        assert_eq!(parse_f64_field(b"1.5", None).unwrap(), Some(1.5));
+        assert_eq!(parse_f64_field(b" 2e3 ", None).unwrap(), Some(2000.0));
+        assert_eq!(parse_f64_field(b"", None).unwrap(), None);
+        assert!(parse_f64_field(b"abc", None).is_err());
+        // Quoted numerics take the decode path.
+        assert_eq!(parse_i64_field(b"\"11\"", Some(b'"')).unwrap(), Some(11));
+        assert_eq!(parse_f64_field(b"\"1.5\"", Some(b'"')).unwrap(), Some(1.5));
     }
 
     mod properties {
@@ -1280,6 +1683,90 @@ mod tests {
                     prop_assert_eq!(out.columns[&0].get(i), Value::Str(s.clone()));
                     prop_assert_eq!(out.columns[&1].get(i), Value::Int(*n));
                 }
+            }
+
+            /// Parallel (morsel-driven) and serial tokenization parity:
+            /// same rowids, same column data, same work counters — across
+            /// quoted/unquoted dialects, blank rows, trailing newlines,
+            /// pushdown, thread counts and morsel-boundary edge cases
+            /// (morsels of 1..8 rows against tables of 0..50 rows).
+            #[test]
+            fn parallel_tokenization_matches_serial(
+                rows in proptest::collection::vec(
+                    proptest::collection::vec(-999i64..999, 3), 0..50),
+                blank_after in proptest::collection::vec(proptest::bool::ANY, 0..50),
+                quoted in proptest::bool::ANY,
+                trailing_newline in proptest::bool::ANY,
+                with_pushdown in proptest::bool::ANY,
+                threads in 1usize..5,
+                morsel_rows in 1usize..8) {
+                // Encode, optionally quoting every field and sprinkling
+                // blank rows between data rows.
+                let mut data = String::new();
+                for (i, r) in rows.iter().enumerate() {
+                    let cells: Vec<String> = r.iter()
+                        .map(|v| if quoted { format!("\"{v}\"") } else { v.to_string() })
+                        .collect();
+                    data.push_str(&cells.join(","));
+                    data.push('\n');
+                    if blank_after.get(i).copied().unwrap_or(false) {
+                        data.push('\n');
+                    }
+                }
+                if trailing_newline {
+                    data.push('\n');
+                } else {
+                    data.pop();
+                }
+                let schema = Schema::ints(3);
+                let conj = Conjunction::new(vec![ColPred::new(1, CmpOp::Gt, -100i64)]);
+                let spec = ScanSpec {
+                    schema: &schema,
+                    needed: vec![0, 2],
+                    pushdown: with_pushdown.then_some(&conj),
+                };
+                let base_opts = CsvOptions {
+                    threads: 1,
+                    quote: quoted.then_some(b'"'),
+                    ..CsvOptions::default()
+                };
+
+                let c_serial = WorkCounters::new();
+                let serial = scan_bytes(data.as_bytes(), &base_opts, &spec, None, &c_serial).unwrap();
+
+                let par_opts = CsvOptions { threads, ..base_opts.clone() };
+                let c_par = WorkCounters::new();
+                let collected: std::sync::Mutex<Vec<Morsel>> = std::sync::Mutex::new(Vec::new());
+                let rows_scanned = scan_morsels(
+                    data.as_bytes(), &par_opts, &spec, None, &c_par, morsel_rows,
+                    &|_w, m| { collected.lock().unwrap().push(m); Ok(()) },
+                ).unwrap();
+                prop_assert_eq!(rows_scanned, serial.rows_scanned);
+
+                let mut morsels = collected.into_inner().unwrap();
+                morsels.sort_by_key(|m| m.index);
+                let mut rowids = Vec::new();
+                let mut col0 = ColumnData::empty(DataType::Int64);
+                let mut col2 = ColumnData::empty(DataType::Int64);
+                for mut m in morsels {
+                    rowids.append(&mut m.rowids);
+                    let mut it = m.columns.into_iter();
+                    col0.append(it.next().unwrap()).unwrap();
+                    col2.append(it.next().unwrap()).unwrap();
+                }
+                prop_assert_eq!(&rowids, &serial.rowids);
+                prop_assert_eq!(col0.as_i64_slice().unwrap(),
+                                serial.columns[&0].as_i64_slice().unwrap());
+                prop_assert_eq!(col2.as_i64_slice().unwrap(),
+                                serial.columns[&2].as_i64_slice().unwrap());
+
+                // Work-counter parity: the parallel scan does exactly the
+                // same tokenization and parsing work, just distributed.
+                let (s, p) = (c_serial.snapshot(), c_par.snapshot());
+                prop_assert_eq!(s.rows_tokenized, p.rows_tokenized);
+                prop_assert_eq!(s.fields_tokenized, p.fields_tokenized);
+                prop_assert_eq!(s.values_parsed, p.values_parsed);
+                prop_assert_eq!(s.rows_abandoned, p.rows_abandoned);
             }
 
             /// Scanning with a positional map never changes results, no

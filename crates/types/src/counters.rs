@@ -33,6 +33,12 @@ pub struct WorkCounters {
     pub plan_cache_hits: AtomicU64,
     /// Queries that had to be parsed and planned from scratch.
     pub plan_cache_misses: AtomicU64,
+    /// Morsels dispatched to parallel pipeline workers.
+    pub morsels_dispatched: AtomicU64,
+    /// Parallel (multi-worker) pipeline executions. Divide a serial rerun's
+    /// elapsed time by a parallel run's to estimate the speedup these
+    /// bought.
+    pub parallel_pipelines: AtomicU64,
 }
 
 impl WorkCounters {
@@ -91,6 +97,16 @@ impl WorkCounters {
         self.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Add `n` to `morsels_dispatched`.
+    pub fn add_morsels_dispatched(&self, n: u64) {
+        self.morsels_dispatched.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one parallel pipeline execution.
+    pub fn add_parallel_pipeline(&self) {
+        self.parallel_pipelines.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Capture the current values.
     pub fn snapshot(&self) -> CountersSnapshot {
         CountersSnapshot {
@@ -104,6 +120,8 @@ impl WorkCounters {
             tuples_evicted: self.tuples_evicted.load(Ordering::Relaxed),
             plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
             plan_cache_misses: self.plan_cache_misses.load(Ordering::Relaxed),
+            morsels_dispatched: self.morsels_dispatched.load(Ordering::Relaxed),
+            parallel_pipelines: self.parallel_pipelines.load(Ordering::Relaxed),
         }
     }
 
@@ -119,6 +137,8 @@ impl WorkCounters {
         self.tuples_evicted.store(0, Ordering::Relaxed);
         self.plan_cache_hits.store(0, Ordering::Relaxed);
         self.plan_cache_misses.store(0, Ordering::Relaxed);
+        self.morsels_dispatched.store(0, Ordering::Relaxed);
+        self.parallel_pipelines.store(0, Ordering::Relaxed);
     }
 }
 
@@ -145,6 +165,10 @@ pub struct CountersSnapshot {
     pub plan_cache_hits: u64,
     /// See [`WorkCounters::plan_cache_misses`].
     pub plan_cache_misses: u64,
+    /// See [`WorkCounters::morsels_dispatched`].
+    pub morsels_dispatched: u64,
+    /// See [`WorkCounters::parallel_pipelines`].
+    pub parallel_pipelines: u64,
 }
 
 impl CountersSnapshot {
@@ -166,6 +190,12 @@ impl CountersSnapshot {
             plan_cache_misses: self
                 .plan_cache_misses
                 .saturating_sub(earlier.plan_cache_misses),
+            morsels_dispatched: self
+                .morsels_dispatched
+                .saturating_sub(earlier.morsels_dispatched),
+            parallel_pipelines: self
+                .parallel_pipelines
+                .saturating_sub(earlier.parallel_pipelines),
         }
     }
 }
@@ -174,7 +204,7 @@ impl fmt::Display for CountersSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "read={}B written={}B rows_tok={} fields_tok={} parsed={} trips={} abandoned={} evicted={} plan_hits={} plan_misses={}",
+            "read={}B written={}B rows_tok={} fields_tok={} parsed={} trips={} abandoned={} evicted={} plan_hits={} plan_misses={} morsels={} par_pipelines={}",
             self.bytes_read,
             self.bytes_written,
             self.rows_tokenized,
@@ -185,6 +215,8 @@ impl fmt::Display for CountersSnapshot {
             self.tuples_evicted,
             self.plan_cache_hits,
             self.plan_cache_misses,
+            self.morsels_dispatched,
+            self.parallel_pipelines,
         )
     }
 }

@@ -32,15 +32,20 @@ pub enum CmpOp {
 impl CmpOp {
     /// Evaluate `left OP right` with SQL null semantics (`None` = unknown).
     pub fn eval(self, left: &Value, right: &Value) -> Option<bool> {
-        let ord = left.sql_cmp(right)?;
-        Some(match self {
+        left.sql_cmp(right).map(|ord| self.holds(ord))
+    }
+
+    /// Whether an already-computed ordering satisfies this operator.
+    #[inline]
+    pub fn holds(self, ord: std::cmp::Ordering) -> bool {
+        match self {
             CmpOp::Eq => ord.is_eq(),
             CmpOp::Ne => ord.is_ne(),
             CmpOp::Lt => ord.is_lt(),
             CmpOp::Le => ord.is_le(),
             CmpOp::Gt => ord.is_gt(),
             CmpOp::Ge => ord.is_ge(),
-        })
+        }
     }
 
     /// SQL spelling.
@@ -82,6 +87,31 @@ impl ColPred {
     /// (null-involved) comparisons are *not* satisfied.
     pub fn matches(&self, v: &Value) -> bool {
         self.op.eval(v, &self.value).unwrap_or(false)
+    }
+
+    /// [`ColPred::matches`] specialised to a non-null `i64` left-hand side,
+    /// avoiding `Value` construction in byte-level scan loops. Agrees with
+    /// `matches(&Value::Int(x))` for every literal type: string literals
+    /// are incomparable with numbers, hence never satisfied.
+    #[inline]
+    pub fn matches_i64(&self, x: i64) -> bool {
+        let ord = match &self.value {
+            Value::Int(l) => x.cmp(l),
+            Value::Float(l) => (x as f64).total_cmp(l),
+            _ => return false,
+        };
+        self.op.holds(ord)
+    }
+
+    /// [`ColPred::matches`] specialised to a non-null `f64` left-hand side.
+    #[inline]
+    pub fn matches_f64(&self, x: f64) -> bool {
+        let ord = match &self.value {
+            Value::Int(l) => x.total_cmp(&(*l as f64)),
+            Value::Float(l) => x.total_cmp(l),
+            _ => return false,
+        };
+        self.op.holds(ord)
     }
 
     /// The interval of values satisfying this predicate, if it is

@@ -9,10 +9,92 @@
 //! benchmark — no statistics, plots or saved baselines.
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Re-export of the standard optimization barrier.
 pub use std::hint::black_box;
+
+/// One finished benchmark, for the machine-readable report.
+#[derive(Debug, Clone)]
+struct Report {
+    name: String,
+    ns_per_iter: f64,
+    iters: u64,
+    throughput: Option<Throughput>,
+}
+
+/// Reports accumulated across every group of the process.
+static REPORTS: Mutex<Vec<Report>> = Mutex::new(Vec::new());
+
+/// Write every report gathered so far as JSON to the path in
+/// `NODB_BENCH_JSON` (no-op when unset). Called by [`criterion_main!`]
+/// after all groups have run, so a perf-trajectory artifact like
+/// `BENCH_micro.json` falls out of any bench run:
+///
+/// ```sh
+/// NODB_BENCH_JSON=BENCH_micro.json cargo bench -p nodb-bench --bench micro
+/// ```
+///
+/// Besides raw ns/op per benchmark, any `<base>/serial` + `<base>/parallel`
+/// name pair also yields a derived `speedups` entry (serial ÷ parallel) —
+/// the multi-core speedup tracked across PRs.
+pub fn write_json_reports() {
+    let Ok(path) = std::env::var("NODB_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let reports = REPORTS.lock().expect("reports mutex");
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"nodb-bench/1\",\n");
+    out.push_str(&format!(
+        "  \"threads_available\": {},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    ));
+    out.push_str("  \"benches\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let tp = match r.throughput {
+            Some(Throughput::Bytes(n)) => format!(", \"throughput_bytes\": {n}"),
+            Some(Throughput::Elements(n)) => format!(", \"throughput_elements\": {n}"),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "    {{\"name\": {:?}, \"ns_per_iter\": {:.1}, \"iters\": {}{}}}{}\n",
+            r.name,
+            r.ns_per_iter,
+            r.iters,
+            tp,
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"speedups\": {\n");
+    let pairs: Vec<(String, f64)> = reports
+        .iter()
+        .filter_map(|r| {
+            let base = r.name.strip_suffix("/serial")?;
+            let par = reports
+                .iter()
+                .find(|p| p.name.strip_suffix("/parallel").is_some_and(|b| b == base))?;
+            Some((base.to_owned(), r.ns_per_iter / par.ns_per_iter))
+        })
+        .collect();
+    for (i, (name, speedup)) in pairs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {:?}: {:.3}{}\n",
+            name,
+            speedup,
+            if i + 1 < pairs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("# failed to write {path}: {e}");
+    }
+}
 
 /// Benchmark identifier: a function name plus a parameter rendering.
 #[derive(Debug, Clone)]
@@ -151,6 +233,12 @@ impl BenchmarkGroup<'_> {
             return;
         }
         let per_iter = b.measured.as_secs_f64() / b.iters as f64;
+        REPORTS.lock().expect("reports mutex").push(Report {
+            name: format!("{}/{id}", self.name),
+            ns_per_iter: per_iter * 1e9,
+            iters: b.iters,
+            throughput: self.throughput,
+        });
         let rate = match self.throughput {
             Some(Throughput::Bytes(n)) => {
                 format!("  ({:.1} MB/s)", n as f64 / per_iter / 1e6)
@@ -220,12 +308,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Define `main` from one or more group-runner functions.
+/// Define `main` from one or more group-runner functions. After every
+/// group has run, reports are flushed as JSON when `NODB_BENCH_JSON`
+/// names a path (see [`write_json_reports`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_reports();
         }
     };
 }

@@ -130,7 +130,7 @@ fn positional_map_reduces_tokenization() {
     let (dir, path) = setup("pm", 2000, 8);
     let run = |use_posmap: bool| -> u64 {
         let mut cfg = EngineConfig::with_strategy(LoadingStrategy::PartialLoadsV1);
-        cfg.csv.threads = 1;
+        cfg.threads = 1;
         cfg.use_positional_map = use_posmap;
         cfg.store_dir = Some(dir.join(format!("store-pm-{use_posmap}")));
         let e = Engine::new(cfg);
@@ -152,7 +152,7 @@ fn positional_map_reduces_tokenization() {
 fn monitor_escalates_thrashing_workloads() {
     let (dir, path) = setup("mon", 3000, 4);
     let mut cfg = EngineConfig::with_strategy(LoadingStrategy::PartialLoadsV2);
-    cfg.csv.threads = 1;
+    cfg.threads = 1;
     cfg.escalate_after_misses = 2;
     cfg.store_dir = Some(dir.join("store-mon"));
     let e = Engine::new(cfg);
@@ -181,7 +181,7 @@ fn monitor_escalates_thrashing_workloads() {
 fn eviction_keeps_budget_and_correctness() {
     let (dir, path) = setup("evict", 5000, 5);
     let mut cfg = EngineConfig::with_strategy(LoadingStrategy::ColumnLoads);
-    cfg.csv.threads = 1;
+    cfg.threads = 1;
     cfg.memory_budget = Some(90_000); // two 40 KB columns fit, five don't
     cfg.store_dir = Some(dir.join("store-ev"));
     let e = Engine::new(cfg);
@@ -204,7 +204,7 @@ fn eviction_keeps_budget_and_correctness() {
 fn one_column_per_trip_costs_more_trips() {
     let (dir, path) = setup("percol", 1000, 5);
     let mut cfg = EngineConfig::with_strategy(LoadingStrategy::ColumnLoads);
-    cfg.csv.threads = 1;
+    cfg.threads = 1;
     cfg.one_column_per_trip = true;
     cfg.store_dir = Some(dir.join("store-pc"));
     let e = Engine::new(cfg);
@@ -217,7 +217,7 @@ fn one_column_per_trip_costs_more_trips() {
 fn cracking_through_the_engine_matches_scans() {
     let (dir, path) = setup("crack", 4000, 4);
     let mut cfg = EngineConfig::with_strategy(LoadingStrategy::ColumnLoads);
-    cfg.csv.threads = 1;
+    cfg.threads = 1;
     cfg.use_cracking = true;
     cfg.store_dir = Some(dir.join("store-crack"));
     let e = Engine::new(cfg);
@@ -245,7 +245,7 @@ fn cracking_through_the_engine_matches_scans() {
 fn cracking_converges_to_cheaper_selections() {
     let (dir, path) = setup("crackperf", 50_000, 2);
     let mut cfg = EngineConfig::with_strategy(LoadingStrategy::ColumnLoads);
-    cfg.csv.threads = 1;
+    cfg.threads = 1;
     cfg.use_cracking = true;
     cfg.store_dir = Some(dir.join("store-cp"));
     let e = Engine::new(cfg);

@@ -30,7 +30,7 @@ pub fn test_dir(name: &str) -> PathBuf {
 /// counters), store dir inside `dir`.
 pub fn engine_in(dir: &std::path::Path, strategy: LoadingStrategy) -> Engine {
     let mut cfg = EngineConfig::with_strategy(strategy);
-    cfg.csv.threads = 1;
+    cfg.threads = 1;
     cfg.store_dir = Some(dir.join(format!("store-{}", strategy.label())));
     Engine::new(cfg)
 }

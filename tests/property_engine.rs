@@ -76,7 +76,7 @@ proptest! {
             // Exercise eviction too when a budget was generated.
             if let Some(b) = budget {
                 let mut cfg = nodb::core::EngineConfig::with_strategy(strategy);
-                cfg.csv.threads = 1;
+                cfg.threads = 1;
                 cfg.memory_budget = Some(b);
                 cfg.store_dir = Some(dir.join(format!("store-b-{}", strategy.label())));
                 let e = nodb::core::Engine::new(cfg);

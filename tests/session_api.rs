@@ -283,8 +283,7 @@ fn memory_budget_never_evicts_result_tables() {
     let dir = test_dir("budget_resident");
     let path = dir.join("t.csv");
     write_int_table(&path, 1000, 3);
-    let mut cfg = EngineConfig::default();
-    cfg.csv.threads = 1;
+    let mut cfg = EngineConfig::default().with_threads(1);
     cfg.memory_budget = Some(4_000); // far below one 8 KB column
     cfg.store_dir = Some(dir.join("store"));
     let e = Arc::new(Engine::new(cfg));
@@ -352,7 +351,7 @@ fn same_stem_tables_keep_separate_derived_state() {
     std::fs::write(dir.join("a/data.csv"), "1,2\n3,4\n").unwrap();
     std::fs::write(dir.join("b/data.csv"), "10,20,30\n40,50,60\n").unwrap();
     let mut cfg = EngineConfig::with_strategy(LoadingStrategy::SplitFiles);
-    cfg.csv.threads = 1;
+    cfg.threads = 1;
     cfg.store_dir = Some(dir.join("store"));
     let e = Engine::new(cfg);
     e.register_table("t1", dir.join("a/data.csv")).unwrap();
@@ -391,7 +390,7 @@ fn explain_reports_strategy_and_loader_state() {
     let path = dir.join("t.csv");
     std::fs::write(&path, "1,2,3\n4,5,6\n").unwrap();
     let mut cfg = EngineConfig::with_strategy(LoadingStrategy::PartialLoadsV2);
-    cfg.csv.threads = 1;
+    cfg.threads = 1;
     cfg.store_dir = Some(dir.join("store"));
     let e = Engine::new(cfg);
     e.register_table("t", &path).unwrap();
@@ -403,7 +402,7 @@ fn explain_reports_strategy_and_loader_state() {
 
     // Warm the store with full column loads, then explain again.
     let mut cfg = EngineConfig::with_strategy(LoadingStrategy::ColumnLoads);
-    cfg.csv.threads = 1;
+    cfg.threads = 1;
     cfg.store_dir = Some(dir.join("store2"));
     let e = Engine::new(cfg);
     e.register_table("t", &path).unwrap();
@@ -426,7 +425,7 @@ fn unregister_drops_split_files_on_disk() {
     write_int_table(&path, 50, 3);
     let store = dir.join("store");
     let mut cfg = EngineConfig::with_strategy(LoadingStrategy::SplitFiles);
-    cfg.csv.threads = 1;
+    cfg.threads = 1;
     cfg.store_dir = Some(store.clone());
     let e = Engine::new(cfg);
     e.register_table("t", &path).unwrap();

@@ -140,8 +140,7 @@ fn quoted_csv_dialect() {
         "\"a,b\",1\n\"say \"\"hi\"\"\",2\n\"multi\nline\",3\n",
     )
     .unwrap();
-    let mut cfg = EngineConfig::default();
-    cfg.csv.threads = 1;
+    let mut cfg = EngineConfig::default().with_threads(1);
     cfg.csv.quote = Some(b'"');
     let e = Engine::new(cfg);
     e.register_table("q", &path).unwrap();
@@ -156,16 +155,14 @@ fn lenient_mode_reads_ragged_files() {
     let dir = test_dir("lenient");
     let path = dir.join("ragged.csv");
     std::fs::write(&path, "1,2,3\n4,5\n6\n").unwrap();
-    let mut cfg = EngineConfig::default();
-    cfg.csv.threads = 1;
+    let mut cfg = EngineConfig::default().with_threads(1);
     cfg.csv.lenient = true;
     let e = Engine::new(cfg);
     e.register_table("r", &path).unwrap();
     let out = e.sql("select count(a3), sum(a1) from r").unwrap();
     assert_eq!(out.rows[0], vec![Value::Int(1), Value::Int(11)]);
     // Strict mode errors instead.
-    let mut cfg = EngineConfig::default();
-    cfg.csv.threads = 1;
+    let mut cfg = EngineConfig::default().with_threads(1);
     cfg.csv.lenient = false;
     let e = Engine::new(cfg);
     e.register_table("r", &path).unwrap();
