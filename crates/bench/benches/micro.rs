@@ -1,9 +1,12 @@
 //! Criterion micro-benchmarks for the core primitives.
 //!
 //! * tokenizer throughput (full parse vs projected vs pushdown);
-//! * database cracking vs full scan per range query;
+//! * database cracking vs full scan per range query, plus racing range
+//!   queries under one whole-column lock vs the partitioned index;
 //! * the three kernel strategies (A4 of DESIGN.md): columnar,
 //!   volcano and fused-hybrid execution of the paper's Q1 shape;
+//! * serial vs morsel-parallel pairs (cold scan, filtered aggregate,
+//!   GROUP BY, hash join) whose ratios land in `NODB_BENCH_JSON`;
 //! * hash vs merge join position generation.
 
 use std::collections::BTreeMap;
@@ -11,13 +14,13 @@ use std::collections::BTreeMap;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use nodb_exec::{
-    aggregate, filter_positions, fused_filter_aggregate, hash_join_positions, merge_join_positions,
-    parallel_filter_aggregate, parallel_hash_join_positions, AggFunc, AggSpec, AggregateOp,
-    ColumnsScan, FilterOp,
+    aggregate, filter_positions, fused_filter_aggregate, group_aggregate, hash_join_positions,
+    merge_join_positions, parallel_filter_aggregate, parallel_group_aggregate,
+    parallel_hash_join_positions, AggFunc, AggSpec, AggregateOp, ColumnsScan, FilterOp,
 };
 use nodb_rawcsv::gen::Permutation;
 use nodb_rawcsv::tokenizer::{scan_bytes, scan_morsels, CsvOptions, ScanSpec};
-use nodb_store::CrackedColumn;
+use nodb_store::{CrackedColumn, PartitionedCracked};
 use nodb_types::{CmpOp, ColPred, ColumnData, Conjunction, Schema, WorkCounters};
 
 fn csv_bytes(rows: usize, cols: usize) -> Vec<u8> {
@@ -135,6 +138,73 @@ fn bench_cracking(c: &mut Criterion) {
         b.iter(|| {
             let (vs, _) = cracked.select(&iv).unwrap();
             vs.iter().sum::<i64>()
+        })
+    });
+
+    // Racing range queries: the old single-lock design (every query
+    // serializes on one whole-column mutex) vs the partitioned index
+    // (each partition cracks under its own lock). Same query batch, same
+    // thread count; the serial ÷ parallel ratio lands in `speedups`.
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let make_queries = || -> Vec<(i64, i64)> {
+        (0..48)
+            .map(|q: i64| {
+                let lo = (q * 19_997) % (n as i64 - 20_000);
+                (lo, lo + 2_000 + (q * 131) % 10_000)
+            })
+            .collect()
+    };
+    let queries = make_queries();
+    let iv_of = |lo: i64, hi: i64| {
+        Conjunction::new(vec![
+            ColPred::new(0, CmpOp::Gt, lo),
+            ColPred::new(0, CmpOp::Lt, hi),
+        ])
+        .to_box()
+        .unwrap()
+        .by_col[&0]
+            .clone()
+    };
+    g.bench_function("concurrent_queries/serial", |b| {
+        b.iter(|| {
+            let locked = std::sync::Mutex::new(CrackedColumn::new(vals.clone()));
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let (locked, queries, iv_of) = (&locked, &queries, &iv_of);
+                    s.spawn(move || {
+                        let mut acc = 0i64;
+                        for (lo, hi) in queries.iter().skip(t).step_by(threads) {
+                            let mut c = locked.lock().unwrap();
+                            let (vs, ids) = c.select(&iv_of(*lo, *hi)).unwrap();
+                            // Copy out under the lock, as the engine's old
+                            // single-lock access path did.
+                            let (vs, ids) = (vs.to_vec(), ids.to_vec());
+                            acc += vs.len() as i64 + ids.len() as i64;
+                        }
+                        acc
+                    });
+                }
+            })
+        })
+    });
+    g.bench_function("concurrent_queries/parallel", |b| {
+        b.iter(|| {
+            let index = PartitionedCracked::new(vals.clone(), threads.max(2) * 2);
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let (index, queries, iv_of) = (&index, &queries, &iv_of);
+                    s.spawn(move || {
+                        let mut acc = 0i64;
+                        for (lo, hi) in queries.iter().skip(t).step_by(threads) {
+                            let (vs, ids) = index.select(&iv_of(*lo, *hi)).unwrap();
+                            acc += vs.len() as i64 + ids.len() as i64;
+                        }
+                        acc
+                    });
+                }
+            })
         })
     });
     g.finish();
@@ -302,6 +372,42 @@ fn bench_parallel(c: &mut Criterion) {
     g.bench_function("filtered_agg/parallel", |b| {
         b.iter(|| {
             parallel_filter_aggregate(&cols, n, &warm_filter, &specs, threads, morsel_rows).unwrap()
+        })
+    });
+
+    // Warm grouped aggregation: per-worker group tables, partition-wise
+    // merge, vs the serial single-table fold (identical output).
+    let mut gcols: BTreeMap<usize, ColumnData> = BTreeMap::new();
+    gcols.insert(
+        0,
+        ColumnData::from_i64((0..n as i64).map(|i| (i * 37) % 997).collect()),
+    );
+    gcols.insert(1, cols[&1].clone());
+    let group_specs = vec![
+        AggSpec::on_col(AggFunc::Sum, 1),
+        AggSpec::on_col(AggFunc::Max, 1),
+        AggSpec::count_star(),
+    ];
+    let group_filter = Conjunction::new(vec![ColPred::new(1, CmpOp::Gt, (n / 10) as i64)]);
+    g.bench_function("group_by/serial", |b| {
+        b.iter(|| {
+            let pos = filter_positions(&gcols, n, &group_filter).unwrap();
+            group_aggregate(&gcols, n, Some(&pos), &[0], &group_specs).unwrap()
+        })
+    });
+    g.bench_function("group_by/parallel", |b| {
+        b.iter(|| {
+            parallel_group_aggregate(
+                &gcols,
+                n,
+                &group_filter,
+                &[0],
+                &group_specs,
+                threads,
+                morsel_rows,
+                0,
+            )
+            .unwrap()
         })
     });
 

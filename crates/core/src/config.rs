@@ -77,6 +77,15 @@ pub struct EngineConfig {
     /// skew better; larger ones amortise dispatch. The default (32 Ki rows)
     /// keeps a morsel's working set cache-resident.
     pub morsel_rows: usize,
+    /// Merge partitions for the parallel GROUP BY (per-worker group tables
+    /// are radix-partitioned by key hash and merged partition-wise in
+    /// parallel). `0` = auto: twice the worker count, rounded to a power
+    /// of two.
+    pub group_partitions: usize,
+    /// Minimum rows on the larger join side before the hash join goes
+    /// parallel; smaller builds stay serial (thread dispatch and
+    /// partition scatter cost more than they save on small inputs).
+    pub join_min_rows: usize,
     /// CSV dialect and tokenizer options.
     pub csv: CsvOptions,
     /// Per-table memory budget for the adaptive store, in bytes. `None`
@@ -127,6 +136,8 @@ impl Default for EngineConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             morsel_rows: DEFAULT_MORSEL_ROWS,
+            group_partitions: 0,
+            join_min_rows: 2 * DEFAULT_MORSEL_ROWS,
             csv: CsvOptions::default(),
             memory_budget: None,
             store_dir: None,
@@ -173,6 +184,8 @@ mod tests {
         assert!(c.memory_budget.is_none());
         assert!(c.threads >= 1);
         assert!(c.morsel_rows >= 1);
+        assert_eq!(c.group_partitions, 0, "auto partition count");
+        assert!(c.join_min_rows > c.morsel_rows);
     }
 
     #[test]

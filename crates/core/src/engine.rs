@@ -17,10 +17,11 @@ use std::time::{Duration, Instant};
 use parking_lot::RwLock;
 
 use nodb_exec::{
-    accumulate_into, aggregate, filter_positions, fused_filter_aggregate, group_aggregate,
-    hash_join_positions, parallel_filter_aggregate, parallel_filter_positions,
+    accumulate_into, aggregate, filter_positions, finish_group_partials, fused_filter_aggregate,
+    group_accumulate_range, group_aggregate, hash_join_positions, merge_group_partials,
+    parallel_filter_aggregate, parallel_filter_positions, parallel_group_aggregate,
     parallel_hash_join_positions, sort_positions, Accumulator, AggSpec, ColumnsScan, Expr,
-    OrdinalCols, ProjectionCursor,
+    GroupPartial, OrdinalCols, ProjectionCursor,
 };
 use nodb_sql::{OutputExpr, Plan, Statement};
 use nodb_store::persist;
@@ -521,34 +522,41 @@ impl Engine {
         now: u64,
     ) -> Result<Materialized> {
         let entry = self.catalog.read().get(table)?;
+        // Warm adaptive-index fast path: snapshot handles under a short
+        // write lock and crack outside it, so racing range queries refine
+        // the partitioned index concurrently instead of serializing on
+        // the entry lock for the whole materialisation.
+        if let Some(m) =
+            crate::policy::try_cracked_warm(&entry, needed, filter, &self.cfg, &self.counters, now)?
+        {
+            return Ok(m);
+        }
         let mut e = entry.write();
         materialize(&mut e, needed, filter, &self.cfg, &self.counters, now)
     }
 
-    /// The morsel-driven cold pipeline: for a plain (non-grouped,
-    /// single-table) aggregate whose columns are not loaded yet, tokenizer
+    /// The morsel-driven cold pipeline: for a single-table aggregate
+    /// (plain or GROUP BY) whose columns are not loaded yet, tokenizer
     /// phase-2 morsels flow straight into per-worker filter + partial
-    /// aggregation — filtering and aggregating overlap with parsing
-    /// instead of waiting for one merged `ScanOutput`. The adaptive store
-    /// still receives exactly what the serial path would have given it:
-    /// the scanned columns, fully loaded (assembled from the morsels in
-    /// row order), the row count, and every positional-map recording.
+    /// aggregation — grouped morsels build private group tables of
+    /// accumulator states that merge partition-wise after the scan.
+    /// Filtering and aggregating overlap with parsing instead of waiting
+    /// for one merged `ScanOutput`. The adaptive store still receives
+    /// exactly what the serial path would have given it: the scanned
+    /// columns, fully loaded (assembled from the morsels in row order),
+    /// the row count, and every positional-map recording.
     ///
     /// Returns `None` when the shape or state does not qualify (the serial
-    /// policy path then runs as before): joins, GROUP BY, scalar queries,
-    /// resident tables, partially loaded columns, non-column-loading
-    /// strategies, or a single-threaded config.
+    /// policy path then runs as before): joins, scalar queries, resident
+    /// tables, partially loaded columns, non-column-loading strategies, or
+    /// a single-threaded config.
     fn try_morsel_cold_aggregate(
         &self,
         plan: &Plan,
         needed: &[usize],
         now: u64,
     ) -> Result<Option<StreamBody>> {
-        if self.cfg.threads <= 1
-            || plan.join.is_some()
-            || !plan.is_aggregate()
-            || !plan.group_by.is_empty()
-            || needed.is_empty()
+        if self.cfg.threads <= 1 || plan.join.is_some() || !plan.is_aggregate() || needed.is_empty()
         {
             return Ok(None);
         }
@@ -614,26 +622,48 @@ impl Engine {
         struct Piece {
             index: usize,
             columns: Vec<ColumnData>,
+            /// Plain-aggregate partials (empty for grouped queries).
             accs: Vec<Accumulator>,
+            /// Grouped partials (empty for plain aggregates).
+            groups: Vec<GroupPartial>,
         }
+        let group_cols = &plan.group_by;
         let pieces: std::sync::Mutex<Vec<Piece>> = std::sync::Mutex::new(Vec::new());
         let consume = |_worker: usize, morsel: nodb_rawcsv::Morsel| -> Result<()> {
             let mcols = OrdinalCols::new(&scan_cols, &morsel.columns);
             let n = morsel.rowids.len();
-            // A morsel's columns hold exactly its own rows, so an
-            // always-true residual needs no selection vector at all.
-            let positions = if residual.is_always_true() {
-                None
+            let (accs, groups) = if group_cols.is_empty() {
+                // A morsel's columns hold exactly its own rows, so an
+                // always-true residual needs no selection vector at all.
+                let positions = if residual.is_always_true() {
+                    None
+                } else {
+                    Some(filter_positions(&mcols, n, residual)?)
+                };
+                let mut accs: Vec<Accumulator> =
+                    agg_specs.iter().map(|s| Accumulator::new(s.func)).collect();
+                accumulate_into(&mcols, n, positions.as_deref(), &agg_specs, &mut accs)?;
+                (accs, Vec::new())
             } else {
-                Some(filter_positions(&mcols, n, residual)?)
+                // Grouped morsel: a private group table of partial states,
+                // keyed for the partition-wise merge by the group's first
+                // absolute row (morsel-local row + the morsel's base).
+                let groups = group_accumulate_range(
+                    &mcols,
+                    0,
+                    n,
+                    residual,
+                    group_cols,
+                    &agg_specs,
+                    morsel.first_row as u64,
+                )?;
+                (Vec::new(), groups)
             };
-            let mut accs: Vec<Accumulator> =
-                agg_specs.iter().map(|s| Accumulator::new(s.func)).collect();
-            accumulate_into(&mcols, n, positions.as_deref(), &agg_specs, &mut accs)?;
             pieces.lock().expect("pieces mutex").push(Piece {
                 index: morsel.index,
                 columns: morsel.columns,
                 accs,
+                groups,
             });
             Ok(())
         };
@@ -664,6 +694,7 @@ impl Engine {
             .collect();
         let mut merged: Vec<Accumulator> =
             agg_specs.iter().map(|s| Accumulator::new(s.func)).collect();
+        let mut group_partials: Vec<Vec<GroupPartial>> = Vec::with_capacity(pieces.len());
         for piece in pieces {
             for (dst, src) in full.iter_mut().zip(piece.columns) {
                 dst.append(src)?;
@@ -671,11 +702,26 @@ impl Engine {
             for (m, p) in merged.iter_mut().zip(piece.accs) {
                 m.merge(p)?;
             }
+            if !group_cols.is_empty() {
+                group_partials.push(piece.groups);
+            }
         }
         for (&c, col) in scan_cols.iter().zip(full) {
             e.store.insert_full(c, col, now);
         }
         e.store.set_nrows(rows_scanned);
+
+        if !group_cols.is_empty() {
+            // Partition-wise parallel merge, then the shared grouped
+            // output shaping (column order, ORDER BY, OFFSET/LIMIT).
+            let grouped = finish_group_partials(merge_group_partials(
+                group_partials,
+                self.cfg.threads,
+                self.cfg.group_partitions,
+            )?)?;
+            let rows = format_grouped(plan, grouped)?;
+            return Ok(Some(StreamBody::Rows { rows, cursor: 0 }));
+        }
 
         let vals: Vec<Value> = merged
             .iter()
@@ -726,7 +772,12 @@ impl Engine {
             };
         let key_l = gather(mat_l.cols.get(&join.left_key), &pos_l)?;
         let key_r = gather(mat_r.cols.get(&join.right_key), &pos_r)?;
-        let pairs = if self.parallel_worthwhile(key_l.len().max(key_r.len())) {
+        // Below `join_min_rows` the build stays serial: thread dispatch
+        // plus the partition scatter cost more than they save on small
+        // builds (the measured sub-1.0 speedup of the old always-parallel
+        // gate).
+        let join_rows = key_l.len().max(key_r.len());
+        let pairs = if self.cfg.threads > 1 && join_rows >= self.cfg.join_min_rows {
             self.counters.add_parallel_pipeline();
             parallel_hash_join_positions(&key_l, &key_r, self.cfg.threads, self.cfg.morsel_rows)?
         } else {
@@ -824,71 +875,34 @@ impl Engine {
         }
 
         if !plan.group_by.is_empty() {
-            let pos = if residual.is_always_true() {
-                None
+            // Grouped aggregation: morsel-parallel per-worker group tables
+            // with a partition-wise merge when the input is big enough
+            // (kernel ablations keep measuring the serial fold).
+            let grouped = if matches!(
+                self.cfg.kernel,
+                KernelStrategy::Auto | KernelStrategy::Hybrid
+            ) && self.parallel_worthwhile(n_rows)
+            {
+                self.counters.add_parallel_pipeline();
+                parallel_group_aggregate(
+                    &cols,
+                    n_rows,
+                    residual,
+                    &plan.group_by,
+                    &agg_specs,
+                    self.cfg.threads,
+                    self.cfg.morsel_rows,
+                    self.cfg.group_partitions,
+                )?
             } else {
-                Some(filter_positions(&cols, n_rows, residual)?)
+                let pos = if residual.is_always_true() {
+                    None
+                } else {
+                    Some(filter_positions(&cols, n_rows, residual)?)
+                };
+                group_aggregate(&cols, n_rows, pos.as_deref(), &plan.group_by, &agg_specs)?
             };
-            let grouped =
-                group_aggregate(&cols, n_rows, pos.as_deref(), &plan.group_by, &agg_specs)?;
-            // group_aggregate lays out [keys..., aggs...]; re-order to the
-            // declared output order.
-            let mut rows: Vec<Vec<Value>> = Vec::with_capacity(grouped.len());
-            for g in &grouped {
-                let mut row = Vec::with_capacity(plan.output.len());
-                let mut agg_i = 0;
-                for o in &plan.output {
-                    match o {
-                        OutputExpr::Scalar(Expr::Col(c)) => {
-                            let k = plan
-                                .group_by
-                                .iter()
-                                .position(|g| g == c)
-                                .expect("validated by planner");
-                            row.push(g[k].clone());
-                        }
-                        OutputExpr::Scalar(_) => {
-                            return Err(Error::Plan(
-                                "grouped outputs must be columns or aggregates".into(),
-                            ))
-                        }
-                        OutputExpr::Agg(_) => {
-                            row.push(g[plan.group_by.len() + agg_i].clone());
-                            agg_i += 1;
-                        }
-                    }
-                }
-                rows.push(row);
-            }
-            // ORDER BY on group keys (validated by the planner).
-            if !plan.order_by.is_empty() {
-                let key_positions: Vec<(usize, bool)> = plan
-                    .order_by
-                    .iter()
-                    .map(|(c, asc)| {
-                        let k = plan
-                            .group_by
-                            .iter()
-                            .position(|g| g == c)
-                            .expect("validated");
-                        // Position of that key within the grouped row.
-                        (k, *asc)
-                    })
-                    .collect();
-                let mut tagged: Vec<(Vec<Value>, Vec<Value>)> =
-                    grouped.into_iter().zip(rows).collect();
-                tagged.sort_by(|(ga, _), (gb, _)| {
-                    for &(k, asc) in &key_positions {
-                        let ord = ga[k].total_cmp(&gb[k]);
-                        if !ord.is_eq() {
-                            return if asc { ord } else { ord.reverse() };
-                        }
-                    }
-                    std::cmp::Ordering::Equal
-                });
-                rows = tagged.into_iter().map(|(_, r)| r).collect();
-            }
-            window(&mut rows, plan.offset, plan.limit);
+            let rows = format_grouped(plan, grouped)?;
             return Ok(StreamBody::Rows { rows, cursor: 0 });
         }
 
@@ -950,6 +964,68 @@ fn tables_of(ast: &nodb_sql::AstQuery) -> Vec<String> {
         tables.push(j.table.clone());
     }
     tables
+}
+
+/// Shape grouped results (`[keys..., aggs...]` rows in group order, the
+/// layout both `group_aggregate` and the parallel merge produce) into the
+/// plan's declared output: re-order columns, apply ORDER BY on group keys
+/// (validated by the planner), then OFFSET/LIMIT.
+fn format_grouped(plan: &Plan, grouped: Vec<Vec<Value>>) -> Result<Vec<Vec<Value>>> {
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(grouped.len());
+    for g in &grouped {
+        let mut row = Vec::with_capacity(plan.output.len());
+        let mut agg_i = 0;
+        for o in &plan.output {
+            match o {
+                OutputExpr::Scalar(Expr::Col(c)) => {
+                    let k = plan
+                        .group_by
+                        .iter()
+                        .position(|g| g == c)
+                        .expect("validated by planner");
+                    row.push(g[k].clone());
+                }
+                OutputExpr::Scalar(_) => {
+                    return Err(Error::Plan(
+                        "grouped outputs must be columns or aggregates".into(),
+                    ))
+                }
+                OutputExpr::Agg(_) => {
+                    row.push(g[plan.group_by.len() + agg_i].clone());
+                    agg_i += 1;
+                }
+            }
+        }
+        rows.push(row);
+    }
+    if !plan.order_by.is_empty() {
+        let key_positions: Vec<(usize, bool)> = plan
+            .order_by
+            .iter()
+            .map(|(c, asc)| {
+                let k = plan
+                    .group_by
+                    .iter()
+                    .position(|g| g == c)
+                    .expect("validated");
+                // Position of that key within the grouped row.
+                (k, *asc)
+            })
+            .collect();
+        let mut tagged: Vec<(Vec<Value>, Vec<Value>)> = grouped.into_iter().zip(rows).collect();
+        tagged.sort_by(|(ga, _), (gb, _)| {
+            for &(k, asc) in &key_positions {
+                let ord = ga[k].total_cmp(&gb[k]);
+                if !ord.is_eq() {
+                    return if asc { ord } else { ord.reverse() };
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        rows = tagged.into_iter().map(|(_, r)| r).collect();
+    }
+    window(&mut rows, plan.offset, plan.limit);
+    Ok(rows)
 }
 
 /// Apply `OFFSET m` then `LIMIT n` to an ordered result vector.
@@ -1385,6 +1461,167 @@ mod tests {
         let sj = serial.sql(join_sql).unwrap();
         let pj = par.sql(join_sql).unwrap();
         assert_eq!(pj.rows, sj.rows);
+    }
+
+    #[test]
+    fn cold_grouped_pipeline_matches_serial_and_loads_store() {
+        let dir = std::env::temp_dir().join("nodb_engine_parallel_group");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.csv");
+        let mut data = String::new();
+        for i in 0..20_000i64 {
+            data.push_str(&format!("{},{},{}\n", i, i * 3, i % 13));
+        }
+        std::fs::write(&path, &data).unwrap();
+        let sqls = [
+            "select a3, sum(a2), count(*) from r where a1 < 18000 group by a3 order by a3",
+            "select a3, min(a1), max(a2), avg(a1) from r group by a3",
+            "select a3, count(*) from r group by a3 order by a3 desc limit 4 offset 2",
+        ];
+        let serial = Engine::new(EngineConfig::default().with_threads(1));
+        serial.register_table("r", &path).unwrap();
+
+        for (q, sql) in sqls.iter().enumerate() {
+            // Fresh parallel engine per query so each one takes the fused
+            // cold path (GROUP BY gate lifted), small morsels to force many.
+            let mut cfg = EngineConfig::default().with_threads(4);
+            cfg.morsel_rows = 1000;
+            cfg.store_dir = Some(dir.join(format!("store{q}")));
+            let par = Engine::new(cfg);
+            par.register_table("r", &path).unwrap();
+            let expect = serial.sql(sql).unwrap().rows;
+            let out = par.sql(sql).unwrap();
+            assert_eq!(out.rows, expect, "{sql}");
+            // The cold grouped pipeline fed the adaptive store like a
+            // serial column load: a rerun does no file work and agrees.
+            let before = par.counters().snapshot();
+            let again = par.sql(sql).unwrap();
+            assert_eq!(again.rows, expect, "warm {sql}");
+            let delta = par.counters().snapshot().since(&before);
+            assert_eq!(delta.file_trips, 0, "{sql}");
+            assert!(par.counters().snapshot().morsels_dispatched >= 20, "{sql}");
+        }
+    }
+
+    #[test]
+    fn warm_parallel_group_by_matches_serial_across_threads() {
+        let dir = std::env::temp_dir().join("nodb_engine_warm_group");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.csv");
+        let mut data = String::new();
+        for i in 0..8_000i64 {
+            data.push_str(&format!("{},{},{}\n", i % 31, i, i % 7));
+        }
+        std::fs::write(&path, &data).unwrap();
+        let sql = "select a1, sum(a2), count(*) from r where a3 < 5 group by a1";
+        let mut reference: Option<Vec<Vec<Value>>> = None;
+        for threads in [1, 2, 5] {
+            let mut cfg = EngineConfig::default().with_threads(threads);
+            cfg.morsel_rows = 500;
+            cfg.group_partitions = if threads == 5 { 4 } else { 0 };
+            let e = Engine::new(cfg);
+            e.register_table("r", &path).unwrap();
+            // Warm the store first so the grouped kernel (not the cold
+            // pipeline) is what executes the second time.
+            e.sql(sql).unwrap();
+            let out = e.sql(sql).unwrap();
+            match &reference {
+                None => reference = Some(out.rows),
+                Some(r) => assert_eq!(&out.rows, r, "threads={threads}"),
+            }
+            if threads > 1 {
+                assert!(e.counters().snapshot().parallel_pipelines >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn small_joins_stay_serial_under_threshold() {
+        let dir = std::env::temp_dir().join("nodb_engine_join_threshold");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir).unwrap();
+        let r = dir.join("r.csv");
+        let s = dir.join("s.csv");
+        let mut rd = String::new();
+        let mut sd = String::new();
+        for i in 0..4_000i64 {
+            rd.push_str(&format!("{},{}\n", i, i * 2));
+            sd.push_str(&format!("{},{}\n", (i * 13) % 4000, i));
+        }
+        std::fs::write(&r, &rd).unwrap();
+        std::fs::write(&s, &sd).unwrap();
+        let run = |join_min_rows: usize| {
+            let mut cfg = EngineConfig::default().with_threads(4);
+            // Morsels bigger than the table: the post-join aggregate stays
+            // serial, so `parallel_pipelines` counts only the join's gate.
+            cfg.morsel_rows = 100_000;
+            cfg.join_min_rows = join_min_rows;
+            let e = Engine::new(cfg);
+            e.register_table("r", &r).unwrap();
+            e.register_table("s", &s).unwrap();
+            let sql = "select count(*), sum(s.a2) from r join s on r.a1 = s.a1";
+            let out = e.sql(sql).unwrap();
+            let before = e.counters().snapshot();
+            let again = e.sql(sql).unwrap();
+            assert_eq!(again.rows, out.rows);
+            (out.rows, e.counters().snapshot().since(&before))
+        };
+        // Threshold above the input: the warm join runs serial.
+        let (rows_hi, delta_hi) = run(1_000_000);
+        assert_eq!(delta_hi.parallel_pipelines, 0);
+        // Threshold below the input: the warm join goes parallel, with
+        // identical results (serial fallback vs partitioned build).
+        let (rows_lo, delta_lo) = run(1_000);
+        assert!(delta_lo.parallel_pipelines >= 1);
+        assert_eq!(rows_lo, rows_hi);
+    }
+
+    #[test]
+    fn racing_cracked_range_queries_agree() {
+        // Warm range queries under `use_cracking` take the short-lock
+        // fast path and crack the partitioned index concurrently; every
+        // racing query must still count exactly its range.
+        let dir = std::env::temp_dir().join("nodb_engine_crack_race");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.csv");
+        let mut data = String::new();
+        for i in 0..30_000i64 {
+            data.push_str(&format!("{},{}\n", (i * 6151) % 30_000, i));
+        }
+        std::fs::write(&path, &data).unwrap();
+        let mut cfg = EngineConfig::default().with_threads(4);
+        cfg.use_cracking = true;
+        let e = Arc::new(Engine::new(cfg));
+        e.register_table("r", &path).unwrap();
+        e.sql("select sum(a1) from r").unwrap(); // load the column
+        let mut handles = Vec::new();
+        for t in 0..8i64 {
+            let e = Arc::clone(&e);
+            handles.push(std::thread::spawn(move || {
+                for q in 0..6i64 {
+                    let lo = (t * 2_311 + q * 4_799) % 25_000;
+                    let hi = lo + 2_000;
+                    let out = e
+                        .sql(&format!(
+                            "select count(*) from r where a1 > {lo} and a1 < {hi}"
+                        ))
+                        .unwrap();
+                    // a1 is a permutation of 0..30000: exactly hi-lo-1
+                    // values fall strictly inside the range.
+                    assert_eq!(out.rows[0][0], Value::Int(hi - lo - 1), "({lo},{hi})");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // No racing query re-read the file: everything came from the
+        // store and the cracked index.
+        assert_eq!(e.counters().snapshot().file_trips, 1);
     }
 
     #[test]

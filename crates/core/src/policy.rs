@@ -146,13 +146,76 @@ fn ensure_nrows(
     Ok(out.rows_scanned)
 }
 
-/// Adaptive-index access path: when enabled and the filter constrains a
-/// fully loaded integer column, answer the selection from a cracked copy
-/// (building it on first use, refining it on every query — the index is "a
-/// side-effect of query processing"). Returns a rowid-restricted
-/// materialisation with `prefiltered = false`: the engine re-applies the
-/// full conjunction, which is sound (the cracked rows already satisfy the
-/// cracked predicate) and keeps multi-predicate semantics exact.
+/// Pick the adaptive index's serving column: the first filter column that
+/// is constrained, fully loaded and null-free int.
+fn crackable_pick(entry: &TableEntry, filter: &Conjunction) -> Option<(usize, Interval)> {
+    let bbox = filter.to_box()?;
+    for (col, iv) in &bbox.by_col {
+        if iv.is_all() {
+            continue;
+        }
+        let Some(data) = entry.store.peek_full(*col) else {
+            continue;
+        };
+        if matches!(&**data, ColumnData::Int64 { nulls: None, .. }) {
+            return Some((*col, iv.clone()));
+        }
+    }
+    None
+}
+
+/// Ensure `col` has a partitioned cracked copy: one cracker piece per
+/// worker, so partitions refine independently under their own locks and
+/// range queries stop serializing on one entry-wide mutex. Returns the
+/// shared index handle.
+fn ensure_cracked(
+    entry: &mut TableEntry,
+    col: usize,
+    cfg: &EngineConfig,
+    now: u64,
+) -> Arc<nodb_store::PartitionedCracked> {
+    if !entry.store.has_cracked(col) {
+        let data = entry.store.peek_full(col).expect("checked");
+        let vals = data.as_i64_slice().expect("checked int").to_vec();
+        entry.store.insert_cracked(
+            col,
+            nodb_store::PartitionedCracked::new(vals, cfg.threads.max(1)),
+            now,
+        );
+    }
+    entry.store.cracked(col, now).expect("just ensured")
+}
+
+/// Gather `needed` columns at the cracked selection's rowids into a
+/// rowid-restricted [`Materialized`] with `prefiltered = false`: the
+/// engine re-applies the full conjunction, which is sound (the cracked
+/// rows already satisfy the cracked predicate) and keeps multi-predicate
+/// semantics exact.
+fn cracked_materialization(
+    cols_in: BTreeMap<usize, Arc<ColumnData>>,
+    mut rowids: Vec<u64>,
+) -> Materialized {
+    // Keep plain projections deterministic across access paths.
+    rowids.sort_unstable();
+    let positions: Vec<usize> = rowids.iter().map(|&r| r as usize).collect();
+    let cols = cols_in
+        .into_iter()
+        .map(|(c, data)| (c, Arc::new(data.take(&positions))))
+        .collect();
+    Materialized {
+        cols,
+        n_rows: rowids.len(),
+        rowids: Some(rowids),
+        prefiltered: false,
+    }
+}
+
+/// Adaptive-index access path inside a policy load (the cold half): when
+/// enabled and the filter constrains a fully loaded integer column, answer
+/// the selection from a cracked copy (building it on first use, refining
+/// it on every query — the index is "a side-effect of query processing").
+/// Runs under the caller's entry lock; warm repeat queries take
+/// [`try_cracked_warm`] instead, which cracks outside that lock.
 fn maybe_crack(
     entry: &mut TableEntry,
     needed: &[usize],
@@ -163,59 +226,86 @@ fn maybe_crack(
     if !cfg.use_cracking || filter.is_always_true() {
         return Ok(None);
     }
-    let Some(bbox) = filter.to_box() else {
+    let Some((col, iv)) = crackable_pick(entry, filter) else {
         return Ok(None);
     };
-    // Pick the first constrained, fully loaded, null-free int column.
-    let mut pick: Option<(usize, Interval)> = None;
-    for (col, iv) in &bbox.by_col {
-        if iv.is_all() {
-            continue;
-        }
-        let Some(data) = entry.store.peek_full(*col) else {
-            continue;
-        };
-        if matches!(&**data, ColumnData::Int64 { nulls: None, .. }) {
-            pick = Some((*col, iv.clone()));
-            break;
-        }
-    }
-    let Some((col, iv)) = pick else {
-        return Ok(None);
-    };
-    if !entry.store.has_cracked(col) {
-        let data = entry.store.peek_full(col).expect("checked");
-        let vals = data.as_i64_slice().expect("checked int").to_vec();
-        entry
-            .store
-            .insert_cracked(col, nodb_store::CrackedColumn::new(vals), now);
-    }
-    let mut rowids: Vec<u64> = {
-        let cracked = entry.store.cracked_mut(col, now).expect("just ensured");
-        match cracked.select(&iv) {
-            Some((_, ids)) => ids.to_vec(),
-            None => return Ok(None), // non-int bounds; fall back to scans
-        }
+    let index = ensure_cracked(entry, col, cfg, now);
+    let Some((_, rowids)) = index.select_parallel(&iv, cfg.threads) else {
+        return Ok(None); // non-int bounds; fall back to scans
     };
     entry.store.refresh_cracked_bytes();
-    // Keep plain projections deterministic across access paths.
-    rowids.sort_unstable();
-    let positions: Vec<usize> = rowids.iter().map(|&r| r as usize).collect();
     let mut cols = BTreeMap::new();
     for &c in needed {
         let data = entry
             .store
             .full_column(c, now)
             .ok_or_else(|| Error::exec(format!("column {c} expected to be loaded")))?;
-        cols.insert(c, Arc::new(data.take(&positions)));
+        cols.insert(c, data);
     }
-    let n = rowids.len();
-    Ok(Some(Materialized {
-        cols,
-        n_rows: n,
-        rowids: Some(rowids),
-        prefiltered: false,
-    }))
+    Ok(Some(cracked_materialization(cols, rowids)))
+}
+
+/// The warm adaptive-index fast path, called by the engine *before* it
+/// takes the long-lived entry write lock: when every needed column is
+/// already fully loaded and the filter constrains a crackable column,
+/// snapshot `Arc` handles to the index and the columns under a short
+/// write lock, then crack **outside** it — racing range queries refine
+/// the partitioned index concurrently under its per-partition locks
+/// instead of serializing on the table entry. Returns `None` (state
+/// untouched beyond LRU stamps and possibly installing the index) when
+/// the shape does not qualify; the ordinary policy path then runs.
+pub(crate) fn try_cracked_warm(
+    entry: &parking_lot::RwLock<TableEntry>,
+    needed: &[usize],
+    filter: &Conjunction,
+    cfg: &EngineConfig,
+    counters: &WorkCounters,
+    now: u64,
+) -> Result<Option<Materialized>> {
+    if !cfg.use_cracking || filter.is_always_true() || needed.is_empty() {
+        return Ok(None);
+    }
+    // Cracking serves the full-column policies only (same gate as the
+    // cold path's call sites in full_load / column_loads).
+    if !matches!(
+        cfg.strategy,
+        LoadingStrategy::FullLoad | LoadingStrategy::ColumnLoads
+    ) {
+        return Ok(None);
+    }
+    // Short lock: validate state, install the index if missing, clone
+    // the shared handles. Installs are serialized by this write lock and
+    // guarded by `has_cracked`, so the index is built exactly once.
+    let (index, cols, iv) = {
+        let mut e = entry.write();
+        if e.resident {
+            return Ok(None);
+        }
+        e.ensure_current(&cfg.csv, cfg.infer_sample_rows, counters)?;
+        if !e.store.missing_full(needed).is_empty() {
+            return Ok(None); // cold: the policy path loads first
+        }
+        let Some((col, iv)) = crackable_pick(&e, filter) else {
+            return Ok(None);
+        };
+        let index = ensure_cracked(&mut e, col, cfg, now);
+        let mut cols = BTreeMap::new();
+        for &c in needed {
+            let data = e
+                .store
+                .full_column(c, now)
+                .ok_or_else(|| Error::exec(format!("column {c} expected to be loaded")))?;
+            cols.insert(c, data);
+        }
+        (index, cols, iv)
+    };
+    // Crack outside the entry lock: only partition locks are held.
+    let Some((_, rowids)) = index.select_parallel(&iv, cfg.threads) else {
+        return Ok(None); // non-int bounds; fall back to scans
+    };
+    // Byte-accounting catch-up under a short re-lock.
+    entry.write().store.refresh_cracked_bytes();
+    Ok(Some(cracked_materialization(cols, rowids)))
 }
 
 // ----- FullLoad (the "MonetDB" curve) -----------------------------------

@@ -36,8 +36,9 @@ pub use expr::{arith, ArithOp, Expr};
 pub use hybrid::fused_filter_aggregate;
 pub use join::{hash_join_positions, merge_join_positions, split_pairs};
 pub use morsel::{
-    parallel_filter_aggregate, parallel_filter_positions, parallel_hash_join_positions,
-    OrdinalCols, DEFAULT_MORSEL_ROWS,
+    finish_group_partials, group_accumulate_range, group_partition_count, merge_group_partials,
+    parallel_filter_aggregate, parallel_filter_positions, parallel_group_aggregate,
+    parallel_hash_join_positions, GroupPartial, OrdinalCols, DEFAULT_MORSEL_ROWS,
 };
 pub use stream::ProjectionCursor;
 pub use volcano::{

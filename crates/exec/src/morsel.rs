@@ -20,19 +20,21 @@
 //! `scan_morsels`; `nodb-core` connects the two.
 //!
 //! Determinism: every parallel function here merges per-morsel results in
-//! morsel index order, so output does not depend on worker scheduling or
-//! thread count. Integer aggregates are bit-identical to serial execution;
-//! float sums are deterministic but associate per-morsel.
+//! morsel index order, so output does not depend on worker scheduling.
+//! Integer aggregates are bit-identical to serial execution; float sums
+//! are deterministic but associate per-morsel (with a single worker the
+//! grouped and join kernels delegate to the serial fold, which associates
+//! per-row).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::hash::{Hash, Hasher};
 use std::sync::Mutex;
 
-use nodb_types::{ColumnData, Conjunction, Error, Result, Value};
+use nodb_types::{drive_morsels, morsel_count, ColumnData, Conjunction, Error, Result, Value};
 
 use crate::agg::Accumulator;
 use crate::cols::Cols;
-use crate::columnar::{accumulate_into, filter_positions_range, AggSpec};
+use crate::columnar::{accumulate_into, filter_positions_range, AggSpec, GroupKey};
 use crate::expr::Expr;
 use crate::join::hash_join_positions;
 
@@ -43,61 +45,29 @@ pub const DEFAULT_MORSEL_ROWS: usize = 32_768;
 /// Run `f(index, lo, hi)` for every morsel of `n` items, `morsel_rows` per
 /// morsel, on up to `threads` stealing workers. Results come back in morsel
 /// index order regardless of scheduling. The first error wins and stops
-/// remaining workers at their next steal.
+/// remaining workers at their next steal. Scheduling (steal counter, error
+/// flag, thread scope) comes from the shared `nodb-types` driver; this
+/// wrapper adds the ordered result slots.
 fn run_morsels<T, F>(n: usize, morsel_rows: usize, threads: usize, f: F) -> Result<Vec<T>>
 where
     T: Send,
     F: Fn(usize, usize, usize) -> Result<T> + Sync,
 {
-    let morsel_rows = morsel_rows.max(1);
-    let n_morsels = n.div_ceil(morsel_rows);
-    let workers = threads.max(1).min(n_morsels.max(1));
-    if workers <= 1 {
-        let mut out = Vec::with_capacity(n_morsels);
-        for index in 0..n_morsels {
-            let lo = index * morsel_rows;
-            let hi = ((index + 1) * morsel_rows).min(n);
-            out.push(f(index, lo, hi)?);
-        }
-        return Ok(out);
-    }
+    let n_morsels = morsel_count(n, morsel_rows);
     let mut slots: Vec<Mutex<Option<T>>> = Vec::with_capacity(n_morsels);
     slots.resize_with(n_morsels, || Mutex::new(None));
-    let next = AtomicUsize::new(0);
-    let failed = AtomicBool::new(false);
-    let failure: Mutex<Option<Error>> = Mutex::new(None);
-    crossbeam::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for _ in 0..workers {
-            let (slots, next, failed, failure, f) = (&slots, &next, &failed, &failure, &f);
-            handles.push(s.spawn(move |_| loop {
-                if failed.load(Ordering::Relaxed) {
-                    break;
-                }
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                if index >= n_morsels {
-                    break;
-                }
-                let lo = index * morsel_rows;
-                let hi = ((index + 1) * morsel_rows).min(n);
-                match f(index, lo, hi) {
-                    Ok(v) => *slots[index].lock().expect("slot mutex") = Some(v),
-                    Err(e) => {
-                        *failure.lock().expect("failure mutex") = Some(e);
-                        failed.store(true, Ordering::Relaxed);
-                        break;
-                    }
-                }
-            }));
-        }
-        for h in handles {
-            h.join().expect("morsel worker panicked");
-        }
-    })
-    .expect("morsel scope");
-    if let Some(e) = failure.into_inner().expect("failure mutex") {
-        return Err(e);
-    }
+    drive_morsels(
+        n,
+        morsel_rows,
+        threads,
+        |_worker| (),
+        |_state, _worker, r| {
+            let v = f(r.index, r.lo, r.hi)?;
+            *slots[r.index].lock().expect("slot mutex") = Some(v);
+            Ok(())
+        },
+        |_state| {},
+    )?;
     slots
         .into_iter()
         .map(|s| {
@@ -244,12 +214,241 @@ impl Cols for OrdinalCols<'_> {
     }
 }
 
+/// Partial aggregation state of one group, produced per worker and merged
+/// partition-wise: the group key, one accumulator per aggregate spec, and
+/// the smallest input position the group was seen at (what reconstructs
+/// the serial first-appearance output order after a parallel merge).
+#[derive(Debug, Clone)]
+pub struct GroupPartial {
+    /// The group key values.
+    pub key: GroupKey,
+    /// One accumulator per aggregate spec, parallel to `specs`.
+    pub accs: Vec<Accumulator>,
+    /// Smallest position (plus the caller's base offset) at which this
+    /// group appeared.
+    pub first_pos: u64,
+}
+
+/// Build grouped partial-aggregate states over the row range `[lo, hi)`:
+/// filter with `conj`, then fold each qualifying row into its group's
+/// accumulators, remembering the first position each group appeared at
+/// (`pos_base + row`). Groups come back in local first-appearance order —
+/// exactly the per-morsel half of the serial
+/// [`group_aggregate`](crate::columnar::group_aggregate) loop.
+pub fn group_accumulate_range<C: Cols + ?Sized>(
+    cols: &C,
+    lo: usize,
+    hi: usize,
+    conj: &Conjunction,
+    group_cols: &[usize],
+    specs: &[AggSpec],
+    pos_base: u64,
+) -> Result<Vec<GroupPartial>> {
+    for &g in group_cols {
+        if cols.get_col(g).is_none() {
+            return Err(Error::exec(format!("group column {g} not materialised")));
+        }
+    }
+    let positions: Option<Vec<usize>> = if conj.is_always_true() {
+        None
+    } else {
+        Some(filter_positions_range(cols, lo, hi, conj)?)
+    };
+    let iter: Box<dyn Iterator<Item = usize>> = match &positions {
+        None => Box::new(lo..hi),
+        Some(pos) => Box::new(pos.iter().copied()),
+    };
+    let mut slots: HashMap<GroupKey, usize> = HashMap::new();
+    let mut out: Vec<GroupPartial> = Vec::new();
+    for i in iter {
+        let key = GroupKey(
+            group_cols
+                .iter()
+                .map(|&g| cols.get_col(g).expect("validated").get(i))
+                .collect(),
+        );
+        let slot = match slots.get(&key) {
+            Some(&s) => s,
+            None => {
+                let s = out.len();
+                out.push(GroupPartial {
+                    key: key.clone(),
+                    accs: specs.iter().map(|sp| Accumulator::new(sp.func)).collect(),
+                    first_pos: pos_base + i as u64,
+                });
+                slots.insert(key, s);
+                s
+            }
+        };
+        for (acc, spec) in out[slot].accs.iter_mut().zip(specs) {
+            match &spec.expr {
+                None => acc.update(&Value::Null)?,
+                Some(e) => acc.update(&e.eval(cols, i)?)?,
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Deterministic (process-stable) hash of a group key, used only to spread
+/// groups across merge partitions — output order never depends on it.
+fn group_key_hash(key: &GroupKey) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// Number of merge partitions for the parallel GROUP BY: the configured
+/// hint rounded to a power of two, or (when the hint is 0 = auto) twice
+/// the worker count — enough spread that stealing workers stay busy
+/// without fragmenting tiny group sets.
+pub fn group_partition_count(threads: usize, hint: usize) -> usize {
+    let p = if hint > 0 { hint } else { threads.max(1) * 2 };
+    p.next_power_of_two().clamp(1, 1024)
+}
+
+/// Fold a stream of group partials into one table, merging accumulators
+/// in stream order and keeping each group's smallest first-appearance
+/// position. Per-group merge order equals stream order, so feeding the
+/// same partials in morsel order — whole, or pre-scattered into hash
+/// buckets — produces identical accumulator states.
+fn merge_ordered(groups: impl Iterator<Item = GroupPartial>) -> Result<Vec<GroupPartial>> {
+    let mut slots: HashMap<GroupKey, usize> = HashMap::new();
+    let mut out: Vec<GroupPartial> = Vec::new();
+    for g in groups {
+        match slots.get(&g.key) {
+            Some(&s) => {
+                let dst = &mut out[s];
+                dst.first_pos = dst.first_pos.min(g.first_pos);
+                for (m, a) in dst.accs.iter_mut().zip(g.accs) {
+                    m.merge(a)?;
+                }
+            }
+            None => {
+                slots.insert(g.key.clone(), out.len());
+                out.push(g);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Below this many partials the merge runs serially in one pass: a second
+/// thread scope spawns OS threads per query, which dwarfs merging a
+/// handful of groups.
+const SERIAL_MERGE_MAX_PARTIALS: usize = 4096;
+
+/// Merge per-morsel grouped partials partition-wise: groups are
+/// radix-partitioned by key hash, each partition merges its groups'
+/// accumulators in morsel order (on stealing workers when `threads > 1`),
+/// and the flattened result is re-sorted by first appearance — byte-equal
+/// to the serial single-table fold for integer aggregates, deterministic
+/// for any worker count. Small partial sets (and single-worker calls)
+/// merge serially in one pass, with identical output: per-group merge
+/// order is morsel order either way. `parts` must be in morsel index
+/// order.
+pub fn merge_group_partials(
+    parts: Vec<Vec<GroupPartial>>,
+    threads: usize,
+    partitions: usize,
+) -> Result<Vec<GroupPartial>> {
+    let total: usize = parts.iter().map(Vec::len).sum();
+    if threads <= 1 || total <= SERIAL_MERGE_MAX_PARTIALS {
+        let mut all = merge_ordered(parts.into_iter().flatten())?;
+        all.sort_by_key(|g| g.first_pos);
+        return Ok(all);
+    }
+    let p = group_partition_count(threads, partitions);
+    let mut buckets: Vec<Vec<GroupPartial>> = Vec::with_capacity(p);
+    buckets.resize_with(p, Vec::new);
+    // Scatter in morsel order (cheap: one move per *group*, not per row),
+    // so every bucket sees its groups' partials in merge order.
+    for morsel in parts {
+        for g in morsel {
+            let b = (group_key_hash(&g.key) as usize) & (p - 1);
+            buckets[b].push(g);
+        }
+    }
+    // Hand each worker its bucket by move — keys and accumulator states
+    // transfer without cloning.
+    let buckets: Vec<Mutex<Vec<GroupPartial>>> = buckets.into_iter().map(Mutex::new).collect();
+    let buckets_ref = &buckets;
+    let merged: Vec<Vec<GroupPartial>> = run_morsels(p, 1, threads, |_index, lo, _hi| {
+        let bucket = std::mem::take(&mut *buckets_ref[lo].lock().expect("bucket lock"));
+        merge_ordered(bucket.into_iter())
+    })?;
+    let mut all: Vec<GroupPartial> = merged.into_iter().flatten().collect();
+    all.sort_by_key(|g| g.first_pos);
+    Ok(all)
+}
+
+/// Morsel-parallel hash GROUP BY. Each stealing worker builds private
+/// group tables of [`Accumulator`] states over its morsels
+/// ([`group_accumulate_range`]); the per-morsel tables are
+/// radix-partitioned by group-key hash and merged partition-wise in
+/// parallel ([`merge_group_partials`]); the final ordering is by first
+/// appearance — byte-identical to the serial
+/// [`group_aggregate`](crate::columnar::group_aggregate) output
+/// (`group key columns ++ aggregate results` per row) for any thread
+/// count. `partitions = 0` picks the partition count automatically.
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_group_aggregate<C: Cols + ?Sized + Sync>(
+    cols: &C,
+    n_rows: usize,
+    conj: &Conjunction,
+    group_cols: &[usize],
+    specs: &[AggSpec],
+    threads: usize,
+    morsel_rows: usize,
+    partitions: usize,
+) -> Result<Vec<Vec<Value>>> {
+    if threads <= 1 {
+        // One worker: the serial fold is the same result without the
+        // per-morsel tables, scatter and merge.
+        let pos = if conj.is_always_true() {
+            None
+        } else {
+            Some(crate::columnar::filter_positions(cols, n_rows, conj)?)
+        };
+        return crate::columnar::group_aggregate(cols, n_rows, pos.as_deref(), group_cols, specs);
+    }
+    let partials = run_morsels(n_rows, morsel_rows, threads, |_index, lo, hi| {
+        group_accumulate_range(cols, lo, hi, conj, group_cols, specs, 0)
+    })?;
+    let merged = merge_group_partials(partials, threads, partitions)?;
+    finish_group_partials(merged)
+}
+
+/// Turn merged group partials into result rows, `group key columns ++
+/// aggregate results` per group — the layout of the serial
+/// [`group_aggregate`](crate::columnar::group_aggregate).
+pub fn finish_group_partials(merged: Vec<GroupPartial>) -> Result<Vec<Vec<Value>>> {
+    let mut rows = Vec::with_capacity(merged.len());
+    for g in merged {
+        let mut row = g.key.0;
+        for a in &g.accs {
+            row.push(a.finish()?);
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
 /// Fibonacci-multiplicative partition of a key into one of `p` (power of
 /// two) partitions, mixing high bits so sequential keys spread.
 #[inline]
 fn partition_of(key: i64, p: usize) -> usize {
     let h = (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     (h >> (64 - p.trailing_zeros())) as usize & (p - 1)
+}
+
+/// Partition count for the parallel join build. One partition per worker
+/// (rounded to a power of two) keeps every thread busy in the build and
+/// probe phases; the previous `threads * 4` oversharding made each
+/// partitioning morsel allocate four times the buckets for no extra
+/// parallelism, which is where the small-build regression came from.
+fn join_partition_count(threads: usize) -> usize {
+    threads.next_power_of_two().clamp(2, 64)
 }
 
 /// Morsel-parallel partitioned hash join over null-free int key columns:
@@ -273,7 +472,7 @@ pub fn parallel_hash_join_positions(
     if nullable || threads <= 1 {
         return hash_join_positions(left, right);
     }
-    let p = (threads * 4).next_power_of_two().max(2);
+    let p = join_partition_count(threads);
 
     // Build phase 1: partition left morsels (parallel, order-preserving).
     let partitioned = run_morsels(ls.len(), morsel_rows, threads, |_index, lo, hi| {
@@ -328,7 +527,7 @@ pub fn parallel_hash_join_positions(
 mod tests {
     use super::*;
     use crate::agg::AggFunc;
-    use crate::columnar::{aggregate, filter_positions};
+    use crate::columnar::{aggregate, filter_positions, group_aggregate};
     use crate::hybrid::fused_filter_aggregate;
     use nodb_types::{CmpOp, ColPred};
     use std::collections::BTreeMap;
@@ -436,5 +635,169 @@ mod tests {
             }
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn parallel_group_by_identical_to_serial() {
+        let (cols, n) = table(10_000);
+        let conj = Conjunction::new(vec![ColPred::new(1, CmpOp::Lt, 15_000i64)]);
+        let specs = vec![
+            AggSpec::on_col(AggFunc::Sum, 1),
+            AggSpec::on_col(AggFunc::Min, 0),
+            AggSpec::count_star(),
+        ];
+        let group_cols = vec![0usize];
+        let pos = filter_positions(&cols, n, &conj).unwrap();
+        let serial = group_aggregate(&cols, n, Some(&pos), &group_cols, &specs).unwrap();
+        for threads in [1, 2, 7] {
+            for morsel_rows in [64, 1000, 100_000] {
+                for partitions in [0, 1, 8] {
+                    let par = parallel_group_aggregate(
+                        &cols,
+                        n,
+                        &conj,
+                        &group_cols,
+                        &specs,
+                        threads,
+                        morsel_rows,
+                        partitions,
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        par, serial,
+                        "threads={threads} morsel_rows={morsel_rows} partitions={partitions}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_group_by_multi_key_and_empty() {
+        let (cols, n) = table(3_000);
+        let specs = vec![AggSpec::on_col(AggFunc::Avg, 2)];
+        let group_cols = vec![0usize, 1];
+        let serial = group_aggregate(&cols, n, None, &group_cols, &specs).unwrap();
+        let par = parallel_group_aggregate(
+            &cols,
+            n,
+            &Conjunction::always(),
+            &group_cols,
+            &specs,
+            3,
+            128,
+            0,
+        )
+        .unwrap();
+        assert_eq!(par, serial);
+        // Zero rows: zero groups, like serial.
+        let (empty, _) = table(0);
+        let par = parallel_group_aggregate(
+            &empty,
+            0,
+            &Conjunction::always(),
+            &group_cols,
+            &specs,
+            3,
+            128,
+            0,
+        )
+        .unwrap();
+        assert!(par.is_empty());
+    }
+
+    #[test]
+    fn parallel_group_by_null_keys_group_together() {
+        let mut cols = BTreeMap::new();
+        let mut c0 = ColumnData::empty(nodb_types::DataType::Int64);
+        for v in [
+            Value::Null,
+            Value::Int(1),
+            Value::Null,
+            Value::Int(1),
+            Value::Null,
+        ] {
+            c0.push(v).unwrap();
+        }
+        cols.insert(0, c0);
+        cols.insert(1, ColumnData::from_i64(vec![5, 6, 7, 8, 9]));
+        let specs = vec![AggSpec::on_col(AggFunc::Sum, 1), AggSpec::count_star()];
+        let serial = group_aggregate(&cols, 5, None, &[0], &specs).unwrap();
+        // Morsel size 2 splits the NULL group across three morsels.
+        let par = parallel_group_aggregate(&cols, 5, &Conjunction::always(), &[0], &specs, 4, 2, 0)
+            .unwrap();
+        assert_eq!(par, serial);
+        assert_eq!(par[0][0], Value::Null);
+        assert_eq!(par[0][1], Value::Int(21));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Group keys of one dtype (picked per case) with NULLs mixed in;
+        /// few distinct values so groups split across morsel boundaries.
+        /// Float aggregates use integral floats, whose sums stay exact,
+        /// so parallel results must be *byte-identical* to serial.
+        fn key_value(ty: u8, seed: u8) -> Value {
+            if seed.is_multiple_of(7) {
+                return Value::Null;
+            }
+            match ty % 3 {
+                0 => Value::Int((seed % 5) as i64),
+                1 => Value::Float((seed % 4) as f64),
+                _ => Value::Str(format!("k{}", seed % 3)),
+            }
+        }
+
+        proptest! {
+            /// Serial vs parallel GROUP BY parity: group ordering,
+            /// accumulator values and row layout match for every thread
+            /// count and morsel size, including morsel-boundary group
+            /// splits (tiny morsels), NULL keys and empty input.
+            #[test]
+            fn group_by_parity(
+                seeds in proptest::collection::vec(0u8..=255, 0..120),
+                key_ty in 0u8..3,
+                threads in 1usize..6,
+                morsel_rows in 1usize..40,
+                partitions in 0usize..9,
+            ) {
+                let n = seeds.len();
+                let key_dtype = match key_ty % 3 {
+                    0 => nodb_types::DataType::Int64,
+                    1 => nodb_types::DataType::Float64,
+                    _ => nodb_types::DataType::Str,
+                };
+                let mut keys = ColumnData::empty(key_dtype);
+                let mut ints = ColumnData::empty(nodb_types::DataType::Int64);
+                let mut floats = ColumnData::empty(nodb_types::DataType::Float64);
+                for (i, &s) in seeds.iter().enumerate() {
+                    keys.push(key_value(key_ty, s)).unwrap();
+                    let iv = if s % 7 == 0 { Value::Null } else { Value::Int(i as i64 - 20) };
+                    ints.push(iv).unwrap();
+                    floats.push(Value::Float((s % 11) as f64)).unwrap();
+                }
+                let mut cols = BTreeMap::new();
+                cols.insert(0, keys);
+                cols.insert(1, ints);
+                cols.insert(2, floats);
+                let conj = Conjunction::new(vec![ColPred::new(2, CmpOp::Lt, 9.0f64)]);
+                let specs = vec![
+                    AggSpec::on_col(AggFunc::Sum, 1),
+                    AggSpec::on_col(AggFunc::Min, 0),
+                    AggSpec::on_col(AggFunc::Max, 2),
+                    AggSpec::on_col(AggFunc::Avg, 2),
+                    AggSpec::on_col(AggFunc::Count, 1),
+                    AggSpec::count_star(),
+                ];
+                let pos = filter_positions(&cols, n, &conj).unwrap();
+                let serial = group_aggregate(&cols, n, Some(&pos), &[0], &specs).unwrap();
+                let par = parallel_group_aggregate(
+                    &cols, n, &conj, &[0], &specs, threads, morsel_rows, partitions,
+                ).unwrap();
+                prop_assert_eq!(par, serial);
+            }
+        }
     }
 }

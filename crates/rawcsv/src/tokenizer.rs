@@ -661,74 +661,42 @@ where
     /// Posmap recordings of one morsel: `(first_row, per-column offsets)`.
     type MorselRecordings = (usize, Vec<(usize, Vec<u32>)>);
 
-    let workers = opts.threads.max(1).min(n_morsels.max(1));
     // Recordings are tiny relative to morsel payloads; a mutex-guarded
     // collection keeps the write-back single-threaded and race-free.
     let recordings: std::sync::Mutex<Vec<MorselRecordings>> = std::sync::Mutex::new(Vec::new());
-    let failure: std::sync::Mutex<Option<Error>> = std::sync::Mutex::new(None);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let failed = std::sync::atomic::AtomicBool::new(false);
 
-    let run_worker = |worker: usize| {
-        let mut local = LocalCounters::default();
-        loop {
-            if failed.load(std::sync::atomic::Ordering::Relaxed) {
-                break;
+    // Scheduling (steal counter, error flag, thread scope) comes from the
+    // shared `nodb-types` driver; the tokenizer contributes its per-worker
+    // counter batch as the init/flush hooks and the posmap collection plus
+    // `consume` as the step hook.
+    nodb_types::drive_morsels(
+        nrows,
+        morsel_rows,
+        opts.threads,
+        |_worker| LocalCounters::default(),
+        |local, worker, r| {
+            let mut chunk = scan_row_range(&ctx, r.lo, r.hi)?;
+            local.absorb(&chunk.counters);
+            if !chunk.recordings.is_empty() {
+                recordings
+                    .lock()
+                    .expect("recordings mutex")
+                    .push((chunk.first_row, std::mem::take(&mut chunk.recordings)));
             }
-            let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            if index >= n_morsels {
-                break;
-            }
-            let lo = index * morsel_rows;
-            let hi = ((index + 1) * morsel_rows).min(nrows);
-            let step = scan_row_range(&ctx, lo, hi).and_then(|mut chunk| {
-                local.absorb(&chunk.counters);
-                if !chunk.recordings.is_empty() {
-                    recordings
-                        .lock()
-                        .expect("recordings mutex")
-                        .push((chunk.first_row, std::mem::take(&mut chunk.recordings)));
-                }
-                counters.add_morsels_dispatched(1);
-                consume(
-                    worker,
-                    Morsel {
-                        index,
-                        first_row: chunk.first_row,
-                        n_rows: hi - lo,
-                        rowids: chunk.rowids,
-                        columns: chunk.builders,
-                    },
-                )
-            });
-            if let Err(e) = step {
-                *failure.lock().expect("failure mutex") = Some(e);
-                failed.store(true, std::sync::atomic::Ordering::Relaxed);
-                break;
-            }
-        }
-        local.flush(counters);
-    };
-
-    if workers <= 1 {
-        run_worker(0);
-    } else {
-        crossbeam::thread::scope(|s| {
-            let mut handles = Vec::new();
-            for w in 0..workers {
-                let run_worker = &run_worker;
-                handles.push(s.spawn(move |_| run_worker(w)));
-            }
-            for h in handles {
-                h.join().expect("morsel worker panicked");
-            }
-        })
-        .expect("morsel scope");
-    }
-
-    if let Some(e) = failure.into_inner().expect("failure mutex") {
-        return Err(e);
-    }
+            counters.add_morsels_dispatched(1);
+            consume(
+                worker,
+                Morsel {
+                    index: r.index,
+                    first_row: chunk.first_row,
+                    n_rows: r.hi - r.lo,
+                    rowids: chunk.rowids,
+                    columns: chunk.builders,
+                },
+            )
+        },
+        |local| local.flush(counters),
+    )?;
     #[allow(clippy::needless_option_as_deref)]
     if let Some(m) = posmap.as_deref_mut() {
         for (first_row, recs) in recordings.into_inner().expect("recordings mutex") {

@@ -8,7 +8,9 @@
 //!   the [`SelectionBox`] that produced them (partial loads; the store's
 //!   "table of contents" is the set of fragment boxes plus per-column
 //!   interval sets),
-//! * **cracked columns** — adaptively indexed copies ([`CrackedColumn`]).
+//! * **cracked columns** — adaptively indexed copies
+//!   ([`PartitionedCracked`]), partitioned so concurrent queries refine
+//!   independent pieces under separate locks.
 //!
 //! "Data parts loaded via adaptive loading and stored in any format may be
 //! thrown away at any time. The only cost is that of having to reload"
@@ -21,7 +23,7 @@ use nodb_types::{
     ColumnData, Error, Interval, IntervalSet, Result, SelectionBox, Value, WorkCounters,
 };
 
-use crate::cracking::CrackedColumn;
+use crate::cracking::PartitionedCracked;
 
 /// A fully loaded column.
 #[derive(Debug, Clone)]
@@ -175,11 +177,14 @@ impl Fragment {
     }
 }
 
-/// A cracked-column entry with usage tracking.
+/// A cracked-column entry with usage tracking. The index is shared
+/// (`Arc`): queries clone the handle and crack partitions under the
+/// index's own per-partition locks, so concurrent range selections no
+/// longer serialize on the store entry.
 #[derive(Debug, Clone)]
 pub struct CrackedEntry {
-    /// The adaptive index.
-    pub index: CrackedColumn,
+    /// The partitioned adaptive index.
+    pub index: Arc<PartitionedCracked>,
     /// Query sequence number of last use.
     pub last_used: u64,
 }
@@ -401,12 +406,12 @@ impl TableData {
     }
 
     /// Install a cracked copy of `col`.
-    pub fn insert_cracked(&mut self, col: usize, index: CrackedColumn, now: u64) {
+    pub fn insert_cracked(&mut self, col: usize, index: PartitionedCracked, now: u64) {
         let bytes = index.approx_bytes();
         if let Some(old) = self.cracked.insert(
             col,
             CrackedEntry {
-                index,
+                index: Arc::new(index),
                 last_used: now,
             },
         ) {
@@ -415,12 +420,13 @@ impl TableData {
         self.bytes += bytes;
     }
 
-    /// Mutable access to a cracked column (cracking mutates), touching LRU.
-    /// Byte accounting is refreshed by the caller via [`TableData::refresh_cracked_bytes`].
-    pub fn cracked_mut(&mut self, col: usize, now: u64) -> Option<&mut CrackedColumn> {
+    /// Shared handle to a cracked column, touching LRU. Cracking happens
+    /// through the handle's per-partition locks; byte accounting is
+    /// refreshed by the caller via [`TableData::refresh_cracked_bytes`].
+    pub fn cracked(&mut self, col: usize, now: u64) -> Option<Arc<PartitionedCracked>> {
         self.cracked.get_mut(&col).map(|e| {
             e.last_used = now;
-            &mut e.index
+            Arc::clone(&e.index)
         })
     }
 
@@ -682,12 +688,12 @@ mod tests {
     fn cracked_column_accounting() {
         let c = WorkCounters::new();
         let mut t = TableData::new();
-        t.insert_cracked(0, CrackedColumn::new((0..100).collect()), 1);
+        t.insert_cracked(0, PartitionedCracked::new((0..100).collect(), 4), 1);
         assert!(t.has_cracked(0));
         let b = t.bytes_used();
         assert!(b >= 1600);
         {
-            let idx = t.cracked_mut(0, 2).unwrap();
+            let idx = t.cracked(0, 2).unwrap();
             let iv = box_on(0, 10, 20).by_col[&0].clone();
             idx.select(&iv).unwrap();
         }
@@ -702,7 +708,7 @@ mod tests {
         let mut t = TableData::new();
         t.insert_full(0, ColumnData::from_i64(vec![1]), 1);
         t.insert_fragment(frag(0, 0, 10, vec![0], vec![1]));
-        t.insert_cracked(0, CrackedColumn::new(vec![1]), 1);
+        t.insert_cracked(0, PartitionedCracked::new(vec![1], 2), 1);
         t.clear();
         assert_eq!(t.bytes_used(), 0);
         assert_eq!(t.nrows(), None);

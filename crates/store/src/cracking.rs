@@ -11,6 +11,7 @@
 //! other types fall back to scans in the execution layer.
 
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 use nodb_types::{Bound, Interval, Value};
 
@@ -77,18 +78,7 @@ impl CrackedColumn {
     /// region holding exactly the values inside `iv`, cracking the column
     /// as a side effect. `None` when the interval is not integer-expressible.
     pub fn select(&mut self, iv: &Interval) -> Option<(&[i64], &[u64])> {
-        let lo = match iv.lo() {
-            Bound::Unbounded => None,
-            Bound::Inclusive(Value::Int(v)) => Some(*v),
-            Bound::Exclusive(Value::Int(v)) => Some(v.checked_add(1)?),
-            _ => return None,
-        };
-        let hi = match iv.hi() {
-            Bound::Unbounded => None,
-            Bound::Inclusive(Value::Int(v)) => Some(v.checked_add(1)?), // first excluded
-            Bound::Exclusive(Value::Int(v)) => Some(*v),
-            _ => return None,
-        };
+        let (lo, hi) = CrackedColumn::int_bounds(iv).ok()?;
         let a = match lo {
             Some(v) => self.crack_at(v),
             None => 0,
@@ -149,6 +139,194 @@ impl CrackedColumn {
             }
         }
         true
+    }
+}
+
+impl CrackedColumn {
+    /// Interval bounds as `(first included, first excluded)` integer
+    /// values, `None` per side for unbounded. `Err(())` when the interval
+    /// is not integer-expressible (float bounds, overflow).
+    #[allow(clippy::result_unit_err)]
+    pub(crate) fn int_bounds(iv: &Interval) -> std::result::Result<(Option<i64>, Option<i64>), ()> {
+        let lo = match iv.lo() {
+            Bound::Unbounded => None,
+            Bound::Inclusive(Value::Int(v)) => Some(*v),
+            Bound::Exclusive(Value::Int(v)) => Some(v.checked_add(1).ok_or(())?),
+            _ => return Err(()),
+        };
+        let hi = match iv.hi() {
+            Bound::Unbounded => None,
+            Bound::Inclusive(Value::Int(v)) => Some(v.checked_add(1).ok_or(())?),
+            Bound::Exclusive(Value::Int(v)) => Some(*v),
+            _ => return Err(()),
+        };
+        Ok((lo, hi))
+    }
+}
+
+/// A partitioned adaptive index: the value array is split into contiguous
+/// row-range partitions, each an independently cracking [`CrackedColumn`]
+/// behind its own lock. A range selection cracks every partition it
+/// touches, but two concurrent queries only contend when they lock the
+/// same partition at the same moment — the whole-column entry lock the
+/// serial design serialized on is gone. Partition piece indexes stay
+/// per-partition; [`PartitionedCracked::merged_boundaries`] merges them
+/// into the column-wide table of contents.
+///
+/// Selection results concatenate partition results in partition order;
+/// within a partition values come back in cracked-array order. Callers
+/// that need a canonical order sort the returned rowids (the engine's
+/// access path does).
+#[derive(Debug)]
+pub struct PartitionedCracked {
+    parts: Vec<Mutex<CrackedColumn>>,
+    n: usize,
+}
+
+impl PartitionedCracked {
+    /// Build from a dense column (rowid `i` = position `i`), split into
+    /// `partitions` contiguous row ranges (clamped to at least 1 and at
+    /// most one per value).
+    pub fn new(vals: Vec<i64>, partitions: usize) -> PartitionedCracked {
+        let n = vals.len();
+        let p = partitions.clamp(1, n.max(1));
+        let per = n.div_ceil(p).max(1);
+        let mut parts = Vec::with_capacity(p);
+        let mut vals = vals;
+        // Split back-to-front so each partition takes ownership of its
+        // slice without copying the whole prefix repeatedly.
+        let mut tails: Vec<(usize, Vec<i64>)> = Vec::with_capacity(p);
+        let mut cut = n;
+        while cut > 0 {
+            let lo = cut.saturating_sub(per);
+            tails.push((lo, vals.split_off(lo)));
+            cut = lo;
+        }
+        for (lo, tail) in tails.into_iter().rev() {
+            let rowids: Vec<u64> = (lo as u64..(lo + tail.len()) as u64).collect();
+            parts.push(Mutex::new(CrackedColumn::with_rowids(tail, rowids)));
+        }
+        if parts.is_empty() {
+            parts.push(Mutex::new(CrackedColumn::new(Vec::new())));
+        }
+        PartitionedCracked { parts, n }
+    }
+
+    /// Number of values across all partitions.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of row-range partitions.
+    pub fn partition_count(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Total physical reorganisation steps across partitions.
+    pub fn crack_count(&self) -> u64 {
+        self.parts
+            .iter()
+            .map(|p| p.lock().expect("cracker piece lock").crack_count())
+            .sum()
+    }
+
+    /// The merged piece index: distinct crack boundary values across every
+    /// partition, ascending. The column-wide piece count is
+    /// `merged_boundaries().len() + 1`.
+    pub fn merged_boundaries(&self) -> Vec<i64> {
+        let mut all: Vec<i64> = Vec::new();
+        for p in &self.parts {
+            let part = p.lock().expect("cracker piece lock");
+            all.extend(part.index.keys().copied());
+        }
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+
+    /// Number of pieces in the merged column-wide index.
+    pub fn piece_count(&self) -> usize {
+        self.merged_boundaries().len() + 1
+    }
+
+    /// Approximate memory footprint.
+    pub fn approx_bytes(&self) -> usize {
+        self.parts
+            .iter()
+            .map(|p| p.lock().expect("cracker piece lock").approx_bytes())
+            .sum()
+    }
+
+    /// Answer a range selection: the `(values, rowids)` of every value
+    /// inside `iv`, cracking each touched partition under its own lock.
+    /// `None` when the interval is not integer-expressible.
+    pub fn select(&self, iv: &Interval) -> Option<(Vec<i64>, Vec<u64>)> {
+        self.select_parallel(iv, 1)
+    }
+
+    /// Is every partition already cracked at both of the selection's
+    /// bounds? Then a select reorganises nothing — it just copies the
+    /// converged pieces out.
+    fn converged_at(&self, lo: Option<i64>, hi: Option<i64>) -> bool {
+        self.parts.iter().all(|p| {
+            let part = p.lock().expect("cracker piece lock");
+            lo.is_none_or(|v| part.index.contains_key(&v))
+                && hi.is_none_or(|v| part.index.contains_key(&v))
+        })
+    }
+
+    /// [`PartitionedCracked::select`] with up to `threads` stealing
+    /// workers cracking partitions concurrently (morsel-local locking:
+    /// each worker holds only the lock of the partition it refines).
+    /// Results concatenate in partition order regardless of scheduling.
+    /// When every partition has already converged at the query's bounds
+    /// the select runs inline — copying converged pieces takes
+    /// microseconds, so thread dispatch would only add overhead.
+    pub fn select_parallel(&self, iv: &Interval, threads: usize) -> Option<(Vec<i64>, Vec<u64>)> {
+        /// One partition's selection result: `(values, rowids)`.
+        type PartResult = (Vec<i64>, Vec<u64>);
+        let (lo, hi) = CrackedColumn::int_bounds(iv).ok()?;
+        let threads = if threads > 1 && self.converged_at(lo, hi) {
+            1
+        } else {
+            threads
+        };
+        let slots: Vec<Mutex<Option<PartResult>>> =
+            (0..self.parts.len()).map(|_| Mutex::new(None)).collect();
+        nodb_types::drive_morsels(
+            self.parts.len(),
+            1,
+            threads,
+            |_w| (),
+            |_s, _w, r| {
+                let mut part = self.parts[r.index].lock().expect("cracker piece lock");
+                let (vals, ids) = part.select(iv).expect("int bounds pre-checked");
+                *slots[r.index].lock().expect("slot lock") = Some((vals.to_vec(), ids.to_vec()));
+                Ok(())
+            },
+            |_s| {},
+        )
+        .ok()?;
+        let mut vals = Vec::new();
+        let mut ids = Vec::new();
+        for s in slots {
+            let (mut v, mut i) = s.into_inner().expect("slot lock")?;
+            vals.append(&mut v);
+            ids.append(&mut i);
+        }
+        Some((vals, ids))
+    }
+
+    /// Check every partition's internal piece invariant (tests; O(n log n)).
+    pub fn check_invariants(&self) -> bool {
+        self.parts
+            .iter()
+            .all(|p| p.lock().expect("cracker piece lock").check_invariants())
     }
 }
 
@@ -284,6 +462,91 @@ mod tests {
         assert_eq!(c.piece_count(), 5);
     }
 
+    #[test]
+    fn partitioned_select_matches_single_column() {
+        let n = 10_000i64;
+        let vals: Vec<i64> = (0..n).map(|i| (i * 7919) % n).collect();
+        let mut single = CrackedColumn::new(vals.clone());
+        for parts in [1, 3, 8, 64] {
+            let part = PartitionedCracked::new(vals.clone(), parts);
+            assert_eq!(part.len(), vals.len());
+            assert!(part.partition_count() <= parts.max(1));
+            for (lo, hi) in [(100, 900), (0, 50), (9000, 20000), (-5, 3)] {
+                let (sv, sids) = single.select(&interval(lo, hi)).unwrap();
+                let (pv, pids) = part.select(&interval(lo, hi)).unwrap();
+                let mut s: Vec<(i64, u64)> = sv.iter().copied().zip(sids.iter().copied()).collect();
+                let mut p: Vec<(i64, u64)> = pv.into_iter().zip(pids).collect();
+                s.sort_unstable();
+                p.sort_unstable();
+                assert_eq!(p, s, "parts={parts} range=({lo},{hi})");
+            }
+            assert!(part.check_invariants());
+        }
+    }
+
+    #[test]
+    fn partitioned_merged_boundaries_union_pieces() {
+        let part = PartitionedCracked::new((0..1000).rev().collect(), 4);
+        assert_eq!(part.piece_count(), 1);
+        part.select(&interval(100, 200)).unwrap();
+        // Each touched partition cracked at the same two bounds; the
+        // merged index still has exactly two distinct boundary values.
+        assert_eq!(part.merged_boundaries(), vec![101, 200]);
+        assert_eq!(part.piece_count(), 3);
+        assert!(part.crack_count() >= 2);
+    }
+
+    #[test]
+    fn partitioned_empty_and_float_bounds() {
+        let part = PartitionedCracked::new(vec![], 4);
+        let (v, r) = part.select(&interval(0, 10)).unwrap();
+        assert!(v.is_empty() && r.is_empty());
+        let part = PartitionedCracked::new(vec![1, 2, 3], 2);
+        let iv = Interval::new(Bound::Inclusive(Value::Float(1.5)), Bound::Unbounded).unwrap();
+        assert!(part.select(&iv).is_none());
+    }
+
+    #[test]
+    fn racing_range_queries_crack_correctly() {
+        // The partitioned-index concurrency contract: many threads racing
+        // overlapping range selections (each cracking partitions under
+        // morsel-local locks, some using intra-query parallelism) never
+        // corrupt the index and always get exactly the in-range values.
+        use std::sync::Arc;
+        let n = 20_000i64;
+        let vals: Vec<i64> = (0..n).map(|i| (i * 6151) % n).collect();
+        let index = Arc::new(PartitionedCracked::new(vals.clone(), 8));
+        let mut handles = Vec::new();
+        for t in 0..8i64 {
+            let index = Arc::clone(&index);
+            let vals = vals.clone();
+            handles.push(std::thread::spawn(move || {
+                for q in 0..12i64 {
+                    let lo = (t * 997 + q * 1913) % (n - 100);
+                    let hi = lo + 50 + (q * 37) % 2000;
+                    let iv = interval(lo, hi);
+                    let (got_vals, got_ids) =
+                        index.select_parallel(&iv, 1 + (q % 3) as usize).unwrap();
+                    let mut got = got_vals.clone();
+                    got.sort_unstable();
+                    let mut want: Vec<i64> =
+                        vals.iter().copied().filter(|&v| v > lo && v < hi).collect();
+                    want.sort_unstable();
+                    assert_eq!(got, want, "thread {t} query {q} range ({lo},{hi})");
+                    for (v, r) in got_vals.iter().zip(&got_ids) {
+                        assert_eq!(vals[*r as usize], *v);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(index.check_invariants());
+        // Every query raced above converged pieces somewhere.
+        assert!(index.crack_count() > 0);
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
@@ -322,6 +585,30 @@ mod tests {
                     .zip(c.rowids().iter().copied()).collect();
                 pairs.sort_unstable();
                 prop_assert_eq!(pairs, expected_pairs);
+            }
+
+            /// The partitioned index answers every range exactly like a
+            /// filter, for any partition count, and keeps its invariants.
+            #[test]
+            fn partitioned_selects_exactly(
+                vals in proptest::collection::vec(-100i64..100, 0..200),
+                parts in 1usize..9,
+                queries in proptest::collection::vec((-110i64..110, 2i64..50), 1..8)) {
+                let idx = PartitionedCracked::new(vals.clone(), parts);
+                for (lo, w) in queries {
+                    let hi = lo + w;
+                    let (got_vals, got_ids) = idx.select(&interval(lo, hi)).unwrap();
+                    let mut got = got_vals.clone();
+                    got.sort_unstable();
+                    let mut want: Vec<i64> = vals.iter().copied()
+                        .filter(|&v| v > lo && v < hi).collect();
+                    want.sort_unstable();
+                    prop_assert_eq!(&got, &want);
+                    for (v, r) in got_vals.iter().zip(&got_ids) {
+                        prop_assert_eq!(vals[*r as usize], *v);
+                    }
+                    prop_assert!(idx.check_invariants());
+                }
             }
         }
     }

@@ -20,7 +20,7 @@ pub mod formats;
 pub mod persist;
 
 pub use adaptive::{Fragment, FullColumn, TableData};
-pub use cracking::CrackedColumn;
+pub use cracking::{CrackedColumn, PartitionedCracked};
 pub use formats::{
     columns_to_pax, columns_to_rows, pax_to_columns, rows_to_columns, PaxPage, PaxTable, RowBatch,
 };

@@ -13,12 +13,15 @@
 //!   loaded (paper §3.1.3, "a tree structure that organizes the data parts of
 //!   each column based on values"),
 //! * [`counters`] — work counters (bytes read, fields tokenized, ...) that
-//!   make the benchmark "shape" claims auditable.
+//!   make the benchmark "shape" claims auditable,
+//! * [`morsel`] — the shared morsel-stealing driver every parallel pool
+//!   (tokenizer morsels, post-load operator morsels) schedules through.
 
 pub mod column;
 pub mod counters;
 pub mod error;
 pub mod interval;
+pub mod morsel;
 pub mod predicate;
 pub mod schema;
 pub mod value;
@@ -27,6 +30,7 @@ pub use column::ColumnData;
 pub use counters::{CountersSnapshot, WorkCounters};
 pub use error::{Error, Result};
 pub use interval::{Bound, Interval, IntervalSet};
+pub use morsel::{drive_morsels, morsel_count, MorselRange};
 pub use predicate::{CmpOp, ColPred, Conjunction, SelectionBox};
 pub use schema::{Field, Schema};
 pub use value::{DataType, Value};

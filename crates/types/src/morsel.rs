@@ -1,0 +1,228 @@
+//! The shared morsel-stealing driver.
+//!
+//! Morsel-driven parallelism (Leis et al., SIGMOD 2014) splits an input
+//! into fixed-size ranges that worker threads *steal* from a shared atomic
+//! counter. Two independent pools used to implement that loop — the raw
+//! tokenizer's `scan_morsels` (nodb-rawcsv) and the post-load operators'
+//! `run_morsels` (nodb-exec) — each with their own steal counter, error
+//! flag and thread-scope plumbing. This module is the single driver both
+//! build on, so the scheduling semantics (steal order, first-error-wins
+//! cancellation, worker clamping) cannot drift apart.
+//!
+//! Call-site-specific behaviour stays at the call site, passed in as
+//! closures:
+//!
+//! * `init(worker)` builds per-worker state (e.g. the tokenizer's local
+//!   counter batch) before the worker steals its first morsel;
+//! * `step(state, worker, range)` processes one stolen morsel — this is
+//!   where callers tokenize, filter, aggregate, record positional-map
+//!   entries, or stash per-morsel results;
+//! * `flush(state)` runs once per worker after its last steal (e.g. the
+//!   counter-flush hook that batches atomic counter updates).
+//!
+//! Error semantics: the first `step` error wins; every other worker stops
+//! at its next steal, `flush` still runs for each started worker, and the
+//! winning error is returned.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::error::{Error, Result};
+
+/// One stolen unit of work: morsel `index` covers items `[lo, hi)` of the
+/// driven input. Indexes ascend with the range, giving consumers a
+/// deterministic merge order regardless of worker scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MorselRange {
+    /// Morsel ordinal (0-based, ascending by range).
+    pub index: usize,
+    /// First item (inclusive).
+    pub lo: usize,
+    /// Last item (exclusive).
+    pub hi: usize,
+}
+
+/// Number of morsels needed to cover `n_items` at `per_morsel` each.
+pub fn morsel_count(n_items: usize, per_morsel: usize) -> usize {
+    n_items.div_ceil(per_morsel.max(1))
+}
+
+/// Run `step` over every morsel of `n_items` (`per_morsel` items each) on
+/// up to `threads` stealing workers. Workers are clamped to the morsel
+/// count; zero or one worker runs the loop inline on the calling thread
+/// (no scope, no spawn). See the module docs for the hook contract.
+pub fn drive_morsels<S, I, F, D>(
+    n_items: usize,
+    per_morsel: usize,
+    threads: usize,
+    init: I,
+    step: F,
+    flush: D,
+) -> Result<()>
+where
+    S: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize, MorselRange) -> Result<()> + Sync,
+    D: Fn(S) + Sync,
+{
+    let per_morsel = per_morsel.max(1);
+    let n_morsels = morsel_count(n_items, per_morsel);
+    let workers = threads.max(1).min(n_morsels.max(1));
+
+    let next = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let failure: Mutex<Option<Error>> = Mutex::new(None);
+
+    let run_worker = |worker: usize| {
+        let mut state = init(worker);
+        loop {
+            if failed.load(Ordering::Relaxed) {
+                break;
+            }
+            let index = next.fetch_add(1, Ordering::Relaxed);
+            if index >= n_morsels {
+                break;
+            }
+            let range = MorselRange {
+                index,
+                lo: index * per_morsel,
+                hi: ((index + 1) * per_morsel).min(n_items),
+            };
+            if let Err(e) = step(&mut state, worker, range) {
+                *failure.lock().expect("failure mutex") = Some(e);
+                failed.store(true, Ordering::Relaxed);
+                break;
+            }
+        }
+        flush(state);
+    };
+
+    if workers <= 1 {
+        run_worker(0);
+    } else {
+        crossbeam::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for w in 0..workers {
+                let run_worker = &run_worker;
+                handles.push(s.spawn(move |_| run_worker(w)));
+            }
+            for h in handles {
+                h.join().expect("morsel worker panicked");
+            }
+        })
+        .expect("morsel scope");
+    }
+
+    match failure.into_inner().expect("failure mutex") {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn covers_every_item_exactly_once() {
+        for (n, per, threads) in [
+            (0, 10, 4),
+            (1, 1, 1),
+            (100, 7, 3),
+            (64, 64, 8),
+            (1000, 1, 4),
+        ] {
+            let seen = Mutex::new(vec![0u32; n]);
+            drive_morsels(
+                n,
+                per,
+                threads,
+                |_w| (),
+                |_s, _w, r| {
+                    assert_eq!(r.lo, r.index * per);
+                    assert!(r.hi <= n && r.lo < r.hi || n == 0);
+                    let mut seen = seen.lock().unwrap();
+                    for i in r.lo..r.hi {
+                        seen[i] += 1;
+                    }
+                    Ok(())
+                },
+                |_s| {},
+            )
+            .unwrap();
+            assert!(
+                seen.into_inner().unwrap().iter().all(|&c| c == 1),
+                "n={n} per={per} threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn first_error_wins_and_flush_runs_per_worker() {
+        let flushed = AtomicU64::new(0);
+        let err = drive_morsels(
+            100,
+            10,
+            4,
+            |_w| 0u64,
+            |state, _w, r| {
+                *state += 1;
+                if r.index == 5 {
+                    Err(Error::exec("boom"))
+                } else {
+                    Ok(())
+                }
+            },
+            |state| {
+                // Every started worker flushes, even after a failure.
+                let _ = state;
+                flushed.fetch_add(1, Ordering::Relaxed);
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("boom"));
+        assert!(flushed.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn single_thread_runs_in_index_order() {
+        let order = Mutex::new(Vec::new());
+        drive_morsels(
+            30,
+            10,
+            1,
+            |_w| (),
+            |_s, w, r| {
+                assert_eq!(w, 0);
+                order.lock().unwrap().push(r.index);
+                Ok(())
+            },
+            |_s| {},
+        )
+        .unwrap();
+        assert_eq!(order.into_inner().unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn worker_state_is_private() {
+        // Each worker's state accumulates only its own steals; the total
+        // across flushes equals the morsel count.
+        let total = AtomicU64::new(0);
+        drive_morsels(
+            1000,
+            10,
+            8,
+            |_w| 0u64,
+            |state, _w, _r| {
+                *state += 1;
+                Ok(())
+            },
+            |state| {
+                total.fetch_add(state, Ordering::Relaxed);
+            },
+        )
+        .unwrap();
+        assert_eq!(total.load(Ordering::Relaxed), 100);
+    }
+}
