@@ -5,8 +5,9 @@
 //!   queries under one whole-column lock vs the partitioned index;
 //! * the three kernel strategies (A4 of DESIGN.md): columnar,
 //!   volcano and fused-hybrid execution of the paper's Q1 shape;
-//! * serial vs morsel-parallel pairs (cold scan, filtered aggregate,
-//!   GROUP BY, hash join) whose ratios land in `NODB_BENCH_JSON`;
+//! * serial vs morsel-parallel pairs (cold scan, cold projection, cold
+//!   join, filtered aggregate, GROUP BY, hash join) whose ratios land in
+//!   `NODB_BENCH_JSON`;
 //! * hash vs merge join position generation.
 
 use std::collections::BTreeMap;
@@ -423,6 +424,166 @@ fn bench_parallel(c: &mut Criterion) {
     });
     g.bench_function("join/parallel", |b| {
         b.iter(|| parallel_hash_join_positions(&left, &right, threads, morsel_rows).unwrap())
+    });
+
+    // Fused cold projection: tokenize + filter + project, either as one
+    // merged scan followed by serial filtering/projection (the old cold
+    // scalar path) or with per-worker projection emitters consuming
+    // tokenizer morsels directly (the engine's fused path).
+    let exprs = vec![
+        nodb_exec::Expr::Col(1),
+        nodb_exec::Expr::Binary {
+            op: nodb_exec::ArithOp::Add,
+            left: Box::new(nodb_exec::Expr::Col(0)),
+            right: Box::new(nodb_exec::Expr::Col(2)),
+        },
+    ];
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("cold_projection/serial", |b| {
+        let opts = CsvOptions {
+            threads: 1,
+            ..CsvOptions::default()
+        };
+        b.iter(|| {
+            let counters = WorkCounters::new();
+            let out = scan_bytes(&data, &opts, &spec, None, &counters).unwrap();
+            let pos = filter_positions(&out.columns, rows, &filter).unwrap();
+            nodb_exec::project_rows(&out.columns, &pos, &exprs).unwrap()
+        })
+    });
+    g.bench_function("cold_projection/parallel", |b| {
+        let opts = CsvOptions {
+            threads,
+            ..CsvOptions::default()
+        };
+        b.iter(|| {
+            let counters = WorkCounters::new();
+            let partials: std::sync::Mutex<Vec<(usize, nodb_exec::ProjectPartial)>> =
+                std::sync::Mutex::new(Vec::new());
+            scan_morsels(
+                &data,
+                &opts,
+                &spec,
+                None,
+                &counters,
+                morsel_rows,
+                &|_w, morsel| {
+                    let partial = nodb_exec::cold_project_morsel(
+                        &spec.needed,
+                        &morsel,
+                        &filter,
+                        Some(&exprs),
+                    )?;
+                    partials.lock().unwrap().push((morsel.index, partial));
+                    Ok(())
+                },
+            )
+            .unwrap();
+            let mut parts = partials.into_inner().unwrap();
+            parts.sort_by_key(|(i, _)| *i);
+            nodb_exec::stitch_cold_projection(parts.into_iter().map(|(_, p)| p).collect())
+        })
+    });
+
+    // Fused cold join: tokenize both sides and join, either as two merged
+    // scans followed by a serial hash join, or with build morsels
+    // hash-partitioned and probe morsels probing as they parse.
+    let jrows = 100_000;
+    let build_data = csv_bytes(jrows, 2);
+    let probe_data = {
+        let p = Permutation::new(jrows as u64, 91);
+        let mut out = String::with_capacity(jrows * 14);
+        for i in 0..jrows {
+            out.push_str(&p.apply(i as u64).to_string());
+            out.push(',');
+            out.push_str(&(i * 3).to_string());
+            out.push('\n');
+        }
+        out.into_bytes()
+    };
+    let jschema = Schema::ints(2);
+    let jspec = ScanSpec {
+        schema: &jschema,
+        needed: vec![0, 1],
+        pushdown: None,
+    };
+    g.throughput(Throughput::Elements(jrows as u64));
+    g.bench_function("cold_join/serial", |b| {
+        let opts = CsvOptions {
+            threads: 1,
+            ..CsvOptions::default()
+        };
+        b.iter(|| {
+            let counters = WorkCounters::new();
+            let l = scan_bytes(&build_data, &opts, &jspec, None, &counters).unwrap();
+            let r = scan_bytes(&probe_data, &opts, &jspec, None, &counters).unwrap();
+            hash_join_positions(&l.columns[&0], &r.columns[&0]).unwrap()
+        })
+    });
+    g.bench_function("cold_join/parallel", |b| {
+        let opts = CsvOptions {
+            threads,
+            ..CsvOptions::default()
+        };
+        let p = nodb_exec::cold_join_partitions(threads);
+        // Per-morsel build partitions and probe pair chunks, tagged with
+        // the morsel index for the deterministic stitch.
+        type BuildParts = Vec<(usize, Vec<Vec<(i64, usize)>>)>;
+        type PairChunks = Vec<(usize, Vec<(usize, usize)>)>;
+        b.iter(|| {
+            let counters = WorkCounters::new();
+            let build: std::sync::Mutex<BuildParts> = std::sync::Mutex::new(Vec::new());
+            scan_morsels(
+                &build_data,
+                &opts,
+                &jspec,
+                None,
+                &counters,
+                morsel_rows,
+                &|_w, morsel| {
+                    let local: Vec<usize> = (0..morsel.rowids.len()).collect();
+                    let parts = nodb_exec::cold_join_build_morsel(
+                        &morsel.columns[0],
+                        &local,
+                        morsel.first_row,
+                        p,
+                    );
+                    build.lock().unwrap().push((morsel.index, parts));
+                    Ok(())
+                },
+            )
+            .unwrap();
+            let mut parts = build.into_inner().unwrap();
+            parts.sort_by_key(|(i, _)| *i);
+            let tables = nodb_exec::build_cold_join_tables(
+                parts.into_iter().map(|(_, p)| p).collect(),
+                p,
+                threads,
+            )
+            .unwrap();
+            let chunks: std::sync::Mutex<PairChunks> = std::sync::Mutex::new(Vec::new());
+            scan_morsels(
+                &probe_data,
+                &opts,
+                &jspec,
+                None,
+                &counters,
+                morsel_rows,
+                &|_w, morsel| {
+                    let local: Vec<usize> = (0..morsel.rowids.len()).collect();
+                    let pairs = tables.probe_morsel(&morsel.columns[0], &local, morsel.first_row);
+                    chunks.lock().unwrap().push((morsel.index, pairs));
+                    Ok(())
+                },
+            )
+            .unwrap();
+            let mut chunks = chunks.into_inner().unwrap();
+            chunks.sort_by_key(|(i, _)| *i);
+            chunks
+                .into_iter()
+                .flat_map(|(_, c)| c)
+                .collect::<Vec<(usize, usize)>>()
+        })
     });
     g.finish();
 }

@@ -17,11 +17,13 @@ use std::time::{Duration, Instant};
 use parking_lot::RwLock;
 
 use nodb_exec::{
-    accumulate_into, aggregate, filter_positions, finish_group_partials, fused_filter_aggregate,
-    group_accumulate_range, group_aggregate, hash_join_positions, merge_group_partials,
-    parallel_filter_aggregate, parallel_filter_positions, parallel_group_aggregate,
-    parallel_hash_join_positions, sort_positions, Accumulator, AggSpec, ColumnsScan, Expr,
-    GroupPartial, OrdinalCols, ProjectionCursor,
+    accumulate_into, aggregate, build_cold_join_tables, cold_join_build_morsel,
+    cold_join_partitions, cold_project_morsel, filter_positions, finish_group_partials,
+    fused_filter_aggregate, group_accumulate_range, group_aggregate, hash_join_positions,
+    merge_group_partials, parallel_filter_aggregate, parallel_filter_positions,
+    parallel_group_aggregate, parallel_hash_join_positions, sort_positions, stitch_cold_projection,
+    Accumulator, AggSpec, ColumnsScan, Expr, GroupPartial, OrdinalCols, ProjectPartial,
+    ProjectionCursor,
 };
 use nodb_sql::{OutputExpr, Plan, Statement};
 use nodb_store::persist;
@@ -30,7 +32,7 @@ use nodb_types::{
     WorkCounters,
 };
 
-use crate::catalog::Catalog;
+use crate::catalog::{Catalog, TableEntry};
 use crate::config::{EngineConfig, KernelStrategy, LoadingStrategy};
 use crate::plan_cache::{normalize_sql, PlanCache, PlanDeps};
 use crate::policy::{materialize, Materialized};
@@ -468,7 +470,9 @@ impl Engine {
         // the morsel-driven cold pipeline can fuse loading with execution.
         let (needed_l, needed_r) = plan.referenced_per_table();
         let (filter_l, filter_r) = plan.filter_per_table();
-        let body = match self.try_morsel_cold_aggregate(plan, &needed_l, now)? {
+        let body = match self.try_morsel_cold_pipeline(
+            plan, &needed_l, &needed_r, &filter_l, &filter_r, batch_size, now,
+        )? {
             Some(body) => body,
             None => {
                 let mat_l = self.materialize_table(&plan.table, &needed_l, &filter_l, now)?;
@@ -531,75 +535,132 @@ impl Engine {
         {
             return Ok(m);
         }
-        let mut e = entry.write();
-        materialize(&mut e, needed, filter, &self.cfg, &self.counters, now)
+        let m = {
+            let mut e = entry.write();
+            materialize(&mut e, needed, filter, &self.cfg, &self.counters, now)?
+        };
+        // Cold-load cracking runs *outside* the entry lock too: the policy
+        // load above filled the store (under the lock, as it must), and
+        // the same short-lock handle-snapshot path warm queries take now
+        // installs the partitioned index and cracks it under per-partition
+        // locks only — a racing range query refines concurrently instead
+        // of waiting for this query's crack to finish.
+        if self.cfg.use_cracking && !m.prefiltered {
+            if let Some(cracked) = crate::policy::try_cracked_warm(
+                &entry,
+                needed,
+                filter,
+                &self.cfg,
+                &self.counters,
+                now,
+            )? {
+                return Ok(cracked);
+            }
+        }
+        Ok(m)
     }
 
-    /// The morsel-driven cold pipeline: for a single-table aggregate
-    /// (plain or GROUP BY) whose columns are not loaded yet, tokenizer
-    /// phase-2 morsels flow straight into per-worker filter + partial
-    /// aggregation — grouped morsels build private group tables of
-    /// accumulator states that merge partition-wise after the scan.
-    /// Filtering and aggregating overlap with parsing instead of waiting
-    /// for one merged `ScanOutput`. The adaptive store still receives
-    /// exactly what the serial path would have given it: the scanned
-    /// columns, fully loaded (assembled from the morsels in row order),
-    /// the row count, and every positional-map recording.
+    /// Whether the engine configuration allows the fused cold pipeline at
+    /// all. The A1 ablation deliberately loads one column per file trip
+    /// and the fused pipeline batches all columns into one trip, which
+    /// would silently nullify that measurement; the cracking ablation must
+    /// keep building its index through the ordinary load path from the
+    /// very first query; and an explicit Columnar or Volcano kernel
+    /// selection (kernel ablations) must keep measuring the kernel it
+    /// asked for, cold queries included — the fused pipeline is the hybrid
+    /// kernel.
+    fn fused_cold_eligible(&self) -> bool {
+        self.cfg.threads > 1
+            && matches!(
+                self.cfg.strategy,
+                LoadingStrategy::ColumnLoads | LoadingStrategy::FullLoad
+            )
+            && !self.cfg.one_column_per_trip
+            && !self.cfg.use_cracking
+            && matches!(
+                self.cfg.kernel,
+                KernelStrategy::Auto | KernelStrategy::Hybrid
+            )
+    }
+
+    /// The morsel-driven cold pipeline: when a query's input tables are
+    /// not loaded yet, tokenizer phase-2 morsels flow straight into
+    /// per-worker operators — filter + partial aggregation for plain
+    /// aggregates, private group tables for GROUP BY, projection emitters
+    /// for scalar SELECTs, and partitioned hash-join builds/probes for
+    /// joins — instead of waiting for one merged `ScanOutput`. The
+    /// adaptive store still receives exactly what the serial path would
+    /// have given it: the scanned columns, fully loaded (assembled from
+    /// the morsels in row order), the row count, and every positional-map
+    /// recording.
     ///
     /// Returns `None` when the shape or state does not qualify (the serial
-    /// policy path then runs as before): joins, scalar queries, resident
-    /// tables, partially loaded columns, non-column-loading strategies, or
-    /// a single-threaded config.
-    fn try_morsel_cold_aggregate(
+    /// policy path then runs as before): resident tables, partially loaded
+    /// columns, non-column-loading strategies, ablation configs, a
+    /// single-threaded config, self-joins, or non-integer join keys.
+    #[allow(clippy::too_many_arguments)]
+    fn try_morsel_cold_pipeline(
         &self,
         plan: &Plan,
-        needed: &[usize],
+        needed_l: &[usize],
+        needed_r: &[usize],
+        filter_l: &Conjunction,
+        filter_r: &Conjunction,
+        batch_size: usize,
         now: u64,
     ) -> Result<Option<StreamBody>> {
-        if self.cfg.threads <= 1 || plan.join.is_some() || !plan.is_aggregate() || needed.is_empty()
-        {
+        if !self.fused_cold_eligible() {
             return Ok(None);
         }
-        if !matches!(
-            self.cfg.strategy,
-            LoadingStrategy::ColumnLoads | LoadingStrategy::FullLoad
-        ) {
-            return Ok(None);
+        match &plan.join {
+            None => self.try_fused_cold_single(plan, needed_l, batch_size, now),
+            Some(_) => self.try_fused_cold_join(plan, needed_l, needed_r, filter_l, filter_r, now),
         }
-        // The A1 ablation deliberately loads one column per file trip; the
-        // fused pipeline batches all columns into one trip and would
-        // silently nullify that measurement. Likewise the cracking
-        // ablation must keep taking the maybe_crack access path from the
-        // very first query.
-        if self.cfg.one_column_per_trip || self.cfg.use_cracking {
-            return Ok(None);
-        }
-        // The fused pipeline is the hybrid kernel; an explicit Columnar or
-        // Volcano selection (kernel ablations) must keep measuring the
-        // kernel it asked for, cold queries included.
-        if !matches!(
-            self.cfg.kernel,
-            KernelStrategy::Auto | KernelStrategy::Hybrid
-        ) {
-            return Ok(None);
-        }
-        let entry = self.catalog.read().get(&plan.table)?;
-        let mut e = entry.write();
+    }
+
+    /// Columns the fused cold path must scan for this entry — the
+    /// referenced columns, or every column under FullLoad — or `None`
+    /// when the entry does not qualify: resident (no file behind it) or
+    /// not fully cold (once anything is loaded, the store-aware policy
+    /// path is at least as good).
+    fn cold_scan_cols(&self, e: &mut TableEntry, needed: &[usize]) -> Result<Option<Vec<usize>>> {
         if e.resident {
             return Ok(None);
         }
         e.ensure_current(&self.cfg.csv, self.cfg.infer_sample_rows, &self.counters)?;
-        // Scan what the policy would load: the referenced columns, or every
-        // column under FullLoad.
         let scan_cols: Vec<usize> = match self.cfg.strategy {
             LoadingStrategy::FullLoad => (0..e.schema()?.len()).collect(),
             _ => needed.to_vec(),
         };
-        // Only fully cold tables take the fused path; once anything is
-        // loaded, the store-aware policy path is at least as good.
         if e.store.missing_full(&scan_cols).len() != scan_cols.len() {
             return Ok(None);
         }
+        Ok(Some(scan_cols))
+    }
+
+    /// Single-table half of [`Engine::try_morsel_cold_pipeline`]: plain
+    /// aggregates and GROUP BY build per-worker partial states that merge
+    /// after the scan; scalar projections run the per-worker projection
+    /// emitters of [`cold_project_morsel`] and stitch their output in
+    /// morsel order, so the result is byte-identical to the serial
+    /// load-then-filter-then-project path (under ORDER BY or LIMIT/OFFSET
+    /// the emitters produce positions only, and projection runs lazily
+    /// over the windowed positions, as in the serial path).
+    fn try_fused_cold_single(
+        &self,
+        plan: &Plan,
+        needed: &[usize],
+        batch_size: usize,
+        now: u64,
+    ) -> Result<Option<StreamBody>> {
+        if needed.is_empty() {
+            return Ok(None);
+        }
+        let entry = self.catalog.read().get(&plan.table)?;
+        let mut e = entry.write();
+        let Some(scan_cols) = self.cold_scan_cols(&mut e, needed)? else {
+            return Ok(None);
+        };
 
         let agg_specs: Vec<AggSpec> = plan
             .output
@@ -610,29 +671,51 @@ impl Engine {
             })
             .collect();
         let residual = &plan.filter;
-
-        let bytes = crate::policy::read_data_bytes(&e, &self.counters)?;
-        let schema = e.schema()?.clone();
-        let spec = nodb_rawcsv::ScanSpec {
-            schema: &schema,
-            needed: scan_cols.clone(),
-            pushdown: None, // the store needs full columns, as in serial loads
-        };
-
-        struct Piece {
-            index: usize,
-            columns: Vec<ColumnData>,
-            /// Plain-aggregate partials (empty for grouped queries).
-            accs: Vec<Accumulator>,
-            /// Grouped partials (empty for plain aggregates).
-            groups: Vec<GroupPartial>,
-        }
         let group_cols = &plan.group_by;
-        let pieces: std::sync::Mutex<Vec<Piece>> = std::sync::Mutex::new(Vec::new());
-        let consume = |_worker: usize, morsel: nodb_rawcsv::Morsel| -> Result<()> {
+        // Scalar shape: no aggregates, no grouping — mirror the dispatch
+        // of execute_relational exactly.
+        let scalar_exprs: Option<Vec<Expr>> =
+            (!plan.is_aggregate() && group_cols.is_empty()).then(|| {
+                plan.output
+                    .iter()
+                    .map(|o| match o {
+                        OutputExpr::Scalar(e) => e.clone(),
+                        OutputExpr::Agg(_) => unreachable!("aggregate shape checked above"),
+                    })
+                    .collect()
+            });
+        // Projection fuses into the scan workers only when the output is
+        // exactly the qualifying rows in scan order (ORDER BY must wait
+        // for the global sort; LIMIT/OFFSET would eagerly project rows
+        // the serial path's windowed lazy cursor never evaluates) AND the
+        // caller collects the whole result anyway (batch_size == MAX,
+        // i.e. `Engine::sql`). A streaming caller gets the lazy cursor —
+        // materialising every row up front would defeat the stream.
+        let emit_rows = batch_size == usize::MAX
+            && plan.order_by.is_empty()
+            && plan.limit.is_none()
+            && plan.offset.is_none();
+
+        /// Per-morsel partial state of whichever shape the query has.
+        enum Partial {
+            Accs(Vec<Accumulator>),
+            Groups(Vec<GroupPartial>),
+            Project(ProjectPartial),
+        }
+        let sink = |morsel: &nodb_rawcsv::Morsel| -> Result<Partial> {
+            if let Some(exprs) = &scalar_exprs {
+                // Scalar morsel: filter, and project right here when the
+                // stitched rows will be the result verbatim.
+                return Ok(Partial::Project(cold_project_morsel(
+                    &scan_cols,
+                    morsel,
+                    residual,
+                    emit_rows.then_some(exprs.as_slice()),
+                )?));
+            }
             let mcols = OrdinalCols::new(&scan_cols, &morsel.columns);
             let n = morsel.rowids.len();
-            let (accs, groups) = if group_cols.is_empty() {
+            if group_cols.is_empty() {
                 // A morsel's columns hold exactly its own rows, so an
                 // always-true residual needs no selection vector at all.
                 let positions = if residual.is_always_true() {
@@ -643,12 +726,12 @@ impl Engine {
                 let mut accs: Vec<Accumulator> =
                     agg_specs.iter().map(|s| Accumulator::new(s.func)).collect();
                 accumulate_into(&mcols, n, positions.as_deref(), &agg_specs, &mut accs)?;
-                (accs, Vec::new())
+                Ok(Partial::Accs(accs))
             } else {
                 // Grouped morsel: a private group table of partial states,
                 // keyed for the partition-wise merge by the group's first
                 // absolute row (morsel-local row + the morsel's base).
-                let groups = group_accumulate_range(
+                Ok(Partial::Groups(group_accumulate_range(
                     &mcols,
                     0,
                     n,
@@ -656,15 +739,118 @@ impl Engine {
                     group_cols,
                     &agg_specs,
                     morsel.first_row as u64,
-                )?;
-                (Vec::new(), groups)
+                )?))
+            }
+        };
+        let (rows_scanned, partials) = self.scan_cold_fused(&mut e, &scan_cols, now, sink)?;
+        // Count as a parallel execution only when more than one morsel
+        // existed — with a single morsel, scan_morsels clamps to one
+        // worker and the run was effectively serial.
+        if rows_scanned as usize > self.cfg.morsel_rows {
+            self.counters.add_parallel_pipeline();
+        }
+
+        if let Some(exprs) = scalar_exprs {
+            self.counters.add_fused_cold_projection();
+            let projects: Vec<ProjectPartial> = partials
+                .into_iter()
+                .map(|p| match p {
+                    Partial::Project(pp) => pp,
+                    _ => unreachable!("scalar sink"),
+                })
+                .collect();
+            let (mut positions, rows) = stitch_cold_projection(projects);
+            if emit_rows {
+                // The stitched rows *are* the result.
+                return Ok(Some(StreamBody::Rows { rows, cursor: 0 }));
+            }
+            // ORDER BY / LIMIT / OFFSET: sort and window the positions
+            // over the just-assembled columns, then the same lazy
+            // projection cursor as the serial path.
+            let mut cols: BTreeMap<usize, Arc<ColumnData>> = BTreeMap::new();
+            for &c in needed {
+                cols.insert(c, e.store.full_column(c, now).expect("just inserted"));
+            }
+            if !plan.order_by.is_empty() {
+                positions = sort_positions(&cols, positions, &plan.order_by)?;
+            }
+            window(&mut positions, plan.offset, plan.limit);
+            return Ok(Some(StreamBody::Cursor(ProjectionCursor::new(
+                cols, positions, exprs,
+            ))));
+        }
+
+        if !group_cols.is_empty() {
+            let group_partials: Vec<Vec<GroupPartial>> = partials
+                .into_iter()
+                .map(|p| match p {
+                    Partial::Groups(g) => g,
+                    _ => unreachable!("grouped sink"),
+                })
+                .collect();
+            // Partition-wise parallel merge, then the shared grouped
+            // output shaping (column order, ORDER BY, OFFSET/LIMIT).
+            let grouped = finish_group_partials(merge_group_partials(
+                group_partials,
+                self.cfg.threads,
+                self.cfg.group_partitions,
+            )?)?;
+            let rows = format_grouped(plan, grouped)?;
+            return Ok(Some(StreamBody::Rows { rows, cursor: 0 }));
+        }
+
+        // Plain aggregate: merge the per-morsel accumulators in morsel
+        // order.
+        let mut merged: Vec<Accumulator> =
+            agg_specs.iter().map(|s| Accumulator::new(s.func)).collect();
+        for partial in partials {
+            let Partial::Accs(accs) = partial else {
+                unreachable!("aggregate sink")
             };
-            pieces.lock().expect("pieces mutex").push(Piece {
-                index: morsel.index,
-                columns: morsel.columns,
-                accs,
-                groups,
-            });
+            for (m, p) in merged.iter_mut().zip(accs) {
+                m.merge(p)?;
+            }
+        }
+        let vals: Vec<Value> = merged
+            .iter()
+            .map(|a| a.finish())
+            .collect::<Result<Vec<_>>>()?;
+        let mut rows = vec![vals];
+        window(&mut rows, plan.offset, plan.limit);
+        Ok(Some(StreamBody::Rows { rows, cursor: 0 }))
+    }
+
+    /// Scan one fully cold table through the morsel pipeline (no
+    /// pushdown), feeding the adaptive store and positional map exactly
+    /// as the serial load would: columns reassembled in row order and
+    /// installed full, row count set, every posmap recording written
+    /// back. Each morsel is handed to `sink` on the scan worker; the
+    /// per-morsel payloads come back in morsel index order together with
+    /// the rows scanned. This is the single copy of the store-feeding
+    /// plumbing every fused cold shape (aggregate, grouped, scalar, join
+    /// build, join probe) runs through.
+    fn scan_cold_fused<T: Send>(
+        &self,
+        e: &mut TableEntry,
+        scan_cols: &[usize],
+        now: u64,
+        sink: impl Fn(&nodb_rawcsv::Morsel) -> Result<T> + Sync,
+    ) -> Result<(u64, Vec<T>)> {
+        let bytes = crate::policy::read_data_bytes(e, &self.counters)?;
+        let schema = e.schema()?.clone();
+        let spec = nodb_rawcsv::ScanSpec {
+            schema: &schema,
+            needed: scan_cols.to_vec(),
+            pushdown: None, // the store needs full columns, as in serial loads
+        };
+        let pieces: std::sync::Mutex<Vec<(usize, Vec<ColumnData>, T)>> =
+            std::sync::Mutex::new(Vec::new());
+        let consume = |_worker: usize, morsel: nodb_rawcsv::Morsel| -> Result<()> {
+            let payload = sink(&morsel)?;
+            pieces
+                .lock()
+                .expect("pieces mutex")
+                .push((morsel.index, morsel.columns, payload));
             Ok(())
         };
         let posmap = self.cfg.use_positional_map.then_some(&mut e.posmap);
@@ -677,59 +863,170 @@ impl Engine {
             self.cfg.morsel_rows,
             &consume,
         )?;
-        // Count as a parallel execution only when more than one morsel
-        // existed — with a single morsel, scan_morsels clamps to one
-        // worker and the run was effectively serial.
-        if rows_scanned as usize > self.cfg.morsel_rows {
-            self.counters.add_parallel_pipeline();
-        }
-
-        // Reassemble the full columns in row order for the adaptive store
-        // and merge the partial aggregates in the same deterministic order.
         let mut pieces = pieces.into_inner().expect("pieces mutex");
-        pieces.sort_by_key(|p| p.index);
+        pieces.sort_by_key(|p| p.0);
         let mut full: Vec<ColumnData> = scan_cols
             .iter()
             .map(|&c| ColumnData::empty(schema.field(c).expect("validated").data_type))
             .collect();
-        let mut merged: Vec<Accumulator> =
-            agg_specs.iter().map(|s| Accumulator::new(s.func)).collect();
-        let mut group_partials: Vec<Vec<GroupPartial>> = Vec::with_capacity(pieces.len());
-        for piece in pieces {
-            for (dst, src) in full.iter_mut().zip(piece.columns) {
+        let mut payloads: Vec<T> = Vec::with_capacity(pieces.len());
+        for (_index, columns, payload) in pieces {
+            for (dst, src) in full.iter_mut().zip(columns) {
                 dst.append(src)?;
             }
-            for (m, p) in merged.iter_mut().zip(piece.accs) {
-                m.merge(p)?;
-            }
-            if !group_cols.is_empty() {
-                group_partials.push(piece.groups);
-            }
+            payloads.push(payload);
         }
         for (&c, col) in scan_cols.iter().zip(full) {
             e.store.insert_full(c, col, now);
         }
         e.store.set_nrows(rows_scanned);
+        Ok((rows_scanned, payloads))
+    }
 
-        if !group_cols.is_empty() {
-            // Partition-wise parallel merge, then the shared grouped
-            // output shaping (column order, ORDER BY, OFFSET/LIMIT).
-            let grouped = finish_group_partials(merge_group_partials(
-                group_partials,
-                self.cfg.threads,
-                self.cfg.group_partitions,
-            )?)?;
-            let rows = format_grouped(plan, grouped)?;
-            return Ok(Some(StreamBody::Rows { rows, cursor: 0 }));
+    /// Join half of [`Engine::try_morsel_cold_pipeline`]: when both join
+    /// inputs are fully cold with integer join keys, the build side's
+    /// tokenizer morsels are filtered and hash-partitioned into `(key,
+    /// row)` entries on the scan workers ([`cold_join_build_morsel`] —
+    /// the same radix scheme as the warm partitioned join), the partition
+    /// tables are built in parallel, and the probe side's morsels probe
+    /// them directly as they are parsed. Pair order reproduces the serial
+    /// `hash_join_positions`-over-gathered-keys order exactly, and both
+    /// adaptive stores plus positional maps end up exactly as two serial
+    /// loads would leave them. Locks are taken one entry at a time, never
+    /// nested.
+    fn try_fused_cold_join(
+        &self,
+        plan: &Plan,
+        needed_l: &[usize],
+        needed_r: &[usize],
+        filter_l: &Conjunction,
+        filter_r: &Conjunction,
+        now: u64,
+    ) -> Result<Option<StreamBody>> {
+        let join = plan.join.as_ref().expect("join plan");
+        // A self-join loads once and reuses the store; the serial path
+        // already handles that shape well.
+        if plan.table.eq_ignore_ascii_case(&join.table) {
+            return Ok(None);
+        }
+        if needed_l.is_empty() || needed_r.is_empty() {
+            return Ok(None);
+        }
+        let entry_l = self.catalog.read().get(&plan.table)?;
+        let entry_r = self.catalog.read().get(&join.table)?;
+
+        /// Fused-join eligibility of one side: fully cold with an Int64
+        /// join key. Runs under the caller's entry lock.
+        fn side_scan_cols(
+            engine: &Engine,
+            e: &mut TableEntry,
+            needed: &[usize],
+            key: usize,
+        ) -> Result<Option<Vec<usize>>> {
+            let Some(cols) = engine.cold_scan_cols(e, needed)? else {
+                return Ok(None);
+            };
+            if e.schema()?.field(key).map(|f| f.data_type) != Some(DataType::Int64) {
+                return Ok(None);
+            }
+            Ok(Some(cols))
         }
 
-        let vals: Vec<Value> = merged
-            .iter()
-            .map(|a| a.finish())
-            .collect::<Result<Vec<_>>>()?;
-        let mut rows = vec![vals];
-        window(&mut rows, plan.offset, plan.limit);
-        Ok(Some(StreamBody::Rows { rows, cursor: 0 }))
+        // Gate the probe side first, under a short lock: both sides must
+        // qualify before any scanning starts, otherwise the serial policy
+        // path runs untouched.
+        if side_scan_cols(self, &mut entry_r.write(), needed_r, join.right_key)?.is_none() {
+            return Ok(None);
+        }
+
+        // Build side: scan, filter and hash-partition the join keys on
+        // the scan workers, then build one table per partition.
+        let p = cold_join_partitions(self.cfg.threads);
+        let (rows_l, build_parts, cols_l) = {
+            let mut e = entry_l.write();
+            let Some(scan_cols) = side_scan_cols(self, &mut e, needed_l, join.left_key)? else {
+                return Ok(None);
+            };
+            let kslot = scan_cols
+                .iter()
+                .position(|&c| c == join.left_key)
+                .ok_or_else(|| Error::exec("join key not in scan columns"))?;
+            let (rows, parts) = self.scan_cold_fused(&mut e, &scan_cols, now, |morsel| {
+                let local = morsel_local_positions(&scan_cols, morsel, filter_l)?;
+                Ok(cold_join_build_morsel(
+                    &morsel.columns[kslot],
+                    &local,
+                    morsel.first_row,
+                    p,
+                ))
+            })?;
+            let mut cols: BTreeMap<usize, Arc<ColumnData>> = BTreeMap::new();
+            for &c in needed_l {
+                cols.insert(c, e.store.full_column(c, now).expect("just inserted"));
+            }
+            (rows, parts, cols)
+        };
+        let tables = build_cold_join_tables(build_parts, p, self.cfg.threads)?;
+
+        // Probe side: each morsel probes the partition tables as soon as
+        // it is parsed; chunk concatenation in morsel order reproduces
+        // the serial probe-scan pair order.
+        let (rows_r, pair_chunks, cols_r) = {
+            let mut e = entry_r.write();
+            // Re-validate under the lock: the pre-scan gate released it,
+            // and a racing query may have loaded (or a file edit
+            // re-inferred) this table meanwhile. Falling back is safe —
+            // the build side is now loaded exactly as a serial load, so
+            // the serial path serves it warm.
+            let Some(scan_cols) = side_scan_cols(self, &mut e, needed_r, join.right_key)? else {
+                return Ok(None);
+            };
+            let kslot = scan_cols
+                .iter()
+                .position(|&c| c == join.right_key)
+                .ok_or_else(|| Error::exec("join key not in scan columns"))?;
+            let (rows, chunks) = self.scan_cold_fused(&mut e, &scan_cols, now, |morsel| {
+                let local = morsel_local_positions(&scan_cols, morsel, filter_r)?;
+                Ok(tables.probe_morsel(&morsel.columns[kslot], &local, morsel.first_row))
+            })?;
+            let mut cols: BTreeMap<usize, Arc<ColumnData>> = BTreeMap::new();
+            for &c in needed_r {
+                cols.insert(c, e.store.full_column(c, now).expect("just inserted"));
+            }
+            (rows, chunks, cols)
+        };
+        self.counters.add_fused_cold_join();
+        if rows_l as usize > self.cfg.morsel_rows || rows_r as usize > self.cfg.morsel_rows {
+            self.counters.add_parallel_pipeline();
+        }
+
+        // The pairs are already in absolute row coordinates — gather the
+        // payload columns into the combined map and run the shared
+        // post-join pipeline, exactly as execute_join does after
+        // resolving its dense pairs.
+        let total: usize = pair_chunks.iter().map(Vec::len).sum();
+        let mut li: Vec<usize> = Vec::with_capacity(total);
+        let mut ri: Vec<usize> = Vec::with_capacity(total);
+        for chunk in pair_chunks {
+            for (a, b) in chunk {
+                li.push(a);
+                ri.push(b);
+            }
+        }
+        let mut combined: BTreeMap<usize, Arc<ColumnData>> = BTreeMap::new();
+        for (&c, col) in &cols_l {
+            combined.insert(c, Arc::new(col.take(&li)));
+        }
+        for (&c, col) in &cols_r {
+            combined.insert(plan.left_width + c, Arc::new(col.take(&ri)));
+        }
+        let n = li.len();
+        Ok(Some(self.execute_relational(
+            plan,
+            combined,
+            n,
+            &Conjunction::always(),
+        )?))
     }
 
     fn execute_single(&self, plan: &Plan, mat: Materialized) -> Result<StreamBody> {
@@ -940,6 +1237,21 @@ impl Engine {
             cols, positions, exprs,
         )))
     }
+}
+
+/// Morsel-local qualifying positions under `filter` — all rows when the
+/// filter is always true. The morsel must come from a pushdown-free scan
+/// (its columns hold exactly its own rows).
+fn morsel_local_positions(
+    scan_cols: &[usize],
+    morsel: &nodb_rawcsv::Morsel,
+    filter: &Conjunction,
+) -> Result<Vec<usize>> {
+    let n = morsel.rowids.len();
+    if filter.is_always_true() {
+        return Ok((0..n).collect());
+    }
+    filter_positions(&OrdinalCols::new(scan_cols, &morsel.columns), n, filter)
 }
 
 /// First SQL keyword of `text`, skipping leading whitespace and `--`
@@ -1502,6 +1814,182 @@ mod tests {
             assert_eq!(delta.file_trips, 0, "{sql}");
             assert!(par.counters().snapshot().morsels_dispatched >= 20, "{sql}");
         }
+    }
+
+    #[test]
+    fn cold_projection_pipeline_matches_serial_and_loads_store() {
+        let dir = std::env::temp_dir().join("nodb_engine_cold_project");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.csv");
+        let mut data = String::new();
+        for i in 0..20_000i64 {
+            data.push_str(&format!("{},{},{}\n", i, i * 2, i % 97));
+        }
+        std::fs::write(&path, &data).unwrap();
+        let sqls = [
+            "select a1, a2 from r where a1 > 100 and a1 < 200",
+            "select a2, a1 from r where a3 = 13 order by a1 desc limit 7 offset 3",
+            "select a1 + a2 from r where a1 > 19900 limit 5",
+        ];
+        let serial = Engine::new(EngineConfig::default().with_threads(1));
+        serial.register_table("r", &path).unwrap();
+
+        for (q, sql) in sqls.iter().enumerate() {
+            // Fresh parallel engine per query so each takes the fused cold
+            // projection path; small morsels force many of them.
+            let mut cfg = EngineConfig::default().with_threads(4);
+            cfg.morsel_rows = 1000;
+            let par = Engine::new(cfg);
+            par.register_table("r", &path).unwrap();
+            let expect = serial.sql(sql).unwrap().rows;
+            let out = par.sql(sql).unwrap();
+            assert_eq!(out.rows, expect, "{sql}");
+            let snap = par.counters().snapshot();
+            assert!(snap.fused_cold_projections >= 1, "{sql}: {snap}");
+            assert!(snap.parallel_pipelines >= 1, "{sql}: {snap}");
+            // A rerun is a pure store hit with identical output.
+            let before = par.counters().snapshot();
+            assert_eq!(par.sql(sql).unwrap().rows, expect, "warm {sql}");
+            assert_eq!(par.counters().snapshot().since(&before).file_trips, 0);
+            // The fused run left the adaptive store and positional map in
+            // exactly the state a serial load produces.
+            if q == 0 {
+                let si = serial.table_info("r").unwrap();
+                let pi = par.table_info("r").unwrap();
+                assert_eq!(pi.loaded_columns, si.loaded_columns);
+                assert_eq!(pi.store_bytes, si.store_bytes);
+                assert_eq!(pi.posmap_bytes, si.posmap_bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn cold_join_pipeline_matches_serial_and_loads_both_stores() {
+        let dir = std::env::temp_dir().join("nodb_engine_cold_join");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let r_path = dir.join("r.csv");
+        let s_path = dir.join("s.csv");
+        let mut rd = String::new();
+        let mut sd = String::new();
+        for i in 0..10_000i64 {
+            rd.push_str(&format!("{},{},{}\n", i, i * 2, i % 7));
+            sd.push_str(&format!("{},{}\n", (i * 13) % 10_000, i));
+        }
+        std::fs::write(&r_path, &rd).unwrap();
+        std::fs::write(&s_path, &sd).unwrap();
+        let sqls = [
+            "select count(*), sum(s.a2) from r join s on r.a1 = s.a1 where r.a3 = 3",
+            "select r.a2, s.a2 from r join s on r.a1 = s.a1 where s.a2 < 40 limit 9 offset 2",
+        ];
+        let serial = Engine::new(EngineConfig::default().with_threads(1));
+        serial.register_table("r", &r_path).unwrap();
+        serial.register_table("s", &s_path).unwrap();
+
+        for (q, sql) in sqls.iter().enumerate() {
+            let mut cfg = EngineConfig::default().with_threads(4);
+            cfg.morsel_rows = 500;
+            let par = Engine::new(cfg);
+            par.register_table("r", &r_path).unwrap();
+            par.register_table("s", &s_path).unwrap();
+            let expect = serial.sql(sql).unwrap().rows;
+            let out = par.sql(sql).unwrap();
+            assert_eq!(out.rows, expect, "{sql}");
+            let snap = par.counters().snapshot();
+            assert!(snap.fused_cold_joins >= 1, "{sql}: {snap}");
+            assert!(snap.parallel_pipelines >= 1, "{sql}: {snap}");
+            // Warm rerun: both sides came out fully loaded, no file work.
+            let before = par.counters().snapshot();
+            assert_eq!(par.sql(sql).unwrap().rows, expect, "warm {sql}");
+            assert_eq!(par.counters().snapshot().since(&before).file_trips, 0);
+            if q == 0 {
+                for t in ["r", "s"] {
+                    let si = serial.table_info(t).unwrap();
+                    let pi = par.table_info(t).unwrap();
+                    assert_eq!(pi.loaded_columns, si.loaded_columns, "{t}");
+                    assert_eq!(pi.store_bytes, si.store_bytes, "{t}");
+                    assert_eq!(pi.posmap_bytes, si.posmap_bytes, "{t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cold_range_query_builds_index_without_fused_path() {
+        // With cracking enabled the fused pipeline stands down, and the
+        // very first (cold) range query loads dense, then installs and
+        // cracks the partitioned index outside the entry lock.
+        let dir = std::env::temp_dir().join("nodb_engine_cold_crack");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.csv");
+        let mut data = String::new();
+        for i in 0..10_000i64 {
+            data.push_str(&format!("{},{}\n", (i * 7919) % 10_000, i));
+        }
+        std::fs::write(&path, &data).unwrap();
+        let mut cfg = EngineConfig::default().with_threads(4);
+        cfg.use_cracking = true;
+        let e = Engine::new(cfg);
+        e.register_table("r", &path).unwrap();
+        let out = e
+            .sql("select count(*) from r where a1 > 100 and a1 < 200")
+            .unwrap();
+        // a1 is a permutation of 0..10000: exactly 99 strictly inside.
+        assert_eq!(out.scalar(), Some(&Value::Int(99)));
+        let snap = e.counters().snapshot();
+        assert_eq!(snap.fused_cold_projections, 0, "{snap}");
+        assert_eq!(snap.fused_cold_joins, 0, "{snap}");
+        {
+            let entry = e.catalog.read().get("r").unwrap();
+            assert!(entry.read().store.has_cracked(0), "index built cold");
+        }
+        // Warm rerun: served from the cracked index, no file work.
+        let before = e.counters().snapshot();
+        let again = e
+            .sql("select count(*) from r where a1 > 100 and a1 < 200")
+            .unwrap();
+        assert_eq!(again.scalar(), Some(&Value::Int(99)));
+        assert_eq!(e.counters().snapshot().since(&before).file_trips, 0);
+    }
+
+    #[test]
+    fn partial_v2_escalation_still_builds_cracked_index() {
+        // Under PartialLoadsV2 + cracking, the monitor's escalation to
+        // full column loads must still end with a cracked index (built
+        // outside the entry lock by the post-load snapshot path).
+        let dir = std::env::temp_dir().join("nodb_engine_v2_crack");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.csv");
+        let mut data = String::new();
+        for i in 0..2_000i64 {
+            data.push_str(&format!("{},{}\n", i, i * 2));
+        }
+        std::fs::write(&path, &data).unwrap();
+        let mut cfg = EngineConfig::with_strategy(LoadingStrategy::PartialLoadsV2).with_threads(2);
+        cfg.use_cracking = true;
+        cfg.escalate_after_misses = 2;
+        let e = Engine::new(cfg);
+        e.register_table("r", &path).unwrap();
+        // Widening 2-D boxes keep missing cached fragments (each one
+        // extends past the last fragment's bounds) until the monitor
+        // escalates to full column loads.
+        for q in 0..4i64 {
+            let out = e
+                .sql(&format!(
+                    "select count(*) from r where a1 > {} and a2 < {}",
+                    10 - q,
+                    3000 + q
+                ))
+                .unwrap();
+            assert!(matches!(out.scalar(), Some(Value::Int(_))), "query {q}");
+        }
+        let entry = e.catalog.read().get("r").unwrap();
+        let entry = entry.read();
+        assert!(entry.store.has_full(0), "escalated to full columns");
+        assert!(entry.store.has_cracked(0), "index built after escalation");
     }
 
     #[test]

@@ -5,12 +5,18 @@
 //! an *adaptive store* holding it in whatever shape fits, and an *adaptive
 //! kernel* executing over it. This crate is the glue:
 //!
-//! * [`Engine`] — register raw CSV files, fire SQL, get results;
+//! * [`Engine`] — register raw CSV files, fire SQL, get results; cold
+//!   queries run the fused morsel pipeline (tokenizer batches from
+//!   `nodb-rawcsv` flowing into the operators of `nodb-exec` while the
+//!   adaptive store of `nodb-store` is fed on the side);
 //! * [`config`] — loading strategies (one per curve in the paper's figures)
-//!   and kernel strategies;
+//!   and kernel strategies (see `docs/TUNING.md` for every knob);
 //! * [`policy`] — the adaptive loading operators (§3, §4);
 //! * [`catalog`] — linked files, schema inference on first touch,
 //!   fingerprint-based invalidation on file edits (§5.4);
+//! * [`session`] — prepared statements, parameter binding, streaming
+//!   results, results-as-tables;
+//! * [`plan_cache`] — resolved plans keyed by normalized SQL text;
 //! * [`monitor`] — the robustness advisor (§5.5).
 //!
 //! ```no_run

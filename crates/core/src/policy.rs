@@ -77,9 +77,9 @@ pub fn materialize(
         return dense_from_store(entry, needed, now);
     }
     match cfg.strategy {
-        LoadingStrategy::FullLoad => full_load(entry, needed, filter, cfg, counters, now),
+        LoadingStrategy::FullLoad => full_load(entry, needed, cfg, counters, now),
         LoadingStrategy::ExternalScan => external_scan(entry, needed, cfg, counters),
-        LoadingStrategy::ColumnLoads => column_loads(entry, needed, filter, cfg, counters, now),
+        LoadingStrategy::ColumnLoads => column_loads(entry, needed, cfg, counters, now),
         LoadingStrategy::PartialLoadsV1 => partial_v1(entry, needed, filter, cfg, counters),
         LoadingStrategy::PartialLoadsV2 => partial_v2(entry, needed, filter, cfg, counters, now),
         LoadingStrategy::SplitFiles => split_files(entry, needed, cfg, counters, now),
@@ -210,50 +210,17 @@ fn cracked_materialization(
     }
 }
 
-/// Adaptive-index access path inside a policy load (the cold half): when
-/// enabled and the filter constrains a fully loaded integer column, answer
-/// the selection from a cracked copy (building it on first use, refining
-/// it on every query — the index is "a side-effect of query processing").
-/// Runs under the caller's entry lock; warm repeat queries take
-/// [`try_cracked_warm`] instead, which cracks outside that lock.
-fn maybe_crack(
-    entry: &mut TableEntry,
-    needed: &[usize],
-    filter: &Conjunction,
-    cfg: &EngineConfig,
-    now: u64,
-) -> Result<Option<Materialized>> {
-    if !cfg.use_cracking || filter.is_always_true() {
-        return Ok(None);
-    }
-    let Some((col, iv)) = crackable_pick(entry, filter) else {
-        return Ok(None);
-    };
-    let index = ensure_cracked(entry, col, cfg, now);
-    let Some((_, rowids)) = index.select_parallel(&iv, cfg.threads) else {
-        return Ok(None); // non-int bounds; fall back to scans
-    };
-    entry.store.refresh_cracked_bytes();
-    let mut cols = BTreeMap::new();
-    for &c in needed {
-        let data = entry
-            .store
-            .full_column(c, now)
-            .ok_or_else(|| Error::exec(format!("column {c} expected to be loaded")))?;
-        cols.insert(c, data);
-    }
-    Ok(Some(cracked_materialization(cols, rowids)))
-}
-
-/// The warm adaptive-index fast path, called by the engine *before* it
-/// takes the long-lived entry write lock: when every needed column is
-/// already fully loaded and the filter constrains a crackable column,
-/// snapshot `Arc` handles to the index and the columns under a short
-/// write lock, then crack **outside** it — racing range queries refine
-/// the partitioned index concurrently under its per-partition locks
-/// instead of serializing on the table entry. Returns `None` (state
-/// untouched beyond LRU stamps and possibly installing the index) when
-/// the shape does not qualify; the ordinary policy path then runs.
+/// The adaptive-index fast path, called by the engine *outside* the
+/// long-lived entry write lock — before it for warm queries, and again
+/// right after the policy load for cold ones (cold-load cracking thus
+/// never holds the entry lock either): when every needed column is fully
+/// loaded and the filter constrains a crackable column, snapshot `Arc`
+/// handles to the index and the columns under a short write lock, then
+/// crack **outside** it — racing range queries refine the partitioned
+/// index concurrently under its per-partition locks instead of
+/// serializing on the table entry. Returns `None` (state untouched beyond
+/// LRU stamps and possibly installing the index) when the shape does not
+/// qualify; the ordinary policy path then runs.
 pub(crate) fn try_cracked_warm(
     entry: &parking_lot::RwLock<TableEntry>,
     needed: &[usize],
@@ -265,11 +232,13 @@ pub(crate) fn try_cracked_warm(
     if !cfg.use_cracking || filter.is_always_true() || needed.is_empty() {
         return Ok(None);
     }
-    // Cracking serves the full-column policies only (same gate as the
-    // cold path's call sites in full_load / column_loads).
+    // Cracking serves full columns: the full-column policies, plus
+    // PartialLoadsV2 once its monitor has escalated a column set to full
+    // loads (the `missing_full` check below keeps un-escalated partial
+    // state on the fragment path).
     if !matches!(
         cfg.strategy,
-        LoadingStrategy::FullLoad | LoadingStrategy::ColumnLoads
+        LoadingStrategy::FullLoad | LoadingStrategy::ColumnLoads | LoadingStrategy::PartialLoadsV2
     ) {
         return Ok(None);
     }
@@ -303,8 +272,17 @@ pub(crate) fn try_cracked_warm(
     let Some((_, rowids)) = index.select_parallel(&iv, cfg.threads) else {
         return Ok(None); // non-int bounds; fall back to scans
     };
-    // Byte-accounting catch-up under a short re-lock.
-    entry.write().store.refresh_cracked_bytes();
+    // Byte-accounting catch-up under a short re-lock. V2's monitor still
+    // counts this query as a store hit — the fragment path this fast path
+    // bypassed would have (the full-column policies count nothing on
+    // their dense paths, so nothing is recorded for them here either).
+    {
+        let mut e = entry.write();
+        e.store.refresh_cracked_bytes();
+        if matches!(cfg.strategy, LoadingStrategy::PartialLoadsV2) {
+            e.monitor.record_hit(needed);
+        }
+    }
     Ok(Some(cracked_materialization(cols, rowids)))
 }
 
@@ -313,7 +291,6 @@ pub(crate) fn try_cracked_warm(
 fn full_load(
     entry: &mut TableEntry,
     needed: &[usize],
-    filter: &Conjunction,
     cfg: &EngineConfig,
     counters: &WorkCounters,
     now: u64,
@@ -330,9 +307,6 @@ fn full_load(
     if needed.is_empty() {
         let n = ensure_nrows(entry, cfg, counters)?;
         return Ok(Materialized::dense(BTreeMap::new(), n as usize));
-    }
-    if let Some(m) = maybe_crack(entry, needed, filter, cfg, now)? {
-        return Ok(m);
     }
     dense_from_store(entry, needed, now)
 }
@@ -371,7 +345,6 @@ fn external_scan(
 fn column_loads(
     entry: &mut TableEntry,
     needed: &[usize],
-    filter: &Conjunction,
     cfg: &EngineConfig,
     counters: &WorkCounters,
     now: u64,
@@ -400,9 +373,6 @@ fn column_loads(
                 entry.store.insert_full(c, col, now);
             }
         }
-    }
-    if let Some(m) = maybe_crack(entry, needed, filter, cfg, now)? {
-        return Ok(m);
     }
     dense_from_store(entry, needed, now)
 }
@@ -481,7 +451,7 @@ fn partial_v2(
             .monitor
             .should_escalate(needed, cfg.escalate_after_misses)
     {
-        return column_loads(entry, needed, filter, cfg, counters, now);
+        return column_loads(entry, needed, cfg, counters, now);
     }
 
     // 1. A single stored fragment covering the whole box?

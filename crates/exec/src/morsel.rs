@@ -16,6 +16,14 @@
 //!   probe over morsels of the key columns, reproducing the serial pair
 //!   order exactly.
 //!
+//! It also provides the *fused cold* operators, which consume
+//! [`nodb_types::MorselBatch`]es straight from the tokenizer so cold
+//! queries execute while they parse: [`cold_project_morsel`] /
+//! [`stitch_cold_projection`] (per-worker projection emitters with
+//! morsel-order batch stitching) and [`cold_join_build_morsel`] /
+//! [`build_cold_join_tables`] / [`ColdJoinTables::probe_morsel`]
+//! (morsel-fed partitioned join build and probe).
+//!
 //! The raw-file half (tokenizer morsels) lives in `nodb-rawcsv`'s
 //! `scan_morsels`; `nodb-core` connects the two.
 //!
@@ -30,7 +38,9 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Mutex;
 
-use nodb_types::{drive_morsels, morsel_count, ColumnData, Conjunction, Error, Result, Value};
+use nodb_types::{
+    drive_morsels, morsel_count, ColumnData, Conjunction, Error, MorselBatch, Result, Value,
+};
 
 use crate::agg::Accumulator;
 use crate::cols::Cols;
@@ -523,6 +533,189 @@ pub fn parallel_hash_join_positions(
     Ok(out)
 }
 
+// ----- Fused cold pipeline operators ------------------------------------
+//
+// The functions below are the operator half of the fused *cold* pipeline:
+// the tokenizer (`scan_morsels` in `nodb-rawcsv`) emits [`MorselBatch`]es
+// from worker threads, and these run on that worker, so filtering,
+// projection and join builds overlap with parsing instead of waiting for
+// the monolithic store load. They all merge in morsel index order, so the
+// result is byte-identical to the serial load-then-execute path.
+
+/// Per-morsel output of the fused cold projection: the absolute positions
+/// of qualifying rows, plus — when projection emission was requested — the
+/// projected output rows themselves.
+#[derive(Debug)]
+pub struct ProjectPartial {
+    /// Absolute input positions of qualifying rows, ascending.
+    pub positions: Vec<usize>,
+    /// Projected output rows aligned with `positions` (empty when the
+    /// caller asked for positions only, e.g. under ORDER BY where
+    /// projection must wait for the global sort).
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// Fused cold projection over one tokenizer morsel: filter the batch with
+/// `conj` and, when `exprs` is given, evaluate the output expressions for
+/// qualifying rows right here on the scan worker. Slot `k` of the batch's
+/// columns holds ordinal `ids[k]` (the producing scan's `needed` list).
+///
+/// The batch must come from a scan without pushdown (`rowids` dense), so
+/// local row `i` is absolute row `first_row + i` — the concatenation of
+/// per-morsel `positions` in morsel order is then exactly the serial
+/// [`filter_positions`](crate::columnar::filter_positions) output over the
+/// assembled columns, and the concatenated `rows` are exactly what a
+/// serial projection of those positions would produce.
+pub fn cold_project_morsel(
+    ids: &[usize],
+    batch: &MorselBatch,
+    conj: &Conjunction,
+    exprs: Option<&[Expr]>,
+) -> Result<ProjectPartial> {
+    debug_assert_eq!(batch.rowids.len(), batch.n_rows, "pushdown-free scan");
+    let cols = OrdinalCols::new(ids, &batch.columns);
+    let n = batch.rowids.len();
+    let local: Vec<usize> = if conj.is_always_true() {
+        (0..n).collect()
+    } else {
+        filter_positions_range(&cols, 0, n, conj)?
+    };
+    let mut rows = Vec::new();
+    if let Some(exprs) = exprs {
+        rows.reserve(local.len());
+        for &i in &local {
+            let mut row = Vec::with_capacity(exprs.len());
+            for e in exprs {
+                row.push(e.eval(&cols, i)?);
+            }
+            rows.push(row);
+        }
+    }
+    let positions = local.into_iter().map(|i| batch.first_row + i).collect();
+    Ok(ProjectPartial { positions, rows })
+}
+
+/// Stitch per-morsel projection partials (in morsel index order) into one
+/// position vector and one row vector — the deterministic merge that makes
+/// the fused cold projection byte-identical to the serial path.
+pub fn stitch_cold_projection(parts: Vec<ProjectPartial>) -> (Vec<usize>, Vec<Vec<Value>>) {
+    let n_pos = parts.iter().map(|p| p.positions.len()).sum();
+    let n_rows = parts.iter().map(|p| p.rows.len()).sum();
+    let mut positions = Vec::with_capacity(n_pos);
+    let mut rows = Vec::with_capacity(n_rows);
+    for mut p in parts {
+        positions.append(&mut p.positions);
+        rows.append(&mut p.rows);
+    }
+    (positions, rows)
+}
+
+/// Partition count for the morsel-fed cold join build — the same scheme as
+/// the warm [`parallel_hash_join_positions`]: one partition per worker,
+/// rounded to a power of two.
+pub fn cold_join_partitions(threads: usize) -> usize {
+    join_partition_count(threads)
+}
+
+/// Build-side half of the morsel-fed cold join: hash-partition one
+/// morsel's qualifying join keys into `(key, absolute row)` entries,
+/// `partitions` buckets (power of two). NULL keys never match and are
+/// dropped here, exactly as the serial
+/// [`hash_join_positions`] drops them.
+/// `local_positions` are the morsel-local qualifying rows (ascending);
+/// appending each morsel's buckets in morsel order keeps every bucket's
+/// rows ascending — the serial build insertion order.
+pub fn cold_join_build_morsel(
+    keys: &ColumnData,
+    local_positions: &[usize],
+    first_row: usize,
+    partitions: usize,
+) -> Vec<Vec<(i64, usize)>> {
+    let mut parts: Vec<Vec<(i64, usize)>> = vec![Vec::new(); partitions];
+    let nullable = matches!(keys, ColumnData::Int64 { nulls: Some(_), .. });
+    if let (Some(ks), false) = (keys.as_i64_slice(), nullable) {
+        for &i in local_positions {
+            let k = ks[i];
+            parts[partition_of(k, partitions)].push((k, first_row + i));
+        }
+    } else {
+        for &i in local_positions {
+            if let Value::Int(k) = keys.get(i) {
+                parts[partition_of(k, partitions)].push((k, first_row + i));
+            }
+        }
+    }
+    parts
+}
+
+/// Partitioned hash tables of a completed cold join build: one table per
+/// partition, bucket vectors holding absolute build-side rows ascending.
+#[derive(Debug)]
+pub struct ColdJoinTables {
+    partitions: usize,
+    tables: Vec<HashMap<i64, Vec<usize>>>,
+}
+
+/// Merge per-morsel build partitions (in morsel index order) and build one
+/// hash table per partition, in parallel on stealing workers — the same
+/// radix merge the warm [`parallel_hash_join_positions`] build runs, fed
+/// from tokenizer morsels instead of a loaded column.
+pub fn build_cold_join_tables(
+    morsel_parts: Vec<Vec<Vec<(i64, usize)>>>,
+    partitions: usize,
+    threads: usize,
+) -> Result<ColdJoinTables> {
+    let mut part_entries: Vec<Vec<(i64, usize)>> = vec![Vec::new(); partitions];
+    for parts in morsel_parts {
+        for (pid, mut entries) in parts.into_iter().enumerate() {
+            part_entries[pid].append(&mut entries);
+        }
+    }
+    let part_entries = &part_entries;
+    let tables = run_morsels(partitions, 1, threads, |_index, lo, _hi| {
+        let entries = &part_entries[lo];
+        let mut t: HashMap<i64, Vec<usize>> = HashMap::with_capacity(entries.len());
+        for &(k, i) in entries {
+            t.entry(k).or_default().push(i);
+        }
+        Ok(t)
+    })?;
+    Ok(ColdJoinTables { partitions, tables })
+}
+
+impl ColdJoinTables {
+    /// Probe one probe-side morsel against the built tables, emitting
+    /// `(build row, probe row)` pairs in absolute coordinates. NULL keys
+    /// never match. Concatenating per-morsel outputs in morsel order
+    /// reproduces the serial pair order exactly: probe-scan order,
+    /// ascending build position per match.
+    pub fn probe_morsel(
+        &self,
+        keys: &ColumnData,
+        local_positions: &[usize],
+        first_row: usize,
+    ) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let nullable = matches!(keys, ColumnData::Int64 { nulls: Some(_), .. });
+        let fast = if nullable { None } else { keys.as_i64_slice() };
+        for &j in local_positions {
+            let k = match fast {
+                Some(ks) => ks[j],
+                None => match keys.get(j) {
+                    Value::Int(k) => k,
+                    _ => continue,
+                },
+            };
+            if let Some(matches) = self.tables[partition_of(k, self.partitions)].get(&k) {
+                for &i in matches {
+                    out.push((i, first_row + j));
+                }
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -547,6 +740,104 @@ mod tests {
             ColumnData::from_f64((0..n).map(|i| i as f64 / 3.0).collect()),
         );
         (cols, n)
+    }
+
+    /// Slice a table's columns into [`MorselBatch`]es of `morsel_rows`
+    /// each, as a pushdown-free tokenizer scan would emit them.
+    fn slice_batches(
+        ids: &[usize],
+        cols: &BTreeMap<usize, ColumnData>,
+        n: usize,
+        morsel_rows: usize,
+    ) -> Vec<MorselBatch> {
+        let mut batches = Vec::new();
+        let mut lo = 0;
+        while lo < n.max(1) && lo < n {
+            let hi = (lo + morsel_rows).min(n);
+            let take: Vec<usize> = (lo..hi).collect();
+            batches.push(MorselBatch {
+                index: batches.len(),
+                first_row: lo,
+                n_rows: hi - lo,
+                rowids: (lo as u64..hi as u64).collect(),
+                columns: ids.iter().map(|&c| cols[&c].take(&take)).collect(),
+            });
+            lo = hi;
+        }
+        batches
+    }
+
+    #[test]
+    fn cold_projection_morsels_match_serial() {
+        let (cols, n) = table(3000);
+        let conj = Conjunction::new(vec![ColPred::new(0, CmpOp::Lt, 700i64)]);
+        let exprs = vec![Expr::Col(1), Expr::Col(0)];
+        let ids = vec![0usize, 1, 2];
+        let serial_pos = filter_positions(&cols, n, &conj).unwrap();
+        let serial_rows = crate::columnar::project_rows(&cols, &serial_pos, &exprs).unwrap();
+        for morsel_rows in [7, 250, 5000] {
+            let parts: Vec<ProjectPartial> = slice_batches(&ids, &cols, n, morsel_rows)
+                .iter()
+                .map(|b| cold_project_morsel(&ids, b, &conj, Some(&exprs)).unwrap())
+                .collect();
+            let (positions, rows) = stitch_cold_projection(parts);
+            assert_eq!(positions, serial_pos, "morsel_rows={morsel_rows}");
+            assert_eq!(rows, serial_rows, "morsel_rows={morsel_rows}");
+        }
+    }
+
+    #[test]
+    fn cold_join_build_probe_matches_serial() {
+        let n = 2500;
+        let mut cols = BTreeMap::new();
+        cols.insert(
+            0,
+            ColumnData::from_i64((0..n as i64).map(|i| (i * 13) % 199).collect()),
+        );
+        let mut probe_cols = BTreeMap::new();
+        probe_cols.insert(
+            0,
+            ColumnData::from_i64((0..n as i64).map(|i| (i * 7) % 230).collect()),
+        );
+        let serial = hash_join_positions(&cols[&0], &probe_cols[&0]).unwrap();
+        let ids = vec![0usize];
+        for (threads, morsel_rows) in [(2, 11), (4, 400), (3, 5000)] {
+            let p = cold_join_partitions(threads);
+            let parts: Vec<Vec<Vec<(i64, usize)>>> = slice_batches(&ids, &cols, n, morsel_rows)
+                .iter()
+                .map(|b| {
+                    let local: Vec<usize> = (0..b.n_rows).collect();
+                    cold_join_build_morsel(&b.columns[0], &local, b.first_row, p)
+                })
+                .collect();
+            let tables = build_cold_join_tables(parts, p, threads).unwrap();
+            let pairs: Vec<(usize, usize)> = slice_batches(&ids, &probe_cols, n, morsel_rows)
+                .iter()
+                .flat_map(|b| {
+                    let local: Vec<usize> = (0..b.n_rows).collect();
+                    tables.probe_morsel(&b.columns[0], &local, b.first_row)
+                })
+                .collect();
+            assert_eq!(pairs, serial, "threads={threads} morsel_rows={morsel_rows}");
+        }
+    }
+
+    #[test]
+    fn cold_join_skips_null_keys_like_serial() {
+        let mut build = ColumnData::empty(nodb_types::DataType::Int64);
+        for v in [Value::Int(1), Value::Null, Value::Int(2), Value::Int(1)] {
+            build.push(v).unwrap();
+        }
+        let mut probe = ColumnData::empty(nodb_types::DataType::Int64);
+        for v in [Value::Int(2), Value::Null, Value::Int(1)] {
+            probe.push(v).unwrap();
+        }
+        let serial = hash_join_positions(&build, &probe).unwrap();
+        let p = cold_join_partitions(2);
+        let parts = vec![cold_join_build_morsel(&build, &[0, 1, 2, 3], 0, p)];
+        let tables = build_cold_join_tables(parts, p, 2).unwrap();
+        let pairs = tables.probe_morsel(&probe, &[0, 1, 2], 0);
+        assert_eq!(pairs, serial);
     }
 
     #[test]

@@ -573,22 +573,10 @@ fn scan_row_range(ctx: &ScanCtx<'_>, lo: usize, hi: usize) -> Result<ChunkOut> {
 
 /// One unit of work in the morsel-driven pipeline: the phase-2 output of a
 /// contiguous run of rows, handed to a per-worker operator chain *instead*
-/// of being merged into one giant [`ScanOutput`] first.
-#[derive(Debug)]
-pub struct Morsel {
-    /// Morsel ordinal (0-based, ascending by row range) — gives consumers a
-    /// deterministic merge order regardless of worker scheduling.
-    pub index: usize,
-    /// First row id covered by this morsel.
-    pub first_row: usize,
-    /// Rows scanned (before pushdown filtering).
-    pub n_rows: usize,
-    /// Qualifying row ids, ascending.
-    pub rowids: Vec<u64>,
-    /// Parsed columns, parallel to the spec's `needed` list, rows aligned
-    /// with `rowids`.
-    pub columns: Vec<ColumnData>,
-}
+/// of being merged into one giant [`ScanOutput`] first. This is the shared
+/// [`nodb_types::MorselBatch`] — the fused cold operators in `nodb-exec`
+/// consume it directly.
+pub type Morsel = nodb_types::MorselBatch;
 
 /// Morsel-driven parallel scan: tokenize `bytes` in row morsels of
 /// `morsel_rows` and feed each finished morsel straight into `consume`

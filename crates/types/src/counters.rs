@@ -39,6 +39,13 @@ pub struct WorkCounters {
     /// elapsed time by a parallel run's to estimate the speedup these
     /// bought.
     pub parallel_pipelines: AtomicU64,
+    /// Cold scalar projections served by the fused tokenizer→operator
+    /// pipeline (filtering and projection overlapped with parsing instead
+    /// of waiting for the store load).
+    pub fused_cold_projections: AtomicU64,
+    /// Cold hash joins whose build and probe consumed tokenizer morsels
+    /// directly instead of blocking on both store loads.
+    pub fused_cold_joins: AtomicU64,
 }
 
 impl WorkCounters {
@@ -107,6 +114,16 @@ impl WorkCounters {
         self.parallel_pipelines.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one fused cold projection.
+    pub fn add_fused_cold_projection(&self) {
+        self.fused_cold_projections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one fused cold join.
+    pub fn add_fused_cold_join(&self) {
+        self.fused_cold_joins.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Capture the current values.
     pub fn snapshot(&self) -> CountersSnapshot {
         CountersSnapshot {
@@ -122,6 +139,8 @@ impl WorkCounters {
             plan_cache_misses: self.plan_cache_misses.load(Ordering::Relaxed),
             morsels_dispatched: self.morsels_dispatched.load(Ordering::Relaxed),
             parallel_pipelines: self.parallel_pipelines.load(Ordering::Relaxed),
+            fused_cold_projections: self.fused_cold_projections.load(Ordering::Relaxed),
+            fused_cold_joins: self.fused_cold_joins.load(Ordering::Relaxed),
         }
     }
 
@@ -139,6 +158,8 @@ impl WorkCounters {
         self.plan_cache_misses.store(0, Ordering::Relaxed);
         self.morsels_dispatched.store(0, Ordering::Relaxed);
         self.parallel_pipelines.store(0, Ordering::Relaxed);
+        self.fused_cold_projections.store(0, Ordering::Relaxed);
+        self.fused_cold_joins.store(0, Ordering::Relaxed);
     }
 }
 
@@ -169,6 +190,10 @@ pub struct CountersSnapshot {
     pub morsels_dispatched: u64,
     /// See [`WorkCounters::parallel_pipelines`].
     pub parallel_pipelines: u64,
+    /// See [`WorkCounters::fused_cold_projections`].
+    pub fused_cold_projections: u64,
+    /// See [`WorkCounters::fused_cold_joins`].
+    pub fused_cold_joins: u64,
 }
 
 impl CountersSnapshot {
@@ -196,6 +221,12 @@ impl CountersSnapshot {
             parallel_pipelines: self
                 .parallel_pipelines
                 .saturating_sub(earlier.parallel_pipelines),
+            fused_cold_projections: self
+                .fused_cold_projections
+                .saturating_sub(earlier.fused_cold_projections),
+            fused_cold_joins: self
+                .fused_cold_joins
+                .saturating_sub(earlier.fused_cold_joins),
         }
     }
 }
@@ -204,7 +235,7 @@ impl fmt::Display for CountersSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "read={}B written={}B rows_tok={} fields_tok={} parsed={} trips={} abandoned={} evicted={} plan_hits={} plan_misses={} morsels={} par_pipelines={}",
+            "read={}B written={}B rows_tok={} fields_tok={} parsed={} trips={} abandoned={} evicted={} plan_hits={} plan_misses={} morsels={} par_pipelines={} fused_proj={} fused_joins={}",
             self.bytes_read,
             self.bytes_written,
             self.rows_tokenized,
@@ -217,6 +248,8 @@ impl fmt::Display for CountersSnapshot {
             self.plan_cache_misses,
             self.morsels_dispatched,
             self.parallel_pipelines,
+            self.fused_cold_projections,
+            self.fused_cold_joins,
         )
     }
 }

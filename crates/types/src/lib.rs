@@ -14,8 +14,11 @@
 //!   each column based on values"),
 //! * [`counters`] — work counters (bytes read, fields tokenized, ...) that
 //!   make the benchmark "shape" claims auditable,
-//! * [`morsel`] — the shared morsel-stealing driver every parallel pool
-//!   (tokenizer morsels, post-load operator morsels) schedules through.
+//! * [`morsel`] — the shared morsel-stealing driver ([`drive_morsels`])
+//!   every parallel pool (tokenizer morsels, post-load operator morsels)
+//!   schedules through, and the [`MorselBatch`] unit of work the fused
+//!   cold pipeline passes from the tokenizer (`nodb-rawcsv`) to the
+//!   operators (`nodb-exec`).
 
 pub mod column;
 pub mod counters;
@@ -30,7 +33,7 @@ pub use column::ColumnData;
 pub use counters::{CountersSnapshot, WorkCounters};
 pub use error::{Error, Result};
 pub use interval::{Bound, Interval, IntervalSet};
-pub use morsel::{drive_morsels, morsel_count, MorselRange};
+pub use morsel::{drive_morsels, morsel_count, MorselBatch, MorselRange};
 pub use predicate::{CmpOp, ColPred, Conjunction, SelectionBox};
 pub use schema::{Field, Schema};
 pub use value::{DataType, Value};

@@ -1,7 +1,7 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! The build environment has no network access, so this workspace vendors
-//! the property-testing surface its tests use: the [`Strategy`] trait with
+//! the property-testing surface its tests use: the [`Strategy`](strategy::Strategy) trait with
 //! `prop_map`, range / tuple / `Just` strategies, `collection::vec`,
 //! `option::of`, `num::*::ANY`, `bool::ANY`, the `proptest!` macro with an
 //! optional `#![proptest_config(..)]` header, and the `prop_assert!` /
@@ -9,7 +9,7 @@
 //!
 //! Differences from the real crate: no shrinking (a failing case reports
 //! its seed and values as-is), and a fixed deterministic seed sequence per
-//! case index. Case counts default to [`ProptestConfig::default`]'s
+//! case index. Case counts default to [`ProptestConfig::default`](test_runner::ProptestConfig::default)'s
 //! `cases` (64; override per block via `proptest_config`, or globally with
 //! the `PROPTEST_CASES` env var).
 
@@ -218,7 +218,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Element-count specification for [`vec`].
+    /// Element-count specification for [`vec()`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
@@ -258,7 +258,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

@@ -1,19 +1,30 @@
-//! # nodb — a NoDB-style adaptive raw-file query engine
+#![doc = include_str!("../README.md")]
 //!
-//! Facade crate re-exporting the public API of the workspace. See the README
-//! for a tour; the individual crates are:
+//! ---
 //!
-//! * [`types`] — values, schemas, predicates, intervals, counters.
-//! * [`rawcsv`] — the raw-file substrate: generators, tokenizer, positional
-//!   map, schema inference, file splitting.
-//! * [`store`] — the adaptive store: columns, row/PAX formats, cracking,
-//!   eviction.
-//! * [`exec`] — the adaptive kernel: columnar/volcano/hybrid operators.
+//! # Crate map
+//!
+//! This facade re-exports the public API of the workspace. The individual
+//! crates, re-exported as modules here:
+//!
+//! * [`types`] — values, schemas, predicates, intervals, work counters,
+//!   and the shared morsel driver + batch type every parallel pipeline
+//!   stage speaks.
+//! * [`rawcsv`] — the raw-file substrate: generators, two-phase
+//!   tokenizer (merged scans and morsel scans), positional map, schema
+//!   inference, file splitting.
+//! * [`store`] — the adaptive store: columns, fragments, row/PAX formats,
+//!   partitioned cracking, eviction, binary persistence.
+//! * [`exec`] — the adaptive kernel: columnar/volcano/hybrid operators,
+//!   morsel-parallel kernels and the fused cold-pipeline operators.
 //! * [`sql`] — SQL parsing and logical planning.
 //! * [`core`] — the engine tying it together: catalog, loading policies,
-//!   optimizer, workload monitor.
+//!   fused cold pipeline, plan cache, sessions, workload monitor.
 //! * [`baselines`] — the paper's comparison systems (awk-like scripting,
 //!   external sort + merge join).
+//!
+//! `docs/ARCHITECTURE.md` walks the end-to-end data flow; `docs/TUNING.md`
+//! documents every [`EngineConfig`] knob and work counter.
 
 pub use nodb_baselines as baselines;
 pub use nodb_core as core;

@@ -1,0 +1,193 @@
+//! Property tests for the fused cold pipeline: for *any* generated table
+//! (mixed dtypes, quoted fields) and *any* projection or join query
+//! (LIMIT/OFFSET, ORDER BY, shifting predicates), the morsel-fused cold
+//! path must produce byte-identical results to the serial
+//! load-then-execute path — across thread counts and morsel sizes that
+//! split groups and matches across morsel boundaries — and must leave the
+//! adaptive store and positional map in exactly the state a serial load
+//! produces.
+
+mod common;
+
+use common::test_dir;
+use nodb::core::{Engine, EngineConfig};
+use proptest::prelude::*;
+
+/// RFC-4180-quote a field when it needs it.
+fn quote_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// One payload cell of the chosen dtype; string payloads exercise quoted
+/// fields (embedded commas and quotes).
+fn payload_cell(ty: u8, seed: u8) -> String {
+    match ty % 3 {
+        0 => (seed as i64 - 40).to_string(),
+        1 => format!("{}.5", seed % 50),
+        _ => quote_field(&match seed % 4 {
+            0 => "x,y".to_owned(),
+            1 => "he said \"hi\"".to_owned(),
+            2 => format!("s{}", seed % 7),
+            _ => "plain".to_owned(),
+        }),
+    }
+}
+
+/// Serial reference engine (threads = 1) and a fused engine (threads > 1,
+/// tiny morsels), both with quoting enabled and private store dirs.
+fn engine_pair(dir: &std::path::Path, threads: usize, morsel_rows: usize) -> (Engine, Engine) {
+    let mut serial_cfg = EngineConfig::default().with_threads(1);
+    serial_cfg.csv.quote = Some(b'"');
+    serial_cfg.store_dir = Some(dir.join("store-serial"));
+    let mut fused_cfg = EngineConfig::default().with_threads(threads);
+    fused_cfg.csv.quote = Some(b'"');
+    fused_cfg.morsel_rows = morsel_rows;
+    fused_cfg.store_dir = Some(dir.join("store-fused"));
+    (Engine::new(serial_cfg), Engine::new(fused_cfg))
+}
+
+/// Adaptive-store and positional-map state must match the serial load's.
+fn assert_state_matches(serial: &Engine, fused: &Engine, table: &str) -> Result<(), TestCaseError> {
+    let si = serial
+        .table_info(table)
+        .map_err(|e| TestCaseError::fail(e.to_string()))?;
+    let fi = fused
+        .table_info(table)
+        .map_err(|e| TestCaseError::fail(e.to_string()))?;
+    prop_assert_eq!(&fi.loaded_columns, &si.loaded_columns, "{}", table);
+    prop_assert_eq!(fi.store_bytes, si.store_bytes, "{}", table);
+    prop_assert_eq!(fi.posmap_bytes, si.posmap_bytes, "{}", table);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8, // each case builds 2 engines and runs 3 queries
+        .. ProptestConfig::default()
+    })]
+
+    /// Cold scalar projections: serial vs morsel-fused parity over dtypes
+    /// × quoted fields × morsel-boundary splits × LIMIT/OFFSET/ORDER BY.
+    #[test]
+    fn cold_projection_parity(
+        seeds in proptest::collection::vec(0u8..=255, 1..120),
+        payload_ty in 0u8..3,
+        lo in -2i64..24,
+        width in 0i64..26,
+        threads in 2usize..5,
+        morsel_rows in 1usize..14,
+        limit in proptest::option::of(0usize..30),
+        offset in proptest::option::of(0usize..10),
+        order in proptest::bool::ANY,
+    ) {
+        let dir = test_dir(&format!("coldproj_{}_{}", seeds.len(), morsel_rows));
+        let path = dir.join("t.csv");
+        let mut csv = String::new();
+        for (i, &s) in seeds.iter().enumerate() {
+            // a1: small int key (filterable), a2: typed payload, a3: row id.
+            csv.push_str(&format!("{},{},{}\n", s % 23, payload_cell(payload_ty, s), i));
+        }
+        std::fs::write(&path, csv).unwrap();
+        let (serial, fused) = engine_pair(&dir, threads, morsel_rows);
+        serial.register_table("t", &path).unwrap();
+        fused.register_table("t", &path).unwrap();
+
+        let mut tail = String::new();
+        if order {
+            tail.push_str(" order by a3 desc");
+        }
+        if let Some(l) = limit {
+            tail.push_str(&format!(" limit {l}"));
+            // The grammar only accepts OFFSET after LIMIT.
+            if let Some(o) = offset {
+                tail.push_str(&format!(" offset {o}"));
+            }
+        }
+        let sqls = [
+            format!("select a2, a3 from t where a1 > {lo} and a1 < {}{tail}", lo + width),
+            format!("select a3, a1 from t{tail}"),
+            format!("select a1 from t where a3 >= {width}{tail}"),
+        ];
+        for sql in &sqls {
+            let expect = serial.sql(sql)
+                .map_err(|e| TestCaseError::fail(format!("serial {sql}: {e}")))?;
+            let got = fused.sql(sql)
+                .map_err(|e| TestCaseError::fail(format!("fused {sql}: {e}")))?;
+            prop_assert_eq!(&got.rows, &expect.rows, "{}", sql);
+        }
+        // The first fused query ran cold through the fused projection.
+        prop_assert!(fused.counters().snapshot().fused_cold_projections >= 1);
+        assert_state_matches(&serial, &fused, "t")?;
+    }
+
+    /// Cold joins: serial vs morsel-fused parity (build and probe fed from
+    /// tokenizer morsels) over dtypes × quoted payloads × morsel-boundary
+    /// splits × LIMIT/OFFSET, for scalar and aggregate outputs.
+    #[test]
+    fn cold_join_parity(
+        left in proptest::collection::vec(0u8..=255, 1..90),
+        right in proptest::collection::vec(0u8..=255, 1..90),
+        payload_ty in 0u8..3,
+        key_gt in -2i64..17,
+        val_lt in 0i64..80,
+        threads in 2usize..5,
+        morsel_rows in 1usize..14,
+        limit in proptest::option::of(0usize..25),
+        offset in proptest::option::of(0usize..8),
+    ) {
+        let dir = test_dir(&format!("coldjoin_{}_{}", left.len(), right.len()));
+        let r_path = dir.join("r.csv");
+        let s_path = dir.join("s.csv");
+        let mut rd = String::new();
+        for &s in &left {
+            // r.a1: join key with duplicates, r.a2: typed payload.
+            rd.push_str(&format!("{},{}\n", s % 17, payload_cell(payload_ty, s)));
+        }
+        let mut sd = String::new();
+        for (j, &s) in right.iter().enumerate() {
+            // s.a1: join key, s.a2: int payload (exact aggregates).
+            sd.push_str(&format!("{},{}\n", s % 17, j as i64 - 10));
+        }
+        std::fs::write(&r_path, rd).unwrap();
+        std::fs::write(&s_path, sd).unwrap();
+        let (serial, fused) = engine_pair(&dir, threads, morsel_rows);
+        for e in [&serial, &fused] {
+            e.register_table("r", &r_path).unwrap();
+            e.register_table("s", &s_path).unwrap();
+        }
+
+        let mut tail = String::new();
+        if let Some(l) = limit {
+            tail.push_str(&format!(" limit {l}"));
+            // The grammar only accepts OFFSET after LIMIT.
+            if let Some(o) = offset {
+                tail.push_str(&format!(" offset {o}"));
+            }
+        }
+        let sqls = [
+            format!(
+                "select r.a2, s.a2 from r join s on r.a1 = s.a1 \
+                 where r.a1 > {key_gt}{tail}"
+            ),
+            format!(
+                "select count(*), sum(s.a2), min(s.a2) from r join s on r.a1 = s.a1 \
+                 where s.a2 < {val_lt}"
+            ),
+        ];
+        for sql in &sqls {
+            let expect = serial.sql(sql)
+                .map_err(|e| TestCaseError::fail(format!("serial {sql}: {e}")))?;
+            let got = fused.sql(sql)
+                .map_err(|e| TestCaseError::fail(format!("fused {sql}: {e}")))?;
+            prop_assert_eq!(&got.rows, &expect.rows, "{}", sql);
+        }
+        // The first fused query ran cold through the fused join build.
+        prop_assert!(fused.counters().snapshot().fused_cold_joins >= 1);
+        assert_state_matches(&serial, &fused, "r")?;
+        assert_state_matches(&serial, &fused, "s")?;
+    }
+}
