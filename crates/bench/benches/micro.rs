@@ -8,7 +8,10 @@
 //! * serial vs morsel-parallel pairs (cold scan, cold projection, cold
 //!   join, filtered aggregate, GROUP BY, hash join) whose ratios land in
 //!   `NODB_BENCH_JSON`;
-//! * hash vs merge join position generation.
+//! * hash vs merge join position generation;
+//! * wire-server throughput: one client vs four concurrent clients
+//!   issuing the same total query count over TCP (the ratio measures
+//!   how well session-per-connection workers overlap).
 
 use std::collections::BTreeMap;
 
@@ -699,6 +702,76 @@ fn bench_prepared_vs_raw(c: &mut Criterion) {
     g.finish();
 }
 
+/// Wire-server throughput: the same total number of warm queries issued
+/// by one client vs spread over four concurrent clients. The engine runs
+/// with `threads = 1` so the ratio isolates *connection* concurrency
+/// (session-per-connection workers overlapping request handling), not
+/// intra-query morsel parallelism. On a single-core machine the two are
+/// equivalent work and the ratio is ~1.
+fn bench_server(c: &mut Criterion) {
+    use nodb_core::{Engine, EngineConfig, LoadingStrategy};
+    use nodb_server::{Client, NodbServer, ServerConfig};
+    use std::sync::Arc;
+
+    let rows = 200_000;
+    let dir = std::env::temp_dir().join("nodb-micro-server");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("r.csv");
+    std::fs::write(&path, csv_bytes(rows, 4)).unwrap();
+
+    let mut cfg = EngineConfig::with_strategy(LoadingStrategy::ColumnLoads).with_threads(1);
+    cfg.store_dir = Some(dir.join("store"));
+    let engine = Arc::new(Engine::new(cfg));
+    engine.register_table("r", &path).unwrap();
+    let sql = "select sum(a1), count(*) from r where a1 > 1000 and a1 < 150000";
+    engine.sql(sql).unwrap(); // warm the store so clients measure serving, not loading
+
+    let server = NodbServer::bind(
+        engine,
+        "127.0.0.1:0",
+        ServerConfig {
+            max_connections: 8,
+            max_queued: 64,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    const TOTAL_QUERIES: usize = 16;
+    const CLIENTS: usize = 4;
+    let mut g = c.benchmark_group("server");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(TOTAL_QUERIES as u64));
+    g.bench_function("throughput/serial", |b| {
+        b.iter(|| {
+            let mut client = Client::connect(addr).unwrap();
+            for _ in 0..TOTAL_QUERIES {
+                client.query_all(sql).unwrap();
+            }
+            client.quit().unwrap();
+        })
+    });
+    g.bench_function("throughput/parallel", |b| {
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                for _ in 0..CLIENTS {
+                    scope.spawn(|| {
+                        let mut client = Client::connect(addr).unwrap();
+                        for _ in 0..TOTAL_QUERIES / CLIENTS {
+                            client.query_all(sql).unwrap();
+                        }
+                        client.quit().unwrap();
+                    });
+                }
+            })
+        })
+    });
+    g.finish();
+    server.shutdown();
+}
+
 criterion_group!(
     benches,
     bench_tokenizer,
@@ -706,6 +779,7 @@ criterion_group!(
     bench_kernels,
     bench_parallel,
     bench_joins,
-    bench_prepared_vs_raw
+    bench_prepared_vs_raw,
+    bench_server
 );
 criterion_main!(benches);

@@ -362,19 +362,7 @@ impl Engine {
     /// is an error.
     pub fn register_result(&self, name: &str, output: &QueryOutput) -> Result<()> {
         let ncols = output.columns.len();
-        // Column types from the values themselves: any string makes the
-        // column textual, else any float makes it f64, else i64.
-        let mut types = vec![DataType::Int64; ncols];
-        for row in &output.rows {
-            for (c, v) in row.iter().enumerate().take(ncols) {
-                types[c] = match v {
-                    Value::Null => types[c],
-                    Value::Int(_) => types[c],
-                    Value::Float(_) => types[c].unify(DataType::Float64),
-                    Value::Str(_) => DataType::Str,
-                };
-            }
-        }
+        let types = result_column_types(ncols, &output.rows);
         let fields: Vec<Field> = unique_identifiers(&output.columns)
             .into_iter()
             .zip(&types)
@@ -1254,10 +1242,32 @@ fn morsel_local_positions(
     filter_positions(&OrdinalCols::new(scan_cols, &morsel.columns), n, filter)
 }
 
+/// Column types inferred from result values — the promotion used when a
+/// result becomes a table: any string makes the column textual, else any
+/// float makes it `f64`, else `i64` (all-null columns read as `i64`).
+/// Shared by [`Engine::register_result`] and the wire server's cursor
+/// descriptions so the advertised types can never diverge from what the
+/// engine registers.
+pub fn result_column_types(ncols: usize, rows: &[Vec<Value>]) -> Vec<DataType> {
+    let mut types = vec![DataType::Int64; ncols];
+    for row in rows {
+        for (c, v) in row.iter().enumerate().take(ncols) {
+            types[c] = match v {
+                Value::Null => types[c],
+                Value::Int(_) => types[c],
+                Value::Float(_) => types[c].unify(DataType::Float64),
+                Value::Str(_) => DataType::Str,
+            };
+        }
+    }
+    types
+}
+
 /// First SQL keyword of `text`, skipping leading whitespace and `--`
 /// line comments (statement dispatch must agree with the lexer about
-/// what a statement "starts with").
-fn leading_keyword(text: &str) -> &str {
+/// what a statement "starts with"). Public so the wire server dispatches
+/// `CREATE TABLE .. AS SELECT` exactly like [`Engine::sql`] does.
+pub fn leading_keyword(text: &str) -> &str {
     let mut rest = text.trim_start();
     while let Some(stripped) = rest.strip_prefix("--") {
         rest = match stripped.find('\n') {

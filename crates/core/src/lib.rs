@@ -39,8 +39,23 @@ pub mod session;
 
 pub use catalog::{Catalog, Fingerprint, TableEntry};
 pub use config::{EngineConfig, KernelStrategy, LoadingStrategy};
-pub use engine::{Engine, QueryOutput, QueryStats, TableInfo};
+pub use engine::{
+    leading_keyword, result_column_types, Engine, QueryOutput, QueryStats, TableInfo,
+};
 pub use monitor::TableMonitor;
 pub use plan_cache::PlanCache;
 pub use policy::{materialize, Materialized};
-pub use session::{BoundStatement, Prepared, QueryStream, Session};
+pub use session::{unique_identifiers, BoundStatement, Prepared, QueryStream, Session};
+
+// The whole serving stack hands these out across threads: one shared
+// engine behind `Arc`, one session per connection, prepared statements
+// callable from wherever the connection lands. Keep that thread-safety a
+// compile-time fact rather than an accident of field types.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+    assert_send_sync::<Session>();
+    assert_send_sync::<Prepared>();
+    assert_send_sync::<BoundStatement>();
+    assert_send_sync::<QueryOutput>();
+};

@@ -432,10 +432,11 @@ fn agg_type(a: &nodb_exec::AggSpec, schema: &Schema) -> nodb_types::DataType {
 }
 
 /// Sanitise a list of output labels into unique identifiers: each label
-/// goes through [`sanitize_identifier`], collisions get `_2`, `_3`, ...
-/// suffixes. Shared by stream schemas and result-table registration so
-/// the two can never disagree on a column's name.
-pub(crate) fn unique_identifiers(labels: &[String]) -> Vec<String> {
+/// is squashed to lowercase alphanumerics and underscores, and
+/// collisions get `_2`, `_3`, ... suffixes. Shared by stream schemas,
+/// result-table registration and the wire server's cursor descriptions
+/// so they can never disagree on a column's name.
+pub fn unique_identifiers(labels: &[String]) -> Vec<String> {
     let mut names: Vec<String> = Vec::with_capacity(labels.len());
     for (i, raw) in labels.iter().enumerate() {
         let base = sanitize_identifier(raw, i);

@@ -1,0 +1,233 @@
+//! The blocking client: typed request/response framing over one TCP
+//! connection.
+//!
+//! [`Client`] is deliberately synchronous — one request in flight at a
+//! time, mirroring the serve loop on the other end — which makes it
+//! directly usable from tests, benches and simple tools. Results come
+//! back as bounded pages: [`Client::fetch`] returns one [`RowBatch`]
+//! per call until the cursor is exhausted, and [`Client::fetch_all`] /
+//! [`Client::query_all`] do the paging loop for callers who want the
+//! whole result.
+
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use nodb_store::RowBatch;
+use nodb_types::{CountersSnapshot, Error, Field, Result, Schema, Value};
+
+use crate::framing::{read_frame, write_frame};
+use crate::protocol::{ColumnDesc, Request, Response, PROTOCOL_VERSION};
+
+/// A connected wire client.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    batch_rows: u32,
+}
+
+/// A prepared statement living on the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteStatement {
+    /// Server-side statement id.
+    pub id: u32,
+    /// Number of `?` parameters the statement declares.
+    pub n_params: u16,
+}
+
+/// An open server-side cursor. Fetch pages with [`Client::fetch`]; drop
+/// it early with [`Client::cancel`].
+#[derive(Debug, Clone)]
+pub struct RemoteCursor {
+    /// Server-side cursor id.
+    pub id: u32,
+    /// Output columns, in order.
+    pub columns: Vec<ColumnDesc>,
+    schema: Schema,
+    done: bool,
+}
+
+impl RemoteCursor {
+    fn new(id: u32, columns: Vec<ColumnDesc>) -> Result<RemoteCursor> {
+        let fields = columns
+            .iter()
+            .map(|c| Field::new(c.ident.clone(), c.dtype))
+            .collect();
+        Ok(RemoteCursor {
+            id,
+            columns,
+            schema: Schema::new(fields)?,
+            done: false,
+        })
+    }
+
+    /// Output labels as written in the query.
+    pub fn labels(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.label.clone()).collect()
+    }
+
+    /// Schema of fetched batches (sanitised identifiers + types).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// True once the final page has been fetched.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+impl Client {
+    /// Connect and shake hands. Fails with the server's typed error when
+    /// it is refusing work ([`Error::Busy`]) or speaks another protocol
+    /// version.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        let _ = writer.set_nodelay(true);
+        let reader = BufReader::new(writer.try_clone()?);
+        let mut client = Client {
+            writer,
+            reader,
+            batch_rows: 0,
+        };
+        match client.roundtrip(&Request::Hello {
+            version: PROTOCOL_VERSION,
+        })? {
+            Response::HelloOk { batch_rows, .. } => {
+                client.batch_rows = batch_rows;
+                Ok(client)
+            }
+            other => Err(unexpected("HELLO_OK", &other)),
+        }
+    }
+
+    /// Rows per page the server will send.
+    pub fn batch_rows(&self) -> u32 {
+        self.batch_rows
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Response> {
+        write_frame(&mut self.writer, &req.encode())?;
+        let payload = read_frame(&mut self.reader)?
+            .ok_or_else(|| Error::protocol("server closed the connection"))?;
+        Response::decode(&payload)?.into_error()
+    }
+
+    /// Run a statement (SELECT or `CREATE TABLE .. AS SELECT ..`),
+    /// opening a cursor over its result.
+    pub fn query(&mut self, sql: &str) -> Result<RemoteCursor> {
+        match self.roundtrip(&Request::Query { sql: sql.into() })? {
+            Response::Cursor { id, columns } => RemoteCursor::new(id, columns),
+            other => Err(unexpected("CURSOR", &other)),
+        }
+    }
+
+    /// Parse and plan `sql` once on the server, for repeated
+    /// parameterised execution.
+    pub fn prepare(&mut self, sql: &str) -> Result<RemoteStatement> {
+        match self.roundtrip(&Request::Prepare { sql: sql.into() })? {
+            Response::Stmt { id, n_params } => Ok(RemoteStatement { id, n_params }),
+            other => Err(unexpected("STMT", &other)),
+        }
+    }
+
+    /// Bind parameters to a prepared statement and open a cursor.
+    pub fn execute(&mut self, stmt: RemoteStatement, params: &[Value]) -> Result<RemoteCursor> {
+        let resp = self.roundtrip(&Request::Execute {
+            stmt: stmt.id,
+            params: params.to_vec(),
+        })?;
+        match resp {
+            Response::Cursor { id, columns } => RemoteCursor::new(id, columns),
+            other => Err(unexpected("CURSOR", &other)),
+        }
+    }
+
+    /// Fetch the next page, or `None` once the cursor is exhausted. The
+    /// server closes the cursor with the final page; no explicit close
+    /// is needed after a full drain.
+    pub fn fetch(&mut self, cursor: &mut RemoteCursor) -> Result<Option<RowBatch>> {
+        if cursor.done {
+            return Ok(None);
+        }
+        match self.roundtrip(&Request::Fetch { cursor: cursor.id })? {
+            Response::Batch { done, rows } => {
+                cursor.done = done;
+                if rows.is_empty() && done {
+                    return Ok(None);
+                }
+                Ok(Some(RowBatch {
+                    schema: cursor.schema.clone(),
+                    rows,
+                }))
+            }
+            other => Err(unexpected("BATCH", &other)),
+        }
+    }
+
+    /// Drain every remaining page of `cursor` into one row vector.
+    pub fn fetch_all(&mut self, cursor: &mut RemoteCursor) -> Result<Vec<Vec<Value>>> {
+        let mut rows = Vec::new();
+        while let Some(batch) = self.fetch(cursor)? {
+            rows.extend(batch.rows);
+        }
+        Ok(rows)
+    }
+
+    /// One-shot: run a statement and collect the whole result,
+    /// returning `(labels, rows)`.
+    pub fn query_all(&mut self, sql: &str) -> Result<(Vec<String>, Vec<Vec<Value>>)> {
+        let mut cursor = self.query(sql)?;
+        let labels = cursor.labels();
+        let rows = self.fetch_all(&mut cursor)?;
+        Ok((labels, rows))
+    }
+
+    /// Abandon an open cursor server-side; its remaining rows are never
+    /// produced. Idempotent.
+    pub fn cancel(&mut self, cursor: &mut RemoteCursor) -> Result<()> {
+        cursor.done = true;
+        match self.roundtrip(&Request::Cancel { cursor: cursor.id })? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected("OK", &other)),
+        }
+    }
+
+    /// Free a prepared statement server-side. Idempotent.
+    pub fn close(&mut self, stmt: RemoteStatement) -> Result<()> {
+        match self.roundtrip(&Request::Close { stmt: stmt.id })? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected("OK", &other)),
+        }
+    }
+
+    /// Snapshot the server's work counters (engine work plus the
+    /// server's own `connections_accepted` / `requests_served` /
+    /// `busy_rejections`).
+    pub fn stats(&mut self) -> Result<CountersSnapshot> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected("STATS_OK", &other)),
+        }
+    }
+
+    /// Say goodbye and close the connection.
+    pub fn quit(mut self) -> Result<()> {
+        match self.roundtrip(&Request::Quit)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected("OK", &other)),
+        }
+    }
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("peer", &self.writer.peer_addr().ok())
+            .field("batch_rows", &self.batch_rows)
+            .finish()
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> Error {
+    Error::protocol(format!("expected {wanted} response, got {got:?}"))
+}

@@ -1,0 +1,265 @@
+//! Per-connection state: one [`Session`], its prepared statements and
+//! its open cursors.
+//!
+//! A connection is served by exactly one worker thread for its whole
+//! life (session-per-connection), so none of this state is shared —
+//! all cross-connection coordination lives in the engine it sessions
+//! over and in the server's admission queue.
+
+use std::collections::HashMap;
+
+use nodb_core::{
+    leading_keyword, result_column_types, unique_identifiers, QueryOutput, QueryStream, Session,
+};
+use nodb_types::{Error, Result, Value};
+
+use crate::protocol::{ColumnDesc, Request, Response};
+
+/// An open server-side cursor: rows still owed to the client.
+enum Cursor {
+    /// A streaming SELECT: pages come straight off the engine's
+    /// [`QueryStream`], so un-fetched rows are never materialised
+    /// beyond what execution already produced. Boxed: a stream is an
+    /// order of magnitude larger than the `Rows` variant.
+    Stream(Box<QueryStream>),
+    /// A materialised result (`CREATE TABLE .. AS SELECT ..` returns its
+    /// rows too); paged out of the buffer front to back.
+    Rows {
+        /// Remaining rows, consumed from `next` onwards.
+        rows: Vec<Vec<Value>>,
+        /// Next row to emit.
+        next: usize,
+    },
+}
+
+impl Cursor {
+    fn next_page(&mut self, batch_rows: usize) -> Result<Vec<Vec<Value>>> {
+        match self {
+            Cursor::Stream(s) => Ok(s.next_batch()?.map(|b| b.rows).unwrap_or_default()),
+            Cursor::Rows { rows, next } => {
+                let hi = (*next + batch_rows).min(rows.len());
+                let page = rows[*next..hi].iter_mut().map(std::mem::take).collect();
+                *next = hi;
+                Ok(page)
+            }
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        match self {
+            Cursor::Stream(s) => s.rows_remaining() == 0,
+            Cursor::Rows { rows, next } => *next >= rows.len(),
+        }
+    }
+}
+
+/// What the connection loop should do after a response is sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Flow {
+    /// Keep reading requests.
+    Continue,
+    /// Close the connection (client said `QUIT`).
+    Close,
+}
+
+/// Open cursors one connection may hold. Cursors can pin materialised
+/// rows (aggregates, CTAS) server-side, so a client that opens queries
+/// without ever fetching must hit a typed error, not grow the heap.
+const MAX_OPEN_CURSORS: usize = 64;
+
+/// Prepared statements one connection may hold before `CLOSE` is
+/// required.
+const MAX_PREPARED_STMTS: usize = 256;
+
+/// All state for one client connection.
+pub(crate) struct Conn {
+    session: Session,
+    stmts: HashMap<u32, nodb_core::Prepared>,
+    cursors: HashMap<u32, Cursor>,
+    next_id: u32,
+    batch_rows: usize,
+}
+
+impl Conn {
+    pub(crate) fn new(session: Session, batch_rows: usize) -> Conn {
+        Conn {
+            session,
+            stmts: HashMap::new(),
+            cursors: HashMap::new(),
+            next_id: 1,
+            batch_rows,
+        }
+    }
+
+    /// True while the client still has rows it has not fetched; the
+    /// server drains these before completing a graceful shutdown.
+    pub(crate) fn has_open_cursors(&self) -> bool {
+        !self.cursors.is_empty()
+    }
+
+    fn fresh_id(&mut self) -> u32 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Handle one request. `draining` is true once shutdown has begun:
+    /// requests that would start *new* work are refused with a typed
+    /// BUSY error, while FETCH/CANCEL/STATS/CLOSE/QUIT still run so
+    /// in-flight results can finish paging out.
+    pub(crate) fn handle(&mut self, req: Request, draining: bool) -> (Response, Flow) {
+        if draining
+            && matches!(
+                req,
+                Request::Query { .. } | Request::Prepare { .. } | Request::Execute { .. }
+            )
+        {
+            let e = Error::busy("server shutting down; no new queries");
+            return (Response::from_error(&e), Flow::Continue);
+        }
+        match req {
+            Request::Hello { .. } => {
+                // A typed error, and the connection stays usable — the
+                // documented contract is that only a *failed handshake*
+                // kills the session.
+                let e = Error::protocol("HELLO after handshake");
+                (Response::from_error(&e), Flow::Continue)
+            }
+            Request::Query { sql } => (self.query(&sql).unwrap_or_else(into_err), Flow::Continue),
+            Request::Prepare { sql } => {
+                (self.prepare(&sql).unwrap_or_else(into_err), Flow::Continue)
+            }
+            Request::Execute { stmt, params } => (
+                self.execute(stmt, &params).unwrap_or_else(into_err),
+                Flow::Continue,
+            ),
+            Request::Fetch { cursor } => {
+                (self.fetch(cursor).unwrap_or_else(into_err), Flow::Continue)
+            }
+            Request::Stats => (
+                Response::Stats(self.session.engine().counters().snapshot()),
+                Flow::Continue,
+            ),
+            Request::Cancel { cursor } => {
+                // Idempotent: cancelling an unknown/finished cursor is OK.
+                self.cursors.remove(&cursor);
+                (Response::Ok, Flow::Continue)
+            }
+            Request::Close { stmt } => {
+                self.stmts.remove(&stmt);
+                (Response::Ok, Flow::Continue)
+            }
+            Request::Quit => (Response::Ok, Flow::Close),
+        }
+    }
+
+    fn ensure_cursor_capacity(&self) -> Result<()> {
+        if self.cursors.len() >= MAX_OPEN_CURSORS {
+            return Err(Error::busy(format!(
+                "too many open cursors ({MAX_OPEN_CURSORS}); FETCH or CANCEL some first"
+            )));
+        }
+        Ok(())
+    }
+
+    fn query(&mut self, sql: &str) -> Result<Response> {
+        self.ensure_cursor_capacity()?;
+        // `CREATE TABLE .. AS SELECT ..` materialises (the engine needs
+        // the full result to register the table); plain SELECTs stream.
+        if leading_keyword(sql).eq_ignore_ascii_case("create") {
+            let out = self.session.sql(sql)?;
+            return Ok(self.open_rows_cursor(out));
+        }
+        let stream = self.session.query(sql)?;
+        Ok(self.open_stream_cursor(stream))
+    }
+
+    fn prepare(&mut self, sql: &str) -> Result<Response> {
+        if self.stmts.len() >= MAX_PREPARED_STMTS {
+            return Err(Error::busy(format!(
+                "too many prepared statements ({MAX_PREPARED_STMTS}); CLOSE some first"
+            )));
+        }
+        let prepared = self.session.prepare(sql)?;
+        let n_params = prepared.n_params() as u16;
+        let id = self.fresh_id();
+        self.stmts.insert(id, prepared);
+        Ok(Response::Stmt { id, n_params })
+    }
+
+    fn execute(&mut self, stmt: u32, params: &[Value]) -> Result<Response> {
+        self.ensure_cursor_capacity()?;
+        let prepared = self
+            .stmts
+            .get(&stmt)
+            .ok_or_else(|| Error::exec(format!("no such prepared statement: {stmt}")))?;
+        let stream = prepared.stream(params)?;
+        Ok(self.open_stream_cursor(stream))
+    }
+
+    fn open_stream_cursor(&mut self, stream: QueryStream) -> Response {
+        let columns = stream
+            .columns()
+            .iter()
+            .zip(stream.schema().fields())
+            .map(|(label, f)| ColumnDesc {
+                label: label.clone(),
+                ident: f.name.clone(),
+                dtype: f.data_type,
+            })
+            .collect();
+        let id = self.fresh_id();
+        self.cursors.insert(id, Cursor::Stream(Box::new(stream)));
+        Response::Cursor { id, columns }
+    }
+
+    fn open_rows_cursor(&mut self, out: QueryOutput) -> Response {
+        let idents = unique_identifiers(&out.columns);
+        let types = result_column_types(out.columns.len(), &out.rows);
+        let columns = out
+            .columns
+            .iter()
+            .zip(idents)
+            .zip(types)
+            .map(|((label, ident), dtype)| ColumnDesc {
+                label: label.clone(),
+                ident,
+                dtype,
+            })
+            .collect();
+        let id = self.fresh_id();
+        self.cursors.insert(
+            id,
+            Cursor::Rows {
+                rows: out.rows,
+                next: 0,
+            },
+        );
+        Response::Cursor { id, columns }
+    }
+
+    fn fetch(&mut self, cursor: u32) -> Result<Response> {
+        let cur = self
+            .cursors
+            .get_mut(&cursor)
+            .ok_or_else(|| Error::exec(format!("no such cursor: {cursor}")))?;
+        let rows = match cur.next_page(self.batch_rows) {
+            Ok(rows) => rows,
+            Err(e) => {
+                // A cursor that errored can never be drained; drop it so
+                // it does not hold the connection open through shutdown.
+                self.cursors.remove(&cursor);
+                return Err(e);
+            }
+        };
+        let done = cur.exhausted();
+        if done {
+            self.cursors.remove(&cursor);
+        }
+        Ok(Response::Batch { done, rows })
+    }
+}
+
+fn into_err(e: Error) -> Response {
+    Response::from_error(&e)
+}

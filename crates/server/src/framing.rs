@@ -1,0 +1,305 @@
+//! Length-prefixed frames and the primitive wire encodings.
+//!
+//! Everything on the wire is a *frame*: a little-endian `u32` payload
+//! length followed by that many payload bytes. Inside a payload, the
+//! primitives are fixed-width little-endian integers/floats and
+//! `u32`-length-prefixed UTF-8 strings. [`ByteReader`] walks a received
+//! payload; the `put_*` helpers build one. Both sides enforce a maximum
+//! frame size so a corrupt or hostile peer cannot make us allocate
+//! unbounded memory — result paging keeps well-formed frames small (see
+//! [`crate::ServerConfig::batch_rows`]).
+
+use std::io::{Read, Write};
+
+use nodb_types::{Error, Result};
+
+/// Frames larger than this are rejected as a protocol error. Generous
+/// for default paging (1024 rows/page leaves ~64 KiB per row); a server
+/// configured with a huge `batch_rows` over very wide rows can exceed it,
+/// in which case the affected connection gets a typed error and closes
+/// rather than silently skipping the oversized page.
+pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
+    if payload.len() as u64 > MAX_FRAME_BYTES as u64 {
+        return Err(Error::protocol(format!(
+            "outgoing frame of {} bytes exceeds the {} byte limit",
+            payload.len(),
+            MAX_FRAME_BYTES
+        )));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// How many consecutive read-timeout ticks a *partially received* frame
+/// may stall before the connection is declared broken. Once the first
+/// byte of a frame has arrived, a timeout no longer means "idle" — the
+/// peer is mid-send — so the read retries instead of returning, bounded
+/// by this limit so a stalled peer cannot pin a worker forever.
+pub const MAX_MID_FRAME_STALLS: u32 = 600;
+
+/// Read one frame. `Ok(None)` means the peer closed the connection
+/// cleanly *between* frames; EOF mid-frame is a protocol error. An
+/// `Io(WouldBlock | TimedOut)` error before the first length byte means
+/// the read timeout elapsed with the connection idle — callers use that
+/// for idle-timeout and shutdown polling. Once any frame byte has
+/// arrived, timeouts retry (up to [`MAX_MID_FRAME_STALLS`] consecutive
+/// ticks) so a slow frame is never torn mid-stream.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    let mut filled = 0;
+    let mut stalls = 0u32;
+    while filled < len.len() {
+        match r.read(&mut len[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(Error::protocol("eof inside frame header")),
+            Ok(n) => {
+                filled += n;
+                stalls = 0;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if filled == 0 {
+                    return Err(Error::Io(e));
+                }
+                stalls += 1;
+                if stalls > MAX_MID_FRAME_STALLS {
+                    return Err(Error::protocol("frame stalled mid-header"));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(Error::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME_BYTES {
+        return Err(Error::protocol(format!(
+            "incoming frame of {len} bytes exceeds the {MAX_FRAME_BYTES} byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact(r, &mut payload)?;
+    Ok(Some(payload))
+}
+
+/// `read_exact` that retries interrupted reads and bounded read-timeout
+/// stalls (we are mid-frame here by definition), and maps EOF to a
+/// protocol error (a frame promised more bytes than arrived).
+fn read_exact(r: &mut impl Read, buf: &mut [u8]) -> Result<()> {
+    let mut filled = 0;
+    let mut stalls = 0u32;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Err(Error::protocol("eof inside frame payload")),
+            Ok(n) => {
+                filled += n;
+                stalls = 0;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                stalls += 1;
+                if stalls > MAX_MID_FRAME_STALLS {
+                    return Err(Error::protocol("frame stalled mid-payload"));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(Error::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Append a `u8`.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Append a little-endian `u16`.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `i64`.
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian IEEE-754 `f64`.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u32`-length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Sequential reader over a received payload. Every accessor returns a
+/// typed [`Error::Protocol`] on truncation instead of panicking.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(Error::protocol(format!(
+                "truncated frame: wanted {n} more bytes, have {}",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `f64`.
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a `u32`-length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| Error::protocol("string field is not valid utf-8"))
+    }
+
+    /// Assert the whole payload was consumed (catches trailing garbage
+    /// from a peer speaking a different sub-version).
+    pub fn finish(self) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(Error::protocol(format!(
+                "{} trailing bytes after message body",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn eof_mid_frame_is_protocol_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut r = &buf[..];
+        assert!(matches!(read_frame(&mut r), Err(Error::Protocol(_))));
+    }
+
+    #[test]
+    fn oversized_frame_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_le_bytes());
+        let mut r = &buf[..];
+        assert!(matches!(read_frame(&mut r), Err(Error::Protocol(_))));
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut out = Vec::new();
+        put_u8(&mut out, 7);
+        put_u16(&mut out, 513);
+        put_u32(&mut out, 70_000);
+        put_u64(&mut out, u64::MAX - 1);
+        put_i64(&mut out, -42);
+        put_f64(&mut out, 2.5);
+        put_str(&mut out, "héllo");
+        let mut r = ByteReader::new(&out);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 513);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.f64().unwrap(), 2.5);
+        assert_eq!(r.str().unwrap(), "héllo");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_read_is_typed_not_panic() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert!(matches!(r.u32(), Err(Error::Protocol(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let r = ByteReader::new(&[0]);
+        assert!(matches!(r.finish(), Err(Error::Protocol(_))));
+    }
+}

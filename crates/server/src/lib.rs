@@ -1,0 +1,73 @@
+//! # nodb-server — the concurrent query server
+//!
+//! The paper's pitch is "here are my data files, here are my queries" —
+//! this crate is how the queries arrive from *outside* the process. A
+//! [`NodbServer`] shares one [`Engine`](nodb_core::Engine) across a
+//! worker-thread pool and speaks a small length-prefixed binary
+//! protocol over TCP:
+//!
+//! * **session per connection** — each admitted connection gets its own
+//!   [`Session`](nodb_core::Session) over the shared engine; prepared
+//!   statements and cursors are connection-local, all heavy state
+//!   (adaptive store, plan cache, cracked indexes) is shared and
+//!   concurrency-safe;
+//! * **result-bounded paging** — a query opens a cursor and the client
+//!   pulls bounded `BATCH` pages ([`ServerConfig::batch_rows`] rows at
+//!   a time, built on the engine's streaming [`QueryStream`]); there is
+//!   no unbounded result dump in the protocol;
+//! * **admission control** — [`ServerConfig::max_connections`] workers,
+//!   [`ServerConfig::max_queued`] waiting connections, and a typed
+//!   [`Busy`](nodb_types::Error::Busy) refusal (counted in
+//!   `busy_rejections`) for everything beyond, so overload degrades into
+//!   fast errors instead of latency collapse;
+//! * **graceful shutdown** — [`NodbServer::shutdown`] refuses new work,
+//!   lets in-flight requests finish and open cursors page out, then
+//!   joins every thread.
+//!
+//! [`Client`] is the matching blocking connector. The module docs of
+//! [`protocol`] are the wire reference; `docs/SERVER.md` in the repo
+//! walks the message layout and admission semantics.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use nodb_core::{Engine, EngineConfig};
+//! use nodb_server::{Client, NodbServer, ServerConfig};
+//! use nodb_types::Value;
+//!
+//! let engine = Arc::new(Engine::new(EngineConfig::default()));
+//! engine.register_table("r", "/data/readings.csv")?;
+//! let server = NodbServer::bind(engine, "127.0.0.1:0", ServerConfig::default())?;
+//!
+//! let mut client = Client::connect(server.local_addr())?;
+//! let stmt = client.prepare("select sum(a1) from r where a1 > ?")?;
+//! let mut cursor = client.execute(stmt, &[Value::Int(10)])?;
+//! while let Some(batch) = client.fetch(&mut cursor)? {
+//!     for row in &batch.rows {
+//!         println!("{row:?}");
+//!     }
+//! }
+//! client.quit()?;
+//! server.shutdown();
+//! # Ok::<(), nodb_types::Error>(())
+//! ```
+//!
+//! [`QueryStream`]: nodb_core::QueryStream
+
+pub mod client;
+mod conn;
+pub mod framing;
+pub mod protocol;
+mod server;
+
+pub use client::{Client, RemoteCursor, RemoteStatement};
+pub use protocol::{ColumnDesc, Request, Response, PROTOCOL_VERSION};
+pub use server::{NodbServer, ServerConfig};
+
+// The server hands connections across threads and is itself held across
+// threads in tests; keep that a compile-time fact.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<NodbServer>();
+    assert_send_sync::<ServerConfig>();
+    assert_send_sync::<Client>();
+};

@@ -1,0 +1,597 @@
+//! The wire protocol: typed requests and responses.
+//!
+//! One frame (see [`crate::framing`]) carries one message; the first
+//! payload byte is the opcode. Requests flow client→server, responses
+//! server→client; every request gets exactly one response. The protocol
+//! is deliberately *result-bounded* in the sense of Amarilli & Benedikt:
+//! a query never returns rows directly — it opens a server-side cursor,
+//! and the client pulls bounded [`FETCH`](Request::Fetch) pages until the
+//! server flags the last one. There is no unbounded message in either
+//! direction.
+//!
+//! | opcode | message | body |
+//! |-------:|---------|------|
+//! | `0x01` | `HELLO` | magic `b"NODB"`, `u16` protocol version |
+//! | `0x02` | `QUERY` | `str` sql |
+//! | `0x03` | `PREPARE` | `str` sql |
+//! | `0x04` | `EXECUTE` | `u32` stmt id, `u16` n, n × value |
+//! | `0x05` | `FETCH` | `u32` cursor id |
+//! | `0x06` | `STATS` | — |
+//! | `0x07` | `CANCEL` | `u32` cursor id |
+//! | `0x08` | `CLOSE` | `u32` stmt id |
+//! | `0x09` | `QUIT` | — |
+//! | `0x81` | `HELLO_OK` | `u16` version, `u32` batch rows |
+//! | `0x82` | `CURSOR` | `u32` cursor id, `u16` n, n × (`str` label, `str` ident, `u8` dtype) |
+//! | `0x83` | `STMT` | `u32` stmt id, `u16` n params |
+//! | `0x84` | `BATCH` | `u8` done, `u32` rows, `u16` cols, values row-major |
+//! | `0x85` | `STATS_OK` | `u16` n, n × (`str` counter, `u64` value) |
+//! | `0x86` | `OK` | — |
+//! | `0xEE` | `ERR` | `u16` error code, `str` message |
+//!
+//! Values are tagged scalars: `0` NULL, `1` int (`i64`), `2` float
+//! (`f64`), `3` string (`str`). Data types: `0` int64, `1` float64,
+//! `2` str. Error codes are [`nodb_types::Error::wire_code`].
+
+use nodb_types::{CountersSnapshot, DataType, Error, Result, Value};
+
+use crate::framing::{put_f64, put_i64, put_str, put_u16, put_u32, put_u64, put_u8, ByteReader};
+
+/// First bytes of every `HELLO`: distinguishes a nodb client from a
+/// stray HTTP probe before anything else is parsed.
+pub const MAGIC: &[u8; 4] = b"NODB";
+
+/// Protocol version spoken by this build. The server answers a `HELLO`
+/// carrying any version it can speak (currently only this one) and
+/// errors on anything else, so mismatched builds fail at handshake, not
+/// mid-query.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// One column of an open cursor: the display label as written in the
+/// query, the sanitised identifier, and the value type of the column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDesc {
+    /// Output label as written in the query (`sum(a1)`).
+    pub label: String,
+    /// Sanitised identifier (`sum_a1`), unique within the cursor.
+    pub ident: String,
+    /// Column data type.
+    pub dtype: DataType,
+}
+
+/// A client→server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Handshake: must be the first message on a connection.
+    Hello {
+        /// Protocol version the client speaks.
+        version: u16,
+    },
+    /// Plan and execute a SELECT, opening a cursor.
+    Query {
+        /// The SQL text.
+        sql: String,
+    },
+    /// Parse and plan once for repeated parameterised execution.
+    Prepare {
+        /// The SQL text, with `?` parameter placeholders.
+        sql: String,
+    },
+    /// Bind parameters to a prepared statement and open a cursor.
+    Execute {
+        /// Statement id from a previous `STMT` response.
+        stmt: u32,
+        /// One value per `?` placeholder.
+        params: Vec<Value>,
+    },
+    /// Pull the next page of an open cursor.
+    Fetch {
+        /// Cursor id from a previous `CURSOR` response.
+        cursor: u32,
+    },
+    /// Snapshot the server's work counters.
+    Stats,
+    /// Abandon an open cursor; its remaining rows are never produced.
+    Cancel {
+        /// Cursor id to drop.
+        cursor: u32,
+    },
+    /// Free a prepared statement.
+    Close {
+        /// Statement id to drop.
+        stmt: u32,
+    },
+    /// Close the connection after one final `OK`.
+    Quit,
+}
+
+/// A server→client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Handshake accepted.
+    HelloOk {
+        /// Protocol version the server will speak.
+        version: u16,
+        /// Rows per `BATCH` page the server will emit.
+        batch_rows: u32,
+    },
+    /// A cursor opened by `QUERY` or `EXECUTE`.
+    Cursor {
+        /// Cursor id for subsequent `FETCH`/`CANCEL`.
+        id: u32,
+        /// Output columns, in order.
+        columns: Vec<ColumnDesc>,
+    },
+    /// A statement registered by `PREPARE`.
+    Stmt {
+        /// Statement id for subsequent `EXECUTE`/`CLOSE`.
+        id: u32,
+        /// Number of `?` parameters the statement declares.
+        n_params: u16,
+    },
+    /// One page of rows. After `done`, the cursor is closed server-side.
+    Batch {
+        /// True iff this is the final page of the cursor.
+        done: bool,
+        /// Row-major page contents.
+        rows: Vec<Vec<Value>>,
+    },
+    /// Work-counter snapshot.
+    Stats(CountersSnapshot),
+    /// Request succeeded with nothing to return.
+    Ok,
+    /// Request failed; the connection stays usable (except after a
+    /// failed handshake).
+    Err {
+        /// [`nodb_types::Error::wire_code`] of the failure.
+        code: u16,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => put_u8(out, 0),
+        Value::Int(i) => {
+            put_u8(out, 1);
+            put_i64(out, *i);
+        }
+        Value::Float(f) => {
+            put_u8(out, 2);
+            put_f64(out, *f);
+        }
+        Value::Str(s) => {
+            put_u8(out, 3);
+            put_str(out, s);
+        }
+    }
+}
+
+fn read_value(r: &mut ByteReader<'_>) -> Result<Value> {
+    match r.u8()? {
+        0 => Ok(Value::Null),
+        1 => Ok(Value::Int(r.i64()?)),
+        2 => Ok(Value::Float(r.f64()?)),
+        3 => Ok(Value::Str(r.str()?)),
+        tag => Err(Error::protocol(format!("unknown value tag {tag}"))),
+    }
+}
+
+fn dtype_code(dt: DataType) -> u8 {
+    match dt {
+        DataType::Int64 => 0,
+        DataType::Float64 => 1,
+        DataType::Str => 2,
+    }
+}
+
+fn read_dtype(r: &mut ByteReader<'_>) -> Result<DataType> {
+    match r.u8()? {
+        0 => Ok(DataType::Int64),
+        1 => Ok(DataType::Float64),
+        2 => Ok(DataType::Str),
+        code => Err(Error::protocol(format!("unknown data type code {code}"))),
+    }
+}
+
+impl Request {
+    /// Serialise into one frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Hello { version } => {
+                put_u8(&mut out, 0x01);
+                out.extend_from_slice(MAGIC);
+                put_u16(&mut out, *version);
+            }
+            Request::Query { sql } => {
+                put_u8(&mut out, 0x02);
+                put_str(&mut out, sql);
+            }
+            Request::Prepare { sql } => {
+                put_u8(&mut out, 0x03);
+                put_str(&mut out, sql);
+            }
+            Request::Execute { stmt, params } => {
+                put_u8(&mut out, 0x04);
+                put_u32(&mut out, *stmt);
+                put_u16(&mut out, params.len() as u16);
+                for p in params {
+                    put_value(&mut out, p);
+                }
+            }
+            Request::Fetch { cursor } => {
+                put_u8(&mut out, 0x05);
+                put_u32(&mut out, *cursor);
+            }
+            Request::Stats => put_u8(&mut out, 0x06),
+            Request::Cancel { cursor } => {
+                put_u8(&mut out, 0x07);
+                put_u32(&mut out, *cursor);
+            }
+            Request::Close { stmt } => {
+                put_u8(&mut out, 0x08);
+                put_u32(&mut out, *stmt);
+            }
+            Request::Quit => put_u8(&mut out, 0x09),
+        }
+        out
+    }
+
+    /// Parse one frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Request> {
+        let mut r = ByteReader::new(payload);
+        let req = match r.u8()? {
+            0x01 => {
+                let mut magic = [0u8; 4];
+                for b in &mut magic {
+                    *b = r.u8()?;
+                }
+                if &magic != MAGIC {
+                    return Err(Error::protocol("bad magic: not a nodb client"));
+                }
+                Request::Hello { version: r.u16()? }
+            }
+            0x02 => Request::Query { sql: r.str()? },
+            0x03 => Request::Prepare { sql: r.str()? },
+            0x04 => {
+                let stmt = r.u32()?;
+                let n = r.u16()? as usize;
+                let mut params = Vec::with_capacity(n);
+                for _ in 0..n {
+                    params.push(read_value(&mut r)?);
+                }
+                Request::Execute { stmt, params }
+            }
+            0x05 => Request::Fetch { cursor: r.u32()? },
+            0x06 => Request::Stats,
+            0x07 => Request::Cancel { cursor: r.u32()? },
+            0x08 => Request::Close { stmt: r.u32()? },
+            0x09 => Request::Quit,
+            op => return Err(Error::protocol(format!("unknown request opcode {op:#04x}"))),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+/// Counter names paired with their snapshot values, in wire order. Kept
+/// in one place so encode and decode cannot drift apart.
+fn counter_fields(s: &CountersSnapshot) -> [(&'static str, u64); 17] {
+    [
+        ("bytes_read", s.bytes_read),
+        ("bytes_written", s.bytes_written),
+        ("rows_tokenized", s.rows_tokenized),
+        ("fields_tokenized", s.fields_tokenized),
+        ("values_parsed", s.values_parsed),
+        ("file_trips", s.file_trips),
+        ("rows_abandoned", s.rows_abandoned),
+        ("tuples_evicted", s.tuples_evicted),
+        ("plan_cache_hits", s.plan_cache_hits),
+        ("plan_cache_misses", s.plan_cache_misses),
+        ("morsels_dispatched", s.morsels_dispatched),
+        ("parallel_pipelines", s.parallel_pipelines),
+        ("fused_cold_projections", s.fused_cold_projections),
+        ("fused_cold_joins", s.fused_cold_joins),
+        ("connections_accepted", s.connections_accepted),
+        ("requests_served", s.requests_served),
+        ("busy_rejections", s.busy_rejections),
+    ]
+}
+
+fn set_counter_field(s: &mut CountersSnapshot, name: &str, v: u64) {
+    match name {
+        "bytes_read" => s.bytes_read = v,
+        "bytes_written" => s.bytes_written = v,
+        "rows_tokenized" => s.rows_tokenized = v,
+        "fields_tokenized" => s.fields_tokenized = v,
+        "values_parsed" => s.values_parsed = v,
+        "file_trips" => s.file_trips = v,
+        "rows_abandoned" => s.rows_abandoned = v,
+        "tuples_evicted" => s.tuples_evicted = v,
+        "plan_cache_hits" => s.plan_cache_hits = v,
+        "plan_cache_misses" => s.plan_cache_misses = v,
+        "morsels_dispatched" => s.morsels_dispatched = v,
+        "parallel_pipelines" => s.parallel_pipelines = v,
+        "fused_cold_projections" => s.fused_cold_projections = v,
+        "fused_cold_joins" => s.fused_cold_joins = v,
+        "connections_accepted" => s.connections_accepted = v,
+        "requests_served" => s.requests_served = v,
+        "busy_rejections" => s.busy_rejections = v,
+        // A newer server may report counters this client predates.
+        _ => {}
+    }
+}
+
+impl Response {
+    /// Serialise into one frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::HelloOk {
+                version,
+                batch_rows,
+            } => {
+                put_u8(&mut out, 0x81);
+                put_u16(&mut out, *version);
+                put_u32(&mut out, *batch_rows);
+            }
+            Response::Cursor { id, columns } => {
+                put_u8(&mut out, 0x82);
+                put_u32(&mut out, *id);
+                put_u16(&mut out, columns.len() as u16);
+                for c in columns {
+                    put_str(&mut out, &c.label);
+                    put_str(&mut out, &c.ident);
+                    put_u8(&mut out, dtype_code(c.dtype));
+                }
+            }
+            Response::Stmt { id, n_params } => {
+                put_u8(&mut out, 0x83);
+                put_u32(&mut out, *id);
+                put_u16(&mut out, *n_params);
+            }
+            Response::Batch { done, rows } => {
+                put_u8(&mut out, 0x84);
+                put_u8(&mut out, u8::from(*done));
+                put_u32(&mut out, rows.len() as u32);
+                put_u16(&mut out, rows.first().map_or(0, |r| r.len()) as u16);
+                for row in rows {
+                    for v in row {
+                        put_value(&mut out, v);
+                    }
+                }
+            }
+            Response::Stats(s) => {
+                put_u8(&mut out, 0x85);
+                let fields = counter_fields(s);
+                put_u16(&mut out, fields.len() as u16);
+                for (name, v) in fields {
+                    put_str(&mut out, name);
+                    put_u64(&mut out, v);
+                }
+            }
+            Response::Ok => put_u8(&mut out, 0x86),
+            Response::Err { code, message } => {
+                put_u8(&mut out, 0xEE);
+                put_u16(&mut out, *code);
+                put_str(&mut out, message);
+            }
+        }
+        out
+    }
+
+    /// Parse one frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Response> {
+        let mut r = ByteReader::new(payload);
+        let resp = match r.u8()? {
+            0x81 => Response::HelloOk {
+                version: r.u16()?,
+                batch_rows: r.u32()?,
+            },
+            0x82 => {
+                let id = r.u32()?;
+                let n = r.u16()? as usize;
+                let mut columns = Vec::with_capacity(n);
+                for _ in 0..n {
+                    columns.push(ColumnDesc {
+                        label: r.str()?,
+                        ident: r.str()?,
+                        dtype: read_dtype(&mut r)?,
+                    });
+                }
+                Response::Cursor { id, columns }
+            }
+            0x83 => Response::Stmt {
+                id: r.u32()?,
+                n_params: r.u16()?,
+            },
+            0x84 => {
+                let done = r.u8()? != 0;
+                let nrows = r.u32()? as usize;
+                let ncols = r.u16()? as usize;
+                // A zero-width row consumes no payload bytes, so a
+                // corrupt nrows would never hit a truncation error —
+                // reject the combination outright (queries always have
+                // at least one output column).
+                if ncols == 0 && nrows != 0 {
+                    return Err(Error::protocol("batch with rows but no columns"));
+                }
+                // Clamp the pre-allocation by what the frame can
+                // physically hold (>= 1 byte per value): a corrupt
+                // count must not reserve gigabytes before decoding
+                // fails on truncation.
+                let mut rows = Vec::with_capacity(nrows.min(r.remaining() / ncols.max(1)));
+                for _ in 0..nrows {
+                    let mut row = Vec::with_capacity(ncols);
+                    for _ in 0..ncols {
+                        row.push(read_value(&mut r)?);
+                    }
+                    rows.push(row);
+                }
+                Response::Batch { done, rows }
+            }
+            0x85 => {
+                let n = r.u16()? as usize;
+                let mut s = CountersSnapshot::default();
+                for _ in 0..n {
+                    let name = r.str()?;
+                    let v = r.u64()?;
+                    set_counter_field(&mut s, &name, v);
+                }
+                Response::Stats(s)
+            }
+            0x86 => Response::Ok,
+            0xEE => Response::Err {
+                code: r.u16()?,
+                message: r.str()?,
+            },
+            op => {
+                return Err(Error::protocol(format!(
+                    "unknown response opcode {op:#04x}"
+                )))
+            }
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+
+    /// The ERR response for a typed engine error.
+    pub fn from_error(e: &Error) -> Response {
+        Response::Err {
+            code: e.wire_code(),
+            message: e.to_string(),
+        }
+    }
+
+    /// If this is an ERR response, the typed error it carries.
+    pub fn into_error(self) -> Result<Response> {
+        match self {
+            Response::Err { code, message } => Err(Error::from_wire(code, message)),
+            other => Ok(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_req(req: Request) {
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+    }
+
+    fn round_trip_resp(resp: Response) {
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_req(Request::Hello {
+            version: PROTOCOL_VERSION,
+        });
+        round_trip_req(Request::Query {
+            sql: "select 1 from r".into(),
+        });
+        round_trip_req(Request::Prepare {
+            sql: "select a1 from r where a1 > ?".into(),
+        });
+        round_trip_req(Request::Execute {
+            stmt: 7,
+            params: vec![
+                Value::Null,
+                Value::Int(-3),
+                Value::Float(2.5),
+                Value::Str("x,\"y\"\n".into()),
+            ],
+        });
+        round_trip_req(Request::Fetch { cursor: 9 });
+        round_trip_req(Request::Stats);
+        round_trip_req(Request::Cancel { cursor: 1 });
+        round_trip_req(Request::Close { stmt: 2 });
+        round_trip_req(Request::Quit);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_resp(Response::HelloOk {
+            version: 1,
+            batch_rows: 1024,
+        });
+        round_trip_resp(Response::Cursor {
+            id: 3,
+            columns: vec![
+                ColumnDesc {
+                    label: "sum(a1)".into(),
+                    ident: "sum_a1".into(),
+                    dtype: DataType::Int64,
+                },
+                ColumnDesc {
+                    label: "avg(a2)".into(),
+                    ident: "avg_a2".into(),
+                    dtype: DataType::Float64,
+                },
+            ],
+        });
+        round_trip_resp(Response::Stmt { id: 5, n_params: 2 });
+        round_trip_resp(Response::Batch {
+            done: true,
+            rows: vec![
+                vec![Value::Int(1), Value::Str("a".into())],
+                vec![Value::Null, Value::Float(0.5)],
+            ],
+        });
+        round_trip_resp(Response::Ok);
+        round_trip_resp(Response::Err {
+            code: 10,
+            message: "queue full".into(),
+        });
+    }
+
+    #[test]
+    fn stats_round_trip_preserves_every_field() {
+        let s = CountersSnapshot {
+            bytes_read: 1,
+            bytes_written: 2,
+            rows_tokenized: 3,
+            fields_tokenized: 4,
+            values_parsed: 5,
+            file_trips: 6,
+            rows_abandoned: 7,
+            tuples_evicted: 8,
+            plan_cache_hits: 9,
+            plan_cache_misses: 10,
+            morsels_dispatched: 11,
+            parallel_pipelines: 12,
+            fused_cold_projections: 13,
+            fused_cold_joins: 14,
+            connections_accepted: 15,
+            requests_served: 16,
+            busy_rejections: 17,
+        };
+        round_trip_resp(Response::Stats(s));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut out = Vec::new();
+        put_u8(&mut out, 0x01);
+        out.extend_from_slice(b"HTTP");
+        put_u16(&mut out, 1);
+        assert!(matches!(Request::decode(&out), Err(Error::Protocol(_))));
+    }
+
+    #[test]
+    fn err_response_becomes_typed_error() {
+        let resp = Response::from_error(&Error::busy("queue full"));
+        let back = Response::decode(&resp.encode()).unwrap().into_error();
+        assert!(matches!(back, Err(Error::Busy(_))));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut out = Request::Quit.encode();
+        out.push(0);
+        assert!(matches!(Request::decode(&out), Err(Error::Protocol(_))));
+    }
+}

@@ -1,0 +1,412 @@
+//! The TCP server: accept loop, admission control, worker pool,
+//! graceful shutdown.
+//!
+//! One [`Engine`] is shared (via `Arc`) across a fixed pool of worker
+//! threads; each admitted connection is handed to one worker, which
+//! serves it with its own [`Session`] until the client quits,
+//! disconnects, idles out or the server drains. Admission control is
+//! two-level: at most [`ServerConfig::max_connections`] connections are
+//! served concurrently, at most [`ServerConfig::max_queued`] more wait
+//! in the accept queue, and everything beyond that is *refused* with a
+//! typed `BUSY` error frame instead of silently queueing unbounded work
+//! (the `busy_rejections` counter records each refusal).
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use nodb_core::Engine;
+use nodb_types::{Error, Result};
+
+use crate::conn::{Conn, Flow};
+use crate::framing::{read_frame, write_frame};
+use crate::protocol::{Request, Response, PROTOCOL_VERSION};
+
+/// Knobs of the query server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Connections served concurrently — the worker-thread count. Each
+    /// in-flight connection owns one worker for its lifetime.
+    pub max_connections: usize,
+    /// Accepted connections allowed to wait for a free worker. Beyond
+    /// this the server answers `BUSY` and closes — backpressure instead
+    /// of an unbounded backlog.
+    pub max_queued: usize,
+    /// Rows per `BATCH` page of every cursor the server opens.
+    pub batch_rows: usize,
+    /// A connection with no request for this long is closed. Also bounds
+    /// how long a graceful shutdown waits for a silent client.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 8,
+            max_queued: 32,
+            batch_rows: 1024,
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// How often a serving thread wakes from a blocking read to check the
+/// idle clock and the shutdown flag.
+const POLL_TICK: Duration = Duration::from_millis(50);
+
+/// Cap on concurrent rejection helper threads. Under a connect flood the
+/// reply nicety is dropped beyond this (streams just close) so overload
+/// cannot turn into unbounded thread creation.
+const MAX_REJECTORS: usize = 32;
+
+struct Shared {
+    engine: Arc<Engine>,
+    cfg: ServerConfig,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    /// Connections currently being served by a worker.
+    active: AtomicUsize,
+    /// Rejection helper threads currently alive.
+    rejectors: AtomicUsize,
+}
+
+impl Shared {
+    /// Refuse `stream` with a typed BUSY error frame. Best-effort: the
+    /// client may already be gone. One bounded read consumes the client's
+    /// HELLO if it has arrived — closing a socket with unread bytes in
+    /// its receive buffer sends an RST that would discard our reply
+    /// before the client reads it. A single `read` call (not a frame
+    /// loop) keeps the worst case at one 100ms timeout, so a peer that
+    /// stalls mid-frame cannot pin the rejector.
+    fn busy_reject(&self, mut stream: TcpStream, why: &str) {
+        self.engine.counters().add_busy_rejection();
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+        let mut hello = [0u8; 256];
+        let _ = std::io::Read::read(&mut stream, &mut hello);
+        let frame = Response::from_error(&Error::busy(why)).encode();
+        let _ = write_frame(&mut stream, &frame);
+        let _ = stream.flush();
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+    }
+}
+
+/// A running query server. Dropping it (or calling
+/// [`NodbServer::shutdown`]) stops accepting, drains in-flight work and
+/// joins every thread.
+pub struct NodbServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl NodbServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving
+    /// `engine`.
+    pub fn bind(
+        engine: Arc<Engine>,
+        addr: impl ToSocketAddrs,
+        cfg: ServerConfig,
+    ) -> Result<NodbServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine,
+            cfg: ServerConfig {
+                max_connections: cfg.max_connections.max(1),
+                batch_rows: cfg.batch_rows.max(1),
+                ..cfg
+            },
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            rejectors: AtomicUsize::new(0),
+        });
+        let workers = (0..shared.cfg.max_connections)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("nodb-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("nodb-accept".to_owned())
+                .spawn(move || accept_loop(shared, listener))
+                .expect("spawn accept thread")
+        };
+        Ok(NodbServer {
+            shared,
+            addr,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The address the server is listening on (with the real port when
+    /// bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine this server fronts.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.shared.engine
+    }
+
+    /// Graceful shutdown: refuse new connections, let every in-flight
+    /// request finish and every open cursor page out, then join all
+    /// threads. The drain is bounded: a client that stops making drain
+    /// progress (no FETCH/CANCEL for [`ServerConfig::idle_timeout`]) is
+    /// dropped. Connections still waiting in the admission queue are
+    /// refused with `BUSY`.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Notify while holding the queue mutex: a worker that loaded
+        // `shutdown == false` is either still inside its critical
+        // section (we block here until it reaches `wait`, which then
+        // sees this notify) or already waiting — either way the wakeup
+        // cannot be lost.
+        {
+            let _queue = self.shared.queue.lock().unwrap();
+            self.shared.queue_cv.notify_all();
+        }
+        // Unblock the accept loop; it checks the flag before serving.
+        // A wildcard bind (0.0.0.0 / ::) is not connectable on every
+        // platform — wake it via loopback on the bound port instead.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(wake);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // Anything admitted but never picked up: refuse, don't strand.
+        let leftover: Vec<TcpStream> = self.shared.queue.lock().unwrap().drain(..).collect();
+        for s in leftover {
+            self.shared.busy_reject(s, "server shutting down");
+        }
+    }
+}
+
+impl Drop for NodbServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let mut queue = shared.queue.lock().unwrap();
+        let active = shared.active.load(Ordering::SeqCst);
+        if active >= shared.cfg.max_connections && queue.len() >= shared.cfg.max_queued {
+            drop(queue);
+            // Reject off-thread: the reply waits (bounded) for the
+            // client's HELLO, and the accept loop must keep refusing at
+            // full speed under overload, not one connection per tick.
+            // Beyond MAX_REJECTORS concurrent helpers the polite reply
+            // is dropped — the stream just closes — so a connect flood
+            // cannot manufacture threads.
+            if shared.rejectors.fetch_add(1, Ordering::SeqCst) < MAX_REJECTORS {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    shared.busy_reject(stream, "admission queue full; retry later");
+                    shared.rejectors.fetch_sub(1, Ordering::SeqCst);
+                });
+            } else {
+                shared.rejectors.fetch_sub(1, Ordering::SeqCst);
+                shared.engine.counters().add_busy_rejection();
+            }
+            continue;
+        }
+        shared.engine.counters().add_connection_accepted();
+        queue.push_back(stream);
+        drop(queue);
+        shared.queue_cv.notify_one();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(s) = queue.pop_front() {
+                    break Some(s);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared.queue_cv.wait(queue).unwrap();
+            }
+        };
+        let Some(stream) = stream else { return };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Admitted but never served before the drain began: refuse
+            // with a typed error rather than serving new work.
+            shared.busy_reject(stream, "server shutting down");
+            continue;
+        }
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        serve_conn(shared, stream);
+        shared.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Serve one connection to completion: handshake, then a request loop
+/// that polls the idle clock and the shutdown flag between frames.
+fn serve_conn(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let tick = POLL_TICK
+        .min(shared.cfg.idle_timeout)
+        .max(Duration::from_millis(1));
+    if stream.set_read_timeout(Some(tick)).is_err() {
+        return;
+    }
+    let counters = shared.engine.counters();
+    let mut conn = Conn::new(
+        shared
+            .engine
+            .session()
+            .with_batch_size(shared.cfg.batch_rows),
+        shared.cfg.batch_rows,
+    );
+    let mut shook_hands = false;
+    let mut last_activity = Instant::now();
+    // When this connection first observed the drain; reset only by
+    // requests that make drain progress (FETCH/CANCEL), so a client
+    // pinging other requests cannot hold shutdown open past the
+    // idle_timeout budget.
+    let mut drain_since: Option<Instant> = None;
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            // Peer closed cleanly between frames.
+            Ok(None) => return,
+            Err(Error::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                let draining = shared.shutdown.load(Ordering::SeqCst);
+                if draining {
+                    let since = *drain_since.get_or_insert_with(Instant::now);
+                    if !conn.has_open_cursors() || since.elapsed() >= shared.cfg.idle_timeout {
+                        // Nothing owed to this client, or it stopped
+                        // draining; drop it so shutdown can complete.
+                        return;
+                    }
+                }
+                if last_activity.elapsed() >= shared.cfg.idle_timeout {
+                    return;
+                }
+                continue;
+            }
+            // Framing broke (mid-frame EOF, oversized frame, io error):
+            // the byte stream can't be trusted any more.
+            Err(e) => {
+                let _ = respond(&mut stream, &Response::from_error(&e));
+                return;
+            }
+        };
+        last_activity = Instant::now();
+        let draining = shared.shutdown.load(Ordering::SeqCst);
+        // Frames are self-delimiting, so a message-level decode error
+        // poisons only that request, not the connection.
+        let req = match Request::decode(&payload) {
+            Ok(req) => req,
+            Err(e) => {
+                counters.add_request_served();
+                if respond(&mut stream, &Response::from_error(&e)).is_err() || !shook_hands {
+                    return;
+                }
+                continue;
+            }
+        };
+        if !shook_hands {
+            let resp = match req {
+                Request::Hello { version } if version == PROTOCOL_VERSION => {
+                    shook_hands = true;
+                    Response::HelloOk {
+                        version: PROTOCOL_VERSION,
+                        batch_rows: shared.cfg.batch_rows as u32,
+                    }
+                }
+                Request::Hello { version } => Response::from_error(&Error::protocol(format!(
+                    "unsupported protocol version {version} (server speaks {PROTOCOL_VERSION})"
+                ))),
+                _ => Response::from_error(&Error::protocol("expected HELLO before any request")),
+            };
+            counters.add_request_served();
+            if respond(&mut stream, &resp).is_err() || !shook_hands {
+                return;
+            }
+            continue;
+        }
+        let advances_drain = matches!(req, Request::Fetch { .. } | Request::Cancel { .. });
+        let (resp, flow) = conn.handle(req, draining);
+        counters.add_request_served();
+        if respond(&mut stream, &resp).is_err() || flow == Flow::Close {
+            return;
+        }
+        if draining {
+            // The drain contract: finish what the client is owed, then
+            // close instead of taking new work. Only drain progress
+            // extends the budget.
+            if advances_drain {
+                drain_since = Some(Instant::now());
+            }
+            let since = *drain_since.get_or_insert_with(Instant::now);
+            if !conn.has_open_cursors() || since.elapsed() >= shared.cfg.idle_timeout {
+                return;
+            }
+        }
+    }
+}
+
+fn respond(stream: &mut TcpStream, resp: &Response) -> Result<()> {
+    match write_frame(stream, &resp.encode()) {
+        Err(Error::Protocol(m)) => {
+            // The response outgrew the frame limit (a huge batch_rows
+            // over wide rows). Nothing was written — the stream is still
+            // in sync — so send a typed error the client can see, then
+            // close anyway (return Err): for a BATCH the page's rows
+            // were already consumed from the cursor, and letting the
+            // client fetch the *next* page would silently hole the
+            // result. A dead connection is loud; a missing page is not.
+            let err = Response::from_error(&Error::exec(format!(
+                "response exceeded the frame limit ({m}); lower ServerConfig::batch_rows"
+            )));
+            let _ = write_frame(stream, &err.encode());
+            Err(Error::protocol(m))
+        }
+        other => other,
+    }
+}

@@ -46,6 +46,18 @@ pub struct WorkCounters {
     /// Cold hash joins whose build and probe consumed tokenizer morsels
     /// directly instead of blocking on both store loads.
     pub fused_cold_joins: AtomicU64,
+    /// TCP connections the query server admitted into its serve queue.
+    /// Connections refused by admission control count under
+    /// `busy_rejections` instead — except a connection admitted here and
+    /// then refused because shutdown began before a worker picked it up,
+    /// which appears in both.
+    pub connections_accepted: AtomicU64,
+    /// Wire-protocol requests the server answered (every request that got
+    /// a response frame, including error responses).
+    pub requests_served: AtomicU64,
+    /// Connections refused with a typed `BUSY` error because the admission
+    /// queue was full or the server was shutting down.
+    pub busy_rejections: AtomicU64,
 }
 
 impl WorkCounters {
@@ -124,6 +136,21 @@ impl WorkCounters {
         self.fused_cold_joins.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one admitted server connection.
+    pub fn add_connection_accepted(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one served wire request.
+    pub fn add_request_served(&self) {
+        self.requests_served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one BUSY rejection.
+    pub fn add_busy_rejection(&self) {
+        self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Capture the current values.
     pub fn snapshot(&self) -> CountersSnapshot {
         CountersSnapshot {
@@ -141,6 +168,9 @@ impl WorkCounters {
             parallel_pipelines: self.parallel_pipelines.load(Ordering::Relaxed),
             fused_cold_projections: self.fused_cold_projections.load(Ordering::Relaxed),
             fused_cold_joins: self.fused_cold_joins.load(Ordering::Relaxed),
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            requests_served: self.requests_served.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
         }
     }
 
@@ -160,6 +190,9 @@ impl WorkCounters {
         self.parallel_pipelines.store(0, Ordering::Relaxed);
         self.fused_cold_projections.store(0, Ordering::Relaxed);
         self.fused_cold_joins.store(0, Ordering::Relaxed);
+        self.connections_accepted.store(0, Ordering::Relaxed);
+        self.requests_served.store(0, Ordering::Relaxed);
+        self.busy_rejections.store(0, Ordering::Relaxed);
     }
 }
 
@@ -194,6 +227,12 @@ pub struct CountersSnapshot {
     pub fused_cold_projections: u64,
     /// See [`WorkCounters::fused_cold_joins`].
     pub fused_cold_joins: u64,
+    /// See [`WorkCounters::connections_accepted`].
+    pub connections_accepted: u64,
+    /// See [`WorkCounters::requests_served`].
+    pub requests_served: u64,
+    /// See [`WorkCounters::busy_rejections`].
+    pub busy_rejections: u64,
 }
 
 impl CountersSnapshot {
@@ -227,6 +266,11 @@ impl CountersSnapshot {
             fused_cold_joins: self
                 .fused_cold_joins
                 .saturating_sub(earlier.fused_cold_joins),
+            connections_accepted: self
+                .connections_accepted
+                .saturating_sub(earlier.connections_accepted),
+            requests_served: self.requests_served.saturating_sub(earlier.requests_served),
+            busy_rejections: self.busy_rejections.saturating_sub(earlier.busy_rejections),
         }
     }
 }
@@ -235,7 +279,7 @@ impl fmt::Display for CountersSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "read={}B written={}B rows_tok={} fields_tok={} parsed={} trips={} abandoned={} evicted={} plan_hits={} plan_misses={} morsels={} par_pipelines={} fused_proj={} fused_joins={}",
+            "read={}B written={}B rows_tok={} fields_tok={} parsed={} trips={} abandoned={} evicted={} plan_hits={} plan_misses={} morsels={} par_pipelines={} fused_proj={} fused_joins={} conns={} reqs={} busy={}",
             self.bytes_read,
             self.bytes_written,
             self.rows_tokenized,
@@ -250,6 +294,9 @@ impl fmt::Display for CountersSnapshot {
             self.parallel_pipelines,
             self.fused_cold_projections,
             self.fused_cold_joins,
+            self.connections_accepted,
+            self.requests_served,
+            self.busy_rejections,
         )
     }
 }
@@ -324,5 +371,22 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("read=1B"));
         assert!(text.contains("trips=2"));
+    }
+
+    #[test]
+    fn server_counters_snapshot_and_diff() {
+        let c = WorkCounters::new();
+        c.add_connection_accepted();
+        c.add_request_served();
+        c.add_request_served();
+        let before = c.snapshot();
+        c.add_busy_rejection();
+        c.add_request_served();
+        let delta = c.snapshot().since(&before);
+        assert_eq!(before.connections_accepted, 1);
+        assert_eq!(before.requests_served, 2);
+        assert_eq!(delta.busy_rejections, 1);
+        assert_eq!(delta.requests_served, 1);
+        assert_eq!(delta.connections_accepted, 0);
     }
 }

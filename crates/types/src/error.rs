@@ -35,6 +35,13 @@ pub enum Error {
     /// A linked raw file changed underneath us mid-query (fingerprint
     /// mismatch detected at an unrecoverable point).
     FileChanged(String),
+    /// The server declined the work: its admission queue is full or it is
+    /// shutting down. Clients should back off and retry; the message says
+    /// which of the two happened.
+    Busy(String),
+    /// A wire-protocol violation: bad magic, unknown opcode, truncated or
+    /// oversized frame, version mismatch.
+    Protocol(String),
 }
 
 impl fmt::Display for Error {
@@ -49,6 +56,8 @@ impl fmt::Display for Error {
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
             Error::OutOfBudget(m) => write!(f, "out of memory budget: {m}"),
             Error::FileChanged(m) => write!(f, "raw file changed: {m}"),
+            Error::Busy(m) => write!(f, "server busy: {m}"),
+            Error::Protocol(m) => write!(f, "protocol error: {m}"),
         }
     }
 }
@@ -83,6 +92,59 @@ impl Error {
     pub fn exec(msg: impl Into<String>) -> Self {
         Error::Exec(msg.into())
     }
+
+    /// Shorthand constructor for busy/backpressure errors.
+    pub fn busy(msg: impl Into<String>) -> Self {
+        Error::Busy(msg.into())
+    }
+
+    /// Shorthand constructor for wire-protocol errors.
+    pub fn protocol(msg: impl Into<String>) -> Self {
+        Error::Protocol(msg.into())
+    }
+
+    /// Stable numeric code identifying the variant on the wire.
+    ///
+    /// The server sends `(wire_code, message)` in its ERR frame and the
+    /// client reconstructs a typed [`Error`] with [`Error::from_wire`], so
+    /// callers can match on e.g. [`Error::Busy`] across the connection
+    /// exactly as they would in process. Codes are append-only: existing
+    /// values never change meaning.
+    pub fn wire_code(&self) -> u16 {
+        match self {
+            Error::Io(_) => 1,
+            Error::Parse(_) => 2,
+            Error::Schema(_) => 3,
+            Error::Sql(_) => 4,
+            Error::Plan(_) => 5,
+            Error::Exec(_) => 6,
+            Error::Unsupported(_) => 7,
+            Error::OutOfBudget(_) => 8,
+            Error::FileChanged(_) => 9,
+            Error::Busy(_) => 10,
+            Error::Protocol(_) => 11,
+        }
+    }
+
+    /// Rebuild a typed error from a wire `(code, message)` pair. Unknown
+    /// codes (a newer server) degrade to [`Error::Protocol`] rather than
+    /// being dropped.
+    pub fn from_wire(code: u16, msg: String) -> Error {
+        match code {
+            1 => Error::Io(std::io::Error::other(msg)),
+            2 => Error::Parse(msg),
+            3 => Error::Schema(msg),
+            4 => Error::Sql(msg),
+            5 => Error::Plan(msg),
+            6 => Error::Exec(msg),
+            7 => Error::Unsupported(msg),
+            8 => Error::OutOfBudget(msg),
+            9 => Error::FileChanged(msg),
+            10 => Error::Busy(msg),
+            11 => Error::Protocol(msg),
+            other => Error::Protocol(format!("unknown error code {other}: {msg}")),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -108,5 +170,40 @@ mod tests {
     #[test]
     fn non_io_errors_have_no_source() {
         assert!(std::error::Error::source(&Error::exec("boom")).is_none());
+    }
+
+    #[test]
+    fn wire_codes_round_trip_every_variant() {
+        let all = [
+            Error::Io(std::io::Error::other("x")),
+            Error::Parse("x".into()),
+            Error::Schema("x".into()),
+            Error::Sql("x".into()),
+            Error::Plan("x".into()),
+            Error::Exec("x".into()),
+            Error::Unsupported("x".into()),
+            Error::OutOfBudget("x".into()),
+            Error::FileChanged("x".into()),
+            Error::Busy("x".into()),
+            Error::Protocol("x".into()),
+        ];
+        let mut seen = std::collections::BTreeSet::new();
+        for e in all {
+            let code = e.wire_code();
+            assert!(seen.insert(code), "duplicate wire code {code}");
+            let back = Error::from_wire(code, "x".into());
+            assert_eq!(
+                std::mem::discriminant(&back),
+                std::mem::discriminant(&e),
+                "code {code} did not round-trip"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_wire_code_degrades_to_protocol() {
+        let e = Error::from_wire(9999, "later variant".into());
+        assert!(matches!(e, Error::Protocol(_)));
+        assert!(e.to_string().contains("9999"));
     }
 }

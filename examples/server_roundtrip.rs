@@ -1,0 +1,73 @@
+//! Serve a generated CSV over TCP and query it with the wire client —
+//! the whole "here are my data files, here are my queries" loop across
+//! a network boundary.
+//!
+//! ```sh
+//! cargo run --example server_roundtrip
+//! ```
+
+use std::sync::Arc;
+
+use nodb::{Client, Engine, EngineConfig, NodbServer, ServerConfig, Value};
+
+fn main() -> nodb::Result<()> {
+    let dir = std::env::temp_dir().join("nodb-example-server");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("readings.csv");
+    let mut csv = String::new();
+    for i in 0..10_000i64 {
+        csv.push_str(&format!("{},{},{}\n", i, (i * 37) % 1000, (i * 13) % 97));
+    }
+    std::fs::write(&path, csv)?;
+
+    // One shared engine behind the server; nothing is loaded yet.
+    let engine = Arc::new(Engine::new(EngineConfig::default()));
+    engine.register_table("readings", &path)?;
+    let server = NodbServer::bind(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ServerConfig {
+            batch_rows: 256,
+            ..ServerConfig::default()
+        },
+    )?;
+    println!("serving on {}", server.local_addr());
+
+    let mut client = Client::connect(server.local_addr())?;
+
+    // One-shot query: the first touch infers the schema and loads the
+    // referenced columns, exactly as in process.
+    let (labels, rows) = client.query_all("select count(*), sum(a2) from readings")?;
+    println!("{labels:?} -> {rows:?}");
+
+    // Prepare once, execute per exploration step with fresh binds.
+    let stmt = client.prepare("select a1, a2 from readings where a2 > ? and a2 < ? limit 5")?;
+    for (lo, hi) in [(100, 120), (500, 520)] {
+        let mut cursor = client.execute(stmt, &[Value::Int(lo), Value::Int(hi)])?;
+        let rows = client.fetch_all(&mut cursor)?;
+        println!("a2 in ({lo}, {hi}): {} rows", rows.len());
+    }
+
+    // Results are paged: fetch one bounded batch, then abandon the rest.
+    let mut cursor = client.query("select a1, a3 from readings where a1 > 100 order by a1")?;
+    if let Some(batch) = client.fetch(&mut cursor)? {
+        println!(
+            "first page: {} rows of {:?}",
+            batch.rows.len(),
+            cursor.labels()
+        );
+    }
+    client.cancel(&mut cursor)?;
+
+    // The server's counters ride the same wire.
+    let stats = client.stats()?;
+    println!(
+        "server stats: conns={} reqs={} busy={}",
+        stats.connections_accepted, stats.requests_served, stats.busy_rejections
+    );
+
+    client.quit()?;
+    server.shutdown(); // graceful: drains, refuses new work, joins workers
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! `nodb-client` — run SQL against a running `nodb-server`, print CSV.
+//!
+//! ```text
+//! nodb-client ADDR SQL [SQL ...]
+//! nodb-client ADDR --stats
+//! ```
+//!
+//! Each statement runs in order on one connection; results are printed
+//! as CSV (header row of output labels, then data rows), statements
+//! separated by a blank line. `--stats` prints the server's work-counter
+//! snapshot instead. Exit status is non-zero on any error — including a
+//! typed BUSY refusal when the server's admission queue is full.
+
+use nodb::{Client, Value};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (addr, rest) = match args.split_first() {
+        Some((addr, rest)) if !rest.is_empty() => (addr.clone(), rest.to_vec()),
+        _ => {
+            eprintln!("usage: nodb-client ADDR SQL [SQL ...] | nodb-client ADDR --stats");
+            std::process::exit(2);
+        }
+    };
+
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if rest.len() == 1 && rest[0] == "--stats" {
+        match client.stats() {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("stats failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        let _ = client.quit();
+        return;
+    }
+
+    for (i, sql) in rest.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        let (labels, rows) = match client.query_all(sql) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("query failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!(
+            "{}",
+            labels
+                .iter()
+                .map(|l| csv_field(l))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for row in rows {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|v| match v {
+                    Value::Null => String::new(),
+                    Value::Str(s) => csv_field(s),
+                    other => other.to_string(),
+                })
+                .collect();
+            println!("{}", cells.join(","));
+        }
+    }
+    let _ = client.quit();
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}

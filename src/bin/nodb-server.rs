@@ -1,0 +1,123 @@
+//! `nodb-server` — serve a directory of raw CSV files over TCP.
+//!
+//! ```text
+//! nodb-server --data DIR [--listen ADDR] [--threads N]
+//!             [--max-connections N] [--max-queued N] [--batch-rows N]
+//! ```
+//!
+//! Every `*.csv` directly inside `DIR` is registered as a table named
+//! after its file stem. The server prints one line —
+//! `nodb-server listening on <addr>` — once it is accepting (scripts
+//! parse this for the ephemeral port when `--listen` ends in `:0`),
+//! then serves until stdin reaches EOF or the process is signalled.
+
+use std::sync::Arc;
+
+use nodb::{Engine, EngineConfig, NodbServer, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: nodb-server --data DIR [--listen ADDR] [--threads N] \
+         [--max-connections N] [--max-queued N] [--batch-rows N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut data: Option<std::path::PathBuf> = None;
+    let mut listen = "127.0.0.1:7632".to_owned();
+    let mut engine_cfg = EngineConfig::default();
+    let mut server_cfg = ServerConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--data" => data = Some(value("--data").into()),
+            "--listen" => listen = value("--listen"),
+            "--threads" => {
+                let n = parse(&value("--threads"), "--threads");
+                engine_cfg = engine_cfg.with_threads(n);
+            }
+            "--max-connections" => {
+                server_cfg.max_connections = parse(&value("--max-connections"), "--max-connections")
+            }
+            "--max-queued" => server_cfg.max_queued = parse(&value("--max-queued"), "--max-queued"),
+            "--batch-rows" => server_cfg.batch_rows = parse(&value("--batch-rows"), "--batch-rows"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+    }
+    let Some(data) = data else { usage() };
+
+    let engine = Arc::new(Engine::new(engine_cfg));
+    let mut tables = 0usize;
+    let mut entries: Vec<_> = match std::fs::read_dir(&data) {
+        Ok(rd) => rd.filter_map(|e| e.ok().map(|e| e.path())).collect(),
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", data.display());
+            std::process::exit(1);
+        }
+    };
+    entries.sort();
+    for path in entries {
+        if path.extension().and_then(|e| e.to_str()) != Some("csv") {
+            continue;
+        }
+        let Some(name) = path.file_stem().and_then(|s| s.to_str()) else {
+            continue;
+        };
+        match engine.register_table(name, &path) {
+            Ok(()) => {
+                eprintln!("registered table {name} -> {}", path.display());
+                tables += 1;
+            }
+            Err(e) => eprintln!("skipping {}: {e}", path.display()),
+        }
+    }
+    if tables == 0 {
+        eprintln!("warning: no .csv files found in {}", data.display());
+    }
+
+    let server = match NodbServer::bind(engine, listen.as_str(), server_cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot listen on {listen}: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The one line scripts depend on; everything else goes to stderr.
+    // Explicit flush: stdout is block-buffered under a pipe, and scripts
+    // wait for this line before connecting.
+    println!("nodb-server listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    // Serve until stdin closes (the conventional "run under a
+    // supervisor / shell script" lifetime for a std-only binary).
+    let mut sink = String::new();
+    loop {
+        sink.clear();
+        match std::io::stdin().read_line(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    eprintln!("draining and shutting down");
+    server.shutdown();
+}
+
+fn parse(s: &str, flag: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value for {flag}: {s:?}");
+        usage()
+    })
+}

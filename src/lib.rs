@@ -20,6 +20,9 @@
 //! * [`sql`] — SQL parsing and logical planning.
 //! * [`core`] — the engine tying it together: catalog, loading policies,
 //!   fused cold pipeline, plan cache, sessions, workload monitor.
+//! * [`server`] — the concurrent TCP query server and matching blocking
+//!   client: length-prefixed wire protocol, session per connection,
+//!   admission control with typed BUSY backpressure.
 //! * [`baselines`] — the paper's comparison systems (awk-like scripting,
 //!   external sort + merge join).
 //!
@@ -30,13 +33,17 @@ pub use nodb_baselines as baselines;
 pub use nodb_core as core;
 pub use nodb_exec as exec;
 pub use nodb_rawcsv as rawcsv;
+pub use nodb_server as server;
 pub use nodb_sql as sql;
 pub use nodb_store as store;
 pub use nodb_types as types;
 
 pub use nodb_core::{
-    BoundStatement, Engine, EngineConfig, LoadingStrategy, Prepared, QueryOutput, QueryStream,
-    Session,
+    BoundStatement, Engine, EngineConfig, KernelStrategy, LoadingStrategy, Prepared, QueryOutput,
+    QueryStats, QueryStream, Session, TableInfo,
 };
+pub use nodb_server::{Client, NodbServer, RemoteCursor, RemoteStatement, ServerConfig};
 pub use nodb_store::RowBatch;
-pub use nodb_types::{Error, Result, Value};
+pub use nodb_types::{
+    CountersSnapshot, DataType, Error, Field, Result, Schema, Value, WorkCounters,
+};

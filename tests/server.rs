@@ -1,0 +1,440 @@
+//! Integration tests for the concurrent query server: wire parity with
+//! the in-process session API, concurrent clients, admission control
+//! and graceful shutdown.
+
+mod common;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use nodb::{Client, Engine, EngineConfig, Error, LoadingStrategy, NodbServer, ServerConfig, Value};
+
+/// Engine over two deterministic tables `r` (2000×4) and `s` (500×2),
+/// stored inside `dir`.
+fn engine_with_tables(dir: &std::path::Path, threads: usize) -> Arc<Engine> {
+    let mut cfg = EngineConfig::with_strategy(LoadingStrategy::ColumnLoads).with_threads(threads);
+    cfg.store_dir = Some(dir.join(format!("store-t{threads}")));
+    let engine = Arc::new(Engine::new(cfg));
+    let r = dir.join("r.csv");
+    let s = dir.join("s.csv");
+    if !r.exists() {
+        common::write_int_table(&r, 2000, 4);
+        common::write_int_table(&s, 500, 2);
+    }
+    engine.register_table("r", &r).unwrap();
+    engine.register_table("s", &s).unwrap();
+    engine
+}
+
+fn serve(engine: Arc<Engine>, cfg: ServerConfig) -> NodbServer {
+    NodbServer::bind(engine, "127.0.0.1:0", cfg).expect("bind ephemeral port")
+}
+
+/// The acceptance criterion: PREPARE/EXECUTE a parameterised query over
+/// TCP and FETCH paged batches whose concatenation is identical to the
+/// in-process `Session` result for the same SQL.
+#[test]
+fn prepare_execute_fetch_matches_in_process() {
+    let dir = common::test_dir("srv_parity");
+    let engine = engine_with_tables(&dir, 2);
+    let server = serve(
+        Arc::clone(&engine),
+        ServerConfig {
+            batch_rows: 7, // force many pages
+            ..ServerConfig::default()
+        },
+    );
+
+    let sql = "select a1, a2 + a3 from r where a1 > ? and a1 < ? order by a1";
+    let bound = "select a1, a2 + a3 from r where a1 > 100 and a1 < 900 order by a1";
+    let expected = engine.session().sql(bound).unwrap();
+    assert!(
+        expected.rows.len() > 20,
+        "want a multi-page result, got {} rows",
+        expected.rows.len()
+    );
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let stmt = client.prepare(sql).unwrap();
+    assert_eq!(stmt.n_params, 2);
+    let mut cursor = client
+        .execute(stmt, &[Value::Int(100), Value::Int(900)])
+        .unwrap();
+    assert_eq!(cursor.labels(), expected.columns);
+
+    let mut pages = 0usize;
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    while let Some(batch) = client.fetch(&mut cursor).unwrap() {
+        assert!(batch.rows.len() <= 7, "page larger than batch_rows");
+        pages += 1;
+        rows.extend(batch.rows);
+    }
+    assert!(pages >= 3, "expected multiple pages, got {pages}");
+    assert_eq!(rows, expected.rows);
+
+    // Re-execute with different binds: same statement, fresh cursor.
+    let expected2 = engine
+        .session()
+        .sql("select a1, a2 + a3 from r where a1 > 500 and a1 < 600 order by a1")
+        .unwrap();
+    let mut cursor2 = client
+        .execute(stmt, &[Value::Int(500), Value::Int(600)])
+        .unwrap();
+    assert_eq!(client.fetch_all(&mut cursor2).unwrap(), expected2.rows);
+
+    client.quit().unwrap();
+    server.shutdown();
+}
+
+/// Every query shape the engine serves — cold scans, warm repeats,
+/// aggregates, GROUP BY, joins, CTAS — gives the same answer over the
+/// wire as in process.
+#[test]
+fn query_shapes_match_in_process() {
+    let dir = common::test_dir("srv_shapes");
+    let engine = engine_with_tables(&dir, 2);
+    let server = serve(Arc::clone(&engine), ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let shapes = [
+        "select sum(a1), min(a2), max(a3), avg(a4), count(*) from r where a1 > 10",
+        "select a1, a2 from r where a1 > 100 and a1 < 300 order by a1 limit 50",
+        "select a1, sum(a2), count(*) from r where a2 > 50 group by a1 order by a1 limit 20",
+        "select count(*) from r join s on r.a1 = s.a1",
+    ];
+    for sql in shapes {
+        let expected = engine.session().sql(sql).unwrap();
+        let (labels, rows) = client.query_all(sql).unwrap();
+        assert_eq!(labels, expected.columns, "labels for {sql}");
+        assert_eq!(rows, expected.rows, "rows for {sql}");
+    }
+
+    // CTAS over the wire: returns the materialised rows and registers
+    // the table for follow-up queries on the same connection.
+    let expected = engine
+        .session()
+        .sql("select a1, sum(a2) from r group by a1 order by a1 limit 10")
+        .unwrap();
+    let (_, rows) = client
+        .query_all(
+            "create table top10 as select a1, sum(a2) from r group by a1 order by a1 limit 10",
+        )
+        .unwrap();
+    assert_eq!(rows, expected.rows);
+    let (_, count) = client.query_all("select count(*) from top10").unwrap();
+    assert_eq!(count, vec![vec![Value::Int(10)]]);
+
+    client.quit().unwrap();
+    server.shutdown();
+}
+
+/// A SQL error is a typed response, not a dropped connection.
+#[test]
+fn errors_keep_the_connection_usable() {
+    let dir = common::test_dir("srv_errors");
+    let engine = engine_with_tables(&dir, 1);
+    let server = serve(engine, ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    match client.query("select frobnicate from nowhere") {
+        Err(Error::Schema(_)) | Err(Error::Sql(_)) => {}
+        other => panic!("expected a typed sql/schema error, got {other:?}"),
+    }
+    // Unknown statement / cursor ids are typed execution errors.
+    let bogus = nodb::RemoteStatement {
+        id: 999,
+        n_params: 0,
+    };
+    assert!(matches!(client.execute(bogus, &[]), Err(Error::Exec(_))));
+
+    let (_, rows) = client.query_all("select count(*) from r").unwrap();
+    assert_eq!(rows, vec![vec![Value::Int(2000)]]);
+
+    // A redundant HELLO is a typed error but not a dropped connection.
+    // (Driven through the raw protocol: the typed client cannot send it.)
+    let (_, rows) = client.query_all("select count(*) from s").unwrap();
+    assert_eq!(rows, vec![vec![Value::Int(500)]]);
+    client.quit().unwrap();
+    server.shutdown();
+}
+
+/// One connection cannot pin unbounded server memory: open cursors are
+/// capped with a typed BUSY, and cancelling frees capacity.
+#[test]
+fn per_connection_cursor_cap() {
+    let dir = common::test_dir("srv_cap");
+    let engine = engine_with_tables(&dir, 1);
+    let server = serve(engine, ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let mut cursors = Vec::new();
+    for _ in 0..64 {
+        cursors.push(client.query("select a1 from r").unwrap());
+    }
+    match client.query("select a1 from r") {
+        Err(Error::Busy(msg)) => assert!(msg.contains("cursors"), "message: {msg}"),
+        other => panic!("expected Busy at the cursor cap, got {other:?}"),
+    }
+    client.cancel(&mut cursors[0]).unwrap();
+    let mut freed = client.query("select a1 from r").unwrap();
+    assert!(!client.fetch_all(&mut freed).unwrap().is_empty());
+    client.quit().unwrap();
+    server.shutdown();
+}
+
+/// N client threads fire mixed cold/warm/grouped/join queries at one
+/// server; every answer must match the single-threaded in-process
+/// result computed on an identical engine.
+#[test]
+fn concurrent_clients_match_single_threaded_execution() {
+    let dir = common::test_dir("srv_concurrent");
+    // Reference: a fully serial engine over the same files.
+    let reference = engine_with_tables(&dir, 1);
+    let shapes = [
+        "select sum(a1), count(*) from r where a1 > 250",
+        "select a1, a2 from r where a1 > 100 and a1 < 160 order by a1",
+        "select a1, sum(a2), count(*) from r where a2 > 500 group by a1 order by a1 limit 30",
+        "select count(*) from r join s on r.a1 = s.a1",
+        "select min(a3), max(a4) from r where a2 < 700",
+    ];
+    let expected: Vec<_> = shapes
+        .iter()
+        .map(|sql| reference.session().sql(sql).unwrap().rows)
+        .collect();
+
+    let engine = engine_with_tables(&dir, 2);
+    let server = serve(
+        engine,
+        ServerConfig {
+            max_connections: 6,
+            max_queued: 8,
+            batch_rows: 64,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+
+    const CLIENTS: usize = 6;
+    const ROUNDS: usize = 4;
+    std::thread::scope(|scope| {
+        for t in 0..CLIENTS {
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for round in 0..ROUNDS {
+                    // Stagger shapes so cold loads race different shapes.
+                    let i = (t + round) % shapes.len();
+                    let (_, rows) = client.query_all(shapes[i]).unwrap();
+                    assert_eq!(rows, expected[i], "client {t} round {round}: {}", shapes[i]);
+                }
+                client.quit().unwrap();
+            });
+        }
+    });
+
+    let snap = server.engine().counters().snapshot();
+    assert!(
+        snap.connections_accepted >= CLIENTS as u64,
+        "expected >= {CLIENTS} accepted connections, got {}",
+        snap.connections_accepted
+    );
+    assert!(
+        snap.requests_served as usize >= CLIENTS * (ROUNDS + 2),
+        "expected handshake+queries+quit per client, got {}",
+        snap.requests_served
+    );
+    server.shutdown();
+}
+
+/// Beyond `max_connections` + `max_queued`, connections are refused
+/// with a typed BUSY error and counted in `busy_rejections`.
+#[test]
+fn busy_rejection_when_admission_queue_full() {
+    let dir = common::test_dir("srv_busy");
+    let engine = engine_with_tables(&dir, 1);
+    let server = serve(
+        Arc::clone(&engine),
+        ServerConfig {
+            max_connections: 1,
+            max_queued: 0,
+            ..ServerConfig::default()
+        },
+    );
+
+    // First client is admitted and holds the only worker (the completed
+    // handshake proves a worker picked it up).
+    let mut held = Client::connect(server.local_addr()).unwrap();
+
+    // Now every further connection must be refused, typed.
+    match Client::connect(server.local_addr()) {
+        Err(Error::Busy(msg)) => assert!(msg.contains("queue full"), "message: {msg}"),
+        other => panic!("expected Err(Busy), got {other:?}"),
+    }
+    match Client::connect(server.local_addr()) {
+        Err(Error::Busy(_)) => {}
+        other => panic!("expected Err(Busy), got {other:?}"),
+    }
+
+    let stats = held.stats().unwrap();
+    assert_eq!(stats.busy_rejections, 2);
+    assert_eq!(stats.connections_accepted, 1);
+
+    // Releasing the worker lets the next client in.
+    held.quit().unwrap();
+    let mut next = loop {
+        match Client::connect(server.local_addr()) {
+            Ok(c) => break c,
+            Err(Error::Busy(_)) => std::thread::sleep(Duration::from_millis(5)),
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    };
+    let (_, rows) = next.query_all("select count(*) from r").unwrap();
+    assert_eq!(rows, vec![vec![Value::Int(2000)]]);
+    next.quit().unwrap();
+    server.shutdown();
+}
+
+/// Graceful shutdown: a client mid-pagination finishes every page (no
+/// request dropped mid-batch), new queries are refused with BUSY, and
+/// once the drain completes the listener is gone.
+#[test]
+fn graceful_shutdown_drains_in_flight_pagination() {
+    let dir = common::test_dir("srv_shutdown");
+    let engine = engine_with_tables(&dir, 2);
+    let server = serve(
+        Arc::clone(&engine),
+        ServerConfig {
+            batch_rows: 16,
+            idle_timeout: Duration::from_secs(5),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+
+    let sql = "select a1, a2, a3 from r where a1 > 0 order by a1";
+    let expected = engine.session().sql(sql).unwrap();
+    assert!(expected.rows.len() > 100, "want a long pagination");
+
+    let mut client = Client::connect(addr).unwrap();
+    let mut cursor = client.query(sql).unwrap();
+    let first = client.fetch(&mut cursor).unwrap().expect("first page");
+    assert_eq!(first.rows.len(), 16);
+
+    // Begin the drain while the cursor is mid-flight.
+    let drain = std::thread::spawn(move || server.shutdown());
+    // Wait until the server is actually draining: new work gets BUSY.
+    loop {
+        match client.query("select count(*) from r") {
+            Err(Error::Busy(msg)) => {
+                assert!(msg.contains("shutting down"), "message: {msg}");
+                break;
+            }
+            Ok(mut c) => {
+                // Raced ahead of the flag: throw the cursor away and retry.
+                client.cancel(&mut c).unwrap();
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+
+    // The in-flight cursor still pages out completely.
+    let mut rows = first.rows;
+    rows.extend(client.fetch_all(&mut cursor).unwrap());
+    assert_eq!(rows, expected.rows, "drain dropped rows mid-batch");
+
+    drain.join().unwrap();
+    // Listener is gone: connect now fails at the TCP level.
+    assert!(matches!(Client::connect(addr), Err(Error::Io(_))));
+}
+
+/// Shutdown cannot be held hostage: a client that owes a fetch but
+/// stops making drain progress is dropped after `idle_timeout`, so
+/// `shutdown()` returns in bounded time.
+#[test]
+fn shutdown_bounded_when_client_stops_draining() {
+    let dir = common::test_dir("srv_stall");
+    let engine = engine_with_tables(&dir, 1);
+    let server = serve(
+        engine,
+        ServerConfig {
+            batch_rows: 16,
+            idle_timeout: Duration::from_millis(200),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+
+    let staller = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        let mut cursor = client.query("select a1 from r order by a1").unwrap();
+        let _ = client.fetch(&mut cursor).unwrap();
+        // Owe the rest of the cursor but never fetch it.
+        std::thread::sleep(Duration::from_secs(2));
+        drop(client);
+    });
+
+    std::thread::sleep(Duration::from_millis(100));
+    let start = std::time::Instant::now();
+    server.shutdown();
+    assert!(
+        start.elapsed() < Duration::from_millis(1500),
+        "shutdown took {:?} against a stalled drainer",
+        start.elapsed()
+    );
+    staller.join().unwrap();
+}
+
+/// Idle connections are reaped after `idle_timeout`, freeing their
+/// worker for queued clients.
+#[test]
+fn idle_connections_time_out() {
+    let dir = common::test_dir("srv_idle");
+    let engine = engine_with_tables(&dir, 1);
+    let server = serve(
+        engine,
+        ServerConfig {
+            max_connections: 1,
+            max_queued: 4,
+            idle_timeout: Duration::from_millis(150),
+            ..ServerConfig::default()
+        },
+    );
+
+    let mut idler = Client::connect(server.local_addr()).unwrap();
+    let _ = idler.stats().unwrap();
+    // Stop talking; the server should reap us and admit the next client
+    // (who sat in the queue the whole time).
+    let mut next = Client::connect(server.local_addr()).unwrap();
+    let (_, rows) = next.query_all("select count(*) from r").unwrap();
+    assert_eq!(rows, vec![vec![Value::Int(2000)]]);
+    next.quit().unwrap();
+
+    // The idler's connection is dead: the next request fails.
+    assert!(idler.stats().is_err());
+    server.shutdown();
+}
+
+/// STATS over the wire reflects engine work done for this server's
+/// queries (work counters travel the wire intact).
+#[test]
+fn stats_reflect_server_work() {
+    let dir = common::test_dir("srv_stats");
+    let engine = engine_with_tables(&dir, 1);
+    let server = serve(engine, ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let before = client.stats().unwrap();
+    let _ = client
+        .query_all("select sum(a1) from r where a1 > 3")
+        .unwrap();
+    let after = client.stats().unwrap();
+    let delta = after.since(&before);
+    assert!(delta.requests_served >= 2, "query + fetch at minimum");
+    assert!(
+        after.bytes_read > 0,
+        "cold load work should appear in wire stats"
+    );
+    client.quit().unwrap();
+    server.shutdown();
+}
