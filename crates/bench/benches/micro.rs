@@ -9,6 +9,8 @@
 //!   join, filtered aggregate, GROUP BY, hash join) whose ratios land in
 //!   `NODB_BENCH_JSON`;
 //! * hash vs merge join position generation;
+//! * result-cache pairs (exact repeat miss vs hit, contained-range rescan
+//!   vs subsumed serve) whose ratios land in `NODB_BENCH_JSON`;
 //! * wire-server throughput: one client vs four concurrent clients
 //!   issuing the same total query count over TCP (the ratio measures
 //!   how well session-per-connection workers overlap).
@@ -702,6 +704,80 @@ fn bench_prepared_vs_raw(c: &mut Criterion) {
     g.finish();
 }
 
+/// Result-cache speedups for the perf trajectory: `repeat_query/miss` ÷
+/// `repeat_query/hit` is the exact-repeat win (a miss pays warm execution
+/// plus capture; a hit replays the materialized rows), and
+/// `subsumed_range/rescan` ÷ `subsumed_range/cached` is the subsumption
+/// win (a fresh scan of the table vs re-filtering a cached superset).
+/// Both ratios land in the `speedups` section of `NODB_BENCH_JSON`.
+fn bench_result_cache(c: &mut Criterion) {
+    use nodb_core::{Engine, EngineConfig, LoadingStrategy};
+
+    let rows = 200_000;
+    let dir = std::env::temp_dir().join("nodb-micro-rcache");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("r.csv");
+    std::fs::write(&path, csv_bytes(rows, 4)).unwrap();
+
+    // ColumnLoads keeps referenced columns fully resident, so misses run
+    // the warm relational path and subsumable results get captured.
+    let engine_with = |tag: &str, cache_bytes: usize| {
+        let mut cfg = EngineConfig::with_strategy(LoadingStrategy::ColumnLoads).with_threads(1);
+        cfg.store_dir = Some(dir.join(format!("store-{tag}")));
+        cfg.result_cache_bytes = cache_bytes;
+        let e = Engine::new(cfg);
+        e.register_table("r", &path).unwrap();
+        e
+    };
+    let repeat = "select a1, a2 from r where a1 > 1000 and a1 < 50000 order by a1 limit 100";
+    // The wide range qualifies ~2% of the table: the subsumed serve
+    // re-filters those few cached rows where the rescan walks all 200k.
+    let wide = "select a1, a2 from r where a1 > 19000 and a1 < 23000";
+    let narrow = "select a1, a2 from r where a1 > 20000 and a1 < 22000 order by a1 limit 100";
+
+    let mut g = c.benchmark_group("cache");
+    g.sample_size(20);
+
+    let e = engine_with("repeat", 64 << 20);
+    e.sql(repeat).unwrap(); // warm the store so the miss measures execution, not loading
+    g.bench_function("repeat_query/miss", |b| {
+        b.iter(|| {
+            e.result_cache().clear();
+            e.sql(repeat).unwrap()
+        })
+    });
+    e.sql(repeat).unwrap(); // install the entry the hits replay
+    g.bench_function("repeat_query/hit", |b| b.iter(|| e.sql(repeat).unwrap()));
+
+    // Rescan baseline on a cache-disabled engine: what the contained
+    // range costs when nothing can be reused.
+    let cold = engine_with("rescan", 0);
+    cold.sql(narrow).unwrap();
+    g.bench_function("subsumed_range/rescan", |b| {
+        b.iter(|| cold.sql(narrow).unwrap())
+    });
+
+    // Cached: the wide σ range is materialized once; every narrow query
+    // is answered by re-filtering its rows (the narrow result itself is
+    // never installed — served queries bypass capture — so each iteration
+    // measures the subsumption path, not an exact repeat).
+    let subs = engine_with("subsumed", 64 << 20);
+    subs.sql(wide).unwrap();
+    g.bench_function("subsumed_range/cached", |b| {
+        b.iter(|| subs.sql(narrow).unwrap())
+    });
+    let snap = subs.counters().snapshot();
+    assert!(
+        snap.result_cache_subsumed_hits > 0,
+        "subsumed_range/cached must be served by subsumption (hits={} subsumed={} misses={})",
+        snap.result_cache_hits,
+        snap.result_cache_subsumed_hits,
+        snap.result_cache_misses,
+    );
+    g.finish();
+}
+
 /// Wire-server throughput: the same total number of warm queries issued
 /// by one client vs spread over four concurrent clients. The engine runs
 /// with `threads = 1` so the ratio isolates *connection* concurrency
@@ -780,6 +856,7 @@ criterion_group!(
     bench_parallel,
     bench_joins,
     bench_prepared_vs_raw,
+    bench_result_cache,
     bench_server
 );
 criterion_main!(benches);

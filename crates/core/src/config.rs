@@ -125,6 +125,15 @@ pub struct EngineConfig {
     /// re-plans, which is what the prepared-statement benchmarks compare
     /// against.
     pub plan_cache_capacity: usize,
+    /// Byte budget of the engine result cache, which answers repeated
+    /// (and range-subsumed) SELECTs from materialised results instead of
+    /// re-running them. `0` disables the cache entirely — the default, so
+    /// every query exercises the adaptive loading machinery unless a
+    /// deployment opts in (`nodb-server --result-cache-mb`).
+    pub result_cache_bytes: usize,
+    /// Maximum number of result-cache entries, independent of the byte
+    /// budget (bounds bookkeeping for workloads of many tiny results).
+    pub result_cache_max_entries: usize,
 }
 
 impl Default for EngineConfig {
@@ -149,6 +158,8 @@ impl Default for EngineConfig {
             infer_sample_rows: 64,
             batch_size: 1024,
             plan_cache_capacity: 128,
+            result_cache_bytes: 0,
+            result_cache_max_entries: 1024,
         }
     }
 }
@@ -186,6 +197,8 @@ mod tests {
         assert!(c.morsel_rows >= 1);
         assert_eq!(c.group_partitions, 0, "auto partition count");
         assert!(c.join_min_rows > c.morsel_rows);
+        assert_eq!(c.result_cache_bytes, 0, "result cache is opt-in");
+        assert!(c.result_cache_max_entries > 0);
     }
 
     #[test]

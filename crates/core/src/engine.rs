@@ -36,6 +36,10 @@ use crate::catalog::{Catalog, TableEntry};
 use crate::config::{EngineConfig, KernelStrategy, LoadingStrategy};
 use crate::plan_cache::{normalize_sql, PlanCache, PlanDeps};
 use crate::policy::{materialize, Materialized};
+use crate::result_cache::{
+    family_fingerprint, plan_fingerprint, rows_bytes, subsumable_constraint, RangeConstraint,
+    ResultCache,
+};
 use crate::session::{output_schema, unique_identifiers, QueryStream, Session, StreamBody};
 
 /// Result of one SQL query.
@@ -127,6 +131,14 @@ pub struct TableInfo {
     pub hit_rate: f64,
 }
 
+/// Outcome of a result-cache consultation: a fully formed stream served
+/// from cached rows, or a miss carrying the schema epochs captured before
+/// execution (the deps any installed entry must be tagged with).
+enum CacheLookup {
+    Served(Box<QueryStream>),
+    Miss(PlanDeps),
+}
+
 /// The engine: a catalog of linked raw files plus a loading policy.
 pub struct Engine {
     catalog: RwLock<Catalog>,
@@ -134,6 +146,7 @@ pub struct Engine {
     counters: Arc<WorkCounters>,
     seq: AtomicU64,
     plan_cache: PlanCache,
+    result_cache: ResultCache,
 }
 
 impl Engine {
@@ -146,13 +159,20 @@ impl Engine {
         cfg.csv.threads = cfg.threads;
         cfg.morsel_rows = cfg.morsel_rows.max(1);
         let plan_cache = PlanCache::new(cfg.plan_cache_capacity);
+        let result_cache = ResultCache::new(cfg.result_cache_bytes, cfg.result_cache_max_entries);
         Engine {
             catalog: RwLock::new(Catalog::new()),
             cfg,
             counters: Arc::new(WorkCounters::new()),
             seq: AtomicU64::new(0),
             plan_cache,
+            result_cache,
         }
+    }
+
+    /// The engine result cache (diagnostics: entry count, bytes, clear).
+    pub fn result_cache(&self) -> &ResultCache {
+        &self.result_cache
     }
 
     /// A [`Session`] over this engine (sessions are cheap; make one per
@@ -192,6 +212,11 @@ impl Engine {
         match removed {
             Some(entry) => {
                 entry.read().drop_derived_files();
+                // The epoch check would catch these lazily (the dependency
+                // resolves to no epoch at all); purge eagerly so the bytes
+                // come back now and a same-name re-registration starts
+                // from a provably empty slate.
+                self.result_cache.purge_table(name);
                 true
             }
             None => false,
@@ -378,7 +403,14 @@ impl Engine {
             }
             columns.push(col);
         }
-        self.catalog.write().register_result(name, schema, columns)
+        self.catalog
+            .write()
+            .register_result(name, schema, columns)?;
+        // Replacing a result table mints a fresh globally-unique epoch, so
+        // dependent cache entries are already unservable; drop them now
+        // rather than on their next (failing) validation.
+        self.result_cache.purge_table(name);
+        Ok(())
     }
 
     /// Resolve a SELECT to a plan, via the plan cache. A hit re-uses the
@@ -452,6 +484,19 @@ impl Engine {
                 plan.n_params
             )));
         }
+        // Result cache: consult before any loading work. On a miss this
+        // also captures the schema epochs *before* execution, so a file
+        // edit racing the query can only make the installed entry
+        // conservatively stale (its recorded epoch is already behind),
+        // never incorrectly fresh.
+        let cache_deps: Option<PlanDeps> = if self.result_cache.enabled() {
+            match self.result_cache_lookup(plan, batch_size, started, before)? {
+                CacheLookup::Served(stream) => return Ok(*stream),
+                CacheLookup::Miss(deps) => Some(deps),
+            }
+        } else {
+            None
+        };
         let now = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
 
         // Materialise per table under the active loading policy — unless
@@ -475,6 +520,14 @@ impl Engine {
             }
         };
 
+        // A fresh result just got computed: install it (and, for
+        // subsumable shapes, its plan family's qualifying rows) into the
+        // result cache under the epochs captured before execution.
+        let body = match cache_deps {
+            Some(deps) => self.result_cache_capture(plan, body, deps, now)?,
+            None => body,
+        };
+
         // Life-time management (§5.1.3): enforce the per-table budget.
         // The stream holds its own references to the materialised
         // columns, so eviction here never invalidates in-flight batches.
@@ -494,7 +547,22 @@ impl Engine {
             }
         }
 
-        Ok(QueryStream::new(
+        Ok(self.stream_of(plan, batch_size, body, started, before))
+    }
+
+    /// Wrap an executed body into the standard [`QueryStream`] (labels,
+    /// schema and stats derived from the plan) — shared by the fresh
+    /// execution path and result-cache serves, so both produce
+    /// indistinguishable streams.
+    fn stream_of(
+        &self,
+        plan: &Plan,
+        batch_size: usize,
+        body: StreamBody,
+        started: Instant,
+        before: CountersSnapshot,
+    ) -> QueryStream {
+        QueryStream::new(
             plan.output_names.clone(),
             output_schema(plan),
             batch_size,
@@ -503,6 +571,178 @@ impl Engine {
             before,
             Arc::clone(&self.counters),
             self.cfg.strategy,
+        )
+    }
+
+    /// Consult the result cache for `plan`. Captures the plan's schema
+    /// epochs first (running the file-fingerprint checks), validates any
+    /// candidate entry against them, and serves an exact repeat verbatim
+    /// or a range-subsumed query by re-filtering the cached superset
+    /// through the ordinary relational pipeline. On a miss the captured
+    /// epochs come back so the eventual install tags the entry with
+    /// pre-execution state.
+    fn result_cache_lookup(
+        &self,
+        plan: &Plan,
+        batch_size: usize,
+        started: Instant,
+        before: CountersSnapshot,
+    ) -> Result<CacheLookup> {
+        let mut deps: PlanDeps = Vec::new();
+        let mut tables = vec![plan.table.clone()];
+        if let Some(j) = &plan.join {
+            tables.push(j.table.clone());
+        }
+        for t in &tables {
+            deps.push((t.to_ascii_lowercase(), self.ensured_epoch(t)?));
+        }
+        let epoch_of = |t: &str| deps.iter().find(|(n, _)| n == t).map(|(_, e)| *e);
+
+        if let Some(rows) = self
+            .result_cache
+            .get_exact(&plan_fingerprint(plan), epoch_of)
+        {
+            self.counters.add_result_cache_hit();
+            let body = StreamBody::Rows {
+                rows: rows.as_ref().clone(),
+                cursor: 0,
+            };
+            return Ok(CacheLookup::Served(Box::new(
+                self.stream_of(plan, batch_size, body, started, before),
+            )));
+        }
+        if let Some(wanted) = subsumable_constraint(plan) {
+            if let Some((cols, n_rows)) =
+                self.result_cache
+                    .get_subsumed(&family_fingerprint(plan), &wanted, epoch_of)
+            {
+                // The family key clears ORDER BY, so this query may sort
+                // on a column the installing query never referenced;
+                // serve only when every needed column was captured.
+                if plan
+                    .referenced_columns()
+                    .iter()
+                    .all(|c| cols.contains_key(c))
+                {
+                    self.counters.add_result_cache_subsumed_hit();
+                    // The cached rows are the family's qualifying rows in
+                    // scan order; running the standard filter → order →
+                    // window → project pipeline over them yields exactly
+                    // what a fresh scan would (every access path emits
+                    // scan order before ORDER BY, and re-filtering
+                    // preserves it).
+                    let body = self.execute_relational(plan, cols, n_rows, &plan.filter)?;
+                    return Ok(CacheLookup::Served(Box::new(
+                        self.stream_of(plan, batch_size, body, started, before),
+                    )));
+                }
+            }
+        }
+        self.counters.add_result_cache_miss();
+        Ok(CacheLookup::Miss(deps))
+    }
+
+    /// Install a freshly computed result into the result cache: the final
+    /// rows under the exact plan fingerprint, and — for subsumable shapes
+    /// whose referenced columns ended up fully loaded — the plan family's
+    /// qualifying rows (in scan order, with the σ range they satisfy) for
+    /// future contained-range queries. Lazy cursors are drained into rows
+    /// first unless even a lower-bound size estimate already exceeds the
+    /// byte budget, in which case they stream through untouched.
+    fn result_cache_capture(
+        &self,
+        plan: &Plan,
+        body: StreamBody,
+        deps: PlanDeps,
+        now: u64,
+    ) -> Result<StreamBody> {
+        let mut evicted = 0u64;
+        if let Some(constraint) = subsumable_constraint(plan) {
+            evicted += self.capture_family(plan, constraint, &deps, now)?;
+        }
+        let cache_rows = |rows: Vec<Vec<Value>>, evicted: &mut u64| -> StreamBody {
+            if rows_bytes(&rows) <= self.result_cache.budget_bytes() {
+                let shared = Arc::new(rows);
+                *evicted += self.result_cache.insert_exact(
+                    plan_fingerprint(plan),
+                    Arc::clone(&shared),
+                    deps.clone(),
+                );
+                StreamBody::Rows {
+                    rows: shared.as_ref().clone(),
+                    cursor: 0,
+                }
+            } else {
+                StreamBody::Rows { rows, cursor: 0 }
+            }
+        };
+        let body = match body {
+            StreamBody::Rows { rows, .. } => cache_rows(rows, &mut evicted),
+            StreamBody::Cursor(mut c) => {
+                let floor = c
+                    .remaining()
+                    .saturating_mul(plan.output.len().max(1))
+                    .saturating_mul(std::mem::size_of::<Value>());
+                if floor <= self.result_cache.budget_bytes() {
+                    cache_rows(c.drain_all()?, &mut evicted)
+                } else {
+                    StreamBody::Cursor(c)
+                }
+            }
+        };
+        if evicted > 0 {
+            self.counters.add_result_cache_evictions(evicted);
+        }
+        Ok(body)
+    }
+
+    /// Family capture half of [`Engine::result_cache_capture`]: when every
+    /// column the plan references is fully loaded in the adaptive store,
+    /// re-filter the full columns into the family's qualifying rows (scan
+    /// order) and cache them with the plan's σ interval. Skipped whenever
+    /// the store does not hold the full columns (partial-load and
+    /// external-scan strategies keep their existing behaviour).
+    fn capture_family(
+        &self,
+        plan: &Plan,
+        constraint: RangeConstraint,
+        deps: &PlanDeps,
+        now: u64,
+    ) -> Result<u64> {
+        let needed = plan.referenced_columns();
+        if needed.is_empty() {
+            return Ok(0);
+        }
+        let entry = self.catalog.read().get(&plan.table)?;
+        let full: BTreeMap<usize, Arc<ColumnData>> = {
+            let mut e = entry.write();
+            if !e.store.missing_full(&needed).is_empty() {
+                return Ok(0);
+            }
+            needed
+                .iter()
+                .map(|&c| (c, e.store.full_column(c, now).expect("checked above")))
+                .collect()
+        };
+        let n_all = full.values().next().map(|c| c.len()).unwrap_or(0);
+        let (cols, n_rows) = if plan.filter.is_always_true() {
+            // Unconstrained family: share the store's columns outright.
+            (full, n_all)
+        } else {
+            let positions = filter_positions(&full, n_all, &plan.filter)?;
+            let n = positions.len();
+            let cols = full
+                .iter()
+                .map(|(&c, col)| (c, Arc::new(col.take(&positions))))
+                .collect();
+            (cols, n)
+        };
+        Ok(self.result_cache.insert_filtered(
+            family_fingerprint(plan),
+            cols,
+            n_rows,
+            constraint,
+            deps.clone(),
         ))
     }
 
@@ -2141,5 +2381,103 @@ mod tests {
         assert!(results.contains(&Value::Int(60)));
         assert!(results.contains(&Value::Int(510)));
         assert!(results.contains(&Value::Int(39)));
+    }
+
+    /// Like [`setup`] but with the (opt-in) result cache switched on.
+    fn setup_cached(name: &str, content: &str) -> (PathBuf, Engine) {
+        let dir = std::env::temp_dir().join(format!("nodb_engine_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.csv");
+        std::fs::write(&path, content).unwrap();
+        // ColumnLoads keeps referenced columns fully resident, so family
+        // (subsumption) entries can be captured; partial strategies only
+        // get exact-repeat hits.
+        let mut cfg = EngineConfig::with_strategy(LoadingStrategy::ColumnLoads).with_threads(1);
+        cfg.store_dir = Some(dir.join("store"));
+        cfg.result_cache_bytes = 1 << 20;
+        let engine = Engine::new(cfg);
+        engine.register_table("r", &path).unwrap();
+        (dir, engine)
+    }
+
+    #[test]
+    fn repeat_query_hits_the_result_cache() {
+        let (_d, e) = setup_cached("rc_repeat", DATA);
+        let sql = "select a1, a3 from r where a1 > 0 and a1 < 4 order by a1 desc limit 2";
+        let cold = e.sql(sql).unwrap();
+        let s1 = e.counters().snapshot();
+        assert_eq!(s1.result_cache_misses, 1);
+        assert_eq!(s1.result_cache_hits, 0);
+        let warm = e.sql(sql).unwrap();
+        let s2 = e.counters().snapshot().since(&s1);
+        assert_eq!(s2.result_cache_hits, 1);
+        assert_eq!(s2.result_cache_misses, 0);
+        assert_eq!(warm.rows, cold.rows);
+        assert_eq!(warm.columns, cold.columns);
+        // Aggregates cache their final merged result too.
+        let agg = "select a4, count(*) from r group by a4 order by a4";
+        let cold_agg = e.sql(agg).unwrap();
+        let warm_agg = e.sql(agg).unwrap();
+        assert_eq!(warm_agg.rows, cold_agg.rows);
+        assert!(e.counters().snapshot().result_cache_hits >= 2);
+    }
+
+    #[test]
+    fn subsumed_range_is_answered_from_a_wider_cached_result() {
+        let (_d, e) = setup_cached("rc_subsume", DATA);
+        // Wide σ range: installs a family entry recording the interval.
+        e.sql("select a1, a2 from r where a1 > 0 and a1 < 5")
+            .unwrap();
+        // Strictly contained range with a different window and ordering:
+        // served by re-filtering the cached rows, never re-executed.
+        let narrow = "select a1, a2 from r where a1 > 1 and a1 < 4 order by a1 desc limit 1";
+        let before = e.counters().snapshot();
+        let out = e.sql(narrow).unwrap();
+        let delta = e.counters().snapshot().since(&before);
+        assert_eq!(delta.result_cache_subsumed_hits, 1);
+        assert_eq!(out.rows, vec![vec![Value::Int(3), Value::Int(13)]]);
+        // Must be byte-identical to a cold engine answering the same query.
+        let (_d2, cold) = setup("rc_subsume_cold", DATA);
+        let reference = cold.sql(narrow).unwrap();
+        assert_eq!(out.rows, reference.rows);
+        assert_eq!(out.columns, reference.columns);
+    }
+
+    #[test]
+    fn replaced_result_table_never_serves_stale_cached_rows() {
+        let (_d, e) = setup_cached("rc_replace", DATA);
+        let small = e.sql("select a1 from r where a1 < 2").unwrap();
+        e.register_result("t", &small).unwrap();
+        let q = "select a1 from t order by a1";
+        let first = e.sql(q).unwrap();
+        assert_eq!(first.rows, vec![vec![Value::Int(0)], vec![Value::Int(1)]]);
+        assert_eq!(e.sql(q).unwrap().rows, first.rows); // cached
+        assert!(e.counters().snapshot().result_cache_hits >= 1);
+        // Replace `t` wholesale: the repeat query must see the new rows.
+        let big = e.sql("select a1 from r where a1 >= 3").unwrap();
+        e.register_result("t", &big).unwrap();
+        let after = e.sql(q).unwrap();
+        assert_eq!(after.rows, vec![vec![Value::Int(3)], vec![Value::Int(4)]]);
+        // And dropping the table purges its entries outright.
+        let live = e.result_cache().len();
+        assert!(live > 0);
+        assert!(e.unregister_table("t"));
+        let out = e.sql(q);
+        assert!(out.is_err(), "query against a dropped table must fail");
+        assert!(e.result_cache().len() < live);
+    }
+
+    #[test]
+    fn file_edit_invalidates_cached_results() {
+        let (dir, e) = setup_cached("rc_fileedit", DATA);
+        let q = "select sum(a1) from r where a1 > 0 and a1 < 5";
+        assert_eq!(e.sql(q).unwrap().scalar(), Some(&Value::Int(10)));
+        assert_eq!(e.sql(q).unwrap().scalar(), Some(&Value::Int(10)));
+        assert!(e.counters().snapshot().result_cache_hits >= 1);
+        // Rewrite the raw file: the fingerprint check bumps the schema
+        // epoch, so every cached result over `r` is unservable.
+        std::fs::write(dir.join("r.csv"), "0,1,2,3\n4,1,2,3\n").unwrap();
+        assert_eq!(e.sql(q).unwrap().scalar(), Some(&Value::Int(4)));
     }
 }

@@ -17,6 +17,8 @@
 //! * [`session`] — prepared statements, parameter binding, streaming
 //!   results, results-as-tables;
 //! * [`plan_cache`] — resolved plans keyed by normalized SQL text;
+//! * [`result_cache`] — completed results kept as first-class data,
+//!   answering repeat and range-subsumed queries without re-execution;
 //! * [`monitor`] — the robustness advisor (§5.5).
 //!
 //! ```no_run
@@ -35,6 +37,7 @@ pub mod engine;
 pub mod monitor;
 pub mod plan_cache;
 pub mod policy;
+pub mod result_cache;
 pub mod session;
 
 pub use catalog::{Catalog, Fingerprint, TableEntry};
@@ -45,6 +48,7 @@ pub use engine::{
 pub use monitor::TableMonitor;
 pub use plan_cache::PlanCache;
 pub use policy::{materialize, Materialized};
+pub use result_cache::ResultCache;
 pub use session::{unique_identifiers, BoundStatement, Prepared, QueryStream, Session};
 
 // The whole serving stack hands these out across threads: one shared

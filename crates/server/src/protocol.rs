@@ -277,7 +277,7 @@ impl Request {
 
 /// Counter names paired with their snapshot values, in wire order. Kept
 /// in one place so encode and decode cannot drift apart.
-fn counter_fields(s: &CountersSnapshot) -> [(&'static str, u64); 17] {
+fn counter_fields(s: &CountersSnapshot) -> [(&'static str, u64); 21] {
     [
         ("bytes_read", s.bytes_read),
         ("bytes_written", s.bytes_written),
@@ -296,6 +296,10 @@ fn counter_fields(s: &CountersSnapshot) -> [(&'static str, u64); 17] {
         ("connections_accepted", s.connections_accepted),
         ("requests_served", s.requests_served),
         ("busy_rejections", s.busy_rejections),
+        ("result_cache_hits", s.result_cache_hits),
+        ("result_cache_subsumed_hits", s.result_cache_subsumed_hits),
+        ("result_cache_misses", s.result_cache_misses),
+        ("result_cache_evictions", s.result_cache_evictions),
     ]
 }
 
@@ -318,6 +322,10 @@ fn set_counter_field(s: &mut CountersSnapshot, name: &str, v: u64) {
         "connections_accepted" => s.connections_accepted = v,
         "requests_served" => s.requests_served = v,
         "busy_rejections" => s.busy_rejections = v,
+        "result_cache_hits" => s.result_cache_hits = v,
+        "result_cache_subsumed_hits" => s.result_cache_subsumed_hits = v,
+        "result_cache_misses" => s.result_cache_misses = v,
+        "result_cache_evictions" => s.result_cache_evictions = v,
         // A newer server may report counters this client predates.
         _ => {}
     }
@@ -568,6 +576,10 @@ mod tests {
             connections_accepted: 15,
             requests_served: 16,
             busy_rejections: 17,
+            result_cache_hits: 18,
+            result_cache_subsumed_hits: 19,
+            result_cache_misses: 20,
+            result_cache_evictions: 21,
         };
         round_trip_resp(Response::Stats(s));
     }

@@ -58,6 +58,17 @@ pub struct WorkCounters {
     /// Connections refused with a typed `BUSY` error because the admission
     /// queue was full or the server was shutting down.
     pub busy_rejections: AtomicU64,
+    /// Queries answered verbatim from the result cache (an identical plan
+    /// ran before and its final rows were still cached and fresh).
+    pub result_cache_hits: AtomicU64,
+    /// Queries answered by re-filtering a cached superset result whose
+    /// recorded selection interval contains the new query's range.
+    pub result_cache_subsumed_hits: AtomicU64,
+    /// Queries that consulted the result cache and found nothing usable.
+    pub result_cache_misses: AtomicU64,
+    /// Entries evicted from the result cache to respect its byte budget
+    /// or entry cap.
+    pub result_cache_evictions: AtomicU64,
 }
 
 impl WorkCounters {
@@ -151,6 +162,27 @@ impl WorkCounters {
         self.busy_rejections.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one exact result-cache hit.
+    pub fn add_result_cache_hit(&self) {
+        self.result_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one subsumed result-cache hit.
+    pub fn add_result_cache_subsumed_hit(&self) {
+        self.result_cache_subsumed_hits
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one result-cache miss.
+    pub fn add_result_cache_miss(&self) {
+        self.result_cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n` result-cache evictions.
+    pub fn add_result_cache_evictions(&self, n: u64) {
+        self.result_cache_evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Capture the current values.
     pub fn snapshot(&self) -> CountersSnapshot {
         CountersSnapshot {
@@ -171,6 +203,10 @@ impl WorkCounters {
             connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
             requests_served: self.requests_served.load(Ordering::Relaxed),
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            result_cache_hits: self.result_cache_hits.load(Ordering::Relaxed),
+            result_cache_subsumed_hits: self.result_cache_subsumed_hits.load(Ordering::Relaxed),
+            result_cache_misses: self.result_cache_misses.load(Ordering::Relaxed),
+            result_cache_evictions: self.result_cache_evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -193,6 +229,10 @@ impl WorkCounters {
         self.connections_accepted.store(0, Ordering::Relaxed);
         self.requests_served.store(0, Ordering::Relaxed);
         self.busy_rejections.store(0, Ordering::Relaxed);
+        self.result_cache_hits.store(0, Ordering::Relaxed);
+        self.result_cache_subsumed_hits.store(0, Ordering::Relaxed);
+        self.result_cache_misses.store(0, Ordering::Relaxed);
+        self.result_cache_evictions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -233,6 +273,14 @@ pub struct CountersSnapshot {
     pub requests_served: u64,
     /// See [`WorkCounters::busy_rejections`].
     pub busy_rejections: u64,
+    /// See [`WorkCounters::result_cache_hits`].
+    pub result_cache_hits: u64,
+    /// See [`WorkCounters::result_cache_subsumed_hits`].
+    pub result_cache_subsumed_hits: u64,
+    /// See [`WorkCounters::result_cache_misses`].
+    pub result_cache_misses: u64,
+    /// See [`WorkCounters::result_cache_evictions`].
+    pub result_cache_evictions: u64,
 }
 
 impl CountersSnapshot {
@@ -271,6 +319,18 @@ impl CountersSnapshot {
                 .saturating_sub(earlier.connections_accepted),
             requests_served: self.requests_served.saturating_sub(earlier.requests_served),
             busy_rejections: self.busy_rejections.saturating_sub(earlier.busy_rejections),
+            result_cache_hits: self
+                .result_cache_hits
+                .saturating_sub(earlier.result_cache_hits),
+            result_cache_subsumed_hits: self
+                .result_cache_subsumed_hits
+                .saturating_sub(earlier.result_cache_subsumed_hits),
+            result_cache_misses: self
+                .result_cache_misses
+                .saturating_sub(earlier.result_cache_misses),
+            result_cache_evictions: self
+                .result_cache_evictions
+                .saturating_sub(earlier.result_cache_evictions),
         }
     }
 }
@@ -279,7 +339,7 @@ impl fmt::Display for CountersSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "read={}B written={}B rows_tok={} fields_tok={} parsed={} trips={} abandoned={} evicted={} plan_hits={} plan_misses={} morsels={} par_pipelines={} fused_proj={} fused_joins={} conns={} reqs={} busy={}",
+            "read={}B written={}B rows_tok={} fields_tok={} parsed={} trips={} abandoned={} evicted={} plan_hits={} plan_misses={} morsels={} par_pipelines={} fused_proj={} fused_joins={} conns={} reqs={} busy={} rc_hits={} rc_subsumed={} rc_misses={} rc_evicted={}",
             self.bytes_read,
             self.bytes_written,
             self.rows_tokenized,
@@ -297,6 +357,10 @@ impl fmt::Display for CountersSnapshot {
             self.connections_accepted,
             self.requests_served,
             self.busy_rejections,
+            self.result_cache_hits,
+            self.result_cache_subsumed_hits,
+            self.result_cache_misses,
+            self.result_cache_evictions,
         )
     }
 }

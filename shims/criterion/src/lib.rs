@@ -36,9 +36,10 @@ static REPORTS: Mutex<Vec<Report>> = Mutex::new(Vec::new());
 /// NODB_BENCH_JSON=BENCH_micro.json cargo bench -p nodb-bench --bench micro
 /// ```
 ///
-/// Besides raw ns/op per benchmark, any `<base>/serial` + `<base>/parallel`
-/// name pair also yields a derived `speedups` entry (serial ÷ parallel) —
-/// the multi-core speedup tracked across PRs.
+/// Besides raw ns/op per benchmark, any slow/fast name pair —
+/// `<base>/serial` + `<base>/parallel`, `<base>/miss` + `<base>/hit`, or
+/// `<base>/rescan` + `<base>/cached` — also yields a derived `speedups`
+/// entry (slow ÷ fast): multi-core and cache speedups tracked across PRs.
 pub fn write_json_reports() {
     let Ok(path) = std::env::var("NODB_BENCH_JSON") else {
         return;
@@ -72,14 +73,21 @@ pub fn write_json_reports() {
         ));
     }
     out.push_str("  ],\n  \"speedups\": {\n");
+    const PAIRINGS: [(&str, &str); 3] = [
+        ("/serial", "/parallel"),
+        ("/miss", "/hit"),
+        ("/rescan", "/cached"),
+    ];
     let pairs: Vec<(String, f64)> = reports
         .iter()
         .filter_map(|r| {
-            let base = r.name.strip_suffix("/serial")?;
-            let par = reports
+            let (base, fast_suffix) = PAIRINGS
                 .iter()
-                .find(|p| p.name.strip_suffix("/parallel").is_some_and(|b| b == base))?;
-            Some((base.to_owned(), r.ns_per_iter / par.ns_per_iter))
+                .find_map(|(slow, fast)| Some((r.name.strip_suffix(slow)?, *fast)))?;
+            let fast = reports
+                .iter()
+                .find(|p| p.name.strip_suffix(fast_suffix).is_some_and(|b| b == base))?;
+            Some((base.to_owned(), r.ns_per_iter / fast.ns_per_iter))
         })
         .collect();
     for (i, (name, speedup)) in pairs.iter().enumerate() {

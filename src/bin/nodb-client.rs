@@ -8,8 +8,9 @@
 //! Each statement runs in order on one connection; results are printed
 //! as CSV (header row of output labels, then data rows), statements
 //! separated by a blank line. `--stats` prints the server's work-counter
-//! snapshot instead. Exit status is non-zero on any error — including a
-//! typed BUSY refusal when the server's admission queue is full.
+//! snapshot followed by a `CACHE` row breaking out the result-cache
+//! counters. Exit status is non-zero on any error — including a typed
+//! BUSY refusal when the server's admission queue is full.
 
 use nodb::{Client, Value};
 
@@ -33,7 +34,16 @@ fn main() {
 
     if rest.len() == 1 && rest[0] == "--stats" {
         match client.stats() {
-            Ok(s) => println!("{s}"),
+            Ok(s) => {
+                println!("{s}");
+                println!(
+                    "CACHE hits={} subsumed_hits={} misses={} evictions={}",
+                    s.result_cache_hits,
+                    s.result_cache_subsumed_hits,
+                    s.result_cache_misses,
+                    s.result_cache_evictions,
+                );
+            }
             Err(e) => {
                 eprintln!("stats failed: {e}");
                 std::process::exit(1);

@@ -3,6 +3,7 @@
 //! ```text
 //! nodb-server --data DIR [--listen ADDR] [--threads N]
 //!             [--max-connections N] [--max-queued N] [--batch-rows N]
+//!             [--result-cache-mb N]
 //! ```
 //!
 //! Every `*.csv` directly inside `DIR` is registered as a table named
@@ -18,7 +19,8 @@ use nodb::{Engine, EngineConfig, NodbServer, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: nodb-server --data DIR [--listen ADDR] [--threads N] \
-         [--max-connections N] [--max-queued N] [--batch-rows N]"
+         [--max-connections N] [--max-queued N] [--batch-rows N] \
+         [--result-cache-mb N]"
     );
     std::process::exit(2);
 }
@@ -49,6 +51,10 @@ fn main() {
             }
             "--max-queued" => server_cfg.max_queued = parse(&value("--max-queued"), "--max-queued"),
             "--batch-rows" => server_cfg.batch_rows = parse(&value("--batch-rows"), "--batch-rows"),
+            "--result-cache-mb" => {
+                engine_cfg.result_cache_bytes =
+                    parse(&value("--result-cache-mb"), "--result-cache-mb") * 1024 * 1024;
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");

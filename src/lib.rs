@@ -19,7 +19,8 @@
 //!   morsel-parallel kernels and the fused cold-pipeline operators.
 //! * [`sql`] — SQL parsing and logical planning.
 //! * [`core`] — the engine tying it together: catalog, loading policies,
-//!   fused cold pipeline, plan cache, sessions, workload monitor.
+//!   fused cold pipeline, plan cache, result cache, sessions, workload
+//!   monitor.
 //! * [`server`] — the concurrent TCP query server and matching blocking
 //!   client: length-prefixed wire protocol, session per connection,
 //!   admission control with typed BUSY backpressure.
@@ -40,7 +41,7 @@ pub use nodb_types as types;
 
 pub use nodb_core::{
     BoundStatement, Engine, EngineConfig, KernelStrategy, LoadingStrategy, Prepared, QueryOutput,
-    QueryStats, QueryStream, Session, TableInfo,
+    QueryStats, QueryStream, ResultCache, Session, TableInfo,
 };
 pub use nodb_server::{Client, NodbServer, RemoteCursor, RemoteStatement, ServerConfig};
 pub use nodb_store::RowBatch;
