@@ -13,7 +13,10 @@
 //!   vs subsumed serve) whose ratios land in `NODB_BENCH_JSON`;
 //! * wire-server throughput: one client vs four concurrent clients
 //!   issuing the same total query count over TCP (the ratio measures
-//!   how well session-per-connection workers overlap).
+//!   how well session-per-connection workers overlap);
+//! * cancellation overhead: a hot per-row-checked kernel with no ambient
+//!   cancel token vs under an armed token + deadline (the `off`/`on`
+//!   ratio proves cooperative cancellation costs ~nothing).
 
 use std::collections::BTreeMap;
 
@@ -848,6 +851,55 @@ fn bench_server(c: &mut Criterion) {
     server.shutdown();
 }
 
+/// Cancellation-overhead pair: the same hot grouped aggregation (the
+/// kernel with a per-row `CancelCheck` tick) with no ambient cancel
+/// token vs under an installed `CancelScope` whose token carries a live
+/// (far-future) deadline — the worst armed case, where every amortised
+/// poll also compares clocks. The `off` ÷ `on` ratio lands in the
+/// `speedups` section of `NODB_BENCH_JSON`; the cooperative checks are
+/// in budget while it stays within a couple of percent of 1.
+fn bench_robustness(c: &mut Criterion) {
+    use nodb_types::{CancelScope, CancelToken};
+
+    let n = 1_000_000;
+    let mut cols: BTreeMap<usize, ColumnData> = BTreeMap::new();
+    cols.insert(
+        0,
+        ColumnData::from_i64((0..n as i64).map(|i| (i * 37) % 997).collect()),
+    );
+    let perm = Permutation::new(n as u64, 11);
+    cols.insert(
+        1,
+        ColumnData::from_i64((0..n as u64).map(|i| perm.apply(i) as i64).collect()),
+    );
+    let specs = vec![
+        AggSpec::on_col(AggFunc::Sum, 1),
+        AggSpec::on_col(AggFunc::Max, 1),
+        AggSpec::count_star(),
+    ];
+    let filter = Conjunction::new(vec![ColPred::new(1, CmpOp::Gt, (n / 10) as i64)]);
+
+    let mut g = c.benchmark_group("robustness");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("cancel_overhead/off", |b| {
+        b.iter(|| {
+            let pos = filter_positions(&cols, n, &filter).unwrap();
+            group_aggregate(&cols, n, Some(&pos), &[0], &specs).unwrap()
+        })
+    });
+    g.bench_function("cancel_overhead/on", |b| {
+        let token = CancelToken::new();
+        token.set_deadline(std::time::Instant::now() + std::time::Duration::from_secs(3600));
+        let _scope = CancelScope::enter(token);
+        b.iter(|| {
+            let pos = filter_positions(&cols, n, &filter).unwrap();
+            group_aggregate(&cols, n, Some(&pos), &[0], &specs).unwrap()
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_tokenizer,
@@ -857,6 +909,7 @@ criterion_group!(
     bench_joins,
     bench_prepared_vs_raw,
     bench_result_cache,
-    bench_server
+    bench_server,
+    bench_robustness
 );
 criterion_main!(benches);

@@ -134,6 +134,13 @@ pub struct EngineConfig {
     /// Maximum number of result-cache entries, independent of the byte
     /// budget (bounds bookkeeping for workloads of many tiny results).
     pub result_cache_max_entries: usize,
+    /// Default wall-clock deadline applied to guarded query entry points
+    /// ([`Session::query_with_guard`](crate::Session::query_with_guard)
+    /// and friends) when the caller's [`CancelToken`](nodb_types::CancelToken)
+    /// carries no deadline of its own. `None` (the default) means guarded
+    /// queries run until cancelled; a caller-set deadline always wins over
+    /// this default.
+    pub default_query_deadline_ms: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -160,6 +167,7 @@ impl Default for EngineConfig {
             plan_cache_capacity: 128,
             result_cache_bytes: 0,
             result_cache_max_entries: 1024,
+            default_query_deadline_ms: None,
         }
     }
 }

@@ -155,6 +155,11 @@ impl Engine {
     /// governs every parallel stage (phase-1 scanning, morsel pipelines,
     /// parallel kernels) without touching `cfg.csv`.
     pub fn new(mut cfg: EngineConfig) -> Engine {
+        // Arm failpoints from NODB_FAILPOINTS once per process so fault
+        // injection works for any embedding without extra wiring. Once,
+        // because re-arming would reset per-site hit counts.
+        static FAILPOINTS_ENV: std::sync::Once = std::sync::Once::new();
+        FAILPOINTS_ENV.call_once(nodb_types::failpoints::init_from_env);
         cfg.threads = cfg.threads.max(1);
         cfg.csv.threads = cfg.threads;
         cfg.morsel_rows = cfg.morsel_rows.max(1);

@@ -64,6 +64,7 @@ pub fn materialize(
     counters: &WorkCounters,
     now: u64,
 ) -> Result<Materialized> {
+    nodb_types::failpoints::trip("store.materialize")?;
     if entry.resident {
         // Result tables live wholly in the adaptive store: every policy
         // degenerates to a store read (there is no file to scan).

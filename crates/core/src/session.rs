@@ -24,14 +24,17 @@
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 use nodb_exec::ProjectionCursor;
 use nodb_sql::Plan;
 use nodb_store::RowBatch;
-use nodb_types::{ColumnData, CountersSnapshot, Result, Schema, Value, WorkCounters};
+use nodb_types::{
+    CancelScope, CancelToken, ColumnData, CountersSnapshot, Error, Result, Schema, Value,
+    WorkCounters,
+};
 
 use crate::config::LoadingStrategy;
 use crate::engine::{Engine, QueryOutput, QueryStats};
@@ -117,6 +120,49 @@ impl Session {
     pub fn register_result(&self, name: &str, output: &QueryOutput) -> Result<()> {
         self.engine.register_result(name, output)
     }
+
+    /// [`Session::query`] under a cancellation guard: `token` is installed
+    /// as the calling thread's ambient [`CancelToken`] for the duration of
+    /// planning and execution, so cancelling it (or its deadline firing)
+    /// aborts the query mid-pipeline with [`Error::Cancelled`] /
+    /// [`Error::Timeout`]. If the engine configures
+    /// [`default_query_deadline_ms`](crate::EngineConfig::default_query_deadline_ms)
+    /// and the token carries no deadline, the default is applied.
+    ///
+    /// A cancelled cold load leaves the catalog, adaptive store and
+    /// positional map either untouched or in a valid loaded state — the
+    /// next (uncancelled) query behaves exactly as if the cancelled one
+    /// had never run.
+    pub fn query_with_guard(&self, text: &str, token: &CancelToken) -> Result<QueryStream> {
+        run_guarded(&self.engine, token, || self.query(text))
+    }
+
+    /// [`Session::sql`] under a cancellation guard; see
+    /// [`Session::query_with_guard`] for the guard semantics.
+    pub fn sql_with_guard(&self, text: &str, token: &CancelToken) -> Result<QueryOutput> {
+        run_guarded(&self.engine, token, || self.sql(text))
+    }
+}
+
+/// Run `f` with `token` installed as the thread's ambient cancel token,
+/// applying the engine's default deadline (if any, and if the token has
+/// none) and bumping the cancelled/timed-out counters on a tripped exit.
+fn run_guarded<T>(
+    engine: &Engine,
+    token: &CancelToken,
+    f: impl FnOnce() -> Result<T>,
+) -> Result<T> {
+    if let Some(ms) = engine.config().default_query_deadline_ms {
+        token.set_deadline_if_unset(Instant::now() + Duration::from_millis(ms));
+    }
+    let _scope = CancelScope::enter(token.clone());
+    let out = f();
+    match &out {
+        Err(Error::Cancelled(_)) => engine.counters().add_query_cancelled(),
+        Err(Error::Timeout(_)) => engine.counters().add_query_timed_out(),
+        _ => {}
+    }
+    out
 }
 
 struct PreparedState {
@@ -230,6 +276,18 @@ impl BoundStatement {
         let before = self.engine.counters().snapshot();
         self.engine
             .stream_plan(&self.plan, self.batch_size, started, before)
+    }
+
+    /// [`BoundStatement::stream`] under a cancellation guard; see
+    /// [`Session::query_with_guard`] for the guard semantics.
+    pub fn stream_with_guard(&self, token: &CancelToken) -> Result<QueryStream> {
+        run_guarded(&self.engine, token, || self.stream())
+    }
+
+    /// [`BoundStatement::execute`] under a cancellation guard; see
+    /// [`Session::query_with_guard`] for the guard semantics.
+    pub fn execute_with_guard(&self, token: &CancelToken) -> Result<QueryOutput> {
+        run_guarded(&self.engine, token, || self.execute())
     }
 
     /// Output column labels.

@@ -161,7 +161,11 @@ pub fn accumulate_into<C: Cols + ?Sized>(
     accs: &mut [Accumulator],
 ) -> Result<()> {
     debug_assert_eq!(specs.len(), accs.len());
+    let mut cancel_check = nodb_types::CancelCheck::new();
     for (spec, acc) in specs.iter().zip(accs.iter_mut()) {
+        // One serial fold pass per spec: account its rows so a cancel
+        // lands between passes (and between gather chunks below).
+        cancel_check.tick(positions.map(<[usize]>::len).unwrap_or(n_rows))?;
         match (&spec.expr, positions) {
             (None, pos) => {
                 // COUNT(*): every row counts — O(1) for the common
@@ -282,11 +286,13 @@ pub fn group_aggregate<C: Cols + ?Sized>(
     }
     let mut groups: HashMap<GroupKey, usize> = HashMap::new();
     let mut order: Vec<(GroupKey, Vec<Accumulator>)> = Vec::new();
+    let mut cancel_check = nodb_types::CancelCheck::new();
     let iter: Box<dyn Iterator<Item = usize>> = match positions {
         None => Box::new(0..n_rows),
         Some(pos) => Box::new(pos.iter().copied()),
     };
     for i in iter {
+        cancel_check.tick(1)?;
         let key = GroupKey(
             group_cols
                 .iter()

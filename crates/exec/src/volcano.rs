@@ -42,6 +42,9 @@ pub struct ColumnsScan<'a, C: Cols + ?Sized> {
     width: usize,
     n_rows: usize,
     i: usize,
+    // Every volcano pipeline pulls through a leaf scan, so polling here
+    // covers the whole tuple-at-a-time strategy.
+    cancel: nodb_types::CancelCheck,
 }
 
 impl<'a, C: Cols + ?Sized> ColumnsScan<'a, C> {
@@ -53,6 +56,7 @@ impl<'a, C: Cols + ?Sized> ColumnsScan<'a, C> {
             width,
             n_rows,
             i: 0,
+            cancel: nodb_types::CancelCheck::new(),
         }
     }
 }
@@ -62,6 +66,7 @@ impl<C: Cols + ?Sized> RowOp for ColumnsScan<'_, C> {
         if self.i >= self.n_rows {
             return Ok(false);
         }
+        self.cancel.tick(1)?;
         let i = self.i;
         self.i += 1;
         row.clear();

@@ -34,7 +34,7 @@ pub fn infer_from_bytes(
     max_sample_rows: usize,
 ) -> Result<InferredSchema> {
     let counters = WorkCounters::new(); // inference work is not charged to queries
-    let starts = find_row_starts(bytes, opts, &counters);
+    let starts = find_row_starts(bytes, opts, &counters)?;
     if starts.is_empty() {
         return Err(Error::schema("cannot infer schema from an empty file"));
     }

@@ -165,7 +165,7 @@ impl SegmentCatalog {
         // are partitioned across threads (like scan phase 2); each thread
         // fills private buffers which are concatenated in row order at
         // write time.
-        let starts = find_row_starts(bytes, opts, counters);
+        let starts = find_row_starts(bytes, opts, counters)?;
         let nrows = starts.len();
         let threads = opts.threads.clamp(1, nrows.max(1));
         let want_rest = rest_path.is_some();

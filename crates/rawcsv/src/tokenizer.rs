@@ -97,6 +97,7 @@ impl ScanOutput {
 
 /// Read a whole file, counting the bytes and the trip.
 pub fn read_file(path: &Path, counters: &WorkCounters) -> Result<Vec<u8>> {
+    nodb_types::failpoints::trip("rawcsv.read_file")?;
     let mut f = File::open(path)?;
     let mut buf = Vec::with_capacity(f.metadata().map(|m| m.len() as usize).unwrap_or(0));
     f.read_to_end(&mut buf)?;
@@ -129,7 +130,7 @@ pub fn scan_bytes(
     validate_spec(spec)?;
 
     // Phase 1: row boundaries (reused from the positional map when valid).
-    let row_starts = phase1_row_starts(bytes, opts, &mut posmap, counters);
+    let row_starts = phase1_row_starts(bytes, opts, &mut posmap, counters)?;
     let nrows = row_starts.len();
 
     let touch = touch_plan(spec);
@@ -157,6 +158,7 @@ pub fn scan_bytes(
         preds_by_col: &preds_by_col,
         record_cols: &record_cols,
         posmap: posmap.as_deref(),
+        cancel: nodb_types::cancel::current(),
     };
 
     let threads = opts.threads.max(1).min(nrows.max(1));
@@ -258,20 +260,20 @@ fn phase1_row_starts(
     opts: &CsvOptions,
     posmap: &mut Option<&mut PositionalMap>,
     counters: &WorkCounters,
-) -> std::sync::Arc<Vec<u64>> {
+) -> Result<std::sync::Arc<Vec<u64>>> {
     match posmap.as_ref().and_then(|m| {
         (m.file_len() == bytes.len() as u64)
             .then(|| m.row_starts())
             .flatten()
     }) {
-        Some(cached) => cached,
+        Some(cached) => Ok(cached),
         None => {
-            let starts = find_row_starts(bytes, opts, counters);
+            let starts = find_row_starts(bytes, opts, counters)?;
             if let Some(m) = posmap.as_deref_mut() {
                 m.set_row_starts(starts.clone(), bytes.len() as u64);
-                m.row_starts().expect("just set")
+                Ok(m.row_starts().expect("just set"))
             } else {
-                std::sync::Arc::new(starts)
+                Ok(std::sync::Arc::new(starts))
             }
         }
     }
@@ -324,6 +326,9 @@ struct ScanCtx<'a> {
     preds_by_col: &'a BTreeMap<usize, Vec<&'a nodb_types::ColPred>>,
     record_cols: &'a [usize],
     posmap: Option<&'a PositionalMap>,
+    /// The query's cancel token, captured on the entry thread: phase-2
+    /// workers run on scope threads where the ambient scope is invisible.
+    cancel: Option<nodb_types::CancelToken>,
 }
 
 /// Per-chunk output buffers.
@@ -362,6 +367,8 @@ impl LocalCounters {
 
 /// Phase-2 kernel: walk rows `[lo, hi)`.
 fn scan_row_range(ctx: &ScanCtx<'_>, lo: usize, hi: usize) -> Result<ChunkOut> {
+    nodb_types::failpoints::trip("rawcsv.morsel")?;
+    let mut cancel_check = nodb_types::CancelCheck::with_token(ctx.cancel.clone());
     let n = hi - lo;
     // Without pushdown every row qualifies — size builders exactly.
     let cap = if ctx.preds_by_col.is_empty() {
@@ -421,6 +428,7 @@ fn scan_row_range(ctx: &ScanCtx<'_>, lo: usize, hi: usize) -> Result<ChunkOut> {
     let mut stash: Vec<Value> = vec![Value::Null; ctx.needed.len()];
 
     'rows: for row in lo..hi {
+        cancel_check.tick(1)?;
         let start = ctx.row_starts[row] as usize;
         // The row's bytes run to the next row start (or EOF); the field
         // walker treats '\n'/'\r' as terminators, so embedded trailing
@@ -603,7 +611,7 @@ where
     F: Fn(usize, Morsel) -> Result<()> + Sync,
 {
     validate_spec(spec)?;
-    let row_starts = phase1_row_starts(bytes, opts, &mut posmap, counters);
+    let row_starts = phase1_row_starts(bytes, opts, &mut posmap, counters)?;
     let nrows = row_starts.len();
     let morsel_rows = morsel_rows.max(1);
     let n_morsels = nrows.div_ceil(morsel_rows);
@@ -644,6 +652,7 @@ where
         preds_by_col: &preds_by_col,
         record_cols: &record_cols,
         posmap: posmap.as_deref(),
+        cancel: nodb_types::cancel::current(),
     };
 
     /// Posmap recordings of one morsel: `(first_row, per-column offsets)`.
@@ -882,10 +891,20 @@ fn newline_starts_into(bytes: &[u8], lo: usize, hi: usize, out: &mut Vec<u64>) {
 }
 
 /// Phase 1: locate the start offset of every non-empty row.
-pub fn find_row_starts(bytes: &[u8], opts: &CsvOptions, _counters: &WorkCounters) -> Vec<u64> {
+///
+/// Fails only on an injected fault ("rawcsv.phase1") or cooperative
+/// cancellation — the quoted serial state machine polls the ambient
+/// [`nodb_types::CancelCheck`] every few thousand rows, so even a
+/// pathological single-threaded phase 1 aborts promptly.
+pub fn find_row_starts(
+    bytes: &[u8],
+    opts: &CsvOptions,
+    _counters: &WorkCounters,
+) -> Result<Vec<u64>> {
+    nodb_types::failpoints::trip("rawcsv.phase1")?;
     let mut starts: Vec<u64> = Vec::new();
     if bytes.is_empty() {
-        return starts;
+        return Ok(starts);
     }
     match opts.quote {
         None if opts.threads > 1 && bytes.len() > 1 << 20 => {
@@ -925,6 +944,7 @@ pub fn find_row_starts(bytes: &[u8], opts: &CsvOptions, _counters: &WorkCounters
             // Serial state machine (newlines inside quotes don't break
             // rows), jumping between interesting bytes SWAR-style instead
             // of inspecting every byte.
+            let mut cancel_check = nodb_types::CancelCheck::new();
             starts.push(0);
             let mut in_quotes = false;
             let mut i = 0;
@@ -934,6 +954,7 @@ pub fn find_row_starts(bytes: &[u8], opts: &CsvOptions, _counters: &WorkCounters
                     in_quotes = !in_quotes;
                 } else if !in_quotes {
                     starts.push((i + 1) as u64);
+                    cancel_check.tick(1)?;
                 }
                 i += 1;
             }
@@ -959,7 +980,7 @@ pub fn find_row_starts(bytes: &[u8], opts: &CsvOptions, _counters: &WorkCounters
             filtered.push(s);
         }
     }
-    filtered
+    Ok(filtered)
 }
 
 #[cfg(test)]

@@ -7,13 +7,17 @@
 //! over and in the server's admission queue.
 
 use std::collections::HashMap;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use nodb_core::{
     leading_keyword, result_column_types, unique_identifiers, QueryOutput, QueryStream, Session,
 };
-use nodb_types::{Error, Result, Value};
+use nodb_types::{CancelToken, Error, Result, Value};
 
 use crate::protocol::{ColumnDesc, Request, Response};
+use crate::server::Registry;
 
 /// An open server-side cursor: rows still owed to the client.
 enum Cursor {
@@ -71,6 +75,39 @@ const MAX_OPEN_CURSORS: usize = 64;
 /// required.
 const MAX_PREPARED_STMTS: usize = 256;
 
+/// The connection's hook into server-wide query lifecycle control: its
+/// session id, the running-query [`Registry`] (for `CANCEL_QUERY` and
+/// the disconnect watchdog) and the server's per-query deadline.
+pub(crate) struct ConnCtx {
+    pub(crate) registry: Arc<Registry>,
+    pub(crate) session_id: u64,
+    /// Clone of the connection socket, watched for half-close while a
+    /// query runs. `None` disables disconnect detection only.
+    pub(crate) stream: Option<TcpStream>,
+    /// [`ServerConfig::query_deadline_ms`](crate::ServerConfig::query_deadline_ms).
+    pub(crate) query_deadline: Option<Duration>,
+}
+
+impl ConnCtx {
+    /// Run `f` with a fresh registered [`CancelToken`]: while `f`
+    /// executes, `CANCEL_QUERY` frames from other connections and the
+    /// disconnect watchdog can trip the token, and the configured server
+    /// deadline is armed. The entry is removed before returning, however
+    /// `f` exits.
+    fn run_registered<T>(&self, f: impl FnOnce(&CancelToken) -> Result<T>) -> Result<T> {
+        let token = CancelToken::new();
+        if let Some(d) = self.query_deadline {
+            token.set_deadline_if_unset(Instant::now() + d);
+        }
+        let watched = self.stream.as_ref().and_then(|s| s.try_clone().ok());
+        self.registry
+            .register(self.session_id, token.clone(), watched);
+        let out = f(&token);
+        self.registry.deregister(self.session_id);
+        out
+    }
+}
+
 /// All state for one client connection.
 pub(crate) struct Conn {
     session: Session,
@@ -78,16 +115,18 @@ pub(crate) struct Conn {
     cursors: HashMap<u32, Cursor>,
     next_id: u32,
     batch_rows: usize,
+    ctx: ConnCtx,
 }
 
 impl Conn {
-    pub(crate) fn new(session: Session, batch_rows: usize) -> Conn {
+    pub(crate) fn new(session: Session, batch_rows: usize, ctx: ConnCtx) -> Conn {
         Conn {
             session,
             stmts: HashMap::new(),
             cursors: HashMap::new(),
             next_id: 1,
             batch_rows,
+            ctx,
         }
     }
 
@@ -150,6 +189,13 @@ impl Conn {
                 (Response::Ok, Flow::Continue)
             }
             Request::Quit => (Response::Ok, Flow::Close),
+            Request::CancelQuery { session } => {
+                // OK whether or not a query was found running: the
+                // target may have finished a moment ago, and the caller
+                // cannot tell those races apart anyway.
+                self.ctx.registry.cancel(session);
+                (Response::Ok, Flow::Continue)
+            }
         }
     }
 
@@ -167,10 +213,16 @@ impl Conn {
         // `CREATE TABLE .. AS SELECT ..` materialises (the engine needs
         // the full result to register the table); plain SELECTs stream.
         if leading_keyword(sql).eq_ignore_ascii_case("create") {
-            let out = self.session.sql(sql)?;
+            let session = &self.session;
+            let out = self
+                .ctx
+                .run_registered(|token| session.sql_with_guard(sql, token))?;
             return Ok(self.open_rows_cursor(out));
         }
-        let stream = self.session.query(sql)?;
+        let session = &self.session;
+        let stream = self
+            .ctx
+            .run_registered(|token| session.query_with_guard(sql, token))?;
         Ok(self.open_stream_cursor(stream))
     }
 
@@ -193,7 +245,9 @@ impl Conn {
             .stmts
             .get(&stmt)
             .ok_or_else(|| Error::exec(format!("no such prepared statement: {stmt}")))?;
-        let stream = prepared.stream(params)?;
+        let stream = self
+            .ctx
+            .run_registered(|token| prepared.bind(params)?.stream_with_guard(token))?;
         Ok(self.open_stream_cursor(stream))
     }
 

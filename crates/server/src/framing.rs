@@ -22,6 +22,7 @@ pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
 
 /// Write one length-prefixed frame.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
+    nodb_types::failpoints::trip("wire.write_frame")?;
     if payload.len() as u64 > MAX_FRAME_BYTES as u64 {
         return Err(Error::protocol(format!(
             "outgoing frame of {} bytes exceeds the {} byte limit",
@@ -50,6 +51,7 @@ pub const MAX_MID_FRAME_STALLS: u32 = 600;
 /// arrived, timeouts retry (up to [`MAX_MID_FRAME_STALLS`] consecutive
 /// ticks) so a slow frame is never torn mid-stream.
 pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
+    nodb_types::failpoints::trip("wire.read_frame")?;
     let mut len = [0u8; 4];
     let mut filled = 0;
     let mut stalls = 0u32;

@@ -59,7 +59,7 @@ pub mod framing;
 pub mod protocol;
 mod server;
 
-pub use client::{Client, RemoteCursor, RemoteStatement};
+pub use client::{Client, ConnectOptions, RemoteCursor, RemoteStatement, RetryPolicy};
 pub use protocol::{ColumnDesc, Request, Response, PROTOCOL_VERSION};
 pub use server::{NodbServer, ServerConfig};
 

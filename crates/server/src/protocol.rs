@@ -20,7 +20,8 @@
 //! | `0x07` | `CANCEL` | `u32` cursor id |
 //! | `0x08` | `CLOSE` | `u32` stmt id |
 //! | `0x09` | `QUIT` | — |
-//! | `0x81` | `HELLO_OK` | `u16` version, `u32` batch rows |
+//! | `0x0A` | `CANCEL_QUERY` | `u64` session id |
+//! | `0x81` | `HELLO_OK` | `u16` version, `u32` batch rows, `u64` session id |
 //! | `0x82` | `CURSOR` | `u32` cursor id, `u16` n, n × (`str` label, `str` ident, `u8` dtype) |
 //! | `0x83` | `STMT` | `u32` stmt id, `u16` n params |
 //! | `0x84` | `BATCH` | `u8` done, `u32` rows, `u16` cols, values row-major |
@@ -102,6 +103,17 @@ pub enum Request {
     },
     /// Close the connection after one final `OK`.
     Quit,
+    /// Abort the query *currently executing* on another session: its
+    /// cancel token is tripped and the victim's in-flight `QUERY` or
+    /// `EXECUTE` answers `ERR` with [`nodb_types::Error::Cancelled`]
+    /// within one morsel. A no-op `OK` if the session is idle or unknown
+    /// (the query may already have finished — cancellation is racy by
+    /// nature). Contrast [`Request::Cancel`], which merely abandons an
+    /// already-open cursor on *this* connection.
+    CancelQuery {
+        /// Session id of the victim, from its `HELLO_OK`.
+        session: u64,
+    },
 }
 
 /// A server→client message.
@@ -113,6 +125,10 @@ pub enum Response {
         version: u16,
         /// Rows per `BATCH` page the server will emit.
         batch_rows: u32,
+        /// Server-assigned id of this connection's session. Another
+        /// connection can abort this session's running query by sending
+        /// `CANCEL_QUERY` with this id.
+        session: u64,
     },
     /// A cursor opened by `QUERY` or `EXECUTE`.
     Cursor {
@@ -234,6 +250,10 @@ impl Request {
                 put_u32(&mut out, *stmt);
             }
             Request::Quit => put_u8(&mut out, 0x09),
+            Request::CancelQuery { session } => {
+                put_u8(&mut out, 0x0A);
+                put_u64(&mut out, *session);
+            }
         }
         out
     }
@@ -268,6 +288,7 @@ impl Request {
             0x07 => Request::Cancel { cursor: r.u32()? },
             0x08 => Request::Close { stmt: r.u32()? },
             0x09 => Request::Quit,
+            0x0A => Request::CancelQuery { session: r.u64()? },
             op => return Err(Error::protocol(format!("unknown request opcode {op:#04x}"))),
         };
         r.finish()?;
@@ -277,7 +298,7 @@ impl Request {
 
 /// Counter names paired with their snapshot values, in wire order. Kept
 /// in one place so encode and decode cannot drift apart.
-fn counter_fields(s: &CountersSnapshot) -> [(&'static str, u64); 21] {
+fn counter_fields(s: &CountersSnapshot) -> [(&'static str, u64); 23] {
     [
         ("bytes_read", s.bytes_read),
         ("bytes_written", s.bytes_written),
@@ -300,6 +321,8 @@ fn counter_fields(s: &CountersSnapshot) -> [(&'static str, u64); 21] {
         ("result_cache_subsumed_hits", s.result_cache_subsumed_hits),
         ("result_cache_misses", s.result_cache_misses),
         ("result_cache_evictions", s.result_cache_evictions),
+        ("queries_cancelled", s.queries_cancelled),
+        ("queries_timed_out", s.queries_timed_out),
     ]
 }
 
@@ -326,6 +349,8 @@ fn set_counter_field(s: &mut CountersSnapshot, name: &str, v: u64) {
         "result_cache_subsumed_hits" => s.result_cache_subsumed_hits = v,
         "result_cache_misses" => s.result_cache_misses = v,
         "result_cache_evictions" => s.result_cache_evictions = v,
+        "queries_cancelled" => s.queries_cancelled = v,
+        "queries_timed_out" => s.queries_timed_out = v,
         // A newer server may report counters this client predates.
         _ => {}
     }
@@ -339,10 +364,12 @@ impl Response {
             Response::HelloOk {
                 version,
                 batch_rows,
+                session,
             } => {
                 put_u8(&mut out, 0x81);
                 put_u16(&mut out, *version);
                 put_u32(&mut out, *batch_rows);
+                put_u64(&mut out, *session);
             }
             Response::Cursor { id, columns } => {
                 put_u8(&mut out, 0x82);
@@ -396,6 +423,7 @@ impl Response {
             0x81 => Response::HelloOk {
                 version: r.u16()?,
                 batch_rows: r.u32()?,
+                session: r.u64()?,
             },
             0x82 => {
                 let id = r.u32()?;
@@ -464,12 +492,13 @@ impl Response {
         Ok(resp)
     }
 
-    /// The ERR response for a typed engine error.
+    /// The ERR response for a typed engine error. Uses
+    /// [`Error::to_wire`], which encodes the `io::ErrorKind` for I/O
+    /// errors so the client rebuilds the same typed error, not a
+    /// stringly-typed shadow of it.
     pub fn from_error(e: &Error) -> Response {
-        Response::Err {
-            code: e.wire_code(),
-            message: e.to_string(),
-        }
+        let (code, message) = e.to_wire();
+        Response::Err { code, message }
     }
 
     /// If this is an ERR response, the typed error it carries.
@@ -518,6 +547,7 @@ mod tests {
         round_trip_req(Request::Cancel { cursor: 1 });
         round_trip_req(Request::Close { stmt: 2 });
         round_trip_req(Request::Quit);
+        round_trip_req(Request::CancelQuery { session: u64::MAX });
     }
 
     #[test]
@@ -525,6 +555,7 @@ mod tests {
         round_trip_resp(Response::HelloOk {
             version: 1,
             batch_rows: 1024,
+            session: 42,
         });
         round_trip_resp(Response::Cursor {
             id: 3,
@@ -580,6 +611,8 @@ mod tests {
             result_cache_subsumed_hits: 19,
             result_cache_misses: 20,
             result_cache_evictions: 21,
+            queries_cancelled: 22,
+            queries_timed_out: 23,
         };
         round_trip_resp(Response::Stats(s));
     }
@@ -598,6 +631,44 @@ mod tests {
         let resp = Response::from_error(&Error::busy("queue full"));
         let back = Response::decode(&resp.encode()).unwrap().into_error();
         assert!(matches!(back, Err(Error::Busy(_))));
+    }
+
+    #[test]
+    fn cancelled_and_timeout_cross_the_wire_typed() {
+        for (err, want) in [
+            (Error::cancelled("query cancelled"), 12u16),
+            (Error::timeout("deadline exceeded"), 13u16),
+        ] {
+            let resp = Response::from_error(&err);
+            if let Response::Err { code, .. } = &resp {
+                assert_eq!(*code, want);
+            } else {
+                panic!("expected ERR");
+            }
+            let back = Response::decode(&resp.encode()).unwrap().into_error();
+            match want {
+                12 => assert!(matches!(back, Err(Error::Cancelled(_)))),
+                _ => assert!(matches!(back, Err(Error::Timeout(_)))),
+            }
+        }
+    }
+
+    #[test]
+    fn io_error_kind_survives_err_response() {
+        let err = Error::Io(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            "data.csv missing",
+        ));
+        let back = Response::decode(&Response::from_error(&err).encode())
+            .unwrap()
+            .into_error();
+        match back {
+            Err(Error::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::NotFound);
+                assert!(e.to_string().contains("data.csv missing"));
+            }
+            other => panic!("expected Io error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -11,18 +11,18 @@
 //! typed `BUSY` error frame instead of silently queueing unbounded work
 //! (the `busy_rejections` counter records each refusal).
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use nodb_core::Engine;
-use nodb_types::{Error, Result};
+use nodb_types::{CancelToken, Error, Result};
 
-use crate::conn::{Conn, Flow};
+use crate::conn::{Conn, ConnCtx, Flow};
 use crate::framing::{read_frame, write_frame};
 use crate::protocol::{Request, Response, PROTOCOL_VERSION};
 
@@ -41,6 +41,13 @@ pub struct ServerConfig {
     /// A connection with no request for this long is closed. Also bounds
     /// how long a graceful shutdown waits for a silent client.
     pub idle_timeout: Duration,
+    /// Wall-clock deadline applied to every `QUERY`/`EXECUTE` this
+    /// server runs. A query past its deadline aborts mid-pipeline
+    /// (within one morsel) and answers `ERR` with
+    /// [`Error::Timeout`](nodb_types::Error::Timeout); the connection
+    /// stays usable. `None` (the default) lets queries run until they
+    /// finish, are cancelled, or the client disconnects.
+    pub query_deadline_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -50,6 +57,7 @@ impl Default for ServerConfig {
             max_queued: 32,
             batch_rows: 1024,
             idle_timeout: Duration::from_secs(30),
+            query_deadline_ms: None,
         }
     }
 }
@@ -63,6 +71,100 @@ const POLL_TICK: Duration = Duration::from_millis(50);
 /// cannot turn into unbounded thread creation.
 const MAX_REJECTORS: usize = 32;
 
+/// A query currently executing on some worker: its cancel token, plus a
+/// clone of the connection's socket so the watchdog can detect the
+/// client going away mid-query.
+struct Running {
+    token: CancelToken,
+    stream: Option<TcpStream>,
+}
+
+/// Registry of queries currently executing, keyed by session id. This is
+/// what makes a running scan *reachable* from outside its own (busy)
+/// connection: `CANCEL_QUERY` frames trip the token from another
+/// connection, and the watchdog thread trips it when the client's socket
+/// half-closes. Entries exist only while a `QUERY`/`EXECUTE` is on-CPU.
+pub(crate) struct Registry {
+    next_session: AtomicU64,
+    running: Mutex<HashMap<u64, Running>>,
+}
+
+impl Registry {
+    fn new() -> Registry {
+        Registry {
+            next_session: AtomicU64::new(0),
+            running: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn lock_running(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Running>> {
+        self.running.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    pub(crate) fn next_session_id(&self) -> u64 {
+        self.next_session.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Announce that `session` is about to run a query guarded by
+    /// `token`. `stream` (a clone of the connection socket) opts the
+    /// query into disconnect detection.
+    pub(crate) fn register(&self, session: u64, token: CancelToken, stream: Option<TcpStream>) {
+        self.lock_running()
+            .insert(session, Running { token, stream });
+    }
+
+    /// The query finished (either way); stop watching it.
+    pub(crate) fn deregister(&self, session: u64) {
+        self.lock_running().remove(&session);
+    }
+
+    /// Trip the cancel token of `session`'s in-flight query. Returns
+    /// whether a running query was found — `false` is not an error
+    /// (the query may have just finished; cancellation is racy).
+    pub(crate) fn cancel(&self, session: u64) -> bool {
+        match self.lock_running().get(&session) {
+            Some(r) => {
+                r.token.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// One watchdog sweep: peek every watched socket and cancel queries
+    /// whose client has gone away. Runs under the registry lock, so the
+    /// nonblocking toggle cannot race a register/deregister; the serving
+    /// worker never reads its socket while its query is registered, so
+    /// the toggle cannot race the request loop either (and `read_frame`
+    /// treats a stray `WouldBlock` before the first byte as an idle tick
+    /// anyway).
+    fn sweep_disconnects(&self) {
+        for r in self.lock_running().values() {
+            let Some(stream) = &r.stream else { continue };
+            if r.token.is_cancelled() {
+                continue;
+            }
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let mut probe = [0u8; 1];
+            let gone = match stream.peek(&mut probe) {
+                // EOF: the client half-closed while its query runs.
+                Ok(0) => true,
+                // Bytes waiting (a pipelined request) — still connected.
+                Ok(_) => false,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => false,
+                // Reset / aborted / any other socket failure.
+                Err(_) => true,
+            };
+            let _ = stream.set_nonblocking(false);
+            if gone {
+                r.token.cancel();
+            }
+        }
+    }
+}
+
 struct Shared {
     engine: Arc<Engine>,
     cfg: ServerConfig,
@@ -73,6 +175,8 @@ struct Shared {
     active: AtomicUsize,
     /// Rejection helper threads currently alive.
     rejectors: AtomicUsize,
+    /// Queries currently executing, for CANCEL_QUERY and the watchdog.
+    registry: Arc<Registry>,
 }
 
 impl Shared {
@@ -103,6 +207,7 @@ pub struct NodbServer {
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
 }
 
 impl NodbServer {
@@ -127,6 +232,7 @@ impl NodbServer {
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             rejectors: AtomicUsize::new(0),
+            registry: Arc::new(Registry::new()),
         });
         let workers = (0..shared.cfg.max_connections)
             .map(|i| {
@@ -144,11 +250,24 @@ impl NodbServer {
                 .spawn(move || accept_loop(shared, listener))
                 .expect("spawn accept thread")
         };
+        let watchdog = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("nodb-watchdog".to_owned())
+                .spawn(move || {
+                    while !shared.shutdown.load(Ordering::SeqCst) {
+                        std::thread::sleep(POLL_TICK);
+                        shared.registry.sweep_disconnects();
+                    }
+                })
+                .expect("spawn watchdog thread")
+        };
         Ok(NodbServer {
             shared,
             addr,
             accept: Some(accept),
             workers,
+            watchdog: Some(watchdog),
         })
     }
 
@@ -201,6 +320,9 @@ impl NodbServer {
             let _ = h.join();
         }
         for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.watchdog.take() {
             let _ = h.join();
         }
         // Anything admitted but never picked up: refuse, don't strand.
@@ -290,12 +412,23 @@ fn serve_conn(shared: &Shared, mut stream: TcpStream) {
         return;
     }
     let counters = shared.engine.counters();
+    let session_id = shared.registry.next_session_id();
+    let ctx = ConnCtx {
+        registry: Arc::clone(&shared.registry),
+        session_id,
+        // A clone of the socket lets the watchdog peek for half-closed
+        // clients while a query runs. Best-effort: without it the query
+        // still runs, just without disconnect detection.
+        stream: stream.try_clone().ok(),
+        query_deadline: shared.cfg.query_deadline_ms.map(Duration::from_millis),
+    };
     let mut conn = Conn::new(
         shared
             .engine
             .session()
             .with_batch_size(shared.cfg.batch_rows),
         shared.cfg.batch_rows,
+        ctx,
     );
     let mut shook_hands = false;
     let mut last_activity = Instant::now();
@@ -357,6 +490,7 @@ fn serve_conn(shared: &Shared, mut stream: TcpStream) {
                     Response::HelloOk {
                         version: PROTOCOL_VERSION,
                         batch_rows: shared.cfg.batch_rows as u32,
+                        session: session_id,
                     }
                 }
                 Request::Hello { version } => Response::from_error(&Error::protocol(format!(

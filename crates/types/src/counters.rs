@@ -69,6 +69,11 @@ pub struct WorkCounters {
     /// Entries evicted from the result cache to respect its byte budget
     /// or entry cap.
     pub result_cache_evictions: AtomicU64,
+    /// Queries aborted by an explicit cancel request (CANCEL over the
+    /// wire, client disconnect, or an in-process token fired by a caller).
+    pub queries_cancelled: AtomicU64,
+    /// Queries aborted because their deadline expired.
+    pub queries_timed_out: AtomicU64,
 }
 
 impl WorkCounters {
@@ -183,6 +188,16 @@ impl WorkCounters {
         self.result_cache_evictions.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record one cancelled query.
+    pub fn add_query_cancelled(&self) {
+        self.queries_cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one timed-out query.
+    pub fn add_query_timed_out(&self) {
+        self.queries_timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Capture the current values.
     pub fn snapshot(&self) -> CountersSnapshot {
         CountersSnapshot {
@@ -207,6 +222,8 @@ impl WorkCounters {
             result_cache_subsumed_hits: self.result_cache_subsumed_hits.load(Ordering::Relaxed),
             result_cache_misses: self.result_cache_misses.load(Ordering::Relaxed),
             result_cache_evictions: self.result_cache_evictions.load(Ordering::Relaxed),
+            queries_cancelled: self.queries_cancelled.load(Ordering::Relaxed),
+            queries_timed_out: self.queries_timed_out.load(Ordering::Relaxed),
         }
     }
 
@@ -233,6 +250,8 @@ impl WorkCounters {
         self.result_cache_subsumed_hits.store(0, Ordering::Relaxed);
         self.result_cache_misses.store(0, Ordering::Relaxed);
         self.result_cache_evictions.store(0, Ordering::Relaxed);
+        self.queries_cancelled.store(0, Ordering::Relaxed);
+        self.queries_timed_out.store(0, Ordering::Relaxed);
     }
 }
 
@@ -281,6 +300,10 @@ pub struct CountersSnapshot {
     pub result_cache_misses: u64,
     /// See [`WorkCounters::result_cache_evictions`].
     pub result_cache_evictions: u64,
+    /// See [`WorkCounters::queries_cancelled`].
+    pub queries_cancelled: u64,
+    /// See [`WorkCounters::queries_timed_out`].
+    pub queries_timed_out: u64,
 }
 
 impl CountersSnapshot {
@@ -331,6 +354,12 @@ impl CountersSnapshot {
             result_cache_evictions: self
                 .result_cache_evictions
                 .saturating_sub(earlier.result_cache_evictions),
+            queries_cancelled: self
+                .queries_cancelled
+                .saturating_sub(earlier.queries_cancelled),
+            queries_timed_out: self
+                .queries_timed_out
+                .saturating_sub(earlier.queries_timed_out),
         }
     }
 }
@@ -339,7 +368,7 @@ impl fmt::Display for CountersSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "read={}B written={}B rows_tok={} fields_tok={} parsed={} trips={} abandoned={} evicted={} plan_hits={} plan_misses={} morsels={} par_pipelines={} fused_proj={} fused_joins={} conns={} reqs={} busy={} rc_hits={} rc_subsumed={} rc_misses={} rc_evicted={}",
+            "read={}B written={}B rows_tok={} fields_tok={} parsed={} trips={} abandoned={} evicted={} plan_hits={} plan_misses={} morsels={} par_pipelines={} fused_proj={} fused_joins={} conns={} reqs={} busy={} rc_hits={} rc_subsumed={} rc_misses={} rc_evicted={} cancelled={} timed_out={}",
             self.bytes_read,
             self.bytes_written,
             self.rows_tokenized,
@@ -361,6 +390,8 @@ impl fmt::Display for CountersSnapshot {
             self.result_cache_subsumed_hits,
             self.result_cache_misses,
             self.result_cache_evictions,
+            self.queries_cancelled,
+            self.queries_timed_out,
         )
     }
 }

@@ -42,6 +42,15 @@ pub enum Error {
     /// A wire-protocol violation: bad magic, unknown opcode, truncated or
     /// oversized frame, version mismatch.
     Protocol(String),
+    /// The query was cancelled cooperatively (explicit CANCEL, client
+    /// disconnect) before it finished. State touched by the cancelled
+    /// query is untouched or consistently loaded — never partial.
+    Cancelled(String),
+    /// The query's deadline expired before it finished. Same consistency
+    /// guarantee as [`Error::Cancelled`]; the distinct variant lets
+    /// clients treat deadline expiry (retry with a longer budget) apart
+    /// from operator cancellation (don't retry).
+    Timeout(String),
 }
 
 impl fmt::Display for Error {
@@ -58,6 +67,8 @@ impl fmt::Display for Error {
             Error::FileChanged(m) => write!(f, "raw file changed: {m}"),
             Error::Busy(m) => write!(f, "server busy: {m}"),
             Error::Protocol(m) => write!(f, "protocol error: {m}"),
+            Error::Cancelled(m) => write!(f, "cancelled: {m}"),
+            Error::Timeout(m) => write!(f, "timeout: {m}"),
         }
     }
 }
@@ -103,6 +114,16 @@ impl Error {
         Error::Protocol(msg.into())
     }
 
+    /// Shorthand constructor for cancellation errors.
+    pub fn cancelled(msg: impl Into<String>) -> Self {
+        Error::Cancelled(msg.into())
+    }
+
+    /// Shorthand constructor for deadline-expiry errors.
+    pub fn timeout(msg: impl Into<String>) -> Self {
+        Error::Timeout(msg.into())
+    }
+
     /// Stable numeric code identifying the variant on the wire.
     ///
     /// The server sends `(wire_code, message)` in its ERR frame and the
@@ -123,7 +144,70 @@ impl Error {
             Error::FileChanged(_) => 9,
             Error::Busy(_) => 10,
             Error::Protocol(_) => 11,
+            Error::Cancelled(_) => 12,
+            Error::Timeout(_) => 13,
         }
+    }
+
+    /// Encode for the wire: `(wire_code, message)`. The message is the
+    /// variant's *inner* text (the client re-adds the category when it
+    /// displays the reconstructed error, so sending `to_string()` would
+    /// double the prefix). For [`Error::Io`] the [`std::io::ErrorKind`]
+    /// is carried as a `Kind|message` prefix so [`Error::from_wire`] can
+    /// round-trip more than `ErrorKind::Other`.
+    pub fn to_wire(&self) -> (u16, String) {
+        let msg = match self {
+            Error::Io(e) => format!("{:?}|{e}", e.kind()),
+            Error::Parse(m)
+            | Error::Schema(m)
+            | Error::Sql(m)
+            | Error::Plan(m)
+            | Error::Exec(m)
+            | Error::Unsupported(m)
+            | Error::OutOfBudget(m)
+            | Error::FileChanged(m)
+            | Error::Busy(m)
+            | Error::Protocol(m)
+            | Error::Cancelled(m)
+            | Error::Timeout(m) => m.clone(),
+        };
+        (self.wire_code(), msg)
+    }
+
+    /// Parse a `Kind|message` IO payload produced by [`Error::to_wire`].
+    /// Unknown or absent kind names (an older/newer peer) degrade to
+    /// [`std::io::ErrorKind::Other`] with the full message preserved.
+    fn io_from_wire(msg: String) -> std::io::Error {
+        use std::io::ErrorKind::*;
+        if let Some((kind_name, rest)) = msg.split_once('|') {
+            let kind = match kind_name {
+                "NotFound" => Some(NotFound),
+                "PermissionDenied" => Some(PermissionDenied),
+                "ConnectionRefused" => Some(ConnectionRefused),
+                "ConnectionReset" => Some(ConnectionReset),
+                "ConnectionAborted" => Some(ConnectionAborted),
+                "NotConnected" => Some(NotConnected),
+                "AddrInUse" => Some(AddrInUse),
+                "AddrNotAvailable" => Some(AddrNotAvailable),
+                "BrokenPipe" => Some(BrokenPipe),
+                "AlreadyExists" => Some(AlreadyExists),
+                "WouldBlock" => Some(WouldBlock),
+                "InvalidInput" => Some(InvalidInput),
+                "InvalidData" => Some(InvalidData),
+                "TimedOut" => Some(TimedOut),
+                "WriteZero" => Some(WriteZero),
+                "Interrupted" => Some(Interrupted),
+                "Unsupported" => Some(Unsupported),
+                "UnexpectedEof" => Some(UnexpectedEof),
+                "OutOfMemory" => Some(OutOfMemory),
+                "Other" => Some(Other),
+                _ => None,
+            };
+            if let Some(kind) = kind {
+                return std::io::Error::new(kind, rest.to_owned());
+            }
+        }
+        std::io::Error::other(msg)
     }
 
     /// Rebuild a typed error from a wire `(code, message)` pair. Unknown
@@ -131,7 +215,7 @@ impl Error {
     /// being dropped.
     pub fn from_wire(code: u16, msg: String) -> Error {
         match code {
-            1 => Error::Io(std::io::Error::other(msg)),
+            1 => Error::Io(Error::io_from_wire(msg)),
             2 => Error::Parse(msg),
             3 => Error::Schema(msg),
             4 => Error::Sql(msg),
@@ -142,6 +226,8 @@ impl Error {
             9 => Error::FileChanged(msg),
             10 => Error::Busy(msg),
             11 => Error::Protocol(msg),
+            12 => Error::Cancelled(msg),
+            13 => Error::Timeout(msg),
             other => Error::Protocol(format!("unknown error code {other}: {msg}")),
         }
     }
@@ -186,18 +272,65 @@ mod tests {
             Error::FileChanged("x".into()),
             Error::Busy("x".into()),
             Error::Protocol("x".into()),
+            Error::Cancelled("x".into()),
+            Error::Timeout("x".into()),
         ];
         let mut seen = std::collections::BTreeSet::new();
         for e in all {
-            let code = e.wire_code();
+            let (code, msg) = e.to_wire();
             assert!(seen.insert(code), "duplicate wire code {code}");
-            let back = Error::from_wire(code, "x".into());
+            let back = Error::from_wire(code, msg);
             assert_eq!(
                 std::mem::discriminant(&back),
                 std::mem::discriminant(&e),
                 "code {code} did not round-trip"
             );
         }
+    }
+
+    #[test]
+    fn io_error_kind_round_trips_the_wire() {
+        for kind in [
+            std::io::ErrorKind::NotFound,
+            std::io::ErrorKind::PermissionDenied,
+            std::io::ErrorKind::UnexpectedEof,
+            std::io::ErrorKind::BrokenPipe,
+        ] {
+            let e = Error::Io(std::io::Error::new(kind, "the file vanished"));
+            let (code, msg) = e.to_wire();
+            match Error::from_wire(code, msg) {
+                Error::Io(io) => {
+                    assert_eq!(io.kind(), kind);
+                    assert!(io.to_string().contains("the file vanished"));
+                }
+                other => panic!("expected Io, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn io_payload_without_kind_degrades_to_other() {
+        match Error::from_wire(1, "no pipe here".into()) {
+            Error::Io(io) => {
+                assert_eq!(io.kind(), std::io::ErrorKind::Other);
+                assert!(io.to_string().contains("no pipe here"));
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
+        // An unknown kind name keeps the whole message.
+        match Error::from_wire(1, "FutureKind|details".into()) {
+            Error::Io(io) => assert!(io.to_string().contains("FutureKind|details")),
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_io_wire_messages_are_inner_text() {
+        let (code, msg) = Error::parse("row 7 bad").to_wire();
+        assert_eq!(code, 2);
+        assert_eq!(msg, "row 7 bad", "no category prefix on the wire");
+        let back = Error::from_wire(code, msg);
+        assert_eq!(back.to_string(), "parse error: row 7 bad");
     }
 
     #[test]

@@ -18,17 +18,27 @@
 //!   every parallel pool (tokenizer morsels, post-load operator morsels)
 //!   schedules through, and the [`MorselBatch`] unit of work the fused
 //!   cold pipeline passes from the tokenizer (`nodb-rawcsv`) to the
-//!   operators (`nodb-exec`).
+//!   operators (`nodb-exec`),
+//! * [`cancel`] — cooperative query cancellation: a [`CancelToken`]
+//!   installed ambiently per thread via [`CancelScope`], polled by the
+//!   morsel driver at every steal and by serial loops via
+//!   [`CancelCheck`],
+//! * [`failpoints`] — a std-only fault-injection registry (zero-cost
+//!   when disarmed) used by robustness tests to inject errors and delays
+//!   mid-pipeline.
 
+pub mod cancel;
 pub mod column;
 pub mod counters;
 pub mod error;
+pub mod failpoints;
 pub mod interval;
 pub mod morsel;
 pub mod predicate;
 pub mod schema;
 pub mod value;
 
+pub use cancel::{CancelCheck, CancelScope, CancelToken};
 pub use column::ColumnData;
 pub use counters::{CountersSnapshot, WorkCounters};
 pub use error::{Error, Result};

@@ -23,10 +23,18 @@
 //! Error semantics: the first `step` error wins; every other worker stops
 //! at its next steal, `flush` still runs for each started worker, and the
 //! winning error is returned.
+//!
+//! Cancellation: the driver captures the *calling thread's* ambient
+//! [`CancelToken`](crate::cancel::CancelToken) (installed by
+//! `CancelScope` at a query entry point) and polls it before every steal
+//! through the same first-error-wins machinery, so a CANCEL, an expired
+//! deadline or a detected client disconnect stops every worker within one
+//! morsel and surfaces as `Error::Cancelled` / `Error::Timeout`.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use crate::cancel;
 use crate::column::ColumnData;
 use crate::error::{Error, Result};
 
@@ -100,12 +108,33 @@ where
     let next = AtomicUsize::new(0);
     let failed = AtomicBool::new(false);
     let failure: Mutex<Option<Error>> = Mutex::new(None);
+    // Capture the caller's ambient token here, on the installing thread:
+    // stealing workers run on scope threads with no thread-local scope of
+    // their own.
+    let token = cancel::current();
+
+    // First error wins; a poisoned lock (a step panicked on another
+    // worker while storing its error) must not turn into a second panic
+    // here — recover the inner value and keep the earliest error.
+    let record_failure = |e: Error| {
+        let mut slot = failure.lock().unwrap_or_else(|p| p.into_inner());
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        failed.store(true, Ordering::Relaxed);
+    };
 
     let run_worker = |worker: usize| {
         let mut state = init(worker);
         loop {
             if failed.load(Ordering::Relaxed) {
                 break;
+            }
+            if let Some(t) = &token {
+                if let Err(e) = t.check() {
+                    record_failure(e);
+                    break;
+                }
             }
             let index = next.fetch_add(1, Ordering::Relaxed);
             if index >= n_morsels {
@@ -117,8 +146,7 @@ where
                 hi: ((index + 1) * per_morsel).min(n_items),
             };
             if let Err(e) = step(&mut state, worker, range) {
-                *failure.lock().expect("failure mutex") = Some(e);
-                failed.store(true, Ordering::Relaxed);
+                record_failure(e);
                 break;
             }
         }
@@ -141,7 +169,7 @@ where
         .expect("morsel scope");
     }
 
-    match failure.into_inner().expect("failure mutex") {
+    match failure.into_inner().unwrap_or_else(|p| p.into_inner()) {
         Some(e) => Err(e),
         None => Ok(()),
     }
@@ -230,6 +258,67 @@ mod tests {
         )
         .unwrap();
         assert_eq!(order.into_inner().unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ambient_cancel_stops_all_workers_within_a_morsel() {
+        use crate::cancel::{CancelScope, CancelToken};
+        let token = CancelToken::new();
+        let _guard = CancelScope::enter(token.clone());
+        let processed = AtomicU64::new(0);
+        let err = drive_morsels(
+            10_000,
+            10,
+            4,
+            |_w| (),
+            |_s, _w, r| {
+                processed.fetch_add(1, Ordering::Relaxed);
+                if r.index == 3 {
+                    token.cancel();
+                }
+                Ok(())
+            },
+            |_s| {},
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::Cancelled(_)), "got {err:?}");
+        // Each of the 4 workers finishes at most the morsel it was on
+        // when the flag flipped — nowhere near the 1000-morsel total.
+        assert!(
+            processed.load(Ordering::Relaxed) < 100,
+            "workers kept stealing after cancel: {} morsels",
+            processed.load(Ordering::Relaxed)
+        );
+    }
+
+    #[test]
+    fn expired_deadline_surfaces_timeout_from_driver() {
+        use crate::cancel::{CancelScope, CancelToken};
+        use std::time::{Duration, Instant};
+        let token = CancelToken::new();
+        token.set_deadline(Instant::now() - Duration::from_millis(1));
+        let _guard = CancelScope::enter(token);
+        let err = drive_morsels(100, 10, 2, |_w| (), |_s, _w, _r| Ok(()), |_s| {}).unwrap_err();
+        assert!(matches!(err, Error::Timeout(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn no_ambient_token_runs_to_completion() {
+        // Sanity for the common path: nothing installed, nothing cancels.
+        let n = AtomicU64::new(0);
+        drive_morsels(
+            100,
+            10,
+            4,
+            |_w| (),
+            |_s, _w, _r| {
+                n.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            },
+            |_s| {},
+        )
+        .unwrap();
+        assert_eq!(n.load(Ordering::Relaxed), 10);
     }
 
     #[test]

@@ -37,9 +37,10 @@ static REPORTS: Mutex<Vec<Report>> = Mutex::new(Vec::new());
 /// ```
 ///
 /// Besides raw ns/op per benchmark, any slow/fast name pair —
-/// `<base>/serial` + `<base>/parallel`, `<base>/miss` + `<base>/hit`, or
-/// `<base>/rescan` + `<base>/cached` — also yields a derived `speedups`
-/// entry (slow ÷ fast): multi-core and cache speedups tracked across PRs.
+/// `<base>/serial` + `<base>/parallel`, `<base>/miss` + `<base>/hit`,
+/// `<base>/rescan` + `<base>/cached`, or `<base>/off` + `<base>/on` —
+/// also yields a derived `speedups` entry (slow ÷ fast): multi-core,
+/// cache and overhead ratios tracked across PRs.
 pub fn write_json_reports() {
     let Ok(path) = std::env::var("NODB_BENCH_JSON") else {
         return;
@@ -73,10 +74,11 @@ pub fn write_json_reports() {
         ));
     }
     out.push_str("  ],\n  \"speedups\": {\n");
-    const PAIRINGS: [(&str, &str); 3] = [
+    const PAIRINGS: [(&str, &str); 4] = [
         ("/serial", "/parallel"),
         ("/miss", "/hit"),
         ("/rescan", "/cached"),
+        ("/off", "/on"),
     ];
     let pairs: Vec<(String, f64)> = reports
         .iter()

@@ -3,14 +3,20 @@
 //! ```text
 //! nodb-client ADDR SQL [SQL ...]
 //! nodb-client ADDR --stats
+//! nodb-client ADDR --cancel SESSION
 //! ```
 //!
 //! Each statement runs in order on one connection; results are printed
 //! as CSV (header row of output labels, then data rows), statements
-//! separated by a blank line. `--stats` prints the server's work-counter
-//! snapshot followed by a `CACHE` row breaking out the result-cache
-//! counters. Exit status is non-zero on any error — including a typed
-//! BUSY refusal when the server's admission queue is full.
+//! separated by a blank line. On connect the session id is announced on
+//! stderr (`# session N`) so scripts can aim `--cancel` at it. `--stats`
+//! prints the server's work-counter snapshot followed by a `CACHE` row
+//! breaking out the result-cache counters. `--cancel SESSION` aborts the
+//! query currently running on another connection's session — its query
+//! fails with a typed `cancelled` error within one morsel and its
+//! connection stays usable. Exit status is non-zero on any error —
+//! including a typed BUSY refusal when the server's admission queue is
+//! full.
 
 use nodb::{Client, Value};
 
@@ -19,7 +25,10 @@ fn main() {
     let (addr, rest) = match args.split_first() {
         Some((addr, rest)) if !rest.is_empty() => (addr.clone(), rest.to_vec()),
         _ => {
-            eprintln!("usage: nodb-client ADDR SQL [SQL ...] | nodb-client ADDR --stats");
+            eprintln!(
+                "usage: nodb-client ADDR SQL [SQL ...] | nodb-client ADDR --stats \
+                 | nodb-client ADDR --cancel SESSION"
+            );
             std::process::exit(2);
         }
     };
@@ -31,6 +40,22 @@ fn main() {
             std::process::exit(1);
         }
     };
+    // Scripts cancelling a long query grab the victim's id from here.
+    eprintln!("# session {}", client.session_id());
+
+    if rest.len() == 2 && rest[0] == "--cancel" {
+        let session: u64 = rest[1].parse().unwrap_or_else(|_| {
+            eprintln!("invalid session id: {:?}", rest[1]);
+            std::process::exit(2);
+        });
+        if let Err(e) = client.cancel_query(session) {
+            eprintln!("cancel failed: {e}");
+            std::process::exit(1);
+        }
+        println!("cancelled session {session}");
+        let _ = client.quit();
+        return;
+    }
 
     if rest.len() == 1 && rest[0] == "--stats" {
         match client.stats() {

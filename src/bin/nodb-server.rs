@@ -3,7 +3,7 @@
 //! ```text
 //! nodb-server --data DIR [--listen ADDR] [--threads N]
 //!             [--max-connections N] [--max-queued N] [--batch-rows N]
-//!             [--result-cache-mb N]
+//!             [--result-cache-mb N] [--query-deadline-ms N]
 //! ```
 //!
 //! Every `*.csv` directly inside `DIR` is registered as a table named
@@ -20,7 +20,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: nodb-server --data DIR [--listen ADDR] [--threads N] \
          [--max-connections N] [--max-queued N] [--batch-rows N] \
-         [--result-cache-mb N]"
+         [--result-cache-mb N] [--query-deadline-ms N]"
     );
     std::process::exit(2);
 }
@@ -54,6 +54,10 @@ fn main() {
             "--result-cache-mb" => {
                 engine_cfg.result_cache_bytes =
                     parse(&value("--result-cache-mb"), "--result-cache-mb") * 1024 * 1024;
+            }
+            "--query-deadline-ms" => {
+                server_cfg.query_deadline_ms =
+                    Some(parse(&value("--query-deadline-ms"), "--query-deadline-ms") as u64);
             }
             "--help" | "-h" => usage(),
             other => {

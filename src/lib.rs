@@ -28,7 +28,9 @@
 //!   external sort + merge join).
 //!
 //! `docs/ARCHITECTURE.md` walks the end-to-end data flow; `docs/TUNING.md`
-//! documents every [`EngineConfig`] knob and work counter.
+//! documents every [`EngineConfig`] knob and work counter;
+//! `docs/ROBUSTNESS.md` covers cancellation, deadlines, client retry and
+//! the failpoint fault-injection harness.
 
 pub use nodb_baselines as baselines;
 pub use nodb_core as core;
@@ -43,8 +45,11 @@ pub use nodb_core::{
     BoundStatement, Engine, EngineConfig, KernelStrategy, LoadingStrategy, Prepared, QueryOutput,
     QueryStats, QueryStream, ResultCache, Session, TableInfo,
 };
-pub use nodb_server::{Client, NodbServer, RemoteCursor, RemoteStatement, ServerConfig};
+pub use nodb_server::{
+    Client, ConnectOptions, NodbServer, RemoteCursor, RemoteStatement, RetryPolicy, ServerConfig,
+};
 pub use nodb_store::RowBatch;
 pub use nodb_types::{
-    CountersSnapshot, DataType, Error, Field, Result, Schema, Value, WorkCounters,
+    CancelCheck, CancelScope, CancelToken, CountersSnapshot, DataType, Error, Field, Result,
+    Schema, Value, WorkCounters,
 };

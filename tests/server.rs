@@ -438,3 +438,54 @@ fn stats_reflect_server_work() {
     client.quit().unwrap();
     server.shutdown();
 }
+
+/// An opted-in `RetryPolicy` rides out a BUSY refusal: the first attempt
+/// is turned away by admission control, the retry (after the slot frees)
+/// lands, and the admitted connection works end to end. Without a
+/// policy, the same refusal surfaces immediately as `Error::Busy`.
+#[test]
+fn connect_retry_rides_out_busy_server() {
+    use nodb::{ConnectOptions, RetryPolicy};
+
+    let dir = common::test_dir("srv_retry");
+    let engine = engine_with_tables(&dir, 1);
+    let server = serve(
+        engine,
+        ServerConfig {
+            max_connections: 1,
+            max_queued: 0,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+
+    // One client fills the only slot.
+    let hog = Client::connect(addr).unwrap();
+
+    // No policy: typed BUSY right away.
+    assert!(matches!(Client::connect(addr), Err(Error::Busy(_))));
+
+    // Free the slot shortly; the retrying connect should outlast us.
+    let release = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(150));
+        hog.quit().unwrap();
+    });
+
+    let opts = ConnectOptions {
+        connect_timeout: Some(Duration::from_secs(2)),
+        retry: Some(RetryPolicy {
+            max_retries: 8,
+            initial_backoff: Duration::from_millis(40),
+            max_backoff: Duration::from_millis(200),
+            jitter_seed: 7,
+        }),
+        ..ConnectOptions::default()
+    };
+    let mut client = Client::connect_with(addr, &opts).unwrap();
+    release.join().unwrap();
+
+    let (_, rows) = client.query_all("select count(*) from r").unwrap();
+    assert_eq!(rows, vec![vec![Value::Int(2000)]]);
+    client.quit().unwrap();
+    server.shutdown();
+}
