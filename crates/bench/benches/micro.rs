@@ -851,13 +851,14 @@ fn bench_server(c: &mut Criterion) {
     server.shutdown();
 }
 
-/// Cancellation-overhead pair: the same hot grouped aggregation (the
-/// kernel with a per-row `CancelCheck` tick) with no ambient cancel
-/// token vs under an installed `CancelScope` whose token carries a live
-/// (far-future) deadline — the worst armed case, where every amortised
-/// poll also compares clocks. The `off` ÷ `on` ratio lands in the
-/// `speedups` section of `NODB_BENCH_JSON`; the cooperative checks are
-/// in budget while it stays within a couple of percent of 1.
+/// Governance-overhead pairs over the same hot grouped aggregation (the
+/// kernel with a per-row `CancelCheck` tick and a per-new-group memory
+/// charge): no ambient cancel token vs an installed `CancelScope` with
+/// a live (far-future) deadline, and no ambient memory guard vs an
+/// installed `MemoryScope` with an ample budget. The `off` ÷ `on`
+/// ratios land in the `speedups` section of `NODB_BENCH_JSON`; the
+/// cooperative checks and the metering are in budget while both stay
+/// within a few percent of 1.
 fn bench_robustness(c: &mut Criterion) {
     use nodb_types::{CancelScope, CancelToken};
 
@@ -892,6 +893,28 @@ fn bench_robustness(c: &mut Criterion) {
         let token = CancelToken::new();
         token.set_deadline(std::time::Instant::now() + std::time::Duration::from_secs(3600));
         let _scope = CancelScope::enter(token);
+        b.iter(|| {
+            let pos = filter_positions(&cols, n, &filter).unwrap();
+            group_aggregate(&cols, n, Some(&pos), &[0], &specs).unwrap()
+        })
+    });
+
+    // Memory-metering pair: the same kernel (whose group table charges
+    // per new group and whose parallel stages charge per morsel) with no
+    // ambient guard vs under an installed `MemoryScope` with an ample
+    // budget — every charge site takes the full metered path: the
+    // thread-local read, the guard CAS and the pool reservation.
+    g.bench_function("mem_guard_overhead/off", |b| {
+        b.iter(|| {
+            let pos = filter_positions(&cols, n, &filter).unwrap();
+            group_aggregate(&cols, n, Some(&pos), &[0], &specs).unwrap()
+        })
+    });
+    g.bench_function("mem_guard_overhead/on", |b| {
+        use nodb_types::resource::{MemoryGuard, MemoryPool, MemoryScope};
+        let pool = MemoryPool::new(Some(16 << 30));
+        let guard = MemoryGuard::new(Some(8 << 30), Some(pool));
+        let _scope = MemoryScope::enter(guard);
         b.iter(|| {
             let pos = filter_positions(&cols, n, &filter).unwrap();
             group_aggregate(&cols, n, Some(&pos), &[0], &specs).unwrap()

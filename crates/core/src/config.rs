@@ -141,6 +141,19 @@ pub struct EngineConfig {
     /// queries run until cancelled; a caller-set deadline always wins over
     /// this default.
     pub default_query_deadline_ms: Option<u64>,
+    /// Per-query memory budget for query-execution state (join build
+    /// tables, group tables, projection buffers, result-cache captures),
+    /// in bytes. A query whose charged allocations exceed this is shed
+    /// with [`Error::ResourceExhausted`](nodb_types::Error::ResourceExhausted)
+    /// (wire code 14) — its neighbours keep running. `None` (the
+    /// default) disables per-query metering.
+    pub query_mem_bytes: Option<usize>,
+    /// Engine-wide cap on the sum of all running queries' charged
+    /// execution state, in bytes. Before shedding, the engine runs its
+    /// degradation ladder: shrink the result cache, then evict the
+    /// adaptive store toward floor. `None` (the default) disables the
+    /// pool cap (peak usage is still tracked in `mem_reserved_peak`).
+    pub engine_mem_bytes: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -168,6 +181,8 @@ impl Default for EngineConfig {
             result_cache_bytes: 0,
             result_cache_max_entries: 1024,
             default_query_deadline_ms: None,
+            query_mem_bytes: None,
+            engine_mem_bytes: None,
         }
     }
 }
@@ -207,6 +222,8 @@ mod tests {
         assert!(c.join_min_rows > c.morsel_rows);
         assert_eq!(c.result_cache_bytes, 0, "result cache is opt-in");
         assert!(c.result_cache_max_entries > 0);
+        assert!(c.query_mem_bytes.is_none(), "memory metering is opt-in");
+        assert!(c.engine_mem_bytes.is_none());
     }
 
     #[test]

@@ -27,6 +27,7 @@ use nodb_exec::{
 };
 use nodb_sql::{OutputExpr, Plan, Statement};
 use nodb_store::persist;
+use nodb_types::resource::{self, MemoryGuard, MemoryPool, MemoryScope};
 use nodb_types::{
     ColumnData, Conjunction, CountersSnapshot, DataType, Error, Field, Result, Schema, Value,
     WorkCounters,
@@ -147,6 +148,13 @@ pub struct Engine {
     seq: AtomicU64,
     plan_cache: PlanCache,
     result_cache: ResultCache,
+    /// Engine-wide reservation pool for query-execution state; every
+    /// query's [`MemoryGuard`] reserves from it. Uncapped (but still
+    /// metering peaks) unless `engine_mem_bytes` is set.
+    mem_pool: MemoryPool,
+    /// One-shot latch for wiring the degradation-ladder reclaimer, which
+    /// needs a `Weak<Engine>` and so cannot be built in [`Engine::new`].
+    reclaimer_installed: std::sync::atomic::AtomicBool,
 }
 
 impl Engine {
@@ -165,6 +173,7 @@ impl Engine {
         cfg.morsel_rows = cfg.morsel_rows.max(1);
         let plan_cache = PlanCache::new(cfg.plan_cache_capacity);
         let result_cache = ResultCache::new(cfg.result_cache_bytes, cfg.result_cache_max_entries);
+        let mem_pool = MemoryPool::new(cfg.engine_mem_bytes);
         Engine {
             catalog: RwLock::new(Catalog::new()),
             cfg,
@@ -172,7 +181,74 @@ impl Engine {
             seq: AtomicU64::new(0),
             plan_cache,
             result_cache,
+            mem_pool,
+            reclaimer_installed: std::sync::atomic::AtomicBool::new(false),
         }
+    }
+
+    /// The engine-wide memory reservation pool (diagnostics: reserved
+    /// bytes, peak, cap).
+    pub fn memory_pool(&self) -> &MemoryPool {
+        &self.mem_pool
+    }
+
+    /// A fresh per-query allocation meter, or `None` when neither
+    /// `query_mem_bytes` nor `engine_mem_bytes` is configured (the
+    /// unmetered default costs nothing at charge sites).
+    pub fn memory_guard(&self) -> Option<MemoryGuard> {
+        if self.cfg.query_mem_bytes.is_none() && self.cfg.engine_mem_bytes.is_none() {
+            return None;
+        }
+        Some(MemoryGuard::new(
+            self.cfg.query_mem_bytes,
+            Some(self.mem_pool.clone()),
+        ))
+    }
+
+    /// Wire the pool's degradation ladder to this engine (idempotent).
+    /// Needs an `Arc` receiver for the `Weak` the reclaimer holds, so it
+    /// runs on first session creation rather than in [`Engine::new`]; an
+    /// engine used without an `Arc` simply sheds without the ladder.
+    fn ensure_reclaimer(self: &Arc<Self>) {
+        use std::sync::atomic::Ordering as O;
+        if self.reclaimer_installed.swap(true, O::SeqCst) {
+            return;
+        }
+        let weak = Arc::downgrade(self);
+        self.mem_pool.set_reclaimer(Box::new(move |need| {
+            weak.upgrade().map(|e| e.release_memory(need)).unwrap_or(0)
+        }));
+    }
+
+    /// The graceful-degradation ladder, run by the memory pool before any
+    /// query is shed (and on demand, e.g. by an operator): free at least
+    /// `target_bytes` of *cache* memory — first the result cache, then
+    /// the adaptive store's least-recently-used items table by table —
+    /// and return the bytes actually freed. Resident result tables are
+    /// never touched (they have no backing file to reload from).
+    pub fn release_memory(&self, target_bytes: usize) -> usize {
+        let mut freed = self.result_cache.bytes_used();
+        self.result_cache.clear();
+        if freed >= target_bytes {
+            return freed;
+        }
+        for name in self.table_names() {
+            let Ok(entry) = self.catalog.read().get(&name) else {
+                continue;
+            };
+            let mut e = entry.write();
+            if e.resident {
+                continue;
+            }
+            let used = e.store.bytes_used();
+            let still_needed = target_bytes - freed;
+            let goal = used.saturating_sub(still_needed);
+            freed += e.store.evict_to_budget(goal, &self.counters);
+            if freed >= target_bytes {
+                break;
+            }
+        }
+        freed
     }
 
     /// The engine result cache (diagnostics: entry count, bytes, clear).
@@ -183,6 +259,7 @@ impl Engine {
     /// A [`Session`] over this engine (sessions are cheap; make one per
     /// connection or exploration thread).
     pub fn session(self: &Arc<Self>) -> Session {
+        self.ensure_reclaimer();
         Session::new(Arc::clone(self))
     }
 
@@ -489,6 +566,15 @@ impl Engine {
                 plan.n_params
             )));
         }
+        // Memory governance: session entry points install the query's
+        // guard ambiently; self-install here covers direct embedded use
+        // (`current()` is already set on the guarded path, so this never
+        // double-meters).
+        let _mem_scope = if resource::current().is_none() {
+            self.memory_guard().map(MemoryScope::enter)
+        } else {
+            None
+        };
         // Result cache: consult before any loading work. On a miss this
         // also captures the schema epochs *before* execution, so a file
         // edit racing the query can only make the installed entry
@@ -552,6 +638,8 @@ impl Engine {
             }
         }
 
+        self.counters
+            .record_mem_reserved_peak(self.mem_pool.peak() as u64);
         Ok(self.stream_of(plan, batch_size, body, started, before))
     }
 
@@ -667,6 +755,11 @@ impl Engine {
         }
         let cache_rows = |rows: Vec<Vec<Value>>, evicted: &mut u64| -> StreamBody {
             if rows_bytes(&rows) <= self.result_cache.budget_bytes() {
+                // Capturing doubles the result's footprint (cache copy +
+                // streamed copy) — meter it before committing.
+                if resource::charge_current(rows_bytes(&rows)).is_err() {
+                    return StreamBody::Rows { rows, cursor: 0 };
+                }
                 let shared = Arc::new(rows);
                 *evicted += self.result_cache.insert_exact(
                     plan_fingerprint(plan),

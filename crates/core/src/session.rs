@@ -144,9 +144,18 @@ impl Session {
     }
 }
 
-/// Run `f` with `token` installed as the thread's ambient cancel token,
-/// applying the engine's default deadline (if any, and if the token has
-/// none) and bumping the cancelled/timed-out counters on a tripped exit.
+/// Run `f` with `token` installed as the thread's ambient cancel token
+/// and the engine's per-query memory guard (if metering is configured)
+/// as the ambient allocation meter, applying the engine's default
+/// deadline (if any, and if the token has none) and bumping the
+/// cancelled/timed-out/shed counters on a tripped exit.
+///
+/// This is also a panic-isolation boundary: a panic anywhere under `f`
+/// (planner, loader, operators) is caught and converted into a typed
+/// [`Error::Internal`], so one buggy query cannot take an embedding
+/// process — or the server's worker pool — down with it. Unwinding drops
+/// the scopes and the memory guard, returning the query's reservation to
+/// the engine pool.
 fn run_guarded<T>(
     engine: &Engine,
     token: &CancelToken,
@@ -155,11 +164,19 @@ fn run_guarded<T>(
     if let Some(ms) = engine.config().default_query_deadline_ms {
         token.set_deadline_if_unset(Instant::now() + Duration::from_millis(ms));
     }
-    let _scope = CancelScope::enter(token.clone());
-    let out = f();
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _scope = CancelScope::enter(token.clone());
+        let _mem = engine.memory_guard().map(nodb_types::MemoryScope::enter);
+        f()
+    }))
+    .unwrap_or_else(|payload| {
+        engine.counters().add_panic_contained();
+        Err(Error::from_panic("query execution", payload))
+    });
     match &out {
         Err(Error::Cancelled(_)) => engine.counters().add_query_cancelled(),
         Err(Error::Timeout(_)) => engine.counters().add_query_timed_out(),
+        Err(Error::ResourceExhausted(_)) => engine.counters().add_query_shed(),
         _ => {}
     }
     out

@@ -287,6 +287,14 @@ pub fn group_aggregate<C: Cols + ?Sized>(
     let mut groups: HashMap<GroupKey, usize> = HashMap::new();
     let mut order: Vec<(GroupKey, Vec<Accumulator>)> = Vec::new();
     let mut cancel_check = nodb_types::CancelCheck::new();
+    // Group tables grow with distinct keys, not input rows, so a
+    // runaway GROUP BY is metered here: one charge per *new group*
+    // against the ambient per-query budget — rows that hit an existing
+    // group pay nothing.
+    let group_entry_bytes = std::mem::size_of::<(GroupKey, Vec<Accumulator>)>()
+        + group_cols.len() * std::mem::size_of::<Value>()
+        + specs.len() * std::mem::size_of::<Accumulator>()
+        + std::mem::size_of::<(GroupKey, usize)>();
     let iter: Box<dyn Iterator<Item = usize>> = match positions {
         None => Box::new(0..n_rows),
         Some(pos) => Box::new(pos.iter().copied()),
@@ -303,6 +311,7 @@ pub fn group_aggregate<C: Cols + ?Sized>(
             Some(&s) => s,
             None => {
                 let s = order.len();
+                nodb_types::resource::charge_current(group_entry_bytes)?;
                 order.push((
                     key.clone(),
                     specs.iter().map(|sp| Accumulator::new(sp.func)).collect(),

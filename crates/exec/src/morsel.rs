@@ -38,6 +38,7 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Mutex;
 
+use nodb_types::resource::charge_current;
 use nodb_types::{
     drive_morsels, morsel_count, ColumnData, Conjunction, Error, MorselBatch, Result, Value,
 };
@@ -181,7 +182,9 @@ pub fn parallel_filter_positions<C: Cols + ?Sized + Sync>(
         return Ok((0..n_rows).collect());
     }
     let parts = run_morsels(n_rows, morsel_rows, threads, |_index, lo, hi| {
-        filter_positions_range(cols, lo, hi, conj)
+        let pos = filter_positions_range(cols, lo, hi, conj)?;
+        charge_current(pos.len() * std::mem::size_of::<usize>())?;
+        Ok(pos)
     })?;
     let total = parts.iter().map(Vec::len).sum();
     let mut out = Vec::with_capacity(total);
@@ -238,6 +241,21 @@ pub struct GroupPartial {
     /// group appeared.
     pub first_pos: u64,
 }
+
+/// Approximate heap bytes held by one [`GroupPartial`]: the struct itself,
+/// the key values, one accumulator per spec, and the hash-table slot that
+/// tracks it. Coarse by design — memory governance charges whole batches,
+/// not exact allocations.
+fn group_partial_bytes(group_cols: usize, n_specs: usize) -> usize {
+    std::mem::size_of::<GroupPartial>()
+        + group_cols * std::mem::size_of::<Value>()
+        + n_specs * std::mem::size_of::<Accumulator>()
+        + std::mem::size_of::<(GroupKey, usize)>()
+}
+
+/// Approximate heap bytes of one `(key, position)` join-build entry once it
+/// sits in a partition vector *and* its hash-table bucket.
+const JOIN_ENTRY_BYTES: usize = std::mem::size_of::<(i64, usize)>();
 
 /// Build grouped partial-aggregate states over the row range `[lo, hi)`:
 /// filter with `conj`, then fold each qualifying row into its group's
@@ -297,6 +315,10 @@ pub fn group_accumulate_range<C: Cols + ?Sized>(
             }
         }
     }
+    // Group tables grow with data (one entry per distinct key seen), so the
+    // morsel charges its table against the ambient memory budget — one call
+    // per morsel, not per row, to keep the metered overhead negligible.
+    charge_current(out.len() * group_partial_bytes(group_cols.len(), specs.len()))?;
     Ok(out)
 }
 
@@ -486,6 +508,7 @@ pub fn parallel_hash_join_positions(
 
     // Build phase 1: partition left morsels (parallel, order-preserving).
     let partitioned = run_morsels(ls.len(), morsel_rows, threads, |_index, lo, hi| {
+        charge_current((hi - lo) * JOIN_ENTRY_BYTES)?;
         let mut parts: Vec<Vec<(i64, usize)>> = vec![Vec::new(); p];
         for (i, &k) in ls[lo..hi].iter().enumerate() {
             parts[partition_of(k, p)].push((k, lo + i));
@@ -504,6 +527,7 @@ pub fn parallel_hash_join_positions(
     let part_entries = &part_entries;
     let tables: Vec<HashMap<i64, Vec<usize>>> = run_morsels(p, 1, threads, |_index, lo, _hi| {
         let entries = &part_entries[lo];
+        charge_current(entries.len() * 2 * JOIN_ENTRY_BYTES)?;
         let mut t: HashMap<i64, Vec<usize>> = HashMap::with_capacity(entries.len());
         for &(k, i) in entries {
             t.entry(k).or_default().push(i);
@@ -523,6 +547,7 @@ pub fn parallel_hash_join_positions(
                 }
             }
         }
+        charge_current(out.len() * std::mem::size_of::<(usize, usize)>())?;
         Ok(out)
     })?;
     let total = chunks.iter().map(Vec::len).sum();
@@ -591,6 +616,12 @@ pub fn cold_project_morsel(
             rows.push(row);
         }
     }
+    // Projection output grows with qualifying rows: charge the emitted rows
+    // and positions against the ambient budget, once per morsel.
+    let row_bytes = rows.first().map_or(0, |r| {
+        std::mem::size_of::<Vec<Value>>() + r.len() * std::mem::size_of::<Value>()
+    });
+    charge_current(local.len() * std::mem::size_of::<usize>() + rows.len() * row_bytes)?;
     let positions = local.into_iter().map(|i| batch.first_row + i).collect();
     Ok(ProjectPartial { positions, rows })
 }
@@ -671,9 +702,15 @@ pub fn build_cold_join_tables(
             part_entries[pid].append(&mut entries);
         }
     }
+    // The build side was accumulated on scan workers without metering
+    // (`cold_join_build_morsel` is infallible); charge the merged entries
+    // here, before the tables double them.
+    let total_entries: usize = part_entries.iter().map(Vec::len).sum();
+    charge_current(total_entries * JOIN_ENTRY_BYTES)?;
     let part_entries = &part_entries;
     let tables = run_morsels(partitions, 1, threads, |_index, lo, _hi| {
         let entries = &part_entries[lo];
+        charge_current(entries.len() * 2 * JOIN_ENTRY_BYTES)?;
         let mut t: HashMap<i64, Vec<usize>> = HashMap::with_capacity(entries.len());
         for &(k, i) in entries {
             t.entry(k).or_default().push(i);
@@ -914,6 +951,36 @@ mod tests {
         let serial = hash_join_positions(&left, &right).unwrap();
         let par = parallel_hash_join_positions(&left, &right, 4, 2).unwrap();
         assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn tight_memory_budget_sheds_parallel_join() {
+        use nodb_types::resource::{MemoryGuard, MemoryScope};
+        let n = 4000;
+        let left = ColumnData::from_i64((0..n as i64).map(|i| (i * 13) % 257).collect());
+        let right = ColumnData::from_i64((0..n as i64).map(|i| (i * 7) % 300).collect());
+        // A budget far below the build-side footprint must surface as the
+        // typed shed error from inside the metered join, not a panic/abort.
+        let guard = MemoryGuard::new(Some(1024), None);
+        let _scope = MemoryScope::enter(guard);
+        let err = parallel_hash_join_positions(&left, &right, 4, 500).unwrap_err();
+        assert!(
+            matches!(err, Error::ResourceExhausted(_)),
+            "expected ResourceExhausted, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn ample_memory_budget_leaves_results_identical() {
+        use nodb_types::resource::{MemoryGuard, MemoryScope};
+        let (cols, n) = table(5000);
+        let conj = Conjunction::new(vec![ColPred::new(0, CmpOp::Ge, 200i64)]);
+        let serial = filter_positions(&cols, n, &conj).unwrap();
+        let guard = MemoryGuard::new(Some(64 << 20), None);
+        let _scope = MemoryScope::enter(guard.clone());
+        let par = parallel_filter_positions(&cols, n, &conj, 4, 333).unwrap();
+        assert_eq!(par, serial);
+        assert!(guard.used() > 0, "metered run should have charged bytes");
     }
 
     #[test]

@@ -233,13 +233,22 @@ impl SegmentCatalog {
                 let mut handles = Vec::new();
                 for (i, &(lo, hi)) in ranges.iter().enumerate() {
                     let work = &chunk_work;
-                    handles.push((i, s.spawn(move |_| work(lo, hi))));
+                    handles.push((
+                        i,
+                        s.spawn(move |_| {
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(lo, hi)))
+                                .unwrap_or_else(|p| Err(Error::from_panic("split worker", p)))
+                        }),
+                    ));
                 }
                 for (i, h) in handles {
-                    outs[i] = Some(h.join().expect("split worker panicked"));
+                    outs[i] = Some(
+                        h.join()
+                            .unwrap_or_else(|p| Err(Error::from_panic("split worker", p))),
+                    );
                 }
             })
-            .expect("split scope");
+            .map_err(|p| Error::from_panic("split scope", p))?;
             outs.into_iter()
                 .map(|o| o.expect("all chunks processed"))
                 .collect::<Result<Vec<_>>>()?

@@ -172,17 +172,31 @@ pub fn scan_bytes(
             .collect();
         let mut outs: Vec<Option<Result<ChunkOut>>> = Vec::new();
         outs.resize_with(ranges.len(), || None);
+        // A panicking scan worker becomes a typed internal error on its
+        // own slot — never a process abort; the surrounding scope join
+        // then cannot observe a panic.
         crossbeam::thread::scope(|s| {
             let mut handles = Vec::new();
             for (i, &(lo, hi)) in ranges.iter().enumerate() {
                 let ctx = &ctx;
-                handles.push((i, s.spawn(move |_| scan_row_range(ctx, lo, hi))));
+                handles.push((
+                    i,
+                    s.spawn(move |_| {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            scan_row_range(ctx, lo, hi)
+                        }))
+                        .unwrap_or_else(|p| Err(Error::from_panic("tokenizer worker", p)))
+                    }),
+                ));
             }
             for (i, h) in handles {
-                outs[i] = Some(h.join().expect("tokenizer worker panicked"));
+                outs[i] = Some(
+                    h.join()
+                        .unwrap_or_else(|p| Err(Error::from_panic("tokenizer worker", p))),
+                );
             }
         })
-        .expect("tokenizer scope");
+        .map_err(|p| Error::from_panic("tokenizer scope", p))?;
         outs.into_iter()
             .map(|o| o.expect("all chunks scanned"))
             .collect::<Result<Vec<_>>>()?
@@ -912,6 +926,7 @@ pub fn find_row_starts(
             let chunk = bytes.len().div_ceil(t);
             let mut parts: Vec<Vec<u64>> = Vec::new();
             parts.resize_with(t, Vec::new);
+            let mut panic_err: Option<Error> = None;
             crossbeam::thread::scope(|s| {
                 let mut handles = Vec::new();
                 for (i, part) in parts.iter_mut().enumerate() {
@@ -927,10 +942,18 @@ pub fn find_row_starts(
                     }));
                 }
                 for h in handles {
-                    h.join().expect("phase-1 worker panicked");
+                    // First panic wins as a typed internal error; the
+                    // remaining workers still join so the scope exits
+                    // cleanly and the pool never wedges.
+                    if let Err(p) = h.join() {
+                        panic_err.get_or_insert(Error::from_panic("phase-1 worker", p));
+                    }
                 }
             })
-            .expect("phase-1 scope");
+            .map_err(|p| Error::from_panic("phase-1 scope", p))?;
+            if let Some(e) = panic_err {
+                return Err(e);
+            }
             starts.push(0);
             for p in parts {
                 starts.extend(p);

@@ -102,9 +102,17 @@ impl ConnCtx {
         let watched = self.stream.as_ref().and_then(|s| s.try_clone().ok());
         self.registry
             .register(self.session_id, token.clone(), watched);
-        let out = f(&token);
-        self.registry.deregister(self.session_id);
-        out
+        // Deregister on every exit path — including a panic unwinding to
+        // the connection firewall — so a crashed query can never leave a
+        // stale registry entry for the watchdog to keep sweeping.
+        struct Deregister<'a>(&'a Registry, u64);
+        impl Drop for Deregister<'_> {
+            fn drop(&mut self) {
+                self.0.deregister(self.1);
+            }
+        }
+        let _dereg = Deregister(&self.registry, self.session_id);
+        f(&token)
     }
 }
 

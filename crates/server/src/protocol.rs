@@ -298,7 +298,7 @@ impl Request {
 
 /// Counter names paired with their snapshot values, in wire order. Kept
 /// in one place so encode and decode cannot drift apart.
-fn counter_fields(s: &CountersSnapshot) -> [(&'static str, u64); 23] {
+fn counter_fields(s: &CountersSnapshot) -> [(&'static str, u64); 26] {
     [
         ("bytes_read", s.bytes_read),
         ("bytes_written", s.bytes_written),
@@ -323,6 +323,9 @@ fn counter_fields(s: &CountersSnapshot) -> [(&'static str, u64); 23] {
         ("result_cache_evictions", s.result_cache_evictions),
         ("queries_cancelled", s.queries_cancelled),
         ("queries_timed_out", s.queries_timed_out),
+        ("queries_shed", s.queries_shed),
+        ("mem_reserved_peak", s.mem_reserved_peak),
+        ("panics_contained", s.panics_contained),
     ]
 }
 
@@ -351,6 +354,9 @@ fn set_counter_field(s: &mut CountersSnapshot, name: &str, v: u64) {
         "result_cache_evictions" => s.result_cache_evictions = v,
         "queries_cancelled" => s.queries_cancelled = v,
         "queries_timed_out" => s.queries_timed_out = v,
+        "queries_shed" => s.queries_shed = v,
+        "mem_reserved_peak" => s.mem_reserved_peak = v,
+        "panics_contained" => s.panics_contained = v,
         // A newer server may report counters this client predates.
         _ => {}
     }
@@ -613,6 +619,9 @@ mod tests {
             result_cache_evictions: 21,
             queries_cancelled: 22,
             queries_timed_out: 23,
+            queries_shed: 24,
+            mem_reserved_peak: 25,
+            panics_contained: 26,
         };
         round_trip_resp(Response::Stats(s));
     }

@@ -71,6 +71,11 @@ const POLL_TICK: Duration = Duration::from_millis(50);
 /// cannot turn into unbounded thread creation.
 const MAX_REJECTORS: usize = 32;
 
+/// Fraction of [`EngineConfig::engine_mem_bytes`](nodb_core::EngineConfig::engine_mem_bytes)
+/// at which the accept loop starts shedding new connections. Uncapped
+/// pools never report saturation.
+const MEM_ADMISSION_FRACTION: f64 = 0.95;
+
 /// A query currently executing on some worker: its cancel token, plus a
 /// clone of the connection's socket so the watchdog can detect the
 /// client going away mid-query.
@@ -187,12 +192,25 @@ impl Shared {
     /// before the client reads it. A single `read` call (not a frame
     /// loop) keeps the worst case at one 100ms timeout, so a peer that
     /// stalls mid-frame cannot pin the rejector.
-    fn busy_reject(&self, mut stream: TcpStream, why: &str) {
+    fn busy_reject(&self, stream: TcpStream, why: &str) {
+        self.reject(stream, &Error::busy(why));
+    }
+
+    /// Refuse `stream` because the engine's memory pool is near its cap:
+    /// same best-effort reply dance as [`Shared::busy_reject`], but the
+    /// typed error is `ResourceExhausted` — the client should back off,
+    /// not just retry a full queue.
+    fn shed_reject(&self, stream: TcpStream, why: &str) {
+        self.engine.counters().add_query_shed();
+        self.reject(stream, &Error::resource_exhausted(why));
+    }
+
+    fn reject(&self, mut stream: TcpStream, err: &Error) {
         self.engine.counters().add_busy_rejection();
         let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
         let mut hello = [0u8; 256];
         let _ = std::io::Read::read(&mut stream, &mut hello);
-        let frame = Response::from_error(&Error::busy(why)).encode();
+        let frame = Response::from_error(err).encode();
         let _ = write_frame(&mut stream, &frame);
         let _ = stream.flush();
         let _ = stream.shutdown(std::net::Shutdown::Write);
@@ -345,6 +363,27 @@ fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
             return;
         }
         let Ok(stream) = stream else { continue };
+        // Memory pressure feeds admission: when the engine pool sits
+        // within a few percent of its cap, refuse new connections with a
+        // typed shed error instead of admitting queries that would be
+        // refused allocation a moment later.
+        if shared
+            .engine
+            .memory_pool()
+            .saturated(MEM_ADMISSION_FRACTION)
+        {
+            if shared.rejectors.fetch_add(1, Ordering::SeqCst) < MAX_REJECTORS {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    shared.shed_reject(stream, "engine memory budget exhausted; retry later");
+                    shared.rejectors.fetch_sub(1, Ordering::SeqCst);
+                });
+            } else {
+                shared.rejectors.fetch_sub(1, Ordering::SeqCst);
+                shared.engine.counters().add_query_shed();
+            }
+            continue;
+        }
         let mut queue = shared.queue.lock().unwrap();
         let active = shared.active.load(Ordering::SeqCst);
         if active >= shared.cfg.max_connections && queue.len() >= shared.cfg.max_queued {
@@ -505,7 +544,19 @@ fn serve_conn(shared: &Shared, mut stream: TcpStream) {
             continue;
         }
         let advances_drain = matches!(req, Request::Fetch { .. } | Request::Cancel { .. });
-        let (resp, flow) = conn.handle(req, draining);
+        // Panic firewall: a panic anywhere in request handling (cursor
+        // paging, protocol plumbing — the session has its own inner
+        // catch for query execution) kills this *request* with a typed
+        // INTERNAL error; the worker thread and its pool slot survive.
+        let handled =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| conn.handle(req, draining)));
+        let (resp, flow) = handled.unwrap_or_else(|payload| {
+            counters.add_panic_contained();
+            (
+                Response::from_error(&Error::from_panic("request handling", payload)),
+                Flow::Continue,
+            )
+        });
         counters.add_request_served();
         if respond(&mut stream, &resp).is_err() || flow == Flow::Close {
             return;

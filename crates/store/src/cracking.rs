@@ -125,6 +125,18 @@ impl CrackedColumn {
         &self.rowids
     }
 
+    /// Restore a consistent state after a panic unwound mid-operation
+    /// (observed as a poisoned piece lock). A panic inside `crack_at` can
+    /// leave `partition`'s swaps half-applied, so recorded boundaries may
+    /// no longer hold — but every swap moves a `(value, rowid)` pair
+    /// together, so the arrays are still a valid permutation of the
+    /// column. Dropping the piece index keeps answers correct (it is pure
+    /// acceleration state) and lets subsequent selections re-crack from
+    /// scratch.
+    fn recover_from_poison(&mut self) {
+        self.index.clear();
+    }
+
     /// Check the internal piece invariant (used by tests; O(n log n)).
     pub fn check_invariants(&self) -> bool {
         for (&v, &p) in &self.index {
@@ -183,6 +195,21 @@ pub struct PartitionedCracked {
     n: usize,
 }
 
+/// Lock one cracked piece, recovering from poisoning: a query that
+/// panicked mid-crack (and was contained by the panic firewall) must not
+/// wedge the table for every later query. The recovered piece drops its
+/// boundary index — see [`CrackedColumn::recover_from_poison`].
+fn lock_piece(piece: &Mutex<CrackedColumn>) -> std::sync::MutexGuard<'_, CrackedColumn> {
+    match piece.lock() {
+        Ok(g) => g,
+        Err(poisoned) => {
+            let mut g = poisoned.into_inner();
+            g.recover_from_poison();
+            g
+        }
+    }
+}
+
 impl PartitionedCracked {
     /// Build from a dense column (rowid `i` = position `i`), split into
     /// `partitions` contiguous row ranges (clamped to at least 1 and at
@@ -229,10 +256,7 @@ impl PartitionedCracked {
 
     /// Total physical reorganisation steps across partitions.
     pub fn crack_count(&self) -> u64 {
-        self.parts
-            .iter()
-            .map(|p| p.lock().expect("cracker piece lock").crack_count())
-            .sum()
+        self.parts.iter().map(|p| lock_piece(p).crack_count()).sum()
     }
 
     /// The merged piece index: distinct crack boundary values across every
@@ -241,7 +265,7 @@ impl PartitionedCracked {
     pub fn merged_boundaries(&self) -> Vec<i64> {
         let mut all: Vec<i64> = Vec::new();
         for p in &self.parts {
-            let part = p.lock().expect("cracker piece lock");
+            let part = lock_piece(p);
             all.extend(part.index.keys().copied());
         }
         all.sort_unstable();
@@ -258,7 +282,7 @@ impl PartitionedCracked {
     pub fn approx_bytes(&self) -> usize {
         self.parts
             .iter()
-            .map(|p| p.lock().expect("cracker piece lock").approx_bytes())
+            .map(|p| lock_piece(p).approx_bytes())
             .sum()
     }
 
@@ -274,7 +298,7 @@ impl PartitionedCracked {
     /// converged pieces out.
     fn converged_at(&self, lo: Option<i64>, hi: Option<i64>) -> bool {
         self.parts.iter().all(|p| {
-            let part = p.lock().expect("cracker piece lock");
+            let part = lock_piece(p);
             lo.is_none_or(|v| part.index.contains_key(&v))
                 && hi.is_none_or(|v| part.index.contains_key(&v))
         })
@@ -304,9 +328,12 @@ impl PartitionedCracked {
             threads,
             |_w| (),
             |_s, _w, r| {
-                let mut part = self.parts[r.index].lock().expect("cracker piece lock");
+                let mut part = lock_piece(&self.parts[r.index]);
                 let (vals, ids) = part.select(iv).expect("int bounds pre-checked");
-                *slots[r.index].lock().expect("slot lock") = Some((vals.to_vec(), ids.to_vec()));
+                // A sibling panicking while storing its slot must not
+                // cascade; the slot value is either None or complete.
+                *slots[r.index].lock().unwrap_or_else(|p| p.into_inner()) =
+                    Some((vals.to_vec(), ids.to_vec()));
                 Ok(())
             },
             |_s| {},
@@ -315,7 +342,7 @@ impl PartitionedCracked {
         let mut vals = Vec::new();
         let mut ids = Vec::new();
         for s in slots {
-            let (mut v, mut i) = s.into_inner().expect("slot lock")?;
+            let (mut v, mut i) = s.into_inner().unwrap_or_else(|p| p.into_inner())?;
             vals.append(&mut v);
             ids.append(&mut i);
         }
@@ -324,9 +351,7 @@ impl PartitionedCracked {
 
     /// Check every partition's internal piece invariant (tests; O(n log n)).
     pub fn check_invariants(&self) -> bool {
-        self.parts
-            .iter()
-            .all(|p| p.lock().expect("cracker piece lock").check_invariants())
+        self.parts.iter().all(|p| lock_piece(p).check_invariants())
     }
 }
 
@@ -418,6 +443,35 @@ mod tests {
         let mut got = vals.to_vec();
         got.sort_unstable();
         assert_eq!(got, vec![2, 3]);
+    }
+
+    #[test]
+    fn poisoned_piece_recovers_and_answers_correctly() {
+        let pc = std::sync::Arc::new(PartitionedCracked::new((0..100).rev().collect(), 4));
+        // Crack a bit first so the recovery actually discards state.
+        pc.select(&interval(10, 90)).unwrap();
+        assert!(pc.crack_count() > 0);
+        // Poison one partition's lock: a thread panics while holding it
+        // mid-"crack" (index mutated, then unwound).
+        let pc2 = std::sync::Arc::clone(&pc);
+        std::thread::spawn(move || {
+            let mut g = pc2.parts[1].lock().unwrap();
+            g.index.insert(i64::MAX, usize::MAX); // bogus half-applied boundary
+            panic!("injected mid-crack panic");
+        })
+        .join()
+        .unwrap_err();
+        assert!(pc.parts[1].lock().is_err(), "lock must be poisoned");
+        // Later queries on the same table still answer correctly: the
+        // poisoned piece drops its (possibly bogus) index and re-cracks.
+        let (vals, ids) = pc.select(&interval(20, 40)).unwrap();
+        let mut got = vals.clone();
+        got.sort_unstable();
+        assert_eq!(got, (21..40).collect::<Vec<i64>>());
+        for (v, r) in vals.iter().zip(&ids) {
+            assert_eq!(99 - *r as i64, *v, "rowids still track values");
+        }
+        assert!(pc.check_invariants());
     }
 
     #[test]

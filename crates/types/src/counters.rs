@@ -74,6 +74,18 @@ pub struct WorkCounters {
     pub queries_cancelled: AtomicU64,
     /// Queries aborted because their deadline expired.
     pub queries_timed_out: AtomicU64,
+    /// Queries shed with a typed `ResourceExhausted` error because they
+    /// exceeded their per-query memory budget or the engine-wide pool
+    /// was exhausted even after the degradation ladder ran.
+    pub queries_shed: AtomicU64,
+    /// High-water mark (bytes) of the engine memory pool's total
+    /// reservation — a gauge recorded via max, not a monotonic count.
+    pub mem_reserved_peak: AtomicU64,
+    /// Worker or executor panics caught at an isolation boundary (the
+    /// server request firewall, the session guard, or a parallel pool's
+    /// join) and converted into a typed `Internal` error instead of
+    /// aborting the process.
+    pub panics_contained: AtomicU64,
 }
 
 impl WorkCounters {
@@ -198,6 +210,22 @@ impl WorkCounters {
         self.queries_timed_out.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one memory-shed query.
+    pub fn add_query_shed(&self) {
+        self.queries_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raise `mem_reserved_peak` to `bytes` if it is higher than the
+    /// recorded peak (gauge semantics: max, not add).
+    pub fn record_mem_reserved_peak(&self, bytes: u64) {
+        self.mem_reserved_peak.fetch_max(bytes, Ordering::Relaxed);
+    }
+
+    /// Record one contained panic.
+    pub fn add_panic_contained(&self) {
+        self.panics_contained.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Capture the current values.
     pub fn snapshot(&self) -> CountersSnapshot {
         CountersSnapshot {
@@ -224,6 +252,9 @@ impl WorkCounters {
             result_cache_evictions: self.result_cache_evictions.load(Ordering::Relaxed),
             queries_cancelled: self.queries_cancelled.load(Ordering::Relaxed),
             queries_timed_out: self.queries_timed_out.load(Ordering::Relaxed),
+            queries_shed: self.queries_shed.load(Ordering::Relaxed),
+            mem_reserved_peak: self.mem_reserved_peak.load(Ordering::Relaxed),
+            panics_contained: self.panics_contained.load(Ordering::Relaxed),
         }
     }
 
@@ -252,6 +283,9 @@ impl WorkCounters {
         self.result_cache_evictions.store(0, Ordering::Relaxed);
         self.queries_cancelled.store(0, Ordering::Relaxed);
         self.queries_timed_out.store(0, Ordering::Relaxed);
+        self.queries_shed.store(0, Ordering::Relaxed);
+        self.mem_reserved_peak.store(0, Ordering::Relaxed);
+        self.panics_contained.store(0, Ordering::Relaxed);
     }
 }
 
@@ -304,6 +338,12 @@ pub struct CountersSnapshot {
     pub queries_cancelled: u64,
     /// See [`WorkCounters::queries_timed_out`].
     pub queries_timed_out: u64,
+    /// See [`WorkCounters::queries_shed`].
+    pub queries_shed: u64,
+    /// See [`WorkCounters::mem_reserved_peak`].
+    pub mem_reserved_peak: u64,
+    /// See [`WorkCounters::panics_contained`].
+    pub panics_contained: u64,
 }
 
 impl CountersSnapshot {
@@ -360,6 +400,15 @@ impl CountersSnapshot {
             queries_timed_out: self
                 .queries_timed_out
                 .saturating_sub(earlier.queries_timed_out),
+            queries_shed: self.queries_shed.saturating_sub(earlier.queries_shed),
+            // A gauge, not a count: the interval's peak is simply the
+            // later snapshot's peak (zero if it never rose).
+            mem_reserved_peak: self
+                .mem_reserved_peak
+                .saturating_sub(earlier.mem_reserved_peak),
+            panics_contained: self
+                .panics_contained
+                .saturating_sub(earlier.panics_contained),
         }
     }
 }
@@ -368,7 +417,7 @@ impl fmt::Display for CountersSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "read={}B written={}B rows_tok={} fields_tok={} parsed={} trips={} abandoned={} evicted={} plan_hits={} plan_misses={} morsels={} par_pipelines={} fused_proj={} fused_joins={} conns={} reqs={} busy={} rc_hits={} rc_subsumed={} rc_misses={} rc_evicted={} cancelled={} timed_out={}",
+            "read={}B written={}B rows_tok={} fields_tok={} parsed={} trips={} abandoned={} evicted={} plan_hits={} plan_misses={} morsels={} par_pipelines={} fused_proj={} fused_joins={} conns={} reqs={} busy={} rc_hits={} rc_subsumed={} rc_misses={} rc_evicted={} cancelled={} timed_out={} shed={} mem_peak={}B panics={}",
             self.bytes_read,
             self.bytes_written,
             self.rows_tokenized,
@@ -392,6 +441,9 @@ impl fmt::Display for CountersSnapshot {
             self.result_cache_evictions,
             self.queries_cancelled,
             self.queries_timed_out,
+            self.queries_shed,
+            self.mem_reserved_peak,
+            self.panics_contained,
         )
     }
 }
@@ -466,6 +518,21 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("read=1B"));
         assert!(text.contains("trips=2"));
+    }
+
+    #[test]
+    fn mem_peak_is_a_max_gauge() {
+        let c = WorkCounters::new();
+        c.add_query_shed();
+        c.add_panic_contained();
+        c.record_mem_reserved_peak(100);
+        c.record_mem_reserved_peak(50);
+        let s = c.snapshot();
+        assert_eq!(s.queries_shed, 1);
+        assert_eq!(s.panics_contained, 1);
+        assert_eq!(s.mem_reserved_peak, 100, "lower sample never shrinks peak");
+        c.record_mem_reserved_peak(200);
+        assert_eq!(c.snapshot().mem_reserved_peak, 200);
     }
 
     #[test]

@@ -51,6 +51,19 @@ pub enum Error {
     /// clients treat deadline expiry (retry with a longer budget) apart
     /// from operator cancellation (don't retry).
     Timeout(String),
+    /// The query was shed because it exceeded its memory budget (or the
+    /// engine-wide reservation pool is exhausted even after the
+    /// degradation ladder ran). Only the offending query fails; the
+    /// engine and every other query keep running. Distinct from
+    /// [`Error::OutOfBudget`], which is the adaptive *store's* per-table
+    /// byte budget.
+    ResourceExhausted(String),
+    /// An invariant was violated inside the engine — a worker panic
+    /// caught at an isolation boundary (morsel pool, tokenizer scope,
+    /// server request worker) and converted into a typed error so the
+    /// process, the worker pool and the connection all survive. Always a
+    /// bug worth reporting, never the caller's fault.
+    Internal(String),
 }
 
 impl fmt::Display for Error {
@@ -69,6 +82,8 @@ impl fmt::Display for Error {
             Error::Protocol(m) => write!(f, "protocol error: {m}"),
             Error::Cancelled(m) => write!(f, "cancelled: {m}"),
             Error::Timeout(m) => write!(f, "timeout: {m}"),
+            Error::ResourceExhausted(m) => write!(f, "resources exhausted: {m}"),
+            Error::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }
@@ -124,6 +139,37 @@ impl Error {
         Error::Timeout(msg.into())
     }
 
+    /// Shorthand constructor for memory-shedding errors.
+    pub fn resource_exhausted(msg: impl Into<String>) -> Self {
+        Error::ResourceExhausted(msg.into())
+    }
+
+    /// Shorthand constructor for contained-panic/invariant errors.
+    pub fn internal(msg: impl Into<String>) -> Self {
+        Error::Internal(msg.into())
+    }
+
+    /// Convert a caught panic payload (from [`std::panic::catch_unwind`]
+    /// or a failed [`JoinHandle::join`](std::thread::JoinHandle::join))
+    /// into a typed [`Error::Internal`], extracting the panic message
+    /// when it is the usual `&str`/`String`. `context` names the
+    /// isolation boundary that contained the panic.
+    ///
+    /// An [`Error`] smuggled through a panic (a worker re-raising a typed
+    /// failure) is unwrapped back to itself rather than wrapped.
+    pub fn from_panic(context: &str, payload: Box<dyn std::any::Any + Send>) -> Error {
+        let payload = match payload.downcast::<Error>() {
+            Ok(e) => return *e,
+            Err(p) => p,
+        };
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        Error::Internal(format!("{context}: panicked: {msg}"))
+    }
+
     /// Stable numeric code identifying the variant on the wire.
     ///
     /// The server sends `(wire_code, message)` in its ERR frame and the
@@ -146,6 +192,8 @@ impl Error {
             Error::Protocol(_) => 11,
             Error::Cancelled(_) => 12,
             Error::Timeout(_) => 13,
+            Error::ResourceExhausted(_) => 14,
+            Error::Internal(_) => 15,
         }
     }
 
@@ -169,7 +217,9 @@ impl Error {
             | Error::Busy(m)
             | Error::Protocol(m)
             | Error::Cancelled(m)
-            | Error::Timeout(m) => m.clone(),
+            | Error::Timeout(m)
+            | Error::ResourceExhausted(m)
+            | Error::Internal(m) => m.clone(),
         };
         (self.wire_code(), msg)
     }
@@ -228,6 +278,8 @@ impl Error {
             11 => Error::Protocol(msg),
             12 => Error::Cancelled(msg),
             13 => Error::Timeout(msg),
+            14 => Error::ResourceExhausted(msg),
+            15 => Error::Internal(msg),
             other => Error::Protocol(format!("unknown error code {other}: {msg}")),
         }
     }
@@ -274,6 +326,8 @@ mod tests {
             Error::Protocol("x".into()),
             Error::Cancelled("x".into()),
             Error::Timeout("x".into()),
+            Error::ResourceExhausted("x".into()),
+            Error::Internal("x".into()),
         ];
         let mut seen = std::collections::BTreeSet::new();
         for e in all {
@@ -331,6 +385,30 @@ mod tests {
         assert_eq!(msg, "row 7 bad", "no category prefix on the wire");
         let back = Error::from_wire(code, msg);
         assert_eq!(back.to_string(), "parse error: row 7 bad");
+    }
+
+    #[test]
+    fn from_panic_extracts_string_payloads() {
+        let p = std::panic::catch_unwind(|| panic!("slice index out of range")).unwrap_err();
+        let e = Error::from_panic("morsel pool", p);
+        assert!(matches!(&e, Error::Internal(m) if m.contains("slice index out of range")));
+        assert!(e.to_string().contains("morsel pool"));
+
+        let p = std::panic::catch_unwind(|| panic!("{} exploded", 7)).unwrap_err();
+        assert!(
+            matches!(Error::from_panic("x", p), Error::Internal(m) if m.contains("7 exploded"))
+        );
+
+        let p = std::panic::catch_unwind(|| std::panic::panic_any(42_u32)).unwrap_err();
+        assert!(
+            matches!(Error::from_panic("x", p), Error::Internal(m) if m.contains("non-string"))
+        );
+
+        // A typed error thrown through a panic comes back as itself.
+        let p =
+            std::panic::catch_unwind(|| std::panic::panic_any(Error::timeout("deadline expired")))
+                .unwrap_err();
+        assert!(matches!(Error::from_panic("x", p), Error::Timeout(_)));
     }
 
     #[test]

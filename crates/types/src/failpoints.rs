@@ -15,8 +15,8 @@
 //! instrumentation.
 //!
 //! `NODB_FAILPOINTS` grammar (`;`-separated): `site=fail`,
-//! `site=delay:MS`, `site=delay-fail:MS`, each optionally suffixed
-//! `@after:N` to trip only from the N+1-th hit on. Example:
+//! `site=delay:MS`, `site=delay-fail:MS`, `site=panic`, each optionally
+//! suffixed `@after:N` to trip only from the N+1-th hit on. Example:
 //!
 //! ```text
 //! NODB_FAILPOINTS="rawcsv.read_file=fail;rawcsv.morsel=delay:20@after:3"
@@ -36,6 +36,10 @@ pub struct Action {
     pub delay_ms: u64,
     /// Return an injected [`Error::Exec`] from the trip site.
     pub fail: bool,
+    /// Panic at the trip site (after any delay) instead of returning an
+    /// error — exercises the panic firewall: the process must survive
+    /// and answer the request with a typed `Internal` error.
+    pub panic: bool,
     /// Skip this many hits before the action takes effect.
     pub after: u64,
 }
@@ -62,6 +66,14 @@ impl Action {
         Action {
             delay_ms: ms,
             fail: true,
+            ..Action::default()
+        }
+    }
+
+    /// An action that panics at the trip site.
+    pub fn panic() -> Action {
+        Action {
+            panic: true,
             ..Action::default()
         }
     }
@@ -150,6 +162,9 @@ fn trip_armed(site: &str) -> Result<()> {
     if action.delay_ms > 0 {
         std::thread::sleep(std::time::Duration::from_millis(action.delay_ms));
     }
+    if action.panic {
+        panic!("failpoint '{site}' injected panic");
+    }
     if action.fail {
         return Err(Error::exec(format!("failpoint '{site}' injected failure")));
     }
@@ -176,6 +191,8 @@ pub fn init_from_env() {
         };
         let action = if action_str == "fail" {
             Action::fail()
+        } else if action_str == "panic" {
+            Action::panic()
         } else if let Some(ms) = action_str.strip_prefix("delay-fail:") {
             match ms.parse() {
                 Ok(ms) => Action::delay_fail_ms(ms),
@@ -248,13 +265,28 @@ mod tests {
     }
 
     #[test]
+    fn panic_action_panics_at_the_trip_site() {
+        let _g = guard();
+        arm("t.panic", Action::panic().after(1));
+        assert!(trip("t.panic").is_ok(), "first hit skipped by @after");
+        let payload =
+            std::panic::catch_unwind(|| trip("t.panic")).expect_err("second hit must panic");
+        let e = Error::from_panic("test boundary", payload);
+        assert!(
+            matches!(&e, Error::Internal(m) if m.contains("t.panic")),
+            "got {e:?}"
+        );
+        disarm_all();
+    }
+
+    #[test]
     fn env_grammar_parses() {
         let _g = guard();
         // Drive the parser directly on entries to avoid process-global
         // env mutation racing other tests.
         std::env::set_var(
             "NODB_FAILPOINTS",
-            "a=fail; b=delay:7 ;c=delay-fail:9@after:2;junk;bad=wat;d=delay:x",
+            "a=fail; b=delay:7 ;c=delay-fail:9@after:2;junk;bad=wat;d=delay:x;e=panic@after:5",
         );
         init_from_env();
         std::env::remove_var("NODB_FAILPOINTS");
@@ -268,6 +300,7 @@ mod tests {
         assert!(!reg.contains_key("junk"));
         assert!(!reg.contains_key("bad"));
         assert!(!reg.contains_key("d"));
+        assert_eq!(reg.get("e").unwrap().action, Action::panic().after(5));
         drop(reg);
         disarm_all();
     }

@@ -24,8 +24,13 @@
 //!   morsel driver at every steal and by serial loops via
 //!   [`CancelCheck`],
 //! * [`failpoints`] — a std-only fault-injection registry (zero-cost
-//!   when disarmed) used by robustness tests to inject errors and delays
-//!   mid-pipeline.
+//!   when disarmed) used by robustness tests to inject errors, delays,
+//!   and panics mid-pipeline,
+//! * [`resource`] — per-query memory governance: a [`MemoryGuard`]
+//!   allocation meter installed ambiently via [`MemoryScope`] (like
+//!   [`CancelScope`]), reserving from an engine-wide [`MemoryPool`]
+//!   whose degradation ladder runs before any query is shed with
+//!   [`Error::ResourceExhausted`].
 
 pub mod cancel;
 pub mod column;
@@ -35,6 +40,7 @@ pub mod failpoints;
 pub mod interval;
 pub mod morsel;
 pub mod predicate;
+pub mod resource;
 pub mod schema;
 pub mod value;
 
@@ -45,5 +51,6 @@ pub use error::{Error, Result};
 pub use interval::{Bound, Interval, IntervalSet};
 pub use morsel::{drive_morsels, morsel_count, MorselBatch, MorselRange};
 pub use predicate::{CmpOp, ColPred, Conjunction, SelectionBox};
+pub use resource::{MemoryGuard, MemoryPool, MemoryScope};
 pub use schema::{Field, Schema};
 pub use value::{DataType, Value};

@@ -37,6 +37,7 @@ use std::sync::Mutex;
 use crate::cancel;
 use crate::column::ColumnData;
 use crate::error::{Error, Result};
+use crate::resource;
 
 /// One unit of work flowing through the fused cold pipeline: the parsed
 /// output of a contiguous run of raw-file rows, handed to a per-worker
@@ -108,10 +109,13 @@ where
     let next = AtomicUsize::new(0);
     let failed = AtomicBool::new(false);
     let failure: Mutex<Option<Error>> = Mutex::new(None);
-    // Capture the caller's ambient token here, on the installing thread:
-    // stealing workers run on scope threads with no thread-local scope of
-    // their own.
+    // Capture the caller's ambient token and memory guard here, on the
+    // installing thread: stealing workers run on scope threads with no
+    // thread-local scope of their own. The guard is re-installed per
+    // worker so deep allocation sites can `charge_current` from any
+    // thread of the pool.
     let token = cancel::current();
+    let memory = resource::current();
 
     // First error wins; a poisoned lock (a step panicked on another
     // worker while storing its error) must not turn into a second panic
@@ -125,6 +129,7 @@ where
     };
 
     let run_worker = |worker: usize| {
+        let _mem = memory.clone().map(resource::MemoryScope::enter);
         let mut state = init(worker);
         loop {
             if failed.load(Ordering::Relaxed) {
@@ -156,17 +161,34 @@ where
     if workers <= 1 {
         run_worker(0);
     } else {
+        // A panicking worker must not take the process (or this pool)
+        // down: catch the unwind on the worker thread itself, convert it
+        // to a typed internal error through the same first-error-wins
+        // slot, and let every sibling stop at its next steal. `join`
+        // therefore never observes a panic; the unreachable fallbacks
+        // keep us honest if one slips through anyway.
         crossbeam::thread::scope(|s| {
             let mut handles = Vec::new();
             for w in 0..workers {
                 let run_worker = &run_worker;
-                handles.push(s.spawn(move |_| run_worker(w)));
+                let record_failure = &record_failure;
+                handles.push(s.spawn(move |_| {
+                    let caught =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_worker(w)));
+                    if let Err(payload) = caught {
+                        record_failure(Error::from_panic("morsel worker", payload));
+                    }
+                }));
             }
             for h in handles {
-                h.join().expect("morsel worker panicked");
+                if let Err(payload) = h.join() {
+                    record_failure(Error::from_panic("morsel worker", payload));
+                }
             }
         })
-        .expect("morsel scope");
+        .unwrap_or_else(|payload| {
+            record_failure(Error::from_panic("morsel scope", payload));
+        });
     }
 
     match failure.into_inner().unwrap_or_else(|p| p.into_inner()) {
@@ -319,6 +341,96 @@ mod tests {
         )
         .unwrap();
         assert_eq!(n.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_typed_internal_error() {
+        let err = drive_morsels(
+            1000,
+            10,
+            4,
+            |_w| (),
+            |_s, _w, r| {
+                if r.index == 7 {
+                    panic!("injected worker crash");
+                }
+                Ok(())
+            },
+            |_s| {},
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, Error::Internal(m) if m.contains("injected worker crash")),
+            "got {err:?}"
+        );
+        // The pool is not wedged: the same driver runs again cleanly.
+        drive_morsels(100, 10, 4, |_w| (), |_s, _w, _r| Ok(()), |_s| {}).unwrap();
+    }
+
+    #[test]
+    fn typed_error_beats_competing_panic() {
+        // A typed step error and a worker panic race; whichever records
+        // first wins, and either way the result is a typed error — never
+        // an abort.
+        let err = drive_morsels(
+            1000,
+            10,
+            4,
+            |_w| (),
+            |_s, _w, r| {
+                if r.index == 3 {
+                    return Err(Error::exec("typed failure"));
+                }
+                if r.index == 4 {
+                    panic!("racing panic");
+                }
+                Ok(())
+            },
+            |_s| {},
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, Error::Exec(_) | Error::Internal(_)),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn ambient_memory_guard_reaches_workers() {
+        use crate::resource::{self, MemoryGuard, MemoryScope};
+        let guard = MemoryGuard::new(None, None);
+        let _scope = MemoryScope::enter(guard.clone());
+        drive_morsels(
+            1000,
+            10,
+            4,
+            |_w| (),
+            |_s, _w, r| {
+                // Workers see the installing thread's guard ambiently.
+                resource::charge_current(r.hi - r.lo)?;
+                Ok(())
+            },
+            |_s| {},
+        )
+        .unwrap();
+        assert_eq!(guard.used(), 1000);
+
+        // And a capped guard sheds from inside the pool as a typed error.
+        let small = MemoryGuard::new(Some(100), None);
+        let _scope2 = MemoryScope::enter(small);
+        let err = drive_morsels(
+            1000,
+            10,
+            4,
+            |_w| (),
+            |_s, _w, r| {
+                resource::charge_current(r.hi - r.lo)?;
+                Ok(())
+            },
+            |_s| {},
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::ResourceExhausted(_)), "got {err:?}");
     }
 
     #[test]

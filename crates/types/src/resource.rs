@@ -1,0 +1,428 @@
+//! Per-query memory governance: allocation meters, an engine-wide
+//! reservation pool, and typed shedding.
+//!
+//! The paper's §5.1.3 lifetime management promises operation *within a
+//! storage budget*, but the adaptive store's byte budget only covers
+//! cached columns — query-execution state (join build tables, GROUP BY
+//! accumulators, projection buffers, result-cache captures) grows with
+//! the data and, on a server shared by every client, a single
+//! pathological query could OOM-kill the process. This module bounds
+//! that state:
+//!
+//! * [`MemoryPool`] — the engine-wide reservation pool. Every running
+//!   query's charges reserve from it; an optional cap
+//!   (`EngineConfig::engine_mem_bytes`) bounds the sum. Before refusing
+//!   a reservation the pool runs its registered *reclaimer* (the
+//!   engine's degradation ladder: shrink the result cache, then evict
+//!   the adaptive store toward floor) and retries once; only then does
+//!   it shed with [`Error::ResourceExhausted`].
+//! * [`MemoryGuard`] — one query's allocation meter, charged at the
+//!   allocation sites that actually grow with data. An optional
+//!   per-query cap (`EngineConfig::query_mem_bytes`) sheds the one
+//!   offending query, never its neighbours. Dropping the guard (all
+//!   clones) releases the query's whole reservation back to the pool.
+//! * [`MemoryScope`] — the ambient installer, mirroring
+//!   [`CancelScope`](crate::cancel::CancelScope): the session entry
+//!   points install the query's guard as a thread-local, the morsel
+//!   driver re-installs it on pool workers, and deep allocation sites
+//!   charge via [`charge_current`] without threading a handle through
+//!   operator signatures. With no guard installed every charge is a
+//!   no-op — embedded callers that configure no budgets pay nothing.
+//!
+//! Charges are *approximate and amortised*: sites charge whole batches
+//! (a morsel's columns, a join partition, a captured result) rather
+//! than per row, so the meter costs one atomic add per chunk of real
+//! allocation. The bench pair `robustness/mem_guard_overhead/{off,on}`
+//! keeps that claim honest.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::error::{Error, Result};
+
+/// Bytes the engine tries to free per reclaim call beyond the immediate
+/// need, so a pool under sustained pressure does not re-run the ladder
+/// for every subsequent small charge.
+const RECLAIM_SLACK_BYTES: usize = 1 << 20;
+
+/// The degradation ladder: given a byte target, free what you can and
+/// return how many bytes were actually released.
+pub type Reclaimer = dyn Fn(usize) -> usize + Send + Sync;
+
+#[derive(Default)]
+struct PoolInner {
+    /// Sum of live reservations across every running query.
+    reserved: AtomicUsize,
+    /// High-water mark of `reserved` (diagnostics; drives the
+    /// `mem_reserved_peak` counter).
+    peak: AtomicUsize,
+    /// Engine-wide cap; `usize::MAX` means uncapped.
+    cap: usize,
+    /// The engine's degradation ladder, consulted before shedding.
+    reclaimer: Mutex<Option<Box<Reclaimer>>>,
+}
+
+/// The engine-wide memory reservation pool. Cheap to clone (an `Arc`);
+/// every [`MemoryGuard`] of the engine shares one.
+#[derive(Clone)]
+pub struct MemoryPool {
+    inner: Arc<PoolInner>,
+}
+
+impl std::fmt::Debug for MemoryPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryPool")
+            .field("reserved", &self.reserved())
+            .field("cap", &self.cap())
+            .finish()
+    }
+}
+
+impl MemoryPool {
+    /// A pool capped at `cap` bytes (`None` = uncapped: the pool still
+    /// meters, for the peak diagnostic, but never refuses).
+    pub fn new(cap: Option<usize>) -> MemoryPool {
+        MemoryPool {
+            inner: Arc::new(PoolInner {
+                cap: cap.unwrap_or(usize::MAX),
+                ..PoolInner::default()
+            }),
+        }
+    }
+
+    /// Register the degradation ladder run before the pool sheds.
+    /// Replaces any previous reclaimer.
+    pub fn set_reclaimer(&self, f: Box<Reclaimer>) {
+        *lock_unpoisoned(&self.inner.reclaimer) = Some(f);
+    }
+
+    /// Bytes currently reserved across all running queries.
+    pub fn reserved(&self) -> usize {
+        self.inner.reserved.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`MemoryPool::reserved`] since construction.
+    pub fn peak(&self) -> usize {
+        self.inner.peak.load(Ordering::Relaxed)
+    }
+
+    /// The cap, if one was configured.
+    pub fn cap(&self) -> Option<usize> {
+        (self.inner.cap != usize::MAX).then_some(self.inner.cap)
+    }
+
+    /// Is the pool at (or beyond) `fraction` of its cap? Always false
+    /// when uncapped. The server's admission control consults this to
+    /// shed *new work* with a typed error while memory is scarce.
+    pub fn saturated(&self, fraction: f64) -> bool {
+        self.inner.cap != usize::MAX && self.reserved() as f64 >= self.inner.cap as f64 * fraction
+    }
+
+    /// Reserve `bytes`, running the reclaimer once if the cap would be
+    /// exceeded. On refusal nothing stays reserved.
+    fn reserve(&self, bytes: usize) -> Result<()> {
+        let prev = self.inner.reserved.fetch_add(bytes, Ordering::Relaxed);
+        let now = prev.saturating_add(bytes);
+        if now <= self.inner.cap {
+            self.inner.peak.fetch_max(now, Ordering::Relaxed);
+            return Ok(());
+        }
+        // Over cap: run the degradation ladder (shrink result cache,
+        // evict adaptive store), asking for the overshoot plus slack,
+        // then re-check. The reclaimer frees memory the pool does not
+        // meter (caches), so success is simply "did enough come back" —
+        // measured by asking again after the ladder ran.
+        let needed = now - self.inner.cap + RECLAIM_SLACK_BYTES;
+        let freed = {
+            let reclaimer = lock_unpoisoned(&self.inner.reclaimer);
+            reclaimer.as_ref().map(|f| f(needed)).unwrap_or(0)
+        };
+        if freed >= now - self.inner.cap {
+            self.inner.peak.fetch_max(now, Ordering::Relaxed);
+            return Ok(());
+        }
+        self.inner.reserved.fetch_sub(bytes, Ordering::Relaxed);
+        Err(Error::resource_exhausted(format!(
+            "engine memory pool exhausted: {} reserved + {} requested > {} cap \
+             (after reclaiming {} bytes)",
+            prev, bytes, self.inner.cap, freed
+        )))
+    }
+
+    fn release(&self, bytes: usize) {
+        self.inner.reserved.fetch_sub(bytes, Ordering::Relaxed);
+    }
+}
+
+struct GuardInner {
+    /// Bytes this query has charged and not released.
+    used: AtomicUsize,
+    /// Per-query cap; `usize::MAX` means uncapped.
+    cap: usize,
+    /// The engine pool the query reserves from, if any.
+    pool: Option<MemoryPool>,
+}
+
+impl Drop for GuardInner {
+    fn drop(&mut self) {
+        // The query is over (every clone of its guard is gone): hand the
+        // whole reservation back, however the query exited — including
+        // a panic unwinding through the firewall.
+        if let Some(pool) = &self.pool {
+            pool.release(self.used.load(Ordering::Relaxed));
+        }
+    }
+}
+
+/// One query's allocation meter. Clones share the meter; the query's
+/// reservation returns to the pool when the last clone drops.
+#[derive(Clone)]
+pub struct MemoryGuard {
+    inner: Arc<GuardInner>,
+}
+
+impl std::fmt::Debug for MemoryGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryGuard")
+            .field("used", &self.used())
+            .field(
+                "cap",
+                &(self.inner.cap != usize::MAX).then_some(self.inner.cap),
+            )
+            .finish()
+    }
+}
+
+impl MemoryGuard {
+    /// A guard capped at `cap` bytes (`None` = uncapped), reserving from
+    /// `pool` (if given).
+    pub fn new(cap: Option<usize>, pool: Option<MemoryPool>) -> MemoryGuard {
+        MemoryGuard {
+            inner: Arc::new(GuardInner {
+                used: AtomicUsize::new(0),
+                cap: cap.unwrap_or(usize::MAX),
+                pool,
+            }),
+        }
+    }
+
+    /// Bytes currently charged to this query.
+    pub fn used(&self) -> usize {
+        self.inner.used.load(Ordering::Relaxed)
+    }
+
+    /// Charge `bytes` of freshly allocated query state. Fails with
+    /// [`Error::ResourceExhausted`] when the query cap or the engine
+    /// pool refuses; on failure nothing stays charged.
+    pub fn charge(&self, bytes: usize) -> Result<()> {
+        if bytes == 0 {
+            return Ok(());
+        }
+        let prev = self.inner.used.fetch_add(bytes, Ordering::Relaxed);
+        let now = prev.saturating_add(bytes);
+        if now > self.inner.cap {
+            self.inner.used.fetch_sub(bytes, Ordering::Relaxed);
+            return Err(Error::resource_exhausted(format!(
+                "query exceeded its memory budget: {} used + {} requested > {} \
+                 (EngineConfig::query_mem_bytes)",
+                prev, bytes, self.inner.cap
+            )));
+        }
+        if let Some(pool) = &self.inner.pool {
+            if let Err(e) = pool.reserve(bytes) {
+                self.inner.used.fetch_sub(bytes, Ordering::Relaxed);
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Return `bytes` previously charged (state freed mid-query, e.g. a
+    /// drained spill vector). Saturating: over-release never underflows.
+    pub fn release(&self, bytes: usize) {
+        let mut cur = self.inner.used.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self.inner.used.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    if let Some(pool) = &self.inner.pool {
+                        pool.release(cur - next);
+                    }
+                    return;
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+std::thread_local! {
+    static CURRENT: std::cell::RefCell<Option<MemoryGuard>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The guard installed for the current thread, if any. The morsel driver
+/// captures this on the installing thread and re-installs it on workers,
+/// exactly like the ambient [`CancelToken`](crate::cancel::CancelToken).
+pub fn current() -> Option<MemoryGuard> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Charge the current thread's ambient guard; a no-op when none is
+/// installed (the common unbudgeted case: one thread-local read).
+pub fn charge_current(bytes: usize) -> Result<()> {
+    CURRENT.with(|c| match &*c.borrow() {
+        Some(g) => g.charge(bytes),
+        None => Ok(()),
+    })
+}
+
+/// Release bytes back to the current thread's ambient guard, if any.
+pub fn release_current(bytes: usize) {
+    CURRENT.with(|c| {
+        if let Some(g) = &*c.borrow() {
+            g.release(bytes);
+        }
+    });
+}
+
+/// RAII guard installing a [`MemoryGuard`] as the current thread's
+/// ambient meter. On drop the previous guard (usually none) is restored,
+/// so nested scopes compose.
+#[derive(Debug)]
+pub struct MemoryScope {
+    prev: Option<MemoryGuard>,
+}
+
+impl MemoryScope {
+    /// Install `guard` for the current thread until the scope drops.
+    pub fn enter(guard: MemoryGuard) -> MemoryScope {
+        let prev = CURRENT.with(|c| c.borrow_mut().replace(guard));
+        MemoryScope { prev }
+    }
+}
+
+impl Drop for MemoryScope {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Lock that shrugs off poisoning: the protected state (the reclaimer
+/// slot) is valid after any observer panic, and memory governance must
+/// keep working after a contained panic — that is its whole point.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Rough heap footprint of a `Vec` of fixed-size elements.
+pub fn vec_bytes<T>(v: &[T]) -> usize {
+    std::mem::size_of_val(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncapped_guard_never_refuses() {
+        let g = MemoryGuard::new(None, None);
+        g.charge(usize::MAX / 2).unwrap();
+        g.charge(usize::MAX / 2).unwrap();
+        assert!(g.used() > 0);
+    }
+
+    #[test]
+    fn query_cap_sheds_and_rolls_back() {
+        let g = MemoryGuard::new(Some(1000), None);
+        g.charge(600).unwrap();
+        let err = g.charge(600).unwrap_err();
+        assert!(matches!(err, Error::ResourceExhausted(_)), "{err}");
+        // The refused charge left nothing behind.
+        assert_eq!(g.used(), 600);
+        g.charge(400).unwrap();
+    }
+
+    #[test]
+    fn release_is_saturating() {
+        let g = MemoryGuard::new(Some(100), None);
+        g.charge(50).unwrap();
+        g.release(500);
+        assert_eq!(g.used(), 0);
+        g.charge(100).unwrap();
+    }
+
+    #[test]
+    fn pool_caps_across_guards_and_drop_releases() {
+        let pool = MemoryPool::new(Some(1000));
+        let a = MemoryGuard::new(None, Some(pool.clone()));
+        let b = MemoryGuard::new(None, Some(pool.clone()));
+        a.charge(700).unwrap();
+        let err = b.charge(700).unwrap_err();
+        assert!(matches!(err, Error::ResourceExhausted(_)));
+        assert_eq!(pool.reserved(), 700);
+        drop(a);
+        assert_eq!(pool.reserved(), 0, "guard drop returns its reservation");
+        b.charge(700).unwrap();
+        assert_eq!(pool.peak(), 700);
+    }
+
+    #[test]
+    fn reclaimer_runs_before_shedding() {
+        use std::sync::atomic::AtomicUsize;
+        let pool = MemoryPool::new(Some(1000));
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&calls);
+        // A ladder that always reports having freed plenty.
+        pool.set_reclaimer(Box::new(move |need| {
+            c.fetch_add(1, Ordering::SeqCst);
+            need
+        }));
+        let g = MemoryGuard::new(None, Some(pool.clone()));
+        g.charge(1500).unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        // A ladder that frees nothing: the pool sheds.
+        pool.set_reclaimer(Box::new(|_| 0));
+        let err = g.charge(1500).unwrap_err();
+        assert!(matches!(err, Error::ResourceExhausted(_)));
+    }
+
+    #[test]
+    fn ambient_scope_installs_and_restores() {
+        assert!(current().is_none());
+        charge_current(1 << 30).unwrap(); // no guard: no-op
+        let g = MemoryGuard::new(Some(100), None);
+        {
+            let _scope = MemoryScope::enter(g.clone());
+            charge_current(60).unwrap();
+            assert!(charge_current(60).is_err());
+            release_current(60);
+            assert_eq!(g.used(), 0);
+            // Nested scope shadows, then restores.
+            let g2 = MemoryGuard::new(None, None);
+            {
+                let _inner = MemoryScope::enter(g2.clone());
+                charge_current(500).unwrap();
+            }
+            assert_eq!(g2.used(), 500);
+            charge_current(10).unwrap();
+        }
+        assert_eq!(g.used(), 10);
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn saturation_feeds_admission_control() {
+        let pool = MemoryPool::new(Some(1000));
+        assert!(!pool.saturated(0.9));
+        let g = MemoryGuard::new(None, Some(pool.clone()));
+        g.charge(950).unwrap();
+        assert!(pool.saturated(0.9));
+        assert!(!MemoryPool::new(None).saturated(0.0));
+    }
+}

@@ -10,7 +10,8 @@
 //! as CSV (header row of output labels, then data rows), statements
 //! separated by a blank line. On connect the session id is announced on
 //! stderr (`# session N`) so scripts can aim `--cancel` at it. `--stats`
-//! prints the server's work-counter snapshot followed by a `CACHE` row
+//! prints the server's work-counter snapshot followed by a `MEM` row
+//! (peak reservation, shed queries, contained panics) and a `CACHE` row
 //! breaking out the result-cache counters. `--cancel SESSION` aborts the
 //! query currently running on another connection's session — its query
 //! fails with a typed `cancelled` error within one morsel and its
@@ -61,6 +62,10 @@ fn main() {
         match client.stats() {
             Ok(s) => {
                 println!("{s}");
+                println!(
+                    "MEM reserved_peak={}B queries_shed={} panics_contained={}",
+                    s.mem_reserved_peak, s.queries_shed, s.panics_contained,
+                );
                 println!(
                     "CACHE hits={} subsumed_hits={} misses={} evictions={}",
                     s.result_cache_hits,

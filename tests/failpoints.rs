@@ -379,3 +379,72 @@ fn env_arming_round_trips() {
     assert!(start.elapsed() >= Duration::from_millis(1));
     assert_eq!(failpoints::hits("test.env.site"), 1);
 }
+
+/// The robustness acceptance test: on one live server, an injected
+/// panic mid-scan kills exactly one query with a typed INTERNAL error,
+/// a per-query memory budget overrun kills a second with a typed
+/// RESOURCE_EXHAUSTED error, and the *same* server then answers a
+/// correct probe query over the same table — no worker died, no state
+/// was poisoned, and both kills are visible in STATS.
+#[test]
+fn injected_panic_and_oom_each_kill_one_query_pool_keeps_serving() {
+    let _g = fp_guard();
+    let _d = Disarm;
+    let dir = common::test_dir("fp_panic_oom");
+    // Policy-path strategy (the fused cold pipeline skips the
+    // materialise step this test injects its panic into) and an 8 KiB
+    // per-query budget: far below a ~1000-group hash table's metered
+    // entries, comfortably above what a COUNT(*) charges.
+    let engine = engine_with_table_cfg(&dir, |cfg| {
+        cfg.threads = 2;
+        cfg.strategy = LoadingStrategy::PartialLoadsV2;
+        cfg.query_mem_bytes = Some(8 * 1024);
+    });
+    let server =
+        NodbServer::bind(Arc::clone(&engine), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // Kill 1: a panic injected at the store-materialisation step of the
+    // scan unwinds to the session firewall, which converts it to a
+    // typed internal error; the worker thread survives.
+    failpoints::arm("store.materialize", Action::panic());
+    let mut victim = Client::connect(addr).unwrap();
+    let err = victim.query_all("select sum(a2) from t").unwrap_err();
+    assert!(matches!(err, Error::Internal(_)), "got {err:?}");
+    assert!(err.to_string().contains("panicked"), "got {err}");
+    failpoints::disarm_all();
+    // The panicked query's connection is still usable for cheap work.
+    let (_, rows) = victim.query_all("select count(*) from t").unwrap();
+    assert_eq!(rows, vec![vec![Value::Int(1200)]]);
+
+    // Kill 2: a GROUP BY with ~1000 distinct keys overruns the
+    // per-query budget at the metered group-table site and is shed
+    // with a typed error.
+    let mut hog = Client::connect(addr).unwrap();
+    let err = hog
+        .query_all("select a1, sum(a2) from t group by a1")
+        .unwrap_err();
+    assert!(matches!(err, Error::ResourceExhausted(_)), "got {err:?}");
+
+    // Probe: the same server still answers correctly on the same table.
+    let mut probe = Client::connect(addr).unwrap();
+    let (_, rows) = probe
+        .query_all("select count(*) from t where a1 > 3")
+        .unwrap();
+    let expected = engine
+        .sql("select count(*) from t where a1 > 3")
+        .unwrap()
+        .rows;
+    assert_eq!(rows, expected);
+
+    // Both kills are observable: the firewall counted the contained
+    // panic, the governor counted the shed query.
+    let stats = probe.stats().unwrap();
+    assert!(stats.panics_contained >= 1, "stats: {stats:?}");
+    assert!(stats.queries_shed >= 1, "stats: {stats:?}");
+
+    victim.quit().unwrap();
+    hog.quit().unwrap();
+    probe.quit().unwrap();
+    server.shutdown();
+}
