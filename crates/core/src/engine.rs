@@ -226,6 +226,15 @@ impl Engine {
     /// the adaptive store's least-recently-used items table by table —
     /// and return the bytes actually freed. Resident result tables are
     /// never touched (they have no backing file to reload from).
+    ///
+    /// Entry locks are only *tried* here, never waited on: the ladder
+    /// runs on whatever thread an over-budget charge happens to occur,
+    /// and the fused cold paths charge from scan workers while the
+    /// table's entry lock is held by their driver (or by this very
+    /// thread, on the serial path). Blocking on `write()` for that table
+    /// would deadlock the scan against its own reclaim — a locked entry
+    /// is in active use anyway, so its columns are the wrong ones to
+    /// evict.
     pub fn release_memory(&self, target_bytes: usize) -> usize {
         let mut freed = self.result_cache.bytes_used();
         self.result_cache.clear();
@@ -236,7 +245,9 @@ impl Engine {
             let Ok(entry) = self.catalog.read().get(&name) else {
                 continue;
             };
-            let mut e = entry.write();
+            let Some(mut e) = entry.try_write() else {
+                continue;
+            };
             if e.resident {
                 continue;
             }
@@ -2479,6 +2490,39 @@ mod tests {
         assert!(results.contains(&Value::Int(60)));
         assert!(results.contains(&Value::Int(510)));
         assert!(results.contains(&Value::Int(39)));
+    }
+
+    /// Regression: an over-budget charge from inside a fused cold scan
+    /// runs the pool's reclaimer on a scan worker while the scan's
+    /// driver holds the table's entry write lock. `release_memory` must
+    /// skip that locked entry (`try_write`) instead of blocking on it —
+    /// blocking deadlocked the scan against its own reclaim forever.
+    /// The offending query sheds with a typed error; the engine and the
+    /// table keep serving.
+    #[test]
+    fn over_budget_cold_scan_reclaims_without_deadlocking() {
+        let dir = std::env::temp_dir().join("nodb_engine_mem_cold_scan");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.csv");
+        let mut data = String::new();
+        for i in 0..20_000i64 {
+            data.push_str(&format!("{},{}\n", i % 8192, i));
+        }
+        std::fs::write(&path, &data).unwrap();
+        let mut cfg = EngineConfig::default().with_threads(4);
+        cfg.morsel_rows = 2048; // many morsels: charges come from workers
+        cfg.engine_mem_bytes = Some(8 * 1024); // far below the group table
+        let e = Arc::new(Engine::new(cfg));
+        e.register_table("r", &path).unwrap();
+        let s = e.session(); // installs the degradation-ladder reclaimer
+        let err = s.sql("select a1, sum(a2) from r group by a1").unwrap_err();
+        assert!(matches!(err, Error::ResourceExhausted(_)), "got {err:?}");
+        // The shed killed one query, not the engine: the same table
+        // still answers, and the refused reservation was handed back.
+        let out = s.sql("select count(*) from r").unwrap();
+        assert_eq!(out.rows, vec![vec![Value::Int(20_000)]]);
+        assert_eq!(e.memory_pool().reserved(), 0);
     }
 
     /// Like [`setup`] but with the (opt-in) result cache switched on.

@@ -298,7 +298,7 @@ impl Request {
 
 /// Counter names paired with their snapshot values, in wire order. Kept
 /// in one place so encode and decode cannot drift apart.
-fn counter_fields(s: &CountersSnapshot) -> [(&'static str, u64); 26] {
+fn counter_fields(s: &CountersSnapshot) -> [(&'static str, u64); 27] {
     [
         ("bytes_read", s.bytes_read),
         ("bytes_written", s.bytes_written),
@@ -324,6 +324,7 @@ fn counter_fields(s: &CountersSnapshot) -> [(&'static str, u64); 26] {
         ("queries_cancelled", s.queries_cancelled),
         ("queries_timed_out", s.queries_timed_out),
         ("queries_shed", s.queries_shed),
+        ("conns_shed", s.conns_shed),
         ("mem_reserved_peak", s.mem_reserved_peak),
         ("panics_contained", s.panics_contained),
     ]
@@ -355,6 +356,7 @@ fn set_counter_field(s: &mut CountersSnapshot, name: &str, v: u64) {
         "queries_cancelled" => s.queries_cancelled = v,
         "queries_timed_out" => s.queries_timed_out = v,
         "queries_shed" => s.queries_shed = v,
+        "conns_shed" => s.conns_shed = v,
         "mem_reserved_peak" => s.mem_reserved_peak = v,
         "panics_contained" => s.panics_contained = v,
         // A newer server may report counters this client predates.
@@ -620,8 +622,9 @@ mod tests {
             queries_cancelled: 22,
             queries_timed_out: 23,
             queries_shed: 24,
-            mem_reserved_peak: 25,
-            panics_contained: 26,
+            conns_shed: 25,
+            mem_reserved_peak: 26,
+            panics_contained: 27,
         };
         round_trip_resp(Response::Stats(s));
     }

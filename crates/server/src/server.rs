@@ -193,20 +193,23 @@ impl Shared {
     /// loop) keeps the worst case at one 100ms timeout, so a peer that
     /// stalls mid-frame cannot pin the rejector.
     fn busy_reject(&self, stream: TcpStream, why: &str) {
+        self.engine.counters().add_busy_rejection();
         self.reject(stream, &Error::busy(why));
     }
 
     /// Refuse `stream` because the engine's memory pool is near its cap:
     /// same best-effort reply dance as [`Shared::busy_reject`], but the
     /// typed error is `ResourceExhausted` — the client should back off,
-    /// not just retry a full queue.
+    /// not just retry a full queue. Counted under `conns_shed` alone:
+    /// `queries_shed` is reserved for queries the memory governor
+    /// actually refused, and `busy_rejections` for queue-full refusals,
+    /// so each counter stays singly attributable.
     fn shed_reject(&self, stream: TcpStream, why: &str) {
-        self.engine.counters().add_query_shed();
+        self.engine.counters().add_conn_shed();
         self.reject(stream, &Error::resource_exhausted(why));
     }
 
     fn reject(&self, mut stream: TcpStream, err: &Error) {
-        self.engine.counters().add_busy_rejection();
         let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
         let mut hello = [0u8; 256];
         let _ = std::io::Read::read(&mut stream, &mut hello);
@@ -379,8 +382,10 @@ fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
                     shared.rejectors.fetch_sub(1, Ordering::SeqCst);
                 });
             } else {
+                // Rejector budget spent: the socket closes with no
+                // reply, but it was still a memory-pressure shed.
                 shared.rejectors.fetch_sub(1, Ordering::SeqCst);
-                shared.engine.counters().add_query_shed();
+                shared.engine.counters().add_conn_shed();
             }
             continue;
         }

@@ -48,9 +48,10 @@ pub struct WorkCounters {
     pub fused_cold_joins: AtomicU64,
     /// TCP connections the query server admitted into its serve queue.
     /// Connections refused by admission control count under
-    /// `busy_rejections` instead — except a connection admitted here and
-    /// then refused because shutdown began before a worker picked it up,
-    /// which appears in both.
+    /// `busy_rejections` (queue full) or `conns_shed` (memory pressure)
+    /// instead — except a connection admitted here and then refused
+    /// because shutdown began before a worker picked it up, which
+    /// appears in both this and `busy_rejections`.
     pub connections_accepted: AtomicU64,
     /// Wire-protocol requests the server answered (every request that got
     /// a response frame, including error responses).
@@ -78,6 +79,13 @@ pub struct WorkCounters {
     /// exceeded their per-query memory budget or the engine-wide pool
     /// was exhausted even after the degradation ladder ran.
     pub queries_shed: AtomicU64,
+    /// Connections the accept loop shed because the engine memory pool
+    /// sat near its cap (including connections dropped without a reply
+    /// when the rejector-thread budget was spent). Kept apart from
+    /// `queries_shed` — a shed connection never ran a query — and from
+    /// `busy_rejections`, which count queue-full refusals, so each
+    /// diagnostic answers one question.
+    pub conns_shed: AtomicU64,
     /// High-water mark (bytes) of the engine memory pool's total
     /// reservation — a gauge recorded via max, not a monotonic count.
     pub mem_reserved_peak: AtomicU64,
@@ -215,6 +223,11 @@ impl WorkCounters {
         self.queries_shed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one memory-shed connection.
+    pub fn add_conn_shed(&self) {
+        self.conns_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Raise `mem_reserved_peak` to `bytes` if it is higher than the
     /// recorded peak (gauge semantics: max, not add).
     pub fn record_mem_reserved_peak(&self, bytes: u64) {
@@ -253,6 +266,7 @@ impl WorkCounters {
             queries_cancelled: self.queries_cancelled.load(Ordering::Relaxed),
             queries_timed_out: self.queries_timed_out.load(Ordering::Relaxed),
             queries_shed: self.queries_shed.load(Ordering::Relaxed),
+            conns_shed: self.conns_shed.load(Ordering::Relaxed),
             mem_reserved_peak: self.mem_reserved_peak.load(Ordering::Relaxed),
             panics_contained: self.panics_contained.load(Ordering::Relaxed),
         }
@@ -284,6 +298,7 @@ impl WorkCounters {
         self.queries_cancelled.store(0, Ordering::Relaxed);
         self.queries_timed_out.store(0, Ordering::Relaxed);
         self.queries_shed.store(0, Ordering::Relaxed);
+        self.conns_shed.store(0, Ordering::Relaxed);
         self.mem_reserved_peak.store(0, Ordering::Relaxed);
         self.panics_contained.store(0, Ordering::Relaxed);
     }
@@ -340,6 +355,8 @@ pub struct CountersSnapshot {
     pub queries_timed_out: u64,
     /// See [`WorkCounters::queries_shed`].
     pub queries_shed: u64,
+    /// See [`WorkCounters::conns_shed`].
+    pub conns_shed: u64,
     /// See [`WorkCounters::mem_reserved_peak`].
     pub mem_reserved_peak: u64,
     /// See [`WorkCounters::panics_contained`].
@@ -401,6 +418,7 @@ impl CountersSnapshot {
                 .queries_timed_out
                 .saturating_sub(earlier.queries_timed_out),
             queries_shed: self.queries_shed.saturating_sub(earlier.queries_shed),
+            conns_shed: self.conns_shed.saturating_sub(earlier.conns_shed),
             // A gauge, not a count: the interval's peak is simply the
             // later snapshot's peak (zero if it never rose).
             mem_reserved_peak: self
@@ -417,7 +435,7 @@ impl fmt::Display for CountersSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "read={}B written={}B rows_tok={} fields_tok={} parsed={} trips={} abandoned={} evicted={} plan_hits={} plan_misses={} morsels={} par_pipelines={} fused_proj={} fused_joins={} conns={} reqs={} busy={} rc_hits={} rc_subsumed={} rc_misses={} rc_evicted={} cancelled={} timed_out={} shed={} mem_peak={}B panics={}",
+            "read={}B written={}B rows_tok={} fields_tok={} parsed={} trips={} abandoned={} evicted={} plan_hits={} plan_misses={} morsels={} par_pipelines={} fused_proj={} fused_joins={} conns={} reqs={} busy={} rc_hits={} rc_subsumed={} rc_misses={} rc_evicted={} cancelled={} timed_out={} shed={} conns_shed={} mem_peak={}B panics={}",
             self.bytes_read,
             self.bytes_written,
             self.rows_tokenized,
@@ -442,6 +460,7 @@ impl fmt::Display for CountersSnapshot {
             self.queries_cancelled,
             self.queries_timed_out,
             self.queries_shed,
+            self.conns_shed,
             self.mem_reserved_peak,
             self.panics_contained,
         )

@@ -58,8 +58,23 @@ struct PoolInner {
     peak: AtomicUsize,
     /// Engine-wide cap; `usize::MAX` means uncapped.
     cap: usize,
-    /// The engine's degradation ladder, consulted before shedding.
-    reclaimer: Mutex<Option<Box<Reclaimer>>>,
+    /// Bytes the reclaimer has freed while the pool was over cap. The
+    /// reclaimer frees *cache* memory the pool does not meter (result
+    /// cache, adaptive-store columns), so a successful reclaim cannot
+    /// lower `reserved`; instead the freed bytes raise the pool's
+    /// effective cap — genuinely vacated address space the metered
+    /// reservations may now occupy. Retired (reset to zero) as soon as
+    /// `reserved` falls back under the nominal cap, so the configured
+    /// budget is enforced afresh once pressure subsides. Without this
+    /// credit a reclaim-satisfied pool would sit permanently over cap:
+    /// every later charge would re-run the whole ladder and admission
+    /// control would report saturation even though memory was freed.
+    credit: AtomicUsize,
+    /// The engine's degradation ladder, consulted before shedding. Held
+    /// as an `Arc` so callers clone it out and invoke it *outside* this
+    /// mutex: the ladder can take table locks and block, and a wedged
+    /// ladder must not stall every other over-cap charge engine-wide.
+    reclaimer: Mutex<Option<Arc<Reclaimer>>>,
 }
 
 /// The engine-wide memory reservation pool. Cheap to clone (an `Arc`);
@@ -93,7 +108,7 @@ impl MemoryPool {
     /// Register the degradation ladder run before the pool sheds.
     /// Replaces any previous reclaimer.
     pub fn set_reclaimer(&self, f: Box<Reclaimer>) {
-        *lock_unpoisoned(&self.inner.reclaimer) = Some(f);
+        *lock_unpoisoned(&self.inner.reclaimer) = Some(Arc::from(f));
     }
 
     /// Bytes currently reserved across all running queries.
@@ -111,33 +126,59 @@ impl MemoryPool {
         (self.inner.cap != usize::MAX).then_some(self.inner.cap)
     }
 
-    /// Is the pool at (or beyond) `fraction` of its cap? Always false
-    /// when uncapped. The server's admission control consults this to
-    /// shed *new work* with a typed error while memory is scarce.
-    pub fn saturated(&self, fraction: f64) -> bool {
-        self.inner.cap != usize::MAX && self.reserved() as f64 >= self.inner.cap as f64 * fraction
+    /// Bytes of reclaim credit currently raising the effective cap
+    /// (diagnostics; zero whenever the pool is within its nominal cap).
+    pub fn reclaim_credit(&self) -> usize {
+        self.inner.credit.load(Ordering::Relaxed)
     }
 
-    /// Reserve `bytes`, running the reclaimer once if the cap would be
-    /// exceeded. On refusal nothing stays reserved.
+    /// The cap the pool enforces right now: the configured cap plus any
+    /// outstanding reclaim credit (cache bytes the ladder freed that the
+    /// metered reservations may occupy until pressure subsides).
+    fn effective_cap(&self) -> usize {
+        self.inner
+            .cap
+            .saturating_add(self.inner.credit.load(Ordering::Relaxed))
+    }
+
+    /// Is the pool at (or beyond) `fraction` of its effective cap?
+    /// Always false when uncapped. The server's admission control
+    /// consults this to shed *new work* with a typed error while memory
+    /// is scarce — reclaim credit counts as headroom, so a pool whose
+    /// ladder has freed real memory stops shedding immediately rather
+    /// than until enough queries happen to finish.
+    pub fn saturated(&self, fraction: f64) -> bool {
+        self.inner.cap != usize::MAX
+            && self.reserved() as f64 >= self.effective_cap() as f64 * fraction
+    }
+
+    /// Reserve `bytes`, running the reclaimer once if the effective cap
+    /// would be exceeded. On refusal nothing stays reserved.
     fn reserve(&self, bytes: usize) -> Result<()> {
         let prev = self.inner.reserved.fetch_add(bytes, Ordering::Relaxed);
         let now = prev.saturating_add(bytes);
-        if now <= self.inner.cap {
+        if now <= self.effective_cap() {
             self.inner.peak.fetch_max(now, Ordering::Relaxed);
             return Ok(());
         }
         // Over cap: run the degradation ladder (shrink result cache,
-        // evict adaptive store), asking for the overshoot plus slack,
-        // then re-check. The reclaimer frees memory the pool does not
-        // meter (caches), so success is simply "did enough come back" —
-        // measured by asking again after the ladder ran.
-        let needed = now - self.inner.cap + RECLAIM_SLACK_BYTES;
-        let freed = {
-            let reclaimer = lock_unpoisoned(&self.inner.reclaimer);
-            reclaimer.as_ref().map(|f| f(needed)).unwrap_or(0)
-        };
-        if freed >= now - self.inner.cap {
+        // evict adaptive store), asking for the overshoot plus slack.
+        // What the ladder frees becomes reclaim credit — it raised no
+        // meter, but the memory is genuinely vacated — so this charge
+        // and subsequent ones are re-checked against cap + credit, and
+        // sustained pressure within the slack never re-runs the ladder.
+        // The reclaimer is cloned out and invoked outside the mutex: it
+        // may block on table locks, and a slow ladder must not stall
+        // every other over-cap charge behind this lock.
+        let needed = (now - self.effective_cap()).saturating_add(RECLAIM_SLACK_BYTES);
+        let reclaimer = lock_unpoisoned(&self.inner.reclaimer).clone();
+        let freed = reclaimer.map(|f| f(needed)).unwrap_or(0);
+        if freed > 0 {
+            self.inner.credit.fetch_add(freed, Ordering::Relaxed);
+        }
+        // Re-read `reserved` rather than reusing `now`: concurrent
+        // releases while the ladder ran also make room.
+        if self.inner.reserved.load(Ordering::Relaxed) <= self.effective_cap() {
             self.inner.peak.fetch_max(now, Ordering::Relaxed);
             return Ok(());
         }
@@ -150,7 +191,18 @@ impl MemoryPool {
     }
 
     fn release(&self, bytes: usize) {
-        self.inner.reserved.fetch_sub(bytes, Ordering::Relaxed);
+        let prev = self.inner.reserved.fetch_sub(bytes, Ordering::Relaxed);
+        // Pressure subsided: once the metered reservations fit the
+        // nominal cap again, retire any reclaim credit so the configured
+        // budget is enforced afresh (the caches the ladder emptied will
+        // refill). A racing reserve may observe the credit drop and shed
+        // where it could have squeaked by — benign, and only possible
+        // right at the cap boundary.
+        if prev.saturating_sub(bytes) <= self.inner.cap
+            && self.inner.credit.load(Ordering::Relaxed) != 0
+        {
+            self.inner.credit.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -386,10 +438,67 @@ mod tests {
         let g = MemoryGuard::new(None, Some(pool.clone()));
         g.charge(1500).unwrap();
         assert_eq!(calls.load(Ordering::SeqCst), 1);
-        // A ladder that frees nothing: the pool sheds.
+        // Back under the nominal cap: the reclaim credit retires, so the
+        // next overshoot consults the ladder again — now one that frees
+        // nothing, and the pool sheds.
+        g.release(1500);
+        assert_eq!(pool.reclaim_credit(), 0);
         pool.set_reclaimer(Box::new(|_| 0));
         let err = g.charge(1500).unwrap_err();
         assert!(matches!(err, Error::ResourceExhausted(_)));
+        assert_eq!(pool.reserved(), 0, "refused charge leaves nothing behind");
+    }
+
+    #[test]
+    fn reclaim_credit_amortises_the_ladder() {
+        use std::sync::atomic::AtomicUsize;
+        let pool = MemoryPool::new(Some(1000));
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&calls);
+        pool.set_reclaimer(Box::new(move |need| {
+            c.fetch_add(1, Ordering::SeqCst);
+            need
+        }));
+        let g = MemoryGuard::new(None, Some(pool.clone()));
+        g.charge(1500).unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert!(pool.reclaim_credit() > 0);
+        // Sustained over-cap operation within the freed slack: the
+        // credit absorbs further charges without re-running the ladder,
+        // and admission control no longer reports saturation — the
+        // memory really was freed.
+        for _ in 0..8 {
+            g.charge(100).unwrap();
+        }
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            1,
+            "ladder ran once, not per charge"
+        );
+        assert!(!pool.saturated(0.95), "freed memory counts as headroom");
+    }
+
+    #[test]
+    fn reclaim_credit_retires_when_pressure_subsides() {
+        use std::sync::atomic::AtomicUsize;
+        let pool = MemoryPool::new(Some(1000));
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&calls);
+        pool.set_reclaimer(Box::new(move |need| {
+            c.fetch_add(1, Ordering::SeqCst);
+            need
+        }));
+        let g = MemoryGuard::new(None, Some(pool.clone()));
+        g.charge(1500).unwrap();
+        assert!(pool.reclaim_credit() > 0);
+        // Dropping back under the nominal cap retires the credit: the
+        // configured budget governs again, so the next overshoot runs
+        // the ladder anew instead of riding stale credit forever.
+        g.release(1000);
+        assert_eq!(pool.reserved(), 500);
+        assert_eq!(pool.reclaim_credit(), 0);
+        g.charge(1000).unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
     }
 
     #[test]

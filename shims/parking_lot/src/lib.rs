@@ -35,6 +35,17 @@ impl<T: ?Sized> RwLock<T> {
         self.0.write().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Exclusive access if no one holds the lock; `None` instead of
+    /// blocking when someone does (poisoning is recovered, as in
+    /// [`RwLock::write`]).
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Mutable access through an exclusive reference (no locking needed).
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(|e| e.into_inner())
@@ -78,6 +89,17 @@ mod tests {
     fn rwlock_read_write() {
         let l = RwLock::new(1);
         *l.write() += 1;
+        assert_eq!(*l.read(), 2);
+    }
+
+    #[test]
+    fn rwlock_try_write_refuses_instead_of_blocking() {
+        let l = RwLock::new(1);
+        {
+            let _held = l.write();
+            assert!(l.try_write().is_none());
+        }
+        *l.try_write().expect("uncontended") += 1;
         assert_eq!(*l.read(), 2);
     }
 

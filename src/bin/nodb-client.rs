@@ -11,7 +11,8 @@
 //! separated by a blank line. On connect the session id is announced on
 //! stderr (`# session N`) so scripts can aim `--cancel` at it. `--stats`
 //! prints the server's work-counter snapshot followed by a `MEM` row
-//! (peak reservation, shed queries, contained panics) and a `CACHE` row
+//! (peak reservation, shed queries, shed connections, contained
+//! panics) and a `CACHE` row
 //! breaking out the result-cache counters. `--cancel SESSION` aborts the
 //! query currently running on another connection's session — its query
 //! fails with a typed `cancelled` error within one morsel and its
@@ -63,8 +64,8 @@ fn main() {
             Ok(s) => {
                 println!("{s}");
                 println!(
-                    "MEM reserved_peak={}B queries_shed={} panics_contained={}",
-                    s.mem_reserved_peak, s.queries_shed, s.panics_contained,
+                    "MEM reserved_peak={}B queries_shed={} conns_shed={} panics_contained={}",
+                    s.mem_reserved_peak, s.queries_shed, s.conns_shed, s.panics_contained,
                 );
                 println!(
                     "CACHE hits={} subsumed_hits={} misses={} evictions={}",

@@ -294,6 +294,52 @@ fn busy_rejection_when_admission_queue_full() {
     server.shutdown();
 }
 
+/// Memory pressure at the accept loop: a pool at ≥ 95% of its cap sheds
+/// new connections with a typed `ResourceExhausted`, counted in
+/// `conns_shed` — not in `busy_rejections` (queue-full refusals) and
+/// not in `queries_shed` (queries the memory governor killed) — and
+/// admission recovers the moment the memory comes back.
+#[test]
+fn memory_saturated_pool_sheds_connections_typed_and_counted() {
+    let dir = common::test_dir("srv_mem_shed");
+    let mut cfg = EngineConfig::with_strategy(LoadingStrategy::ColumnLoads).with_threads(2);
+    cfg.store_dir = Some(dir.join("store"));
+    cfg.engine_mem_bytes = Some(1 << 20);
+    let engine = Arc::new(Engine::new(cfg));
+    let r = dir.join("r.csv");
+    common::write_int_table(&r, 100, 2);
+    engine.register_table("r", &r).unwrap();
+    let server = serve(Arc::clone(&engine), ServerConfig::default());
+
+    // A watcher connected before the squeeze, to read STATS during it.
+    let mut watcher = Client::connect(server.local_addr()).unwrap();
+
+    // Pin the pool above the 95% admission threshold from outside any
+    // query, as an embedded caller holding a long-lived guard would.
+    let hog = nodb::types::MemoryGuard::new(None, Some(engine.memory_pool().clone()));
+    hog.charge((1 << 20) * 97 / 100).unwrap();
+
+    match Client::connect(server.local_addr()) {
+        Err(Error::ResourceExhausted(msg)) => {
+            assert!(msg.contains("memory"), "message: {msg}")
+        }
+        other => panic!("expected Err(ResourceExhausted), got {other:?}"),
+    }
+    let stats = watcher.stats().unwrap();
+    assert_eq!(stats.conns_shed, 1, "stats: {stats:?}");
+    assert_eq!(stats.busy_rejections, 0, "a shed is not a BUSY refusal");
+    assert_eq!(stats.queries_shed, 0, "no query ran, so none was shed");
+
+    // Releasing the reservation un-sheds admission immediately.
+    drop(hog);
+    let mut ok = Client::connect(server.local_addr()).unwrap();
+    let (_, rows) = ok.query_all("select count(*) from r").unwrap();
+    assert_eq!(rows, vec![vec![Value::Int(100)]]);
+    ok.quit().unwrap();
+    watcher.quit().unwrap();
+    server.shutdown();
+}
+
 /// Graceful shutdown: a client mid-pagination finishes every page (no
 /// request dropped mid-batch), new queries are refused with BUSY, and
 /// once the drain completes the listener is gone.
