@@ -362,7 +362,7 @@ impl Client {
     /// `busy_rejections`).
     pub fn stats(&mut self) -> Result<CountersSnapshot> {
         match self.roundtrip(&Request::Stats)? {
-            Response::Stats(s) => Ok(s),
+            Response::Stats(s) => Ok(*s),
             other => Err(unexpected("STATS_OK", &other)),
         }
     }

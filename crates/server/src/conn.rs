@@ -1,13 +1,14 @@
 //! Per-connection state: one [`Session`], its prepared statements and
 //! its open cursors.
 //!
-//! A connection is served by exactly one worker thread for its whole
-//! life (session-per-connection), so none of this state is shared —
-//! all cross-connection coordination lives in the engine it sessions
-//! over and in the server's admission queue.
+//! A connection executes at most one request at a time (the reactor
+//! dispatches one decoded frame per scheduler round), so none of this
+//! state is shared — all cross-connection coordination lives in the
+//! engine it sessions over and in the reactor's admission machinery.
+//! A `Conn` does migrate between worker threads across requests, which
+//! is why the bottom of this file pins `Conn: Send` at compile time.
 
 use std::collections::HashMap;
-use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -77,13 +78,11 @@ const MAX_PREPARED_STMTS: usize = 256;
 
 /// The connection's hook into server-wide query lifecycle control: its
 /// session id, the running-query [`Registry`] (for `CANCEL_QUERY` and
-/// the disconnect watchdog) and the server's per-query deadline.
+/// the reactor's disconnect cancellation) and the server's per-query
+/// deadline.
 pub(crate) struct ConnCtx {
     pub(crate) registry: Arc<Registry>,
     pub(crate) session_id: u64,
-    /// Clone of the connection socket, watched for half-close while a
-    /// query runs. `None` disables disconnect detection only.
-    pub(crate) stream: Option<TcpStream>,
     /// [`ServerConfig::query_deadline_ms`](crate::ServerConfig::query_deadline_ms).
     pub(crate) query_deadline: Option<Duration>,
 }
@@ -91,20 +90,18 @@ pub(crate) struct ConnCtx {
 impl ConnCtx {
     /// Run `f` with a fresh registered [`CancelToken`]: while `f`
     /// executes, `CANCEL_QUERY` frames from other connections and the
-    /// disconnect watchdog can trip the token, and the configured server
-    /// deadline is armed. The entry is removed before returning, however
-    /// `f` exits.
+    /// reactor (on EOF/HUP from the client's socket) can trip the
+    /// token, and the configured server deadline is armed. The entry is
+    /// removed before returning, however `f` exits.
     fn run_registered<T>(&self, f: impl FnOnce(&CancelToken) -> Result<T>) -> Result<T> {
         let token = CancelToken::new();
         if let Some(d) = self.query_deadline {
             token.set_deadline_if_unset(Instant::now() + d);
         }
-        let watched = self.stream.as_ref().and_then(|s| s.try_clone().ok());
-        self.registry
-            .register(self.session_id, token.clone(), watched);
+        self.registry.register(self.session_id, token.clone());
         // Deregister on every exit path — including a panic unwinding to
         // the connection firewall — so a crashed query can never leave a
-        // stale registry entry for the watchdog to keep sweeping.
+        // stale registry entry behind.
         struct Deregister<'a>(&'a Registry, u64);
         impl Drop for Deregister<'_> {
             fn drop(&mut self) {
@@ -184,7 +181,7 @@ impl Conn {
                 (self.fetch(cursor).unwrap_or_else(into_err), Flow::Continue)
             }
             Request::Stats => (
-                Response::Stats(self.session.engine().counters().snapshot()),
+                Response::Stats(Box::new(self.session.engine().counters().snapshot())),
                 Flow::Continue,
             ),
             Request::Cancel { cursor } => {
@@ -325,3 +322,13 @@ impl Conn {
 fn into_err(e: Error) -> Response {
     Response::from_error(&e)
 }
+
+// A parked connection's `Conn` is dispatched to whichever worker frees
+// up first, so it crosses threads between requests (unlike the old
+// session-per-connection model, where one thread owned it for life).
+// Everything inside — Session, prepared statements, streaming cursors —
+// must therefore be Send, and this keeps that a compile-time fact.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Conn>();
+};

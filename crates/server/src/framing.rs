@@ -123,6 +123,132 @@ fn read_exact(r: &mut impl Read, buf: &mut [u8]) -> Result<()> {
     Ok(())
 }
 
+/// Incremental frame decoder for non-blocking sockets: bytes arrive in
+/// arbitrary slices (a readiness event delivers whatever the kernel
+/// buffered, possibly mid-header), [`FrameDecoder::feed`] accumulates
+/// them, and [`FrameDecoder::next_frame`] yields complete payloads in
+/// order. Decoding is byte-for-byte equivalent to [`read_frame`] over
+/// the same stream: the same frames come out, and an oversized length
+/// prefix produces the same typed [`Error::Protocol`] — sticky, because
+/// after a framing error the byte stream cannot be trusted any more.
+/// (The blocking path's "EOF mid-frame" error has no analogue here; the
+/// caller sees EOF from the socket and checks [`FrameDecoder::has_partial`]
+/// to tell a clean close from a torn frame.)
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    /// Complete payloads not yet handed out.
+    frames: std::collections::VecDeque<Vec<u8>>,
+    /// Bytes held in `frames` (for backpressure accounting).
+    queued_bytes: usize,
+    /// Length-prefix bytes of the frame in progress.
+    header: [u8; 4],
+    header_fill: usize,
+    /// Payload length once the header is complete.
+    need: Option<usize>,
+    /// Payload bytes of the frame in progress.
+    partial: Vec<u8>,
+    /// A framing-level error (oversized prefix); sticky.
+    poisoned: Option<String>,
+}
+
+impl FrameDecoder {
+    /// Fresh decoder positioned before a frame boundary.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Absorb `bytes` as they arrived off the socket. Bytes after a
+    /// framing error are dropped — the connection is closing anyway.
+    pub fn feed(&mut self, mut bytes: &[u8]) {
+        if self.poisoned.is_some() {
+            return;
+        }
+        while !bytes.is_empty() {
+            match self.need {
+                None => {
+                    let take = (4 - self.header_fill).min(bytes.len());
+                    self.header[self.header_fill..self.header_fill + take]
+                        .copy_from_slice(&bytes[..take]);
+                    self.header_fill += take;
+                    bytes = &bytes[take..];
+                    if self.header_fill == 4 {
+                        let len = u32::from_le_bytes(self.header);
+                        if len > MAX_FRAME_BYTES {
+                            // Same refusal (and message) as `read_frame`,
+                            // before any payload allocation.
+                            self.poisoned = Some(format!(
+                                "incoming frame of {len} bytes exceeds the {MAX_FRAME_BYTES} byte limit"
+                            ));
+                            return;
+                        }
+                        self.need = Some(len as usize);
+                        // Cap the up-front reservation: a hostile header
+                        // can claim up to 64 MiB, but only bytes that
+                        // actually arrive should cost memory.
+                        self.partial = Vec::with_capacity((len as usize).min(1 << 20));
+                    }
+                }
+                Some(need) => {
+                    let take = (need - self.partial.len()).min(bytes.len());
+                    self.partial.extend_from_slice(&bytes[..take]);
+                    bytes = &bytes[take..];
+                    if self.partial.len() == need {
+                        self.queued_bytes += need;
+                        self.frames.push_back(std::mem::take(&mut self.partial));
+                        self.need = None;
+                        self.header_fill = 0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The next complete frame, `Ok(None)` if more bytes are needed, or
+    /// the sticky framing error once all frames decoded before it are
+    /// drained (order matches what the blocking reader would return).
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>> {
+        if let Some(f) = self.frames.pop_front() {
+            self.queued_bytes -= f.len();
+            return Ok(Some(f));
+        }
+        if let Some(m) = &self.poisoned {
+            return Err(Error::protocol(m.clone()));
+        }
+        Ok(None)
+    }
+
+    /// A complete frame is ready (does not report the poisoned state).
+    pub fn has_frame(&self) -> bool {
+        !self.frames.is_empty()
+    }
+
+    /// A framing error was hit; [`FrameDecoder::next_frame`] will return
+    /// it after any earlier complete frames.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
+    /// Anything actionable buffered: a frame to dispatch or an error to
+    /// report.
+    pub fn has_ready(&self) -> bool {
+        self.has_frame() || self.is_poisoned()
+    }
+
+    /// Mid-frame: some bytes of an incomplete frame (header or payload)
+    /// are buffered. EOF in this state is the non-blocking equivalent of
+    /// the blocking reader's "eof inside frame" protocol error.
+    pub fn has_partial(&self) -> bool {
+        self.header_fill > 0 || self.need.is_some()
+    }
+
+    /// Total bytes buffered (decoded-but-unclaimed frames plus the
+    /// partial frame); the reactor stops reading a connection whose
+    /// backlog grows past its budget.
+    pub fn buffered_bytes(&self) -> usize {
+        self.queued_bytes + self.partial.len() + self.header_fill
+    }
+}
+
 /// Append a `u8`.
 pub fn put_u8(out: &mut Vec<u8>, v: u8) {
     out.push(v);
@@ -303,5 +429,57 @@ mod tests {
     fn trailing_bytes_detected() {
         let r = ByteReader::new(&[0]);
         assert!(matches!(r.finish(), Err(Error::Protocol(_))));
+    }
+
+    #[test]
+    fn decoder_matches_blocking_reader_byte_for_byte() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, &[0xAB; 300]).unwrap();
+        // Deliver one byte per "readiness event" — the worst tearing.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in &wire {
+            dec.feed(std::slice::from_ref(b));
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0], b"hello");
+        assert_eq!(got[1], b"");
+        assert_eq!(got[2], vec![0xAB; 300]);
+        assert!(!dec.has_partial(), "stream ended on a frame boundary");
+    }
+
+    #[test]
+    fn decoder_oversize_is_sticky_and_ordered_after_good_frames() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"ok").unwrap();
+        wire.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_le_bytes());
+        wire.extend_from_slice(b"garbage that must be ignored");
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        assert_eq!(dec.next_frame().unwrap().unwrap(), b"ok");
+        assert!(matches!(dec.next_frame(), Err(Error::Protocol(_))));
+        // Sticky: the error repeats, no phantom frames appear.
+        assert!(matches!(dec.next_frame(), Err(Error::Protocol(_))));
+        assert!(dec.is_poisoned());
+    }
+
+    #[test]
+    fn decoder_reports_partial_frames() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire[..2]); // half a header
+        assert!(dec.has_partial());
+        assert!(dec.next_frame().unwrap().is_none());
+        dec.feed(&wire[2..6]); // header + 2 payload bytes
+        assert!(dec.has_partial());
+        dec.feed(&wire[6..]);
+        assert!(!dec.has_partial());
+        assert_eq!(dec.next_frame().unwrap().unwrap(), b"hello");
     }
 }

@@ -6,6 +6,11 @@
 //! worker-thread pool and speaks a small length-prefixed binary
 //! protocol over TCP:
 //!
+//! * **readiness multiplexing** — every connection parks on one
+//!   `poll(2)` reactor thread while idle; only a connection with a
+//!   complete decoded request occupies one of
+//!   [`ServerConfig::workers`] pool threads, so open connections scale
+//!   with the fd limit, not the thread count;
 //! * **session per connection** — each admitted connection gets its own
 //!   [`Session`](nodb_core::Session) over the shared engine; prepared
 //!   statements and cursors are connection-local, all heavy state
@@ -15,8 +20,8 @@
 //!   pulls bounded `BATCH` pages ([`ServerConfig::batch_rows`] rows at
 //!   a time, built on the engine's streaming [`QueryStream`]); there is
 //!   no unbounded result dump in the protocol;
-//! * **admission control** — [`ServerConfig::max_connections`] workers,
-//!   [`ServerConfig::max_queued`] waiting connections, and a typed
+//! * **admission control** — [`ServerConfig::max_connections`] live
+//!   connections, [`ServerConfig::max_queued`] waiting, and a typed
 //!   [`Busy`](nodb_types::Error::Busy) refusal (counted in
 //!   `busy_rejections`) for everything beyond, so overload degrades into
 //!   fast errors instead of latency collapse;
@@ -57,6 +62,7 @@ pub mod client;
 mod conn;
 pub mod framing;
 pub mod protocol;
+mod reactor;
 mod server;
 
 pub use client::{Client, ConnectOptions, RemoteCursor, RemoteStatement, RetryPolicy};

@@ -151,8 +151,9 @@ pub enum Response {
         /// Row-major page contents.
         rows: Vec<Vec<Value>>,
     },
-    /// Work-counter snapshot.
-    Stats(CountersSnapshot),
+    /// Work-counter snapshot (boxed: the snapshot dwarfs every other
+    /// variant and would otherwise inflate all of them).
+    Stats(Box<CountersSnapshot>),
     /// Request succeeded with nothing to return.
     Ok,
     /// Request failed; the connection stays usable (except after a
@@ -298,7 +299,7 @@ impl Request {
 
 /// Counter names paired with their snapshot values, in wire order. Kept
 /// in one place so encode and decode cannot drift apart.
-fn counter_fields(s: &CountersSnapshot) -> [(&'static str, u64); 27] {
+fn counter_fields(s: &CountersSnapshot) -> [(&'static str, u64); 30] {
     [
         ("bytes_read", s.bytes_read),
         ("bytes_written", s.bytes_written),
@@ -327,6 +328,9 @@ fn counter_fields(s: &CountersSnapshot) -> [(&'static str, u64); 27] {
         ("conns_shed", s.conns_shed),
         ("mem_reserved_peak", s.mem_reserved_peak),
         ("panics_contained", s.panics_contained),
+        ("conns_parked", s.conns_parked),
+        ("reactor_wakeups", s.reactor_wakeups),
+        ("frames_partial", s.frames_partial),
     ]
 }
 
@@ -359,6 +363,9 @@ fn set_counter_field(s: &mut CountersSnapshot, name: &str, v: u64) {
         "conns_shed" => s.conns_shed = v,
         "mem_reserved_peak" => s.mem_reserved_peak = v,
         "panics_contained" => s.panics_contained = v,
+        "conns_parked" => s.conns_parked = v,
+        "reactor_wakeups" => s.reactor_wakeups = v,
+        "frames_partial" => s.frames_partial = v,
         // A newer server may report counters this client predates.
         _ => {}
     }
@@ -483,7 +490,7 @@ impl Response {
                     let v = r.u64()?;
                     set_counter_field(&mut s, &name, v);
                 }
-                Response::Stats(s)
+                Response::Stats(Box::new(s))
             }
             0x86 => Response::Ok,
             0xEE => Response::Err {
@@ -625,8 +632,11 @@ mod tests {
             conns_shed: 25,
             mem_reserved_peak: 26,
             panics_contained: 27,
+            conns_parked: 28,
+            reactor_wakeups: 29,
+            frames_partial: 30,
         };
-        round_trip_resp(Response::Stats(s));
+        round_trip_resp(Response::Stats(Box::new(s)));
     }
 
     #[test]

@@ -1,41 +1,46 @@
-//! The TCP server: accept loop, admission control, worker pool,
-//! graceful shutdown.
+//! The TCP server: reactor-multiplexed connections, a fixed worker
+//! pool, admission control, graceful shutdown.
 //!
-//! One [`Engine`] is shared (via `Arc`) across a fixed pool of worker
-//! threads; each admitted connection is handed to one worker, which
-//! serves it with its own [`Session`] until the client quits,
-//! disconnects, idles out or the server drains. Admission control is
+//! One [`Engine`] is shared (via `Arc`) across the pool; every admitted
+//! connection parks on a single `poll(2)` reactor thread (see
+//! [`crate::reactor`]) and costs zero threads while idle, so thousands
+//! of open sessions are served by `workers + 1` threads. Admission is
 //! two-level: at most [`ServerConfig::max_connections`] connections are
-//! served concurrently, at most [`ServerConfig::max_queued`] more wait
-//! in the accept queue, and everything beyond that is *refused* with a
-//! typed `BUSY` error frame instead of silently queueing unbounded work
-//! (the `busy_rejections` counter records each refusal).
+//! live at once, at most [`ServerConfig::max_queued`] more wait for a
+//! freed slot, and everything beyond that is *refused* with a typed
+//! `BUSY` error frame instead of silently queueing unbounded work (the
+//! `busy_rejections` counter records each refusal).
 
-use std::collections::{HashMap, VecDeque};
-use std::io::Write;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use nodb_core::Engine;
-use nodb_types::{CancelToken, Error, Result};
+use nodb_types::{CancelToken, Result};
 
-use crate::conn::{Conn, ConnCtx, Flow};
-use crate::framing::{read_frame, write_frame};
-use crate::protocol::{Request, Response, PROTOCOL_VERSION};
+use crate::reactor::Reactor;
 
 /// Knobs of the query server.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Connections served concurrently — the worker-thread count. Each
-    /// in-flight connection owns one worker for its lifetime.
+    /// Connections allowed to be open at once. An open connection costs
+    /// one reactor slot (a few KiB), not a thread — raise this toward
+    /// the fd limit, not the core count; [`ServerConfig::workers`]
+    /// bounds the CPU side.
     pub max_connections: usize,
-    /// Accepted connections allowed to wait for a free worker. Beyond
-    /// this the server answers `BUSY` and closes — backpressure instead
-    /// of an unbounded backlog.
+    /// Accepted connections allowed to wait for a freed slot once
+    /// `max_connections` are live. Beyond this the server answers
+    /// `BUSY` and closes — backpressure instead of an unbounded
+    /// backlog.
     pub max_queued: usize,
+    /// Worker threads executing decoded requests. Only connections with
+    /// a complete request occupy a worker; parked connections cost
+    /// none.
+    pub workers: usize,
     /// Rows per `BATCH` page of every cursor the server opens.
     pub batch_rows: usize,
     /// A connection with no request for this long is closed. Also bounds
@@ -53,8 +58,9 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
-            max_connections: 8,
+            max_connections: 1024,
             max_queued: 32,
+            workers: 8,
             batch_rows: 1024,
             idle_timeout: Duration::from_secs(30),
             query_deadline_ms: None,
@@ -62,36 +68,15 @@ impl Default for ServerConfig {
     }
 }
 
-/// How often a serving thread wakes from a blocking read to check the
-/// idle clock and the shutdown flag.
-const POLL_TICK: Duration = Duration::from_millis(50);
-
-/// Cap on concurrent rejection helper threads. Under a connect flood the
-/// reply nicety is dropped beyond this (streams just close) so overload
-/// cannot turn into unbounded thread creation.
-const MAX_REJECTORS: usize = 32;
-
-/// Fraction of [`EngineConfig::engine_mem_bytes`](nodb_core::EngineConfig::engine_mem_bytes)
-/// at which the accept loop starts shedding new connections. Uncapped
-/// pools never report saturation.
-const MEM_ADMISSION_FRACTION: f64 = 0.95;
-
-/// A query currently executing on some worker: its cancel token, plus a
-/// clone of the connection's socket so the watchdog can detect the
-/// client going away mid-query.
-struct Running {
-    token: CancelToken,
-    stream: Option<TcpStream>,
-}
-
 /// Registry of queries currently executing, keyed by session id. This is
 /// what makes a running scan *reachable* from outside its own (busy)
 /// connection: `CANCEL_QUERY` frames trip the token from another
-/// connection, and the watchdog thread trips it when the client's socket
-/// half-closes. Entries exist only while a `QUERY`/`EXECUTE` is on-CPU.
+/// connection, and the reactor trips it when the client's socket
+/// half-closes (EOF/HUP readiness on an executing connection). Entries
+/// exist only while a `QUERY`/`EXECUTE` is on-CPU.
 pub(crate) struct Registry {
     next_session: AtomicU64,
-    running: Mutex<HashMap<u64, Running>>,
+    running: Mutex<HashMap<u64, CancelToken>>,
 }
 
 impl Registry {
@@ -102,7 +87,7 @@ impl Registry {
         }
     }
 
-    fn lock_running(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Running>> {
+    fn lock_running(&self) -> std::sync::MutexGuard<'_, HashMap<u64, CancelToken>> {
         self.running.lock().unwrap_or_else(|p| p.into_inner())
     }
 
@@ -111,14 +96,12 @@ impl Registry {
     }
 
     /// Announce that `session` is about to run a query guarded by
-    /// `token`. `stream` (a clone of the connection socket) opts the
-    /// query into disconnect detection.
-    pub(crate) fn register(&self, session: u64, token: CancelToken, stream: Option<TcpStream>) {
-        self.lock_running()
-            .insert(session, Running { token, stream });
+    /// `token`.
+    pub(crate) fn register(&self, session: u64, token: CancelToken) {
+        self.lock_running().insert(session, token);
     }
 
-    /// The query finished (either way); stop watching it.
+    /// The query finished (either way); stop tracking it.
     pub(crate) fn deregister(&self, session: u64) {
         self.lock_running().remove(&session);
     }
@@ -128,95 +111,12 @@ impl Registry {
     /// (the query may have just finished; cancellation is racy).
     pub(crate) fn cancel(&self, session: u64) -> bool {
         match self.lock_running().get(&session) {
-            Some(r) => {
-                r.token.cancel();
+            Some(token) => {
+                token.cancel();
                 true
             }
             None => false,
         }
-    }
-
-    /// One watchdog sweep: peek every watched socket and cancel queries
-    /// whose client has gone away. Runs under the registry lock, so the
-    /// nonblocking toggle cannot race a register/deregister; the serving
-    /// worker never reads its socket while its query is registered, so
-    /// the toggle cannot race the request loop either (and `read_frame`
-    /// treats a stray `WouldBlock` before the first byte as an idle tick
-    /// anyway).
-    fn sweep_disconnects(&self) {
-        for r in self.lock_running().values() {
-            let Some(stream) = &r.stream else { continue };
-            if r.token.is_cancelled() {
-                continue;
-            }
-            if stream.set_nonblocking(true).is_err() {
-                continue;
-            }
-            let mut probe = [0u8; 1];
-            let gone = match stream.peek(&mut probe) {
-                // EOF: the client half-closed while its query runs.
-                Ok(0) => true,
-                // Bytes waiting (a pipelined request) — still connected.
-                Ok(_) => false,
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => false,
-                // Reset / aborted / any other socket failure.
-                Err(_) => true,
-            };
-            let _ = stream.set_nonblocking(false);
-            if gone {
-                r.token.cancel();
-            }
-        }
-    }
-}
-
-struct Shared {
-    engine: Arc<Engine>,
-    cfg: ServerConfig,
-    queue: Mutex<VecDeque<TcpStream>>,
-    queue_cv: Condvar,
-    shutdown: AtomicBool,
-    /// Connections currently being served by a worker.
-    active: AtomicUsize,
-    /// Rejection helper threads currently alive.
-    rejectors: AtomicUsize,
-    /// Queries currently executing, for CANCEL_QUERY and the watchdog.
-    registry: Arc<Registry>,
-}
-
-impl Shared {
-    /// Refuse `stream` with a typed BUSY error frame. Best-effort: the
-    /// client may already be gone. One bounded read consumes the client's
-    /// HELLO if it has arrived — closing a socket with unread bytes in
-    /// its receive buffer sends an RST that would discard our reply
-    /// before the client reads it. A single `read` call (not a frame
-    /// loop) keeps the worst case at one 100ms timeout, so a peer that
-    /// stalls mid-frame cannot pin the rejector.
-    fn busy_reject(&self, stream: TcpStream, why: &str) {
-        self.engine.counters().add_busy_rejection();
-        self.reject(stream, &Error::busy(why));
-    }
-
-    /// Refuse `stream` because the engine's memory pool is near its cap:
-    /// same best-effort reply dance as [`Shared::busy_reject`], but the
-    /// typed error is `ResourceExhausted` — the client should back off,
-    /// not just retry a full queue. Counted under `conns_shed` alone:
-    /// `queries_shed` is reserved for queries the memory governor
-    /// actually refused, and `busy_rejections` for queue-full refusals,
-    /// so each counter stays singly attributable.
-    fn shed_reject(&self, stream: TcpStream, why: &str) {
-        self.engine.counters().add_conn_shed();
-        self.reject(stream, &Error::resource_exhausted(why));
-    }
-
-    fn reject(&self, mut stream: TcpStream, err: &Error) {
-        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-        let mut hello = [0u8; 256];
-        let _ = std::io::Read::read(&mut stream, &mut hello);
-        let frame = Response::from_error(err).encode();
-        let _ = write_frame(&mut stream, &frame);
-        let _ = stream.flush();
-        let _ = stream.shutdown(std::net::Shutdown::Write);
     }
 }
 
@@ -224,16 +124,16 @@ impl Shared {
 /// [`NodbServer::shutdown`]) stops accepting, drains in-flight work and
 /// joins every thread.
 pub struct NodbServer {
-    shared: Arc<Shared>,
+    reactor: Arc<Reactor>,
     addr: SocketAddr,
-    accept: Option<JoinHandle<()>>,
+    reactor_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    watchdog: Option<JoinHandle<()>>,
 }
 
 impl NodbServer {
     /// Bind `addr` (use port 0 for an ephemeral port) and start serving
-    /// `engine`.
+    /// `engine`: one reactor thread plus [`ServerConfig::workers`]
+    /// request workers.
     pub fn bind(
         engine: Arc<Engine>,
         addr: impl ToSocketAddrs,
@@ -241,54 +141,43 @@ impl NodbServer {
     ) -> Result<NodbServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let shared = Arc::new(Shared {
+        listener.set_nonblocking(true)?;
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
+        wake_tx.set_nonblocking(true)?;
+        wake_rx.set_nonblocking(true)?;
+        let cfg = ServerConfig {
+            max_connections: cfg.max_connections.max(1),
+            workers: cfg.workers.max(1),
+            batch_rows: cfg.batch_rows.max(1),
+            ..cfg
+        };
+        let reactor = Arc::new(Reactor::new(
             engine,
-            cfg: ServerConfig {
-                max_connections: cfg.max_connections.max(1),
-                batch_rows: cfg.batch_rows.max(1),
-                ..cfg
-            },
-            queue: Mutex::new(VecDeque::new()),
-            queue_cv: Condvar::new(),
-            shutdown: AtomicBool::new(false),
-            active: AtomicUsize::new(0),
-            rejectors: AtomicUsize::new(0),
-            registry: Arc::new(Registry::new()),
-        });
-        let workers = (0..shared.cfg.max_connections)
+            cfg.clone(),
+            Arc::new(Registry::new()),
+            wake_tx,
+        ));
+        let reactor_thread = {
+            let reactor = Arc::clone(&reactor);
+            std::thread::Builder::new()
+                .name("nodb-reactor".to_owned())
+                .spawn(move || reactor.run(listener, wake_rx))
+                .expect("spawn reactor thread")
+        };
+        let workers = (0..cfg.workers)
             .map(|i| {
-                let shared = Arc::clone(&shared);
+                let reactor = Arc::clone(&reactor);
                 std::thread::Builder::new()
                     .name(format!("nodb-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || reactor.worker_loop())
                     .expect("spawn worker thread")
             })
             .collect();
-        let accept = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("nodb-accept".to_owned())
-                .spawn(move || accept_loop(shared, listener))
-                .expect("spawn accept thread")
-        };
-        let watchdog = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("nodb-watchdog".to_owned())
-                .spawn(move || {
-                    while !shared.shutdown.load(Ordering::SeqCst) {
-                        std::thread::sleep(POLL_TICK);
-                        shared.registry.sweep_disconnects();
-                    }
-                })
-                .expect("spawn watchdog thread")
-        };
         Ok(NodbServer {
-            shared,
+            reactor,
             addr,
-            accept: Some(accept),
+            reactor_thread: Some(reactor_thread),
             workers,
-            watchdog: Some(watchdog),
         })
     }
 
@@ -300,7 +189,7 @@ impl NodbServer {
 
     /// The engine this server fronts.
     pub fn engine(&self) -> &Arc<Engine> {
-        &self.shared.engine
+        &self.reactor.engine
     }
 
     /// Graceful shutdown: refuse new connections, let every in-flight
@@ -314,42 +203,19 @@ impl NodbServer {
     }
 
     fn stop(&mut self) {
-        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+        if self.reactor.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Notify while holding the queue mutex: a worker that loaded
-        // `shutdown == false` is either still inside its critical
-        // section (we block here until it reaches `wait`, which then
-        // sees this notify) or already waiting — either way the wakeup
-        // cannot be lost.
-        {
-            let _queue = self.shared.queue.lock().unwrap();
-            self.shared.queue_cv.notify_all();
-        }
-        // Unblock the accept loop; it checks the flag before serving.
-        // A wildcard bind (0.0.0.0 / ::) is not connectable on every
-        // platform — wake it via loopback on the bound port instead.
-        let mut wake = self.addr;
-        if wake.ip().is_unspecified() {
-            wake.set_ip(match wake.ip() {
-                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
-                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
-            });
-        }
-        let _ = TcpStream::connect(wake);
-        if let Some(h) = self.accept.take() {
+        // One wake byte pulls the reactor out of poll; it then drops
+        // the listener, refuses the admission queue, drains live
+        // connections (bounded by idle_timeout) and releases the
+        // workers through the ready-queue condvar.
+        self.reactor.wake();
+        if let Some(h) = self.reactor_thread.take() {
             let _ = h.join();
         }
         for h in self.workers.drain(..) {
             let _ = h.join();
-        }
-        if let Some(h) = self.watchdog.take() {
-            let _ = h.join();
-        }
-        // Anything admitted but never picked up: refuse, don't strand.
-        let leftover: Vec<TcpStream> = self.shared.queue.lock().unwrap().drain(..).collect();
-        for s in leftover {
-            self.shared.busy_reject(s, "server shutting down");
         }
     }
 }
@@ -357,246 +223,5 @@ impl NodbServer {
 impl Drop for NodbServer {
     fn drop(&mut self) {
         self.stop();
-    }
-}
-
-fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
-    for stream in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        let Ok(stream) = stream else { continue };
-        // Memory pressure feeds admission: when the engine pool sits
-        // within a few percent of its cap, refuse new connections with a
-        // typed shed error instead of admitting queries that would be
-        // refused allocation a moment later.
-        if shared
-            .engine
-            .memory_pool()
-            .saturated(MEM_ADMISSION_FRACTION)
-        {
-            if shared.rejectors.fetch_add(1, Ordering::SeqCst) < MAX_REJECTORS {
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || {
-                    shared.shed_reject(stream, "engine memory budget exhausted; retry later");
-                    shared.rejectors.fetch_sub(1, Ordering::SeqCst);
-                });
-            } else {
-                // Rejector budget spent: the socket closes with no
-                // reply, but it was still a memory-pressure shed.
-                shared.rejectors.fetch_sub(1, Ordering::SeqCst);
-                shared.engine.counters().add_conn_shed();
-            }
-            continue;
-        }
-        let mut queue = shared.queue.lock().unwrap();
-        let active = shared.active.load(Ordering::SeqCst);
-        if active >= shared.cfg.max_connections && queue.len() >= shared.cfg.max_queued {
-            drop(queue);
-            // Reject off-thread: the reply waits (bounded) for the
-            // client's HELLO, and the accept loop must keep refusing at
-            // full speed under overload, not one connection per tick.
-            // Beyond MAX_REJECTORS concurrent helpers the polite reply
-            // is dropped — the stream just closes — so a connect flood
-            // cannot manufacture threads.
-            if shared.rejectors.fetch_add(1, Ordering::SeqCst) < MAX_REJECTORS {
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || {
-                    shared.busy_reject(stream, "admission queue full; retry later");
-                    shared.rejectors.fetch_sub(1, Ordering::SeqCst);
-                });
-            } else {
-                shared.rejectors.fetch_sub(1, Ordering::SeqCst);
-                shared.engine.counters().add_busy_rejection();
-            }
-            continue;
-        }
-        shared.engine.counters().add_connection_accepted();
-        queue.push_back(stream);
-        drop(queue);
-        shared.queue_cv.notify_one();
-    }
-}
-
-fn worker_loop(shared: &Shared) {
-    loop {
-        let stream = {
-            let mut queue = shared.queue.lock().unwrap();
-            loop {
-                if let Some(s) = queue.pop_front() {
-                    break Some(s);
-                }
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    break None;
-                }
-                queue = shared.queue_cv.wait(queue).unwrap();
-            }
-        };
-        let Some(stream) = stream else { return };
-        if shared.shutdown.load(Ordering::SeqCst) {
-            // Admitted but never served before the drain began: refuse
-            // with a typed error rather than serving new work.
-            shared.busy_reject(stream, "server shutting down");
-            continue;
-        }
-        shared.active.fetch_add(1, Ordering::SeqCst);
-        serve_conn(shared, stream);
-        shared.active.fetch_sub(1, Ordering::SeqCst);
-    }
-}
-
-/// Serve one connection to completion: handshake, then a request loop
-/// that polls the idle clock and the shutdown flag between frames.
-fn serve_conn(shared: &Shared, mut stream: TcpStream) {
-    let _ = stream.set_nodelay(true);
-    let tick = POLL_TICK
-        .min(shared.cfg.idle_timeout)
-        .max(Duration::from_millis(1));
-    if stream.set_read_timeout(Some(tick)).is_err() {
-        return;
-    }
-    let counters = shared.engine.counters();
-    let session_id = shared.registry.next_session_id();
-    let ctx = ConnCtx {
-        registry: Arc::clone(&shared.registry),
-        session_id,
-        // A clone of the socket lets the watchdog peek for half-closed
-        // clients while a query runs. Best-effort: without it the query
-        // still runs, just without disconnect detection.
-        stream: stream.try_clone().ok(),
-        query_deadline: shared.cfg.query_deadline_ms.map(Duration::from_millis),
-    };
-    let mut conn = Conn::new(
-        shared
-            .engine
-            .session()
-            .with_batch_size(shared.cfg.batch_rows),
-        shared.cfg.batch_rows,
-        ctx,
-    );
-    let mut shook_hands = false;
-    let mut last_activity = Instant::now();
-    // When this connection first observed the drain; reset only by
-    // requests that make drain progress (FETCH/CANCEL), so a client
-    // pinging other requests cannot hold shutdown open past the
-    // idle_timeout budget.
-    let mut drain_since: Option<Instant> = None;
-    loop {
-        let payload = match read_frame(&mut stream) {
-            Ok(Some(p)) => p,
-            // Peer closed cleanly between frames.
-            Ok(None) => return,
-            Err(Error::Io(e))
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                let draining = shared.shutdown.load(Ordering::SeqCst);
-                if draining {
-                    let since = *drain_since.get_or_insert_with(Instant::now);
-                    if !conn.has_open_cursors() || since.elapsed() >= shared.cfg.idle_timeout {
-                        // Nothing owed to this client, or it stopped
-                        // draining; drop it so shutdown can complete.
-                        return;
-                    }
-                }
-                if last_activity.elapsed() >= shared.cfg.idle_timeout {
-                    return;
-                }
-                continue;
-            }
-            // Framing broke (mid-frame EOF, oversized frame, io error):
-            // the byte stream can't be trusted any more.
-            Err(e) => {
-                let _ = respond(&mut stream, &Response::from_error(&e));
-                return;
-            }
-        };
-        last_activity = Instant::now();
-        let draining = shared.shutdown.load(Ordering::SeqCst);
-        // Frames are self-delimiting, so a message-level decode error
-        // poisons only that request, not the connection.
-        let req = match Request::decode(&payload) {
-            Ok(req) => req,
-            Err(e) => {
-                counters.add_request_served();
-                if respond(&mut stream, &Response::from_error(&e)).is_err() || !shook_hands {
-                    return;
-                }
-                continue;
-            }
-        };
-        if !shook_hands {
-            let resp = match req {
-                Request::Hello { version } if version == PROTOCOL_VERSION => {
-                    shook_hands = true;
-                    Response::HelloOk {
-                        version: PROTOCOL_VERSION,
-                        batch_rows: shared.cfg.batch_rows as u32,
-                        session: session_id,
-                    }
-                }
-                Request::Hello { version } => Response::from_error(&Error::protocol(format!(
-                    "unsupported protocol version {version} (server speaks {PROTOCOL_VERSION})"
-                ))),
-                _ => Response::from_error(&Error::protocol("expected HELLO before any request")),
-            };
-            counters.add_request_served();
-            if respond(&mut stream, &resp).is_err() || !shook_hands {
-                return;
-            }
-            continue;
-        }
-        let advances_drain = matches!(req, Request::Fetch { .. } | Request::Cancel { .. });
-        // Panic firewall: a panic anywhere in request handling (cursor
-        // paging, protocol plumbing — the session has its own inner
-        // catch for query execution) kills this *request* with a typed
-        // INTERNAL error; the worker thread and its pool slot survive.
-        let handled =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| conn.handle(req, draining)));
-        let (resp, flow) = handled.unwrap_or_else(|payload| {
-            counters.add_panic_contained();
-            (
-                Response::from_error(&Error::from_panic("request handling", payload)),
-                Flow::Continue,
-            )
-        });
-        counters.add_request_served();
-        if respond(&mut stream, &resp).is_err() || flow == Flow::Close {
-            return;
-        }
-        if draining {
-            // The drain contract: finish what the client is owed, then
-            // close instead of taking new work. Only drain progress
-            // extends the budget.
-            if advances_drain {
-                drain_since = Some(Instant::now());
-            }
-            let since = *drain_since.get_or_insert_with(Instant::now);
-            if !conn.has_open_cursors() || since.elapsed() >= shared.cfg.idle_timeout {
-                return;
-            }
-        }
-    }
-}
-
-fn respond(stream: &mut TcpStream, resp: &Response) -> Result<()> {
-    match write_frame(stream, &resp.encode()) {
-        Err(Error::Protocol(m)) => {
-            // The response outgrew the frame limit (a huge batch_rows
-            // over wide rows). Nothing was written — the stream is still
-            // in sync — so send a typed error the client can see, then
-            // close anyway (return Err): for a BATCH the page's rows
-            // were already consumed from the cursor, and letting the
-            // client fetch the *next* page would silently hole the
-            // result. A dead connection is loud; a missing page is not.
-            let err = Response::from_error(&Error::exec(format!(
-                "response exceeded the frame limit ({m}); lower ServerConfig::batch_rows"
-            )));
-            let _ = write_frame(stream, &err.encode());
-            Err(Error::protocol(m))
-        }
-        other => other,
     }
 }

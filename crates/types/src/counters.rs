@@ -94,6 +94,18 @@ pub struct WorkCounters {
     /// join) and converted into a typed `Internal` error instead of
     /// aborting the process.
     pub panics_contained: AtomicU64,
+    /// Gauge, not a count: connections currently parked on the server
+    /// reactor — admitted, idle, and costing zero threads until bytes
+    /// arrive. Recorded via store after every reactor state change.
+    pub conns_parked: AtomicU64,
+    /// Times the reactor's `poll(2)` call returned (readiness, timeout
+    /// or wakeup pipe). The per-request ratio says how well wakeups
+    /// batch: far more wakeups than requests means tiny reads.
+    pub reactor_wakeups: AtomicU64,
+    /// Readiness events that ended with an incomplete frame still
+    /// buffered (the peer's frame was torn across TCP segments). High
+    /// values are normal for large frames on small socket buffers.
+    pub frames_partial: AtomicU64,
 }
 
 impl WorkCounters {
@@ -239,6 +251,22 @@ impl WorkCounters {
         self.panics_contained.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Set the parked-connections gauge (store semantics: the reactor
+    /// publishes its current count, it does not accumulate).
+    pub fn set_conns_parked(&self, n: u64) {
+        self.conns_parked.store(n, Ordering::Relaxed);
+    }
+
+    /// Record one reactor wakeup.
+    pub fn add_reactor_wakeup(&self) {
+        self.reactor_wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one readiness event that left a torn frame buffered.
+    pub fn add_frame_partial(&self) {
+        self.frames_partial.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Capture the current values.
     pub fn snapshot(&self) -> CountersSnapshot {
         CountersSnapshot {
@@ -269,6 +297,9 @@ impl WorkCounters {
             conns_shed: self.conns_shed.load(Ordering::Relaxed),
             mem_reserved_peak: self.mem_reserved_peak.load(Ordering::Relaxed),
             panics_contained: self.panics_contained.load(Ordering::Relaxed),
+            conns_parked: self.conns_parked.load(Ordering::Relaxed),
+            reactor_wakeups: self.reactor_wakeups.load(Ordering::Relaxed),
+            frames_partial: self.frames_partial.load(Ordering::Relaxed),
         }
     }
 
@@ -301,6 +332,9 @@ impl WorkCounters {
         self.conns_shed.store(0, Ordering::Relaxed);
         self.mem_reserved_peak.store(0, Ordering::Relaxed);
         self.panics_contained.store(0, Ordering::Relaxed);
+        self.conns_parked.store(0, Ordering::Relaxed);
+        self.reactor_wakeups.store(0, Ordering::Relaxed);
+        self.frames_partial.store(0, Ordering::Relaxed);
     }
 }
 
@@ -361,6 +395,12 @@ pub struct CountersSnapshot {
     pub mem_reserved_peak: u64,
     /// See [`WorkCounters::panics_contained`].
     pub panics_contained: u64,
+    /// See [`WorkCounters::conns_parked`].
+    pub conns_parked: u64,
+    /// See [`WorkCounters::reactor_wakeups`].
+    pub reactor_wakeups: u64,
+    /// See [`WorkCounters::frames_partial`].
+    pub frames_partial: u64,
 }
 
 impl CountersSnapshot {
@@ -427,6 +467,11 @@ impl CountersSnapshot {
             panics_contained: self
                 .panics_contained
                 .saturating_sub(earlier.panics_contained),
+            // Also a gauge: the interval's parked count is the later
+            // sample, floored at zero against the earlier one.
+            conns_parked: self.conns_parked.saturating_sub(earlier.conns_parked),
+            reactor_wakeups: self.reactor_wakeups.saturating_sub(earlier.reactor_wakeups),
+            frames_partial: self.frames_partial.saturating_sub(earlier.frames_partial),
         }
     }
 }
@@ -435,7 +480,7 @@ impl fmt::Display for CountersSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "read={}B written={}B rows_tok={} fields_tok={} parsed={} trips={} abandoned={} evicted={} plan_hits={} plan_misses={} morsels={} par_pipelines={} fused_proj={} fused_joins={} conns={} reqs={} busy={} rc_hits={} rc_subsumed={} rc_misses={} rc_evicted={} cancelled={} timed_out={} shed={} conns_shed={} mem_peak={}B panics={}",
+            "read={}B written={}B rows_tok={} fields_tok={} parsed={} trips={} abandoned={} evicted={} plan_hits={} plan_misses={} morsels={} par_pipelines={} fused_proj={} fused_joins={} conns={} reqs={} busy={} rc_hits={} rc_subsumed={} rc_misses={} rc_evicted={} cancelled={} timed_out={} shed={} conns_shed={} mem_peak={}B panics={} parked={} wakeups={} torn={}",
             self.bytes_read,
             self.bytes_written,
             self.rows_tokenized,
@@ -463,6 +508,9 @@ impl fmt::Display for CountersSnapshot {
             self.conns_shed,
             self.mem_reserved_peak,
             self.panics_contained,
+            self.conns_parked,
+            self.reactor_wakeups,
+            self.frames_partial,
         )
     }
 }

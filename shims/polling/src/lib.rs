@@ -1,0 +1,192 @@
+//! Offline stand-in for a readiness-polling crate: the tiny slice of
+//! `poll(2)` the nodb server's reactor actually uses, with no `libc`
+//! dependency. On unix the symbols are declared directly against the C
+//! runtime already linked into every Rust binary; elsewhere every call
+//! returns `ErrorKind::Unsupported` so the workspace still compiles
+//! (the reactor server is unix-only, like the fd-based multiplexing it
+//! is built on).
+
+use std::io;
+
+/// Readable data is available (or a listening socket has a pending
+/// connection).
+pub const POLLIN: i16 = 0x001;
+/// Writing is possible without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// An error condition on the fd (revents only).
+pub const POLLERR: i16 = 0x008;
+/// The peer hung up (revents only).
+pub const POLLHUP: i16 = 0x010;
+/// The fd is not open (revents only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of a `poll(2)` set: the fd, the events the caller is
+/// interested in, and the events the kernel reports back.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The file descriptor to watch; a negative fd is ignored by the
+    /// kernel (its `revents` come back zero), which callers use to keep
+    /// slot indices stable.
+    pub fd: i32,
+    /// Requested events (`POLLIN` / `POLLOUT`).
+    pub events: i16,
+    /// Returned events; includes `POLLERR`/`POLLHUP`/`POLLNVAL` even
+    /// when not requested.
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// Watch `fd` for `events`.
+    pub fn new(fd: i32, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+}
+
+#[cfg(unix)]
+extern "C" {
+    // int poll(struct pollfd *fds, nfds_t nfds, int timeout);
+    // `nfds_t` is `unsigned long` on every unix Rust targets.
+    fn poll(fds: *mut PollFd, nfds: std::ffi::c_ulong, timeout: std::ffi::c_int)
+        -> std::ffi::c_int;
+}
+
+/// Block until one of `fds` is ready, the timeout elapses, or a signal
+/// arrives. `timeout` is milliseconds; `None` blocks indefinitely.
+/// Returns how many entries have nonzero `revents` (0 = timed out).
+/// `EINTR` is mapped to `Ok(0)` — to a reactor a signal is just a
+/// spurious wakeup.
+#[cfg(unix)]
+pub fn wait(fds: &mut [PollFd], timeout: Option<u32>) -> io::Result<usize> {
+    let timeout = timeout.map_or(-1i32, |ms| ms.min(i32::MAX as u32) as i32);
+    // SAFETY: `PollFd` is `#[repr(C)]` and layout-identical to
+    // `struct pollfd`; the slice pointer/length pair is valid for the
+    // duration of the call.
+    let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as std::ffi::c_ulong, timeout) };
+    if n < 0 {
+        let e = io::Error::last_os_error();
+        if e.kind() == io::ErrorKind::Interrupted {
+            return Ok(0);
+        }
+        return Err(e);
+    }
+    Ok(n as usize)
+}
+
+/// Non-unix fallback: readiness polling over raw fds has no portable
+/// std story, so the call is refused at runtime (the server refuses to
+/// bind rather than busy-spinning blind).
+#[cfg(not(unix))]
+pub fn wait(_fds: &mut [PollFd], _timeout: Option<u32>) -> io::Result<usize> {
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "poll(2) readiness is only wired up on unix targets",
+    ))
+}
+
+#[cfg(unix)]
+extern "C" {
+    // int getrlimit(int resource, struct rlimit *rlim);
+    // int setrlimit(int resource, const struct rlimit *rlim);
+    fn getrlimit(resource: std::ffi::c_int, rlim: *mut Rlimit) -> std::ffi::c_int;
+    fn setrlimit(resource: std::ffi::c_int, rlim: *const Rlimit) -> std::ffi::c_int;
+}
+
+#[cfg(unix)]
+#[repr(C)]
+struct Rlimit {
+    cur: u64,
+    max: u64,
+}
+
+/// `RLIMIT_NOFILE` — 7 on linux, 8 on the BSDs/macOS. Gated per-OS so
+/// the raise below adjusts the limit it means to.
+#[cfg(target_os = "linux")]
+const RLIMIT_NOFILE: std::ffi::c_int = 7;
+#[cfg(all(unix, not(target_os = "linux")))]
+const RLIMIT_NOFILE: std::ffi::c_int = 8;
+
+/// Raise the soft open-file limit toward its hard cap and return the
+/// resulting soft limit. Needed by anything that parks thousands of
+/// sockets on one process (the scale tests); a failure is reported, not
+/// fatal — the caller decides whether the current limit suffices.
+#[cfg(unix)]
+pub fn raise_nofile_limit() -> io::Result<u64> {
+    let mut lim = Rlimit { cur: 0, max: 0 };
+    // SAFETY: `Rlimit` matches `struct rlimit` (two same-width fields)
+    // on LP64 unix, and the pointer outlives the call.
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if lim.cur < lim.max {
+        let want = Rlimit {
+            cur: lim.max,
+            max: lim.max,
+        };
+        // SAFETY: same layout argument as above.
+        if unsafe { setrlimit(RLIMIT_NOFILE, &want) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        return Ok(want.cur);
+    }
+    Ok(lim.cur)
+}
+
+/// Non-unix fallback; see [`wait`].
+#[cfg(not(unix))]
+pub fn raise_nofile_limit() -> io::Result<u64> {
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "rlimits are only wired up on unix targets",
+    ))
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn pipe_readiness_round_trip() {
+        let (mut tx, rx) = std::os::unix::net::UnixStream::pair().unwrap();
+        let mut fds = [PollFd::new(rx.as_raw_fd(), POLLIN)];
+        // Nothing written yet: a zero timeout reports nothing ready.
+        assert_eq!(wait(&mut fds, Some(0)).unwrap(), 0);
+        assert_eq!(fds[0].revents, 0);
+        tx.write_all(b"x").unwrap();
+        let n = wait(&mut fds, Some(1000)).unwrap();
+        assert_eq!(n, 1);
+        assert_ne!(fds[0].revents & POLLIN, 0);
+    }
+
+    #[test]
+    fn hup_is_reported_on_peer_close() {
+        let (tx, rx) = std::os::unix::net::UnixStream::pair().unwrap();
+        drop(tx);
+        let mut fds = [PollFd::new(rx.as_raw_fd(), POLLIN)];
+        let n = wait(&mut fds, Some(1000)).unwrap();
+        assert_eq!(n, 1);
+        // Linux reports POLLHUP for a fully-closed peer on a socketpair;
+        // a portable caller treats either HUP or a zero-byte read as
+        // gone, so accept POLLIN too.
+        assert_ne!(fds[0].revents & (POLLIN | POLLHUP), 0);
+    }
+
+    #[test]
+    fn negative_fd_is_ignored() {
+        let mut fds = [PollFd::new(-1, POLLIN)];
+        assert_eq!(wait(&mut fds, Some(0)).unwrap(), 0);
+        assert_eq!(fds[0].revents, 0);
+    }
+
+    #[test]
+    fn nofile_limit_is_queryable_and_raisable() {
+        let lim = raise_nofile_limit().unwrap();
+        assert!(lim >= 64, "soft fd limit {lim} is implausibly small");
+    }
+}

@@ -1,7 +1,7 @@
 //! `nodb-server` — serve a directory of raw CSV files over TCP.
 //!
 //! ```text
-//! nodb-server --data DIR [--listen ADDR] [--threads N]
+//! nodb-server --data DIR [--listen ADDR] [--threads N] [--workers N]
 //!             [--max-connections N] [--max-queued N] [--batch-rows N]
 //!             [--result-cache-mb N] [--query-deadline-ms N]
 //! ```
@@ -19,8 +19,8 @@ use nodb::{Engine, EngineConfig, NodbServer, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: nodb-server --data DIR [--listen ADDR] [--threads N] \
-         [--max-connections N] [--max-queued N] [--batch-rows N] \
-         [--result-cache-mb N] [--query-deadline-ms N]"
+         [--workers N] [--max-connections N] [--max-queued N] \
+         [--batch-rows N] [--result-cache-mb N] [--query-deadline-ms N]"
     );
     std::process::exit(2);
 }
@@ -46,6 +46,7 @@ fn main() {
                 let n = parse(&value("--threads"), "--threads");
                 engine_cfg = engine_cfg.with_threads(n);
             }
+            "--workers" => server_cfg.workers = parse(&value("--workers"), "--workers"),
             "--max-connections" => {
                 server_cfg.max_connections = parse(&value("--max-connections"), "--max-connections")
             }

@@ -292,8 +292,8 @@ fn cancel_query_aborts_running_scan_and_frees_worker() {
 }
 
 /// A client that vanishes mid-query (socket dropped, no QUIT) does not
-/// strand its worker: the disconnect watchdog notices the half-closed
-/// socket and cancels the running query.
+/// strand its worker: the reactor sees the EOF/HUP readiness event on
+/// the half-closed socket and cancels the running query.
 #[test]
 fn disconnect_mid_query_is_detected_and_cancelled() {
     let _g = fp_guard();
@@ -341,8 +341,10 @@ fn disconnect_mid_query_is_detected_and_cancelled() {
     .unwrap();
     drop(sock); // vanish mid-query
 
-    // The watchdog polls every 50ms; the cancelled query shows up in the
-    // engine's counters well before the scan could have finished.
+    // HUP-driven: the reactor reacts to the disconnect event itself (no
+    // polling watchdog), re-tripping cancellation every ~20ms until the
+    // query registers; the cancelled query shows up in the engine's
+    // counters well before the scan could have finished.
     let deadline = std::time::Instant::now() + Duration::from_secs(3);
     loop {
         if engine.counters().snapshot().queries_cancelled >= 1 {
@@ -350,7 +352,7 @@ fn disconnect_mid_query_is_detected_and_cancelled() {
         }
         assert!(
             std::time::Instant::now() < deadline,
-            "watchdog never cancelled the orphaned query"
+            "reactor never cancelled the orphaned query on HUP"
         );
         std::thread::sleep(Duration::from_millis(20));
     }

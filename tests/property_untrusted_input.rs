@@ -18,7 +18,7 @@ use std::io::Cursor;
 use proptest::prelude::*;
 
 use nodb::rawcsv::{scan_bytes, CsvOptions, ScanSpec};
-use nodb::server::framing::read_frame;
+use nodb::server::framing::{read_frame, write_frame, FrameDecoder};
 use nodb::server::protocol::{Request, Response};
 use nodb::types::{Schema, Value, WorkCounters};
 
@@ -47,6 +47,81 @@ proptest! {
         bytes.extend_from_slice(&tail);
         let mut r = Cursor::new(bytes);
         let _ = read_frame(&mut r); // must not panic or abort on OOM
+    }
+
+    /// Torn-frame fuzzing: the reactor's incremental [`FrameDecoder`]
+    /// sees the byte stream in arbitrary 1..k-byte chunks, the blocking
+    /// [`read_frame`] sees it whole — and they must agree exactly. The
+    /// same complete frames come out in the same order, an oversized
+    /// length prefix raises the same typed error, and a stream cut off
+    /// mid-frame (the blocking reader's "eof inside frame" error) is
+    /// reported by `has_partial`. Never a panic, regardless of where
+    /// the chunk boundaries fall.
+    #[test]
+    fn torn_frames_decode_identically_to_blocking_reader(
+        // A mix of well-formed frames and raw garbage, so the stream
+        // exercises clean boundaries, torn headers, torn payloads and
+        // hostile length prefixes.
+        frames in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 0..4),
+        tail in proptest::collection::vec(any::<u8>(), 0..24),
+        chunk in 1usize..9,
+    ) {
+        let mut bytes: Vec<u8> = Vec::new();
+        for f in &frames {
+            write_frame(&mut bytes, f).unwrap();
+        }
+        bytes.extend_from_slice(&tail);
+
+        // Reference: the blocking reader over the whole stream.
+        let mut r = Cursor::new(bytes.clone());
+        let mut blocking_frames = Vec::new();
+        let blocking_end = loop {
+            match read_frame(&mut r) {
+                Ok(Some(f)) => blocking_frames.push(f),
+                Ok(None) => break Ok(()),
+                Err(e) => break Err(e.to_string()),
+            }
+        };
+
+        // Candidate: the incremental decoder, fed `chunk` bytes at a
+        // time as a readiness loop would.
+        let mut dec = FrameDecoder::new();
+        for piece in bytes.chunks(chunk) {
+            dec.feed(piece);
+        }
+        let mut torn_frames = Vec::new();
+        let torn_end = loop {
+            match dec.next_frame() {
+                Ok(Some(f)) => torn_frames.push(f),
+                Ok(None) => break Ok(()),
+                Err(e) => break Err(e.to_string()),
+            }
+        };
+
+        prop_assert_eq!(&torn_frames, &blocking_frames, "decoded frames diverged");
+        match (&blocking_end, &torn_end) {
+            // Oversized length prefix: identical typed error.
+            (Err(b), Err(t)) => prop_assert_eq!(b, t, "different framing errors"),
+            // Clean end between frames: the decoder holds nothing back.
+            (Ok(()), Ok(())) => prop_assert!(
+                !dec.has_partial(),
+                "decoder reports a partial frame on a cleanly ended stream"
+            ),
+            // The blocking reader saw EOF mid-frame (or refused a
+            // length the decoder has not completed yet): the decoder
+            // must be visibly mid-frame so the reactor treats EOF here
+            // as a torn frame, not a clean close.
+            (Err(_), Ok(())) => prop_assert!(
+                dec.has_partial(),
+                "blocking reader errored ({:?}) but decoder reports no partial frame",
+                blocking_end
+            ),
+            (Ok(()), Err(_)) => prop_assert!(
+                false,
+                "decoder errored ({:?}) where the blocking reader ended cleanly",
+                torn_end
+            ),
+        }
     }
 
     /// Arbitrary payload bytes through both message decoders.
@@ -138,4 +213,83 @@ proptest! {
             Value::Int(7),
         );
     }
+}
+
+/// Hostile byte streams must not leak connection slots. Every garbage
+/// pattern below ends a connection through a different reactor path —
+/// framing poison, a message-level decode error before the handshake,
+/// EOF on a torn frame — against a server with only 3 slots and no
+/// admission queue. If any path forgot to free its slot, the server
+/// would be full of ghosts within a few rounds and the legitimate
+/// client interleaved between them would be refused with BUSY.
+#[test]
+fn garbage_streams_do_not_leak_connection_slots() {
+    use std::io::Write as _;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use nodb::core::{Engine, EngineConfig, LoadingStrategy};
+    use nodb::{Client, NodbServer, ServerConfig};
+
+    let dir = common::test_dir("untrusted_slots");
+    let mut cfg = EngineConfig::with_strategy(LoadingStrategy::ColumnLoads).with_threads(1);
+    cfg.store_dir = Some(dir.join("store"));
+    let engine = Arc::new(Engine::new(cfg));
+    let t = dir.join("t.csv");
+    common::write_int_table(&t, 50, 2);
+    engine.register_table("t", &t).unwrap();
+    let server = NodbServer::bind(
+        engine,
+        "127.0.0.1:0",
+        ServerConfig {
+            max_connections: 3,
+            max_queued: 0,
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // One slot-ending path per pattern: an oversized length prefix
+    // (framing poison -> typed error -> close), a complete frame of
+    // undecodable payload before HELLO (decode error -> close), a torn
+    // frame abandoned mid-payload (EOF with a partial -> reap), a torn
+    // header (EOF after 2 bytes), and an immediate hangup.
+    let patterns: [&[u8]; 5] = [
+        &[0xff, 0xff, 0xff, 0xff, 0xde, 0xad],
+        &[3, 0, 0, 0, 0xee, 0xee, 0xee],
+        &[16, 0, 0, 0, 1, 2, 3],
+        &[9, 0],
+        &[],
+    ];
+    for round in 0..4 {
+        for pattern in patterns {
+            let mut sock = std::net::TcpStream::connect(addr).expect("garbage socket connects");
+            if !pattern.is_empty() {
+                sock.write_all(pattern).unwrap();
+            }
+            drop(sock);
+            // A real client must still get one of the 3 slots. Brief
+            // retries absorb the race with the reactor reaping the
+            // garbage socket it just saw.
+            let mut ok = None;
+            for _ in 0..50 {
+                match Client::connect(addr) {
+                    Ok(c) => {
+                        ok = Some(c);
+                        break;
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            }
+            let mut client = ok.unwrap_or_else(|| {
+                panic!("server out of slots after garbage round {round}: leaked connection slot")
+            });
+            let (_, rows) = client.query_all("select count(*) from t").unwrap();
+            assert_eq!(rows, vec![vec![Value::Int(50)]]);
+            client.quit().unwrap();
+        }
+    }
+    server.shutdown();
 }
