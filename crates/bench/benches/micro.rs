@@ -16,7 +16,10 @@
 //!   how well session-per-connection workers overlap);
 //! * cancellation overhead: a hot per-row-checked kernel with no ambient
 //!   cancel token vs under an armed token + deadline (the `off`/`on`
-//!   ratio proves cooperative cancellation costs ~nothing).
+//!   ratio proves cooperative cancellation costs ~nothing);
+//! * profile overhead: the full warm `Engine::sql` path with no ambient
+//!   `ProfileSink` vs under an armed `ProfileScope` (the `off`/`on`
+//!   ratio proves disabled phase probes cost ~nothing).
 
 use std::collections::BTreeMap;
 
@@ -923,6 +926,48 @@ fn bench_robustness(c: &mut Criterion) {
     g.finish();
 }
 
+/// Profile-probe pair: the full warm `Engine::sql` path — plan cache,
+/// result-cache lookup, warm kernel, stats assembly, every one of which
+/// carries a phase probe — with no ambient `ProfileSink` (each probe is
+/// a single thread-local read that finds nothing) vs under an installed
+/// `ProfileScope` (each phase guard stamps `Instant`s and folds its
+/// self-time into the sink). The `off` ÷ `on` ratio lands in the
+/// `speedups` section of `NODB_BENCH_JSON`; disabled probes are free
+/// while both stay within a few percent of 1.
+fn bench_observability(c: &mut Criterion) {
+    use nodb_core::{Engine, EngineConfig, LoadingStrategy};
+    use nodb_types::{ProfileScope, ProfileSink};
+    use std::sync::Arc;
+
+    let rows = 50_000;
+    let dir = std::env::temp_dir().join("nodb-micro-profile");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("r.csv");
+    std::fs::write(&path, csv_bytes(rows, 4)).unwrap();
+
+    // ColumnLoads keeps the referenced columns resident and the result
+    // cache is off, so every iteration runs the probed warm path end to
+    // end rather than replaying a cached answer.
+    let mut cfg = EngineConfig::with_strategy(LoadingStrategy::ColumnLoads).with_threads(1);
+    cfg.store_dir = Some(dir.join("store"));
+    cfg.result_cache_bytes = 0;
+    let e = Engine::new(cfg);
+    e.register_table("r", &path).unwrap();
+    let sql = "select a1, count(*) from r where a2 > 1000 group by a1 order by a1 limit 50";
+    e.sql(sql).unwrap(); // warm the store so iterations measure execution
+
+    let mut g = c.benchmark_group("observability");
+    g.sample_size(20);
+    g.bench_function("profile_overhead/off", |b| b.iter(|| e.sql(sql).unwrap()));
+    g.bench_function("profile_overhead/on", |b| {
+        let sink = ProfileSink::handle();
+        let _scope = ProfileScope::enter(Arc::clone(&sink));
+        b.iter(|| e.sql(sql).unwrap())
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_tokenizer,
@@ -933,6 +978,7 @@ criterion_group!(
     bench_prepared_vs_raw,
     bench_result_cache,
     bench_server,
-    bench_robustness
+    bench_robustness,
+    bench_observability
 );
 criterion_main!(benches);

@@ -60,6 +60,18 @@ pub enum KernelStrategy {
     Hybrid,
 }
 
+impl KernelStrategy {
+    /// Human-readable label used in EXPLAIN output and benchmark tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelStrategy::Auto => "auto",
+            KernelStrategy::Columnar => "columnar",
+            KernelStrategy::Volcano => "volcano",
+            KernelStrategy::Hybrid => "hybrid",
+        }
+    }
+}
+
 /// Engine-wide configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -247,5 +259,13 @@ mod tests {
         ];
         let labels: std::collections::HashSet<&str> = all.iter().map(|s| s.label()).collect();
         assert_eq!(labels.len(), all.len());
+        let kernels = [
+            KernelStrategy::Auto,
+            KernelStrategy::Columnar,
+            KernelStrategy::Volcano,
+            KernelStrategy::Hybrid,
+        ];
+        let klabels: std::collections::HashSet<&str> = kernels.iter().map(|s| s.label()).collect();
+        assert_eq!(klabels.len(), kernels.len());
     }
 }

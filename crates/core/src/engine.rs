@@ -27,6 +27,7 @@ use nodb_exec::{
 };
 use nodb_sql::{OutputExpr, Plan, Statement};
 use nodb_store::persist;
+use nodb_types::profile::{self, CacheOutcome, Phase, ProfileScope, ProfileSink, QueryProfile};
 use nodb_types::resource::{self, MemoryGuard, MemoryPool, MemoryScope};
 use nodb_types::{
     ColumnData, Conjunction, CountersSnapshot, DataType, Error, Field, Result, Schema, Value,
@@ -111,6 +112,12 @@ pub struct QueryStats {
     pub work: CountersSnapshot,
     /// The loading strategy that served it.
     pub strategy: LoadingStrategy,
+    /// Per-phase execution profile. Empty (all zeros) unless a
+    /// [`ProfileScope`] was ambient while the query ran — `EXPLAIN
+    /// ANALYZE` and the server's slow-query log arm one; plain queries
+    /// pay a single thread-local read per phase probe and record
+    /// nothing.
+    pub profile: QueryProfile,
 }
 
 /// Diagnostics about a table's derived state.
@@ -390,7 +397,7 @@ impl Engine {
             schemas.insert(t.to_ascii_lowercase(), e.schema()?.clone());
         }
         let plan = nodb_sql::plan(&ast, &schemas)?;
-        let mut out = format!("-- strategy: {}\n{plan}", self.cfg.strategy.label());
+        let mut out = plan.render(self.cfg.strategy.label(), self.cfg.kernel.label());
         let (needed_l, needed_r) = plan.referenced_per_table();
         for (t, needed) in [
             (&plan.table, needed_l),
@@ -425,9 +432,100 @@ impl Engine {
         Ok(out)
     }
 
-    /// Parse, plan and execute one SQL statement — a SELECT, or
+    /// `EXPLAIN ANALYZE`: execute the query under a fresh profile sink and
+    /// render the same per-step listing as [`Engine::explain`], followed by
+    /// the measured annotations — rows produced, wall clock, result-cache
+    /// outcome, one line per phase that ran (exclusive self-time on the
+    /// coordinating thread, so the phase times are disjoint and their sum
+    /// is bounded by the wall clock), and the parallel-pipeline aggregates
+    /// (morsels, steals, rows, bytes) recorded by the workers.
+    pub fn explain_analyze(&self, text: &str) -> Result<String> {
+        let started = Instant::now();
+        let before = self.counters.snapshot();
+        let sink = ProfileSink::handle();
+        let (plan, out) = {
+            let _scope = ProfileScope::enter(Arc::clone(&sink));
+            let plan = self.plan_select(text)?;
+            let out = self
+                .stream_plan(&plan, usize::MAX, started, before)?
+                .collect_output()?;
+            (plan, out)
+        };
+        let elapsed = started.elapsed();
+        let prof = sink.snapshot();
+        let mut s = plan.render(self.cfg.strategy.label(), self.cfg.kernel.label());
+        s.push_str(&format!(
+            "-- analyze: rows={} elapsed={} cache={}\n",
+            out.rows.len(),
+            profile::fmt_ns(elapsed.as_nanos().min(u64::MAX as u128) as u64),
+            prof.cache.label(),
+        ));
+        for (phase, ns, hits) in prof.phases() {
+            s.push_str(&format!(
+                "-- phase {}: {} ({} call{})\n",
+                phase.label(),
+                profile::fmt_ns(ns),
+                hits,
+                if hits == 1 { "" } else { "s" },
+            ));
+        }
+        s.push_str(&format!(
+            "-- workers: morsels={} steals={} rows={} bytes={}\n",
+            prof.morsels, prof.steals, prof.rows, prof.bytes,
+        ));
+        s.push_str(&format!(
+            "-- phase total: {} of {} wall\n",
+            profile::fmt_ns(prof.total_phase_ns()),
+            profile::fmt_ns(elapsed.as_nanos().min(u64::MAX as u128) as u64),
+        ));
+        Ok(s)
+    }
+
+    /// `EXPLAIN [ANALYZE] <select>` as a [`QueryOutput`]: one `plan`
+    /// column, one row per listing line — the shape lets EXPLAIN travel
+    /// through every result path (sessions, the wire server, CSV export)
+    /// unchanged. Plain EXPLAIN never executes; ANALYZE runs the query via
+    /// [`Engine::explain_analyze`] and reports its measured profile.
+    fn explain_output(
+        &self,
+        text: &str,
+        started: Instant,
+        before: CountersSnapshot,
+    ) -> Result<QueryOutput> {
+        let rest = after_keyword(text);
+        let (analyze, body) = if leading_keyword(rest).eq_ignore_ascii_case("analyze") {
+            (true, after_keyword(rest))
+        } else {
+            (false, rest)
+        };
+        if leading_keyword(body).is_empty() {
+            return Err(Error::Plan("EXPLAIN needs a statement to describe".into()));
+        }
+        let listing = if analyze {
+            self.explain_analyze(body)?
+        } else {
+            self.explain(body)?
+        };
+        let rows: Vec<Vec<Value>> = listing
+            .lines()
+            .map(|l| vec![Value::Str(l.to_owned())])
+            .collect();
+        Ok(QueryOutput {
+            columns: vec!["plan".to_owned()],
+            rows,
+            stats: QueryStats {
+                elapsed: started.elapsed(),
+                work: self.counters.snapshot().since(&before),
+                strategy: self.cfg.strategy,
+                profile: QueryProfile::default(),
+            },
+        })
+    }
+
+    /// Parse, plan and execute one SQL statement — a SELECT,
     /// `CREATE TABLE <t> AS SELECT ...` (which materialises the result as
-    /// an in-memory table and also returns it).
+    /// an in-memory table and also returns it), or `EXPLAIN [ANALYZE]
+    /// <select>` (which returns the plan listing as rows).
     ///
     /// Repeat SELECTs are served from the engine plan cache (keyed on
     /// normalized text), skipping the lexer/parser/planner entirely; see
@@ -437,7 +535,8 @@ impl Engine {
     pub fn sql(&self, text: &str) -> Result<QueryOutput> {
         let started = Instant::now();
         let before = self.counters.snapshot();
-        if leading_keyword(text).eq_ignore_ascii_case("create") {
+        let kw = leading_keyword(text);
+        if kw.eq_ignore_ascii_case("create") {
             let stmt = nodb_sql::parse_statement(text)?;
             return match stmt {
                 Statement::CreateTableAs { name, query } => {
@@ -445,6 +544,9 @@ impl Engine {
                 }
                 Statement::Select(_) => unreachable!("leading keyword was CREATE"),
             };
+        }
+        if kw.eq_ignore_ascii_case("explain") {
+            return self.explain_output(text, started, before);
         }
         let plan = self.plan_select(text)?;
         self.stream_plan(&plan, usize::MAX, started, before)?
@@ -521,6 +623,7 @@ impl Engine {
     /// schemas the plan resolves against, so a concurrent file edit can
     /// never tag a stale plan with a fresh epoch.
     pub(crate) fn plan_select_with_deps(&self, text: &str) -> Result<(Arc<Plan>, PlanDeps)> {
+        let _p = profile::phase(Phase::Plan);
         let key = normalize_sql(text);
         if let Some(hit) = self.plan_cache.get(&key, |t| self.ensured_epoch(t).ok()) {
             self.counters.add_plan_cache_hit();
@@ -586,6 +689,7 @@ impl Engine {
         } else {
             None
         };
+        profile::note_strategy(self.cfg.strategy.label());
         // Result cache: consult before any loading work. On a miss this
         // also captures the schema epochs *before* execution, so a file
         // edit racing the query can only make the installed entry
@@ -692,6 +796,7 @@ impl Engine {
         started: Instant,
         before: CountersSnapshot,
     ) -> Result<CacheLookup> {
+        let _p = profile::phase(Phase::ResultCacheLookup);
         let mut deps: PlanDeps = Vec::new();
         let mut tables = vec![plan.table.clone()];
         if let Some(j) = &plan.join {
@@ -707,6 +812,7 @@ impl Engine {
             .get_exact(&plan_fingerprint(plan), epoch_of)
         {
             self.counters.add_result_cache_hit();
+            profile::note_cache(CacheOutcome::Hit);
             let body = StreamBody::Rows {
                 rows: rows.as_ref().clone(),
                 cursor: 0,
@@ -729,6 +835,7 @@ impl Engine {
                     .all(|c| cols.contains_key(c))
                 {
                     self.counters.add_result_cache_subsumed_hit();
+                    profile::note_cache(CacheOutcome::SubsumedHit);
                     // The cached rows are the family's qualifying rows in
                     // scan order; running the standard filter → order →
                     // window → project pipeline over them yields exactly
@@ -743,6 +850,7 @@ impl Engine {
             }
         }
         self.counters.add_result_cache_miss();
+        profile::note_cache(CacheOutcome::Miss);
         Ok(CacheLookup::Miss(deps))
     }
 
@@ -760,6 +868,7 @@ impl Engine {
         deps: PlanDeps,
         now: u64,
     ) -> Result<StreamBody> {
+        let _p = profile::phase(Phase::ResultCacheCapture);
         let mut evicted = 0u64;
         if let Some(constraint) = subsumable_constraint(plan) {
             evicted += self.capture_family(plan, constraint, &deps, now)?;
@@ -862,6 +971,7 @@ impl Engine {
         filter: &Conjunction,
         now: u64,
     ) -> Result<Materialized> {
+        let _p = profile::phase(Phase::Load);
         let entry = self.catalog.read().get(table)?;
         // Warm adaptive-index fast path: snapshot handles under a short
         // write lock and crack outside it, so racing range queries refine
@@ -949,6 +1059,7 @@ impl Engine {
         if !self.fused_cold_eligible() {
             return Ok(None);
         }
+        let _p = profile::phase(Phase::ColdPipeline);
         match &plan.join {
             None => self.try_fused_cold_single(plan, needed_l, batch_size, now),
             Some(_) => self.try_fused_cold_join(plan, needed_l, needed_r, filter_l, filter_r, now),
@@ -1127,31 +1238,35 @@ impl Engine {
                 .collect();
             // Partition-wise parallel merge, then the shared grouped
             // output shaping (column order, ORDER BY, OFFSET/LIMIT).
-            let grouped = finish_group_partials(merge_group_partials(
-                group_partials,
-                self.cfg.threads,
-                self.cfg.group_partitions,
-            )?)?;
+            let grouped = profile::time(Phase::GroupMerge, || {
+                finish_group_partials(merge_group_partials(
+                    group_partials,
+                    self.cfg.threads,
+                    self.cfg.group_partitions,
+                )?)
+            })?;
             let rows = format_grouped(plan, grouped)?;
             return Ok(Some(StreamBody::Rows { rows, cursor: 0 }));
         }
 
         // Plain aggregate: merge the per-morsel accumulators in morsel
         // order.
-        let mut merged: Vec<Accumulator> =
-            agg_specs.iter().map(|s| Accumulator::new(s.func)).collect();
-        for partial in partials {
-            let Partial::Accs(accs) = partial else {
-                unreachable!("aggregate sink")
-            };
-            for (m, p) in merged.iter_mut().zip(accs) {
-                m.merge(p)?;
+        let vals: Vec<Value> = profile::time(Phase::GroupMerge, || {
+            let mut merged: Vec<Accumulator> =
+                agg_specs.iter().map(|s| Accumulator::new(s.func)).collect();
+            for partial in partials {
+                let Partial::Accs(accs) = partial else {
+                    unreachable!("aggregate sink")
+                };
+                for (m, p) in merged.iter_mut().zip(accs) {
+                    m.merge(p)?;
+                }
             }
-        }
-        let vals: Vec<Value> = merged
-            .iter()
-            .map(|a| a.finish())
-            .collect::<Result<Vec<_>>>()?;
+            merged
+                .iter()
+                .map(|a| a.finish())
+                .collect::<Result<Vec<_>>>()
+        })?;
         let mut rows = vec![vals];
         window(&mut rows, plan.offset, plan.limit);
         Ok(Some(StreamBody::Rows { rows, cursor: 0 }))
@@ -1303,7 +1418,9 @@ impl Engine {
             }
             (rows, parts, cols)
         };
-        let tables = build_cold_join_tables(build_parts, p, self.cfg.threads)?;
+        let tables = profile::time(Phase::JoinBuild, || {
+            build_cold_join_tables(build_parts, p, self.cfg.threads)
+        })?;
 
         // Probe side: each morsel probes the partition tables as soon as
         // it is parsed; chunk concatenation in morsel order reproduces
@@ -1341,23 +1458,25 @@ impl Engine {
         // payload columns into the combined map and run the shared
         // post-join pipeline, exactly as execute_join does after
         // resolving its dense pairs.
-        let total: usize = pair_chunks.iter().map(Vec::len).sum();
-        let mut li: Vec<usize> = Vec::with_capacity(total);
-        let mut ri: Vec<usize> = Vec::with_capacity(total);
-        for chunk in pair_chunks {
-            for (a, b) in chunk {
-                li.push(a);
-                ri.push(b);
+        let (combined, n) = profile::time(Phase::JoinProbe, || {
+            let total: usize = pair_chunks.iter().map(Vec::len).sum();
+            let mut li: Vec<usize> = Vec::with_capacity(total);
+            let mut ri: Vec<usize> = Vec::with_capacity(total);
+            for chunk in pair_chunks {
+                for (a, b) in chunk {
+                    li.push(a);
+                    ri.push(b);
+                }
             }
-        }
-        let mut combined: BTreeMap<usize, Arc<ColumnData>> = BTreeMap::new();
-        for (&c, col) in &cols_l {
-            combined.insert(c, Arc::new(col.take(&li)));
-        }
-        for (&c, col) in &cols_r {
-            combined.insert(plan.left_width + c, Arc::new(col.take(&ri)));
-        }
-        let n = li.len();
+            let mut combined: BTreeMap<usize, Arc<ColumnData>> = BTreeMap::new();
+            for (&c, col) in &cols_l {
+                combined.insert(c, Arc::new(col.take(&li)));
+            }
+            for (&c, col) in &cols_r {
+                combined.insert(plan.left_width + c, Arc::new(col.take(&ri)));
+            }
+            (combined, li.len())
+        });
         Ok(Some(self.execute_relational(
             plan,
             combined,
@@ -1411,29 +1530,34 @@ impl Engine {
         // builds (the measured sub-1.0 speedup of the old always-parallel
         // gate).
         let join_rows = key_l.len().max(key_r.len());
-        let pairs = if self.cfg.threads > 1 && join_rows >= self.cfg.join_min_rows {
-            self.counters.add_parallel_pipeline();
-            parallel_hash_join_positions(&key_l, &key_r, self.cfg.threads, self.cfg.morsel_rows)?
-        } else {
-            hash_join_positions(&key_l, &key_r)?
-        };
+        let pairs = profile::time(Phase::JoinBuild, || {
+            if self.cfg.threads > 1 && join_rows >= self.cfg.join_min_rows {
+                self.counters.add_parallel_pipeline();
+                parallel_hash_join_positions(&key_l, &key_r, self.cfg.threads, self.cfg.morsel_rows)
+            } else {
+                hash_join_positions(&key_l, &key_r)
+            }
+        })?;
 
         // Map join positions back through the filters and gather payload
         // columns into a combined, dense column map.
-        let resolve = |p: usize, pos: &Option<Vec<usize>>| match pos {
-            None => p,
-            Some(v) => v[p],
-        };
-        let li: Vec<usize> = pairs.iter().map(|&(a, _)| resolve(a, &pos_l)).collect();
-        let ri: Vec<usize> = pairs.iter().map(|&(_, b)| resolve(b, &pos_r)).collect();
-        let mut combined: BTreeMap<usize, Arc<ColumnData>> = BTreeMap::new();
-        for (&c, col) in &mat_l.cols {
-            combined.insert(c, Arc::new(col.take(&li)));
-        }
-        for (&c, col) in &mat_r.cols {
-            combined.insert(plan.left_width + c, Arc::new(col.take(&ri)));
-        }
         let n = pairs.len();
+        let combined = profile::time(Phase::JoinProbe, || {
+            let resolve = |p: usize, pos: &Option<Vec<usize>>| match pos {
+                None => p,
+                Some(v) => v[p],
+            };
+            let li: Vec<usize> = pairs.iter().map(|&(a, _)| resolve(a, &pos_l)).collect();
+            let ri: Vec<usize> = pairs.iter().map(|&(_, b)| resolve(b, &pos_r)).collect();
+            let mut combined: BTreeMap<usize, Arc<ColumnData>> = BTreeMap::new();
+            for (&c, col) in &mat_l.cols {
+                combined.insert(c, Arc::new(col.take(&li)));
+            }
+            for (&c, col) in &mat_r.cols {
+                combined.insert(plan.left_width + c, Arc::new(col.take(&ri)));
+            }
+            combined
+        });
         self.execute_relational(plan, combined, n, &Conjunction::always())
     }
 
@@ -1456,6 +1580,7 @@ impl Engine {
         n_rows: usize,
         residual: &Conjunction,
     ) -> Result<StreamBody> {
+        let _p = profile::phase(Phase::WarmKernel);
         let agg_specs: Vec<AggSpec> = plan
             .output
             .iter()
@@ -1626,6 +1751,18 @@ pub fn leading_keyword(text: &str) -> &str {
     }
     let end = rest.find(|c: char| c.is_whitespace()).unwrap_or(rest.len());
     &rest[..end]
+}
+
+/// The remainder of `text` after its leading keyword (and any leading
+/// whitespace or `--` comments the keyword scan skipped) — how `EXPLAIN`
+/// and `EXPLAIN ANALYZE` peel their prefixes off the statement they
+/// describe.
+fn after_keyword(text: &str) -> &str {
+    let kw = leading_keyword(text);
+    // leading_keyword returns a subslice of `text`, so the offset is the
+    // pointer distance.
+    let start = kw.as_ptr() as usize - text.as_ptr() as usize;
+    &text[start + kw.len()..]
 }
 
 /// Tables a query references (FROM plus the optional JOIN).
@@ -2057,6 +2194,103 @@ mod tests {
             .explain("select sum(a1), avg(a2) from r where a1 > 1 and a1 < 4")
             .unwrap();
         assert!(text.contains("2 of 2 referenced columns loaded"), "{text}");
+    }
+
+    #[test]
+    fn explain_shows_both_strategy_labels() {
+        let (_d, e) = setup("explainlabels", DATA);
+        let text = e.explain("select sum(a1) from r").unwrap();
+        assert!(text.contains("-- strategy: column-loads"), "{text}");
+        assert!(text.contains("-- kernel: auto"), "{text}");
+    }
+
+    #[test]
+    fn explain_travels_through_sql_as_rows() {
+        let (_d, e) = setup("explainsql", DATA);
+        let out = e.sql("explain select sum(a1) from r where a1 > 1").unwrap();
+        assert_eq!(out.columns, vec!["plan".to_owned()]);
+        let listing: Vec<String> = out
+            .rows
+            .iter()
+            .map(|r| match &r[0] {
+                Value::Str(s) => s.clone(),
+                other => panic!("plan rows are strings, got {other:?}"),
+            })
+            .collect();
+        assert!(
+            listing.iter().any(|l| l.contains("AdaptiveLoad")),
+            "{listing:?}"
+        );
+        // Plain EXPLAIN never executes: the referenced column stays cold.
+        assert!(
+            listing.iter().any(|l| l.contains("would load from file")),
+            "{listing:?}"
+        );
+        // Missing statement is a plan error, not a panic.
+        assert!(e.sql("explain").is_err());
+        assert!(e.sql("explain analyze").is_err());
+    }
+
+    #[test]
+    fn explain_analyze_profiles_cold_grouped_query() {
+        // Parallel config so the cold fused pipeline (morsel aggregates)
+        // runs — the acceptance shape: cold + GROUP BY.
+        let dir = std::env::temp_dir().join("nodb_engine_analyze");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.csv");
+        let mut data = String::new();
+        for i in 0..50_000i64 {
+            data.push_str(&format!("{},{},{}\n", i, i % 97, i * 3));
+        }
+        std::fs::write(&path, &data).unwrap();
+        let mut cfg = EngineConfig::default().with_threads(4);
+        cfg.morsel_rows = 4096;
+        let e = Engine::new(cfg);
+        e.register_table("r", &path).unwrap();
+
+        let started = Instant::now();
+        let text = e
+            .explain_analyze("select a2, sum(a1) from r where a1 > 100 group by a2")
+            .unwrap();
+        let wall = started.elapsed();
+        // The listing carries the shared renderer plus measured lines.
+        assert!(text.contains("-- strategy: column-loads"), "{text}");
+        assert!(text.contains("-- kernel: auto"), "{text}");
+        assert!(text.contains("GroupBy"), "{text}");
+        assert!(text.contains("-- analyze: rows=97 "), "{text}");
+        assert!(text.contains("cache=bypass"), "{text}");
+        // The cold fused pipeline ran and its merge was timed.
+        assert!(text.contains("-- phase cold_pipeline"), "{text}");
+        assert!(text.contains("-- phase group_merge"), "{text}");
+        assert!(text.contains("-- phase plan"), "{text}");
+        // Workers reported morsel aggregates: every row and byte of the
+        // file went through the pipeline.
+        assert!(text.contains("morsels="), "{text}");
+        assert!(text.contains(&format!("rows={}", 50_000)), "{text}");
+        assert!(text.contains(&format!("bytes={}", data.len())), "{text}");
+
+        // Acceptance: disjoint phase self-times sum to within the wall
+        // clock measured around the whole call.
+        let out = {
+            // Re-run under an explicit sink to get the structured profile.
+            let sink = ProfileSink::handle();
+            let _scope = ProfileScope::enter(Arc::clone(&sink));
+            e.sql("select a2, sum(a1) from r where a1 > 50 group by a2")
+                .unwrap()
+        };
+        let prof = &out.stats.profile;
+        assert!(!prof.is_empty());
+        assert!(
+            prof.total_phase_ns() <= out.stats.elapsed.as_nanos() as u64,
+            "phase sum {} exceeds wall {}",
+            prof.total_phase_ns(),
+            out.stats.elapsed.as_nanos(),
+        );
+        assert!(wall.as_nanos() > 0);
+        // Unprofiled queries carry an empty profile.
+        let plain = e.sql("select count(*) from r").unwrap();
+        assert!(plain.stats.profile.is_empty());
     }
 
     #[test]

@@ -258,7 +258,11 @@ pub(crate) fn try_cracked_warm(
         let Some((col, iv)) = crackable_pick(&e, filter) else {
             return Ok(None);
         };
-        let index = ensure_cracked(&mut e, col, cfg, now);
+        // Building the partitioned index (first crack of this column) is
+        // cracking work; the select below times itself inside the store.
+        let index = nodb_types::profile::time(nodb_types::profile::Phase::Cracking, || {
+            ensure_cracked(&mut e, col, cfg, now)
+        });
         let mut cols = BTreeMap::new();
         for &c in needed {
             let data = e

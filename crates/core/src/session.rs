@@ -346,6 +346,10 @@ pub struct QueryStream {
     before: CountersSnapshot,
     counters: Arc<WorkCounters>,
     strategy: LoadingStrategy,
+    /// Ambient profile sink captured at construction (None when
+    /// profiling is not armed), so [`QueryStream::stats`] can report the
+    /// phase breakdown even after the arming scope has been left.
+    profile: Option<nodb_types::ProfileHandle>,
 }
 
 impl std::fmt::Debug for QueryStream {
@@ -378,6 +382,7 @@ impl QueryStream {
             before,
             counters,
             strategy,
+            profile: nodb_types::profile::current(),
         }
     }
 
@@ -429,6 +434,11 @@ impl QueryStream {
             elapsed: self.started.elapsed(),
             work: self.counters.snapshot().since(&self.before),
             strategy: self.strategy,
+            profile: self
+                .profile
+                .as_ref()
+                .map(|h| h.snapshot())
+                .unwrap_or_default(),
         }
     }
 

@@ -24,6 +24,7 @@ use std::fs::File;
 use std::io::Read;
 use std::path::Path;
 
+use nodb_types::profile::{self, Phase};
 use nodb_types::{ColumnData, Conjunction, DataType, Error, Result, Schema, Value, WorkCounters};
 
 use crate::bytes::{find_byte, find_byte2, find_byte3, parse_f64_bytes, parse_i64_bytes};
@@ -141,6 +142,13 @@ pub fn scan_bytes(
             rowids: (0..nrows as u64).collect(),
             rows_scanned: nrows as u64,
         });
+    }
+    // Phase-2 wall time on the coordinating thread: the chunk scans run
+    // (possibly in parallel) strictly inside this region, and the merge
+    // below belongs to it too.
+    let _p2 = profile::phase(Phase::Tokenize2);
+    if let Some(p) = profile::current() {
+        p.add_bytes(bytes.len() as u64);
     }
     let max_touch = *touch.last().expect("nonempty");
     let preds_by_col = group_pushdown(spec);
@@ -275,6 +283,10 @@ fn phase1_row_starts(
     posmap: &mut Option<&mut PositionalMap>,
     counters: &WorkCounters,
 ) -> Result<std::sync::Arc<Vec<u64>>> {
+    // Phase-1 time (one thread-local read when profiling is off). A
+    // posmap-served call still counts a hit — its near-zero duration is
+    // the observation.
+    let _p = profile::phase(Phase::Tokenize1);
     match posmap.as_ref().and_then(|m| {
         (m.file_len() == bytes.len() as u64)
             .then(|| m.row_starts())
@@ -676,6 +688,12 @@ where
     // collection keeps the write-back single-threaded and race-free.
     let recordings: std::sync::Mutex<Vec<MorselRecordings>> = std::sync::Mutex::new(Vec::new());
 
+    // Ambient profile, captured here because the step hook runs on worker
+    // threads where the thread-local scope is not installed. Workers
+    // record their morsel's byte span only — timers stay on the
+    // coordinating thread.
+    let prof = profile::current();
+
     // Scheduling (steal counter, error flag, thread scope) comes from the
     // shared `nodb-types` driver; the tokenizer contributes its per-worker
     // counter batch as the init/flush hooks and the posmap collection plus
@@ -686,6 +704,15 @@ where
         opts.threads,
         |_worker| LocalCounters::default(),
         |local, worker, r| {
+            if let Some(p) = &prof {
+                let lo = ctx.row_starts[r.lo];
+                let hi = ctx
+                    .row_starts
+                    .get(r.hi)
+                    .copied()
+                    .unwrap_or(bytes.len() as u64);
+                p.add_bytes(hi - lo);
+            }
             let mut chunk = scan_row_range(&ctx, r.lo, r.hi)?;
             local.absorb(&chunk.counters);
             if !chunk.recordings.is_empty() {

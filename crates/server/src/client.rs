@@ -361,8 +361,17 @@ impl Client {
     /// server's own `connections_accepted` / `requests_served` /
     /// `busy_rejections`).
     pub fn stats(&mut self) -> Result<CountersSnapshot> {
+        self.stats_full().map(|(counters, _)| counters)
+    }
+
+    /// Snapshot the server's work counters plus every self-describing
+    /// extension field the server reported (latency histogram buckets,
+    /// counters newer than this client). Extras arrive in wire order
+    /// as raw `(name, value)` pairs; [`nodb_types::profile`] has the
+    /// bucket math to turn `lat_*_b<i>` sequences into percentiles.
+    pub fn stats_full(&mut self) -> Result<(CountersSnapshot, Vec<(String, u64)>)> {
         match self.roundtrip(&Request::Stats)? {
-            Response::Stats(s) => Ok(*s),
+            Response::Stats { counters, extras } => Ok((*counters, extras)),
             other => Err(unexpected("STATS_OK", &other)),
         }
     }

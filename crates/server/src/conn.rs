@@ -15,8 +15,10 @@ use std::time::{Duration, Instant};
 use nodb_core::{
     leading_keyword, result_column_types, unique_identifiers, QueryOutput, QueryStream, Session,
 };
-use nodb_types::{CancelToken, Error, Result, Value};
+use nodb_types::profile::{Phase, ProfileScope, ProfileSink};
+use nodb_types::{CancelToken, Error, ProfileHandle, Result, Value};
 
+use crate::metrics::ServerMetrics;
 use crate::protocol::{ColumnDesc, Request, Response};
 use crate::server::Registry;
 
@@ -85,6 +87,12 @@ pub(crate) struct ConnCtx {
     pub(crate) session_id: u64,
     /// [`ServerConfig::query_deadline_ms`](crate::ServerConfig::query_deadline_ms).
     pub(crate) query_deadline: Option<Duration>,
+    /// Server-wide latency histograms; this connection folds its STATS
+    /// extras out of them.
+    pub(crate) metrics: Arc<ServerMetrics>,
+    /// [`ServerConfig::slow_query_ms`](crate::ServerConfig::slow_query_ms).
+    /// `Some` arms per-query profiling on this connection.
+    pub(crate) slow_query_ms: Option<u64>,
 }
 
 impl ConnCtx {
@@ -113,14 +121,24 @@ impl ConnCtx {
     }
 }
 
+/// The profile of the `QUERY`/`EXECUTE` this connection just ran,
+/// held between execution and the end-of-request bookkeeping so the
+/// worker can fold response-encoding time (the `wire_serialize` phase)
+/// into it before the slow-query decision is made.
+struct PendingProfile {
+    sink: ProfileHandle,
+    fingerprint: u64,
+}
+
 /// All state for one client connection.
 pub(crate) struct Conn {
     session: Session,
-    stmts: HashMap<u32, nodb_core::Prepared>,
+    stmts: HashMap<u32, (nodb_core::Prepared, u64)>,
     cursors: HashMap<u32, Cursor>,
     next_id: u32,
     batch_rows: usize,
     ctx: ConnCtx,
+    pending_profile: Option<PendingProfile>,
 }
 
 impl Conn {
@@ -132,6 +150,7 @@ impl Conn {
             next_id: 1,
             batch_rows,
             ctx,
+            pending_profile: None,
         }
     }
 
@@ -181,7 +200,10 @@ impl Conn {
                 (self.fetch(cursor).unwrap_or_else(into_err), Flow::Continue)
             }
             Request::Stats => (
-                Response::Stats(Box::new(self.session.engine().counters().snapshot())),
+                Response::Stats {
+                    counters: Box::new(self.session.engine().counters().snapshot()),
+                    extras: self.ctx.metrics.stats_extras(),
+                },
                 Flow::Continue,
             ),
             Request::Cancel { cursor } => {
@@ -213,22 +235,51 @@ impl Conn {
         Ok(())
     }
 
+    /// Arm a profile sink for the query about to run iff the slow-query
+    /// log is configured; disabled servers never allocate one and every
+    /// phase probe in the engine stays a single thread-local read.
+    fn arm_profile(&self) -> Option<ProfileHandle> {
+        self.ctx.slow_query_ms.map(|_| ProfileSink::handle())
+    }
+
     fn query(&mut self, sql: &str) -> Result<Response> {
         self.ensure_cursor_capacity()?;
-        // `CREATE TABLE .. AS SELECT ..` materialises (the engine needs
-        // the full result to register the table); plain SELECTs stream.
-        if leading_keyword(sql).eq_ignore_ascii_case("create") {
-            let session = &self.session;
-            let out = self
-                .ctx
-                .run_registered(|token| session.sql_with_guard(sql, token))?;
-            return Ok(self.open_rows_cursor(out));
+        enum Ran {
+            Rows(Box<QueryOutput>),
+            Stream(Box<QueryStream>),
         }
-        let session = &self.session;
-        let stream = self
-            .ctx
-            .run_registered(|token| session.query_with_guard(sql, token))?;
-        Ok(self.open_stream_cursor(stream))
+        // `CREATE TABLE .. AS SELECT ..` materialises (the engine needs
+        // the full result to register the table), and `EXPLAIN` /
+        // `EXPLAIN ANALYZE` return their rendered listing as rows;
+        // plain SELECTs stream.
+        let kw = leading_keyword(sql);
+        let materialise = kw.eq_ignore_ascii_case("create") || kw.eq_ignore_ascii_case("explain");
+        let sink = self.arm_profile();
+        let ran = {
+            let _scope = sink.as_ref().map(|s| ProfileScope::enter(Arc::clone(s)));
+            let session = &self.session;
+            if materialise {
+                Ran::Rows(Box::new(
+                    self.ctx
+                        .run_registered(|token| session.sql_with_guard(sql, token))?,
+                ))
+            } else {
+                Ran::Stream(Box::new(
+                    self.ctx
+                        .run_registered(|token| session.query_with_guard(sql, token))?,
+                ))
+            }
+        };
+        if let Some(sink) = sink {
+            self.pending_profile = Some(PendingProfile {
+                sink,
+                fingerprint: sql_fingerprint(sql),
+            });
+        }
+        Ok(match ran {
+            Ran::Rows(out) => self.open_rows_cursor(*out),
+            Ran::Stream(s) => self.open_stream_cursor(*s),
+        })
     }
 
     fn prepare(&mut self, sql: &str) -> Result<Response> {
@@ -240,20 +291,63 @@ impl Conn {
         let prepared = self.session.prepare(sql)?;
         let n_params = prepared.n_params() as u16;
         let id = self.fresh_id();
-        self.stmts.insert(id, prepared);
+        self.stmts.insert(id, (prepared, sql_fingerprint(sql)));
         Ok(Response::Stmt { id, n_params })
     }
 
     fn execute(&mut self, stmt: u32, params: &[Value]) -> Result<Response> {
         self.ensure_cursor_capacity()?;
-        let prepared = self
+        let (prepared, fingerprint) = self
             .stmts
             .get(&stmt)
             .ok_or_else(|| Error::exec(format!("no such prepared statement: {stmt}")))?;
-        let stream = self
-            .ctx
-            .run_registered(|token| prepared.bind(params)?.stream_with_guard(token))?;
+        let fingerprint = *fingerprint;
+        let sink = self.arm_profile();
+        let stream = {
+            let _scope = sink.as_ref().map(|s| ProfileScope::enter(Arc::clone(s)));
+            self.ctx
+                .run_registered(|token| prepared.bind(params)?.stream_with_guard(token))?
+        };
+        if let Some(sink) = sink {
+            self.pending_profile = Some(PendingProfile { sink, fingerprint });
+        }
         Ok(self.open_stream_cursor(stream))
+    }
+
+    /// Fold response-encoding time into the profile of the query this
+    /// request ran, if any. Called by the worker after `encode`.
+    pub(crate) fn observe_encoded(&self, ns: u64) {
+        if let Some(p) = &self.pending_profile {
+            p.sink.add_phase_ns(Phase::WireSerialize, ns);
+        }
+    }
+
+    /// End-of-request bookkeeping: if this request ran a profiled
+    /// `QUERY`/`EXECUTE` and its total server-side latency crossed the
+    /// slow-query threshold, emit one structured log line and count it.
+    /// The profile is consumed either way — each query is judged once.
+    pub(crate) fn finish_request(&mut self, elapsed: Duration) {
+        let Some(p) = self.pending_profile.take() else {
+            return;
+        };
+        let Some(threshold_ms) = self.ctx.slow_query_ms else {
+            return;
+        };
+        let elapsed_ms = elapsed.as_millis() as u64;
+        if elapsed_ms < threshold_ms {
+            return;
+        }
+        let prof = p.sink.snapshot();
+        self.session.engine().counters().add_slow_query();
+        eprintln!(
+            "slow-query session={} fp={:016x} elapsed_ms={} strategy={} cache={} {}",
+            self.ctx.session_id,
+            p.fingerprint,
+            elapsed_ms,
+            prof.strategy.as_deref().unwrap_or("-"),
+            prof.cache.label(),
+            prof,
+        );
     }
 
     fn open_stream_cursor(&mut self, stream: QueryStream) -> Response {
@@ -323,6 +417,27 @@ fn into_err(e: Error) -> Response {
     Response::from_error(&e)
 }
 
+/// FNV-1a over the SQL with ASCII case folded and whitespace runs
+/// collapsed: the same statement modulo layout shares a fingerprint, so
+/// slow-query lines can be grouped by statement shape without logging
+/// (potentially sensitive) literal SQL text.
+fn sql_fingerprint(sql: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut pending_space = false;
+    for b in sql.trim().bytes() {
+        if b.is_ascii_whitespace() {
+            pending_space = true;
+            continue;
+        }
+        if pending_space {
+            h = (h ^ u64::from(b' ')).wrapping_mul(0x0000_0100_0000_01b3);
+            pending_space = false;
+        }
+        h = (h ^ u64::from(b.to_ascii_lowercase())).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 // A parked connection's `Conn` is dispatched to whichever worker frees
 // up first, so it crosses threads between requests (unlike the old
 // session-per-connection model, where one thread owned it for life).
@@ -332,3 +447,17 @@ const _: () = {
     const fn assert_send<T: Send>() {}
     assert_send::<Conn>();
 };
+
+#[cfg(test)]
+mod tests {
+    use super::sql_fingerprint;
+
+    #[test]
+    fn fingerprint_folds_case_and_whitespace() {
+        let a = sql_fingerprint("SELECT  a1\n\tFROM r ");
+        let b = sql_fingerprint("select a1 from r");
+        assert_eq!(a, b, "layout and case must not change the fingerprint");
+        assert_ne!(a, sql_fingerprint("select a2 from r"));
+        assert_ne!(a, sql_fingerprint("select a1 from r where a1 > 1"));
+    }
+}

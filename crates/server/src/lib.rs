@@ -61,11 +61,13 @@
 pub mod client;
 mod conn;
 pub mod framing;
+pub mod metrics;
 pub mod protocol;
 mod reactor;
 mod server;
 
 pub use client::{Client, ConnectOptions, RemoteCursor, RemoteStatement, RetryPolicy};
+pub use metrics::{latency_from_extras, LATENCY_SERIES};
 pub use protocol::{ColumnDesc, Request, Response, PROTOCOL_VERSION};
 pub use server::{NodbServer, ServerConfig};
 

@@ -1,0 +1,131 @@
+//! Server-side latency metrics.
+//!
+//! One fixed-bucket log2 [`LatencyHistogram`] per request opcode that
+//! does real work (`QUERY`, `EXECUTE`, `FETCH`) plus one for worker
+//! queue-wait (decoded frame ready → worker picks it up). Histograms
+//! ride the self-describing STATS response as sparse
+//! `lat_<series>_b<i>` extension fields — only nonzero buckets cross
+//! the wire — and the client derives p50/p95/p99 from the buckets with
+//! [`nodb_types::profile::percentile_from_buckets`], so the server
+//! never computes (or locks around) a percentile.
+
+use nodb_types::profile::{LatencyHistogram, HIST_BUCKETS};
+
+/// The four latency series a server publishes, in wire order.
+pub const LATENCY_SERIES: [&str; 4] = ["query", "execute", "fetch", "queue_wait"];
+
+/// Per-opcode request latency histograms plus worker queue wait.
+/// Lock-free: every bucket is an atomic, recorded by whichever worker
+/// finished the request.
+#[derive(Debug, Default)]
+pub(crate) struct ServerMetrics {
+    /// `QUERY` request latency (handle + response encode).
+    pub(crate) query: LatencyHistogram,
+    /// `EXECUTE` request latency.
+    pub(crate) execute: LatencyHistogram,
+    /// `FETCH` request latency.
+    pub(crate) fetch: LatencyHistogram,
+    /// Ready-queue wait: a decoded frame sat this long before a worker
+    /// started executing it. Rising queue-wait with flat request
+    /// latency means the worker pool, not the engine, is the
+    /// bottleneck.
+    pub(crate) queue_wait: LatencyHistogram,
+}
+
+impl ServerMetrics {
+    pub(crate) fn new() -> ServerMetrics {
+        ServerMetrics::default()
+    }
+
+    fn series(&self) -> [(&'static str, &LatencyHistogram); 4] {
+        [
+            (LATENCY_SERIES[0], &self.query),
+            (LATENCY_SERIES[1], &self.execute),
+            (LATENCY_SERIES[2], &self.fetch),
+            (LATENCY_SERIES[3], &self.queue_wait),
+        ]
+    }
+
+    /// Encode every nonzero bucket as a `(lat_<series>_b<i>, count)`
+    /// STATS extension field.
+    pub(crate) fn stats_extras(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        for (name, hist) in self.series() {
+            for (i, count) in hist.snapshot().into_iter().enumerate() {
+                if count > 0 {
+                    out.push((format!("lat_{name}_b{i}"), count));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Rebuild latency histograms from STATS extension fields: every
+/// `lat_<series>_b<i>` pair becomes bucket `i` of series `<series>`.
+/// Unknown names and out-of-range buckets are skipped, so a newer
+/// server's extra series degrade to "not shown" instead of an error.
+/// Series appear in the order their first bucket appeared on the wire.
+pub fn latency_from_extras(extras: &[(String, u64)]) -> Vec<(String, [u64; HIST_BUCKETS])> {
+    let mut out: Vec<(String, [u64; HIST_BUCKETS])> = Vec::new();
+    for (name, v) in extras {
+        let Some(rest) = name.strip_prefix("lat_") else {
+            continue;
+        };
+        let Some((series, bucket)) = rest.rsplit_once("_b") else {
+            continue;
+        };
+        let Ok(b) = bucket.parse::<usize>() else {
+            continue;
+        };
+        if b >= HIST_BUCKETS {
+            continue;
+        }
+        let entry = match out.iter_mut().find(|(n, _)| n == series) {
+            Some(e) => e,
+            None => {
+                out.push((series.to_owned(), [0; HIST_BUCKETS]));
+                out.last_mut().expect("just pushed")
+            }
+        };
+        entry.1[b] = *v;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodb_types::profile::percentile_from_buckets;
+    use std::time::Duration;
+
+    #[test]
+    fn extras_round_trip_through_names() {
+        let m = ServerMetrics::new();
+        m.query.record(Duration::from_micros(100));
+        m.query.record(Duration::from_micros(100));
+        m.fetch.record(Duration::from_micros(3));
+        m.queue_wait.record_micros(0);
+        let extras = m.stats_extras();
+        // Only nonzero buckets cross the wire.
+        assert_eq!(extras.len(), 3);
+        let back = latency_from_extras(&extras);
+        let query = &back.iter().find(|(n, _)| n == "query").unwrap().1;
+        assert_eq!(query[LatencyHistogram::bucket_of(100)], 2);
+        let qw = &back.iter().find(|(n, _)| n == "queue_wait").unwrap().1;
+        assert_eq!(qw[0], 1);
+        // Percentile math works on the rebuilt buckets.
+        assert_eq!(percentile_from_buckets(query, 50.0), Some(127));
+    }
+
+    #[test]
+    fn malformed_extras_are_skipped() {
+        let extras = vec![
+            ("lat_query_b9999".to_owned(), 5),
+            ("lat_no_bucket".to_owned(), 5),
+            ("slowest_query_ms".to_owned(), 5),
+            ("lat_query_bx".to_owned(), 5),
+        ];
+        assert!(latency_from_extras(&extras).is_empty());
+    }
+}

@@ -153,7 +153,16 @@ pub enum Response {
     },
     /// Work-counter snapshot (boxed: the snapshot dwarfs every other
     /// variant and would otherwise inflate all of them).
-    Stats(Box<CountersSnapshot>),
+    Stats {
+        /// The engine's global work counters.
+        counters: Box<CountersSnapshot>,
+        /// Self-describing extension fields beyond the fixed counter
+        /// set — today the per-opcode latency histogram buckets
+        /// (`lat_<op>_b<i>`) and queue-wait histogram. A client that
+        /// predates a name simply carries it here verbatim, so a newer
+        /// server never breaks an older `--stats`.
+        extras: Vec<(String, u64)>,
+    },
     /// Request succeeded with nothing to return.
     Ok,
     /// Request failed; the connection stays usable (except after a
@@ -297,44 +306,14 @@ impl Request {
     }
 }
 
-/// Counter names paired with their snapshot values, in wire order. Kept
-/// in one place so encode and decode cannot drift apart.
-fn counter_fields(s: &CountersSnapshot) -> [(&'static str, u64); 30] {
-    [
-        ("bytes_read", s.bytes_read),
-        ("bytes_written", s.bytes_written),
-        ("rows_tokenized", s.rows_tokenized),
-        ("fields_tokenized", s.fields_tokenized),
-        ("values_parsed", s.values_parsed),
-        ("file_trips", s.file_trips),
-        ("rows_abandoned", s.rows_abandoned),
-        ("tuples_evicted", s.tuples_evicted),
-        ("plan_cache_hits", s.plan_cache_hits),
-        ("plan_cache_misses", s.plan_cache_misses),
-        ("morsels_dispatched", s.morsels_dispatched),
-        ("parallel_pipelines", s.parallel_pipelines),
-        ("fused_cold_projections", s.fused_cold_projections),
-        ("fused_cold_joins", s.fused_cold_joins),
-        ("connections_accepted", s.connections_accepted),
-        ("requests_served", s.requests_served),
-        ("busy_rejections", s.busy_rejections),
-        ("result_cache_hits", s.result_cache_hits),
-        ("result_cache_subsumed_hits", s.result_cache_subsumed_hits),
-        ("result_cache_misses", s.result_cache_misses),
-        ("result_cache_evictions", s.result_cache_evictions),
-        ("queries_cancelled", s.queries_cancelled),
-        ("queries_timed_out", s.queries_timed_out),
-        ("queries_shed", s.queries_shed),
-        ("conns_shed", s.conns_shed),
-        ("mem_reserved_peak", s.mem_reserved_peak),
-        ("panics_contained", s.panics_contained),
-        ("conns_parked", s.conns_parked),
-        ("reactor_wakeups", s.reactor_wakeups),
-        ("frames_partial", s.frames_partial),
-    ]
-}
-
-fn set_counter_field(s: &mut CountersSnapshot, name: &str, v: u64) {
+/// Route one decoded STATS field into the snapshot. Returns `false` for
+/// names this build does not recognise (extension fields such as the
+/// latency histogram buckets, or counters a newer server added); the
+/// caller keeps those as self-describing extras instead of dropping
+/// them. The encode side is [`CountersSnapshot::named_fields`], the one
+/// canonical list, so a counter cannot exist in the struct without
+/// crossing the wire.
+fn set_counter_field(s: &mut CountersSnapshot, name: &str, v: u64) -> bool {
     match name {
         "bytes_read" => s.bytes_read = v,
         "bytes_written" => s.bytes_written = v,
@@ -366,9 +345,10 @@ fn set_counter_field(s: &mut CountersSnapshot, name: &str, v: u64) {
         "conns_parked" => s.conns_parked = v,
         "reactor_wakeups" => s.reactor_wakeups = v,
         "frames_partial" => s.frames_partial = v,
-        // A newer server may report counters this client predates.
-        _ => {}
+        "slow_queries" => s.slow_queries = v,
+        _ => return false,
     }
+    true
 }
 
 impl Response {
@@ -412,13 +392,17 @@ impl Response {
                     }
                 }
             }
-            Response::Stats(s) => {
+            Response::Stats { counters, extras } => {
                 put_u8(&mut out, 0x85);
-                let fields = counter_fields(s);
-                put_u16(&mut out, fields.len() as u16);
+                let fields = counters.named_fields();
+                put_u16(&mut out, (fields.len() + extras.len()) as u16);
                 for (name, v) in fields {
                     put_str(&mut out, name);
                     put_u64(&mut out, v);
+                }
+                for (name, v) in extras {
+                    put_str(&mut out, name);
+                    put_u64(&mut out, *v);
                 }
             }
             Response::Ok => put_u8(&mut out, 0x86),
@@ -485,12 +469,18 @@ impl Response {
             0x85 => {
                 let n = r.u16()? as usize;
                 let mut s = CountersSnapshot::default();
+                let mut extras = Vec::new();
                 for _ in 0..n {
                     let name = r.str()?;
                     let v = r.u64()?;
-                    set_counter_field(&mut s, &name, v);
+                    if !set_counter_field(&mut s, &name, v) {
+                        extras.push((name, v));
+                    }
                 }
-                Response::Stats(Box::new(s))
+                Response::Stats {
+                    counters: Box::new(s),
+                    extras,
+                }
             }
             0x86 => Response::Ok,
             0xEE => Response::Err {
@@ -602,9 +592,11 @@ mod tests {
         });
     }
 
-    #[test]
-    fn stats_round_trip_preserves_every_field() {
-        let s = CountersSnapshot {
+    /// A snapshot with a distinct nonzero value in every field (the
+    /// struct literal is exhaustive, so a new counter breaks the build
+    /// here until the tests below learn about it).
+    fn distinct_snapshot() -> CountersSnapshot {
+        CountersSnapshot {
             bytes_read: 1,
             bytes_written: 2,
             rows_tokenized: 3,
@@ -635,8 +627,68 @@ mod tests {
             conns_parked: 28,
             reactor_wakeups: 29,
             frames_partial: 30,
-        };
-        round_trip_resp(Response::Stats(Box::new(s)));
+            slow_queries: 31,
+        }
+    }
+
+    #[test]
+    fn stats_round_trip_preserves_every_field() {
+        round_trip_resp(Response::Stats {
+            counters: Box::new(distinct_snapshot()),
+            extras: vec![("lat_query_b3".into(), 7), ("lat_fetch_b0".into(), 2)],
+        });
+    }
+
+    /// Drift guard: every `CountersSnapshot` field must appear exactly
+    /// once in the encoded self-describing STATS frame, and decoding
+    /// must put each value back into the same field. A counter added to
+    /// the struct but missed by `named_fields` would decode as a
+    /// defaulted zero here and fail the equality; one missed by
+    /// `set_counter_field` would land in `extras` and fail the
+    /// emptiness check.
+    #[test]
+    fn stats_wire_carries_every_counter_exactly_once() {
+        let s = distinct_snapshot();
+        let fields = s.named_fields();
+        // Distinct values 1..=n: each field is encoded once, from the
+        // right struct member.
+        let mut values: Vec<u64> = fields.iter().map(|&(_, v)| v).collect();
+        values.sort_unstable();
+        assert_eq!(values, (1..=fields.len() as u64).collect::<Vec<_>>());
+
+        let payload = Response::Stats {
+            counters: Box::new(s),
+            extras: Vec::new(),
+        }
+        .encode();
+        // The frame's self-describing field count matches the canonical
+        // list (offset 1 skips the opcode byte; the wire is
+        // little-endian).
+        let n_wire = u16::from_le_bytes([payload[1], payload[2]]) as usize;
+        assert_eq!(n_wire, fields.len());
+        // Each counter name appears exactly once in the payload bytes.
+        for (name, _) in fields {
+            let hits = payload
+                .windows(name.len())
+                .filter(|w| *w == name.as_bytes())
+                .count();
+            // Names that are substrings of others (e.g. result_cache_hits
+            // inside result_cache_subsumed_hits) match those too; every
+            // name must appear at least once and no standalone duplicate
+            // is possible given the count check above.
+            assert!(hits >= 1, "counter {name} missing from wire");
+        }
+
+        match Response::decode(&payload).unwrap() {
+            Response::Stats { counters, extras } => {
+                assert_eq!(*counters, distinct_snapshot());
+                assert!(
+                    extras.is_empty(),
+                    "known counter fell into extras: {extras:?}"
+                );
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
     }
 
     #[test]

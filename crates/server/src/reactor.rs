@@ -63,6 +63,7 @@ use polling::{PollFd, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
 
 use crate::conn::{Conn, ConnCtx, Flow};
 use crate::framing::{write_frame, FrameDecoder, MAX_FRAME_BYTES};
+use crate::metrics::ServerMetrics;
 use crate::protocol::{Request, Response, PROTOCOL_VERSION};
 use crate::server::{Registry, ServerConfig};
 
@@ -134,6 +135,9 @@ struct ConnSlot {
     /// Close once the out-buffer flushes (QUIT, fatal protocol error,
     /// nothing owed during drain).
     close_after_flush: bool,
+    /// When this slot entered the ready queue; a worker turns the gap
+    /// into the queue-wait histogram sample on checkout.
+    ready_at: Option<Instant>,
 }
 
 impl ConnSlot {
@@ -210,6 +214,7 @@ pub(crate) struct Reactor {
     pub(crate) engine: Arc<Engine>,
     pub(crate) cfg: ServerConfig,
     pub(crate) registry: Arc<Registry>,
+    pub(crate) metrics: Arc<ServerMetrics>,
     pub(crate) shutdown: AtomicBool,
     inner: Mutex<Inner>,
     ready_cv: Condvar,
@@ -230,6 +235,7 @@ impl Reactor {
             engine,
             cfg,
             registry,
+            metrics: Arc::new(ServerMetrics::new()),
             shutdown: AtomicBool::new(false),
             inner: Mutex::new(Inner {
                 conns: Vec::new(),
@@ -323,6 +329,8 @@ impl Reactor {
                 .cfg
                 .query_deadline_ms
                 .map(std::time::Duration::from_millis),
+            metrics: Arc::clone(&self.metrics),
+            slow_query_ms: self.cfg.slow_query_ms,
         };
         let conn = Conn::new(
             self.engine.session().with_batch_size(self.cfg.batch_rows),
@@ -342,6 +350,7 @@ impl Reactor {
             drain_since: None,
             peer_gone: false,
             close_after_flush: false,
+            ready_at: None,
         };
         let idx = inner.free.pop().unwrap_or_else(|| {
             inner.conns.push(None);
@@ -385,6 +394,7 @@ impl Reactor {
             let slot = inner.conns[idx].as_mut().expect("promote live slot");
             let was_parked = slot.state == SlotState::Parked;
             slot.state = SlotState::Ready;
+            slot.ready_at = Some(Instant::now());
             was_parked
         };
         if was_parked {
@@ -671,7 +681,7 @@ impl Reactor {
     pub(crate) fn worker_loop(self: &Arc<Self>) {
         let counters = self.engine.counters();
         loop {
-            let (idx, frame, mut conn, shook_hands, session_id) = {
+            let (idx, frame, mut conn, shook_hands, session_id, ready_at) = {
                 let mut inner = self.lock_inner();
                 let idx = loop {
                     if let Some(i) = inner.ready.pop_front() {
@@ -698,9 +708,14 @@ impl Reactor {
                     slot.conn.take(),
                     slot.shook_hands,
                     slot.session_id,
+                    slot.ready_at.take(),
                 )
             };
             // ---- unlocked execution ----
+            let req_started = Instant::now();
+            if let Some(t) = ready_at {
+                self.metrics.queue_wait.record(req_started - t);
+            }
             let draining = self.shutdown.load(Ordering::SeqCst);
             let mut close = false;
             let mut shook = shook_hands;
@@ -708,6 +723,8 @@ impl Reactor {
             // The same frame-intake failpoint site the blocking reader
             // tripped; delay/fail actions run without the reactor lock.
             let intake = failpoints::trip("wire.read_frame").and(frame);
+            // Which latency series this request lands in, if any.
+            let mut latency = None;
             let resp = match intake {
                 // Framing broke (oversized frame, injected fault): the
                 // byte stream can't be trusted any more — answer a typed
@@ -757,6 +774,12 @@ impl Reactor {
                     Ok(req) => {
                         advances_drain =
                             matches!(req, Request::Fetch { .. } | Request::Cancel { .. });
+                        latency = match &req {
+                            Request::Query { .. } => Some(&self.metrics.query),
+                            Request::Execute { .. } => Some(&self.metrics.execute),
+                            Request::Fetch { .. } => Some(&self.metrics.fetch),
+                            _ => None,
+                        };
                         let c = conn.as_mut().expect("conn checked out with slot");
                         // Panic firewall: a panic anywhere in request
                         // handling kills this *request* with a typed
@@ -783,7 +806,21 @@ impl Reactor {
                     }
                 },
             };
+            let encode_started = Instant::now();
             let mut payload = resp.map(|r| r.encode());
+            if let Some(c) = conn.as_mut() {
+                if payload.is_some() {
+                    // Serialization belongs to the profiled query this
+                    // request ran (the `wire_serialize` phase); a no-op
+                    // when nothing was profiled.
+                    c.observe_encoded(encode_started.elapsed().as_nanos() as u64);
+                }
+                if let Some(hist) = latency {
+                    let elapsed = req_started.elapsed();
+                    hist.record(elapsed);
+                    c.finish_request(elapsed);
+                }
+            }
             if let Some(p) = &payload {
                 if p.len() > MAX_FRAME_BYTES as usize {
                     // The response outgrew the frame limit (a huge

@@ -53,6 +53,15 @@ pub struct ServerConfig {
     /// stays usable. `None` (the default) lets queries run until they
     /// finish, are cancelled, or the client disconnects.
     pub query_deadline_ms: Option<u64>,
+    /// Slow-query log threshold. When set, every `QUERY`/`EXECUTE`
+    /// whose server-side latency (execution plus response encoding)
+    /// reaches this many milliseconds emits one structured line on
+    /// stderr — session id, SQL fingerprint, phase breakdown, chosen
+    /// strategy, result-cache outcome — and bumps the `slow_queries`
+    /// counter. `None` (the default) disables profiling entirely: no
+    /// sink is allocated and the engine's phase probes stay at one
+    /// thread-local read each.
+    pub slow_query_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +73,7 @@ impl Default for ServerConfig {
             batch_rows: 1024,
             idle_timeout: Duration::from_secs(30),
             query_deadline_ms: None,
+            slow_query_ms: None,
         }
     }
 }

@@ -202,6 +202,15 @@ impl Plan {
         }
         (Conjunction::new(left), Conjunction::new(right))
     }
+
+    /// The EXPLAIN listing: the configured loading and kernel strategies
+    /// as comment lines, then the per-step plan rendering (the `Display`
+    /// impl). `EXPLAIN` and `EXPLAIN ANALYZE` both start from this one
+    /// renderer — ANALYZE appends measured annotations after it — so the
+    /// two listings can never drift apart.
+    pub fn render(&self, loading: &str, kernel: &str) -> String {
+        format!("-- strategy: {loading}\n-- kernel: {kernel}\n{self}")
+    }
 }
 
 impl std::fmt::Display for Plan {

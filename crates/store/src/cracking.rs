@@ -312,6 +312,10 @@ impl PartitionedCracked {
     /// the select runs inline — copying converged pieces takes
     /// microseconds, so thread dispatch would only add overhead.
     pub fn select_parallel(&self, iv: &Interval, threads: usize) -> Option<(Vec<i64>, Vec<u64>)> {
+        // Cracking time on the coordinating thread (the partition workers
+        // run strictly inside this call); one thread-local read when no
+        // profile is armed.
+        let _p = nodb_types::profile::phase(nodb_types::profile::Phase::Cracking);
         /// One partition's selection result: `(values, rowids)`.
         type PartResult = (Vec<i64>, Vec<u64>);
         let (lo, hi) = CrackedColumn::int_bounds(iv).ok()?;

@@ -106,6 +106,9 @@ pub struct WorkCounters {
     /// buffered (the peer's frame was torn across TCP segments). High
     /// values are normal for large frames on small socket buffers.
     pub frames_partial: AtomicU64,
+    /// Queries whose server-side elapsed time crossed the configured
+    /// `slow_query_ms` threshold and were written to the slow-query log.
+    pub slow_queries: AtomicU64,
 }
 
 impl WorkCounters {
@@ -267,6 +270,11 @@ impl WorkCounters {
         self.frames_partial.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one query logged as slow.
+    pub fn add_slow_query(&self) {
+        self.slow_queries.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Capture the current values.
     pub fn snapshot(&self) -> CountersSnapshot {
         CountersSnapshot {
@@ -300,6 +308,7 @@ impl WorkCounters {
             conns_parked: self.conns_parked.load(Ordering::Relaxed),
             reactor_wakeups: self.reactor_wakeups.load(Ordering::Relaxed),
             frames_partial: self.frames_partial.load(Ordering::Relaxed),
+            slow_queries: self.slow_queries.load(Ordering::Relaxed),
         }
     }
 
@@ -335,6 +344,7 @@ impl WorkCounters {
         self.conns_parked.store(0, Ordering::Relaxed);
         self.reactor_wakeups.store(0, Ordering::Relaxed);
         self.frames_partial.store(0, Ordering::Relaxed);
+        self.slow_queries.store(0, Ordering::Relaxed);
     }
 }
 
@@ -401,6 +411,8 @@ pub struct CountersSnapshot {
     pub reactor_wakeups: u64,
     /// See [`WorkCounters::frames_partial`].
     pub frames_partial: u64,
+    /// See [`WorkCounters::slow_queries`].
+    pub slow_queries: u64,
 }
 
 impl CountersSnapshot {
@@ -472,7 +484,54 @@ impl CountersSnapshot {
             conns_parked: self.conns_parked.saturating_sub(earlier.conns_parked),
             reactor_wakeups: self.reactor_wakeups.saturating_sub(earlier.reactor_wakeups),
             frames_partial: self.frames_partial.saturating_sub(earlier.frames_partial),
+            slow_queries: self.slow_queries.saturating_sub(earlier.slow_queries),
         }
+    }
+
+    /// Every counter as a `(name, value)` pair, in wire order. This is
+    /// the single source of truth for the self-describing STATS
+    /// encoding: the server encodes exactly these pairs, the client
+    /// decodes by name, and the drift-guard test asserts the list stays
+    /// in lockstep with the struct fields — a counter added to the
+    /// struct but not here fails the build's tests, not a production
+    /// debugging session.
+    pub fn named_fields(&self) -> [(&'static str, u64); 31] {
+        [
+            ("bytes_read", self.bytes_read),
+            ("bytes_written", self.bytes_written),
+            ("rows_tokenized", self.rows_tokenized),
+            ("fields_tokenized", self.fields_tokenized),
+            ("values_parsed", self.values_parsed),
+            ("file_trips", self.file_trips),
+            ("rows_abandoned", self.rows_abandoned),
+            ("tuples_evicted", self.tuples_evicted),
+            ("plan_cache_hits", self.plan_cache_hits),
+            ("plan_cache_misses", self.plan_cache_misses),
+            ("morsels_dispatched", self.morsels_dispatched),
+            ("parallel_pipelines", self.parallel_pipelines),
+            ("fused_cold_projections", self.fused_cold_projections),
+            ("fused_cold_joins", self.fused_cold_joins),
+            ("connections_accepted", self.connections_accepted),
+            ("requests_served", self.requests_served),
+            ("busy_rejections", self.busy_rejections),
+            ("result_cache_hits", self.result_cache_hits),
+            (
+                "result_cache_subsumed_hits",
+                self.result_cache_subsumed_hits,
+            ),
+            ("result_cache_misses", self.result_cache_misses),
+            ("result_cache_evictions", self.result_cache_evictions),
+            ("queries_cancelled", self.queries_cancelled),
+            ("queries_timed_out", self.queries_timed_out),
+            ("queries_shed", self.queries_shed),
+            ("conns_shed", self.conns_shed),
+            ("mem_reserved_peak", self.mem_reserved_peak),
+            ("panics_contained", self.panics_contained),
+            ("conns_parked", self.conns_parked),
+            ("reactor_wakeups", self.reactor_wakeups),
+            ("frames_partial", self.frames_partial),
+            ("slow_queries", self.slow_queries),
+        ]
     }
 }
 
@@ -480,7 +539,7 @@ impl fmt::Display for CountersSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "read={}B written={}B rows_tok={} fields_tok={} parsed={} trips={} abandoned={} evicted={} plan_hits={} plan_misses={} morsels={} par_pipelines={} fused_proj={} fused_joins={} conns={} reqs={} busy={} rc_hits={} rc_subsumed={} rc_misses={} rc_evicted={} cancelled={} timed_out={} shed={} conns_shed={} mem_peak={}B panics={} parked={} wakeups={} torn={}",
+            "read={}B written={}B rows_tok={} fields_tok={} parsed={} trips={} abandoned={} evicted={} plan_hits={} plan_misses={} morsels={} par_pipelines={} fused_proj={} fused_joins={} conns={} reqs={} busy={} rc_hits={} rc_subsumed={} rc_misses={} rc_evicted={} cancelled={} timed_out={} shed={} conns_shed={} mem_peak={}B panics={} parked={} wakeups={} torn={} slow={}",
             self.bytes_read,
             self.bytes_written,
             self.rows_tokenized,
@@ -511,6 +570,7 @@ impl fmt::Display for CountersSnapshot {
             self.conns_parked,
             self.reactor_wakeups,
             self.frames_partial,
+            self.slow_queries,
         )
     }
 }
@@ -600,6 +660,61 @@ mod tests {
         assert_eq!(s.mem_reserved_peak, 100, "lower sample never shrinks peak");
         c.record_mem_reserved_peak(200);
         assert_eq!(c.snapshot().mem_reserved_peak, 200);
+    }
+
+    #[test]
+    fn named_fields_cover_every_counter_exactly_once() {
+        // Exhaustive struct literal: adding a counter to the snapshot
+        // without updating this test fails to compile, and the checks
+        // below then force `named_fields` to keep up.
+        let s = CountersSnapshot {
+            bytes_read: 1,
+            bytes_written: 2,
+            rows_tokenized: 3,
+            fields_tokenized: 4,
+            values_parsed: 5,
+            file_trips: 6,
+            rows_abandoned: 7,
+            tuples_evicted: 8,
+            plan_cache_hits: 9,
+            plan_cache_misses: 10,
+            morsels_dispatched: 11,
+            parallel_pipelines: 12,
+            fused_cold_projections: 13,
+            fused_cold_joins: 14,
+            connections_accepted: 15,
+            requests_served: 16,
+            busy_rejections: 17,
+            result_cache_hits: 18,
+            result_cache_subsumed_hits: 19,
+            result_cache_misses: 20,
+            result_cache_evictions: 21,
+            queries_cancelled: 22,
+            queries_timed_out: 23,
+            queries_shed: 24,
+            conns_shed: 25,
+            mem_reserved_peak: 26,
+            panics_contained: 27,
+            conns_parked: 28,
+            reactor_wakeups: 29,
+            frames_partial: 30,
+            slow_queries: 31,
+        };
+        let fields = s.named_fields();
+        // The Debug rendering names every struct field; if the struct
+        // grows past the named list, the counts diverge here.
+        let debug_fields = format!("{s:?}").matches(": ").count();
+        assert_eq!(fields.len(), debug_fields, "named_fields misses a field");
+        // Each distinct value 1..=n appears exactly once: no field is
+        // listed twice or mapped to the wrong struct member.
+        let mut values: Vec<u64> = fields.iter().map(|&(_, v)| v).collect();
+        values.sort_unstable();
+        assert_eq!(values, (1..=fields.len() as u64).collect::<Vec<_>>());
+        // Names are unique too.
+        let mut names: Vec<&str> = fields.iter().map(|&(n, _)| n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), fields.len(), "duplicate counter name");
     }
 
     #[test]

@@ -30,7 +30,12 @@
 //!   allocation meter installed ambiently via [`MemoryScope`] (like
 //!   [`CancelScope`]), reserving from an engine-wide [`MemoryPool`]
 //!   whose degradation ladder runs before any query is shed with
-//!   [`Error::ResourceExhausted`].
+//!   [`Error::ResourceExhausted`],
+//! * [`profile`] — query-level observability: a [`ProfileSink`] phase
+//!   timer installed ambiently via [`ProfileScope`] (one thread-local
+//!   read when off), folding per-worker morsel aggregates into a
+//!   [`QueryProfile`], plus the [`LatencyHistogram`] the wire server
+//!   uses for per-opcode latency percentiles.
 
 pub mod cancel;
 pub mod column;
@@ -40,6 +45,7 @@ pub mod failpoints;
 pub mod interval;
 pub mod morsel;
 pub mod predicate;
+pub mod profile;
 pub mod resource;
 pub mod schema;
 pub mod value;
@@ -51,6 +57,9 @@ pub use error::{Error, Result};
 pub use interval::{Bound, Interval, IntervalSet};
 pub use morsel::{drive_morsels, morsel_count, MorselBatch, MorselRange};
 pub use predicate::{CmpOp, ColPred, Conjunction, SelectionBox};
+pub use profile::{
+    CacheOutcome, LatencyHistogram, Phase, ProfileHandle, ProfileScope, ProfileSink, QueryProfile,
+};
 pub use resource::{MemoryGuard, MemoryPool, MemoryScope};
 pub use schema::{Field, Schema};
 pub use value::{DataType, Value};

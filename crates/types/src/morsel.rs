@@ -37,7 +37,7 @@ use std::sync::Mutex;
 use crate::cancel;
 use crate::column::ColumnData;
 use crate::error::{Error, Result};
-use crate::resource;
+use crate::{profile, resource};
 
 /// One unit of work flowing through the fused cold pipeline: the parsed
 /// output of a contiguous run of raw-file rows, handed to a per-worker
@@ -116,6 +116,10 @@ where
     // thread of the pool.
     let token = cancel::current();
     let memory = resource::current();
+    // Ambient query profile, likewise captured on the installing thread:
+    // workers fold per-worker morsel aggregates (morsels, steals, items)
+    // into it once per worker, after their last steal.
+    let prof = profile::current();
 
     // First error wins; a poisoned lock (a step panicked on another
     // worker while storing its error) must not turn into a second panic
@@ -131,6 +135,9 @@ where
     let run_worker = |worker: usize| {
         let _mem = memory.clone().map(resource::MemoryScope::enter);
         let mut state = init(worker);
+        // Per-worker aggregates, folded into the shared profile sink in
+        // one batch after the loop (no per-morsel atomics).
+        let (mut p_morsels, mut p_items, mut p_steals) = (0u64, 0u64, 0u64);
         loop {
             if failed.load(Ordering::Relaxed) {
                 break;
@@ -150,9 +157,25 @@ where
                 lo: index * per_morsel,
                 hi: ((index + 1) * per_morsel).min(n_items),
             };
+            if prof.is_some() {
+                p_morsels += 1;
+                p_items += (range.hi - range.lo) as u64;
+                // A morsel is "stolen" when it lands outside the worker's
+                // round-robin share — a worker that fell behind had its
+                // share taken by a faster sibling.
+                if workers > 1 && index % workers != worker {
+                    p_steals += 1;
+                }
+            }
             if let Err(e) = step(&mut state, worker, range) {
                 record_failure(e);
                 break;
+            }
+        }
+        if let Some(p) = &prof {
+            if p_morsels > 0 {
+                p.add_morsels(p_morsels, p_items, 0);
+                p.add_steals(p_steals);
             }
         }
         flush(state);
@@ -431,6 +454,22 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, Error::ResourceExhausted(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn ambient_profile_collects_morsel_aggregates() {
+        use crate::profile::{self, ProfileScope, ProfileSink};
+        let sink = ProfileSink::handle();
+        let _scope = ProfileScope::enter(std::sync::Arc::clone(&sink));
+        drive_morsels(1000, 10, 4, |_w| (), |_s, _w, _r| Ok(()), |_s| {}).unwrap();
+        let p = sink.snapshot();
+        assert_eq!(p.morsels, 100);
+        assert_eq!(p.rows, 1000);
+        drop(_scope);
+        assert!(profile::current().is_none());
+        // Without a scope the driver records nothing new.
+        drive_morsels(100, 10, 4, |_w| (), |_s, _w, _r| Ok(()), |_s| {}).unwrap();
+        assert_eq!(sink.snapshot().morsels, 100);
     }
 
     #[test]

@@ -12,8 +12,11 @@
 //! stderr (`# session N`) so scripts can aim `--cancel` at it. `--stats`
 //! prints the server's work-counter snapshot followed by a `MEM` row
 //! (peak reservation, shed queries, shed connections, contained
-//! panics) and a `CACHE` row
-//! breaking out the result-cache counters. `--cancel SESSION` aborts the
+//! panics), a `CACHE` row
+//! breaking out the result-cache counters, and one `LATENCY` row per
+//! histogram series the server published (`query`, `execute`, `fetch`,
+//! `queue_wait`) with p50/p95/p99 derived client-side from the wire's
+//! log2 buckets. `--cancel SESSION` aborts the
 //! query currently running on another connection's session — its query
 //! fails with a typed `cancelled` error within one morsel and its
 //! connection stays usable. Exit status is non-zero on any error —
@@ -60,8 +63,8 @@ fn main() {
     }
 
     if rest.len() == 1 && rest[0] == "--stats" {
-        match client.stats() {
-            Ok(s) => {
+        match client.stats_full() {
+            Ok((s, extras)) => {
                 println!("{s}");
                 println!(
                     "MEM reserved_peak={}B queries_shed={} conns_shed={} panics_contained={}",
@@ -74,6 +77,22 @@ fn main() {
                     s.result_cache_misses,
                     s.result_cache_evictions,
                 );
+                // Percentiles are derived here, from the sparse log2
+                // buckets the server shipped — it never computes them.
+                for (series, buckets) in nodb::latency_from_extras(&extras) {
+                    let count: u64 = buckets.iter().sum();
+                    let pct = |p: f64| {
+                        nodb::types::profile::percentile_from_buckets(&buckets, p)
+                            .map(|us| format!("{us}us"))
+                            .unwrap_or_else(|| "-".to_owned())
+                    };
+                    println!(
+                        "LATENCY {series} count={count} p50={} p95={} p99={}",
+                        pct(50.0),
+                        pct(95.0),
+                        pct(99.0),
+                    );
+                }
             }
             Err(e) => {
                 eprintln!("stats failed: {e}");

@@ -4,6 +4,7 @@
 //! nodb-server --data DIR [--listen ADDR] [--threads N] [--workers N]
 //!             [--max-connections N] [--max-queued N] [--batch-rows N]
 //!             [--result-cache-mb N] [--query-deadline-ms N]
+//!             [--slow-query-ms N]
 //! ```
 //!
 //! Every `*.csv` directly inside `DIR` is registered as a table named
@@ -20,7 +21,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: nodb-server --data DIR [--listen ADDR] [--threads N] \
          [--workers N] [--max-connections N] [--max-queued N] \
-         [--batch-rows N] [--result-cache-mb N] [--query-deadline-ms N]"
+         [--batch-rows N] [--result-cache-mb N] [--query-deadline-ms N] \
+         [--slow-query-ms N]"
     );
     std::process::exit(2);
 }
@@ -59,6 +61,10 @@ fn main() {
             "--query-deadline-ms" => {
                 server_cfg.query_deadline_ms =
                     Some(parse(&value("--query-deadline-ms"), "--query-deadline-ms") as u64);
+            }
+            "--slow-query-ms" => {
+                server_cfg.slow_query_ms =
+                    Some(parse(&value("--slow-query-ms"), "--slow-query-ms") as u64);
             }
             "--help" | "-h" => usage(),
             other => {

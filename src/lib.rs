@@ -30,7 +30,9 @@
 //! `docs/ARCHITECTURE.md` walks the end-to-end data flow; `docs/TUNING.md`
 //! documents every [`EngineConfig`] knob and work counter;
 //! `docs/ROBUSTNESS.md` covers cancellation, deadlines, client retry and
-//! the failpoint fault-injection harness.
+//! the failpoint fault-injection harness; `docs/OBSERVABILITY.md` covers
+//! execution profiles, `EXPLAIN ANALYZE`, the server's latency histograms
+//! and the slow-query log.
 
 pub use nodb_baselines as baselines;
 pub use nodb_core as core;
@@ -46,10 +48,11 @@ pub use nodb_core::{
     QueryStats, QueryStream, ResultCache, Session, TableInfo,
 };
 pub use nodb_server::{
-    Client, ConnectOptions, NodbServer, RemoteCursor, RemoteStatement, RetryPolicy, ServerConfig,
+    latency_from_extras, Client, ConnectOptions, NodbServer, RemoteCursor, RemoteStatement,
+    RetryPolicy, ServerConfig, LATENCY_SERIES,
 };
 pub use nodb_store::RowBatch;
 pub use nodb_types::{
-    CancelCheck, CancelScope, CancelToken, CountersSnapshot, DataType, Error, Field, Result,
-    Schema, Value, WorkCounters,
+    CancelCheck, CancelScope, CancelToken, CountersSnapshot, DataType, Error, Field,
+    LatencyHistogram, ProfileScope, ProfileSink, QueryProfile, Result, Schema, Value, WorkCounters,
 };

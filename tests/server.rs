@@ -128,6 +128,85 @@ fn query_shapes_match_in_process() {
     server.shutdown();
 }
 
+/// Observability surface over the wire: latency histograms ride STATS as
+/// self-describing extras, a `--slow-query-ms 0` server counts every
+/// query as slow, and `EXPLAIN [ANALYZE]` travels through the ordinary
+/// query path as rows of plan text.
+#[test]
+fn latency_histograms_slow_queries_and_explain_over_the_wire() {
+    let dir = common::test_dir("srv_observe");
+    let engine = engine_with_tables(&dir, 2);
+    let server = serve(
+        Arc::clone(&engine),
+        ServerConfig {
+            // Threshold 0: every query crosses it, so the slow-query
+            // path (profile arming, fingerprinting, counting) runs
+            // deterministically.
+            slow_query_ms: Some(0),
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let (_, rows) = client
+        .query_all("select a1, sum(a2) from r where a1 > 10 group by a1 order by a1 limit 5")
+        .unwrap();
+    assert_eq!(rows.len(), 5);
+    let stmt = client
+        .prepare("select count(*) from r where a1 > ?")
+        .unwrap();
+    let mut cursor = client.execute(stmt, &[Value::Int(100)]).unwrap();
+    assert_eq!(client.fetch_all(&mut cursor).unwrap().len(), 1);
+
+    let (snap, extras) = client.stats_full().unwrap();
+    // Both the QUERY and the EXECUTE crossed the 0ms threshold.
+    assert!(snap.slow_queries >= 2, "{snap}");
+    // Sparse histogram extras: at least the query/execute/fetch series
+    // have one nonzero bucket each, and the client-side rebuild agrees
+    // with the recorded counts.
+    let series = nodb::latency_from_extras(&extras);
+    for want in ["query", "execute", "fetch"] {
+        let (_, buckets) = series
+            .iter()
+            .find(|(n, _)| n == want)
+            .unwrap_or_else(|| panic!("no {want} latency series in {extras:?}"));
+        let count: u64 = buckets.iter().sum();
+        assert!(count >= 1, "{want} histogram empty");
+        let p99 = nodb::types::profile::percentile_from_buckets(buckets, 99.0);
+        assert!(
+            p99.is_some(),
+            "{want} percentile undefined with {count} samples"
+        );
+    }
+
+    // EXPLAIN over the wire: a one-column result of plan lines, nothing
+    // executed (still served through the standard cursor machinery).
+    let (labels, rows) = client.query_all("explain select sum(a1) from r").unwrap();
+    assert_eq!(labels, vec!["plan".to_owned()]);
+    assert!(
+        rows.iter()
+            .any(|r| matches!(&r[0], Value::Str(s) if s.contains("AdaptiveLoad"))),
+        "{rows:?}"
+    );
+    // EXPLAIN ANALYZE executes and appends measured phase lines.
+    let (_, rows) = client
+        .query_all("explain analyze select a1, count(*) from r where a1 > 42 group by a1")
+        .unwrap();
+    assert!(
+        rows.iter()
+            .any(|r| matches!(&r[0], Value::Str(s) if s.starts_with("-- analyze: rows="))),
+        "{rows:?}"
+    );
+    assert!(
+        rows.iter()
+            .any(|r| matches!(&r[0], Value::Str(s) if s.starts_with("-- phase "))),
+        "{rows:?}"
+    );
+
+    client.quit().unwrap();
+    server.shutdown();
+}
+
 /// A SQL error is a typed response, not a dropped connection.
 #[test]
 fn errors_keep_the_connection_usable() {
